@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Fig. 1 reproduction: the motivating example.  Software-layer
+ * analysis (SVF) vs cross-layer analysis (AVF, ax72) for sha and
+ * qsort — the paper's teaser showing that the two layers can invert
+ * both the SDC/Crash balance and the cross-benchmark ranking.
+ */
+#include "common.h"
+
+using namespace vstack;
+using namespace vstack::bench;
+
+int
+main()
+{
+    VulnerabilityStack stack(EnvConfig::fromEnvironment());
+    banner("Fig. 1",
+           "Software-layer vs cross-layer vulnerability for sha and "
+           "qsort (paper: the layers report opposite pictures)",
+           stack);
+
+    Table sw("Software-layer analysis (SVF, LLFI analog)");
+    sw.header({"benchmark", "SDC", "Crash", "total"});
+    Table avf("Cross-layer analysis (AVF, ax72, size-weighted)");
+    avf.header({"benchmark", "SDC", "Crash", "total"});
+
+    for (const std::string &wl : {std::string("sha"), std::string("qsort")}) {
+        Variant v{wl, false};
+        VulnSplit s = stack.svfSplit(v);
+        sw.row({wl, pct(s.sdc), pct(s.crash), pct(s.total())});
+        VulnSplit a = stack.weightedAvf("ax72", v);
+        avf.row({wl, pct(a.sdc), pct(a.crash), pct(a.total())});
+    }
+    std::printf("%s\n%s\n", sw.render().c_str(), avf.render().c_str());
+
+    std::printf("Paper's claims to check: (1) software-layer analysis "
+                "reports SDC-dominated vulnerability;\n(2) the "
+                "cross-layer analysis is Crash-leaning and far smaller "
+                "in absolute value;\n(3) the sha/qsort ranking can "
+                "invert between the layers.\n");
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Fig. 4 reproduction: PVF, SVF, and size-weighted AVF (ax72) for all
+ * ten workloads, split into SDC and Crash, with the paper's two
+ * comparisons: ranking inversions between layers and dominant-effect
+ * disagreements.
+ */
+#include "common.h"
+
+using namespace vstack;
+using namespace vstack::bench;
+
+int
+main()
+{
+    VulnerabilityStack stack(EnvConfig::fromEnvironment());
+    banner("Fig. 4",
+           "PVF / SVF / cross-layer AVF per workload (av64, ax72). "
+           "Note the paper plots PVF/SVF and AVF on different scales.",
+           stack);
+
+    struct Row
+    {
+        std::string wl;
+        VulnSplit pvf, svf, avf;
+    };
+    std::vector<Row> rows;
+
+    Table t("Fig. 4 series");
+    t.header({"benchmark", "PVF SDC", "PVF Crash", "PVF tot", "SVF SDC",
+              "SVF Crash", "SVF tot", "AVF SDC", "AVF Crash", "AVF tot"});
+    for (const std::string &wl : workloadNames()) {
+        Variant v{wl, false};
+        Row r{wl, stack.pvfSplit(IsaId::Av64, v), stack.svfSplit(v),
+              stack.weightedAvf("ax72", v)};
+        rows.push_back(r);
+        t.row({wl, pct(r.pvf.sdc), pct(r.pvf.crash), pct(r.pvf.total()),
+               pct(r.svf.sdc), pct(r.svf.crash), pct(r.svf.total()),
+               pct(r.avf.sdc), pct(r.avf.crash), pct(r.avf.total())});
+    }
+    std::printf("%s\n", t.render().c_str());
+
+    // Ranking inversions (the green-dotted-rectangle comparisons).
+    int invPvf = 0, invSvf = 0, pairs = 0;
+    for (size_t i = 0; i < rows.size(); ++i) {
+        for (size_t j = i + 1; j < rows.size(); ++j) {
+            const double dAvf = rows[i].avf.total() - rows[j].avf.total();
+            const double dPvf = rows[i].pvf.total() - rows[j].pvf.total();
+            const double dSvf = rows[i].svf.total() - rows[j].svf.total();
+            ++pairs;
+            if (dAvf * dPvf < 0)
+                ++invPvf;
+            if (dAvf * dSvf < 0)
+                ++invSvf;
+        }
+    }
+    int domPvf = 0, domSvf = 0;
+    for (const Row &r : rows) {
+        const bool avfSdcDom = r.avf.sdc > r.avf.crash;
+        if ((r.pvf.sdc > r.pvf.crash) != avfSdcDom)
+            ++domPvf;
+        if ((r.svf.sdc > r.svf.crash) != avfSdcDom)
+            ++domSvf;
+    }
+    std::printf("Ranking inversions vs AVF (of %d pairs): PVF %d, SVF %d\n",
+                pairs, invPvf, invSvf);
+    std::printf("Dominant-effect disagreements vs AVF (of %zu benchmarks): "
+                "PVF %d, SVF %d\n",
+                rows.size(), domPvf, domSvf);
+    std::printf("Paper: 13 of 45 pairs inverted; several benchmarks "
+                "SDC-dominant at PVF/SVF but Crash-dominant at AVF.\n");
+    return 0;
+}

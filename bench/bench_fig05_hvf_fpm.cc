@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fig. 5 reproduction: per-structure HVF with FPM breakdown for the
+ * two av32 cores (ax9, ax15).  The paper's point: WD dominates the
+ * register file and L1d, while L1i manifests as WI/WOI and the
+ * caches expose the ESC class — the manifestations that PVF/SVF
+ * methods never model.
+ */
+#include "common.h"
+
+using namespace vstack;
+using namespace vstack::bench;
+
+int
+main()
+{
+    VulnerabilityStack stack(EnvConfig::fromEnvironment());
+    banner("Fig. 5",
+           "HVF per structure with FPM breakdown (ax9 and ax15)",
+           stack);
+
+    for (const char *coreName : {"ax9", "ax15"}) {
+        for (Structure s : allStructures) {
+            Table t(strprintf("%s %s: HVF and FPM mix", coreName,
+                              structureName(s)));
+            t.header({"benchmark", "HVF", "WD", "WI", "WOI", "ESC"});
+            for (const std::string &wl : workloadNames()) {
+                UarchCampaignResult r =
+                    stack.uarch(coreName, {wl, false}, s);
+                const double n = static_cast<double>(r.samples);
+                t.row({wl, pct(r.hvf()),
+                       pct(static_cast<double>(r.fpms.wd) / n),
+                       pct(static_cast<double>(r.fpms.wi) / n),
+                       pct(static_cast<double>(r.fpms.woi) / n),
+                       pct(static_cast<double>(r.fpms.esc) / n)});
+            }
+            std::printf("%s\n", t.render().c_str());
+        }
+    }
+    std::printf("Paper: RF and L1d are WD-dominated; L1i shows high "
+                "WI/WOI; data caches expose ESC.\n");
+    return 0;
+}

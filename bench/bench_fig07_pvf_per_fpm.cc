@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fig. 7 reproduction: PVF per fault propagation model (WD / WOI /
+ * WI) split by fault-effect class.  The paper's observation: WD
+ * varies widely across workloads and skews SDC, while WOI and
+ * especially WI are more uniform and Crash-heavy.
+ */
+#include "common.h"
+
+using namespace vstack;
+using namespace vstack::bench;
+
+int
+main()
+{
+    VulnerabilityStack stack(EnvConfig::fromEnvironment());
+    banner("Fig. 7", "PVF per FPM (av64), SDC/Crash split", stack);
+
+    Table t("PVF per FPM");
+    t.header({"benchmark", "WD SDC", "WD Crash", "WOI SDC", "WOI Crash",
+              "WI SDC", "WI Crash"});
+    double spanWd = 0, spanWi = 0;
+    double minWd = 1, maxWd = 0, minWi = 1, maxWi = 0;
+    for (const std::string &wl : workloadNames()) {
+        Variant v{wl, false};
+        VulnSplit wd = toSplit(stack.pvf(IsaId::Av64, v, Fpm::WD));
+        VulnSplit woi = toSplit(stack.pvf(IsaId::Av64, v, Fpm::WOI));
+        VulnSplit wi = toSplit(stack.pvf(IsaId::Av64, v, Fpm::WI));
+        t.row({wl, pct(wd.sdc), pct(wd.crash), pct(woi.sdc),
+               pct(woi.crash), pct(wi.sdc), pct(wi.crash)});
+        minWd = std::min(minWd, wd.total());
+        maxWd = std::max(maxWd, wd.total());
+        minWi = std::min(minWi, wi.total());
+        maxWi = std::max(maxWi, wi.total());
+    }
+    spanWd = maxWd - minWd;
+    spanWi = maxWi - minWi;
+    std::printf("%s\n", t.render().c_str());
+    std::printf("Cross-workload span: WD %s vs WI %s (paper: WD has the "
+                "largest variability; WI/WOI are uniform and "
+                "Crash-heavy)\n",
+                pct(spanWd).c_str(), pct(spanWi).c_str());
+    return 0;
+}

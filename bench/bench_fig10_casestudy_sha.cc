@@ -1,0 +1,12 @@
+/**
+ * @file
+ * Fig. 10 reproduction: the sha software-fault-tolerance case study.
+ */
+#include "casestudy.h"
+
+int
+main()
+{
+    vstack::bench::runCaseStudy("Fig. 10", "sha");
+    return 0;
+}

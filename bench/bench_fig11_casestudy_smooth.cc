@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Fig. 11 reproduction: the smooth software-fault-tolerance case
+ * study.
+ */
+#include "casestudy.h"
+
+int
+main()
+{
+    vstack::bench::runCaseStudy("Fig. 11", "smooth");
+    return 0;
+}

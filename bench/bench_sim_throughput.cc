@@ -1,0 +1,102 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulation substrates:
+ * cycle-level core throughput, functional-emulator throughput, IR
+ * interpreter throughput, and compile time.  These bound campaign
+ * cost and document what a paper-scale (VSTACK_FAULTS=2000) run
+ * costs on the host.
+ */
+#include <benchmark/benchmark.h>
+
+#include "arch/archsim.h"
+#include "compiler/compile.h"
+#include "kernel/kernel.h"
+#include "swfi/interp.h"
+#include "uarch/core.h"
+#include "workloads/workloads.h"
+
+namespace
+{
+
+using namespace vstack;
+
+const Program &
+shaImage(IsaId isa)
+{
+    static std::map<IsaId, Program> cache;
+    auto it = cache.find(isa);
+    if (it == cache.end()) {
+        mcl::BuildResult b =
+            mcl::buildUserProgram(findWorkload("sha").source, isa);
+        Program sys = buildSystemImage(buildKernel(isa), b.program);
+        it = cache.emplace(isa, std::move(sys)).first;
+    }
+    return it->second;
+}
+
+void
+BM_CycleSimSha(benchmark::State &state,
+               const std::string &coreName)
+{
+    const CoreConfig &core = coreByName(coreName);
+    CycleSim sim(core);
+    uint64_t cycles = 0;
+    for (auto _ : state) {
+        sim.load(shaImage(core.isa));
+        UarchRunResult r = sim.run(10'000'000);
+        cycles += r.cycles;
+        benchmark::DoNotOptimize(r.insts);
+    }
+    state.counters["cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+
+void
+BM_ArchSimSha(benchmark::State &state)
+{
+    ArchConfig cfg;
+    ArchSim sim(cfg);
+    uint64_t insts = 0;
+    for (auto _ : state) {
+        sim.load(shaImage(IsaId::Av64));
+        ArchRunResult r = sim.run();
+        insts += r.instCount;
+    }
+    state.counters["insts/s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+
+void
+BM_IrInterpSha(benchmark::State &state)
+{
+    mcl::FrontendResult fr =
+        mcl::compileToIr(findWorkload("sha").source, 64);
+    uint64_t steps = 0;
+    for (auto _ : state) {
+        IrInterp interp(fr.module);
+        InterpResult r = interp.run();
+        steps += r.steps;
+    }
+    state.counters["IRinsts/s"] = benchmark::Counter(
+        static_cast<double>(steps), benchmark::Counter::kIsRate);
+}
+
+void
+BM_CompileSha(benchmark::State &state)
+{
+    const std::string &src = findWorkload("sha").source;
+    for (auto _ : state) {
+        mcl::BuildResult b = mcl::buildUserProgram(src, IsaId::Av64);
+        benchmark::DoNotOptimize(b.program.totalBytes());
+    }
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(BM_CycleSimSha, ax9, std::string("ax9"));
+BENCHMARK_CAPTURE(BM_CycleSimSha, ax72, std::string("ax72"));
+BENCHMARK(BM_ArchSimSha);
+BENCHMARK(BM_IrInterpSha);
+BENCHMARK(BM_CompileSha);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Table II reproduction: the simulated microarchitecture parameters,
+ * augmented with measured golden-run behaviour (cycles, IPC, kernel
+ * share) of a reference workload per core.
+ */
+#include "common.h"
+
+#include "uarch/core.h"
+
+using namespace vstack;
+using namespace vstack::bench;
+
+int
+main()
+{
+    VulnerabilityStack stack(EnvConfig::fromEnvironment());
+    banner("Table II", "Simulated core parameters (paper Table II analog)",
+           stack);
+
+    Table t("Core configurations");
+    t.header({"parameter", "ax9", "ax15", "ax57", "ax72"});
+    auto row = [&](const char *name, auto get) {
+        std::vector<std::string> cells{name};
+        for (const CoreConfig &c : allCores())
+            cells.push_back(get(c));
+        t.row(cells);
+    };
+    row("ISA", [](const CoreConfig &c) {
+        return std::string(isaName(c.isa));
+    });
+    row("width (f/r/i/c)", [](const CoreConfig &c) {
+        return strprintf("%d/%d/%d/%d", c.fetchWidth, c.renameWidth,
+                         c.issueWidth, c.commitWidth);
+    });
+    row("ROB", [](const CoreConfig &c) {
+        return std::to_string(c.robSize);
+    });
+    row("IQ", [](const CoreConfig &c) { return std::to_string(c.iqSize); });
+    row("LQ/SQ", [](const CoreConfig &c) {
+        return strprintf("%d/%d", c.lqSize, c.sqSize);
+    });
+    row("phys regs", [](const CoreConfig &c) {
+        return std::to_string(c.numPhysRegs);
+    });
+    row("L1i", [](const CoreConfig &c) {
+        return strprintf("%uKB/%dw", c.l1i.sizeKB, c.l1i.assoc);
+    });
+    row("L1d", [](const CoreConfig &c) {
+        return strprintf("%uKB/%dw", c.l1d.sizeKB, c.l1d.assoc);
+    });
+    row("L2", [](const CoreConfig &c) {
+        return strprintf("%uKB/%dw", c.l2.sizeKB, c.l2.assoc);
+    });
+    row("mem latency", [](const CoreConfig &c) {
+        return std::to_string(c.memLatency);
+    });
+    std::printf("%s\n", t.render().c_str());
+
+    Table bits("Injectable structure sizes (bits)");
+    bits.header({"structure", "ax9", "ax15", "ax57", "ax72"});
+    for (Structure s : allStructures) {
+        std::vector<std::string> cells{structureName(s)};
+        for (const CoreConfig &c : allCores()) {
+            CycleSim sim(c);
+            cells.push_back(std::to_string(sim.structureBits(s)));
+        }
+        bits.row(cells);
+    }
+    std::printf("%s\n", bits.render().c_str());
+
+    Table g("Golden-run behaviour (fft reference workload)");
+    g.header({"core", "cycles", "insts", "IPC", "kernel insts"});
+    for (const CoreConfig &c : allCores()) {
+        UarchGolden gg = stack.uarchGolden(c.name, {"fft", false});
+        g.row({c.name, std::to_string(gg.cycles),
+               std::to_string(gg.insts),
+               Table::num(static_cast<double>(gg.insts) / gg.cycles, 2),
+               pct(static_cast<double>(gg.kernelInsts) / gg.insts)});
+    }
+    std::printf("%s\n", g.render().c_str());
+    return 0;
+}

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Shared implementation of the Section VI case study (Figs. 10/11):
+ * one workload evaluated unprotected vs hardened (AN-encoding +
+ * duplicated instructions) at all three layers.
+ */
+#ifndef VSTACK_BENCH_CASESTUDY_H
+#define VSTACK_BENCH_CASESTUDY_H
+
+#include "common.h"
+
+namespace vstack::bench
+{
+
+/** Run and print the full case study for one workload. */
+void runCaseStudy(const char *figure, const std::string &workload);
+
+} // namespace vstack::bench
+
+#endif // VSTACK_BENCH_CASESTUDY_H

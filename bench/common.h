@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches.
+ *
+ * Every bench prints the rows/series of one paper artifact.  Sample
+ * counts come from the environment (VSTACK_FAULTS etc., see
+ * support/env.h); campaign results are shared between benches through
+ * the on-disk result store, so the first bench to need a campaign
+ * pays for it and the rest reuse it.
+ */
+#ifndef VSTACK_BENCH_COMMON_H
+#define VSTACK_BENCH_COMMON_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/vstack.h"
+#include "support/logging.h"
+#include "support/table.h"
+#include "workloads/workloads.h"
+
+namespace vstack::bench
+{
+
+/** Workload names in paper-figure order. */
+inline std::vector<std::string>
+workloadNames()
+{
+    std::vector<std::string> names;
+    for (const Workload &w : paperWorkloads())
+        names.push_back(w.name);
+    return names;
+}
+
+/** Print the standard bench banner with sampling details. */
+inline void
+banner(const char *artifact, const char *description,
+       const VulnerabilityStack &stack)
+{
+    const EnvConfig &cfg = stack.config();
+    std::printf("=== %s ===\n%s\n", artifact, description);
+    std::printf("samples: uarch=%zu/cell arch=%zu sw=%zu seed=%llu "
+                "(99%% margin at uarch scale: +/-%.2f%%)\n",
+                cfg.uarchFaults, cfg.archFaults, cfg.swFaults,
+                static_cast<unsigned long long>(cfg.seed),
+                stack.uarchMargin() * 100.0);
+    std::printf("set VSTACK_FAULTS=2000 for paper-scale campaigns; "
+                "results cached in '%s'\n\n",
+                cfg.resultsDir.c_str());
+}
+
+/** "12.34%" with two decimals. */
+inline std::string
+pct(double fraction)
+{
+    return Table::pct(fraction, 2);
+}
+
+} // namespace vstack::bench
+
+#endif // VSTACK_BENCH_COMMON_H

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Cross-layer vulnerability report for one workload: the paper's
+ * core comparison (SVF vs PVF vs AVF, plus the HVF/FPM view) in a
+ * single command.
+ *
+ *   $ ./build/examples/cross_layer_report [workload] [core]
+ *
+ * Defaults: sha on ax72.  Demonstrates the high-level
+ * VulnerabilityStack API that the figure benches are built on.
+ */
+#include <cstdio>
+#include <string>
+
+#include "core/vstack.h"
+#include "support/table.h"
+#include "workloads/workloads.h"
+
+using namespace vstack;
+
+int
+main(int argc, char **argv)
+{
+    const std::string workload = argc > 1 ? argv[1] : "sha";
+    const std::string core = argc > 2 ? argv[2] : "ax72";
+    findWorkload(workload); // validate early (fatal on bad names)
+    const CoreConfig &cc = coreByName(core);
+
+    EnvConfig cfg = EnvConfig::fromEnvironment();
+    VulnerabilityStack stack(cfg);
+    const Variant v{workload, false};
+
+    std::printf("cross-layer vulnerability report: %s on %s "
+                "(uarch samples/cell: %zu)\n\n",
+                workload.c_str(), core.c_str(), cfg.uarchFaults);
+
+    Table layers("vulnerability by evaluation layer");
+    layers.header({"layer", "SDC", "Crash", "total"});
+    if (cc.isa == IsaId::Av64) {
+        VulnSplit s = stack.svfSplit(v);
+        layers.row({"SVF (software / LLFI analog)", Table::pct(s.sdc),
+                    Table::pct(s.crash), Table::pct(s.total())});
+    }
+    VulnSplit p = stack.pvfSplit(cc.isa, v);
+    layers.row({"PVF (architecture, WD model)", Table::pct(p.sdc),
+                Table::pct(p.crash), Table::pct(p.total())});
+    VulnSplit r = stack.rPvf(core, v);
+    layers.row({"rPVF (FPM-weighted)", Table::pct(r.sdc),
+                Table::pct(r.crash), Table::pct(r.total())});
+    VulnSplit a = stack.weightedAvf(core, v);
+    layers.row({"AVF (cross-layer ground truth)", Table::pct(a.sdc),
+                Table::pct(a.crash), Table::pct(a.total())});
+    std::printf("%s\n", layers.render().c_str());
+
+    Table hvf("hardware layer: per-structure AVF/HVF and FPM mix");
+    hvf.header({"structure", "AVF", "HVF", "WD", "WI", "WOI", "ESC"});
+    for (Structure s : allStructures) {
+        UarchCampaignResult res = stack.uarch(core, v, s);
+        const double n = static_cast<double>(res.samples);
+        hvf.row({structureName(s), Table::pct(res.avf()),
+                 Table::pct(res.hvf()),
+                 Table::pct(static_cast<double>(res.fpms.wd) / n),
+                 Table::pct(static_cast<double>(res.fpms.wi) / n),
+                 Table::pct(static_cast<double>(res.fpms.woi) / n),
+                 Table::pct(static_cast<double>(res.fpms.esc) / n)});
+    }
+    std::printf("%s\n", hvf.render().c_str());
+
+    UarchGolden g = stack.uarchGolden(core, v);
+    std::printf("golden: %llu cycles, %llu insts, kernel share %.1f%% of "
+                "instructions\n",
+                static_cast<unsigned long long>(g.cycles),
+                static_cast<unsigned long long>(g.insts),
+                100.0 * static_cast<double>(g.kernelInsts) / g.insts);
+    return 0;
+}

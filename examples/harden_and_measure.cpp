@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Software fault tolerance in practice: apply the AN-encoding +
+ * instruction-duplication pass to a workload, verify functional
+ * equivalence, and measure what the paper measures — the software
+ * layer celebrates while the cross-layer AVF tells another story.
+ *
+ *   $ ./build/examples/harden_and_measure [workload]
+ */
+#include <cstdio>
+#include <string>
+
+#include "compiler/compile.h"
+#include "ft/harden.h"
+#include "gefin/campaign.h"
+#include "kernel/kernel.h"
+#include "swfi/svf.h"
+#include "uarch/config.h"
+#include "workloads/workloads.h"
+
+using namespace vstack;
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "sha";
+    const Workload &wl = findWorkload(name);
+
+    mcl::FrontendResult fr = mcl::compileToIr(wl.source, 64);
+    if (!fr.ok) {
+        std::fprintf(stderr, "%s\n", fr.error.c_str());
+        return 1;
+    }
+    ir::Module hardened = hardenModule(fr.module, defaultHardenOptions());
+
+    // Software layer: SVF with and without protection.
+    SvfCampaign plain(fr.module), prot(hardened);
+    OutcomeCounts c0 = plain.run(400, 11);
+    OutcomeCounts c1 = prot.run(400, 11);
+    std::printf("SVF (%s):      SDC %.1f%%  crash %.1f%%\n", name.c_str(),
+                c0.sdcRate() * 100, c0.crashRate() * 100);
+    std::printf("SVF (%s + FT): SDC %.1f%%  crash %.1f%%  detected "
+                "%.1f%%  -> %.1fx vulnerability reduction\n",
+                name.c_str(), c1.sdcRate() * 100, c1.crashRate() * 100,
+                c1.detectedRate() * 100,
+                c1.vulnerability() > 0
+                    ? c0.vulnerability() / c1.vulnerability()
+                    : 0.0);
+
+    // Hardware layer: cross-layer AVF of both binaries on ax72.
+    const CoreConfig &core = coreByName("ax72");
+    const Program kernel = buildKernel(core.isa);
+    double avf[2] = {0, 0};
+    uint64_t cycles[2] = {0, 0};
+    for (int h = 0; h < 2; ++h) {
+        const ir::Module &m = h ? hardened : fr.module;
+        mcl::BuildResult b = mcl::buildUserFromIr(m, core.isa);
+        if (!b.ok) {
+            std::fprintf(stderr, "%s\n", b.error.c_str());
+            return 1;
+        }
+        UarchCampaign campaign(core, buildSystemImage(kernel, b.program));
+        cycles[h] = campaign.golden().cycles;
+        // Size-weighted AVF across the five structures.
+        CycleSim sizer(core);
+        double num = 0, den = 0;
+        for (Structure s : allStructures) {
+            UarchCampaignResult r = campaign.run(s, 100, 11);
+            const double bits =
+                static_cast<double>(sizer.structureBits(s));
+            num += bits * r.avf();
+            den += bits;
+        }
+        avf[h] = num / den;
+    }
+    std::printf("\nAVF (cross-layer, ax72): baseline %.3f%%, hardened "
+                "%.3f%% (%+.0f%%); runtime %llu -> %llu cycles "
+                "(%.2fx)\n",
+                avf[0] * 100, avf[1] * 100,
+                avf[0] > 0 ? (avf[1] - avf[0]) / avf[0] * 100 : 0.0,
+                static_cast<unsigned long long>(cycles[0]),
+                static_cast<unsigned long long>(cycles[1]),
+                static_cast<double>(cycles[1]) / cycles[0]);
+    std::printf("\nThe software layer reports a big win; the cross-layer "
+                "measurement decides whether it is real (the paper's "
+                "central point).\n");
+    return 0;
+}

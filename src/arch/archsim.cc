@@ -1,0 +1,393 @@
+#include "archsim.h"
+
+#include <cassert>
+
+#include "support/logging.h"
+
+namespace vstack
+{
+
+ArchSim::ArchSim(const ArchConfig &cfg)
+    : cfg(cfg), spec_(IsaSpec::get(cfg.isa))
+{
+    hub = std::make_unique<DeviceHub>(
+        [this](uint32_t addr, uint8_t *dst, size_t n) {
+            // Functional DMA: straight out of RAM.
+            if (memmap::inRam(addr, static_cast<unsigned>(n)))
+                mem_.readBlock(addr, dst, n);
+            else
+                std::memset(dst, 0, n);
+        },
+        cfg.dmaDelay);
+}
+
+void
+ArchSim::load(const Program &image)
+{
+    mem_.clear();
+    mem_.load(image);
+    hub->reset();
+    regs.fill(0);
+    pc_ = image.entry;
+    epc = 0;
+    kernel = true;
+    icount = 0;
+    kcount = 0;
+    stop = StopReason::Running;
+    excMsg.clear();
+}
+
+void
+ArchSim::writeReg(int reg, uint64_t v)
+{
+    if (reg == spec_.zeroReg)
+        return;
+    regs[reg] = spec_.maskVal(v);
+}
+
+void
+ArchSim::raise(const std::string &msg)
+{
+    stop = StopReason::Exception;
+    excMsg = strprintf("%s (pc=0x%08llx, %s mode, inst %llu)", msg.c_str(),
+                       static_cast<unsigned long long>(pc_),
+                       kernel ? "kernel" : "user",
+                       static_cast<unsigned long long>(icount));
+}
+
+bool
+ArchSim::memAccess(uint64_t addr, unsigned bytes, bool isStore,
+                   uint64_t &val)
+{
+    if (addr % bytes != 0) {
+        raise(strprintf("misaligned %u-byte access at 0x%llx", bytes,
+                        static_cast<unsigned long long>(addr)));
+        return false;
+    }
+    if (memmap::inMmio(addr)) {
+        if (!kernel) {
+            raise("user access to MMIO");
+            return false;
+        }
+        bool ok = isStore
+                      ? hub->store(static_cast<uint32_t>(addr), val, icount)
+                      : hub->load(static_cast<uint32_t>(addr), icount, val);
+        if (!ok) {
+            raise(strprintf("unmapped MMIO 0x%llx",
+                            static_cast<unsigned long long>(addr)));
+            return false;
+        }
+        return true;
+    }
+    if (!memmap::inRam(addr, bytes)) {
+        raise(strprintf("bad address 0x%llx",
+                        static_cast<unsigned long long>(addr)));
+        return false;
+    }
+    if (!kernel && !memmap::userAccessible(addr, bytes)) {
+        raise(strprintf("user access to kernel memory 0x%llx",
+                        static_cast<unsigned long long>(addr)));
+        return false;
+    }
+    if (isStore)
+        mem_.write(static_cast<uint32_t>(addr), val, bytes);
+    else
+        val = mem_.read(static_cast<uint32_t>(addr), bytes);
+    return true;
+}
+
+bool
+ArchSim::peek(DecodedInst &out) const
+{
+    if (stop != StopReason::Running)
+        return false;
+    if (pc_ % 4 != 0 || !memmap::inRam(pc_, 4))
+        return false;
+    out = decode(cfg.isa, static_cast<uint32_t>(mem_.read(
+                              static_cast<uint32_t>(pc_), 4)));
+    return true;
+}
+
+bool
+ArchSim::step()
+{
+    if (stop != StopReason::Running)
+        return false;
+    if (icount >= cfg.maxInsts) {
+        stop = StopReason::Watchdog;
+        return false;
+    }
+
+    // Fetch.
+    if (pc_ % 4 != 0) {
+        raise("misaligned pc");
+        return false;
+    }
+    if (!memmap::inRam(pc_, 4)) {
+        raise("fetch from unmapped address");
+        return false;
+    }
+    if (!kernel && !memmap::userAccessible(pc_, 4)) {
+        raise("user fetch from kernel memory");
+        return false;
+    }
+    const uint32_t word =
+        static_cast<uint32_t>(mem_.read(static_cast<uint32_t>(pc_), 4));
+    const DecodedInst d = decode(cfg.isa, word);
+    if (!d.valid) {
+        raise(strprintf("undefined instruction 0x%08x", word));
+        return false;
+    }
+    const OpInfo &info = d.info();
+    if (info.privileged && !kernel) {
+        raise(strprintf("privileged instruction '%s' in user mode",
+                        info.name));
+        return false;
+    }
+
+    ++icount;
+    if (kernel)
+        ++kcount;
+
+    uint64_t next = pc_ + 4;
+    const int xlen = spec_.xlen;
+    auto rs1 = [&] { return regs[d.rs1]; };
+    auto rs2 = [&] { return regs[d.rs2]; };
+    auto sv = [&](uint64_t v) { return spec_.signedVal(v); };
+
+    switch (d.op) {
+      case Op::NOP:
+        break;
+      case Op::HALT:
+        stop = StopReason::Exited;
+        hub->flush();
+        pc_ = next;
+        return false;
+      case Op::SYSCALL:
+        epc = next;
+        kernel = true;
+        next = memmap::TRAP_VECTOR;
+        break;
+      case Op::ERET:
+        kernel = false;
+        next = epc;
+        break;
+      case Op::MTEPC:
+        epc = regs[d.rd];
+        break;
+      case Op::MFEPC:
+        writeReg(d.rd, epc);
+        break;
+      case Op::DCCB:
+        // Functional model: memory is always coherent.
+        break;
+
+      case Op::ADD: writeReg(d.rd, rs1() + rs2()); break;
+      case Op::SUB: writeReg(d.rd, rs1() - rs2()); break;
+      case Op::AND: writeReg(d.rd, rs1() & rs2()); break;
+      case Op::ORR: writeReg(d.rd, rs1() | rs2()); break;
+      case Op::EOR: writeReg(d.rd, rs1() ^ rs2()); break;
+      case Op::MUL: writeReg(d.rd, rs1() * rs2()); break;
+      case Op::UDIV:
+        writeReg(d.rd, rs2() == 0 ? 0 : rs1() / rs2());
+        break;
+      case Op::SDIV: {
+        int64_t a = sv(rs1()), b = sv(rs2());
+        int64_t q;
+        if (b == 0)
+            q = 0;
+        else if (a == INT64_MIN && b == -1)
+            q = a;
+        else
+            q = a / b;
+        writeReg(d.rd, static_cast<uint64_t>(q));
+        break;
+      }
+      case Op::UREM:
+        writeReg(d.rd, rs2() == 0 ? rs1() : rs1() % rs2());
+        break;
+      case Op::SREM: {
+        int64_t a = sv(rs1()), b = sv(rs2());
+        int64_t r;
+        if (b == 0)
+            r = a;
+        else if (a == INT64_MIN && b == -1)
+            r = 0;
+        else
+            r = a % b;
+        writeReg(d.rd, static_cast<uint64_t>(r));
+        break;
+      }
+      case Op::LSLV:
+        writeReg(d.rd, rs1() << (rs2() & (xlen - 1)));
+        break;
+      case Op::LSRV:
+        writeReg(d.rd, spec_.maskVal(rs1()) >> (rs2() & (xlen - 1)));
+        break;
+      case Op::ASRV:
+        writeReg(d.rd,
+                 static_cast<uint64_t>(sv(rs1()) >> (rs2() & (xlen - 1))));
+        break;
+      case Op::SLT:
+        writeReg(d.rd, sv(rs1()) < sv(rs2()) ? 1 : 0);
+        break;
+      case Op::SLTU:
+        writeReg(d.rd,
+                 spec_.maskVal(rs1()) < spec_.maskVal(rs2()) ? 1 : 0);
+        break;
+
+      case Op::ADDI:
+        writeReg(d.rd, rs1() + static_cast<uint64_t>(d.imm));
+        break;
+      case Op::ANDI:
+        writeReg(d.rd, rs1() & static_cast<uint64_t>(d.imm));
+        break;
+      case Op::ORRI:
+        writeReg(d.rd, rs1() | static_cast<uint64_t>(d.imm));
+        break;
+      case Op::EORI:
+        writeReg(d.rd, rs1() ^ static_cast<uint64_t>(d.imm));
+        break;
+      case Op::LSLI:
+        writeReg(d.rd, rs1() << (d.imm & (xlen - 1)));
+        break;
+      case Op::LSRI:
+        writeReg(d.rd, spec_.maskVal(rs1()) >> (d.imm & (xlen - 1)));
+        break;
+      case Op::ASRI:
+        writeReg(d.rd,
+                 static_cast<uint64_t>(sv(rs1()) >> (d.imm & (xlen - 1))));
+        break;
+      case Op::SLTI:
+        writeReg(d.rd, sv(rs1()) < d.imm ? 1 : 0);
+        break;
+
+      case Op::LUI:
+        writeReg(d.rd, static_cast<uint64_t>(d.imm) << 10);
+        break;
+      case Op::MOVZ:
+        writeReg(d.rd, static_cast<uint64_t>(d.imm) << (16 * d.hw));
+        break;
+      case Op::MOVK: {
+        uint64_t mask = 0xffffull << (16 * d.hw);
+        writeReg(d.rd, (regs[d.rd] & ~mask) |
+                           (static_cast<uint64_t>(d.imm) << (16 * d.hw)));
+        break;
+      }
+
+      case Op::LDX:
+      case Op::LDW:
+      case Op::LDBU:
+      case Op::LDB: {
+        unsigned bytes = d.op == Op::LDX   ? xlen / 8
+                         : d.op == Op::LDW ? 4
+                                           : 1;
+        uint64_t addr = rs1() + static_cast<uint64_t>(d.imm);
+        addr = spec_.maskVal(addr);
+        uint64_t val = 0;
+        if (!memAccess(addr, bytes, false, val))
+            return false;
+        if (d.op == Op::LDB)
+            val = static_cast<uint64_t>(
+                static_cast<int64_t>(static_cast<int8_t>(val)));
+        writeReg(d.rd, val);
+        break;
+      }
+      case Op::STX:
+      case Op::STW:
+      case Op::STB: {
+        unsigned bytes = d.op == Op::STX   ? xlen / 8
+                         : d.op == Op::STW ? 4
+                                           : 1;
+        uint64_t addr = rs1() + static_cast<uint64_t>(d.imm);
+        addr = spec_.maskVal(addr);
+        uint64_t val = regs[d.rd];
+        if (!memAccess(addr, bytes, true, val))
+            return false;
+        break;
+      }
+
+      case Op::BEQ:
+        if (rs1() == rs2())
+            next = pc_ + static_cast<uint64_t>(d.imm);
+        break;
+      case Op::BNE:
+        if (rs1() != rs2())
+            next = pc_ + static_cast<uint64_t>(d.imm);
+        break;
+      case Op::BLT:
+        if (sv(rs1()) < sv(rs2()))
+            next = pc_ + static_cast<uint64_t>(d.imm);
+        break;
+      case Op::BGE:
+        if (sv(rs1()) >= sv(rs2()))
+            next = pc_ + static_cast<uint64_t>(d.imm);
+        break;
+      case Op::BLTU:
+        if (spec_.maskVal(rs1()) < spec_.maskVal(rs2()))
+            next = pc_ + static_cast<uint64_t>(d.imm);
+        break;
+      case Op::BGEU:
+        if (spec_.maskVal(rs1()) >= spec_.maskVal(rs2()))
+            next = pc_ + static_cast<uint64_t>(d.imm);
+        break;
+      case Op::B:
+        next = pc_ + static_cast<uint64_t>(d.imm);
+        break;
+      case Op::BL:
+        writeReg(spec_.lr, next);
+        next = pc_ + static_cast<uint64_t>(d.imm);
+        break;
+      case Op::BR:
+        next = regs[d.rd];
+        break;
+      case Op::BLR: {
+        uint64_t target = regs[d.rd];
+        writeReg(spec_.lr, next);
+        next = target;
+        break;
+      }
+
+      case Op::NumOps:
+        raise("corrupt decode");
+        return false;
+    }
+
+    pc_ = spec_.maskVal(next) & 0xffffffffull;
+    hub->tick(icount);
+
+    // exit()/detect() stop the machine at the next boundary.
+    if (hub->exited()) {
+        stop = StopReason::Exited;
+        hub->flush();
+        return false;
+    }
+    if (hub->detected()) {
+        stop = StopReason::DetectHit;
+        hub->flush();
+        return false;
+    }
+    return true;
+}
+
+ArchRunResult
+ArchSim::run()
+{
+    while (step()) {
+    }
+    return result();
+}
+
+ArchRunResult
+ArchSim::result() const
+{
+    ArchRunResult r;
+    r.stop = stop;
+    r.exceptionMsg = excMsg;
+    r.instCount = icount;
+    r.kernelInsts = kcount;
+    r.output = hub->output();
+    return r;
+}
+
+} // namespace vstack

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Functional (architecture-level) full-system emulator.
+ *
+ * Executes a merged kernel+user image instruction-by-instruction with
+ * the MMIO devices attached.  This is the architecture layer of the
+ * vulnerability stack: it sees architectural registers, memory, the
+ * dynamic instruction flow (user and kernel), and nothing
+ * microarchitectural.  It serves three roles:
+ *
+ *  1. golden-reference generator (outputs, exit code, dynamic
+ *     instruction counts) for all injection campaigns;
+ *  2. the PVF injection vehicle (see pvf.h);
+ *  3. a co-simulation oracle for the cycle-level core.
+ */
+#ifndef VSTACK_ARCH_ARCHSIM_H
+#define VSTACK_ARCH_ARCHSIM_H
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "isa/isa.h"
+#include "isa/program.h"
+#include "machine/devices.h"
+#include "machine/memmap.h"
+#include "machine/outcome.h"
+#include "machine/physmem.h"
+
+namespace vstack
+{
+
+/** Result of a completed run. */
+struct ArchRunResult
+{
+    StopReason stop = StopReason::Running;
+    std::string exceptionMsg;
+    uint64_t instCount = 0;
+    uint64_t kernelInsts = 0;
+    DeviceOutput output;
+};
+
+/** Configuration of the functional emulator. */
+struct ArchConfig
+{
+    IsaId isa = IsaId::Av64;
+    uint64_t maxInsts = 200'000'000; ///< watchdog budget
+    uint64_t dmaDelay = 1024;        ///< DMA latency in instructions
+};
+
+/**
+ * The functional emulator.  Construct, load(), then run() — or drive
+ * step() manually for fault injection.
+ */
+class ArchSim
+{
+  public:
+    explicit ArchSim(const ArchConfig &cfg);
+
+    /** Load a merged system image and reset all state. */
+    void load(const Program &image);
+
+    /** Adjust the watchdog budget (before or between runs). */
+    void setMaxInsts(uint64_t n) { cfg.maxInsts = n; }
+
+    /** Run until a stop condition; returns the result summary. */
+    ArchRunResult run();
+
+    /**
+     * Execute one instruction.  Returns false once stopped (check
+     * stopReason()).
+     */
+    bool step();
+
+    /** @name Architectural state access (for fault injection) @{ */
+    uint64_t readReg(int reg) const { return regs[reg]; }
+    void writeReg(int reg, uint64_t v);
+    uint64_t pc() const { return pc_; }
+    void setPc(uint64_t v) { pc_ = v; }
+    bool kernelMode() const { return kernel; }
+    PhysMem &mem() { return mem_; }
+    const PhysMem &mem() const { return mem_; }
+    DeviceHub &devices() { return *hub; }
+    /** @} */
+
+    uint64_t instCount() const { return icount; }
+    uint64_t kernelInsts() const { return kcount; }
+    StopReason stopReason() const { return stop; }
+    const std::string &exceptionMsg() const { return excMsg; }
+
+    /** Result summary after the run stopped. */
+    ArchRunResult result() const;
+
+    const IsaSpec &spec() const { return spec_; }
+
+    /**
+     * Decode the instruction the next step() will execute (without
+     * side effects).  Valid while running and pc is fetchable.
+     */
+    bool peek(DecodedInst &out) const;
+
+  private:
+    void raise(const std::string &msg);
+    bool memAccess(uint64_t addr, unsigned bytes, bool isStore,
+                   uint64_t &val);
+
+    ArchConfig cfg;
+    const IsaSpec &spec_;
+    PhysMem mem_;
+    std::unique_ptr<DeviceHub> hub;
+    std::array<uint64_t, 32> regs{};
+    uint64_t pc_ = 0;
+    uint64_t epc = 0;
+    bool kernel = true;
+    uint64_t icount = 0;
+    uint64_t kcount = 0;
+    StopReason stop = StopReason::Running;
+    std::string excMsg;
+};
+
+} // namespace vstack
+
+#endif // VSTACK_ARCH_ARCHSIM_H

@@ -1,0 +1,179 @@
+#include "pvf.h"
+
+#include <cassert>
+
+#include "support/logging.h"
+
+namespace vstack
+{
+
+Outcome
+classifyRun(StopReason stop, const DeviceOutput &out, const GoldenRef &golden)
+{
+    assert(golden.valid);
+    switch (stop) {
+      case StopReason::DetectHit:
+        return Outcome::Detected;
+      case StopReason::Exception:
+      case StopReason::Watchdog:
+      case StopReason::Running:
+        return Outcome::Crash;
+      case StopReason::Exited:
+        break;
+    }
+    if (out.dma != golden.dma || out.exitCode != golden.exitCode)
+        return Outcome::Sdc;
+    return Outcome::Masked;
+}
+
+PvfCampaign::PvfCampaign(Program image, ArchConfig cfg)
+    : image(std::move(image)), cfg(cfg), sim(cfg)
+{
+    sim.load(this->image);
+    ArchRunResult r = sim.run();
+    if (r.stop != StopReason::Exited) {
+        fatal("PVF golden run did not exit cleanly (%s): %s",
+              r.stop == StopReason::Exception ? "exception" : "other",
+              r.exceptionMsg.c_str());
+    }
+    golden_.dma = r.output.dma;
+    golden_.exitCode = r.output.exitCode;
+    golden_.insts = r.instCount;
+    golden_.kernelInsts = r.kernelInsts;
+    golden_.valid = true;
+}
+
+namespace
+{
+
+/** Collect bit positions of an instruction word matching an FPM. */
+std::vector<int>
+bitsForFpm(IsaId isa, uint32_t word, Fpm fpm)
+{
+    std::vector<int> bits;
+    for (int b = 0; b < 32; ++b) {
+        const InstFieldKind k = classifyInstBit(isa, word, b);
+        const bool wi = k == InstFieldKind::Opcode ||
+                        k == InstFieldKind::ControlOffset;
+        const bool woi = k == InstFieldKind::RegSpecifier ||
+                         k == InstFieldKind::Immediate;
+        if ((fpm == Fpm::WI && wi) || (fpm == Fpm::WOI && woi))
+            bits.push_back(b);
+    }
+    return bits;
+}
+
+} // namespace
+
+Outcome
+PvfCampaign::runOne(Fpm fpm, Rng &rng)
+{
+    assert(fpm != Fpm::ESC && "ESC is unobservable at the PVF layer");
+
+    sim.setMaxInsts(golden_.insts * 4 + 10'000);
+    sim.load(image);
+    const IsaSpec &spec = sim.spec();
+
+    const uint64_t targetInst = rng.uniform(golden_.insts);
+    // PC corruption uses the machine's 32-bit address space; other
+    // flips pick a bit position lazily at the injection site.
+    const bool wiUsesPc = fpm == Fpm::WI && rng.chance(0.5);
+
+    // Advance to the injection point.
+    while (sim.instCount() < targetInst) {
+        if (!sim.step())
+            return classifyRun(sim.stopReason(), sim.devices().output(),
+                               golden_);
+    }
+
+    bool injected = false;
+    if (fpm == Fpm::WD) {
+        // Walk forward to the next instruction that produces a value,
+        // execute it, then flip a bit in the produced value.
+        while (!injected) {
+            DecodedInst d;
+            if (!sim.peek(d) || !d.valid) {
+                // The run will fault on its own; just continue.
+                break;
+            }
+            const OpInfo &info = d.info();
+            if (info.writesRd && static_cast<int>(d.rd) != spec.zeroReg) {
+                if (!sim.step())
+                    break;
+                const int bit =
+                    static_cast<int>(rng.uniform(spec.xlen));
+                sim.writeReg(d.rd, sim.readReg(d.rd) ^ (1ull << bit));
+                injected = true;
+            } else if (info.isStore) {
+                const uint64_t addr = spec.maskVal(
+                    sim.readReg(d.rs1) + static_cast<uint64_t>(d.imm));
+                unsigned bytes = info.memBytes == 255
+                                     ? static_cast<unsigned>(spec.xlen / 8)
+                                     : info.memBytes;
+                if (!sim.step())
+                    break;
+                if (memmap::inRam(addr, bytes) && addr % bytes == 0) {
+                    const int bit =
+                        static_cast<int>(rng.uniform(bytes * 8));
+                    uint64_t v = sim.mem().read(
+                        static_cast<uint32_t>(addr), bytes);
+                    v ^= 1ull << bit;
+                    sim.mem().write(static_cast<uint32_t>(addr), v, bytes);
+                    injected = true;
+                }
+            } else {
+                if (!sim.step())
+                    break;
+            }
+        }
+    } else if (fpm == Fpm::WI && wiUsesPc) {
+        // Transient PC corruption: flip one of the 24 address bits of
+        // the 16 MiB physical space plus the two alignment bits.
+        const int bit = static_cast<int>(rng.uniform(24));
+        sim.setPc(sim.pc() ^ (1ull << bit));
+        injected = true;
+    } else {
+        // Encoding corruption (WI: opcode/control; WOI: operands):
+        // flip a bit in the instruction word in memory; it persists.
+        uint64_t walked = 0;
+        while (!injected && walked < golden_.insts) {
+            const uint64_t pc = sim.pc();
+            if (pc % 4 != 0 || !memmap::inRam(pc, 4))
+                break;
+            const uint32_t word = static_cast<uint32_t>(
+                sim.mem().read(static_cast<uint32_t>(pc), 4));
+            std::vector<int> bits =
+                bitsForFpm(spec.id, word, fpm);
+            if (!bits.empty()) {
+                const int bit =
+                    bits[rng.uniform(bits.size())];
+                sim.mem().write(static_cast<uint32_t>(pc),
+                                word ^ (1u << bit), 4);
+                injected = true;
+            } else {
+                if (!sim.step())
+                    break;
+                ++walked;
+            }
+        }
+    }
+
+    // Run to completion and classify.
+    while (sim.step()) {
+    }
+    return classifyRun(sim.stopReason(), sim.devices().output(), golden_);
+}
+
+OutcomeCounts
+PvfCampaign::run(Fpm fpm, size_t n, uint64_t seed)
+{
+    Rng master(seed);
+    OutcomeCounts counts;
+    for (size_t i = 0; i < n; ++i) {
+        Rng r = master.fork();
+        counts.add(runOne(fpm, r));
+    }
+    return counts;
+}
+
+} // namespace vstack

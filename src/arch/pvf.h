@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Architecture-level (PVF) fault-injection campaigns.
+ *
+ * PVF assumes the fault origin is an architecturally visible location
+ * involved in the program flow (paper Section II.B): architectural
+ * registers, memory words the program loads/stores, and instruction
+ * encodings — including kernel activity, which distinguishes PVF from
+ * SVF.  Three fault propagation models are supported (Section V.A):
+ *
+ *  - WD : flip a bit in the destination value produced by a dynamic
+ *         instruction (register or stored memory word); the fault
+ *         persists in the architectural location until overwritten;
+ *  - WOI: flip a bit in an operand field (register specifier /
+ *         immediate) of a dynamic instruction's encoding in memory;
+ *  - WI : flip a bit in the opcode/control-offset field of the
+ *         encoding, or a bit of the PC (50/50), modelling wrong
+ *         instruction execution.
+ *
+ * ESC cannot be modelled at this layer by definition.
+ */
+#ifndef VSTACK_ARCH_PVF_H
+#define VSTACK_ARCH_PVF_H
+
+#include <vector>
+
+#include "arch/archsim.h"
+#include "machine/fpm.h"
+#include "machine/outcome.h"
+#include "support/rng.h"
+
+namespace vstack
+{
+
+/** Golden-run reference data for outcome classification. */
+struct GoldenRef
+{
+    std::vector<uint8_t> dma;
+    uint32_t exitCode = 0;
+    uint64_t insts = 0;       ///< dynamic instruction count
+    uint64_t kernelInsts = 0;
+    bool valid = false;
+};
+
+/** Classify a finished run against the golden reference. */
+Outcome classifyRun(StopReason stop, const DeviceOutput &out,
+                    const GoldenRef &golden);
+
+/** One PVF campaign over a fixed system image. */
+class PvfCampaign
+{
+  public:
+    /**
+     * @param image  merged kernel+user image
+     * @param cfg    emulator config (watchdog is derived per run)
+     */
+    PvfCampaign(Program image, ArchConfig cfg);
+
+    /** Golden reference (computed on construction). */
+    const GoldenRef &golden() const { return golden_; }
+
+    /** Run one injection with the given FPM. */
+    Outcome runOne(Fpm fpm, Rng &rng);
+
+    /** Run a campaign of n injections. */
+    OutcomeCounts run(Fpm fpm, size_t n, uint64_t seed);
+
+  private:
+    Program image;
+    ArchConfig cfg;
+    ArchSim sim; ///< reused across injections (16 MiB arena)
+    GoldenRef golden_;
+};
+
+} // namespace vstack
+
+#endif // VSTACK_ARCH_PVF_H

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Abstract syntax tree for MCL.
+ */
+#ifndef VSTACK_COMPILER_AST_H
+#define VSTACK_COMPILER_AST_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vstack::mcl
+{
+
+/** Scalar element kind. */
+enum class Base : uint8_t { Int, Byte, Void };
+
+/** An MCL type: scalar, pointer, or (declaration-only) array. */
+struct Type
+{
+    Base base = Base::Int;
+    bool ptr = false;
+    int64_t arraySize = -1; ///< -1 unless a declared array
+
+    bool isArray() const { return arraySize >= 0; }
+    bool isPtr() const { return ptr; }
+    bool isVoid() const { return base == Base::Void && !ptr; }
+    bool scalarInt() const { return !ptr && !isArray() && base == Base::Int; }
+    bool scalarByte() const
+    {
+        return !ptr && !isArray() && base == Base::Byte;
+    }
+    /** Element size in bytes for pointer/array types given xlen bits. */
+    int elemBytes(int xlen) const { return base == Base::Byte ? 1 : xlen / 8; }
+
+    static Type intTy() { return {Base::Int, false, -1}; }
+    static Type byteTy() { return {Base::Byte, false, -1}; }
+    static Type voidTy() { return {Base::Void, false, -1}; }
+    static Type ptrTo(Base b) { return {b, true, -1}; }
+
+    bool operator==(const Type &o) const
+    {
+        return base == o.base && ptr == o.ptr && arraySize == o.arraySize;
+    }
+
+    std::string str() const;
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind : uint8_t {
+    Num,    ///< integer literal
+    Str,    ///< string literal (anonymous byte array)
+    Var,    ///< identifier
+    Unary,  ///< -, ~, !
+    Binary, ///< arithmetic / comparison / logical
+    Call,   ///< function or intrinsic call
+    Index,  ///< base[index]
+    Deref,  ///< *expr
+    AddrOf, ///< &lvalue
+    Cast,   ///< expr as type
+};
+
+enum class UnOp : uint8_t { Neg, BitNot, LogNot };
+
+enum class BinOp : uint8_t {
+    Add, Sub, Mul, SDiv, SRem, UDiv, URem,
+    And, Or, Xor, Shl, AShr, LShr,
+    Eq, Ne, SLt, SLe, SGt, SGe, ULt, UGe,
+    LogAnd, LogOr,
+};
+
+struct Expr
+{
+    ExprKind kind;
+    int line = 0;
+    // Literal / identifier payload
+    int64_t num = 0;
+    std::string name;
+    std::string str;
+    // Operator payload
+    UnOp unOp = UnOp::Neg;
+    BinOp binOp = BinOp::Add;
+    Type castType;
+    // Children
+    ExprPtr lhs;
+    ExprPtr rhs;
+    std::vector<ExprPtr> args;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind : uint8_t {
+    VarDecl,
+    Assign,
+    If,
+    While,
+    Break,
+    Continue,
+    Return,
+    ExprStmt,
+    Block,
+};
+
+struct Stmt
+{
+    StmtKind kind;
+    int line = 0;
+    // VarDecl
+    std::string name;
+    Type type;
+    // VarDecl init / Assign rhs / Return value / ExprStmt / condition
+    ExprPtr expr;
+    // Assign target
+    ExprPtr target;
+    // If/While bodies, Block contents
+    std::vector<StmtPtr> body;
+    std::vector<StmtPtr> elseBody;
+};
+
+/** A global variable declaration. */
+struct GlobalDecl
+{
+    std::string name;
+    Type type;
+    bool isConst = false;
+    std::vector<int64_t> init; ///< constant initializer values
+    std::string strInit;       ///< string initializer (byte arrays)
+    int line = 0;
+};
+
+/** A function definition. */
+struct FuncDecl
+{
+    std::string name;
+    std::vector<std::pair<std::string, Type>> params;
+    Type retType = Type::voidTy();
+    std::vector<StmtPtr> body;
+    int line = 0;
+};
+
+/** A parsed MCL translation unit. */
+struct Module
+{
+    std::vector<GlobalDecl> globals;
+    std::vector<FuncDecl> funcs;
+};
+
+} // namespace vstack::mcl
+
+#endif // VSTACK_COMPILER_AST_H

@@ -1,0 +1,637 @@
+#include "backend.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "isa/assembler.h"
+#include "machine/memmap.h"
+#include "support/logging.h"
+
+namespace vstack::mcl
+{
+
+namespace
+{
+
+using ir::Inst;
+using ir::IrOp;
+using ir::Value;
+
+/** Where a virtual register lives at runtime. */
+struct Home
+{
+    bool inReg = false;
+    int reg = -1;      ///< physical register if inReg
+    int64_t slot = -1; ///< frame offset otherwise
+};
+
+class FuncCodegen
+{
+  public:
+    FuncCodegen(const ir::Module &m, const ir::Func &f, const IsaSpec &spec,
+                std::string &out)
+        : m(m), f(f), spec(spec), out(out), W(spec.xlen / 8)
+    {}
+
+    void run()
+    {
+        assignHomes();
+        layoutFrame();
+        emitLabel(f.name);
+        emitPrologue();
+        for (size_t bi = 0; bi < f.blocks.size(); ++bi) {
+            emitLabel(blockLabel(static_cast<int>(bi)));
+            for (const Inst &inst : f.blocks[bi].insts)
+                emitInst(inst);
+        }
+        emitEpilogue();
+    }
+
+  private:
+    // ---- setup ---------------------------------------------------------
+    void assignHomes()
+    {
+        // Count uses so hot vregs get registers.
+        std::vector<size_t> uses(f.numVregs, 0);
+        auto use = [&](const Value &v) {
+            if (!v.isConst)
+                ++uses[v.vreg];
+        };
+        for (const auto &block : f.blocks) {
+            for (const Inst &inst : block.insts) {
+                if (inst.hasA)
+                    use(inst.a);
+                if (inst.hasB)
+                    use(inst.b);
+                for (const Value &arg : inst.args)
+                    use(arg);
+                if (inst.dst >= 0)
+                    ++uses[inst.dst];
+            }
+        }
+        std::vector<int> order(f.numVregs);
+        for (int i = 0; i < f.numVregs; ++i)
+            order[i] = i;
+        std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+            return uses[a] > uses[b];
+        });
+
+        homes.resize(f.numVregs);
+        size_t nextReg = 0;
+        for (int v : order) {
+            if (uses[v] == 0 && v >= f.numParams)
+                continue; // dead vreg, no home needed
+            if (nextReg < spec.calleeSaved.size()) {
+                homes[v].inReg = true;
+                homes[v].reg = spec.calleeSaved[nextReg++];
+                savedRegs.push_back(homes[v].reg);
+            } else {
+                homes[v].inReg = false;
+                homes[v].slot = numSpills++;
+            }
+        }
+        std::sort(savedRegs.begin(), savedRegs.end());
+    }
+
+    void layoutFrame()
+    {
+        // sp+0: local arrays, then spill slots, then saved callee
+        // regs, then saved lr.
+        int64_t off = 0;
+        arrayOffs.clear();
+        for (const auto &arr : f.localArrays) {
+            off = (off + W - 1) / W * W;
+            arrayOffs.push_back(off);
+            off += arr.bytes;
+        }
+        off = (off + W - 1) / W * W;
+        spillBase = off;
+        off += static_cast<int64_t>(numSpills) * W;
+        savedBase = off;
+        off += static_cast<int64_t>(savedRegs.size()) * W;
+        lrOff = off;
+        off += W;
+        frameSize = (off + 15) / 16 * 16;
+        if (frameSize >= 4096) {
+            fatal("function '%s': frame too large (%lld bytes)",
+                  f.name.c_str(), static_cast<long long>(frameSize));
+        }
+    }
+
+    // ---- emission helpers ----------------------------------------------
+    void emitLabel(const std::string &label) { out += label + ":\n"; }
+
+    void ins(const std::string &text) { out += "    " + text + "\n"; }
+
+    std::string r(int reg) const { return spec.regName(reg); }
+
+    std::string blockLabel(int b) const
+    {
+        return strprintf("__%s_b%d", f.name.c_str(), b);
+    }
+
+    std::string retLabel() const
+    {
+        return strprintf("__%s_ret", f.name.c_str());
+    }
+
+    /** Materialise an arbitrary constant into a register. */
+    void loadConst(int reg, int64_t k)
+    {
+        const uint64_t uv = spec.xlen == 64
+                                ? static_cast<uint64_t>(k)
+                                : (static_cast<uint64_t>(k) & 0xffffffffull);
+        if (spec.xlen == 32 || uv <= 0xffffffffull) {
+            ins(strprintf("li %s, #%llu", r(reg).c_str(),
+                          static_cast<unsigned long long>(
+                              uv & 0xffffffffull)));
+            if (spec.xlen == 64 && (uv >> 32)) {
+                // unreachable due to the branch condition, kept for
+                // clarity
+            }
+            if (spec.xlen == 64 && uv > 0xffffffffull)
+                panic("loadConst fell through");
+            return;
+        }
+        // Full 64-bit constant: movz + up to 3 movk.
+        ins(strprintf("movz %s, #0x%llx, lsl 48", r(reg).c_str(),
+                      static_cast<unsigned long long>((uv >> 48) & 0xffff)));
+        for (int hw = 2; hw >= 0; --hw) {
+            ins(strprintf("movk %s, #0x%llx, lsl %d", r(reg).c_str(),
+                          static_cast<unsigned long long>(
+                              (uv >> (16 * hw)) & 0xffff),
+                          16 * hw));
+        }
+    }
+
+    /** Ensure a Value is in a register; uses `scratch` if needed. */
+    int valReg(const Value &v, int scratch)
+    {
+        if (v.isConst) {
+            loadConst(scratch, v.konst);
+            return scratch;
+        }
+        const Home &h = homes[v.vreg];
+        if (h.inReg)
+            return h.reg;
+        ins(strprintf("ldx %s, [sp, #%lld]", r(scratch).c_str(),
+                      static_cast<long long>(spillBase + h.slot * W)));
+        return scratch;
+    }
+
+    /** Register a result should be computed into. */
+    int dstReg(int vreg, int scratch)
+    {
+        const Home &h = homes[vreg];
+        return h.inReg ? h.reg : scratch;
+    }
+
+    /** Write back a result if its home is a frame slot. */
+    void commitDst(int vreg, int fromReg)
+    {
+        const Home &h = homes[vreg];
+        if (h.inReg) {
+            assert(h.reg == fromReg);
+            return;
+        }
+        ins(strprintf("stx %s, [sp, #%lld]", r(fromReg).c_str(),
+                      static_cast<long long>(spillBase + h.slot * W)));
+    }
+
+    void moveReg(int dst, int src)
+    {
+        if (dst != src)
+            ins(strprintf("mov %s, %s", r(dst).c_str(), r(src).c_str()));
+    }
+
+    // ---- prologue / epilogue --------------------------------------------
+    void emitPrologue()
+    {
+        ins(strprintf("addi sp, sp, #-%lld",
+                      static_cast<long long>(frameSize)));
+        ins(strprintf("stx lr, [sp, #%lld]",
+                      static_cast<long long>(lrOff)));
+        for (size_t i = 0; i < savedRegs.size(); ++i) {
+            ins(strprintf("stx %s, [sp, #%lld]", r(savedRegs[i]).c_str(),
+                          static_cast<long long>(savedBase +
+                                                 static_cast<int64_t>(i) *
+                                                     W)));
+        }
+        // Move incoming arguments into their homes.
+        for (int p = 0; p < f.numParams; ++p) {
+            const Home &h = homes[p];
+            const int argReg = spec.argRegs[p];
+            if (h.inReg) {
+                moveReg(h.reg, argReg);
+            } else if (h.slot >= 0) {
+                ins(strprintf("stx %s, [sp, #%lld]", r(argReg).c_str(),
+                              static_cast<long long>(spillBase +
+                                                     h.slot * W)));
+            }
+        }
+    }
+
+    void emitEpilogue()
+    {
+        emitLabel(retLabel());
+        for (size_t i = 0; i < savedRegs.size(); ++i) {
+            ins(strprintf("ldx %s, [sp, #%lld]", r(savedRegs[i]).c_str(),
+                          static_cast<long long>(savedBase +
+                                                 static_cast<int64_t>(i) *
+                                                     W)));
+        }
+        ins(strprintf("ldx lr, [sp, #%lld]",
+                      static_cast<long long>(lrOff)));
+        ins(strprintf("addi sp, sp, #%lld",
+                      static_cast<long long>(frameSize)));
+        ins("ret");
+    }
+
+    // ---- instruction selection ------------------------------------------
+    void emitInst(const Inst &inst)
+    {
+        const int t0 = spec.tempRegs[0];
+        const int t1 = spec.tempRegs[1];
+        const int t2 = spec.tempRegs[2];
+
+        switch (inst.op) {
+          case IrOp::Mov: {
+            if (inst.a.isConst) {
+                int d = dstReg(inst.dst, t0);
+                loadConst(d, inst.a.konst);
+                commitDst(inst.dst, d);
+            } else {
+                int s = valReg(inst.a, t0);
+                int d = dstReg(inst.dst, t0);
+                if (homes[inst.dst].inReg) {
+                    moveReg(d, s);
+                    commitDst(inst.dst, d);
+                } else {
+                    commitDst(inst.dst, s);
+                }
+            }
+            return;
+          }
+          case IrOp::Add:
+          case IrOp::Sub:
+          case IrOp::And:
+          case IrOp::Or:
+          case IrOp::Xor: {
+            // Immediate forms where the constant fits.
+            static const std::map<IrOp, const char *> iforms = {
+                {IrOp::Add, "addi"}, {IrOp::And, "andi"},
+                {IrOp::Or, "orri"},  {IrOp::Xor, "eori"}};
+            const int ib = spec.immBits();
+            const int64_t lo = -(1ll << (ib - 1)), hi = (1ll << (ib - 1));
+            int64_t k = inst.b.konst;
+            bool subImm = inst.op == IrOp::Sub && inst.b.isConst &&
+                          -k >= lo && -k < hi;
+            if (inst.b.isConst &&
+                ((iforms.count(inst.op) && k >= lo && k < hi) || subImm)) {
+                int a = valReg(inst.a, t0);
+                int d = dstReg(inst.dst, t1);
+                const char *mnem = subImm ? "addi" : iforms.at(inst.op);
+                ins(strprintf("%s %s, %s, #%lld", mnem, r(d).c_str(),
+                              r(a).c_str(),
+                              static_cast<long long>(subImm ? -k : k)));
+                commitDst(inst.dst, d);
+                return;
+            }
+            emitRRR(inst, rrrMnemonic(inst.op), t0, t1);
+            return;
+          }
+          case IrOp::Mul:
+          case IrOp::SDiv:
+          case IrOp::UDiv:
+          case IrOp::SRem:
+          case IrOp::URem:
+            emitRRR(inst, rrrMnemonic(inst.op), t0, t1);
+            return;
+          case IrOp::Shl:
+          case IrOp::LShr:
+          case IrOp::AShr: {
+            if (inst.b.isConst) {
+                const char *mnem = inst.op == IrOp::Shl    ? "lsli"
+                                   : inst.op == IrOp::LShr ? "lsri"
+                                                           : "asri";
+                int a = valReg(inst.a, t0);
+                int d = dstReg(inst.dst, t1);
+                ins(strprintf("%s %s, %s, #%lld", mnem, r(d).c_str(),
+                              r(a).c_str(),
+                              static_cast<long long>(inst.b.konst &
+                                                     (spec.xlen - 1))));
+                commitDst(inst.dst, d);
+                return;
+            }
+            const char *mnem = inst.op == IrOp::Shl    ? "lslv"
+                               : inst.op == IrOp::LShr ? "lsrv"
+                                                       : "asrv";
+            emitRRR(inst, mnem, t0, t1);
+            return;
+          }
+          case IrOp::CmpSLt:
+          case IrOp::CmpULt: {
+            emitRRR(inst, inst.op == IrOp::CmpSLt ? "slt" : "sltu", t0, t1);
+            return;
+          }
+          case IrOp::CmpSGt: {
+            int a = valReg(inst.a, t0);
+            int b = valReg(inst.b, t1);
+            int d = dstReg(inst.dst, t0);
+            ins(strprintf("slt %s, %s, %s", r(d).c_str(), r(b).c_str(),
+                          r(a).c_str()));
+            commitDst(inst.dst, d);
+            return;
+          }
+          case IrOp::CmpSLe:
+          case IrOp::CmpSGe:
+          case IrOp::CmpUGe: {
+            int a = valReg(inst.a, t0);
+            int b = valReg(inst.b, t1);
+            int d = dstReg(inst.dst, t0);
+            if (inst.op == IrOp::CmpSLe) {
+                ins(strprintf("slt %s, %s, %s", r(d).c_str(), r(b).c_str(),
+                              r(a).c_str()));
+            } else {
+                const char *mnem =
+                    inst.op == IrOp::CmpSGe ? "slt" : "sltu";
+                ins(strprintf("%s %s, %s, %s", mnem, r(d).c_str(),
+                              r(a).c_str(), r(b).c_str()));
+            }
+            ins(strprintf("eori %s, %s, #1", r(d).c_str(), r(d).c_str()));
+            commitDst(inst.dst, d);
+            return;
+          }
+          case IrOp::CmpEq:
+          case IrOp::CmpNe: {
+            int a = valReg(inst.a, t0);
+            int b = valReg(inst.b, t1);
+            int d = dstReg(inst.dst, t0);
+            ins(strprintf("eor %s, %s, %s", r(d).c_str(), r(a).c_str(),
+                          r(b).c_str()));
+            if (inst.op == IrOp::CmpEq) {
+                loadConst(t2, 1);
+                ins(strprintf("sltu %s, %s, %s", r(d).c_str(),
+                              r(d).c_str(), r(t2).c_str()));
+            } else {
+                loadConst(t2, 0);
+                ins(strprintf("sltu %s, %s, %s", r(d).c_str(),
+                              r(t2).c_str(), r(d).c_str()));
+            }
+            commitDst(inst.dst, d);
+            return;
+          }
+          case IrOp::Load: {
+            int a = valReg(inst.a, t0);
+            int d = dstReg(inst.dst, t1);
+            const char *mnem = inst.size == 1 ? "ldbu" : "ldx";
+            emitMemOp(mnem, d, a, inst.imm, t1);
+            commitDst(inst.dst, d);
+            return;
+          }
+          case IrOp::Store: {
+            int a = valReg(inst.a, t0);
+            int v = valReg(inst.b, t1);
+            const char *mnem = inst.size == 1 ? "stb" : "stx";
+            emitMemOp(mnem, v, a, inst.imm, t2);
+            return;
+          }
+          case IrOp::AddrGlobal: {
+            int d = dstReg(inst.dst, t0);
+            ins(strprintf("la %s, %s", r(d).c_str(),
+                          globalLabel(inst.globalId).c_str()));
+            if (inst.imm) {
+                ins(strprintf("addi %s, %s, #%lld", r(d).c_str(),
+                              r(d).c_str(),
+                              static_cast<long long>(inst.imm)));
+            }
+            commitDst(inst.dst, d);
+            return;
+          }
+          case IrOp::AddrLocal: {
+            int d = dstReg(inst.dst, t0);
+            ins(strprintf("addi %s, sp, #%lld", r(d).c_str(),
+                          static_cast<long long>(arrayOffs[inst.localId] +
+                                                 inst.imm)));
+            commitDst(inst.dst, d);
+            return;
+          }
+          case IrOp::Call: {
+            for (size_t i = 0; i < inst.args.size(); ++i) {
+                const int argReg = spec.argRegs[i];
+                if (inst.args[i].isConst) {
+                    loadConst(argReg, inst.args[i].konst);
+                } else {
+                    int s = valReg(inst.args[i], argReg);
+                    moveReg(argReg, s);
+                }
+            }
+            ins(strprintf("bl %s", m.funcs[inst.callee].name.c_str()));
+            if (inst.dst >= 0) {
+                int d = dstReg(inst.dst, spec.argRegs[0]);
+                moveReg(d, spec.argRegs[0]);
+                commitDst(inst.dst, d);
+            }
+            return;
+          }
+          case IrOp::Syscall: {
+            for (size_t i = 0; i < inst.args.size(); ++i) {
+                const int argReg = spec.argRegs[i];
+                if (inst.args[i].isConst) {
+                    loadConst(argReg, inst.args[i].konst);
+                } else {
+                    int s = valReg(inst.args[i], argReg);
+                    moveReg(argReg, s);
+                }
+            }
+            loadConst(spec.syscallNr, inst.sysNr);
+            ins("syscall");
+            if (inst.dst >= 0) {
+                int d = dstReg(inst.dst, spec.argRegs[0]);
+                moveReg(d, spec.argRegs[0]);
+                commitDst(inst.dst, d);
+            }
+            return;
+          }
+          case IrOp::CacheClean: {
+            int a = valReg(inst.a, t0);
+            ins(strprintf("dccb %s", r(a).c_str()));
+            return;
+          }
+          case IrOp::Br:
+            ins(strprintf("b %s", blockLabel(inst.target0).c_str()));
+            return;
+          case IrOp::CondBr: {
+            int c = valReg(inst.a, t0);
+            int zero;
+            if (spec.zeroReg >= 0) {
+                zero = spec.zeroReg;
+            } else {
+                loadConst(t2, 0);
+                zero = t2;
+            }
+            ins(strprintf("bne %s, %s, %s", r(c).c_str(), r(zero).c_str(),
+                          blockLabel(inst.target0).c_str()));
+            ins(strprintf("b %s", blockLabel(inst.target1).c_str()));
+            return;
+          }
+          case IrOp::Ret: {
+            if (inst.hasA) {
+                const int a0 = spec.argRegs[0];
+                if (inst.a.isConst) {
+                    loadConst(a0, inst.a.konst);
+                } else {
+                    int s = valReg(inst.a, a0);
+                    moveReg(a0, s);
+                }
+            }
+            ins(strprintf("b %s", retLabel().c_str()));
+            return;
+          }
+        }
+        panic("unhandled IR op in backend");
+    }
+
+    static const char *rrrMnemonic(IrOp op)
+    {
+        switch (op) {
+          case IrOp::Add: return "add";
+          case IrOp::Sub: return "sub";
+          case IrOp::And: return "and";
+          case IrOp::Or: return "orr";
+          case IrOp::Xor: return "eor";
+          case IrOp::Mul: return "mul";
+          case IrOp::SDiv: return "sdiv";
+          case IrOp::UDiv: return "udiv";
+          case IrOp::SRem: return "srem";
+          case IrOp::URem: return "urem";
+          default: panic("no RRR mnemonic");
+        }
+    }
+
+    void emitRRR(const Inst &inst, const char *mnem, int t0, int t1)
+    {
+        int a = valReg(inst.a, t0);
+        int b = valReg(inst.b, t1);
+        int d = dstReg(inst.dst, t0);
+        ins(strprintf("%s %s, %s, %s", mnem, r(d).c_str(), r(a).c_str(),
+                      r(b).c_str()));
+        commitDst(inst.dst, d);
+    }
+
+    /** Emit a load/store with an offset that may exceed the imm field. */
+    void emitMemOp(const char *mnem, int dataReg, int baseReg, int64_t off,
+                   int scratch)
+    {
+        const int ib = spec.immBits();
+        if (off >= -(1ll << (ib - 1)) && off < (1ll << (ib - 1))) {
+            ins(strprintf("%s %s, [%s, #%lld]", mnem, r(dataReg).c_str(),
+                          r(baseReg).c_str(), static_cast<long long>(off)));
+            return;
+        }
+        loadConst(scratch, off);
+        ins(strprintf("add %s, %s, %s", r(scratch).c_str(),
+                      r(scratch).c_str(), r(baseReg).c_str()));
+        ins(strprintf("%s %s, [%s, #0]", mnem, r(dataReg).c_str(),
+                      r(scratch).c_str()));
+    }
+
+    std::string globalLabel(int id) const
+    {
+        return "__g_" + m.globals[id].name;
+    }
+
+    const ir::Module &m;
+    const ir::Func &f;
+    const IsaSpec &spec;
+    std::string &out;
+    const int W;
+
+    std::vector<Home> homes;
+    std::vector<int> savedRegs;
+    int numSpills = 0;
+    std::vector<int64_t> arrayOffs;
+    int64_t spillBase = 0;
+    int64_t savedBase = 0;
+    int64_t lrOff = 0;
+    int64_t frameSize = 0;
+};
+
+} // namespace
+
+GenResult
+generateProgram(const ir::Module &m, const BackendOptions &opts)
+{
+    GenResult res;
+    const IsaSpec &spec = IsaSpec::get(opts.isa);
+    if (spec.xlen != m.xlen) {
+        res.error = strprintf("IR xlen %d does not match target %s", m.xlen,
+                              isaName(opts.isa));
+        return res;
+    }
+
+    std::string text;
+    text += strprintf(".isa %s\n", isaName(opts.isa));
+    text += strprintf(".org 0x%x\n", opts.textBase);
+
+    if (opts.userEntry) {
+        if (m.findFunc("main") < 0) {
+            res.error = "user program has no 'main'";
+            return res;
+        }
+        text += "_start:\n";
+        text += strprintf("    li sp, #0x%x\n", memmap::USER_STACK_TOP);
+        text += "    bl main\n";
+        // exit(main()) — result already in a0.
+        text += strprintf("    li %s, #%u\n",
+                          spec.regName(spec.syscallNr).c_str(),
+                          static_cast<unsigned>(Syscall::Exit));
+        text += "    syscall\n";
+        // The exit syscall halts the machine; pad defensively.
+        text += "    b _start_hang\n_start_hang:\n    b _start_hang\n";
+    }
+
+    for (const ir::Func &fn : m.funcs) {
+        FuncCodegen gen(m, fn, spec, text);
+        gen.run();
+    }
+
+    text += strprintf(".org 0x%x\n", opts.dataBase);
+    for (const ir::Global &g : m.globals) {
+        text += strprintf(".align %d\n", std::max(g.align, 4));
+        text += strprintf("__g_%s:\n", g.name.c_str());
+        size_t i = 0;
+        // Emit words where aligned, bytes otherwise.
+        while (i + 4 <= g.init.size()) {
+            uint32_t w = static_cast<uint32_t>(g.init[i]) |
+                         (static_cast<uint32_t>(g.init[i + 1]) << 8) |
+                         (static_cast<uint32_t>(g.init[i + 2]) << 16) |
+                         (static_cast<uint32_t>(g.init[i + 3]) << 24);
+            text += strprintf("    .word 0x%08x\n", w);
+            i += 4;
+        }
+        while (i < g.init.size()) {
+            text += strprintf("    .byte %u\n", g.init[i]);
+            ++i;
+        }
+        const int64_t remaining =
+            g.bytes - static_cast<int64_t>(g.init.size());
+        if (remaining > 0)
+            text += strprintf("    .space %lld\n",
+                              static_cast<long long>(remaining));
+    }
+
+    res.asmText = text;
+    AsmResult ar = assemble(text, opts.isa, opts.textBase);
+    if (!ar.ok) {
+        res.error = "assembly failed: " + ar.error;
+        return res;
+    }
+    res.program = std::move(ar.program);
+    if (opts.userEntry)
+        res.program.entry = res.program.symbol("_start");
+    res.ok = true;
+    return res;
+}
+
+} // namespace vstack::mcl

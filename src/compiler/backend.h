@@ -1,0 +1,47 @@
+/**
+ * @file
+ * IR -> guest assembly back-end.
+ *
+ * One back-end serves both ISAs: it emits assembly text (consumed by
+ * the assembler in src/isa) and differs per target in register count,
+ * constant materialisation, word size, and calling-convention details
+ * taken from IsaSpec.  Virtual registers are homed in callee-saved
+ * registers (most-used first) and spill to frame slots — av32's small
+ * register file therefore produces markedly more memory traffic than
+ * av64, mirroring the paper's Armv7/Armv8 axis.
+ */
+#ifndef VSTACK_COMPILER_BACKEND_H
+#define VSTACK_COMPILER_BACKEND_H
+
+#include <string>
+
+#include "compiler/ir.h"
+#include "isa/program.h"
+
+namespace vstack::mcl
+{
+
+/** Code generation options. */
+struct BackendOptions
+{
+    IsaId isa = IsaId::Av64;
+    uint32_t textBase = 0;  ///< .org for the text section
+    uint32_t dataBase = 0;  ///< .org for the data section
+    bool userEntry = true;  ///< emit the _start stub (user programs)
+};
+
+/** Result of code generation. */
+struct GenResult
+{
+    bool ok = false;
+    std::string error;
+    std::string asmText; ///< generated assembly (for inspection)
+    Program program;     ///< assembled image
+};
+
+/** Generate and assemble a program image from IR. */
+GenResult generateProgram(const ir::Module &m, const BackendOptions &opts);
+
+} // namespace vstack::mcl
+
+#endif // VSTACK_COMPILER_BACKEND_H

@@ -1,0 +1,205 @@
+#include "compile.h"
+
+#include "compiler/irgen.h"
+#include "compiler/parser.h"
+#include "machine/memmap.h"
+#include "support/logging.h"
+
+namespace vstack::mcl
+{
+
+const std::string &
+runtimeSource()
+{
+    static const std::string src = R"MCL(
+// ---- vstack MCL runtime library ------------------------------------
+// Syscall wrappers and small helpers.  These functions model the
+// "library code" of the paper's case study: the software-based
+// fault-tolerance pass does not protect them.
+
+fn write(p: byte*, n: int): int {
+    return __syscall(1, p as int, n);
+}
+
+fn exit_prog(c: int) {
+    __syscall(2, c, 0);
+}
+
+fn detect(site: int) {
+    __syscall(3, site, 0);
+}
+
+fn rt_strlen(s: byte*): int {
+    var n: int = 0;
+    while (s[n] != 0) { n = n + 1; }
+    return n;
+}
+
+fn print_str(s: byte*) {
+    write(s, rt_strlen(s));
+}
+
+fn print_int(x: int) {
+    var buf: byte[24];
+    var i: int = 23;
+    var neg: int = 0;
+    if (x < 0) { neg = 1; x = 0 - x; }
+    if (x == 0) { buf[i] = '0'; i = i - 1; }
+    while (x != 0) {
+        buf[i] = 48 + __urem(x, 10);
+        x = __udiv(x, 10);
+        i = i - 1;
+    }
+    if (neg != 0) { buf[i] = '-'; i = i - 1; }
+    write(&buf[i + 1], 23 - i);
+}
+
+fn print_hex(x: int, digits: int) {
+    var buf: byte[20];
+    var i: int = 0;
+    while (i < digits) {
+        var nib: int = __lshr(x, 4 * (digits - 1 - i)) & 15;
+        if (nib < 10) { buf[i] = 48 + nib; }
+        else { buf[i] = 87 + nib; }
+        i = i + 1;
+    }
+    write(&buf[0], digits);
+}
+
+fn print_nl() {
+    var buf: byte[1];
+    buf[0] = 10;
+    write(&buf[0], 1);
+}
+
+fn mem_copy(dst: byte*, src: byte*, n: int) {
+    var i: int = 0;
+    while (i < n) { dst[i] = src[i]; i = i + 1; }
+}
+
+fn mem_set(dst: byte*, v: int, n: int) {
+    var i: int = 0;
+    while (i < n) { dst[i] = v; i = i + 1; }
+}
+
+// Serialise n ints as packed little-endian 32-bit words (the portable
+// "binary output file" format used by the workloads).
+fn write_words32(p: int*, n: int) {
+    var buf: byte[64];
+    var i: int = 0;
+    while (i < n) {
+        var chunk: int = n - i;
+        if (chunk > 16) { chunk = 16; }
+        var j: int = 0;
+        while (j < chunk) {
+            var v: int = p[i + j];
+            buf[j * 4] = v & 0xff;
+            buf[j * 4 + 1] = __lshr(v, 8) & 0xff;
+            buf[j * 4 + 2] = __lshr(v, 16) & 0xff;
+            buf[j * 4 + 3] = __lshr(v & 0xffffffff, 24) & 0xff;
+            j = j + 1;
+        }
+        write(&buf[0], chunk * 4);
+        i = i + chunk;
+    }
+}
+)MCL";
+    return src;
+}
+
+const std::vector<std::string> &
+runtimeFuncNames()
+{
+    static const std::vector<std::string> names = {
+        "write",     "exit_prog", "detect",   "rt_strlen", "print_str",
+        "print_int", "print_hex", "print_nl", "mem_copy",  "mem_set",
+        "write_words32",
+    };
+    return names;
+}
+
+FrontendResult
+compileToIr(const std::string &source, int xlen, bool withRuntime)
+{
+    FrontendResult res;
+    std::string full =
+        withRuntime ? runtimeSource() + "\n" + source : source;
+    ParseResult pr = parse(full);
+    if (!pr.ok) {
+        res.error = pr.error;
+        return res;
+    }
+    IrGenResult ir = generateIr(pr.module, xlen);
+    if (!ir.ok) {
+        res.error = ir.error;
+        return res;
+    }
+    res.module = std::move(ir.module);
+    res.ok = true;
+    return res;
+}
+
+BuildResult
+buildUserProgram(const std::string &source, IsaId isa, bool withRuntime)
+{
+    BuildResult res;
+    FrontendResult fr =
+        compileToIr(source, IsaSpec::get(isa).xlen, withRuntime);
+    if (!fr.ok) {
+        res.error = fr.error;
+        return res;
+    }
+    res.ir = std::move(fr.module);
+    BuildResult built = buildUserFromIr(res.ir, isa);
+    if (!built.ok) {
+        res.error = built.error;
+        return res;
+    }
+    res.asmText = std::move(built.asmText);
+    res.program = std::move(built.program);
+    res.ok = true;
+    return res;
+}
+
+BuildResult
+buildUserFromIr(const ir::Module &m, IsaId isa)
+{
+    BuildResult res;
+    BackendOptions opts;
+    opts.isa = isa;
+    opts.textBase = memmap::USER_TEXT;
+    opts.dataBase = memmap::USER_DATA;
+    opts.userEntry = true;
+    GenResult gen = generateProgram(m, opts);
+    if (!gen.ok) {
+        res.error = gen.error;
+        return res;
+    }
+    res.asmText = std::move(gen.asmText);
+    res.program = std::move(gen.program);
+    res.ok = true;
+    return res;
+}
+
+BuildResult
+buildKernelFromIr(const ir::Module &m, IsaId isa, uint32_t textBase,
+                  uint32_t dataBase)
+{
+    BuildResult res;
+    BackendOptions opts;
+    opts.isa = isa;
+    opts.textBase = textBase;
+    opts.dataBase = dataBase;
+    opts.userEntry = false;
+    GenResult gen = generateProgram(m, opts);
+    if (!gen.ok) {
+        res.error = gen.error;
+        return res;
+    }
+    res.asmText = std::move(gen.asmText);
+    res.program = std::move(gen.program);
+    res.ok = true;
+    return res;
+}
+
+} // namespace vstack::mcl

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Compiler driver: MCL source -> IR -> guest program image.
+ */
+#ifndef VSTACK_COMPILER_COMPILE_H
+#define VSTACK_COMPILER_COMPILE_H
+
+#include <string>
+#include <vector>
+
+#include "compiler/backend.h"
+#include "compiler/ir.h"
+#include "isa/program.h"
+
+namespace vstack::mcl
+{
+
+/** Result of a full build. */
+struct BuildResult
+{
+    bool ok = false;
+    std::string error;
+    ir::Module ir;
+    std::string asmText;
+    Program program;
+};
+
+/**
+ * The MCL runtime library prepended to user programs: syscall
+ * wrappers (write/exit_prog/detect), printing helpers, and memory
+ * utilities.  The paper's software fault-tolerance technique protects
+ * only application code, so the FT pass skips these functions (see
+ * runtimeFuncNames()).
+ */
+const std::string &runtimeSource();
+
+/** Names of runtime-library functions (excluded from FT hardening). */
+const std::vector<std::string> &runtimeFuncNames();
+
+/** Parse + lower user source (runtime prepended) to IR. */
+struct FrontendResult
+{
+    bool ok = false;
+    std::string error;
+    ir::Module module;
+};
+FrontendResult compileToIr(const std::string &source, int xlen,
+                           bool withRuntime = true);
+
+/** Full pipeline for a user program image (text/data in user space). */
+BuildResult buildUserProgram(const std::string &source, IsaId isa,
+                             bool withRuntime = true);
+
+/** Code-generate a user image from already-transformed IR. */
+BuildResult buildUserFromIr(const ir::Module &m, IsaId isa);
+
+/** Code-generate a kernel-space image (no _start; kernel layout). */
+BuildResult buildKernelFromIr(const ir::Module &m, IsaId isa,
+                              uint32_t textBase, uint32_t dataBase);
+
+} // namespace vstack::mcl
+
+#endif // VSTACK_COMPILER_COMPILE_H

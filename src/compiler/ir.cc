@@ -1,0 +1,215 @@
+#include "ir.h"
+
+#include "support/logging.h"
+
+namespace vstack::ir
+{
+
+namespace
+{
+
+const char *
+opName(IrOp op)
+{
+    switch (op) {
+      case IrOp::Add: return "add";
+      case IrOp::Sub: return "sub";
+      case IrOp::Mul: return "mul";
+      case IrOp::SDiv: return "sdiv";
+      case IrOp::UDiv: return "udiv";
+      case IrOp::SRem: return "srem";
+      case IrOp::URem: return "urem";
+      case IrOp::And: return "and";
+      case IrOp::Or: return "or";
+      case IrOp::Xor: return "xor";
+      case IrOp::Shl: return "shl";
+      case IrOp::LShr: return "lshr";
+      case IrOp::AShr: return "ashr";
+      case IrOp::CmpEq: return "cmpeq";
+      case IrOp::CmpNe: return "cmpne";
+      case IrOp::CmpSLt: return "cmpslt";
+      case IrOp::CmpSLe: return "cmpsle";
+      case IrOp::CmpSGt: return "cmpsgt";
+      case IrOp::CmpSGe: return "cmpsge";
+      case IrOp::CmpULt: return "cmpult";
+      case IrOp::CmpUGe: return "cmpuge";
+      case IrOp::Mov: return "mov";
+      case IrOp::Load: return "load";
+      case IrOp::Store: return "store";
+      case IrOp::AddrGlobal: return "addrg";
+      case IrOp::AddrLocal: return "addrl";
+      case IrOp::Call: return "call";
+      case IrOp::Syscall: return "syscall";
+      case IrOp::Br: return "br";
+      case IrOp::CondBr: return "condbr";
+      case IrOp::Ret: return "ret";
+      case IrOp::CacheClean: return "dcclean";
+    }
+    return "?";
+}
+
+std::string
+valueStr(const Value &v)
+{
+    if (v.isConst)
+        return strprintf("#%lld", static_cast<long long>(v.konst));
+    return strprintf("v%d", v.vreg);
+}
+
+} // namespace
+
+std::string
+verify(const Module &m)
+{
+    if (m.xlen != 32 && m.xlen != 64)
+        return "bad xlen";
+    for (size_t fi = 0; fi < m.funcs.size(); ++fi) {
+        const Func &f = m.funcs[fi];
+        auto err = [&](const std::string &msg) {
+            return strprintf("func %s: %s", f.name.c_str(), msg.c_str());
+        };
+        if (f.blocks.empty())
+            return err("no blocks");
+        if (f.numParams > f.numVregs)
+            return err("params exceed vregs");
+        for (size_t bi = 0; bi < f.blocks.size(); ++bi) {
+            const Block &b = f.blocks[bi];
+            if (b.insts.empty())
+                return err(strprintf("block %zu empty", bi));
+            for (size_t ii = 0; ii < b.insts.size(); ++ii) {
+                const Inst &inst = b.insts[ii];
+                const bool last = ii + 1 == b.insts.size();
+                if (inst.isTerminator() != last) {
+                    return err(strprintf(
+                        "block %zu inst %zu: terminator placement", bi, ii));
+                }
+                auto checkVal = [&](const Value &v) {
+                    return v.isConst ||
+                           (v.vreg >= 0 && v.vreg < f.numVregs);
+                };
+                if (inst.hasA && !checkVal(inst.a))
+                    return err("bad operand a");
+                if (inst.hasB && !checkVal(inst.b))
+                    return err("bad operand b");
+                if (inst.dst >= f.numVregs)
+                    return err("bad dst");
+                for (const Value &arg : inst.args) {
+                    if (!checkVal(arg))
+                        return err("bad call arg");
+                }
+                if (inst.op == IrOp::Br || inst.op == IrOp::CondBr) {
+                    if (inst.target0 < 0 ||
+                        inst.target0 >= static_cast<int>(f.blocks.size()))
+                        return err("bad branch target0");
+                }
+                if (inst.op == IrOp::CondBr) {
+                    if (inst.target1 < 0 ||
+                        inst.target1 >= static_cast<int>(f.blocks.size()))
+                        return err("bad branch target1");
+                }
+                if (inst.op == IrOp::Call) {
+                    if (inst.callee < 0 ||
+                        inst.callee >= static_cast<int>(m.funcs.size()))
+                        return err("bad callee");
+                }
+                if (inst.op == IrOp::AddrGlobal) {
+                    if (inst.globalId < 0 ||
+                        inst.globalId >= static_cast<int>(m.globals.size()))
+                        return err("bad globalId");
+                }
+                if (inst.op == IrOp::AddrLocal) {
+                    if (inst.localId < 0 ||
+                        inst.localId >=
+                            static_cast<int>(f.localArrays.size()))
+                        return err("bad localId");
+                }
+                if (inst.op == IrOp::Load || inst.op == IrOp::Store) {
+                    if (inst.size != 1 && inst.size != m.wordBytes())
+                        return err("bad access size");
+                }
+            }
+        }
+    }
+    return "";
+}
+
+std::string
+print(const Module &m)
+{
+    std::string out = strprintf("module xlen=%d\n", m.xlen);
+    for (const Global &g : m.globals) {
+        out += strprintf("global %s: %lld bytes align %d (%zu init)\n",
+                         g.name.c_str(), static_cast<long long>(g.bytes),
+                         g.align, g.init.size());
+    }
+    for (const Func &f : m.funcs) {
+        out += strprintf("fn %s(%d) vregs=%d%s\n", f.name.c_str(),
+                         f.numParams, f.numVregs,
+                         f.hasResult ? " -> int" : "");
+        for (size_t la = 0; la < f.localArrays.size(); ++la) {
+            out += strprintf("  frame[%zu]: %lld bytes\n", la,
+                             static_cast<long long>(f.localArrays[la].bytes));
+        }
+        for (size_t bi = 0; bi < f.blocks.size(); ++bi) {
+            out += strprintf(".b%zu:\n", bi);
+            for (const Inst &inst : f.blocks[bi].insts) {
+                out += "    ";
+                if (inst.dst >= 0)
+                    out += strprintf("v%d = ", inst.dst);
+                out += opName(inst.op);
+                if (inst.hasA)
+                    out += " " + valueStr(inst.a);
+                if (inst.hasB)
+                    out += ", " + valueStr(inst.b);
+                if (inst.op == IrOp::Load || inst.op == IrOp::Store ||
+                    inst.op == IrOp::AddrGlobal ||
+                    inst.op == IrOp::AddrLocal) {
+                    out += strprintf(" imm=%lld size=%d",
+                                     static_cast<long long>(inst.imm),
+                                     inst.size);
+                }
+                if (inst.op == IrOp::AddrGlobal)
+                    out += strprintf(" @%s",
+                                     m.globals[inst.globalId].name.c_str());
+                if (inst.op == IrOp::AddrLocal)
+                    out += strprintf(" frame[%d]", inst.localId);
+                if (inst.op == IrOp::Call) {
+                    out += " " + m.funcs[inst.callee].name + "(";
+                    for (size_t i = 0; i < inst.args.size(); ++i) {
+                        if (i)
+                            out += ", ";
+                        out += valueStr(inst.args[i]);
+                    }
+                    out += ")";
+                }
+                if (inst.op == IrOp::Syscall) {
+                    out += strprintf(" nr=%u (", inst.sysNr);
+                    for (size_t i = 0; i < inst.args.size(); ++i) {
+                        if (i)
+                            out += ", ";
+                        out += valueStr(inst.args[i]);
+                    }
+                    out += ")";
+                }
+                if (inst.op == IrOp::Br)
+                    out += strprintf(" .b%d", inst.target0);
+                if (inst.op == IrOp::CondBr)
+                    out += strprintf(" .b%d, .b%d", inst.target0,
+                                     inst.target1);
+                out += "\n";
+            }
+        }
+    }
+    return out;
+}
+
+size_t
+instCount(const Func &f)
+{
+    size_t n = 0;
+    for (const Block &b : f.blocks)
+        n += b.insts.size();
+    return n;
+}
+
+} // namespace vstack::ir

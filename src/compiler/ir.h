@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Three-address intermediate representation.
+ *
+ * The IR is the repo's analog of LLVM IR in the paper's toolchain: the
+ * software-level fault injector (the LLFI analog) injects bit flips
+ * into the destination values of dynamic IR instructions, and the
+ * fault-tolerance pass (AN-encoding + duplicated instructions)
+ * rewrites IR.  The same IR feeds both guest back-ends.
+ *
+ * Values are virtual registers holding XLEN-bit integers (the module
+ * carries the target register width).  Scalar locals and parameters
+ * live in virtual registers; local arrays live in frame slots accessed
+ * through AddrLocal.
+ */
+#ifndef VSTACK_COMPILER_IR_H
+#define VSTACK_COMPILER_IR_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vstack::ir
+{
+
+enum class IrOp : uint8_t {
+    // dst = a OP b
+    Add, Sub, Mul, SDiv, UDiv, SRem, URem,
+    And, Or, Xor, Shl, LShr, AShr,
+    CmpEq, CmpNe, CmpSLt, CmpSLe, CmpSGt, CmpSGe, CmpULt, CmpUGe,
+    Mov,        ///< dst = a
+    Load,       ///< dst = mem[a + imm] (size bytes)
+    Store,      ///< mem[a + imm] = b (size bytes)
+    AddrGlobal, ///< dst = &globals[globalId] + imm
+    AddrLocal,  ///< dst = &frame_array[localId] + imm
+    Call,       ///< dst? = funcs[callee](args...)
+    Syscall,    ///< dst = syscall(sysNr; args...)
+    Br,         ///< goto target0
+    CondBr,     ///< if (a != 0) goto target0 else target1
+    Ret,        ///< return a (if hasA)
+    CacheClean, ///< data-cache clean of the line containing address a
+};
+
+/** An operand: a virtual register or an immediate constant. */
+struct Value
+{
+    bool isConst = true;
+    int vreg = -1;
+    int64_t konst = 0;
+
+    static Value reg(int v) { return {false, v, 0}; }
+    static Value imm(int64_t k) { return {true, -1, k}; }
+};
+
+/** One IR instruction. */
+struct Inst
+{
+    IrOp op;
+    int dst = -1;      ///< destination vreg, or -1
+    bool hasA = false;
+    bool hasB = false;
+    Value a, b;
+    int64_t imm = 0;   ///< Load/Store/Addr* displacement
+    int size = 0;      ///< Load/Store access size in bytes
+    int target0 = -1;  ///< Br/CondBr
+    int target1 = -1;  ///< CondBr
+    int callee = -1;   ///< Call: function index
+    uint32_t sysNr = 0;
+    int globalId = -1; ///< AddrGlobal
+    int localId = -1;  ///< AddrLocal
+    std::vector<Value> args; ///< Call/Syscall arguments
+
+    /** True for Br/CondBr/Ret. */
+    bool isTerminator() const
+    {
+        return op == IrOp::Br || op == IrOp::CondBr || op == IrOp::Ret;
+    }
+};
+
+/** A basic block: straight-line instructions ending in a terminator. */
+struct Block
+{
+    std::vector<Inst> insts;
+};
+
+/** A fixed-size stack array in a function frame. */
+struct LocalArray
+{
+    int64_t bytes;
+    int align;
+};
+
+struct Func
+{
+    std::string name;
+    int numParams = 0; ///< params are vregs [0, numParams)
+    int numVregs = 0;
+    bool hasResult = false;
+    std::vector<Block> blocks; ///< block 0 is the entry
+    std::vector<LocalArray> localArrays;
+};
+
+/** A module-level variable (data bytes are the initial image). */
+struct Global
+{
+    std::string name;
+    int64_t bytes;
+    int align;
+    std::vector<uint8_t> init; ///< zero-padded to `bytes` at load
+};
+
+struct Module
+{
+    int xlen = 64; ///< target register width (32 or 64)
+    std::vector<Global> globals;
+    std::vector<Func> funcs;
+    std::map<std::string, int> funcIndex;
+
+    int wordBytes() const { return xlen / 8; }
+
+    /** Find a function index by name; -1 if absent. */
+    int findFunc(const std::string &name) const
+    {
+        auto it = funcIndex.find(name);
+        return it == funcIndex.end() ? -1 : it->second;
+    }
+};
+
+/**
+ * Check structural invariants (terminators, operand indices, targets).
+ * Returns an empty string on success or a description of the first
+ * violation.
+ */
+std::string verify(const Module &m);
+
+/** Human-readable dump of a module (for tests and debugging). */
+std::string print(const Module &m);
+
+/** Count instructions in a function (static size). */
+size_t instCount(const Func &f);
+
+} // namespace vstack::ir
+
+#endif // VSTACK_COMPILER_IR_H

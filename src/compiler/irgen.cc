@@ -1,0 +1,819 @@
+#include "irgen.h"
+
+#include <cassert>
+#include <map>
+#include <stdexcept>
+
+#include "support/logging.h"
+
+namespace vstack::mcl
+{
+
+namespace
+{
+
+using ir::Inst;
+using ir::IrOp;
+using ir::Value;
+
+struct CompileError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+/** A typed rvalue. */
+struct TypedVal
+{
+    Value v;
+    Type t;
+};
+
+/** Where a name lives. */
+struct Binding
+{
+    enum class Kind { VregVar, LocalArray, Global, Func } kind;
+    int index = -1; ///< vreg / localArray id / global id / func id
+    Type type;
+};
+
+class FuncGen
+{
+  public:
+    FuncGen(ir::Module &mod, const Module &ast, const FuncDecl &decl,
+            const std::map<std::string, Binding> &moduleScope)
+        : mod(mod), ast(ast), decl(decl), moduleScope(moduleScope)
+    {}
+
+    void run(ir::Func &out)
+    {
+        fn = &out;
+        fn->name = decl.name;
+        fn->numParams = static_cast<int>(decl.params.size());
+        fn->hasResult = !decl.retType.isVoid();
+        fn->blocks.emplace_back();
+        curBlock = 0;
+
+        pushScope();
+        for (size_t i = 0; i < decl.params.size(); ++i) {
+            const auto &[pname, ptype] = decl.params[i];
+            if (ptype.isArray())
+                fail(decl.line, "array parameters are not supported");
+            Binding b{Binding::Kind::VregVar, static_cast<int>(i), ptype};
+            declare(pname, b, decl.line);
+        }
+        fn->numVregs = fn->numParams;
+
+        for (const StmtPtr &s : decl.body)
+            genStmt(*s);
+        popScope();
+
+        // Implicit return at the end of the function.
+        if (!blockTerminated()) {
+            Inst ret;
+            ret.op = IrOp::Ret;
+            if (fn->hasResult) {
+                ret.hasA = true;
+                ret.a = Value::imm(0);
+            }
+            emit(std::move(ret));
+        }
+    }
+
+  private:
+    [[noreturn]] void fail(int line, const std::string &msg)
+    {
+        throw CompileError(strprintf("%s: line %d: %s", decl.name.c_str(),
+                                     line, msg.c_str()));
+    }
+
+    // ---- scopes -------------------------------------------------------
+    void pushScope() { scopes.emplace_back(); }
+    void popScope() { scopes.pop_back(); }
+
+    void declare(const std::string &name, const Binding &b, int line)
+    {
+        auto &scope = scopes.back();
+        if (scope.count(name))
+            fail(line, "redefinition of '" + name + "'");
+        scope[name] = b;
+    }
+
+    const Binding *lookup(const std::string &name) const
+    {
+        for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+            auto f = it->find(name);
+            if (f != it->end())
+                return &f->second;
+        }
+        auto f = moduleScope.find(name);
+        return f == moduleScope.end() ? nullptr : &f->second;
+    }
+
+    // ---- block/emit helpers -------------------------------------------
+    int newBlock()
+    {
+        fn->blocks.emplace_back();
+        return static_cast<int>(fn->blocks.size()) - 1;
+    }
+
+    bool blockTerminated() const
+    {
+        const auto &insts = fn->blocks[curBlock].insts;
+        return !insts.empty() && insts.back().isTerminator();
+    }
+
+    void emit(Inst inst)
+    {
+        assert(!blockTerminated());
+        fn->blocks[curBlock].insts.push_back(std::move(inst));
+    }
+
+    void switchTo(int block)
+    {
+        assert(blockTerminated());
+        curBlock = block;
+    }
+
+    void br(int target)
+    {
+        Inst i;
+        i.op = IrOp::Br;
+        i.target0 = target;
+        emit(std::move(i));
+    }
+
+    void condBr(Value cond, int thenB, int elseB)
+    {
+        Inst i;
+        i.op = IrOp::CondBr;
+        i.hasA = true;
+        i.a = cond;
+        i.target0 = thenB;
+        i.target1 = elseB;
+        emit(std::move(i));
+    }
+
+    int newVreg() { return fn->numVregs++; }
+
+    Value emitBin(IrOp op, Value a, Value b)
+    {
+        Inst i;
+        i.op = op;
+        i.dst = newVreg();
+        i.hasA = i.hasB = true;
+        i.a = a;
+        i.b = b;
+        int dst = i.dst;
+        emit(std::move(i));
+        return Value::reg(dst);
+    }
+
+    Value emitMov(Value a)
+    {
+        Inst i;
+        i.op = IrOp::Mov;
+        i.dst = newVreg();
+        i.hasA = true;
+        i.a = a;
+        int dst = i.dst;
+        emit(std::move(i));
+        return Value::reg(dst);
+    }
+
+    void emitMovTo(int dstVreg, Value a)
+    {
+        Inst i;
+        i.op = IrOp::Mov;
+        i.dst = dstVreg;
+        i.hasA = true;
+        i.a = a;
+        emit(std::move(i));
+    }
+
+    Value emitLoad(Value addr, int64_t off, int size)
+    {
+        Inst i;
+        i.op = IrOp::Load;
+        i.dst = newVreg();
+        i.hasA = true;
+        i.a = addr;
+        i.imm = off;
+        i.size = size;
+        int dst = i.dst;
+        emit(std::move(i));
+        return Value::reg(dst);
+    }
+
+    void emitStore(Value addr, int64_t off, Value val, int size)
+    {
+        Inst i;
+        i.op = IrOp::Store;
+        i.hasA = i.hasB = true;
+        i.a = addr;
+        i.b = val;
+        i.imm = off;
+        i.size = size;
+        emit(std::move(i));
+    }
+
+    // ---- statements ---------------------------------------------------
+    void genStmtList(const std::vector<StmtPtr> &stmts)
+    {
+        pushScope();
+        for (const StmtPtr &s : stmts) {
+            if (blockTerminated()) {
+                // Unreachable code after break/return: drop it.
+                break;
+            }
+            genStmt(*s);
+        }
+        popScope();
+    }
+
+    void genStmt(const Stmt &s)
+    {
+        switch (s.kind) {
+          case StmtKind::VarDecl: {
+            if (s.type.isArray()) {
+                const int elem = s.type.elemBytes(mod.xlen);
+                ir::LocalArray arr{s.type.arraySize * elem, elem};
+                fn->localArrays.push_back(arr);
+                Binding b{Binding::Kind::LocalArray,
+                          static_cast<int>(fn->localArrays.size()) - 1,
+                          s.type};
+                declare(s.name, b, s.line);
+                return;
+            }
+            int v = newVreg();
+            if (s.expr) {
+                TypedVal init = genExpr(*s.expr);
+                coerceScalar(init, s.type, s.line);
+                emitMovTo(v, init.v);
+            } else {
+                emitMovTo(v, Value::imm(0));
+            }
+            declare(s.name, Binding{Binding::Kind::VregVar, v, s.type},
+                    s.line);
+            return;
+          }
+          case StmtKind::Assign:
+            genAssign(s);
+            return;
+          case StmtKind::If: {
+            TypedVal cond = genExpr(*s.expr);
+            int thenB = newBlock();
+            int elseB = s.elseBody.empty() ? -1 : newBlock();
+            int joinB = newBlock();
+            condBr(cond.v, thenB, elseB >= 0 ? elseB : joinB);
+            switchTo(thenB);
+            genStmtList(s.body);
+            if (!blockTerminated())
+                br(joinB);
+            if (elseB >= 0) {
+                switchTo(elseB);
+                genStmtList(s.elseBody);
+                if (!blockTerminated())
+                    br(joinB);
+            }
+            switchTo(joinB);
+            return;
+          }
+          case StmtKind::While: {
+            int condB = newBlock();
+            int bodyB = newBlock();
+            int exitB = newBlock();
+            br(condB);
+            switchTo(condB);
+            TypedVal cond = genExpr(*s.expr);
+            condBr(cond.v, bodyB, exitB);
+            switchTo(bodyB);
+            loopStack.push_back({condB, exitB});
+            genStmtList(s.body);
+            loopStack.pop_back();
+            if (!blockTerminated())
+                br(condB);
+            switchTo(exitB);
+            return;
+          }
+          case StmtKind::Break:
+            if (loopStack.empty())
+                fail(s.line, "'break' outside a loop");
+            br(loopStack.back().second);
+            switchTo(newBlock());
+            return;
+          case StmtKind::Continue:
+            if (loopStack.empty())
+                fail(s.line, "'continue' outside a loop");
+            br(loopStack.back().first);
+            switchTo(newBlock());
+            return;
+          case StmtKind::Return: {
+            Inst i;
+            i.op = IrOp::Ret;
+            if (fn->hasResult) {
+                if (!s.expr)
+                    fail(s.line, "function must return a value");
+                TypedVal v = genExpr(*s.expr);
+                if (v.t.isVoid())
+                    fail(s.line, "returning a void value");
+                i.hasA = true;
+                i.a = v.v;
+            } else if (s.expr) {
+                fail(s.line, "void function cannot return a value");
+            }
+            emit(std::move(i));
+            switchTo(newBlock());
+            return;
+          }
+          case StmtKind::ExprStmt:
+            genExpr(*s.expr);
+            return;
+          case StmtKind::Block:
+            genStmtList(s.body);
+            return;
+        }
+    }
+
+    void genAssign(const Stmt &s)
+    {
+        const Expr &target = *s.target;
+        if (target.kind == ExprKind::Var) {
+            const Binding *b = lookup(target.name);
+            if (!b)
+                fail(s.line, "undefined variable '" + target.name + "'");
+            if (b->kind == Binding::Kind::VregVar) {
+                TypedVal rhs = genExpr(*s.expr);
+                coerceScalar(rhs, b->type, s.line);
+                emitMovTo(b->index, rhs.v);
+                return;
+            }
+            if (b->kind == Binding::Kind::Global && !b->type.isArray()) {
+                TypedVal rhs = genExpr(*s.expr);
+                coerceScalar(rhs, b->type, s.line);
+                Value addr = emitAddrGlobal(b->index, 0);
+                emitStore(addr, 0, rhs.v,
+                          b->type.scalarByte() ? 1 : mod.wordBytes());
+                return;
+            }
+            fail(s.line, "cannot assign to '" + target.name + "'");
+        }
+        if (target.kind == ExprKind::Index || target.kind == ExprKind::Deref) {
+            auto [addr, elemType] = genAddressOf(target);
+            TypedVal rhs = genExpr(*s.expr);
+            coerceScalar(rhs, elemType, s.line);
+            emitStore(addr, 0, rhs.v,
+                      elemType.base == Base::Byte ? 1 : mod.wordBytes());
+            return;
+        }
+        fail(s.line, "invalid assignment target");
+    }
+
+    // ---- expressions ---------------------------------------------------
+    Value emitAddrGlobal(int globalId, int64_t off)
+    {
+        Inst i;
+        i.op = IrOp::AddrGlobal;
+        i.dst = newVreg();
+        i.globalId = globalId;
+        i.imm = off;
+        int dst = i.dst;
+        emit(std::move(i));
+        return Value::reg(dst);
+    }
+
+    Value emitAddrLocal(int localId, int64_t off)
+    {
+        Inst i;
+        i.op = IrOp::AddrLocal;
+        i.dst = newVreg();
+        i.localId = localId;
+        i.imm = off;
+        int dst = i.dst;
+        emit(std::move(i));
+        return Value::reg(dst);
+    }
+
+    /** Coerce an rvalue to a scalar variable type. */
+    void coerceScalar(TypedVal &v, const Type &want, int line)
+    {
+        if (want.isArray())
+            fail(line, "cannot assign to an array");
+        if (want.isPtr()) {
+            if (v.t.isPtr() || (v.v.isConst && v.v.konst == 0) ||
+                v.t.scalarInt())
+                return; // pointers interchange with int (flat memory)
+            fail(line, "expected a pointer value");
+        }
+        if (want.scalarByte()) {
+            // Truncate to 8 bits to keep byte vars canonical.
+            if (!v.t.scalarByte())
+                v.v = emitBin(IrOp::And, v.v, Value::imm(0xff));
+            v.t = Type::byteTy();
+            return;
+        }
+        // int accepts byte (already zero-extended) and int.
+        if (v.t.isPtr())
+            fail(line, "pointer used where int expected (use 'as int')");
+    }
+
+    /** Compute the address and element type of an Index/Deref expr. */
+    std::pair<Value, Type> genAddressOf(const Expr &e)
+    {
+        if (e.kind == ExprKind::Deref) {
+            TypedVal p = genExpr(*e.lhs);
+            if (!p.t.isPtr())
+                fail(e.line, "dereferencing a non-pointer");
+            return {p.v, Type{p.t.base, false, -1}};
+        }
+        if (e.kind == ExprKind::Index) {
+            TypedVal base = genExpr(*e.lhs);
+            if (!base.t.isPtr())
+                fail(e.line, "indexing a non-pointer/array");
+            TypedVal idx = genExpr(*e.rhs);
+            if (idx.t.isPtr())
+                fail(e.line, "index must be an integer");
+            const int elem = Type{base.t.base, false, -1}.elemBytes(mod.xlen);
+            Value scaled = idx.v;
+            if (elem > 1) {
+                const int shift = elem == 8 ? 3 : 2;
+                scaled = emitBin(IrOp::Shl, idx.v, Value::imm(shift));
+            }
+            Value addr = emitBin(IrOp::Add, base.v, scaled);
+            return {addr, Type{base.t.base, false, -1}};
+        }
+        if (e.kind == ExprKind::Var) {
+            const Binding *b = lookup(e.name);
+            if (!b)
+                fail(e.line, "undefined variable '" + e.name + "'");
+            if (b->kind == Binding::Kind::LocalArray)
+                fail(e.line, "array is not a scalar lvalue");
+            if (b->kind == Binding::Kind::Global && !b->type.isArray())
+                return {emitAddrGlobal(b->index, 0), b->type};
+            fail(e.line, "cannot take the address of '" + e.name + "'");
+        }
+        fail(e.line, "expression is not addressable");
+    }
+
+    TypedVal genExpr(const Expr &e)
+    {
+        switch (e.kind) {
+          case ExprKind::Num:
+            return {Value::imm(maskConst(e.num)), Type::intTy()};
+          case ExprKind::Str: {
+            // Intern the literal as an anonymous const global.
+            ir::Global g;
+            g.name = strprintf("__str%zu", mod.globals.size());
+            g.bytes = static_cast<int64_t>(e.str.size()) + 1;
+            g.align = 1;
+            g.init.assign(e.str.begin(), e.str.end());
+            g.init.push_back(0);
+            mod.globals.push_back(std::move(g));
+            Value v = emitAddrGlobal(
+                static_cast<int>(mod.globals.size()) - 1, 0);
+            return {v, Type::ptrTo(Base::Byte)};
+          }
+          case ExprKind::Var: {
+            const Binding *b = lookup(e.name);
+            if (!b)
+                fail(e.line, "undefined variable '" + e.name + "'");
+            switch (b->kind) {
+              case Binding::Kind::VregVar:
+                return {Value::reg(b->index), b->type};
+              case Binding::Kind::LocalArray:
+                return {emitAddrLocal(b->index, 0),
+                        Type::ptrTo(b->type.base)};
+              case Binding::Kind::Global: {
+                if (b->type.isArray()) {
+                    return {emitAddrGlobal(b->index, 0),
+                            Type::ptrTo(b->type.base)};
+                }
+                Value addr = emitAddrGlobal(b->index, 0);
+                const int size = b->type.scalarByte() ? 1 : mod.wordBytes();
+                return {emitLoad(addr, 0, size), b->type};
+              }
+              case Binding::Kind::Func:
+                fail(e.line, "function name used as a value");
+            }
+            break;
+          }
+          case ExprKind::Unary: {
+            TypedVal v = genExpr(*e.lhs);
+            if (v.t.isPtr())
+                fail(e.line, "unary operator on a pointer");
+            switch (e.unOp) {
+              case UnOp::Neg:
+                return {emitBin(IrOp::Sub, Value::imm(0), v.v),
+                        Type::intTy()};
+              case UnOp::BitNot:
+                return {emitBin(IrOp::Xor, v.v, Value::imm(-1)),
+                        Type::intTy()};
+              case UnOp::LogNot:
+                return {emitBin(IrOp::CmpEq, v.v, Value::imm(0)),
+                        Type::intTy()};
+            }
+            break;
+          }
+          case ExprKind::Binary:
+            return genBinary(e);
+          case ExprKind::Call:
+            return genCall(e);
+          case ExprKind::Index:
+          case ExprKind::Deref: {
+            auto [addr, elemType] = genAddressOf(e);
+            const int size = elemType.base == Base::Byte ? 1
+                                                         : mod.wordBytes();
+            return {emitLoad(addr, 0, size), elemType};
+          }
+          case ExprKind::AddrOf: {
+            auto [addr, elemType] = genAddressOf(*e.lhs);
+            return {addr, Type::ptrTo(elemType.base)};
+          }
+          case ExprKind::Cast: {
+            TypedVal v = genExpr(*e.lhs);
+            const Type &to = e.castType;
+            if (to.scalarByte()) {
+                Value masked = emitBin(IrOp::And, v.v, Value::imm(0xff));
+                return {masked, Type::byteTy()};
+            }
+            return {v.v, to};
+          }
+        }
+        fail(e.line, "unsupported expression");
+    }
+
+    int64_t maskConst(int64_t v) const
+    {
+        return mod.xlen == 64
+                   ? v
+                   : static_cast<int64_t>(static_cast<int32_t>(v));
+    }
+
+    TypedVal genBinary(const Expr &e)
+    {
+        if (e.binOp == BinOp::LogAnd || e.binOp == BinOp::LogOr)
+            return genShortCircuit(e);
+
+        TypedVal a = genExpr(*e.lhs);
+        TypedVal b = genExpr(*e.rhs);
+
+        // Pointer arithmetic: ptr +/- int scales by the element size.
+        if (a.t.isPtr() &&
+            (e.binOp == BinOp::Add || e.binOp == BinOp::Sub)) {
+            if (b.t.isPtr())
+                fail(e.line, "pointer +/- pointer is not supported");
+            const int elem = Type{a.t.base, false, -1}.elemBytes(mod.xlen);
+            Value scaled = b.v;
+            if (elem > 1)
+                scaled = emitBin(IrOp::Shl, b.v, Value::imm(elem == 8 ? 3 : 2));
+            IrOp op = e.binOp == BinOp::Add ? IrOp::Add : IrOp::Sub;
+            return {emitBin(op, a.v, scaled), a.t};
+        }
+        if (a.t.isPtr() || b.t.isPtr()) {
+            // Only (in)equality comparisons allowed without casts.
+            if (e.binOp == BinOp::Eq || e.binOp == BinOp::Ne ||
+                e.binOp == BinOp::ULt || e.binOp == BinOp::UGe) {
+                IrOp op = e.binOp == BinOp::Eq    ? IrOp::CmpEq
+                          : e.binOp == BinOp::Ne  ? IrOp::CmpNe
+                          : e.binOp == BinOp::ULt ? IrOp::CmpULt
+                                                  : IrOp::CmpUGe;
+                return {emitBin(op, a.v, b.v), Type::intTy()};
+            }
+            fail(e.line, "pointer arithmetic requires 'as int'");
+        }
+
+        IrOp op;
+        switch (e.binOp) {
+          case BinOp::Add: op = IrOp::Add; break;
+          case BinOp::Sub: op = IrOp::Sub; break;
+          case BinOp::Mul: op = IrOp::Mul; break;
+          case BinOp::SDiv: op = IrOp::SDiv; break;
+          case BinOp::SRem: op = IrOp::SRem; break;
+          case BinOp::UDiv: op = IrOp::UDiv; break;
+          case BinOp::URem: op = IrOp::URem; break;
+          case BinOp::And: op = IrOp::And; break;
+          case BinOp::Or: op = IrOp::Or; break;
+          case BinOp::Xor: op = IrOp::Xor; break;
+          case BinOp::Shl: op = IrOp::Shl; break;
+          case BinOp::AShr: op = IrOp::AShr; break;
+          case BinOp::LShr: op = IrOp::LShr; break;
+          case BinOp::Eq: op = IrOp::CmpEq; break;
+          case BinOp::Ne: op = IrOp::CmpNe; break;
+          case BinOp::SLt: op = IrOp::CmpSLt; break;
+          case BinOp::SLe: op = IrOp::CmpSLe; break;
+          case BinOp::SGt: op = IrOp::CmpSGt; break;
+          case BinOp::SGe: op = IrOp::CmpSGe; break;
+          case BinOp::ULt: op = IrOp::CmpULt; break;
+          case BinOp::UGe: op = IrOp::CmpUGe; break;
+          default:
+            fail(e.line, "unsupported binary operator");
+        }
+        return {emitBin(op, a.v, b.v), Type::intTy()};
+    }
+
+    TypedVal genShortCircuit(const Expr &e)
+    {
+        const bool isAnd = e.binOp == BinOp::LogAnd;
+        int result = newVreg();
+        TypedVal a = genExpr(*e.lhs);
+        Value aBool = emitBin(IrOp::CmpNe, a.v, Value::imm(0));
+        int rhsB = newBlock();
+        int shortB = newBlock();
+        int joinB = newBlock();
+        if (isAnd)
+            condBr(aBool, rhsB, shortB);
+        else
+            condBr(aBool, shortB, rhsB);
+        switchTo(shortB);
+        emitMovTo(result, Value::imm(isAnd ? 0 : 1));
+        br(joinB);
+        switchTo(rhsB);
+        TypedVal b = genExpr(*e.rhs);
+        Value bBool = emitBin(IrOp::CmpNe, b.v, Value::imm(0));
+        emitMovTo(result, bBool);
+        br(joinB);
+        switchTo(joinB);
+        return {Value::reg(result), Type::intTy()};
+    }
+
+    TypedVal genCall(const Expr &e)
+    {
+        // Intrinsics.
+        if (e.name == "__syscall") {
+            if (e.args.size() != 3)
+                fail(e.line, "__syscall takes (nr, a, b)");
+            TypedVal nr = genExpr(*e.args[0]);
+            if (!nr.v.isConst)
+                fail(e.line, "__syscall number must be a constant");
+            Inst i;
+            i.op = IrOp::Syscall;
+            i.dst = newVreg();
+            i.sysNr = static_cast<uint32_t>(nr.v.konst);
+            for (size_t k = 1; k < 3; ++k)
+                i.args.push_back(genExpr(*e.args[k]).v);
+            int dst = i.dst;
+            emit(std::move(i));
+            return {Value::reg(dst), Type::intTy()};
+        }
+        if (e.name == "__dcclean") {
+            if (e.args.size() != 1)
+                fail(e.line, "__dcclean takes 1 argument");
+            TypedVal addr = genExpr(*e.args[0]);
+            Inst i;
+            i.op = IrOp::CacheClean;
+            i.hasA = true;
+            i.a = addr.v;
+            emit(std::move(i));
+            return {Value::imm(0), Type::voidTy()};
+        }
+        static const std::map<std::string, IrOp> binIntrinsics = {
+            {"__udiv", IrOp::UDiv},
+            {"__urem", IrOp::URem},
+            {"__ultu", IrOp::CmpULt},
+            {"__lshr", IrOp::LShr},
+        };
+        auto bi = binIntrinsics.find(e.name);
+        if (bi != binIntrinsics.end()) {
+            if (e.args.size() != 2)
+                fail(e.line, e.name + " takes 2 arguments");
+            TypedVal a = genExpr(*e.args[0]);
+            TypedVal b = genExpr(*e.args[1]);
+            return {emitBin(bi->second, a.v, b.v), Type::intTy()};
+        }
+
+        const Binding *b = lookup(e.name);
+        if (!b || b->kind != Binding::Kind::Func)
+            fail(e.line, "call to undefined function '" + e.name + "'");
+        const FuncDecl &callee = ast.funcs[b->index];
+        if (callee.params.size() != e.args.size()) {
+            fail(e.line,
+                 strprintf("'%s' expects %zu arguments, got %zu",
+                           e.name.c_str(), callee.params.size(),
+                           e.args.size()));
+        }
+        if (e.args.size() > 4)
+            fail(e.line, "at most 4 call arguments are supported");
+
+        Inst i;
+        i.op = IrOp::Call;
+        i.callee = b->index;
+        for (size_t k = 0; k < e.args.size(); ++k) {
+            TypedVal arg = genExpr(*e.args[k]);
+            const Type &want = callee.params[k].second;
+            if (want.isPtr() && !arg.t.isPtr() && !arg.t.scalarInt() &&
+                !(arg.v.isConst && arg.v.konst == 0)) {
+                fail(e.line, strprintf("argument %zu: expected pointer",
+                                       k + 1));
+            }
+            if (!want.isPtr() && arg.t.isPtr())
+                fail(e.line, strprintf("argument %zu: unexpected pointer "
+                                       "(use 'as int')",
+                                       k + 1));
+            i.args.push_back(arg.v);
+        }
+        Type ret = callee.retType;
+        if (!ret.isVoid())
+            i.dst = newVreg();
+        int dst = i.dst;
+        emit(std::move(i));
+        if (ret.isVoid())
+            return {Value::imm(0), Type::voidTy()};
+        return {Value::reg(dst), ret};
+    }
+
+    ir::Module &mod;
+    const Module &ast;
+    const FuncDecl &decl;
+    const std::map<std::string, Binding> &moduleScope;
+    ir::Func *fn = nullptr;
+    int curBlock = 0;
+    std::vector<std::map<std::string, Binding>> scopes;
+    std::vector<std::pair<int, int>> loopStack; ///< (continue, break)
+};
+
+} // namespace
+
+IrGenResult
+generateIr(const Module &ast, int xlen)
+{
+    IrGenResult res;
+    if (xlen != 32 && xlen != 64) {
+        res.error = "xlen must be 32 or 64";
+        return res;
+    }
+    ir::Module &m = res.module;
+    m.xlen = xlen;
+
+    try {
+        std::map<std::string, Binding> moduleScope;
+
+        // Globals first so functions can reference them.
+        for (const GlobalDecl &g : ast.globals) {
+            if (moduleScope.count(g.name))
+                throw CompileError("duplicate global '" + g.name + "'");
+            ir::Global ig;
+            ig.name = g.name;
+            const int elem = g.type.elemBytes(xlen);
+            const int64_t count = g.type.isArray() ? g.type.arraySize : 1;
+            ig.bytes = elem * count;
+            ig.align = g.type.isPtr() ? xlen / 8 : elem;
+            if (!g.strInit.empty() || (g.type.isArray() &&
+                                       g.type.base == Base::Byte &&
+                                       !g.init.empty())) {
+                if (!g.strInit.empty()) {
+                    ig.init.assign(g.strInit.begin(), g.strInit.end());
+                    ig.init.push_back(0);
+                } else {
+                    for (int64_t v : g.init)
+                        ig.init.push_back(static_cast<uint8_t>(v));
+                }
+            } else {
+                for (int64_t v : g.init) {
+                    for (int b = 0; b < elem; ++b)
+                        ig.init.push_back(
+                            static_cast<uint8_t>(v >> (8 * b)));
+                }
+            }
+            if (static_cast<int64_t>(ig.init.size()) > ig.bytes) {
+                throw CompileError(
+                    strprintf("initializer for '%s' exceeds its size",
+                              g.name.c_str()));
+            }
+            moduleScope[g.name] = Binding{
+                Binding::Kind::Global,
+                static_cast<int>(m.globals.size()), g.type};
+            m.globals.push_back(std::move(ig));
+        }
+
+        // Function signatures.
+        for (size_t fi = 0; fi < ast.funcs.size(); ++fi) {
+            const FuncDecl &f = ast.funcs[fi];
+            if (moduleScope.count(f.name))
+                throw CompileError("duplicate definition of '" + f.name +
+                                   "'");
+            moduleScope[f.name] = Binding{Binding::Kind::Func,
+                                          static_cast<int>(fi),
+                                          f.retType};
+            m.funcIndex[f.name] = static_cast<int>(fi);
+        }
+
+        // Bodies.
+        m.funcs.resize(ast.funcs.size());
+        for (size_t fi = 0; fi < ast.funcs.size(); ++fi) {
+            FuncGen gen(m, ast, ast.funcs[fi], moduleScope);
+            gen.run(m.funcs[fi]);
+        }
+    } catch (const CompileError &e) {
+        res.error = e.what();
+        return res;
+    }
+
+    std::string verr = ir::verify(m);
+    if (!verr.empty()) {
+        res.error = "internal: IR verification failed: " + verr;
+        return res;
+    }
+    res.ok = true;
+    return res;
+}
+
+} // namespace vstack::mcl

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * AST -> IR lowering with type checking.
+ */
+#ifndef VSTACK_COMPILER_IRGEN_H
+#define VSTACK_COMPILER_IRGEN_H
+
+#include <string>
+
+#include "compiler/ast.h"
+#include "compiler/ir.h"
+
+namespace vstack::mcl
+{
+
+/** Result of lowering a module. */
+struct IrGenResult
+{
+    bool ok = false;
+    std::string error;
+    ir::Module module;
+};
+
+/**
+ * Lower a parsed module to IR for a target register width.
+ *
+ * @param ast   parsed translation unit
+ * @param xlen  target register width in bits (32 or 64); determines
+ *              pointer scaling and the word access size
+ */
+IrGenResult generateIr(const Module &ast, int xlen);
+
+} // namespace vstack::mcl
+
+#endif // VSTACK_COMPILER_IRGEN_H

@@ -1,0 +1,229 @@
+#include "lexer.h"
+
+#include <cctype>
+#include <map>
+
+#include "support/logging.h"
+
+namespace vstack::mcl
+{
+
+namespace
+{
+
+const std::map<std::string, Tok> keywords = {
+    {"fn", Tok::KwFn},         {"var", Tok::KwVar},
+    {"const", Tok::KwConst},   {"if", Tok::KwIf},
+    {"else", Tok::KwElse},     {"while", Tok::KwWhile},
+    {"break", Tok::KwBreak},   {"continue", Tok::KwContinue},
+    {"return", Tok::KwReturn}, {"int", Tok::KwInt},
+    {"byte", Tok::KwByte},     {"as", Tok::KwAs},
+};
+
+} // namespace
+
+LexResult
+lex(const std::string &src)
+{
+    LexResult res;
+    size_t i = 0;
+    int line = 1;
+
+    auto fail = [&](const std::string &msg) {
+        res.error = strprintf("line %d: %s", line, msg.c_str());
+        return res;
+    };
+    auto push = [&](Tok kind, std::string text = "", int64_t value = 0) {
+        res.tokens.push_back({kind, std::move(text), value, line});
+    };
+
+    while (i < src.size()) {
+        char c = src[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+            while (i < src.size() && src[i] != '\n')
+                ++i;
+            continue;
+        }
+        if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+            i += 2;
+            while (i + 1 < src.size() &&
+                   !(src[i] == '*' && src[i + 1] == '/')) {
+                if (src[i] == '\n')
+                    ++line;
+                ++i;
+            }
+            if (i + 1 >= src.size())
+                return fail("unterminated block comment");
+            i += 2;
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            size_t start = i;
+            while (i < src.size() &&
+                   (std::isalnum(static_cast<unsigned char>(src[i])) ||
+                    src[i] == '_'))
+                ++i;
+            std::string word = src.substr(start, i - start);
+            auto kw = keywords.find(word);
+            if (kw != keywords.end())
+                push(kw->second);
+            else
+                push(Tok::Ident, word);
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            size_t start = i;
+            int base = 10;
+            if (c == '0' && i + 1 < src.size() &&
+                (src[i + 1] == 'x' || src[i + 1] == 'X')) {
+                base = 16;
+                i += 2;
+            }
+            while (i < src.size() &&
+                   (std::isalnum(static_cast<unsigned char>(src[i]))))
+                ++i;
+            std::string num = src.substr(start, i - start);
+            errno = 0;
+            char *end = nullptr;
+            unsigned long long v =
+                std::strtoull(num.c_str() + (base == 16 ? 0 : 0), &end, 0);
+            if (errno != 0 || (end && *end != '\0'))
+                return fail("bad number '" + num + "'");
+            push(Tok::Number, num, static_cast<int64_t>(v));
+            continue;
+        }
+        if (c == '"') {
+            std::string text;
+            ++i;
+            while (i < src.size() && src[i] != '"') {
+                char ch = src[i];
+                if (ch == '\n')
+                    return fail("newline in string literal");
+                if (ch == '\\' && i + 1 < src.size()) {
+                    ++i;
+                    switch (src[i]) {
+                      case 'n': text += '\n'; break;
+                      case 't': text += '\t'; break;
+                      case '0': text += '\0'; break;
+                      case '\\': text += '\\'; break;
+                      case '"': text += '"'; break;
+                      default: return fail("bad string escape");
+                    }
+                } else {
+                    text += ch;
+                }
+                ++i;
+            }
+            if (i >= src.size())
+                return fail("unterminated string literal");
+            ++i;
+            push(Tok::String, text);
+            continue;
+        }
+        if (c == '\'') {
+            if (i + 2 >= src.size())
+                return fail("bad char literal");
+            int64_t v;
+            if (src[i + 1] == '\\') {
+                switch (src[i + 2]) {
+                  case 'n': v = '\n'; break;
+                  case 't': v = '\t'; break;
+                  case '0': v = 0; break;
+                  case '\\': v = '\\'; break;
+                  case '\'': v = '\''; break;
+                  default: return fail("bad char escape");
+                }
+                if (i + 3 >= src.size() || src[i + 3] != '\'')
+                    return fail("unterminated char literal");
+                i += 4;
+            } else {
+                v = src[i + 1];
+                if (src[i + 2] != '\'')
+                    return fail("unterminated char literal");
+                i += 3;
+            }
+            push(Tok::CharLit, "", v);
+            continue;
+        }
+
+        auto two = [&](char second, Tok kind) {
+            if (i + 1 < src.size() && src[i + 1] == second) {
+                push(kind);
+                i += 2;
+                return true;
+            }
+            return false;
+        };
+
+        switch (c) {
+          case '(': push(Tok::LParen); ++i; break;
+          case ')': push(Tok::RParen); ++i; break;
+          case '{': push(Tok::LBrace); ++i; break;
+          case '}': push(Tok::RBrace); ++i; break;
+          case '[': push(Tok::LBracket); ++i; break;
+          case ']': push(Tok::RBracket); ++i; break;
+          case ',': push(Tok::Comma); ++i; break;
+          case ';': push(Tok::Semi); ++i; break;
+          case ':': push(Tok::Colon); ++i; break;
+          case '+': push(Tok::Plus); ++i; break;
+          case '-': push(Tok::Minus); ++i; break;
+          case '*': push(Tok::Star); ++i; break;
+          case '/': push(Tok::Slash); ++i; break;
+          case '%': push(Tok::Percent); ++i; break;
+          case '^': push(Tok::Caret); ++i; break;
+          case '~': push(Tok::Tilde); ++i; break;
+          case '&':
+            if (!two('&', Tok::AndAnd)) {
+                push(Tok::Amp);
+                ++i;
+            }
+            break;
+          case '|':
+            if (!two('|', Tok::OrOr)) {
+                push(Tok::Pipe);
+                ++i;
+            }
+            break;
+          case '<':
+            if (!two('<', Tok::Shl) && !two('=', Tok::Le)) {
+                push(Tok::Lt);
+                ++i;
+            }
+            break;
+          case '>':
+            if (!two('>', Tok::Shr) && !two('=', Tok::Ge)) {
+                push(Tok::Gt);
+                ++i;
+            }
+            break;
+          case '=':
+            if (!two('=', Tok::EqEq)) {
+                push(Tok::Assign);
+                ++i;
+            }
+            break;
+          case '!':
+            if (!two('=', Tok::NotEq)) {
+                push(Tok::Not);
+                ++i;
+            }
+            break;
+          default:
+            return fail(strprintf("unexpected character '%c'", c));
+        }
+    }
+    push(Tok::End);
+    res.ok = true;
+    return res;
+}
+
+} // namespace vstack::mcl

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * MCL lexer.
+ */
+#ifndef VSTACK_COMPILER_LEXER_H
+#define VSTACK_COMPILER_LEXER_H
+
+#include <string>
+#include <vector>
+
+#include "compiler/token.h"
+
+namespace vstack::mcl
+{
+
+/** Result of lexing a source buffer. */
+struct LexResult
+{
+    bool ok = false;
+    std::string error;
+    std::vector<Token> tokens; ///< terminated by a Tok::End token
+};
+
+/** Tokenize MCL source (line and block comments supported). */
+LexResult lex(const std::string &source);
+
+} // namespace vstack::mcl
+
+#endif // VSTACK_COMPILER_LEXER_H

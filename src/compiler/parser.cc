@@ -1,0 +1,597 @@
+#include "parser.h"
+
+#include <stdexcept>
+
+#include "compiler/lexer.h"
+#include "support/logging.h"
+
+namespace vstack::mcl
+{
+
+std::string
+Type::str() const
+{
+    std::string s = base == Base::Int    ? "int"
+                    : base == Base::Byte ? "byte"
+                                         : "void";
+    if (ptr)
+        s += "*";
+    if (isArray())
+        s += strprintf("[%lld]", static_cast<long long>(arraySize));
+    return s;
+}
+
+namespace
+{
+
+struct ParseError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Token> tokens) : toks(std::move(tokens)) {}
+
+    Module parseModule()
+    {
+        Module m;
+        while (!at(Tok::End)) {
+            if (at(Tok::KwFn)) {
+                m.funcs.push_back(parseFunc());
+            } else if (at(Tok::KwVar) || at(Tok::KwConst)) {
+                m.globals.push_back(parseGlobal());
+            } else {
+                fail("expected 'fn', 'var' or 'const' at top level");
+            }
+        }
+        return m;
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string &msg)
+    {
+        throw ParseError(
+            strprintf("line %d: %s", cur().line, msg.c_str()));
+    }
+
+    const Token &cur() const { return toks[pos]; }
+    bool at(Tok k) const { return cur().kind == k; }
+
+    Token eat(Tok k, const char *what)
+    {
+        if (!at(k))
+            fail(strprintf("expected %s", what));
+        return toks[pos++];
+    }
+
+    bool accept(Tok k)
+    {
+        if (at(k)) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    Type parseType(bool allowArray)
+    {
+        Type t;
+        if (accept(Tok::KwInt)) {
+            t.base = Base::Int;
+        } else if (accept(Tok::KwByte)) {
+            t.base = Base::Byte;
+        } else {
+            fail("expected type");
+        }
+        if (accept(Tok::Star)) {
+            t.ptr = true;
+        } else if (at(Tok::LBracket)) {
+            if (!allowArray)
+                fail("array type not allowed here");
+            ++pos;
+            if (accept(Tok::RBracket)) {
+                t.arraySize = 0; // size inferred from the initializer
+            } else {
+                Token n = eat(Tok::Number, "array size");
+                t.arraySize = n.value;
+                eat(Tok::RBracket, "']'");
+            }
+        }
+        return t;
+    }
+
+    GlobalDecl parseGlobal()
+    {
+        GlobalDecl g;
+        g.line = cur().line;
+        g.isConst = at(Tok::KwConst);
+        ++pos; // var/const
+        g.name = eat(Tok::Ident, "global name").text;
+        eat(Tok::Colon, "':'");
+        g.type = parseType(true);
+        if (accept(Tok::Assign)) {
+            if (at(Tok::String)) {
+                g.strInit = toks[pos++].text;
+                if (g.type.arraySize == 0)
+                    g.type.arraySize =
+                        static_cast<int64_t>(g.strInit.size()) + 1;
+            } else if (accept(Tok::LBrace)) {
+                for (;;) {
+                    g.init.push_back(parseConstExpr());
+                    if (accept(Tok::RBrace))
+                        break;
+                    eat(Tok::Comma, "','");
+                    if (accept(Tok::RBrace))
+                        break;
+                }
+                if (g.type.arraySize == 0)
+                    g.type.arraySize = static_cast<int64_t>(g.init.size());
+            } else {
+                g.init.push_back(parseConstExpr());
+            }
+        }
+        if (g.type.arraySize == 0)
+            fail("array global needs an initializer or explicit size");
+        eat(Tok::Semi, "';'");
+        return g;
+    }
+
+    /** Constant expressions in initializers: literals with +,-,*,<<,| */
+    int64_t parseConstExpr() { return constOr(); }
+
+    int64_t constOr()
+    {
+        int64_t v = constShift();
+        while (at(Tok::Pipe)) {
+            ++pos;
+            v |= constShift();
+        }
+        return v;
+    }
+
+    int64_t constShift()
+    {
+        int64_t v = constAdd();
+        while (at(Tok::Shl)) {
+            ++pos;
+            v <<= constAdd();
+        }
+        return v;
+    }
+
+    int64_t constAdd()
+    {
+        int64_t v = constMul();
+        for (;;) {
+            if (accept(Tok::Plus))
+                v += constMul();
+            else if (accept(Tok::Minus))
+                v -= constMul();
+            else
+                return v;
+        }
+    }
+
+    int64_t constMul()
+    {
+        int64_t v = constPrimary();
+        while (accept(Tok::Star))
+            v *= constPrimary();
+        return v;
+    }
+
+    int64_t constPrimary()
+    {
+        if (accept(Tok::Minus))
+            return -constPrimary();
+        if (at(Tok::Number))
+            return toks[pos++].value;
+        if (at(Tok::CharLit))
+            return toks[pos++].value;
+        if (accept(Tok::LParen)) {
+            int64_t v = parseConstExpr();
+            eat(Tok::RParen, "')'");
+            return v;
+        }
+        fail("expected constant expression");
+    }
+
+    FuncDecl parseFunc()
+    {
+        FuncDecl f;
+        f.line = cur().line;
+        eat(Tok::KwFn, "'fn'");
+        f.name = eat(Tok::Ident, "function name").text;
+        eat(Tok::LParen, "'('");
+        if (!at(Tok::RParen)) {
+            for (;;) {
+                std::string pname = eat(Tok::Ident, "parameter name").text;
+                eat(Tok::Colon, "':'");
+                Type pt = parseType(false);
+                f.params.emplace_back(pname, pt);
+                if (!accept(Tok::Comma))
+                    break;
+            }
+        }
+        eat(Tok::RParen, "')'");
+        if (accept(Tok::Colon))
+            f.retType = parseType(false);
+        f.body = parseBlock();
+        return f;
+    }
+
+    std::vector<StmtPtr> parseBlock()
+    {
+        eat(Tok::LBrace, "'{'");
+        std::vector<StmtPtr> stmts;
+        while (!accept(Tok::RBrace))
+            stmts.push_back(parseStmt());
+        return stmts;
+    }
+
+    StmtPtr makeStmt(StmtKind k)
+    {
+        auto s = std::make_unique<Stmt>();
+        s->kind = k;
+        s->line = cur().line;
+        return s;
+    }
+
+    StmtPtr parseStmt()
+    {
+        if (at(Tok::KwVar)) {
+            auto s = makeStmt(StmtKind::VarDecl);
+            ++pos;
+            s->name = eat(Tok::Ident, "variable name").text;
+            eat(Tok::Colon, "':'");
+            s->type = parseType(true);
+            if (s->type.arraySize == 0)
+                fail("local arrays need an explicit size");
+            if (accept(Tok::Assign)) {
+                if (s->type.isArray())
+                    fail("local arrays cannot have initializers");
+                s->expr = parseExpr();
+            }
+            eat(Tok::Semi, "';'");
+            return s;
+        }
+        if (at(Tok::KwIf)) {
+            auto s = makeStmt(StmtKind::If);
+            ++pos;
+            eat(Tok::LParen, "'('");
+            s->expr = parseExpr();
+            eat(Tok::RParen, "')'");
+            s->body = parseBlock();
+            if (accept(Tok::KwElse)) {
+                if (at(Tok::KwIf)) {
+                    s->elseBody.push_back(parseStmt());
+                } else {
+                    s->elseBody = parseBlock();
+                }
+            }
+            return s;
+        }
+        if (at(Tok::KwWhile)) {
+            auto s = makeStmt(StmtKind::While);
+            ++pos;
+            eat(Tok::LParen, "'('");
+            s->expr = parseExpr();
+            eat(Tok::RParen, "')'");
+            s->body = parseBlock();
+            return s;
+        }
+        if (at(Tok::KwBreak)) {
+            auto s = makeStmt(StmtKind::Break);
+            ++pos;
+            eat(Tok::Semi, "';'");
+            return s;
+        }
+        if (at(Tok::KwContinue)) {
+            auto s = makeStmt(StmtKind::Continue);
+            ++pos;
+            eat(Tok::Semi, "';'");
+            return s;
+        }
+        if (at(Tok::KwReturn)) {
+            auto s = makeStmt(StmtKind::Return);
+            ++pos;
+            if (!at(Tok::Semi))
+                s->expr = parseExpr();
+            eat(Tok::Semi, "';'");
+            return s;
+        }
+        if (at(Tok::LBrace)) {
+            auto s = makeStmt(StmtKind::Block);
+            s->body = parseBlock();
+            return s;
+        }
+
+        // Assignment or expression statement.
+        ExprPtr e = parseExpr();
+        if (accept(Tok::Assign)) {
+            auto s = makeStmt(StmtKind::Assign);
+            s->target = std::move(e);
+            s->expr = parseExpr();
+            eat(Tok::Semi, "';'");
+            return s;
+        }
+        auto s = makeStmt(StmtKind::ExprStmt);
+        s->expr = std::move(e);
+        eat(Tok::Semi, "';'");
+        return s;
+    }
+
+    ExprPtr makeExpr(ExprKind k)
+    {
+        auto e = std::make_unique<Expr>();
+        e->kind = k;
+        e->line = cur().line;
+        return e;
+    }
+
+    ExprPtr parseExpr() { return parseLogOr(); }
+
+    ExprPtr binary(BinOp op, ExprPtr l, ExprPtr r)
+    {
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::Binary;
+        e->line = l->line;
+        e->binOp = op;
+        e->lhs = std::move(l);
+        e->rhs = std::move(r);
+        return e;
+    }
+
+    ExprPtr parseLogOr()
+    {
+        ExprPtr e = parseLogAnd();
+        while (accept(Tok::OrOr))
+            e = binary(BinOp::LogOr, std::move(e), parseLogAnd());
+        return e;
+    }
+
+    ExprPtr parseLogAnd()
+    {
+        ExprPtr e = parseBitOr();
+        while (accept(Tok::AndAnd))
+            e = binary(BinOp::LogAnd, std::move(e), parseBitOr());
+        return e;
+    }
+
+    ExprPtr parseBitOr()
+    {
+        ExprPtr e = parseBitXor();
+        while (at(Tok::Pipe)) {
+            ++pos;
+            e = binary(BinOp::Or, std::move(e), parseBitXor());
+        }
+        return e;
+    }
+
+    ExprPtr parseBitXor()
+    {
+        ExprPtr e = parseBitAnd();
+        while (accept(Tok::Caret))
+            e = binary(BinOp::Xor, std::move(e), parseBitAnd());
+        return e;
+    }
+
+    ExprPtr parseBitAnd()
+    {
+        ExprPtr e = parseEquality();
+        while (at(Tok::Amp)) {
+            ++pos;
+            e = binary(BinOp::And, std::move(e), parseEquality());
+        }
+        return e;
+    }
+
+    ExprPtr parseEquality()
+    {
+        ExprPtr e = parseRelational();
+        for (;;) {
+            if (accept(Tok::EqEq))
+                e = binary(BinOp::Eq, std::move(e), parseRelational());
+            else if (accept(Tok::NotEq))
+                e = binary(BinOp::Ne, std::move(e), parseRelational());
+            else
+                return e;
+        }
+    }
+
+    ExprPtr parseRelational()
+    {
+        ExprPtr e = parseShift();
+        for (;;) {
+            if (accept(Tok::Lt))
+                e = binary(BinOp::SLt, std::move(e), parseShift());
+            else if (accept(Tok::Le))
+                e = binary(BinOp::SLe, std::move(e), parseShift());
+            else if (accept(Tok::Gt))
+                e = binary(BinOp::SGt, std::move(e), parseShift());
+            else if (accept(Tok::Ge))
+                e = binary(BinOp::SGe, std::move(e), parseShift());
+            else
+                return e;
+        }
+    }
+
+    ExprPtr parseShift()
+    {
+        ExprPtr e = parseAdditive();
+        for (;;) {
+            if (accept(Tok::Shl))
+                e = binary(BinOp::Shl, std::move(e), parseAdditive());
+            else if (accept(Tok::Shr))
+                e = binary(BinOp::AShr, std::move(e), parseAdditive());
+            else
+                return e;
+        }
+    }
+
+    ExprPtr parseAdditive()
+    {
+        ExprPtr e = parseMultiplicative();
+        for (;;) {
+            if (accept(Tok::Plus))
+                e = binary(BinOp::Add, std::move(e), parseMultiplicative());
+            else if (accept(Tok::Minus))
+                e = binary(BinOp::Sub, std::move(e), parseMultiplicative());
+            else
+                return e;
+        }
+    }
+
+    ExprPtr parseMultiplicative()
+    {
+        ExprPtr e = parseCast();
+        for (;;) {
+            if (accept(Tok::Star))
+                e = binary(BinOp::Mul, std::move(e), parseCast());
+            else if (accept(Tok::Slash))
+                e = binary(BinOp::SDiv, std::move(e), parseCast());
+            else if (accept(Tok::Percent))
+                e = binary(BinOp::SRem, std::move(e), parseCast());
+            else
+                return e;
+        }
+    }
+
+    ExprPtr parseCast()
+    {
+        ExprPtr e = parseUnary();
+        while (accept(Tok::KwAs)) {
+            auto c = std::make_unique<Expr>();
+            c->kind = ExprKind::Cast;
+            c->line = e->line;
+            c->castType = parseType(false);
+            c->lhs = std::move(e);
+            e = std::move(c);
+        }
+        return e;
+    }
+
+    ExprPtr parseUnary()
+    {
+        if (accept(Tok::Minus)) {
+            auto e = makeExpr(ExprKind::Unary);
+            e->unOp = UnOp::Neg;
+            e->lhs = parseUnary();
+            return e;
+        }
+        if (accept(Tok::Tilde)) {
+            auto e = makeExpr(ExprKind::Unary);
+            e->unOp = UnOp::BitNot;
+            e->lhs = parseUnary();
+            return e;
+        }
+        if (accept(Tok::Not)) {
+            auto e = makeExpr(ExprKind::Unary);
+            e->unOp = UnOp::LogNot;
+            e->lhs = parseUnary();
+            return e;
+        }
+        if (accept(Tok::Star)) {
+            auto e = makeExpr(ExprKind::Deref);
+            e->lhs = parseUnary();
+            return e;
+        }
+        if (at(Tok::Amp)) {
+            ++pos;
+            auto e = makeExpr(ExprKind::AddrOf);
+            e->lhs = parseUnary();
+            return e;
+        }
+        return parsePostfix();
+    }
+
+    ExprPtr parsePostfix()
+    {
+        ExprPtr e = parsePrimary();
+        for (;;) {
+            if (accept(Tok::LBracket)) {
+                auto idx = std::make_unique<Expr>();
+                idx->kind = ExprKind::Index;
+                idx->line = e->line;
+                idx->lhs = std::move(e);
+                idx->rhs = parseExpr();
+                eat(Tok::RBracket, "']'");
+                e = std::move(idx);
+            } else {
+                return e;
+            }
+        }
+    }
+
+    ExprPtr parsePrimary()
+    {
+        if (at(Tok::Number)) {
+            auto e = makeExpr(ExprKind::Num);
+            e->num = toks[pos++].value;
+            return e;
+        }
+        if (at(Tok::CharLit)) {
+            auto e = makeExpr(ExprKind::Num);
+            e->num = toks[pos++].value;
+            return e;
+        }
+        if (at(Tok::String)) {
+            auto e = makeExpr(ExprKind::Str);
+            e->str = toks[pos++].text;
+            return e;
+        }
+        if (at(Tok::Ident)) {
+            std::string name = toks[pos++].text;
+            if (accept(Tok::LParen)) {
+                auto e = makeExpr(ExprKind::Call);
+                e->name = name;
+                if (!at(Tok::RParen)) {
+                    for (;;) {
+                        e->args.push_back(parseExpr());
+                        if (!accept(Tok::Comma))
+                            break;
+                    }
+                }
+                eat(Tok::RParen, "')'");
+                return e;
+            }
+            auto e = makeExpr(ExprKind::Var);
+            e->name = name;
+            return e;
+        }
+        if (accept(Tok::LParen)) {
+            ExprPtr e = parseExpr();
+            eat(Tok::RParen, "')'");
+            return e;
+        }
+        fail("expected expression");
+    }
+
+    std::vector<Token> toks;
+    size_t pos = 0;
+};
+
+} // namespace
+
+ParseResult
+parse(const std::string &source)
+{
+    ParseResult res;
+    LexResult lr = lex(source);
+    if (!lr.ok) {
+        res.error = lr.error;
+        return res;
+    }
+    try {
+        Parser p(std::move(lr.tokens));
+        res.module = p.parseModule();
+        res.ok = true;
+    } catch (const ParseError &e) {
+        res.error = e.what();
+    }
+    return res;
+}
+
+} // namespace vstack::mcl

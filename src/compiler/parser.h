@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Recursive-descent parser for MCL.
+ */
+#ifndef VSTACK_COMPILER_PARSER_H
+#define VSTACK_COMPILER_PARSER_H
+
+#include <string>
+
+#include "compiler/ast.h"
+
+namespace vstack::mcl
+{
+
+/** Result of parsing a translation unit. */
+struct ParseResult
+{
+    bool ok = false;
+    std::string error;
+    Module module;
+};
+
+/** Parse MCL source into an AST. */
+ParseResult parse(const std::string &source);
+
+} // namespace vstack::mcl
+
+#endif // VSTACK_COMPILER_PARSER_H

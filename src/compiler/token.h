@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Token definitions for the MCL language.
+ *
+ * MCL ("mini C-like language") is the workload source language of the
+ * repo: the 10 MiBench-analog workloads and the guest kernel are
+ * written in it, compiled to both guest ISAs by the backend, and
+ * executed at the IR level by the software-level fault injector.
+ */
+#ifndef VSTACK_COMPILER_TOKEN_H
+#define VSTACK_COMPILER_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace vstack::mcl
+{
+
+enum class Tok : uint8_t {
+    End,
+    Ident,
+    Number,
+    String,
+    CharLit,
+
+    // keywords
+    KwFn,
+    KwVar,
+    KwConst,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwBreak,
+    KwContinue,
+    KwReturn,
+    KwInt,
+    KwByte,
+    KwAs,
+
+    // punctuation / operators
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Colon,
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Not,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    NotEq,
+    AndAnd,
+    OrOr,
+};
+
+struct Token
+{
+    Tok kind = Tok::End;
+    std::string text;   ///< identifier / string payload
+    int64_t value = 0;  ///< number / char payload
+    int line = 0;
+};
+
+} // namespace vstack::mcl
+
+#endif // VSTACK_COMPILER_TOKEN_H

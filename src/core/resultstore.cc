@@ -1,0 +1,63 @@
+#include "resultstore.h"
+
+#include <filesystem>
+
+#include "support/logging.h"
+
+namespace vstack
+{
+
+ResultStore::ResultStore(std::string dir) : dir(std::move(dir))
+{
+    if (!this->dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(this->dir, ec);
+        if (ec) {
+            warn("cannot create result cache '%s': %s; caching disabled",
+                 this->dir.c_str(), ec.message().c_str());
+            this->dir.clear();
+        }
+    }
+}
+
+std::string
+ResultStore::pathFor(const std::string &key) const
+{
+    std::string name;
+    name.reserve(key.size());
+    for (char c : key) {
+        name += (std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+                 c == '.')
+                    ? c
+                    : '_';
+    }
+    return dir + "/" + name + ".json";
+}
+
+std::optional<Json>
+ResultStore::get(const std::string &key) const
+{
+    if (dir.empty())
+        return std::nullopt;
+    std::string text;
+    if (!readFile(pathFor(key), text))
+        return std::nullopt;
+    std::string err;
+    Json j = Json::parse(text, &err);
+    if (!err.empty()) {
+        warn("corrupt cache entry '%s': %s", key.c_str(), err.c_str());
+        return std::nullopt;
+    }
+    return j;
+}
+
+void
+ResultStore::put(const std::string &key, const Json &value) const
+{
+    if (dir.empty())
+        return;
+    if (!writeFile(pathFor(key), value.dump(2)))
+        warn("failed to write cache entry '%s'", key.c_str());
+}
+
+} // namespace vstack

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * On-disk campaign result cache.
+ *
+ * Injection campaigns are expensive (hundreds of full-system
+ * simulations per data point) and shared between figures, so results
+ * are memoised as JSON keyed by every parameter that affects them.
+ * Benches hit the cache after the first run; deleting the directory
+ * forces recomputation.
+ */
+#ifndef VSTACK_CORE_RESULTSTORE_H
+#define VSTACK_CORE_RESULTSTORE_H
+
+#include <optional>
+#include <string>
+
+#include "support/json.h"
+
+namespace vstack
+{
+
+class ResultStore
+{
+  public:
+    /** @param dir cache directory; empty string disables caching. */
+    explicit ResultStore(std::string dir);
+
+    bool enabled() const { return !dir.empty(); }
+
+    /** Fetch a cached value; nullopt on miss/parse failure. */
+    std::optional<Json> get(const std::string &key) const;
+
+    /** Store a value (no-op when disabled). */
+    void put(const std::string &key, const Json &value) const;
+
+    /** Filesystem path backing a key (for diagnostics). */
+    std::string pathFor(const std::string &key) const;
+
+  private:
+    std::string dir;
+};
+
+} // namespace vstack
+
+#endif // VSTACK_CORE_RESULTSTORE_H

@@ -1,0 +1,333 @@
+#include "vstack.h"
+
+#include "arch/pvf.h"
+#include "compiler/compile.h"
+#include "ft/harden.h"
+#include "kernel/kernel.h"
+#include "support/logging.h"
+#include "support/stats.h"
+#include "swfi/svf.h"
+#include "workloads/workloads.h"
+
+namespace vstack
+{
+
+namespace
+{
+
+constexpr const char *SCHEMA = "v1";
+
+Json
+countsToJson(const OutcomeCounts &c)
+{
+    Json j = Json::object();
+    j.set("masked", c.masked);
+    j.set("sdc", c.sdc);
+    j.set("crash", c.crash);
+    j.set("detected", c.detected);
+    return j;
+}
+
+OutcomeCounts
+countsFromJson(const Json &j)
+{
+    OutcomeCounts c;
+    c.masked = static_cast<uint64_t>(j.at("masked").asInt());
+    c.sdc = static_cast<uint64_t>(j.at("sdc").asInt());
+    c.crash = static_cast<uint64_t>(j.at("crash").asInt());
+    c.detected = static_cast<uint64_t>(j.at("detected").asInt());
+    return c;
+}
+
+Json
+uarchToJson(const UarchCampaignResult &r)
+{
+    Json j = Json::object();
+    j.set("outcomes", countsToJson(r.outcomes));
+    Json f = Json::object();
+    f.set("wd", r.fpms.wd);
+    f.set("wi", r.fpms.wi);
+    f.set("woi", r.fpms.woi);
+    f.set("esc", r.fpms.esc);
+    j.set("fpms", f);
+    j.set("hwMasked", r.hwMasked);
+    j.set("samples", r.samples);
+    return j;
+}
+
+UarchCampaignResult
+uarchFromJson(const Json &j)
+{
+    UarchCampaignResult r;
+    r.outcomes = countsFromJson(j.at("outcomes"));
+    const Json &f = j.at("fpms");
+    r.fpms.wd = static_cast<uint64_t>(f.at("wd").asInt());
+    r.fpms.wi = static_cast<uint64_t>(f.at("wi").asInt());
+    r.fpms.woi = static_cast<uint64_t>(f.at("woi").asInt());
+    r.fpms.esc = static_cast<uint64_t>(f.at("esc").asInt());
+    r.hwMasked = static_cast<uint64_t>(j.at("hwMasked").asInt());
+    r.samples = static_cast<uint64_t>(j.at("samples").asInt());
+    return r;
+}
+
+Json
+goldenToJson(const UarchGolden &g)
+{
+    Json j = Json::object();
+    j.set("cycles", g.cycles);
+    j.set("insts", g.insts);
+    j.set("kernelInsts", g.kernelInsts);
+    j.set("kernelCycles", g.kernelCycles);
+    j.set("exitCode", g.exitCode);
+    return j; // DMA bytes not cached; only stats are consumed
+}
+
+} // namespace
+
+VulnSplit
+toSplit(const OutcomeCounts &c)
+{
+    VulnSplit s;
+    s.sdc = c.sdcRate();
+    s.crash = c.crashRate();
+    s.detected = c.detectedRate();
+    return s;
+}
+
+struct VulnerabilityStack::Cache
+{
+    std::map<std::string, ir::Module> irs;
+    std::map<std::string, Program> images;
+    std::map<IsaId, Program> kernels;
+};
+
+VulnerabilityStack::VulnerabilityStack(const EnvConfig &cfg)
+    : cfg(cfg), store(cfg.resultsDir), cache(std::make_unique<Cache>())
+{
+}
+
+VulnerabilityStack::~VulnerabilityStack() = default;
+
+const ir::Module &
+VulnerabilityStack::irFor(const Variant &v, int xlen)
+{
+    const std::string key = v.tag() + "/" + std::to_string(xlen);
+    auto it = cache->irs.find(key);
+    if (it != cache->irs.end())
+        return it->second;
+
+    mcl::FrontendResult fr =
+        mcl::compileToIr(findWorkload(v.workload).source, xlen);
+    if (!fr.ok)
+        fatal("compile %s: %s", v.workload.c_str(), fr.error.c_str());
+    ir::Module m = std::move(fr.module);
+    if (v.hardened)
+        m = hardenModule(m, defaultHardenOptions());
+    return cache->irs.emplace(key, std::move(m)).first->second;
+}
+
+const Program &
+VulnerabilityStack::imageFor(const Variant &v, IsaId isa)
+{
+    const std::string key =
+        v.tag() + "/" + isaName(isa);
+    auto it = cache->images.find(key);
+    if (it != cache->images.end())
+        return it->second;
+
+    if (!cache->kernels.count(isa))
+        cache->kernels.emplace(isa, buildKernel(isa));
+
+    const ir::Module &m = irFor(v, IsaSpec::get(isa).xlen);
+    mcl::BuildResult build = mcl::buildUserFromIr(m, isa);
+    if (!build.ok)
+        fatal("codegen %s: %s", v.tag().c_str(), build.error.c_str());
+    Program sys = buildSystemImage(cache->kernels.at(isa), build.program);
+    return cache->images.emplace(key, std::move(sys)).first->second;
+}
+
+UarchCampaignResult
+VulnerabilityStack::uarch(const std::string &core, const Variant &v,
+                          Structure s)
+{
+    const std::string key = strprintf(
+        "uarch/%s/%s/%s/%s/n%zu/seed%llu", SCHEMA, core.c_str(),
+        v.tag().c_str(), structureName(s), cfg.uarchFaults,
+        static_cast<unsigned long long>(cfg.seed));
+    if (auto cached = store.get(key))
+        return uarchFromJson(*cached);
+
+    const CoreConfig &cc = coreByName(core);
+    UarchCampaign campaign(cc, imageFor(v, cc.isa));
+    UarchCampaignResult r = campaign.run(s, cfg.uarchFaults, cfg.seed);
+    store.put(key, uarchToJson(r));
+    return r;
+}
+
+UarchGolden
+VulnerabilityStack::uarchGolden(const std::string &core, const Variant &v)
+{
+    const std::string key = strprintf("golden/%s/%s/%s", SCHEMA,
+                                      core.c_str(), v.tag().c_str());
+    if (auto cached = store.get(key)) {
+        UarchGolden g;
+        g.cycles = static_cast<uint64_t>(cached->at("cycles").asInt());
+        g.insts = static_cast<uint64_t>(cached->at("insts").asInt());
+        g.kernelInsts =
+            static_cast<uint64_t>(cached->at("kernelInsts").asInt());
+        g.kernelCycles =
+            static_cast<uint64_t>(cached->at("kernelCycles").asInt());
+        g.exitCode =
+            static_cast<uint32_t>(cached->at("exitCode").asInt());
+        return g;
+    }
+    const CoreConfig &cc = coreByName(core);
+    UarchCampaign campaign(cc, imageFor(v, cc.isa));
+    store.put(key, goldenToJson(campaign.golden()));
+    return campaign.golden();
+}
+
+OutcomeCounts
+VulnerabilityStack::pvf(IsaId isa, const Variant &v, Fpm fpm)
+{
+    const std::string key = strprintf(
+        "pvf/%s/%s/%s/%s/n%zu/seed%llu", SCHEMA, isaName(isa),
+        v.tag().c_str(), fpmName(fpm), cfg.archFaults,
+        static_cast<unsigned long long>(cfg.seed));
+    if (auto cached = store.get(key))
+        return countsFromJson(*cached);
+
+    ArchConfig acfg;
+    acfg.isa = isa;
+    PvfCampaign campaign(imageFor(v, isa), acfg);
+    OutcomeCounts c = campaign.run(fpm, cfg.archFaults, cfg.seed);
+    store.put(key, countsToJson(c));
+    return c;
+}
+
+OutcomeCounts
+VulnerabilityStack::svf(const Variant &v)
+{
+    const std::string key = strprintf(
+        "svf/%s/%s/n%zu/seed%llu", SCHEMA, v.tag().c_str(), cfg.swFaults,
+        static_cast<unsigned long long>(cfg.seed));
+    if (auto cached = store.get(key))
+        return countsFromJson(*cached);
+
+    SvfCampaign campaign(irFor(v, 64));
+    OutcomeCounts c = campaign.run(cfg.swFaults, cfg.seed);
+    store.put(key, countsToJson(c));
+    return c;
+}
+
+VulnSplit
+VulnerabilityStack::weightedAvf(const std::string &core, const Variant &v)
+{
+    const CoreConfig &cc = coreByName(core);
+    CycleSim sizer(cc);
+    double num_sdc = 0, num_crash = 0, num_det = 0, den = 0;
+    for (Structure s : allStructures) {
+        const double bits =
+            static_cast<double>(sizer.structureBits(s));
+        UarchCampaignResult r = uarch(core, v, s);
+        num_sdc += bits * r.outcomes.sdcRate();
+        num_crash += bits * r.outcomes.crashRate();
+        num_det += bits * r.outcomes.detectedRate();
+        den += bits;
+    }
+    VulnSplit out;
+    out.sdc = num_sdc / den;
+    out.crash = num_crash / den;
+    out.detected = num_det / den;
+    return out;
+}
+
+FpmShares
+VulnerabilityStack::weightedFpmDist(const std::string &core,
+                                    const Variant &v)
+{
+    const CoreConfig &cc = coreByName(core);
+    CycleSim sizer(cc);
+    double w[4] = {0, 0, 0, 0};
+    for (Structure s : allStructures) {
+        const double bits =
+            static_cast<double>(sizer.structureBits(s));
+        UarchCampaignResult r = uarch(core, v, s);
+        if (r.samples == 0)
+            continue;
+        const double inv = bits / static_cast<double>(r.samples);
+        w[0] += inv * static_cast<double>(r.fpms.wd);
+        w[1] += inv * static_cast<double>(r.fpms.wi);
+        w[2] += inv * static_cast<double>(r.fpms.woi);
+        w[3] += inv * static_cast<double>(r.fpms.esc);
+    }
+    const double total = w[0] + w[1] + w[2] + w[3];
+    FpmShares shares;
+    if (total > 0) {
+        shares.wd = w[0] / total;
+        shares.wi = w[1] / total;
+        shares.woi = w[2] / total;
+        shares.esc = w[3] / total;
+    }
+    return shares;
+}
+
+VulnSplit
+VulnerabilityStack::pvfSplit(IsaId isa, const Variant &v)
+{
+    return toSplit(pvf(isa, v, Fpm::WD));
+}
+
+VulnSplit
+VulnerabilityStack::svfSplit(const Variant &v)
+{
+    return toSplit(svf(v));
+}
+
+VulnSplit
+VulnerabilityStack::rPvf(const std::string &core, const Variant &v)
+{
+    const CoreConfig &cc = coreByName(core);
+    const FpmShares dist = weightedFpmDist(core, v);
+    // ESC is unobservable at the PVF layer; renormalise over the
+    // software-reachable FPMs.
+    const double reach = dist.wd + dist.wi + dist.woi;
+    VulnSplit out;
+    if (reach <= 0)
+        return out;
+    for (Fpm f : {Fpm::WD, Fpm::WI, Fpm::WOI}) {
+        const double w = dist.get(f) / reach;
+        VulnSplit s = toSplit(pvf(cc.isa, v, f));
+        out.sdc += w * s.sdc;
+        out.crash += w * s.crash;
+        out.detected += w * s.detected;
+    }
+    return out;
+}
+
+VulnerabilityStack::FitReport
+VulnerabilityStack::fitReport(const std::string &core, const Variant &v,
+                              double fitPerBit)
+{
+    const CoreConfig &cc = coreByName(core);
+    CycleSim sizer(cc);
+    FitReport report;
+    for (Structure s : allStructures) {
+        FitEntry e;
+        e.structure = s;
+        e.bits = sizer.structureBits(s);
+        e.avf = uarch(core, v, s).avf();
+        e.fit = e.avf * fitPerBit * static_cast<double>(e.bits);
+        report.totalFit += e.fit;
+        report.perStructure.push_back(e);
+    }
+    return report;
+}
+
+double
+VulnerabilityStack::uarchMargin() const
+{
+    return samplingMargin(cfg.uarchFaults, 0.5, 0.99);
+}
+
+} // namespace vstack

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The cross-layer vulnerability-stack API — the library's front door.
+ *
+ * A VulnerabilityStack instance owns the toolchain (compiler, kernel,
+ * workloads), the three injection engines (microarchitectural /
+ * architectural / software), and a result cache, and exposes the
+ * paper's metrics:
+ *
+ *  - AVF: cross-layer vulnerability from microarchitecture-level
+ *    injection (per structure, and size-weighted per benchmark);
+ *  - HVF + FPM distribution: hardware-layer visibility of the same
+ *    campaigns (WD / WI / WOI / ESC);
+ *  - PVF: architecture-level injection per fault propagation model;
+ *  - SVF: software-level (IR) injection, WD-only, user code only;
+ *  - rPVF: PVF-per-FPM weighted by the HVF-measured, size-weighted
+ *    FPM distribution (Section V).
+ *
+ * Every campaign is deterministic in (seed, sample count) and
+ * memoised in the on-disk result store.
+ */
+#ifndef VSTACK_CORE_VSTACK_H
+#define VSTACK_CORE_VSTACK_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compiler/ir.h"
+#include "core/resultstore.h"
+#include "gefin/campaign.h"
+#include "machine/fpm.h"
+#include "machine/outcome.h"
+#include "support/env.h"
+#include "uarch/config.h"
+
+namespace vstack
+{
+
+/** SDC/Crash/Detected rates of one measurement (any layer). */
+struct VulnSplit
+{
+    double sdc = 0;
+    double crash = 0;
+    double detected = 0;
+
+    double total() const { return sdc + crash; }
+};
+
+/** Size-weighted FPM shares (sums to 1 when any faults are visible). */
+struct FpmShares
+{
+    double wd = 0, wi = 0, woi = 0, esc = 0;
+
+    double get(Fpm f) const
+    {
+        switch (f) {
+          case Fpm::WD: return wd;
+          case Fpm::WI: return wi;
+          case Fpm::WOI: return woi;
+          case Fpm::ESC: return esc;
+        }
+        return 0;
+    }
+};
+
+/** A workload variant: baseline or FT-hardened. */
+struct Variant
+{
+    std::string workload;
+    bool hardened = false;
+
+    std::string tag() const
+    {
+        return workload + (hardened ? "-ft" : "");
+    }
+};
+
+class VulnerabilityStack
+{
+  public:
+    explicit VulnerabilityStack(const EnvConfig &cfg);
+    ~VulnerabilityStack();
+
+    const EnvConfig &config() const { return cfg; }
+
+    /** @name Build artifacts (cached in-process) @{ */
+    const ir::Module &irFor(const Variant &v, int xlen);
+    /** Bootable kernel+user system image. */
+    const Program &imageFor(const Variant &v, IsaId isa);
+    /** @} */
+
+    /** @name Campaigns (memoised on disk) @{ */
+    /** Microarchitecture-level campaign: AVF + HVF + FPMs. */
+    UarchCampaignResult uarch(const std::string &core, const Variant &v,
+                              Structure s);
+    /** Golden cycle-level run statistics. */
+    UarchGolden uarchGolden(const std::string &core, const Variant &v);
+    /** Architecture-level campaign for one FPM. */
+    OutcomeCounts pvf(IsaId isa, const Variant &v, Fpm fpm);
+    /** Software-level campaign (LLFI analog; 64-bit IR only). */
+    OutcomeCounts svf(const Variant &v);
+    /** @} */
+
+    /** @name Derived paper metrics @{ */
+    /** Structure-size (FIT) weighted cross-layer AVF of a benchmark. */
+    VulnSplit weightedAvf(const std::string &core, const Variant &v);
+    /** Size-weighted FPM distribution (Fig. 6), ESC included. */
+    FpmShares weightedFpmDist(const std::string &core, const Variant &v);
+    /** Typical PVF (WD model only, as PVF studies use). */
+    VulnSplit pvfSplit(IsaId isa, const Variant &v);
+    /** SVF split. */
+    VulnSplit svfSplit(const Variant &v);
+    /** rPVF: PVF-per-FPM weighted by the core's FPM distribution. */
+    VulnSplit rPvf(const std::string &core, const Variant &v);
+    /** @} */
+
+    /**
+     * FIT-rate report (the paper's footnote 1):
+     * FIT(s) = AVF(s) * FIT(bit) * bits(s), summed over structures.
+     *
+     * @param fitPerBit  per-bit FIT rate from technology data
+     *                   (defaults to 1e-4 FIT/bit, a typical planar
+     *                   SRAM ballpark)
+     */
+    struct FitEntry
+    {
+        Structure structure;
+        uint64_t bits;
+        double avf;
+        double fit;
+    };
+    struct FitReport
+    {
+        std::vector<FitEntry> perStructure;
+        double totalFit = 0;
+    };
+    FitReport fitReport(const std::string &core, const Variant &v,
+                        double fitPerBit = 1e-4);
+
+    /** Sampling margin of error for the microarch campaigns (99%). */
+    double uarchMargin() const;
+
+  private:
+    EnvConfig cfg;
+    ResultStore store;
+    struct Cache;
+    std::unique_ptr<Cache> cache;
+};
+
+/** Convert an outcome count to rates (denominator = all samples). */
+VulnSplit toSplit(const OutcomeCounts &c);
+
+} // namespace vstack
+
+#endif // VSTACK_CORE_VSTACK_H

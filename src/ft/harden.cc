@@ -1,0 +1,382 @@
+#include "harden.h"
+
+#include <cassert>
+
+#include "compiler/compile.h"
+#include "machine/memmap.h"
+#include "support/logging.h"
+
+namespace vstack
+{
+
+using ir::Block;
+using ir::Func;
+using ir::Inst;
+using ir::IrOp;
+using ir::Value;
+
+namespace
+{
+
+/** Sentinel branch target meaning "the detector block" (fixed up at
+ *  the end of the function transform). */
+constexpr int DETECT_TARGET = -2;
+
+/** Modular inverse of an odd constant mod 2^bits (Newton). */
+uint64_t
+modInverse(uint64_t a, int bits)
+{
+    uint64_t x = a; // 5-bit seed, doubled precision per step
+    for (int i = 0; i < 6; ++i)
+        x *= 2 - a * x;
+    if (bits < 64)
+        x &= (1ull << bits) - 1;
+    return x;
+}
+
+class FuncHardener
+{
+  public:
+    FuncHardener(const Func &src, const HardenOptions &opts, int siteId,
+                 int xlen)
+        : src(src), opts(opts), siteId(siteId),
+          aInv(static_cast<int64_t>(
+              modInverse(static_cast<uint64_t>(opts.A), xlen)))
+    {}
+
+    Func run()
+    {
+        out.name = src.name;
+        out.numParams = src.numParams;
+        out.hasResult = src.hasResult;
+        out.localArrays = src.localArrays;
+        out.numVregs = src.numVregs;
+        shadow.assign(static_cast<size_t>(src.numVregs), -1);
+
+        // One output block per original block start.
+        blockMap.resize(src.blocks.size());
+
+        for (size_t bi = 0; bi < src.blocks.size(); ++bi) {
+            startBlock(static_cast<int>(bi));
+            if (bi == 0)
+                encodeParams();
+            for (const Inst &inst : src.blocks[bi].insts)
+                transform(inst);
+        }
+
+        appendDetector();
+        fixupTargets();
+        return std::move(out);
+    }
+
+  private:
+    // ---- block plumbing -------------------------------------------------
+    void startBlock(int origIdx)
+    {
+        out.blocks.emplace_back();
+        cur = static_cast<int>(out.blocks.size()) - 1;
+        blockMap[origIdx] = cur;
+    }
+
+    void emit(Inst inst) { out.blocks[cur].insts.push_back(std::move(inst)); }
+
+    int newVreg() { return out.numVregs++; }
+
+    int shadowOf(int v)
+    {
+        if (shadow[v] < 0)
+            shadow[v] = newVreg();
+        return shadow[v];
+    }
+
+    Value shadowVal(const Value &v)
+    {
+        if (v.isConst)
+            return Value::imm(static_cast<int64_t>(
+                static_cast<uint64_t>(v.konst) *
+                static_cast<uint64_t>(opts.A)));
+        return Value::reg(shadowOf(v.vreg));
+    }
+
+    Inst bin(IrOp op, int dst, Value a, Value b)
+    {
+        Inst i;
+        i.op = op;
+        i.dst = dst;
+        i.hasA = i.hasB = true;
+        i.a = a;
+        i.b = b;
+        return i;
+    }
+
+    /**
+     * Decode a shadow back to the plain domain.  A is odd, so
+     * multiplication by A is a bijection mod 2^xlen and the decode
+     * multiplies by the modular inverse — exact for every value, and
+     * a corrupted shadow still decodes to a wrong plain value that
+     * the re-encode check catches.
+     */
+    Value decode(const Value &v)
+    {
+        if (v.isConst)
+            return v;
+        const int raw = newVreg();
+        emit(bin(IrOp::Mul, raw, Value::reg(shadowOf(v.vreg)),
+                 Value::imm(aInv)));
+        return Value::reg(raw);
+    }
+
+    /** Re-encode a plain value into a shadow register. */
+    void encodeInto(int shadowReg, Value plain)
+    {
+        emit(bin(IrOp::Mul, shadowReg, plain, Value::imm(opts.A)));
+    }
+
+    void encodeParams()
+    {
+        for (int p = 0; p < src.numParams; ++p)
+            encodeInto(shadowOf(p), Value::reg(p));
+    }
+
+    /**
+     * Verify a primary value against its shadow; control continues in
+     * a fresh block on success and jumps to the detector on mismatch.
+     */
+    void check(const Value &v)
+    {
+        if (v.isConst)
+            return;
+        const int enc = newVreg();
+        emit(bin(IrOp::Mul, enc, v, Value::imm(opts.A)));
+        const int cmp = newVreg();
+        emit(bin(IrOp::CmpNe, cmp, Value::reg(enc),
+                 Value::reg(shadowOf(v.vreg))));
+
+        Inst br;
+        br.op = IrOp::CondBr;
+        br.hasA = true;
+        br.a = Value::reg(cmp);
+        br.target0 = DETECT_TARGET;
+        br.target1 = static_cast<int>(out.blocks.size()); // next block
+        finalTargets.insert(
+            {cur, static_cast<int>(out.blocks[cur].insts.size())});
+        emit(std::move(br));
+
+        out.blocks.emplace_back();
+        cur = static_cast<int>(out.blocks.size()) - 1;
+    }
+
+    // ---- per-instruction transform ---------------------------------------
+    void transform(const Inst &inst)
+    {
+        switch (inst.op) {
+          case IrOp::Add:
+          case IrOp::Sub:
+            // AN-closed: shadows flow natively.
+            emit(inst);
+            emit(bin(inst.op, shadowOf(inst.dst), shadowVal(inst.a),
+                     shadowVal(inst.b)));
+            return;
+          case IrOp::Mov:
+            emit(inst);
+            {
+                Inst m;
+                m.op = IrOp::Mov;
+                m.dst = shadowOf(inst.dst);
+                m.hasA = true;
+                m.a = shadowVal(inst.a);
+                emit(std::move(m));
+            }
+            return;
+          case IrOp::Mul:
+          case IrOp::SDiv:
+          case IrOp::UDiv:
+          case IrOp::SRem:
+          case IrOp::URem:
+          case IrOp::And:
+          case IrOp::Or:
+          case IrOp::Xor:
+          case IrOp::Shl:
+          case IrOp::LShr:
+          case IrOp::AShr:
+          case IrOp::CmpEq:
+          case IrOp::CmpNe:
+          case IrOp::CmpSLt:
+          case IrOp::CmpSLe:
+          case IrOp::CmpSGt:
+          case IrOp::CmpSGe:
+          case IrOp::CmpULt:
+          case IrOp::CmpUGe: {
+            // Duplicated computation: decode, re-execute, re-encode.
+            emit(inst);
+            Value araw = decode(inst.a);
+            Value braw = decode(inst.b);
+            const int dup = newVreg();
+            emit(bin(inst.op, dup, araw, braw));
+            encodeInto(shadowOf(inst.dst), Value::reg(dup));
+            return;
+          }
+          case IrOp::Load: {
+            emit(inst);
+            // Duplicate the load through the decoded address.
+            Value araw = decode(inst.a);
+            Inst dup = inst;
+            dup.dst = newVreg();
+            dup.a = araw;
+            const int dupDst = dup.dst;
+            emit(std::move(dup));
+            encodeInto(shadowOf(inst.dst), Value::reg(dupDst));
+            return;
+          }
+          case IrOp::AddrGlobal:
+          case IrOp::AddrLocal: {
+            emit(inst);
+            Inst dup = inst;
+            dup.dst = newVreg();
+            const int dupDst = dup.dst;
+            emit(std::move(dup));
+            encodeInto(shadowOf(inst.dst), Value::reg(dupDst));
+            return;
+          }
+          case IrOp::CacheClean:
+            emit(inst);
+            return;
+          case IrOp::Store:
+            // Values leaving the protected domain are verified.
+            if (opts.checkAddresses)
+                check(inst.a);
+            check(inst.b);
+            emit(inst);
+            return;
+          case IrOp::CondBr: {
+            check(inst.a);
+            emitOrigTerminator(inst);
+            return;
+          }
+          case IrOp::Br:
+            emitOrigTerminator(inst);
+            return;
+          case IrOp::Ret:
+            if (inst.hasA)
+                check(inst.a);
+            emit(inst);
+            return;
+          case IrOp::Call: {
+            for (const Value &arg : inst.args)
+                check(arg);
+            emit(inst);
+            if (inst.dst >= 0)
+                encodeInto(shadowOf(inst.dst), Value::reg(inst.dst));
+            return;
+          }
+          case IrOp::Syscall: {
+            for (const Value &arg : inst.args)
+                check(arg);
+            emit(inst);
+            if (inst.dst >= 0)
+                encodeInto(shadowOf(inst.dst), Value::reg(inst.dst));
+            return;
+          }
+        }
+        panic("unhandled IR op in hardener");
+    }
+
+    /** Emit a terminator whose targets are original block indices
+     *  (fixed up to output indices at the end). */
+    void emitOrigTerminator(const Inst &inst)
+    {
+        origTargets.insert(
+            {cur, static_cast<int>(out.blocks[cur].insts.size())});
+        emit(inst);
+    }
+
+    void appendDetector()
+    {
+        out.blocks.emplace_back();
+        detectIdx = static_cast<int>(out.blocks.size()) - 1;
+        Inst det;
+        det.op = IrOp::Syscall;
+        det.dst = newVreg();
+        det.sysNr = static_cast<uint32_t>(Syscall::Detect);
+        det.args.push_back(Value::imm(siteId));
+        det.args.push_back(Value::imm(0));
+        out.blocks[detectIdx].insts.push_back(std::move(det));
+        // The detect syscall halts the run; self-loop as terminator.
+        Inst loop;
+        loop.op = IrOp::Br;
+        loop.target0 = detectIdx;
+        out.blocks[detectIdx].insts.push_back(std::move(loop));
+    }
+
+    void fixupTargets()
+    {
+        for (size_t bi = 0; bi < out.blocks.size(); ++bi) {
+            for (size_t ii = 0; ii < out.blocks[bi].insts.size(); ++ii) {
+                Inst &inst = out.blocks[bi].insts[ii];
+                if (!inst.isTerminator())
+                    continue;
+                const std::pair<int, int> key = {static_cast<int>(bi),
+                                                 static_cast<int>(ii)};
+                if (origTargets.count(key)) {
+                    if (inst.op == IrOp::Br || inst.op == IrOp::CondBr)
+                        inst.target0 = blockMap[inst.target0];
+                    if (inst.op == IrOp::CondBr)
+                        inst.target1 = blockMap[inst.target1];
+                } else if (finalTargets.count(key)) {
+                    if (inst.target0 == DETECT_TARGET)
+                        inst.target0 = detectIdx;
+                    if (inst.target1 == DETECT_TARGET)
+                        inst.target1 = detectIdx;
+                }
+            }
+        }
+    }
+
+    const Func &src;
+    const HardenOptions &opts;
+    const int siteId;
+    const int64_t aInv;
+    Func out;
+    int cur = 0;
+    int detectIdx = -1;
+    std::vector<int> shadow;
+    std::vector<int> blockMap;
+    std::set<std::pair<int, int>> origTargets;  ///< original targets
+    std::set<std::pair<int, int>> finalTargets; ///< check branches
+};
+
+} // namespace
+
+HardenOptions
+defaultHardenOptions()
+{
+    HardenOptions opts;
+    for (const std::string &name : mcl::runtimeFuncNames())
+        opts.skip.insert(name);
+    return opts;
+}
+
+ir::Module
+hardenModule(const ir::Module &m, const HardenOptions &opts)
+{
+    ir::Module out;
+    out.xlen = m.xlen;
+    out.globals = m.globals;
+    out.funcIndex = m.funcIndex;
+    out.funcs.reserve(m.funcs.size());
+    for (size_t fi = 0; fi < m.funcs.size(); ++fi) {
+        const Func &f = m.funcs[fi];
+        if (opts.skip.count(f.name)) {
+            out.funcs.push_back(f);
+            continue;
+        }
+        FuncHardener h(f, opts, static_cast<int>(fi) + 1, m.xlen);
+        out.funcs.push_back(h.run());
+    }
+    const std::string err = ir::verify(out);
+    if (!err.empty())
+        fatal("hardened IR failed verification: %s", err.c_str());
+    return out;
+}
+
+} // namespace vstack

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Software-based fault tolerance: AN-encoding + duplicated
+ * instructions (the paper's Section VI case-study technique).
+ *
+ * An IR-to-IR pass maintains, for every virtual register `v`, a
+ * shadow register holding `v * A` (the AN code word):
+ *
+ *  - additive operations flow natively in the AN domain
+ *    (shadow(a+b) = shadow(a) + shadow(b));
+ *  - non-AN-closed operations (multiplies, divisions, bitwise ops,
+ *    shifts, comparisons, loads, address computations) are
+ *    *duplicated*: operands are decoded (signed divide by A), the
+ *    operation re-executed, and the result re-encoded;
+ *  - at every point where a value leaves the protected dataflow —
+ *    store address and value, conditional-branch condition, call and
+ *    syscall arguments, return values — the primary value is
+ *    re-encoded and compared against its shadow; a mismatch branches
+ *    to a detector that raises the `detect` syscall.
+ *
+ * Like the paper's technique, only application code is protected:
+ * runtime-library functions (and of course the kernel, which is not
+ * even visible at this layer) run unhardened, and call results
+ * re-enter the protected domain unchecked.  Decoding multiplies by
+ * A^-1 mod 2^xlen (A is odd, so encoding is a bijection), making the
+ * transform exact for every value on both targets.
+ */
+#ifndef VSTACK_FT_HARDEN_H
+#define VSTACK_FT_HARDEN_H
+
+#include <set>
+#include <string>
+
+#include "compiler/ir.h"
+
+namespace vstack
+{
+
+/** Options for the hardening pass. */
+struct HardenOptions
+{
+    /** The AN-code multiplier (default from the AN-encoding
+     *  literature; any odd constant < 2^16 works). */
+    int64_t A = 58659;
+    /** Function names to leave unprotected (runtime library). */
+    std::set<std::string> skip;
+    /** Also verify store addresses (not only stored values). */
+    bool checkAddresses = true;
+};
+
+/** Return a hardened copy of the module. */
+ir::Module hardenModule(const ir::Module &m, const HardenOptions &opts);
+
+/** Convenience: options with the runtime library skipped. */
+HardenOptions defaultHardenOptions();
+
+} // namespace vstack
+
+#endif // VSTACK_FT_HARDEN_H

@@ -1,0 +1,78 @@
+#include "campaign.h"
+
+#include "support/logging.h"
+#include "support/rng.h"
+
+namespace vstack
+{
+
+UarchCampaign::UarchCampaign(const CoreConfig &core, Program image)
+    : core_(core), image(std::move(image)), sim(core)
+{
+    sim.load(this->image);
+    UarchRunResult r = sim.run(400'000'000);
+    if (r.stop != StopReason::Exited) {
+        fatal("golden cycle-level run failed on %s: %s",
+              core.name.c_str(), r.excMsg.c_str());
+    }
+    golden_.cycles = r.cycles;
+    golden_.insts = r.insts;
+    golden_.kernelInsts = r.kernelInsts;
+    golden_.kernelCycles = r.kernelCycles;
+    golden_.dma = r.output.dma;
+    golden_.exitCode = r.output.exitCode;
+}
+
+Outcome
+UarchCampaign::runOne(const FaultSite &site, Visibility &vis)
+{
+    sim.load(image);
+    sim.scheduleInjection(site);
+    UarchRunResult r = sim.run(golden_.cycles * 4 + 50'000);
+    vis = r.visibility;
+
+    switch (r.stop) {
+      case StopReason::DetectHit:
+        return Outcome::Detected;
+      case StopReason::Exception:
+      case StopReason::Watchdog:
+      case StopReason::Running:
+        return Outcome::Crash;
+      case StopReason::Exited:
+        break;
+    }
+    if (r.output.dma != golden_.dma || r.output.exitCode != golden_.exitCode)
+        return Outcome::Sdc;
+    return Outcome::Masked;
+}
+
+UarchCampaignResult
+UarchCampaign::run(Structure structure, size_t n, uint64_t seed,
+                   const std::function<void(size_t)> &progress)
+{
+    const uint64_t bits = sim.structureBits(structure);
+    Rng master(seed ^ (static_cast<uint64_t>(structure) << 56));
+
+    UarchCampaignResult res;
+    res.samples = n;
+    for (size_t i = 0; i < n; ++i) {
+        Rng rng = master.fork();
+        FaultSite site;
+        site.structure = structure;
+        site.cycle = 1 + rng.uniform(golden_.cycles);
+        site.bit = rng.uniform(bits);
+
+        Visibility vis;
+        const Outcome out = runOne(site, vis);
+        res.outcomes.add(out);
+        if (vis.visible)
+            res.fpms.add(vis.fpm);
+        else
+            ++res.hwMasked;
+        if (progress)
+            progress(i + 1);
+    }
+    return res;
+}
+
+} // namespace vstack

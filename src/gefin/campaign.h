@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Microarchitecture-level fault-injection campaigns (GeFIN analog).
+ *
+ * One campaign = N statistically sampled single-bit transient faults
+ * into one structure of one core running one workload.  Each
+ * injection is a full-system run to completion; the campaign yields
+ * both the cross-layer outcome statistics (AVF) and the
+ * first-visibility statistics (HVF + FPM distribution), exactly as
+ * the paper derives both metrics from the same infrastructure.
+ */
+#ifndef VSTACK_GEFIN_CAMPAIGN_H
+#define VSTACK_GEFIN_CAMPAIGN_H
+
+#include <functional>
+#include <string>
+
+#include "machine/fpm.h"
+#include "machine/outcome.h"
+#include "uarch/core.h"
+
+namespace vstack
+{
+
+/** Aggregate result of one microarchitectural campaign. */
+struct UarchCampaignResult
+{
+    OutcomeCounts outcomes; ///< AVF classification per injection
+    FpmCounts fpms;         ///< FPM of faults that became visible
+    uint64_t hwMasked = 0;  ///< never became architecturally visible
+    uint64_t samples = 0;
+
+    /** AVF = (SDC + Crash) / N (detections excluded, paper §VI.B). */
+    double avf() const { return outcomes.vulnerability(); }
+    /** HVF = architecturally visible fraction. */
+    double hvf() const
+    {
+        return samples ? static_cast<double>(fpms.total()) / samples : 0.0;
+    }
+};
+
+/** Golden (fault-free) cycle-level run data. */
+struct UarchGolden
+{
+    uint64_t cycles = 0;
+    uint64_t insts = 0;
+    uint64_t kernelInsts = 0;
+    uint64_t kernelCycles = 0;
+    std::vector<uint8_t> dma;
+    uint32_t exitCode = 0;
+};
+
+/**
+ * Campaign driver for one (core, system image) pair.  The simulator
+ * instance is reused across injections; each run reloads the image.
+ */
+class UarchCampaign
+{
+  public:
+    /** Runs the golden simulation on construction (fatal on failure). */
+    UarchCampaign(const CoreConfig &core, Program image);
+
+    const UarchGolden &golden() const { return golden_; }
+    const CoreConfig &core() const { return core_; }
+
+    /** Run one injection and classify it. */
+    Outcome runOne(const FaultSite &site, Visibility &vis);
+
+    /**
+     * Run a full campaign: n uniformly sampled (cycle, bit) faults in
+     * `structure`.  Deterministic for a given seed.
+     *
+     * @param progress  optional callback invoked after each sample
+     */
+    UarchCampaignResult
+    run(Structure structure, size_t n, uint64_t seed,
+        const std::function<void(size_t)> &progress = nullptr);
+
+  private:
+    CoreConfig core_;
+    Program image;
+    CycleSim sim;
+    UarchGolden golden_;
+};
+
+} // namespace vstack
+
+#endif // VSTACK_GEFIN_CAMPAIGN_H

@@ -1,0 +1,586 @@
+#include "assembler.h"
+
+#include <cassert>
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace vstack
+{
+
+namespace
+{
+
+/** Internal assembler state shared by both passes. */
+class Assembler
+{
+  public:
+    Assembler(const std::string &source, IsaId isa, uint32_t origin)
+        : source(source), isa(isa), origin(origin)
+    {}
+
+    AsmResult run()
+    {
+        AsmResult res;
+        // Pass 1: compute label addresses.
+        pass = 1;
+        if (!runPass()) {
+            res.error = error;
+            return res;
+        }
+        // Pass 2: encode.
+        pass = 2;
+        if (!runPass()) {
+            res.error = error;
+            return res;
+        }
+        flushSegment();
+        res.ok = true;
+        res.program.isa = isa;
+        res.program.segments = std::move(segments);
+        res.program.symbols = labels;
+        if (labels.count("_start"))
+            res.program.entry = labels["_start"];
+        else if (!res.program.segments.empty())
+            res.program.entry = res.program.segments.front().addr;
+        return res;
+    }
+
+  private:
+    bool fail(const std::string &msg)
+    {
+        if (error.empty())
+            error = strprintf("line %d: %s", lineNo, msg.c_str());
+        return false;
+    }
+
+    bool runPass()
+    {
+        pc = origin;
+        lineNo = 0;
+        segments.clear();
+        curSeg.reset();
+        std::istringstream in(source);
+        std::string line;
+        while (std::getline(in, line)) {
+            ++lineNo;
+            if (!processLine(line))
+                return false;
+        }
+        return error.empty();
+    }
+
+    static std::string stripComment(const std::string &line)
+    {
+        std::string out;
+        bool inStr = false;
+        for (size_t i = 0; i < line.size(); ++i) {
+            char c = line[i];
+            if (c == '"' && (i == 0 || line[i - 1] != '\\'))
+                inStr = !inStr;
+            if (!inStr) {
+                if (c == ';')
+                    break;
+                if (c == '/' && i + 1 < line.size() && line[i + 1] == '/')
+                    break;
+            }
+            out += c;
+        }
+        return out;
+    }
+
+    static std::string trim(const std::string &s)
+    {
+        size_t b = s.find_first_not_of(" \t\r\n");
+        if (b == std::string::npos)
+            return "";
+        size_t e = s.find_last_not_of(" \t\r\n");
+        return s.substr(b, e - b + 1);
+    }
+
+    bool processLine(const std::string &raw)
+    {
+        std::string line = trim(stripComment(raw));
+        // Peel leading labels ("name:").
+        for (;;) {
+            size_t colon = line.find(':');
+            if (colon == std::string::npos)
+                break;
+            std::string head = trim(line.substr(0, colon));
+            if (head.empty() || !isIdent(head))
+                break;
+            if (pass == 1) {
+                if (labels.count(head))
+                    return fail("duplicate label '" + head + "'");
+                labels[head] = pc;
+            }
+            line = trim(line.substr(colon + 1));
+        }
+        if (line.empty())
+            return true;
+        if (line[0] == '.')
+            return directive(line);
+        return instruction(line);
+    }
+
+    static bool isIdent(const std::string &s)
+    {
+        if (s.empty() || (!std::isalpha(s[0]) && s[0] != '_'))
+            return false;
+        for (char c : s) {
+            if (!std::isalnum(c) && c != '_')
+                return false;
+        }
+        return true;
+    }
+
+    bool parseValue(const std::string &tok, int64_t &out)
+    {
+        std::string t = trim(tok);
+        if (!t.empty() && t[0] == '#')
+            t = t.substr(1);
+        if (t.empty())
+            return fail("empty value");
+        if (t.size() >= 3 && t[0] == '\'' && t.back() == '\'') {
+            if (t.size() == 3) {
+                out = t[1];
+                return true;
+            }
+            if (t.size() == 4 && t[1] == '\\') {
+                switch (t[2]) {
+                  case 'n': out = '\n'; return true;
+                  case 't': out = '\t'; return true;
+                  case '0': out = 0; return true;
+                  case '\\': out = '\\'; return true;
+                  default: return fail("bad char escape");
+                }
+            }
+            return fail("bad char literal");
+        }
+        if (isIdent(t)) {
+            if (pass == 1) {
+                out = 0; // label addresses unknown in pass 1
+                return true;
+            }
+            auto it = labels.find(t);
+            if (it == labels.end())
+                return fail("undefined symbol '" + t + "'");
+            out = it->second;
+            return true;
+        }
+        char *end = nullptr;
+        errno = 0;
+        long long v = std::strtoll(t.c_str(), &end, 0);
+        if (end == t.c_str() || *end != '\0' || errno != 0)
+            return fail("bad value '" + t + "'");
+        out = v;
+        return true;
+    }
+
+    void emitBytes(const uint8_t *data, size_t n)
+    {
+        if (pass == 2) {
+            if (!curSeg) {
+                curSeg = Segment{pc, {}};
+            }
+            curSeg->bytes.insert(curSeg->bytes.end(), data, data + n);
+        }
+        pc += static_cast<uint32_t>(n);
+    }
+
+    void emitWord(uint32_t w)
+    {
+        uint8_t b[4] = {static_cast<uint8_t>(w), static_cast<uint8_t>(w >> 8),
+                        static_cast<uint8_t>(w >> 16),
+                        static_cast<uint8_t>(w >> 24)};
+        emitBytes(b, 4);
+    }
+
+    void flushSegment()
+    {
+        if (curSeg && !curSeg->bytes.empty())
+            segments.push_back(std::move(*curSeg));
+        curSeg.reset();
+    }
+
+    bool directive(const std::string &line)
+    {
+        std::istringstream ss(line);
+        std::string name;
+        ss >> name;
+        std::string rest = trim(line.substr(name.size()));
+        if (name == ".isa") {
+            isa = isaFromName(rest);
+            return true;
+        }
+        if (name == ".org") {
+            int64_t v;
+            if (!parseValue(rest, v))
+                return false;
+            flushSegment();
+            pc = static_cast<uint32_t>(v);
+            return true;
+        }
+        if (name == ".global")
+            return true; // all labels are global already
+        if (name == ".align") {
+            int64_t v;
+            if (!parseValue(rest, v))
+                return false;
+            while (pc % static_cast<uint32_t>(v)) {
+                uint8_t zero = 0;
+                emitBytes(&zero, 1);
+            }
+            return true;
+        }
+        if (name == ".word" || name == ".byte") {
+            for (const std::string &tok : splitOperands(rest)) {
+                int64_t v;
+                if (!parseValue(tok, v))
+                    return false;
+                if (name == ".word") {
+                    emitWord(static_cast<uint32_t>(v));
+                } else {
+                    uint8_t b = static_cast<uint8_t>(v);
+                    emitBytes(&b, 1);
+                }
+            }
+            return true;
+        }
+        if (name == ".space") {
+            int64_t v;
+            if (!parseValue(rest, v))
+                return false;
+            std::vector<uint8_t> zeros(static_cast<size_t>(v), 0);
+            emitBytes(zeros.data(), zeros.size());
+            return true;
+        }
+        if (name == ".ascii" || name == ".asciz") {
+            std::string text;
+            if (!parseString(rest, text))
+                return false;
+            emitBytes(reinterpret_cast<const uint8_t *>(text.data()),
+                      text.size());
+            if (name == ".asciz") {
+                uint8_t zero = 0;
+                emitBytes(&zero, 1);
+            }
+            return true;
+        }
+        return fail("unknown directive '" + name + "'");
+    }
+
+    bool parseString(const std::string &tok, std::string &out)
+    {
+        std::string t = trim(tok);
+        if (t.size() < 2 || t.front() != '"' || t.back() != '"')
+            return fail("expected string literal");
+        for (size_t i = 1; i + 1 < t.size(); ++i) {
+            char c = t[i];
+            if (c == '\\' && i + 2 < t.size()) {
+                char e = t[++i];
+                switch (e) {
+                  case 'n': out += '\n'; break;
+                  case 't': out += '\t'; break;
+                  case '0': out += '\0'; break;
+                  case '\\': out += '\\'; break;
+                  case '"': out += '"'; break;
+                  default: return fail("bad string escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+        return true;
+    }
+
+    /** Split "x1, [x2, #8]" into {"x1", "[x2, #8]"}. */
+    static std::vector<std::string> splitOperands(const std::string &s)
+    {
+        std::vector<std::string> out;
+        std::string cur;
+        int depth = 0;
+        for (char c : s) {
+            if (c == '[')
+                ++depth;
+            if (c == ']')
+                --depth;
+            if (c == ',' && depth == 0) {
+                out.push_back(trim(cur));
+                cur.clear();
+            } else {
+                cur += c;
+            }
+        }
+        if (!trim(cur).empty())
+            out.push_back(trim(cur));
+        return out;
+    }
+
+    bool parseRegOp(const std::string &tok, uint8_t &out)
+    {
+        int r = IsaSpec::get(isa).parseReg(trim(tok));
+        if (r < 0)
+            return fail("bad register '" + tok + "'");
+        out = static_cast<uint8_t>(r);
+        return true;
+    }
+
+    /** Parse "[reg]" or "[reg, #imm]". */
+    bool parseMemOp(const std::string &tok, uint8_t &base, int64_t &off)
+    {
+        std::string t = trim(tok);
+        if (t.size() < 3 || t.front() != '[' || t.back() != ']')
+            return fail("expected memory operand, got '" + tok + "'");
+        auto parts = splitOperands(t.substr(1, t.size() - 2));
+        if (parts.empty() || parts.size() > 2)
+            return fail("bad memory operand '" + tok + "'");
+        if (!parseRegOp(parts[0], base))
+            return false;
+        off = 0;
+        if (parts.size() == 2 && !parseValue(parts[1], off))
+            return false;
+        return true;
+    }
+
+    bool emitInst(Op op, uint8_t rd = 0, uint8_t rs1 = 0, uint8_t rs2 = 0,
+                  int64_t imm = 0, uint8_t hw = 0)
+    {
+        DecodedInst d;
+        d.op = op;
+        d.rd = rd;
+        d.rs1 = rs1;
+        d.rs2 = rs2;
+        d.imm = imm;
+        d.hw = hw;
+        d.valid = true;
+        // Range-check immediates so the assembler reports errors rather
+        // than tripping asserts inside encode().
+        const IsaSpec &spec = IsaSpec::get(isa);
+        const Format fmt = opInfo(op).format;
+        if (fmt == Format::I || fmt == Format::MemL || fmt == Format::MemS) {
+            const int ib = spec.immBits();
+            if (imm < -(1ll << (ib - 1)) || imm >= (1ll << (ib - 1)))
+                return fail("immediate out of range");
+        } else if (fmt == Format::Br) {
+            const int ib = spec.brBits();
+            const int64_t words = imm >> 2;
+            if ((imm & 3) ||
+                words < -(1ll << (ib - 1)) || words >= (1ll << (ib - 1)))
+                return fail("branch target out of range or misaligned");
+        } else if (fmt == Format::J) {
+            const int64_t words = imm >> 2;
+            if ((imm & 3) || words < -(1ll << 25) || words >= (1ll << 25))
+                return fail("jump target out of range or misaligned");
+        }
+        if (pass == 2)
+            emitWord(encode(isa, d));
+        else
+            pc += 4;
+        if (pass == 1)
+            return true;
+        return true;
+    }
+
+    bool instruction(const std::string &line)
+    {
+        std::istringstream ss(line);
+        std::string mnem;
+        ss >> mnem;
+        std::string rest = trim(line.substr(mnem.size()));
+        auto ops = splitOperands(rest);
+
+        // Pseudo-instructions first.
+        if (mnem == "li" || mnem == "la") {
+            if (ops.size() != 2)
+                return fail(mnem + " needs 2 operands");
+            uint8_t rd;
+            int64_t v;
+            if (!parseRegOp(ops[0], rd) || !parseValue(ops[1], v))
+                return false;
+            uint64_t uv = static_cast<uint64_t>(v) & 0xffffffffull;
+            if (pass == 2 && (v < 0 ? v < INT32_MIN : uv != static_cast<uint64_t>(v)))
+                return fail(mnem + " value does not fit in 32 bits");
+            if (isa == IsaId::Av32) {
+                if (!emitInst(Op::LUI, rd, 0, 0,
+                              static_cast<int64_t>((uv >> 10) & 0x3fffff)))
+                    return false;
+                return emitInst(Op::ORRI, rd, rd, 0,
+                                static_cast<int64_t>(uv & 0x3ff));
+            }
+            if (!emitInst(Op::MOVZ, rd, 0, 0,
+                          static_cast<int64_t>((uv >> 16) & 0xffff), 1))
+                return false;
+            return emitInst(Op::MOVK, rd, 0, 0,
+                            static_cast<int64_t>(uv & 0xffff), 0);
+        }
+        if (mnem == "mov") {
+            if (ops.size() != 2)
+                return fail("mov needs 2 operands");
+            uint8_t rd, rs;
+            if (!parseRegOp(ops[0], rd) || !parseRegOp(ops[1], rs))
+                return false;
+            return emitInst(Op::ADDI, rd, rs, 0, 0);
+        }
+        if (mnem == "ret") {
+            return emitInst(Op::BR, static_cast<uint8_t>(
+                                        IsaSpec::get(isa).lr));
+        }
+
+        // Find the real opcode.
+        Op op = Op::NumOps;
+        for (size_t i = 0; i < static_cast<size_t>(Op::NumOps); ++i) {
+            if (mnem == opTableName(static_cast<Op>(i))) {
+                op = static_cast<Op>(i);
+                break;
+            }
+        }
+        if (op == Op::NumOps)
+            return fail("unknown mnemonic '" + mnem + "'");
+        if (!opValidFor(op, isa))
+            return fail("'" + mnem + "' is not valid for " + isaName(isa));
+
+        const OpInfo &info = opInfo(op);
+        switch (info.format) {
+          case Format::Sys:
+            if (!ops.empty())
+                return fail(mnem + " takes no operands");
+            return emitInst(op);
+          case Format::R: {
+            if (ops.size() != 3)
+                return fail(mnem + " needs 3 operands");
+            uint8_t rd, rs1, rs2;
+            if (!parseRegOp(ops[0], rd) || !parseRegOp(ops[1], rs1) ||
+                !parseRegOp(ops[2], rs2))
+                return false;
+            return emitInst(op, rd, rs1, rs2);
+          }
+          case Format::R2:
+          case Format::Jr: {
+            if (ops.size() != 1)
+                return fail(mnem + " needs 1 operand");
+            uint8_t rd;
+            if (!parseRegOp(ops[0], rd))
+                return false;
+            return emitInst(op, rd);
+          }
+          case Format::I: {
+            if (ops.size() != 3)
+                return fail(mnem + " needs 3 operands");
+            uint8_t rd, rs1;
+            int64_t imm;
+            if (!parseRegOp(ops[0], rd) || !parseRegOp(ops[1], rs1) ||
+                !parseValue(ops[2], imm))
+                return false;
+            return emitInst(op, rd, rs1, 0, imm);
+          }
+          case Format::MemL:
+          case Format::MemS: {
+            if (ops.size() != 2)
+                return fail(mnem + " needs 2 operands");
+            uint8_t rd, base;
+            int64_t off;
+            if (!parseRegOp(ops[0], rd) || !parseMemOp(ops[1], base, off))
+                return false;
+            return emitInst(op, rd, base, 0, off);
+          }
+          case Format::Br: {
+            if (ops.size() != 3)
+                return fail(mnem + " needs 3 operands");
+            uint8_t rs1, rs2;
+            int64_t target;
+            if (!parseRegOp(ops[0], rs1) || !parseRegOp(ops[1], rs2) ||
+                !parseValue(ops[2], target))
+                return false;
+            DecodedInst d;
+            d.op = op;
+            d.rs1 = rs1;
+            d.rs2 = rs2;
+            d.imm = pass == 2 ? target - static_cast<int64_t>(pc) : 0;
+            d.valid = true;
+            // emitInst takes logical fields; Br encodes rs1/rs2 slots.
+            if (pass == 1) {
+                pc += 4;
+                return true;
+            }
+            const int ib = IsaSpec::get(isa).brBits();
+            const int64_t words = d.imm >> 2;
+            if ((d.imm & 3) ||
+                words < -(1ll << (ib - 1)) || words >= (1ll << (ib - 1)))
+                return fail("branch target out of range");
+            emitWord(encode(isa, d));
+            return true;
+          }
+          case Format::J: {
+            if (ops.size() != 1)
+                return fail(mnem + " needs 1 operand");
+            int64_t target;
+            if (!parseValue(ops[0], target))
+                return false;
+            return emitInst(op, 0, 0, 0,
+                            pass == 2 ? target - static_cast<int64_t>(pc)
+                                      : 0);
+          }
+          case Format::Lui: {
+            if (ops.size() != 2)
+                return fail("lui needs 2 operands");
+            uint8_t rd;
+            int64_t imm;
+            if (!parseRegOp(ops[0], rd) || !parseValue(ops[1], imm))
+                return false;
+            return emitInst(op, rd, 0, 0, imm);
+          }
+          case Format::Mov: {
+            // movz rd, #imm [, lsl N]
+            if (ops.size() != 2 && ops.size() != 3)
+                return fail(mnem + " needs 2 or 3 operands");
+            uint8_t rd;
+            int64_t imm;
+            if (!parseRegOp(ops[0], rd) || !parseValue(ops[1], imm))
+                return false;
+            uint8_t hw = 0;
+            if (ops.size() == 3) {
+                std::string shift = trim(ops[2]);
+                if (shift.rfind("lsl", 0) != 0)
+                    return fail("expected 'lsl N'");
+                int64_t amount;
+                if (!parseValue(shift.substr(3), amount))
+                    return false;
+                if (amount % 16 || amount < 0 || amount >= 64)
+                    return fail("shift must be a multiple of 16");
+                hw = static_cast<uint8_t>(amount / 16);
+            }
+            return emitInst(op, rd, 0, 0, imm, hw);
+          }
+        }
+        return fail("unhandled format");
+    }
+
+    static const char *opTableName(Op op) { return opInfo(op).name; }
+
+    const std::string &source;
+    IsaId isa;
+    uint32_t origin;
+    int pass = 1;
+    int lineNo = 0;
+    uint32_t pc = 0;
+    std::string error;
+    std::map<std::string, uint32_t> labels;
+    std::vector<Segment> segments;
+    std::optional<Segment> curSeg;
+};
+
+} // namespace
+
+AsmResult
+assemble(const std::string &source, IsaId isa, uint32_t origin)
+{
+    Assembler as(source, isa, origin);
+    return as.run();
+}
+
+} // namespace vstack

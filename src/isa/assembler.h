@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Two-pass textual assembler for the guest ISAs.
+ *
+ * Used by the compiler back-ends (which emit assembly text) and by
+ * hand-written kernel stubs and tests.  Syntax:
+ *
+ *   .isa av64            ; select ISA (or pass to assemble())
+ *   .org 0x100           ; set location counter
+ *   .global name         ; export a symbol (all labels are exported)
+ *   loop:                ; label
+ *       add  x1, x2, x3
+ *       addi x1, x1, #-8
+ *       ldx  x1, [x2, #8]
+ *       beq  x1, x2, loop
+ *       la   x1, buffer  ; pseudo: load address of label (2 insts)
+ *       li   x1, #0x12345678 ; pseudo: load 32-bit constant (2 insts)
+ *       mov  x1, x2      ; pseudo: register move
+ *       ret              ; pseudo: br lr
+ *   buffer:
+ *       .word 1, 2, 3
+ *       .byte 0xff
+ *       .ascii "text"
+ *       .asciz "text"
+ *       .space 64
+ *
+ * Comments start with ';' or '//'.
+ */
+#ifndef VSTACK_ISA_ASSEMBLER_H
+#define VSTACK_ISA_ASSEMBLER_H
+
+#include <string>
+
+#include "isa/program.h"
+
+namespace vstack
+{
+
+/** Result of an assembly run. */
+struct AsmResult
+{
+    bool ok = false;
+    std::string error; ///< "line N: message" on failure
+    Program program;
+};
+
+/**
+ * Assemble source text into a program image.
+ *
+ * @param source  assembly text
+ * @param isa     default ISA (a .isa directive overrides it)
+ * @param origin  initial location counter
+ */
+AsmResult assemble(const std::string &source, IsaId isa,
+                   uint32_t origin = 0);
+
+} // namespace vstack
+
+#endif // VSTACK_ISA_ASSEMBLER_H

@@ -1,0 +1,542 @@
+#include "isa.h"
+
+#include <array>
+#include <cassert>
+
+#include "support/logging.h"
+
+namespace vstack
+{
+
+const char *
+isaName(IsaId isa)
+{
+    return isa == IsaId::Av32 ? "av32" : "av64";
+}
+
+IsaId
+isaFromName(const std::string &name)
+{
+    if (name == "av32")
+        return IsaId::Av32;
+    if (name == "av64")
+        return IsaId::Av64;
+    fatal("unknown ISA '%s'", name.c_str());
+}
+
+namespace
+{
+
+// Table order must match the Op enum exactly; verified in opInfo().
+// Columns: name, format, writesRd, readsRs1, readsRs2, readsRdSlot,
+//          isLoad, isStore, isBranch, isCondBranch, privileged, memBytes
+constexpr std::array<OpInfo, static_cast<size_t>(Op::NumOps)> opTable = {{
+    {"nop", Format::Sys, false, false, false, false, false, false, false,
+     false, false, 0},
+    {"halt", Format::Sys, false, false, false, false, false, false, false,
+     false, true, 0},
+    {"syscall", Format::Sys, false, false, false, false, false, false, false,
+     false, false, 0},
+    {"eret", Format::Sys, false, false, false, false, false, false, true,
+     false, true, 0},
+    {"mtepc", Format::R2, false, false, false, true, false, false, false,
+     false, true, 0},
+    {"mfepc", Format::R2, true, false, false, false, false, false, false,
+     false, true, 0},
+
+    {"add", Format::R, true, true, true, false, false, false, false, false,
+     false, 0},
+    {"sub", Format::R, true, true, true, false, false, false, false, false,
+     false, 0},
+    {"and", Format::R, true, true, true, false, false, false, false, false,
+     false, 0},
+    {"orr", Format::R, true, true, true, false, false, false, false, false,
+     false, 0},
+    {"eor", Format::R, true, true, true, false, false, false, false, false,
+     false, 0},
+    {"mul", Format::R, true, true, true, false, false, false, false, false,
+     false, 0},
+    {"udiv", Format::R, true, true, true, false, false, false, false, false,
+     false, 0},
+    {"sdiv", Format::R, true, true, true, false, false, false, false, false,
+     false, 0},
+    {"urem", Format::R, true, true, true, false, false, false, false, false,
+     false, 0},
+    {"srem", Format::R, true, true, true, false, false, false, false, false,
+     false, 0},
+    {"lslv", Format::R, true, true, true, false, false, false, false, false,
+     false, 0},
+    {"lsrv", Format::R, true, true, true, false, false, false, false, false,
+     false, 0},
+    {"asrv", Format::R, true, true, true, false, false, false, false, false,
+     false, 0},
+    {"slt", Format::R, true, true, true, false, false, false, false, false,
+     false, 0},
+    {"sltu", Format::R, true, true, true, false, false, false, false, false,
+     false, 0},
+
+    {"addi", Format::I, true, true, false, false, false, false, false, false,
+     false, 0},
+    {"andi", Format::I, true, true, false, false, false, false, false, false,
+     false, 0},
+    {"orri", Format::I, true, true, false, false, false, false, false, false,
+     false, 0},
+    {"eori", Format::I, true, true, false, false, false, false, false, false,
+     false, 0},
+    {"lsli", Format::I, true, true, false, false, false, false, false, false,
+     false, 0},
+    {"lsri", Format::I, true, true, false, false, false, false, false, false,
+     false, 0},
+    {"asri", Format::I, true, true, false, false, false, false, false, false,
+     false, 0},
+    {"slti", Format::I, true, true, false, false, false, false, false, false,
+     false, 0},
+
+    {"lui", Format::Lui, true, false, false, false, false, false, false,
+     false, false, 0},
+    {"movz", Format::Mov, true, false, false, false, false, false, false,
+     false, false, 0},
+    {"movk", Format::Mov, true, false, false, true, false, false, false,
+     false, false, 0},
+
+    {"ldx", Format::MemL, true, true, false, false, true, false, false,
+     false, false, 255}, // memBytes resolved per-ISA (4 or 8)
+    {"stx", Format::MemS, false, true, false, true, false, true, false,
+     false, false, 255},
+    {"ldw", Format::MemL, true, true, false, false, true, false, false,
+     false, false, 4},
+    {"stw", Format::MemS, false, true, false, true, false, true, false,
+     false, false, 4},
+    {"ldbu", Format::MemL, true, true, false, false, true, false, false,
+     false, false, 1},
+    {"ldb", Format::MemL, true, true, false, false, true, false, false,
+     false, false, 1},
+    {"stb", Format::MemS, false, true, false, true, false, true, false,
+     false, false, 1},
+
+    {"beq", Format::Br, false, true, true, true, false, false, true, true,
+     false, 0},
+    {"bne", Format::Br, false, true, true, true, false, false, true, true,
+     false, 0},
+    {"blt", Format::Br, false, true, true, true, false, false, true, true,
+     false, 0},
+    {"bge", Format::Br, false, true, true, true, false, false, true, true,
+     false, 0},
+    {"bltu", Format::Br, false, true, true, true, false, false, true, true,
+     false, 0},
+    {"bgeu", Format::Br, false, true, true, true, false, false, true, true,
+     false, 0},
+    {"b", Format::J, false, false, false, false, false, false, true, false,
+     false, 0},
+    {"bl", Format::J, true, false, false, false, false, false, true, false,
+     false, 0},
+    {"br", Format::Jr, false, false, false, true, false, false, true, false,
+     false, 0},
+    {"blr", Format::Jr, true, false, false, true, false, false, true, false,
+     false, 0},
+
+    {"dccb", Format::R2, false, false, false, true, false, false, false,
+     false, true, 0},
+}};
+
+// Note on Br format register slots: rs1 lives in the rd encoding slot
+// and rs2 in the rs1 slot.  The readsRs1/readsRs2 flags above refer to
+// the *logical* sources; readsRdSlot marks that the rd slot is a
+// source.  Simulators should use DecodedInst.rs1/rs2 which the decoder
+// fills with the logical sources.
+
+} // namespace
+
+const OpInfo &
+opInfo(Op op)
+{
+    assert(op < Op::NumOps);
+    return opTable[static_cast<size_t>(op)];
+}
+
+bool
+opValidFor(Op op, IsaId isa)
+{
+    switch (op) {
+      case Op::LUI:
+        return isa == IsaId::Av32;
+      case Op::MOVZ:
+      case Op::MOVK:
+        return isa == IsaId::Av64;
+      default:
+        return op < Op::NumOps;
+    }
+}
+
+std::string
+IsaSpec::regName(int reg) const
+{
+    if (reg == sp)
+        return "sp";
+    if (reg == lr)
+        return "lr";
+    if (zeroReg >= 0 && reg == zeroReg)
+        return "xzr";
+    return strprintf("%c%d", id == IsaId::Av32 ? 'r' : 'x', reg);
+}
+
+int
+IsaSpec::parseReg(const std::string &name) const
+{
+    if (name == "sp")
+        return sp;
+    if (name == "lr")
+        return lr;
+    if (name == "xzr" && zeroReg >= 0)
+        return zeroReg;
+    const char prefix = id == IsaId::Av32 ? 'r' : 'x';
+    if (name.size() >= 2 && name[0] == prefix) {
+        char *end = nullptr;
+        long v = std::strtol(name.c_str() + 1, &end, 10);
+        if (end && *end == '\0' && v >= 0 && v < numRegs)
+            return static_cast<int>(v);
+    }
+    return -1;
+}
+
+int
+IsaSpec::immBits() const
+{
+    // Bits below the rs1 slot: opcode(6) + rd(R) + rs1(R) occupy the
+    // top, leaving 32 - 6 - 2R bits of immediate.
+    return 32 - 6 - 2 * regBits;
+}
+
+int
+IsaSpec::brBits() const
+{
+    return immBits();
+}
+
+const IsaSpec &
+IsaSpec::get(IsaId isa)
+{
+    static const IsaSpec av32 = [] {
+        IsaSpec s;
+        s.id = IsaId::Av32;
+        s.xlen = 32;
+        s.numRegs = 16;
+        s.regBits = 4;
+        s.zeroReg = -1;
+        s.sp = 13;
+        s.lr = 14;
+        s.kreg = 12;
+        s.syscallNr = 7;
+        s.argRegs = {0, 1, 2, 3};
+        s.tempRegs = {4, 5, 6, 8};
+        s.calleeSaved = {9, 10, 11, 15};
+        return s;
+    }();
+    static const IsaSpec av64 = [] {
+        IsaSpec s;
+        s.id = IsaId::Av64;
+        s.xlen = 64;
+        s.numRegs = 32;
+        s.regBits = 5;
+        s.zeroReg = 31;
+        s.sp = 28;
+        s.lr = 30;
+        s.kreg = 27;
+        s.syscallNr = 8;
+        s.argRegs = {0, 1, 2, 3};
+        s.tempRegs = {4, 5, 6, 7, 9, 10, 11, 12, 13, 14, 15};
+        s.calleeSaved = {16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 29};
+        return s;
+    }();
+    return isa == IsaId::Av32 ? av32 : av64;
+}
+
+bool
+DecodedInst::sameAs(const DecodedInst &other) const
+{
+    if (valid != other.valid)
+        return false;
+    if (!valid)
+        return true; // both undefined: same (faulting) behaviour
+    return op == other.op && rd == other.rd && rs1 == other.rs1 &&
+           rs2 == other.rs2 && imm == other.imm && hw == other.hw;
+}
+
+namespace
+{
+
+struct Layout
+{
+    int regBits;
+    int rdShift;  // 26 - regBits
+    int rs1Shift; // rdShift - regBits
+    int rs2Shift; // rs1Shift - regBits
+    uint32_t regMask;
+};
+
+Layout
+layoutFor(IsaId isa)
+{
+    const int rb = IsaSpec::get(isa).regBits;
+    Layout l;
+    l.regBits = rb;
+    l.rdShift = 26 - rb;
+    l.rs1Shift = l.rdShift - rb;
+    l.rs2Shift = l.rs1Shift - rb;
+    l.regMask = (1u << rb) - 1;
+    return l;
+}
+
+int64_t
+signExtend(uint64_t v, int bits)
+{
+    const uint64_t sign = 1ull << (bits - 1);
+    return static_cast<int64_t>((v ^ sign) - sign);
+}
+
+} // namespace
+
+uint32_t
+encode(IsaId isa, const DecodedInst &inst)
+{
+    const Layout l = layoutFor(isa);
+    const OpInfo &info = opInfo(inst.op);
+    assert(opValidFor(inst.op, isa));
+    uint32_t w = static_cast<uint32_t>(inst.op) << 26;
+
+    auto putReg = [&](int shift, uint8_t reg) {
+        assert((reg & ~l.regMask) == 0);
+        w |= static_cast<uint32_t>(reg) << shift;
+    };
+    auto putImm = [&](int bits, int64_t imm) {
+        assert(imm >= -(1ll << (bits - 1)) && imm < (1ll << (bits - 1)));
+        w |= static_cast<uint32_t>(imm) & ((1u << bits) - 1);
+    };
+
+    const int ib = IsaSpec::get(isa).immBits();
+    switch (info.format) {
+      case Format::Sys:
+        break;
+      case Format::R:
+        putReg(l.rdShift, inst.rd);
+        putReg(l.rs1Shift, inst.rs1);
+        putReg(l.rs2Shift, inst.rs2);
+        break;
+      case Format::R2:
+        putReg(l.rdShift, inst.rd);
+        break;
+      case Format::I:
+      case Format::MemL:
+        putReg(l.rdShift, inst.rd);
+        putReg(l.rs1Shift, inst.rs1);
+        putImm(ib, inst.imm);
+        break;
+      case Format::MemS:
+        // Value register travels in the rd slot.
+        putReg(l.rdShift, inst.rd);
+        putReg(l.rs1Shift, inst.rs1);
+        putImm(ib, inst.imm);
+        break;
+      case Format::Br:
+        // rs1 in the rd slot, rs2 in the rs1 slot, word offset below.
+        putReg(l.rdShift, inst.rs1);
+        putReg(l.rs1Shift, inst.rs2);
+        assert((inst.imm & 3) == 0);
+        putImm(ib, inst.imm >> 2);
+        break;
+      case Format::J:
+        assert((inst.imm & 3) == 0);
+        putImm(26, inst.imm >> 2);
+        break;
+      case Format::Jr:
+        putReg(l.rdShift, inst.rd);
+        break;
+      case Format::Lui:
+        putReg(l.rdShift, inst.rd);
+        assert(inst.imm >= 0 && inst.imm < (1 << 22));
+        w |= static_cast<uint32_t>(inst.imm);
+        break;
+      case Format::Mov:
+        putReg(l.rdShift, inst.rd);
+        assert(inst.imm >= 0 && inst.imm < (1 << 16));
+        assert(inst.hw < (IsaSpec::get(isa).xlen / 16));
+        w |= static_cast<uint32_t>(inst.hw) << 16;
+        w |= static_cast<uint32_t>(inst.imm);
+        break;
+    }
+    return w;
+}
+
+DecodedInst
+decode(IsaId isa, uint32_t word)
+{
+    DecodedInst d;
+    const uint32_t opc = word >> 26;
+    if (opc >= static_cast<uint32_t>(Op::NumOps))
+        return d;
+    d.op = static_cast<Op>(opc);
+    if (!opValidFor(d.op, isa))
+        return d;
+
+    const Layout l = layoutFor(isa);
+    const IsaSpec &spec = IsaSpec::get(isa);
+    const OpInfo &info = opInfo(d.op);
+    const int ib = spec.immBits();
+
+    auto reg = [&](int shift) {
+        return static_cast<uint8_t>((word >> shift) & l.regMask);
+    };
+
+    switch (info.format) {
+      case Format::Sys:
+        break;
+      case Format::R:
+        d.rd = reg(l.rdShift);
+        d.rs1 = reg(l.rs1Shift);
+        d.rs2 = reg(l.rs2Shift);
+        break;
+      case Format::R2:
+        d.rd = reg(l.rdShift);
+        break;
+      case Format::I:
+      case Format::MemL:
+      case Format::MemS:
+        d.rd = reg(l.rdShift);
+        d.rs1 = reg(l.rs1Shift);
+        d.imm = signExtend(word & ((1u << ib) - 1), ib);
+        break;
+      case Format::Br:
+        d.rs1 = reg(l.rdShift);
+        d.rs2 = reg(l.rs1Shift);
+        d.imm = signExtend(word & ((1u << ib) - 1), ib) * 4;
+        break;
+      case Format::J:
+        d.imm = signExtend(word & ((1u << 26) - 1), 26) * 4;
+        break;
+      case Format::Jr:
+        d.rd = reg(l.rdShift);
+        break;
+      case Format::Lui:
+        d.rd = reg(l.rdShift);
+        d.imm = static_cast<int64_t>(word & ((1u << 22) - 1));
+        break;
+      case Format::Mov:
+        d.rd = reg(l.rdShift);
+        d.hw = static_cast<uint8_t>((word >> 16) & 3);
+        if (d.hw >= spec.xlen / 16)
+            return d; // invalid halfword selector
+        d.imm = static_cast<int64_t>(word & 0xffff);
+        break;
+    }
+
+    // av32 has no zero register but all 4-bit specifiers are valid;
+    // av64 specifiers 0..31 are all valid (31 = xzr).
+    d.valid = true;
+    return d;
+}
+
+InstFieldKind
+classifyInstBit(IsaId isa, uint32_t word, int bit)
+{
+    assert(bit >= 0 && bit < 32);
+    if (bit >= 26)
+        return InstFieldKind::Opcode;
+
+    const DecodedInst d = decode(isa, word);
+    if (!d.valid)
+        return InstFieldKind::Unused;
+
+    const Layout l = layoutFor(isa);
+    const IsaSpec &spec = IsaSpec::get(isa);
+    const int ib = spec.immBits();
+    auto inReg = [&](int shift) { return bit >= shift && bit < shift + l.regBits; };
+
+    switch (d.info().format) {
+      case Format::Sys:
+        return InstFieldKind::Unused;
+      case Format::R:
+        if (inReg(l.rdShift) || inReg(l.rs1Shift) || inReg(l.rs2Shift))
+            return InstFieldKind::RegSpecifier;
+        return InstFieldKind::Unused;
+      case Format::R2:
+      case Format::Jr:
+        if (inReg(l.rdShift))
+            return InstFieldKind::RegSpecifier;
+        return InstFieldKind::Unused;
+      case Format::I:
+      case Format::MemL:
+      case Format::MemS:
+        if (inReg(l.rdShift) || inReg(l.rs1Shift))
+            return InstFieldKind::RegSpecifier;
+        if (bit < ib)
+            return InstFieldKind::Immediate;
+        return InstFieldKind::Unused;
+      case Format::Br:
+        if (inReg(l.rdShift) || inReg(l.rs1Shift))
+            return InstFieldKind::RegSpecifier;
+        if (bit < ib)
+            return InstFieldKind::ControlOffset;
+        return InstFieldKind::Unused;
+      case Format::J:
+        return InstFieldKind::ControlOffset;
+      case Format::Lui:
+        if (inReg(l.rdShift))
+            return InstFieldKind::RegSpecifier;
+        return InstFieldKind::Immediate;
+      case Format::Mov:
+        if (inReg(l.rdShift))
+            return InstFieldKind::RegSpecifier;
+        if (bit < 18)
+            return InstFieldKind::Immediate;
+        return InstFieldKind::Unused;
+    }
+    return InstFieldKind::Unused;
+}
+
+std::string
+disassemble(IsaId isa, uint32_t word)
+{
+    const DecodedInst d = decode(isa, word);
+    if (!d.valid)
+        return strprintf(".word 0x%08x  ; <undefined>", word);
+
+    const IsaSpec &spec = IsaSpec::get(isa);
+    const OpInfo &info = d.info();
+    auto r = [&](uint8_t reg) { return spec.regName(reg); };
+
+    switch (info.format) {
+      case Format::Sys:
+        return info.name;
+      case Format::R:
+        return strprintf("%s %s, %s, %s", info.name, r(d.rd).c_str(),
+                         r(d.rs1).c_str(), r(d.rs2).c_str());
+      case Format::R2:
+      case Format::Jr:
+        return strprintf("%s %s", info.name, r(d.rd).c_str());
+      case Format::I:
+        return strprintf("%s %s, %s, #%lld", info.name, r(d.rd).c_str(),
+                         r(d.rs1).c_str(), static_cast<long long>(d.imm));
+      case Format::MemL:
+        return strprintf("%s %s, [%s, #%lld]", info.name, r(d.rd).c_str(),
+                         r(d.rs1).c_str(), static_cast<long long>(d.imm));
+      case Format::MemS:
+        return strprintf("%s %s, [%s, #%lld]", info.name, r(d.rd).c_str(),
+                         r(d.rs1).c_str(), static_cast<long long>(d.imm));
+      case Format::Br:
+        return strprintf("%s %s, %s, %+lld", info.name, r(d.rs1).c_str(),
+                         r(d.rs2).c_str(), static_cast<long long>(d.imm));
+      case Format::J:
+        return strprintf("%s %+lld", info.name,
+                         static_cast<long long>(d.imm));
+      case Format::Lui:
+        return strprintf("%s %s, #0x%llx", info.name, r(d.rd).c_str(),
+                         static_cast<unsigned long long>(d.imm));
+      case Format::Mov:
+        return strprintf("%s %s, #0x%llx, lsl %d", info.name,
+                         r(d.rd).c_str(),
+                         static_cast<unsigned long long>(d.imm), d.hw * 16);
+    }
+    return "?";
+}
+
+} // namespace vstack

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Instruction-set definitions for the two guest ISAs.
+ *
+ * The repo models the paper's Armv7/Armv8 axis with two variants of a
+ * fixed-width 32-bit-encoded RISC ISA:
+ *
+ *  - av32: 32-bit registers, 16 GPRs, split-constant materialisation
+ *    (LUI + ORRI), the Armv7 analog;
+ *  - av64: 64-bit registers, 31 GPRs plus a zero register, MOVZ/MOVK
+ *    constant building, the Armv8 analog.
+ *
+ * Both use the same opcode numbering; field widths differ with the
+ * register-specifier width (4 vs 5 bits), so the same bit flip in an
+ * instruction word lands in different fields on the two ISAs — one of
+ * the cross-ISA effects the paper studies.
+ */
+#ifndef VSTACK_ISA_ISA_H
+#define VSTACK_ISA_ISA_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vstack
+{
+
+/** Guest instruction-set architecture identifier. */
+enum class IsaId : uint8_t {
+    Av32, ///< 32-bit registers, 16 GPRs (Armv7 analog)
+    Av64, ///< 64-bit registers, 31 GPRs + zero reg (Armv8 analog)
+};
+
+/** Human-readable ISA name ("av32"/"av64"). */
+const char *isaName(IsaId isa);
+
+/** Parse an ISA name; fatal() on unknown names. */
+IsaId isaFromName(const std::string &name);
+
+/** Operation codes, shared across both ISAs. */
+enum class Op : uint8_t {
+    // System
+    NOP = 0,
+    HALT,    ///< privileged: stop the machine
+    SYSCALL, ///< trap to kernel
+    ERET,    ///< privileged: return to user mode at EPC
+    MTEPC,   ///< privileged: EPC <- reg (rd slot)
+    MFEPC,   ///< privileged: reg <- EPC
+
+    // Register-register ALU
+    ADD,
+    SUB,
+    AND,
+    ORR,
+    EOR,
+    MUL,
+    UDIV, ///< unsigned divide; x/0 == 0 (Arm semantics)
+    SDIV, ///< signed divide; x/0 == 0
+    UREM, ///< unsigned remainder; x%0 == x
+    SREM, ///< signed remainder; x%0 == x
+    LSLV, ///< shift left by register (mod XLEN)
+    LSRV,
+    ASRV,
+    SLT,  ///< rd = (rs1 <s rs2)
+    SLTU, ///< rd = (rs1 <u rs2)
+
+    // Register-immediate ALU
+    ADDI,
+    ANDI,
+    ORRI,
+    EORI,
+    LSLI,
+    LSRI,
+    ASRI,
+    SLTI,
+
+    // Constant materialisation
+    LUI,  ///< av32 only: rd = imm22 << 10
+    MOVZ, ///< av64 only: rd = imm16 << (16*hw)
+    MOVK, ///< av64 only: insert imm16 at halfword hw
+
+    // Memory (byte-addressed; X = register width)
+    LDX, ///< load XLEN bits
+    STX,
+    LDW, ///< load 32 bits zero-extended (av64); alias of LDX on av32
+    STW, ///< store low 32 bits; alias of STX on av32
+    LDBU, ///< load byte zero-extended
+    LDB,  ///< load byte sign-extended
+    STB,
+
+    // Control flow
+    BEQ,
+    BNE,
+    BLT,
+    BGE,
+    BLTU,
+    BGEU,
+    B,
+    BL,  ///< branch and link (lr = pc + 4)
+    BR,  ///< branch to register
+    BLR, ///< branch to register and link
+
+    /** Privileged: data-cache clean by address (rd slot holds the
+     *  address).  Used by the kernel to make write() payloads visible
+     *  to the non-coherent DMA engine. */
+    DCCB,
+
+    NumOps
+};
+
+/** Encoding format of an operation. */
+enum class Format : uint8_t {
+    Sys,  ///< no operand fields
+    R,    ///< rd, rs1, rs2
+    R2,   ///< rd, rs1 (or single reg in rd slot)
+    I,    ///< rd, rs1, imm (sign-extended)
+    MemL, ///< rd, [base, #imm]
+    MemS, ///< rs (rd slot), [base (rs1 slot), #imm]
+    Br,   ///< rs1 (rd slot), rs2 (rs1 slot), word offset
+    J,    ///< 26-bit word offset
+    Jr,   ///< target register in rd slot
+    Lui,  ///< rd, imm22 (av32)
+    Mov,  ///< rd, imm16, hw (av64)
+};
+
+/** Static properties of an operation. */
+struct OpInfo
+{
+    const char *name;  ///< mnemonic
+    Format format;     ///< encoding format
+    bool writesRd;     ///< produces a register result in rd
+    bool readsRs1;     ///< reads a register in the rs1 slot
+    bool readsRs2;     ///< reads a register in the rs2 slot
+    bool readsRdSlot;  ///< the rd slot is a *source* (stores, Br, Jr)
+    bool isLoad;
+    bool isStore;
+    bool isBranch;     ///< any control transfer
+    bool isCondBranch;
+    bool privileged;   ///< only legal in kernel mode
+    uint8_t memBytes;  ///< access size for memory ops (0 otherwise)
+};
+
+/** Properties of op; @pre op < Op::NumOps. */
+const OpInfo &opInfo(Op op);
+
+/** Whether `op` exists in `isa` (LUI vs MOVZ/MOVK differ). */
+bool opValidFor(Op op, IsaId isa);
+
+/** Architecture description used by the assembler/compiler/simulators. */
+struct IsaSpec
+{
+    IsaId id;
+    int xlen;          ///< register width in bits (32 or 64)
+    int numRegs;       ///< architectural GPR count (incl. zero reg slot)
+    int regBits;       ///< register specifier width in the encoding
+    int zeroReg;       ///< index of the hard-wired zero reg, or -1
+    int sp;            ///< stack pointer register
+    int lr;            ///< link register
+    int kreg;          ///< reserved kernel scratch register
+    int syscallNr;     ///< register carrying the syscall number
+    std::vector<int> argRegs;      ///< argument/return registers (a0 first)
+    std::vector<int> tempRegs;     ///< caller-saved scratch registers
+    std::vector<int> calleeSaved;  ///< callee-saved registers
+
+    /** Mask a value to the register width. */
+    uint64_t maskVal(uint64_t v) const
+    {
+        return xlen == 64 ? v : (v & 0xffffffffull);
+    }
+
+    /** Sign-extend a register value from XLEN to 64 bits. */
+    int64_t signedVal(uint64_t v) const
+    {
+        return xlen == 64 ? static_cast<int64_t>(v)
+                          : static_cast<int64_t>(static_cast<int32_t>(v));
+    }
+
+    /** Register name, e.g. "x7" / "r7" / "sp" / "xzr". */
+    std::string regName(int reg) const;
+
+    /** Parse a register name; returns -1 if unknown. */
+    int parseReg(const std::string &name) const;
+
+    /** Immediate field width (bits) for I/MemL/MemS formats. */
+    int immBits() const;
+    /** Branch offset field width (bits) for the Br format. */
+    int brBits() const;
+
+    /** Spec for an ISA (static lifetime). */
+    static const IsaSpec &get(IsaId isa);
+};
+
+/** A decoded instruction. */
+struct DecodedInst
+{
+    Op op = Op::NOP;
+    bool valid = false; ///< false for undefined encodings
+    uint8_t rd = 0;
+    uint8_t rs1 = 0;
+    uint8_t rs2 = 0;
+    int64_t imm = 0;  ///< sign-extended immediate / byte offset
+    uint8_t hw = 0;   ///< halfword selector for MOVZ/MOVK
+
+    const OpInfo &info() const { return opInfo(op); }
+
+    /** True if the two decodes have identical architectural semantics. */
+    bool sameAs(const DecodedInst &other) const;
+};
+
+/**
+ * Which FPM class a bit flip in an instruction word falls into.
+ * Used by the HVF analysis: flips in the opcode or a control-flow
+ * offset manifest as Wrong Instruction (WI); flips in register
+ * specifiers or data immediates manifest as Wrong Operand/Immediate
+ * (WOI).
+ */
+enum class InstFieldKind : uint8_t {
+    Opcode,        ///< opcode field: WI
+    ControlOffset, ///< branch/jump offset: WI (control-flow error)
+    RegSpecifier,  ///< register field: WOI
+    Immediate,     ///< data immediate: WOI
+    Unused,        ///< bit ignored by decode
+};
+
+/** Classify bit position `bit` (0 = LSB) of instruction word `word`. */
+InstFieldKind classifyInstBit(IsaId isa, uint32_t word, int bit);
+
+/** Encode a decoded instruction into a 32-bit word. */
+uint32_t encode(IsaId isa, const DecodedInst &inst);
+
+/** Decode a 32-bit word (sets valid=false on undefined encodings). */
+DecodedInst decode(IsaId isa, uint32_t word);
+
+/** Disassemble a word, e.g. "add x1, x2, x3". */
+std::string disassemble(IsaId isa, uint32_t word);
+
+} // namespace vstack
+
+#endif // VSTACK_ISA_ISA_H

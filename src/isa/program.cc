@@ -1,0 +1,69 @@
+#include "program.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace vstack
+{
+
+uint32_t
+Program::symbol(const std::string &name) const
+{
+    auto it = symbols.find(name);
+    if (it == symbols.end())
+        fatal("undefined symbol '%s'", name.c_str());
+    return it->second;
+}
+
+bool
+Program::hasSymbol(const std::string &name) const
+{
+    return symbols.count(name) != 0;
+}
+
+size_t
+Program::totalBytes() const
+{
+    size_t n = 0;
+    for (const auto &seg : segments)
+        n += seg.bytes.size();
+    return n;
+}
+
+void
+Program::merge(const Program &other)
+{
+    if (isa != other.isa)
+        fatal("cannot merge images with different ISAs");
+    for (const auto &seg : other.segments) {
+        for (const auto &mine : segments) {
+            const uint64_t aLo = mine.addr, aHi = aLo + mine.bytes.size();
+            const uint64_t bLo = seg.addr, bHi = bLo + seg.bytes.size();
+            if (aLo < bHi && bLo < aHi) {
+                fatal("overlapping segments at 0x%08x and 0x%08x",
+                      mine.addr, seg.addr);
+            }
+        }
+        segments.push_back(seg);
+    }
+    for (const auto &[name, addr] : other.symbols) {
+        if (symbols.count(name))
+            fatal("duplicate symbol '%s' while merging images",
+                  name.c_str());
+        symbols[name] = addr;
+    }
+}
+
+uint32_t
+Program::highWatermark() const
+{
+    uint32_t hi = 0;
+    for (const auto &seg : segments) {
+        hi = std::max<uint32_t>(
+            hi, seg.addr + static_cast<uint32_t>(seg.bytes.size()));
+    }
+    return hi;
+}
+
+} // namespace vstack

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Loadable guest program images.
+ *
+ * A Program is a set of (address, bytes) segments plus an entry point
+ * and a symbol table — the minimal equivalent of a linked ELF for the
+ * guest machine.  Both the functional emulator and the cycle-level
+ * simulator load Programs through the same interface.
+ */
+#ifndef VSTACK_ISA_PROGRAM_H
+#define VSTACK_ISA_PROGRAM_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace vstack
+{
+
+/** A contiguous chunk of initialised guest memory. */
+struct Segment
+{
+    uint32_t addr;
+    std::vector<uint8_t> bytes;
+};
+
+/** A linked guest program (or kernel) image. */
+struct Program
+{
+    IsaId isa = IsaId::Av64;
+    uint32_t entry = 0;
+    std::vector<Segment> segments;
+    std::map<std::string, uint32_t> symbols;
+
+    /** Look up a symbol; fatal() if missing. */
+    uint32_t symbol(const std::string &name) const;
+
+    /** True if a symbol of the given name exists. */
+    bool hasSymbol(const std::string &name) const;
+
+    /** Total initialised bytes across all segments. */
+    size_t totalBytes() const;
+
+    /**
+     * Merge another image into this one (used to combine the kernel
+     * and user images into a single bootable system image).  Symbol
+     * collisions are fatal; overlapping segments are fatal.
+     */
+    void merge(const Program &other);
+
+    /** Highest initialised address + 1 (0 if empty). */
+    uint32_t highWatermark() const;
+};
+
+} // namespace vstack
+
+#endif // VSTACK_ISA_PROGRAM_H

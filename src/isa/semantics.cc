@@ -1,0 +1,127 @@
+#include "semantics.h"
+
+#include "support/logging.h"
+
+namespace vstack
+{
+
+uint64_t
+aluResult(const IsaSpec &spec, const DecodedInst &d, uint64_t rs1,
+          uint64_t rs2, uint64_t rdOld)
+{
+    const int xlen = spec.xlen;
+    auto sv = [&](uint64_t v) { return spec.signedVal(v); };
+    const uint64_t uimm = static_cast<uint64_t>(d.imm);
+
+    switch (d.op) {
+      case Op::ADD: return rs1 + rs2;
+      case Op::SUB: return rs1 - rs2;
+      case Op::AND: return rs1 & rs2;
+      case Op::ORR: return rs1 | rs2;
+      case Op::EOR: return rs1 ^ rs2;
+      case Op::MUL: return rs1 * rs2;
+      case Op::UDIV:
+        return rs2 == 0 ? 0 : spec.maskVal(rs1) / spec.maskVal(rs2);
+      case Op::SDIV: {
+        int64_t a = sv(rs1), b = sv(rs2);
+        if (b == 0)
+            return 0;
+        if (a == INT64_MIN && b == -1)
+            return static_cast<uint64_t>(a);
+        return static_cast<uint64_t>(a / b);
+      }
+      case Op::UREM:
+        return rs2 == 0 ? rs1 : spec.maskVal(rs1) % spec.maskVal(rs2);
+      case Op::SREM: {
+        int64_t a = sv(rs1), b = sv(rs2);
+        if (b == 0)
+            return static_cast<uint64_t>(a);
+        if (a == INT64_MIN && b == -1)
+            return 0;
+        return static_cast<uint64_t>(a % b);
+      }
+      case Op::LSLV: return rs1 << (rs2 & (xlen - 1));
+      case Op::LSRV: return spec.maskVal(rs1) >> (rs2 & (xlen - 1));
+      case Op::ASRV:
+        return static_cast<uint64_t>(sv(rs1) >> (rs2 & (xlen - 1)));
+      case Op::SLT: return sv(rs1) < sv(rs2) ? 1 : 0;
+      case Op::SLTU:
+        return spec.maskVal(rs1) < spec.maskVal(rs2) ? 1 : 0;
+
+      case Op::ADDI: return rs1 + uimm;
+      case Op::ANDI: return rs1 & uimm;
+      case Op::ORRI: return rs1 | uimm;
+      case Op::EORI: return rs1 ^ uimm;
+      case Op::LSLI: return rs1 << (d.imm & (xlen - 1));
+      case Op::LSRI: return spec.maskVal(rs1) >> (d.imm & (xlen - 1));
+      case Op::ASRI:
+        return static_cast<uint64_t>(sv(rs1) >> (d.imm & (xlen - 1)));
+      case Op::SLTI: return sv(rs1) < d.imm ? 1 : 0;
+
+      case Op::LUI: return uimm << 10;
+      case Op::MOVZ: return uimm << (16 * d.hw);
+      case Op::MOVK: {
+        const uint64_t mask = 0xffffull << (16 * d.hw);
+        return (rdOld & ~mask) | (uimm << (16 * d.hw));
+      }
+      default:
+        panic("aluResult on non-ALU op '%s'", d.info().name);
+    }
+}
+
+bool
+branchTaken(const IsaSpec &spec, Op op, uint64_t rs1, uint64_t rs2)
+{
+    auto sv = [&](uint64_t v) { return spec.signedVal(v); };
+    switch (op) {
+      case Op::BEQ: return rs1 == rs2;
+      case Op::BNE: return rs1 != rs2;
+      case Op::BLT: return sv(rs1) < sv(rs2);
+      case Op::BGE: return sv(rs1) >= sv(rs2);
+      case Op::BLTU: return spec.maskVal(rs1) < spec.maskVal(rs2);
+      case Op::BGEU: return spec.maskVal(rs1) >= spec.maskVal(rs2);
+      case Op::B:
+      case Op::BL:
+      case Op::BR:
+      case Op::BLR:
+        return true;
+      default:
+        panic("branchTaken on non-branch op");
+    }
+}
+
+unsigned
+memAccessBytes(const IsaSpec &spec, Op op)
+{
+    switch (op) {
+      case Op::LDX:
+      case Op::STX:
+        return static_cast<unsigned>(spec.xlen / 8);
+      case Op::LDW:
+      case Op::STW:
+        return 4;
+      case Op::LDBU:
+      case Op::LDB:
+      case Op::STB:
+        return 1;
+      default:
+        panic("memAccessBytes on non-memory op");
+    }
+}
+
+bool
+isSerializing(Op op)
+{
+    switch (op) {
+      case Op::SYSCALL:
+      case Op::ERET:
+      case Op::HALT:
+      case Op::MTEPC:
+      case Op::MFEPC:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace vstack

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Shared architectural instruction semantics.
+ *
+ * Both the functional emulator and the cycle-level core call these
+ * helpers so ALU/branch semantics cannot diverge between layers (the
+ * co-simulation tests additionally verify end-to-end agreement).
+ */
+#ifndef VSTACK_ISA_SEMANTICS_H
+#define VSTACK_ISA_SEMANTICS_H
+
+#include <cstdint>
+
+#include "isa/isa.h"
+
+namespace vstack
+{
+
+/**
+ * Result of a pure ALU/constant instruction.
+ *
+ * @param spec    target ISA spec (for masking/sign semantics)
+ * @param d       decoded instruction (ALU/shift/const group)
+ * @param rs1     value of the rs1 source
+ * @param rs2     value of the rs2 source
+ * @param rdOld   previous value of rd (for MOVK)
+ */
+uint64_t aluResult(const IsaSpec &spec, const DecodedInst &d, uint64_t rs1,
+                   uint64_t rs2, uint64_t rdOld);
+
+/** Whether a conditional branch is taken given its source values. */
+bool branchTaken(const IsaSpec &spec, Op op, uint64_t rs1, uint64_t rs2);
+
+/** Access size in bytes for a memory op on this ISA. */
+unsigned memAccessBytes(const IsaSpec &spec, Op op);
+
+/** True for ops the pipeline must serialize (system instructions). */
+bool isSerializing(Op op);
+
+} // namespace vstack
+
+#endif // VSTACK_ISA_SEMANTICS_H

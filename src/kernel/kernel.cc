@@ -1,0 +1,190 @@
+#include "kernel.h"
+
+#include "compiler/compile.h"
+#include "compiler/irgen.h"
+#include "compiler/parser.h"
+#include "isa/assembler.h"
+#include "machine/memmap.h"
+#include "support/logging.h"
+
+namespace vstack
+{
+
+const std::string &
+kernelSource()
+{
+    // Addresses are spelled as literals because MCL has no constant
+    // imports; they must match machine/memmap.h (checked by tests).
+    static const std::string src = R"MCL(
+// ---- vstack guest kernel --------------------------------------------
+// Syscall dispatch.  Called from the trap stub with the user's a0-a2
+// in args a/b/c-slots and the syscall number in nr.
+
+var io_off: int;
+
+fn k_copy_to_iobuf(src: int, len: int): int {
+    if (io_off + len > 65536) { io_off = 0; }
+    var dst: int = 393216 + io_off;      // 0x60000 KERNEL_IOBUF
+    var d: byte* = dst as byte*;
+    var s: byte* = src as byte*;
+    var i: int = 0;
+    // word-at-a-time fast path when source and staging cursor agree
+    // on alignment (the staging cursor is always 16-aligned)
+    var elem: int = ((0 as int*) + 1) as int;   // register width in bytes
+    if ((src & (elem - 1)) == 0) {
+        var sw: int* = src as int*;
+        var dw: int* = dst as int*;
+        var k: int = 0;
+        while (i + elem <= len) {
+            dw[k] = sw[k];
+            k = k + 1;
+            i = i + elem;
+        }
+    }
+    while (i < len) {
+        d[i] = s[i];
+        i = i + 1;
+    }
+    io_off = io_off + len;
+    // keep the staging cursor word-aligned for the next payload
+    io_off = (io_off + 15) & (0 - 16);
+    // the DMA engine is not coherent with the L1: clean the staged
+    // lines out to the L2 before handing them over
+    var p: int = dst & (0 - 64);
+    while (p < dst + len) {
+        __dcclean(p);
+        p = p + 64;
+    }
+    return dst;
+}
+
+fn k_sys_write(buf: int, len: int): int {
+    if (len < 0) { return 0 - 1; }
+    if (len == 0) { return 0; }
+    if (len > 65536) { return 0 - 1; }
+    // user window check: [0x100000, 0x1000000)
+    if (__ultu(buf, 1048576)) { return 0 - 1; }
+    if (__ultu(16777216, buf + len)) { return 0 - 1; }
+    var staged: int = k_copy_to_iobuf(buf, len);
+    // program the DMA output engine
+    var r: int* = 4293918720 as int*;    // 0xfff00000 DMA_SRC
+    *r = staged;
+    r = 4293918736 as int*;              // 0xfff00010 DMA_LEN
+    *r = len;
+    r = 4293918752 as int*;              // 0xfff00020 DMA_DOORBELL
+    *r = 1;
+    return len;
+}
+
+fn k_sys_exit(code: int): int {
+    var r: int* = 4293918768 as int*;    // 0xfff00030 EXIT_CODE
+    *r = code;
+    return 0;
+}
+
+fn k_sys_detect(site: int): int {
+    var r: int* = 4293918784 as int*;    // 0xfff00040 DETECT_CODE
+    *r = site;
+    return 0;
+}
+
+fn k_syscall(a: int, b: int, c: int, nr: int): int {
+    if (nr == 1) { return k_sys_write(a, b); }
+    if (nr == 2) { return k_sys_exit(a); }
+    if (nr == 3) { return k_sys_detect(a); }
+    // unknown syscall: fail loudly but without crashing the machine
+    return 0 - 38;
+}
+)MCL";
+    return src;
+}
+
+namespace
+{
+
+std::string
+stubSource(IsaId isa)
+{
+    const IsaSpec &spec = IsaSpec::get(isa);
+    const int W = spec.xlen / 8;
+    const std::string kreg = spec.regName(spec.kreg);
+    const std::string nr = spec.regName(spec.syscallNr);
+    const std::string a3 = spec.regName(spec.argRegs[3]);
+    const std::string t0 = spec.regName(spec.tempRegs[0]);
+
+    std::string s;
+    s += strprintf(".isa %s\n", isaName(isa));
+    // Boot: set a kernel stack, point EPC at the user entry, drop to
+    // user mode.
+    s += strprintf(".org 0x%x\n", memmap::BOOT_VECTOR);
+    s += "_kboot:\n";
+    s += strprintf("    li sp, #0x%x\n", memmap::KERNEL_STACK_TOP);
+    s += strprintf("    li %s, #0x%x\n", t0.c_str(), memmap::USER_TEXT);
+    s += strprintf("    mtepc %s\n", t0.c_str());
+    s += "    eret\n";
+    // Trap: bank user sp/lr, switch stacks, dispatch, restore, return.
+    s += strprintf(".org 0x%x\n", memmap::TRAP_VECTOR);
+    s += "_ktrap:\n";
+    s += strprintf("    li %s, #0x%x\n", kreg.c_str(), memmap::KSAVE);
+    s += strprintf("    stx sp, [%s, #0]\n", kreg.c_str());
+    s += strprintf("    stx lr, [%s, #%d]\n", kreg.c_str(), W);
+    s += strprintf("    li sp, #0x%x\n", memmap::KERNEL_STACK_TOP);
+    s += strprintf("    mov %s, %s\n", a3.c_str(), nr.c_str());
+    s += "    bl k_syscall\n";
+    s += strprintf("    li %s, #0x%x\n", kreg.c_str(), memmap::KSAVE);
+    s += strprintf("    ldx sp, [%s, #0]\n", kreg.c_str());
+    s += strprintf("    ldx lr, [%s, #%d]\n", kreg.c_str(), W);
+    s += "    eret\n";
+    return s;
+}
+
+} // namespace
+
+Program
+buildKernel(IsaId isa)
+{
+    const IsaSpec &spec = IsaSpec::get(isa);
+
+    mcl::ParseResult pr = mcl::parse(kernelSource());
+    if (!pr.ok)
+        fatal("kernel parse failed: %s", pr.error.c_str());
+    mcl::IrGenResult ir = mcl::generateIr(pr.module, spec.xlen);
+    if (!ir.ok)
+        fatal("kernel irgen failed: %s", ir.error.c_str());
+    // Kernel globals live after the KSAVE scratch slots.
+    mcl::BuildResult body = mcl::buildKernelFromIr(
+        ir.module, isa, memmap::KERNEL_FUNCS, memmap::KSAVE + 32);
+    if (!body.ok)
+        fatal("kernel build failed: %s", body.error.c_str());
+
+    // Assemble stub + compiled body as one unit so the stub's
+    // `bl k_syscall` resolves against the compiled functions.
+    const std::string full = stubSource(isa) + body.asmText;
+    AsmResult asmRes = assemble(full, isa, memmap::BOOT_VECTOR);
+    if (!asmRes.ok)
+        fatal("kernel assembly failed: %s", asmRes.error.c_str());
+
+    Program kernel = std::move(asmRes.program);
+    kernel.entry = memmap::BOOT_VECTOR;
+
+    // The trap stub must fit in [TRAP_VECTOR, KERNEL_FUNCS).
+    for (const auto &seg : kernel.segments) {
+        if (seg.addr >= memmap::TRAP_VECTOR &&
+            seg.addr < memmap::KERNEL_FUNCS &&
+            seg.addr + seg.bytes.size() > memmap::KERNEL_FUNCS) {
+            fatal("kernel trap stub overflows into KERNEL_FUNCS");
+        }
+    }
+    return kernel;
+}
+
+Program
+buildSystemImage(const Program &kernel, const Program &user)
+{
+    Program sys = kernel;
+    sys.merge(user);
+    sys.entry = memmap::BOOT_VECTOR;
+    return sys;
+}
+
+} // namespace vstack

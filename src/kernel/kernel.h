@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The guest kernel.
+ *
+ * A miniature operating system for the guest machine, written in MCL
+ * and compiled with the repo's own compiler, plus a hand-written
+ * assembly boot/trap stub.  It provides the three syscalls the
+ * workloads use (write / exit / detect) and models the two kernel
+ * effects the paper's analysis depends on:
+ *
+ *  - kernel instructions execute in the same pipeline as the user
+ *    program (visible to PVF and AVF, invisible to SVF);
+ *  - write() payloads are staged in a kernel I/O buffer and handed to
+ *    the DMA engine, creating the "Escaped" fault window.
+ */
+#ifndef VSTACK_KERNEL_KERNEL_H
+#define VSTACK_KERNEL_KERNEL_H
+
+#include "isa/program.h"
+
+namespace vstack
+{
+
+/** MCL source of the kernel body (for inspection/tests). */
+const std::string &kernelSource();
+
+/**
+ * Build the kernel image for an ISA: boot stub at BOOT_VECTOR, trap
+ * stub at TRAP_VECTOR, compiled kernel functions at KERNEL_FUNCS,
+ * kernel data after KSAVE.  The image entry is the boot vector.
+ */
+Program buildKernel(IsaId isa);
+
+/**
+ * Merge a kernel and a user image into a bootable system image
+ * (entry = boot vector).
+ */
+Program buildSystemImage(const Program &kernel, const Program &user);
+
+} // namespace vstack
+
+#endif // VSTACK_KERNEL_KERNEL_H

@@ -1,0 +1,112 @@
+#include "devices.h"
+
+#include <algorithm>
+
+#include "machine/memmap.h"
+
+namespace vstack
+{
+
+bool
+DeviceHub::store(uint32_t addr, uint64_t value, uint64_t now)
+{
+    using namespace memmap;
+    const uint32_t v32 = static_cast<uint32_t>(value);
+    switch (addr) {
+      case MMIO_DMA_SRC:
+        dmaSrc = v32;
+        return true;
+      case MMIO_DMA_LEN:
+        // The length register is 20 bits wide: a fault-corrupted
+        // descriptor cannot ask the engine for more than 1 MiB.
+        dmaLen = v32 & 0xfffff;
+        return true;
+      case MMIO_DMA_DOORBELL:
+        queue.push_back({dmaSrc, dmaLen, now + dmaDelay});
+        return true;
+      case MMIO_EXIT_CODE:
+        out.exitCode = v32;
+        out.exited = true;
+        return true;
+      case MMIO_DETECT_CODE:
+        out.detectCode = v32;
+        out.detected = true;
+        return true;
+      case MMIO_CONSOLE:
+        out.console += static_cast<char>(v32 & 0xff);
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+DeviceHub::load(uint32_t addr, uint64_t now, uint64_t &value) const
+{
+    using namespace memmap;
+    switch (addr) {
+      case MMIO_TICK:
+        value = now;
+        return true;
+      case MMIO_EXIT_CODE:
+        value = out.exitCode;
+        return true;
+      default:
+        return false;
+    }
+}
+
+void
+DeviceHub::tick(uint64_t now)
+{
+    while (!queue.empty() && queue.front().readyAt <= now) {
+        drain(queue.front());
+        queue.pop_front();
+    }
+}
+
+uint64_t
+DeviceHub::nextReady() const
+{
+    return queue.empty() ? UINT64_MAX : queue.front().readyAt;
+}
+
+void
+DeviceHub::flush()
+{
+    while (!queue.empty()) {
+        drain(queue.front());
+        queue.pop_front();
+    }
+}
+
+void
+DeviceHub::drain(const Descriptor &d)
+{
+    if (d.len == 0)
+        return;
+    // Cap captured output: a fault-corrupted guest can otherwise ring
+    // the doorbell arbitrarily often with maximum-length descriptors.
+    constexpr size_t captureCap = 4u << 20;
+    const size_t old = out.dma.size();
+    if (old >= captureCap) {
+        out.truncated = true;
+        return;
+    }
+    const size_t len = std::min<size_t>(d.len, captureCap - old);
+    if (len < d.len)
+        out.truncated = true;
+    out.dma.resize(old + len);
+    reader(d.src, out.dma.data() + old, len);
+}
+
+void
+DeviceHub::reset()
+{
+    dmaSrc = 0;
+    dmaLen = 0;
+    queue.clear();
+    out = DeviceOutput{};
+}
+
+} // namespace vstack

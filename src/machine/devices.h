@@ -1,0 +1,104 @@
+/**
+ * @file
+ * MMIO devices shared by the functional emulator and the cycle-level
+ * simulator.
+ *
+ * The DMA output engine is the mechanism behind the paper's "Escaped"
+ * (ESC) fault propagation model: the kernel stages write() payloads in
+ * memory, programs a descriptor, and the engine later pulls the bytes
+ * straight out of the memory hierarchy without the CPU touching them
+ * again.  A bit flipped in those bytes after the last CPU store
+ * corrupts program output without ever crossing the architectural
+ * interface.
+ */
+#ifndef VSTACK_MACHINE_DEVICES_H
+#define VSTACK_MACHINE_DEVICES_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace vstack
+{
+
+/** Outcome-relevant state captured from the devices after a run. */
+struct DeviceOutput
+{
+    std::vector<uint8_t> dma; ///< DMA-drained program output
+    std::string console;      ///< debug console bytes (not compared)
+    uint32_t exitCode = 0;
+    bool exited = false;
+    bool detected = false;    ///< FT detection was signalled
+    bool truncated = false;   ///< output exceeded the capture cap
+    uint32_t detectCode = 0;
+};
+
+/**
+ * The MMIO device hub: DMA output engine, console, exit/detect ports.
+ *
+ * Simulation-time is expressed in "ticks" supplied by the owner
+ * (instructions for the functional emulator, cycles for the
+ * cycle-level core).  Descriptors rung at tick T are drained at
+ * T + dmaDelay, or at halt time, whichever comes first.
+ */
+class DeviceHub
+{
+  public:
+    /** Reads guest memory the way the DMA engine would see it (i.e.
+     *  snooping caches in the cycle-level simulator). */
+    using MemReader =
+        std::function<void(uint32_t addr, uint8_t *dst, size_t n)>;
+
+    explicit DeviceHub(MemReader reader, uint64_t dmaDelay = 4096)
+        : reader(std::move(reader)), dmaDelay(dmaDelay)
+    {}
+
+    /** Handle an MMIO store. Returns false for unmapped offsets. */
+    bool store(uint32_t addr, uint64_t value, uint64_t now);
+
+    /** Handle an MMIO load. Returns false for unmapped offsets. */
+    bool load(uint32_t addr, uint64_t now, uint64_t &value) const;
+
+    /** Drain descriptors whose delay has elapsed. Call regularly. */
+    void tick(uint64_t now);
+
+    /** Earliest tick at which a pending descriptor becomes ready, or
+     *  UINT64_MAX when the queue is empty. */
+    uint64_t nextReady() const;
+
+    /** Drain everything that is still queued (at HALT). */
+    void flush();
+
+    /** True once the exit port has been written. */
+    bool exited() const { return out.exited; }
+    /** True once the detect port has been written. */
+    bool detected() const { return out.detected; }
+
+    const DeviceOutput &output() const { return out; }
+
+    /** Reset all device state for a fresh run. */
+    void reset();
+
+  private:
+    struct Descriptor
+    {
+        uint32_t src;
+        uint32_t len;
+        uint64_t readyAt;
+    };
+
+    void drain(const Descriptor &d);
+
+    MemReader reader;
+    uint64_t dmaDelay;
+    uint32_t dmaSrc = 0;
+    uint32_t dmaLen = 0;
+    std::deque<Descriptor> queue;
+    DeviceOutput out;
+};
+
+} // namespace vstack
+
+#endif // VSTACK_MACHINE_DEVICES_H

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Fault Propagation Models (paper Table I).
+ *
+ * FPMs describe how a hardware fault manifests at the hardware/
+ * software interface:
+ *  - WD  (Wrong Data): the right resource was used but its content
+ *    was corrupted;
+ *  - WI  (Wrong Instruction): a different instruction executed
+ *    (opcode corruption or control-flow/PC corruption);
+ *  - WOI (Wrong Operand or Immediate): operand fields corrupted
+ *    (register specifiers, immediates, address offsets);
+ *  - ESC (Escaped): the fault corrupts program output without ever
+ *    re-entering the program flow (e.g. via the DMA output path) —
+ *    invisible by construction to PVF/SVF methods.
+ */
+#ifndef VSTACK_MACHINE_FPM_H
+#define VSTACK_MACHINE_FPM_H
+
+#include <cstdint>
+
+namespace vstack
+{
+
+enum class Fpm : uint8_t { WD, WI, WOI, ESC };
+
+constexpr const char *
+fpmName(Fpm f)
+{
+    switch (f) {
+      case Fpm::WD: return "WD";
+      case Fpm::WI: return "WI";
+      case Fpm::WOI: return "WOI";
+      case Fpm::ESC: return "ESC";
+    }
+    return "?";
+}
+
+/** Per-FPM counters from an HVF campaign. */
+struct FpmCounts
+{
+    uint64_t wd = 0;
+    uint64_t wi = 0;
+    uint64_t woi = 0;
+    uint64_t esc = 0;
+
+    uint64_t total() const { return wd + wi + woi + esc; }
+
+    void add(Fpm f)
+    {
+        switch (f) {
+          case Fpm::WD: ++wd; break;
+          case Fpm::WI: ++wi; break;
+          case Fpm::WOI: ++woi; break;
+          case Fpm::ESC: ++esc; break;
+        }
+    }
+
+    uint64_t get(Fpm f) const
+    {
+        switch (f) {
+          case Fpm::WD: return wd;
+          case Fpm::WI: return wi;
+          case Fpm::WOI: return woi;
+          case Fpm::ESC: return esc;
+        }
+        return 0;
+    }
+};
+
+} // namespace vstack
+
+#endif // VSTACK_MACHINE_FPM_H

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Guest physical memory map and syscall ABI.
+ *
+ * The guest uses a flat, identity-mapped 16 MiB physical address space
+ * with a user/kernel privilege bit.  User mode may only touch the user
+ * window; the kernel may touch everything including the MMIO devices.
+ */
+#ifndef VSTACK_MACHINE_MEMMAP_H
+#define VSTACK_MACHINE_MEMMAP_H
+
+#include <cstdint>
+
+namespace vstack
+{
+
+namespace memmap
+{
+
+constexpr uint32_t RAM_BASE = 0x00000000;
+constexpr uint32_t RAM_SIZE = 16u * 1024 * 1024;
+
+/** Reset vector: the machine boots here in kernel mode. */
+constexpr uint32_t BOOT_VECTOR = 0x00000080;
+/** Kernel image / trap vector. SYSCALL jumps here. */
+constexpr uint32_t TRAP_VECTOR = 0x00000100;
+constexpr uint32_t KERNEL_TEXT = TRAP_VECTOR;
+/** Compiled kernel functions start here (after the trap stub). */
+constexpr uint32_t KERNEL_FUNCS = 0x00000180;
+/** Scratch slots used by the trap stub to bank user sp/lr. */
+constexpr uint32_t KSAVE = 0x00040000;
+constexpr uint32_t KERNEL_DATA = 0x00040000;
+/** Kernel I/O staging buffer: write() payloads are copied here before
+ * the DMA engine pulls them out of the memory hierarchy. */
+constexpr uint32_t KERNEL_IOBUF = 0x00060000;
+constexpr uint32_t KERNEL_IOBUF_SIZE = 0x00010000;
+constexpr uint32_t KERNEL_STACK_TOP = 0x0007fff0;
+
+/** User window: [USER_BASE, RAM_SIZE). */
+constexpr uint32_t USER_BASE = 0x00100000;
+constexpr uint32_t USER_TEXT = 0x00100000;
+constexpr uint32_t USER_DATA = 0x00400000;
+constexpr uint32_t USER_STACK_TOP = 0x00fffff0;
+
+/** MMIO window (kernel-only, uncached).  Registers are spaced 16
+ * bytes apart so both 4- and 8-byte stores stay naturally aligned. */
+constexpr uint32_t MMIO_BASE = 0xfff00000;
+constexpr uint32_t MMIO_DMA_SRC = MMIO_BASE + 0x00;
+constexpr uint32_t MMIO_DMA_LEN = MMIO_BASE + 0x10;
+constexpr uint32_t MMIO_DMA_DOORBELL = MMIO_BASE + 0x20;
+constexpr uint32_t MMIO_EXIT_CODE = MMIO_BASE + 0x30;
+constexpr uint32_t MMIO_DETECT_CODE = MMIO_BASE + 0x40;
+constexpr uint32_t MMIO_CONSOLE = MMIO_BASE + 0x50;
+constexpr uint32_t MMIO_TICK = MMIO_BASE + 0x60;
+
+/** True if [addr, addr+bytes) lies inside guest RAM. */
+constexpr bool
+inRam(uint64_t addr, unsigned bytes)
+{
+    return addr + bytes <= RAM_SIZE;
+}
+
+/** True if addr targets the MMIO window. */
+constexpr bool
+inMmio(uint64_t addr)
+{
+    return addr >= MMIO_BASE;
+}
+
+/** True if [addr, addr+bytes) is legal for user-mode access. */
+constexpr bool
+userAccessible(uint64_t addr, unsigned bytes)
+{
+    return addr >= USER_BASE && addr + bytes <= RAM_SIZE;
+}
+
+} // namespace memmap
+
+/** Syscall numbers (in the ISA's syscall-number register). */
+enum class Syscall : uint32_t {
+    Write = 1,  ///< a0 = buffer, a1 = length; returns length
+    Exit = 2,   ///< a0 = exit code
+    Detect = 3, ///< a0 = detection site id (software fault tolerance)
+};
+
+} // namespace vstack
+
+#endif // VSTACK_MACHINE_MEMMAP_H

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Fault-effect classification shared by all injection layers.
+ *
+ * The taxonomy follows the paper (Section III.A): Masked (no
+ * observable deviation), SDC (normal completion, wrong output), Crash
+ * (exception / kernel panic / deadlock / watchdog), plus Detected for
+ * runs where the software fault-tolerance instrumentation raised the
+ * detect syscall (Section VI.B; excluded from vulnerability).
+ */
+#ifndef VSTACK_MACHINE_OUTCOME_H
+#define VSTACK_MACHINE_OUTCOME_H
+
+#include <cstdint>
+
+namespace vstack
+{
+
+/** Why a simulation run stopped (shared by both simulators). */
+enum class StopReason : uint8_t {
+    Running,   ///< not stopped yet
+    Exited,    ///< guest exited via the exit syscall
+    DetectHit, ///< guest raised the detect syscall
+    Exception, ///< guest fault (bad access, undefined inst, ...)
+    Watchdog,  ///< cycle/instruction budget exhausted or deadlock
+};
+
+enum class Outcome : uint8_t {
+    Masked,
+    Sdc,
+    Crash,
+    Detected,
+};
+
+/** Short name, e.g. "SDC". */
+constexpr const char *
+outcomeName(Outcome o)
+{
+    switch (o) {
+      case Outcome::Masked: return "Masked";
+      case Outcome::Sdc: return "SDC";
+      case Outcome::Crash: return "Crash";
+      case Outcome::Detected: return "Detected";
+    }
+    return "?";
+}
+
+/** Aggregated outcome counts of a campaign. */
+struct OutcomeCounts
+{
+    uint64_t masked = 0;
+    uint64_t sdc = 0;
+    uint64_t crash = 0;
+    uint64_t detected = 0;
+
+    uint64_t total() const { return masked + sdc + crash + detected; }
+
+    void add(Outcome o)
+    {
+        switch (o) {
+          case Outcome::Masked: ++masked; break;
+          case Outcome::Sdc: ++sdc; break;
+          case Outcome::Crash: ++crash; break;
+          case Outcome::Detected: ++detected; break;
+        }
+    }
+
+    double sdcRate() const
+    {
+        return total() ? static_cast<double>(sdc) / total() : 0.0;
+    }
+    double crashRate() const
+    {
+        return total() ? static_cast<double>(crash) / total() : 0.0;
+    }
+    double detectedRate() const
+    {
+        return total() ? static_cast<double>(detected) / total() : 0.0;
+    }
+    /** Vulnerability = SDC + Crash rate (detections excluded). */
+    double vulnerability() const { return sdcRate() + crashRate(); }
+};
+
+} // namespace vstack
+
+#endif // VSTACK_MACHINE_OUTCOME_H

@@ -1,0 +1,22 @@
+#include "physmem.h"
+
+#include "support/logging.h"
+
+namespace vstack
+{
+
+void
+PhysMem::load(const Program &prog)
+{
+    for (const auto &seg : prog.segments) {
+        if (!memmap::inRam(seg.addr, static_cast<unsigned>(0)) ||
+            seg.addr + seg.bytes.size() > bytes.size()) {
+            fatal("segment at 0x%08x (%zu bytes) does not fit in RAM",
+                  seg.addr, seg.bytes.size());
+        }
+        std::memcpy(bytes.data() + seg.addr, seg.bytes.data(),
+                    seg.bytes.size());
+    }
+}
+
+} // namespace vstack

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Flat guest physical memory.
+ */
+#ifndef VSTACK_MACHINE_PHYSMEM_H
+#define VSTACK_MACHINE_PHYSMEM_H
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "isa/program.h"
+#include "machine/memmap.h"
+
+namespace vstack
+{
+
+/** Byte-addressable little-endian guest RAM. */
+class PhysMem
+{
+  public:
+    PhysMem() : bytes(memmap::RAM_SIZE, 0) {}
+
+    /** Zero all of memory (between injection runs). */
+    void clear() { std::memset(bytes.data(), 0, bytes.size()); }
+
+    /** Load a program image. @pre all segments fit in RAM. */
+    void load(const Program &prog);
+
+    /** Read `n` little-endian bytes at addr. @pre in range. */
+    uint64_t read(uint32_t addr, unsigned n) const
+    {
+        uint64_t v = 0;
+        std::memcpy(&v, bytes.data() + addr, n);
+        return v;
+    }
+
+    /** Write the low `n` bytes of v at addr. @pre in range. */
+    void write(uint32_t addr, uint64_t v, unsigned n)
+    {
+        std::memcpy(bytes.data() + addr, &v, n);
+    }
+
+    /** Bulk copy out of RAM. @pre range valid. */
+    void readBlock(uint32_t addr, uint8_t *dst, size_t n) const
+    {
+        std::memcpy(dst, bytes.data() + addr, n);
+    }
+
+    /** Bulk copy into RAM. @pre range valid. */
+    void writeBlock(uint32_t addr, const uint8_t *src, size_t n)
+    {
+        std::memcpy(bytes.data() + addr, src, n);
+    }
+
+    uint8_t *data() { return bytes.data(); }
+    const uint8_t *data() const { return bytes.data(); }
+    size_t size() const { return bytes.size(); }
+
+  private:
+    std::vector<uint8_t> bytes;
+};
+
+} // namespace vstack
+
+#endif // VSTACK_MACHINE_PHYSMEM_H

@@ -1,0 +1,45 @@
+#include "env.h"
+
+#include <cstdlib>
+
+namespace vstack
+{
+
+int64_t
+envInt(const char *name, int64_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    char *end = nullptr;
+    long long parsed = std::strtoll(v, &end, 0);
+    if (end == v || *end != '\0')
+        return fallback;
+    return parsed;
+}
+
+std::string
+envString(const char *name, const std::string &fallback)
+{
+    const char *v = std::getenv(name);
+    return v ? std::string(v) : fallback;
+}
+
+EnvConfig
+EnvConfig::fromEnvironment()
+{
+    EnvConfig cfg;
+    // VSTACK_FAULTS scales the microarchitectural campaigns; the
+    // (cheap) architecture- and software-level campaigns default to
+    // more samples since they are orders of magnitude faster.
+    const int64_t faults = envInt("VSTACK_FAULTS", 120);
+    cfg.uarchFaults = static_cast<size_t>(faults > 0 ? faults : 120);
+    cfg.archFaults =
+        static_cast<size_t>(envInt("VSTACK_ARCH_FAULTS", faults * 3));
+    cfg.swFaults = static_cast<size_t>(envInt("VSTACK_SW_FAULTS", faults * 3));
+    cfg.seed = static_cast<uint64_t>(envInt("VSTACK_SEED", 42));
+    cfg.resultsDir = envString("VSTACK_RESULTS", "results");
+    return cfg;
+}
+
+} // namespace vstack

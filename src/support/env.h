@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Environment-variable configuration shared by benches and examples.
+ *
+ * Campaign sizes default to values a single-core host can run in
+ * minutes; the paper-scale configuration (2,000 faults per cell) is a
+ * single environment variable away:
+ *
+ *   VSTACK_FAULTS=2000  faults per (structure x workload x core) cell
+ *   VSTACK_SEED=42      campaign master seed
+ *   VSTACK_RESULTS=dir  campaign result cache directory ("" disables)
+ */
+#ifndef VSTACK_SUPPORT_ENV_H
+#define VSTACK_SUPPORT_ENV_H
+
+#include <cstdint>
+#include <string>
+
+namespace vstack
+{
+
+/** Read an integer env var, returning fallback if unset/invalid. */
+int64_t envInt(const char *name, int64_t fallback);
+
+/** Read a string env var, returning fallback if unset. */
+std::string envString(const char *name, const std::string &fallback);
+
+/** Campaign configuration resolved from the environment. */
+struct EnvConfig
+{
+    /** Microarchitecture-level faults per campaign cell. */
+    size_t uarchFaults;
+    /** Architecture-level (PVF) faults per campaign cell. */
+    size_t archFaults;
+    /** Software-level (SVF) faults per campaign cell. */
+    size_t swFaults;
+    /** Master seed for fault sampling. */
+    uint64_t seed;
+    /** Result-cache directory; empty string disables caching. */
+    std::string resultsDir;
+
+    /** Resolve from the process environment. */
+    static EnvConfig fromEnvironment();
+};
+
+} // namespace vstack
+
+#endif // VSTACK_SUPPORT_ENV_H

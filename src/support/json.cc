@@ -1,0 +1,515 @@
+#include "json.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace vstack
+{
+
+Json
+Json::array()
+{
+    Json j;
+    j.type_ = Type::Array;
+    return j;
+}
+
+Json
+Json::object()
+{
+    Json j;
+    j.type_ = Type::Object;
+    return j;
+}
+
+bool
+Json::asBool() const
+{
+    assert(type_ == Type::Bool);
+    return boolVal;
+}
+
+double
+Json::asDouble() const
+{
+    assert(type_ == Type::Number);
+    return numVal;
+}
+
+int64_t
+Json::asInt() const
+{
+    assert(type_ == Type::Number);
+    return isInt ? intVal : static_cast<int64_t>(std::llround(numVal));
+}
+
+const std::string &
+Json::asString() const
+{
+    assert(type_ == Type::String);
+    return strVal;
+}
+
+const Json &
+Json::at(size_t i) const
+{
+    assert(type_ == Type::Array && i < arr.size());
+    return arr[i];
+}
+
+const Json &
+Json::at(const std::string &key) const
+{
+    assert(type_ == Type::Object);
+    for (const auto &[k, v] : obj) {
+        if (k == key)
+            return v;
+    }
+    assert(false && "missing JSON member");
+    static Json nullJson;
+    return nullJson;
+}
+
+bool
+Json::has(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        return false;
+    for (const auto &[k, v] : obj) {
+        (void)v;
+        if (k == key)
+            return true;
+    }
+    return false;
+}
+
+size_t
+Json::size() const
+{
+    if (type_ == Type::Array)
+        return arr.size();
+    if (type_ == Type::Object)
+        return obj.size();
+    return 0;
+}
+
+void
+Json::push(Json v)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Array;
+    assert(type_ == Type::Array);
+    arr.push_back(std::move(v));
+}
+
+void
+Json::set(const std::string &key, Json v)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Object;
+    assert(type_ == Type::Object);
+    for (auto &[k, existing] : obj) {
+        if (k == key) {
+            existing = std::move(v);
+            return;
+        }
+    }
+    obj.emplace_back(key, std::move(v));
+}
+
+const std::vector<std::pair<std::string, Json>> &
+Json::members() const
+{
+    assert(type_ == Type::Object);
+    return obj;
+}
+
+const std::vector<Json> &
+Json::items() const
+{
+    assert(type_ == Type::Array);
+    return arr;
+}
+
+namespace
+{
+
+void
+escapeString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+} // namespace
+
+void
+Json::dumpTo(std::string &out, int indent, int depth) const
+{
+    auto newline = [&](int d) {
+        if (indent > 0) {
+            out += '\n';
+            out.append(static_cast<size_t>(indent) * d, ' ');
+        }
+    };
+    switch (type_) {
+      case Type::Null:
+        out += "null";
+        break;
+      case Type::Bool:
+        out += boolVal ? "true" : "false";
+        break;
+      case Type::Number:
+        if (isInt) {
+            out += std::to_string(intVal);
+        } else {
+            char buf[40];
+            std::snprintf(buf, sizeof(buf), "%.17g", numVal);
+            out += buf;
+        }
+        break;
+      case Type::String:
+        escapeString(out, strVal);
+        break;
+      case Type::Array:
+        out += '[';
+        for (size_t i = 0; i < arr.size(); ++i) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            arr[i].dumpTo(out, indent, depth + 1);
+        }
+        if (!arr.empty())
+            newline(depth);
+        out += ']';
+        break;
+      case Type::Object:
+        out += '{';
+        for (size_t i = 0; i < obj.size(); ++i) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            escapeString(out, obj[i].first);
+            out += indent > 0 ? ": " : ":";
+            obj[i].second.dumpTo(out, indent, depth + 1);
+        }
+        if (!obj.empty())
+            newline(depth);
+        out += '}';
+        break;
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+namespace
+{
+
+/** Recursive-descent JSON parser over a string. */
+class Parser
+{
+  public:
+    Parser(const std::string &text) : text(text) {}
+
+    Json parse(std::string *error)
+    {
+        Json v = parseValue();
+        skipWs();
+        if (!failed && pos != text.size())
+            fail("trailing characters");
+        if (failed) {
+            if (error)
+                *error = message + " at offset " + std::to_string(pos);
+            return Json();
+        }
+        return v;
+    }
+
+  private:
+    void fail(const std::string &msg)
+    {
+        if (!failed) {
+            failed = true;
+            message = msg;
+        }
+    }
+
+    void skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+                text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool consume(char c)
+    {
+        skipWs();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    Json parseValue()
+    {
+        skipWs();
+        if (failed || pos >= text.size()) {
+            fail("unexpected end of input");
+            return Json();
+        }
+        char c = text[pos];
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"')
+            return Json(parseString());
+        if (c == 't' || c == 'f')
+            return parseBool();
+        if (c == 'n') {
+            expectWord("null");
+            return Json();
+        }
+        return parseNumber();
+    }
+
+    void expectWord(const char *w)
+    {
+        for (const char *p = w; *p; ++p, ++pos) {
+            if (pos >= text.size() || text[pos] != *p) {
+                fail(std::string("expected '") + w + "'");
+                return;
+            }
+        }
+    }
+
+    Json parseBool()
+    {
+        if (text[pos] == 't') {
+            expectWord("true");
+            return Json(true);
+        }
+        expectWord("false");
+        return Json(false);
+    }
+
+    std::string parseString()
+    {
+        std::string out;
+        if (!consume('"')) {
+            fail("expected string");
+            return out;
+        }
+        while (pos < text.size() && text[pos] != '"') {
+            char c = text[pos++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= text.size())
+                break;
+            char e = text[pos++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos + 4 > text.size()) {
+                    fail("bad \\u escape");
+                    return out;
+                }
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text[pos++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= h - '0';
+                    else if (h >= 'a' && h <= 'f')
+                        code |= h - 'a' + 10;
+                    else if (h >= 'A' && h <= 'F')
+                        code |= h - 'A' + 10;
+                    else {
+                        fail("bad \\u escape");
+                        return out;
+                    }
+                }
+                // UTF-8 encode (BMP only).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default:
+                fail("bad escape");
+                return out;
+            }
+        }
+        if (!consume('"'))
+            fail("unterminated string");
+        return out;
+    }
+
+    Json parseNumber()
+    {
+        size_t start = pos;
+        if (pos < text.size() && (text[pos] == '-' || text[pos] == '+'))
+            ++pos;
+        bool isInt = true;
+        while (pos < text.size()) {
+            char c = text[pos];
+            if (c >= '0' && c <= '9') {
+                ++pos;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '-' ||
+                       c == '+') {
+                if (c == '.' || c == 'e' || c == 'E')
+                    isInt = false;
+                ++pos;
+            } else {
+                break;
+            }
+        }
+        if (pos == start) {
+            fail("expected number");
+            return Json();
+        }
+        std::string tok = text.substr(start, pos - start);
+        if (isInt) {
+            errno = 0;
+            long long v = std::strtoll(tok.c_str(), nullptr, 10);
+            if (errno == 0)
+                return Json(static_cast<int64_t>(v));
+        }
+        return Json(std::strtod(tok.c_str(), nullptr));
+    }
+
+    Json parseArray()
+    {
+        Json out = Json::array();
+        consume('[');
+        skipWs();
+        if (consume(']'))
+            return out;
+        for (;;) {
+            out.push(parseValue());
+            if (failed)
+                return out;
+            if (consume(']'))
+                return out;
+            if (!consume(',')) {
+                fail("expected ',' or ']'");
+                return out;
+            }
+        }
+    }
+
+    Json parseObject()
+    {
+        Json out = Json::object();
+        consume('{');
+        skipWs();
+        if (consume('}'))
+            return out;
+        for (;;) {
+            skipWs();
+            std::string key = parseString();
+            if (failed)
+                return out;
+            if (!consume(':')) {
+                fail("expected ':'");
+                return out;
+            }
+            out.set(key, parseValue());
+            if (failed)
+                return out;
+            if (consume('}'))
+                return out;
+            if (!consume(',')) {
+                fail("expected ',' or '}'");
+                return out;
+            }
+        }
+    }
+
+    const std::string &text;
+    size_t pos = 0;
+    bool failed = false;
+    std::string message;
+};
+
+} // namespace
+
+Json
+Json::parse(const std::string &text, std::string *error)
+{
+    Parser p(text);
+    return p.parse(error);
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+bool
+writeFile(const std::string &path, const std::string &content)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return false;
+        out << content;
+        if (!out)
+            return false;
+    }
+    return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+} // namespace vstack

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Minimal JSON value model, parser, and serializer.
+ *
+ * Used by the campaign result store so figure/table benches can share
+ * expensive campaign results across processes.  Supports the full JSON
+ * grammar except \u escapes beyond the BMP; numbers are stored as
+ * double plus an exact int64 sidecar when representable.
+ */
+#ifndef VSTACK_SUPPORT_JSON_H
+#define VSTACK_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vstack
+{
+
+/** A JSON value (null, bool, number, string, array, or object). */
+class Json
+{
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Json() : type_(Type::Null) {}
+    Json(std::nullptr_t) : type_(Type::Null) {}
+    Json(bool b) : type_(Type::Bool), boolVal(b) {}
+    Json(int v) : Json(static_cast<int64_t>(v)) {}
+    Json(unsigned v) : Json(static_cast<int64_t>(v)) {}
+    Json(int64_t v)
+        : type_(Type::Number), numVal(static_cast<double>(v)), intVal(v),
+          isInt(true)
+    {}
+    Json(uint64_t v) : Json(static_cast<int64_t>(v)) {}
+    Json(double v) : type_(Type::Number), numVal(v) {}
+    Json(const char *s) : type_(Type::String), strVal(s) {}
+    Json(std::string s) : type_(Type::String), strVal(std::move(s)) {}
+
+    /** Make an empty array value. */
+    static Json array();
+    /** Make an empty object value. */
+    static Json object();
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isObject() const { return type_ == Type::Object; }
+    bool isArray() const { return type_ == Type::Array; }
+
+    /** @name Typed accessors (assert on type mismatch). @{ */
+    bool asBool() const;
+    double asDouble() const;
+    int64_t asInt() const;
+    const std::string &asString() const;
+    /** @} */
+
+    /** Array element access. @pre isArray() and i < size(). */
+    const Json &at(size_t i) const;
+    /** Object member access. @pre isObject() and member exists. */
+    const Json &at(const std::string &key) const;
+    /** True if an object has a member of the given name. */
+    bool has(const std::string &key) const;
+    /** Number of array elements or object members. */
+    size_t size() const;
+
+    /** Append to an array (value becomes an array if null). */
+    void push(Json v);
+    /** Set an object member (value becomes an object if null). */
+    void set(const std::string &key, Json v);
+
+    /** Object members in insertion order (pre: isObject()). */
+    const std::vector<std::pair<std::string, Json>> &members() const;
+    /** Array items (pre: isArray()). */
+    const std::vector<Json> &items() const;
+
+    /** Serialize; indent > 0 pretty-prints with that many spaces. */
+    std::string dump(int indent = 0) const;
+
+    /**
+     * Parse JSON text.
+     * @param text   input document
+     * @param error  receives a message on failure (may be null)
+     * @return parsed value, or a Null value with *error set on failure
+     */
+    static Json parse(const std::string &text, std::string *error = nullptr);
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Type type_;
+    bool boolVal = false;
+    double numVal = 0.0;
+    int64_t intVal = 0;
+    bool isInt = false;
+    std::string strVal;
+    std::vector<Json> arr;
+    std::vector<std::pair<std::string, Json>> obj;
+};
+
+/** Read an entire file into a string; returns false if unreadable. */
+bool readFile(const std::string &path, std::string &out);
+
+/** Write a string to a file atomically (tmp + rename); false on error. */
+bool writeFile(const std::string &path, const std::string &content);
+
+} // namespace vstack
+
+#endif // VSTACK_SUPPORT_JSON_H

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Lightweight logging and error-exit helpers.
+ *
+ * Mirrors the gem5 convention: fatal() for user-caused conditions
+ * (exit(1)), panic() for internal invariant violations (abort()),
+ * warn()/inform() for status.
+ */
+#ifndef VSTACK_SUPPORT_LOGGING_H
+#define VSTACK_SUPPORT_LOGGING_H
+
+#include <cstdarg>
+#include <string>
+
+namespace vstack
+{
+
+/** Print an informational message to stderr ("info: ..."). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr ("warn: ..."). */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an error and exit(1); for user-caused conditions. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print an error and abort(); for internal invariant violations. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace vstack
+
+#endif // VSTACK_SUPPORT_LOGGING_H

@@ -1,0 +1,84 @@
+#include "rng.h"
+
+namespace vstack
+{
+
+uint64_t
+SplitMix64::next()
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+namespace
+{
+
+inline uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    SplitMix64 sm(seed);
+    for (auto &word : s)
+        word = sm.next();
+}
+
+uint64_t
+Rng::next64()
+{
+    const uint64_t result = rotl(s[1] * 5, 7) * 9;
+    const uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::uniform(uint64_t bound)
+{
+    // Lemire-style rejection: draw until the value falls inside the
+    // largest multiple of `bound` representable in 64 bits.
+    const uint64_t threshold = -bound % bound;
+    for (;;) {
+        uint64_t r = next64();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+uint64_t
+Rng::uniformRange(uint64_t lo, uint64_t hi)
+{
+    return lo + uniform(hi - lo + 1);
+}
+
+double
+Rng::uniformDouble()
+{
+    return (next64() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniformDouble() < p;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next64());
+}
+
+} // namespace vstack

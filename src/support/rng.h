@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for fault sampling.
+ *
+ * Fault-injection campaigns must be reproducible: the same seed must
+ * produce the same fault list on every platform.  We therefore avoid
+ * std::mt19937 distribution helpers (which are implementation-defined)
+ * and implement xoshiro256** with explicit, portable derivations.
+ */
+#ifndef VSTACK_SUPPORT_RNG_H
+#define VSTACK_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace vstack
+{
+
+/** SplitMix64 stream, used to expand a single seed into RNG state. */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(uint64_t seed) : state(seed) {}
+
+    /** Next 64-bit value of the stream. */
+    uint64_t next();
+
+  private:
+    uint64_t state;
+};
+
+/**
+ * xoshiro256** generator.  Fast, high-quality, and fully portable: the
+ * sequence for a given seed is identical on every host.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded through SplitMix64). */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    uint64_t next64();
+
+    /**
+     * Uniform integer in [0, bound) using rejection sampling (no modulo
+     * bias).  @pre bound > 0.
+     */
+    uint64_t uniform(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive.  @pre lo <= hi. */
+    uint64_t uniformRange(uint64_t lo, uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniformDouble();
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool chance(double p);
+
+    /**
+     * Fork a statistically independent child generator.  Used to give
+     * every injection experiment its own stream so campaigns can be
+     * re-ordered or parallelised without changing sampled faults.
+     */
+    Rng fork();
+
+  private:
+    uint64_t s[4];
+};
+
+} // namespace vstack
+
+#endif // VSTACK_SUPPORT_RNG_H

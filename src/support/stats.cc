@@ -1,0 +1,118 @@
+#include "stats.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace vstack
+{
+
+double
+zValue(double confidence)
+{
+    // Inverse normal CDF via Acklam's rational approximation, accurate
+    // to ~1e-9 which is far below campaign noise.
+    double p = 0.5 + confidence / 2.0;
+    assert(p > 0.0 && p < 1.0);
+
+    static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                               -2.759285104469687e+02, 1.383577518672690e+02,
+                               -3.066479806614716e+01, 2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                               -1.556989798598866e+02, 6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                               -2.400758277161838e+00, -2.549732539343734e+00,
+                               4.374664141464968e+00,  2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                               2.445134137142996e+00, 3.754408661907416e+00};
+
+    const double plow = 0.02425;
+    const double phigh = 1 - plow;
+    double q, r;
+    if (p < plow) {
+        q = std::sqrt(-2 * std::log(p));
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+                c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+    }
+    if (p <= phigh) {
+        q = p - 0.5;
+        r = q * q;
+        return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+                a[5]) *
+               q /
+               (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r +
+                1);
+    }
+    q = std::sqrt(-2 * std::log(1 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+}
+
+double
+samplingMargin(size_t n, double p, double confidence, uint64_t population)
+{
+    assert(n > 0);
+    const double z = zValue(confidence);
+    double fpc = 1.0; // finite population correction
+    if (population > n && population > 1) {
+        fpc = static_cast<double>(population - n) /
+              static_cast<double>(population - 1);
+    }
+    return z * std::sqrt(fpc * p * (1.0 - p) / static_cast<double>(n));
+}
+
+size_t
+samplesForMargin(double margin, double confidence, uint64_t population)
+{
+    assert(margin > 0.0);
+    const double z = zValue(confidence);
+    const double n0 = z * z * 0.25 / (margin * margin);
+    if (population == 0)
+        return static_cast<size_t>(std::ceil(n0));
+    // Solve n = N / (1 + (n0 - 1) / N) style correction.
+    const double N = static_cast<double>(population);
+    const double n = (N * n0) / (n0 + N - 1.0);
+    return static_cast<size_t>(std::ceil(n));
+}
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+weightedMean(const std::vector<double> &xs, const std::vector<double> &ws)
+{
+    assert(xs.size() == ws.size());
+    double num = 0.0, den = 0.0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        num += xs[i] * ws[i];
+        den += ws[i];
+    }
+    assert(den > 0.0);
+    return num / den;
+}
+
+Interval
+wilsonInterval(size_t successes, size_t n, double confidence)
+{
+    assert(n > 0);
+    const double z = zValue(confidence);
+    const double phat = static_cast<double>(successes) / n;
+    const double z2 = z * z;
+    const double denom = 1.0 + z2 / n;
+    const double center = phat + z2 / (2.0 * n);
+    const double spread =
+        z * std::sqrt(phat * (1.0 - phat) / n + z2 / (4.0 * n * n));
+    return {(center - spread) / denom, (center + spread) / denom};
+}
+
+} // namespace vstack

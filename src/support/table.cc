@@ -1,0 +1,102 @@
+#include "table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace vstack
+{
+
+void
+Table::header(std::vector<std::string> cells)
+{
+    head = std::move(cells);
+}
+
+void
+Table::row(std::vector<std::string> cells)
+{
+    rows.push_back(std::move(cells));
+}
+
+void
+Table::separator()
+{
+    rows.push_back({"\x01"});
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::pct(double fraction, int precision)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+std::string
+Table::render() const
+{
+    // Column widths.
+    size_t ncols = head.size();
+    for (const auto &r : rows) {
+        if (!(r.size() == 1 && r[0] == "\x01"))
+            ncols = std::max(ncols, r.size());
+    }
+    std::vector<size_t> width(ncols, 0);
+    auto account = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < cells.size(); ++i)
+            width[i] = std::max(width[i], cells[i].size());
+    };
+    if (!head.empty())
+        account(head);
+    for (const auto &r : rows) {
+        if (!(r.size() == 1 && r[0] == "\x01"))
+            account(r);
+    }
+
+    std::string out;
+    auto rule = [&](char c) {
+        out += '+';
+        for (size_t i = 0; i < ncols; ++i) {
+            out.append(width[i] + 2, c);
+            out += '+';
+        }
+        out += '\n';
+    };
+    auto line = [&](const std::vector<std::string> &cells) {
+        out += '|';
+        for (size_t i = 0; i < ncols; ++i) {
+            const std::string &cell = i < cells.size() ? cells[i] : "";
+            out += ' ';
+            out += cell;
+            out.append(width[i] - cell.size() + 1, ' ');
+            out += '|';
+        }
+        out += '\n';
+    };
+
+    if (!title_.empty())
+        out += "== " + title_ + " ==\n";
+    rule('-');
+    if (!head.empty()) {
+        line(head);
+        rule('=');
+    }
+    for (const auto &r : rows) {
+        if (r.size() == 1 && r[0] == "\x01")
+            rule('-');
+        else
+            line(r);
+    }
+    rule('-');
+    return out;
+}
+
+} // namespace vstack

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * ASCII table renderer used by the benchmark harnesses to print the
+ * paper's tables and figure series in a readable, diffable form.
+ */
+#ifndef VSTACK_SUPPORT_TABLE_H
+#define VSTACK_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace vstack
+{
+
+/** A simple column-aligned text table with an optional title. */
+class Table
+{
+  public:
+    explicit Table(std::string title = "") : title_(std::move(title)) {}
+
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row (cells may be fewer than header columns). */
+    void row(std::vector<std::string> cells);
+
+    /** Append a horizontal separator line. */
+    void separator();
+
+    /** Render to a string with box-drawing characters. */
+    std::string render() const;
+
+    /** Format a double with fixed precision (helper for cells). */
+    static std::string num(double v, int precision = 2);
+
+    /** Format a percentage, e.g. pct(0.0312) -> "3.12%". */
+    static std::string pct(double fraction, int precision = 2);
+
+  private:
+    std::string title_;
+    std::vector<std::string> head;
+    // Each row; an empty optional-like marker row (single "\x01") is a
+    // separator.
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace vstack
+
+#endif // VSTACK_SUPPORT_TABLE_H

@@ -1,0 +1,311 @@
+#include "interp.h"
+
+#include <cstring>
+
+#include "machine/memmap.h"
+#include "support/logging.h"
+
+namespace vstack
+{
+
+using ir::Inst;
+using ir::IrOp;
+using ir::Value;
+
+IrInterp::IrInterp(const ir::Module &mod) : m(mod)
+{
+    // Lay out globals exactly where the back-end would put them.
+    uint32_t addr = memmap::USER_DATA;
+    for (const ir::Global &g : m.globals) {
+        const uint32_t align =
+            static_cast<uint32_t>(std::max(g.align, 4));
+        addr = (addr + align - 1) / align * align;
+        globalAddr.push_back(addr);
+        addr += static_cast<uint32_t>(g.bytes);
+    }
+    globalsEnd = addr;
+}
+
+namespace
+{
+
+struct Frame
+{
+    int funcIdx;
+    int block = 0;
+    size_t ip = 0;
+    int retDst = -1; ///< caller vreg receiving the result
+    uint32_t savedSp;
+    std::vector<uint64_t> vregs;
+    std::vector<uint32_t> arrayAddr;
+};
+
+} // namespace
+
+InterpResult
+IrInterp::run(uint64_t maxSteps)
+{
+    return exec(nullptr, maxSteps);
+}
+
+InterpResult
+IrInterp::runWithFault(const SwFault &fault, uint64_t maxSteps)
+{
+    return exec(&fault, maxSteps);
+}
+
+InterpResult
+IrInterp::exec(const SwFault *fault, uint64_t maxSteps)
+{
+    InterpResult res;
+    const uint64_t mask =
+        m.xlen == 64 ? ~0ull : 0xffffffffull;
+
+    if (mem.empty())
+        mem.resize(memmap::RAM_SIZE);
+    std::memset(mem.data(), 0, mem.size());
+    // Initialise globals.
+    for (size_t g = 0; g < m.globals.size(); ++g) {
+        const auto &init = m.globals[g].init;
+        if (!init.empty())
+            std::memcpy(mem.data() + globalAddr[g], init.data(),
+                        init.size());
+    }
+
+    uint32_t sp = memmap::USER_STACK_TOP;
+
+    auto fail = [&](const std::string &msg) {
+        res.stop = StopReason::Exception;
+        res.error = msg;
+    };
+
+    const int mainIdx = m.findFunc("main");
+    if (mainIdx < 0) {
+        fail("no main");
+        return res;
+    }
+
+    std::vector<Frame> stack;
+    auto pushFrame = [&](int funcIdx, int retDst,
+                         const std::vector<uint64_t> &args) -> bool {
+        const ir::Func &f = m.funcs[funcIdx];
+        Frame fr;
+        fr.funcIdx = funcIdx;
+        fr.retDst = retDst;
+        fr.savedSp = sp;
+        fr.vregs.assign(static_cast<size_t>(f.numVregs), 0);
+        for (size_t i = 0; i < args.size() && i < fr.vregs.size(); ++i)
+            fr.vregs[i] = args[i];
+        for (const ir::LocalArray &arr : f.localArrays) {
+            sp -= static_cast<uint32_t>(arr.bytes);
+            sp &= ~7u;
+            fr.arrayAddr.push_back(sp);
+        }
+        if (sp < memmap::USER_DATA) {
+            fail("stack overflow");
+            return false;
+        }
+        if (stack.size() > 2000) {
+            fail("call depth exceeded");
+            return false;
+        }
+        stack.push_back(std::move(fr));
+        return true;
+    };
+
+    if (!pushFrame(mainIdx, -1, {}))
+        return res;
+
+    auto memOk = [&](uint64_t addr, unsigned bytes) {
+        return addr >= memmap::USER_BASE &&
+               addr + bytes <= memmap::RAM_SIZE && addr % bytes == 0;
+    };
+
+    while (res.stop == StopReason::Running) {
+        if (res.steps >= maxSteps) {
+            res.stop = StopReason::Watchdog;
+            break;
+        }
+        Frame &fr = stack.back();
+        const ir::Func &f = m.funcs[fr.funcIdx];
+        const Inst &inst = f.blocks[fr.block].insts[fr.ip];
+        ++res.steps;
+
+        auto val = [&](const Value &v) -> uint64_t {
+            return v.isConst ? (static_cast<uint64_t>(v.konst) & mask)
+                             : fr.vregs[v.vreg];
+        };
+        auto setDst = [&](uint64_t v) {
+            v &= mask;
+            // LLFI-style injection: corrupt the destination of the
+            // Nth dynamic value-producing instruction.
+            ++res.valueSteps;
+            if (fault && res.valueSteps == fault->targetValueStep + 1)
+                v ^= 1ull << fault->bit;
+            fr.vregs[inst.dst] = v & mask;
+        };
+        auto sv = [&](uint64_t v) -> int64_t {
+            return m.xlen == 64 ? static_cast<int64_t>(v)
+                                : static_cast<int64_t>(
+                                      static_cast<int32_t>(v));
+        };
+
+        bool advance = true;
+        const uint64_t a = inst.hasA ? val(inst.a) : 0;
+        const uint64_t b = inst.hasB ? val(inst.b) : 0;
+
+        switch (inst.op) {
+          case IrOp::Add: setDst(a + b); break;
+          case IrOp::Sub: setDst(a - b); break;
+          case IrOp::Mul: setDst(a * b); break;
+          case IrOp::UDiv: setDst(b == 0 ? 0 : a / b); break;
+          case IrOp::SDiv: {
+            int64_t x = sv(a), y = sv(b);
+            setDst(y == 0 ? 0
+                          : (x == INT64_MIN && y == -1
+                                 ? static_cast<uint64_t>(x)
+                                 : static_cast<uint64_t>(x / y)));
+            break;
+          }
+          case IrOp::URem: setDst(b == 0 ? a : a % b); break;
+          case IrOp::SRem: {
+            int64_t x = sv(a), y = sv(b);
+            setDst(y == 0 ? static_cast<uint64_t>(x)
+                          : (x == INT64_MIN && y == -1
+                                 ? 0
+                                 : static_cast<uint64_t>(x % y)));
+            break;
+          }
+          case IrOp::And: setDst(a & b); break;
+          case IrOp::Or: setDst(a | b); break;
+          case IrOp::Xor: setDst(a ^ b); break;
+          case IrOp::Shl: setDst(a << (b & (m.xlen - 1))); break;
+          case IrOp::LShr: setDst(a >> (b & (m.xlen - 1))); break;
+          case IrOp::AShr:
+            setDst(static_cast<uint64_t>(sv(a) >> (b & (m.xlen - 1))));
+            break;
+          case IrOp::CmpEq: setDst(a == b); break;
+          case IrOp::CmpNe: setDst(a != b); break;
+          case IrOp::CmpSLt: setDst(sv(a) < sv(b)); break;
+          case IrOp::CmpSLe: setDst(sv(a) <= sv(b)); break;
+          case IrOp::CmpSGt: setDst(sv(a) > sv(b)); break;
+          case IrOp::CmpSGe: setDst(sv(a) >= sv(b)); break;
+          case IrOp::CmpULt: setDst(a < b); break;
+          case IrOp::CmpUGe: setDst(a >= b); break;
+          case IrOp::Mov: setDst(a); break;
+          case IrOp::Load: {
+            const uint64_t addr =
+                (a + static_cast<uint64_t>(inst.imm)) & mask;
+            if (!memOk(addr, static_cast<unsigned>(inst.size))) {
+                fail(strprintf("bad load at 0x%llx",
+                               static_cast<unsigned long long>(addr)));
+                break;
+            }
+            uint64_t v = 0;
+            std::memcpy(&v, mem.data() + addr,
+                        static_cast<size_t>(inst.size));
+            setDst(v);
+            break;
+          }
+          case IrOp::Store: {
+            const uint64_t addr =
+                (a + static_cast<uint64_t>(inst.imm)) & mask;
+            if (!memOk(addr, static_cast<unsigned>(inst.size))) {
+                fail(strprintf("bad store at 0x%llx",
+                               static_cast<unsigned long long>(addr)));
+                break;
+            }
+            uint64_t v = b;
+            std::memcpy(mem.data() + addr, &v,
+                        static_cast<size_t>(inst.size));
+            break;
+          }
+          case IrOp::AddrGlobal:
+            setDst(globalAddr[inst.globalId] +
+                   static_cast<uint64_t>(inst.imm));
+            break;
+          case IrOp::AddrLocal:
+            setDst(fr.arrayAddr[inst.localId] +
+                   static_cast<uint64_t>(inst.imm));
+            break;
+          case IrOp::Call: {
+            std::vector<uint64_t> args;
+            for (const Value &arg : inst.args)
+                args.push_back(val(arg));
+            // Advance the caller past the call first.
+            ++fr.ip;
+            if (!pushFrame(inst.callee, inst.dst, args))
+                break;
+            advance = false;
+            break;
+          }
+          case IrOp::Syscall: {
+            const uint64_t s0 = !inst.args.empty() ? val(inst.args[0]) : 0;
+            const uint64_t s1 = inst.args.size() > 1 ? val(inst.args[1])
+                                                     : 0;
+            uint64_t ret = 0;
+            switch (static_cast<Syscall>(inst.sysNr)) {
+              case Syscall::Write: {
+                if (s0 < memmap::USER_BASE ||
+                    s0 + s1 > memmap::RAM_SIZE || s1 > 65536) {
+                    ret = static_cast<uint64_t>(-1);
+                    break;
+                }
+                res.output.insert(res.output.end(), mem.data() + s0,
+                                  mem.data() + s0 + s1);
+                ret = s1;
+                break;
+              }
+              case Syscall::Exit:
+                res.exitCode = static_cast<uint32_t>(s0);
+                res.stop = StopReason::Exited;
+                break;
+              case Syscall::Detect:
+                res.detectCode = static_cast<uint32_t>(s0);
+                res.stop = StopReason::DetectHit;
+                break;
+              default:
+                ret = static_cast<uint64_t>(-38);
+                break;
+            }
+            if (inst.dst >= 0)
+                setDst(ret);
+            break;
+          }
+          case IrOp::CacheClean:
+            break; // no cache model at the software layer
+          case IrOp::Br:
+            fr.block = inst.target0;
+            fr.ip = 0;
+            advance = false;
+            break;
+          case IrOp::CondBr:
+            fr.block = a != 0 ? inst.target0 : inst.target1;
+            fr.ip = 0;
+            advance = false;
+            break;
+          case IrOp::Ret: {
+            const uint64_t rv = inst.hasA ? a : 0;
+            const int retDst = fr.retDst;
+            sp = fr.savedSp;
+            stack.pop_back();
+            if (stack.empty()) {
+                res.exitCode = static_cast<uint32_t>(rv);
+                res.stop = StopReason::Exited;
+            } else if (retDst >= 0) {
+                stack.back().vregs[retDst] = rv & mask;
+            }
+            advance = false;
+            break;
+          }
+        }
+
+        if (res.stop != StopReason::Running)
+            break;
+        if (advance)
+            ++stack.back().ip;
+    }
+    return res;
+}
+
+} // namespace vstack

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * IR interpreter: the execution engine for software-level (SVF)
+ * fault injection.
+ *
+ * Runs MCL IR directly — the analog of LLFI executing instrumented
+ * LLVM IR natively.  Critically, and by design, it models none of the
+ * lower layers: no kernel activity, no devices, no microarchitecture.
+ * This is exactly the abstraction SVF-based studies operate at, and
+ * whose blind spots the paper quantifies.
+ */
+#ifndef VSTACK_SWFI_INTERP_H
+#define VSTACK_SWFI_INTERP_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compiler/ir.h"
+#include "machine/outcome.h"
+
+namespace vstack
+{
+
+/** Result of one interpreted execution. */
+struct InterpResult
+{
+    StopReason stop = StopReason::Running;
+    std::string error;
+    uint64_t steps = 0;       ///< executed IR instructions
+    uint64_t valueSteps = 0;  ///< executed value-producing instructions
+    std::vector<uint8_t> output;
+    uint32_t exitCode = 0;
+    uint32_t detectCode = 0;
+};
+
+/** A software-level fault: flip `bit` of the destination value of the
+ *  Nth dynamic value-producing IR instruction (LLFI's default model). */
+struct SwFault
+{
+    uint64_t targetValueStep = 0;
+    int bit = 0;
+};
+
+/**
+ * The interpreter.  Memory uses the same layout constants as the
+ * guest (globals at USER_DATA, stack below USER_STACK_TOP) so pointer
+ * arithmetic in workloads behaves identically.
+ */
+class IrInterp
+{
+  public:
+    explicit IrInterp(const ir::Module &m);
+
+    /** Fault-free run. */
+    InterpResult run(uint64_t maxSteps = 80'000'000);
+
+    /** Run with one injected fault. */
+    InterpResult runWithFault(const SwFault &fault, uint64_t maxSteps);
+
+  private:
+    InterpResult exec(const SwFault *fault, uint64_t maxSteps);
+
+    const ir::Module &m;
+    std::vector<uint32_t> globalAddr; ///< assigned global addresses
+    uint32_t globalsEnd = 0;
+    std::vector<uint8_t> mem; ///< reused across runs
+};
+
+} // namespace vstack
+
+#endif // VSTACK_SWFI_INTERP_H

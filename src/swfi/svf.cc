@@ -1,0 +1,52 @@
+#include "svf.h"
+
+#include "support/logging.h"
+#include "support/rng.h"
+
+namespace vstack
+{
+
+SvfCampaign::SvfCampaign(const ir::Module &mod) : m(mod), interp(mod)
+{
+    golden_ = interp.run();
+    if (golden_.stop != StopReason::Exited)
+        fatal("SVF golden run failed: %s", golden_.error.c_str());
+}
+
+Outcome
+SvfCampaign::runOne(uint64_t targetValueStep, int bit)
+{
+    SwFault fault{targetValueStep, bit};
+    InterpResult r =
+        interp.runWithFault(fault, golden_.steps * 4 + 100'000);
+
+    switch (r.stop) {
+      case StopReason::DetectHit:
+        return Outcome::Detected;
+      case StopReason::Exception:
+      case StopReason::Watchdog:
+      case StopReason::Running:
+        return Outcome::Crash;
+      case StopReason::Exited:
+        break;
+    }
+    if (r.output != golden_.output || r.exitCode != golden_.exitCode)
+        return Outcome::Sdc;
+    return Outcome::Masked;
+}
+
+OutcomeCounts
+SvfCampaign::run(size_t n, uint64_t seed)
+{
+    Rng master(seed ^ 0x5f0d1e2c3b4a5968ull);
+    OutcomeCounts counts;
+    for (size_t i = 0; i < n; ++i) {
+        Rng rng = master.fork();
+        const uint64_t step = rng.uniform(golden_.valueSteps);
+        const int bit = static_cast<int>(rng.uniform(m.xlen));
+        counts.add(runOne(step, bit));
+    }
+    return counts;
+}
+
+} // namespace vstack

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Software-level (SVF) fault-injection campaigns — the LLFI analog.
+ *
+ * Faults are instantaneous single-bit flips in the destination value
+ * of a uniformly sampled dynamic IR instruction, in user code only.
+ * Per the paper's Section II.B this is a strict subset of the PVF
+ * model: no kernel activity, no WI/WOI manifestations, no ESC class,
+ * and no microarchitecture.  Like LLFI, it only supports the 64-bit
+ * ISA's IR (the paper ran LLFI natively on a 64-bit Arm host).
+ */
+#ifndef VSTACK_SWFI_SVF_H
+#define VSTACK_SWFI_SVF_H
+
+#include "compiler/ir.h"
+#include "machine/outcome.h"
+#include "swfi/interp.h"
+
+namespace vstack
+{
+
+/** One SVF campaign over a fixed IR module. */
+class SvfCampaign
+{
+  public:
+    /** Runs the golden execution on construction (fatal on failure). */
+    explicit SvfCampaign(const ir::Module &m);
+
+    const InterpResult &golden() const { return golden_; }
+
+    /** Run one injection. */
+    Outcome runOne(uint64_t targetValueStep, int bit);
+
+    /** Run a campaign of n injections with uniform sampling. */
+    OutcomeCounts run(size_t n, uint64_t seed);
+
+  private:
+    const ir::Module &m;
+    IrInterp interp; ///< reused across injections
+    InterpResult golden_;
+};
+
+} // namespace vstack
+
+#endif // VSTACK_SWFI_SVF_H

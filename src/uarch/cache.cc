@@ -1,0 +1,330 @@
+#include "cache.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace vstack
+{
+
+Cache::Cache(const CacheGeom &geom, MemLevel level)
+    : sets(geom.numSets()), ways(geom.assoc), lat(geom.latency),
+      tagBitCount(geom.tagBits()), lvl(level), bits(geom.totalBits())
+{
+    setBits = 0;
+    uint32_t s = sets;
+    while (s > 1) {
+        s >>= 1;
+        ++setBits;
+    }
+    assert(sets == (1u << setBits) && "set count must be a power of two");
+    lines.resize(static_cast<size_t>(sets) * ways);
+}
+
+void
+Cache::reset()
+{
+    for (Line &l : lines) {
+        l.valid = false;
+        l.dirty = false;
+        l.tag = 0;
+        l.lastUse = 0;
+    }
+    clock = 0;
+}
+
+int
+Cache::findWay(uint32_t addr) const
+{
+    const uint32_t set = setOf(addr);
+    const uint32_t tag = tagOf(addr);
+    for (int w = 0; w < ways; ++w) {
+        const Line &l = line(set, w);
+        if (l.valid && l.tag == tag)
+            return w;
+    }
+    return -1;
+}
+
+int
+Cache::victimWay(uint32_t addr) const
+{
+    const uint32_t set = setOf(addr);
+    int victim = 0;
+    uint64_t oldest = UINT64_MAX;
+    for (int w = 0; w < ways; ++w) {
+        const Line &l = line(set, w);
+        if (!l.valid)
+            return w;
+        if (l.lastUse < oldest) {
+            oldest = l.lastUse;
+            victim = w;
+        }
+    }
+    return victim;
+}
+
+void
+Cache::flipBit(uint64_t bit, TaintTracker &tracker)
+{
+    const uint64_t bitsPerLine = lineSize * 8 + tagBitCount + 2;
+    const uint64_t lineIdx = bit / bitsPerLine;
+    const uint64_t offset = bit % bitsPerLine;
+    assert(lineIdx < lines.size());
+    Line &l = lines[lineIdx];
+    const uint32_t set = static_cast<uint32_t>(lineIdx) /
+                         static_cast<uint32_t>(ways);
+    const uint32_t addr = lineAddr(set, l.tag);
+
+    if (offset < lineSize * 8) {
+        // Data bit.
+        const uint32_t byte = static_cast<uint32_t>(offset / 8);
+        const int bitInByte = static_cast<int>(offset % 8);
+        l.data[byte] ^= static_cast<uint8_t>(1u << bitInByte);
+        if (l.valid)
+            tracker.addData(lvl, addr + byte, bitInByte);
+        return;
+    }
+    const uint64_t meta = offset - lineSize * 8;
+    if (meta < static_cast<uint64_t>(tagBitCount)) {
+        // Tag bit: the line now answers for an aliased address; if it
+        // was dirty, the original address's latest data is lost.
+        const bool wasValid = l.valid;
+        const bool wasDirty = l.dirty;
+        l.tag ^= 1u << meta;
+        if (wasValid) {
+            const uint32_t aliasAddr = lineAddr(set, l.tag);
+            tracker.addMeta(lvl, aliasAddr, lineSize);
+            if (wasDirty && lvl != MemLevel::Mem) {
+                tracker.addMeta(lvl == MemLevel::L2 ? MemLevel::Mem
+                                                    : MemLevel::L2,
+                                addr, lineSize);
+            }
+        }
+        return;
+    }
+    if (meta == static_cast<uint64_t>(tagBitCount)) {
+        // Valid bit.
+        if (l.valid) {
+            l.valid = false;
+            if (l.dirty) {
+                // Lost dirty line: lower level serves stale data.
+                tracker.addMeta(lvl == MemLevel::L2 ? MemLevel::Mem
+                                                    : MemLevel::L2,
+                                addr, lineSize);
+            }
+        } else {
+            // A garbage line appears.
+            l.valid = true;
+            tracker.addMeta(lvl, lineAddr(set, l.tag), lineSize);
+        }
+        return;
+    }
+    // Dirty bit.
+    if (!l.valid)
+        return;
+    if (l.dirty) {
+        // dirty->clean: the eventual eviction silently drops the
+        // modified data, exposing the stale copy below.
+        l.dirty = false;
+        tracker.addMeta(lvl == MemLevel::L2 ? MemLevel::Mem : MemLevel::L2,
+                        addr, lineSize);
+    } else {
+        // clean->dirty: eviction writes back identical bytes.
+        l.dirty = true;
+    }
+}
+
+// ---- MemHierarchy ------------------------------------------------------
+
+MemHierarchy::MemHierarchy(const CoreConfig &cfg, PhysMem &mem,
+                           TaintTracker &tracker)
+    : cfg(cfg), mem(mem), tracker(tracker), l1i(cfg.l1i, MemLevel::L1I),
+      l1d(cfg.l1d, MemLevel::L1D), l2(cfg.l2, MemLevel::L2)
+{
+}
+
+void
+MemHierarchy::reset()
+{
+    l1i.reset();
+    l1d.reset();
+    l2.reset();
+}
+
+int
+MemHierarchy::readLineBelow(Cache &c, uint32_t addr, uint8_t *out)
+{
+    const uint32_t lineA = addr & ~(Cache::lineSize - 1);
+    if (c.level() == MemLevel::L2) {
+        if (memmap::inRam(lineA, Cache::lineSize))
+            mem.readBlock(lineA, out, Cache::lineSize);
+        else
+            std::memset(out, 0, Cache::lineSize);
+        tracker.onCopyUp(MemLevel::Mem, MemLevel::L2, lineA,
+                         Cache::lineSize);
+        return cfg.memLatency;
+    }
+    // L1 fills from L2.
+    auto [lat, way] = ensureLine(l2, lineA);
+    Cache::Line &l = l2.line(l2.setOf(lineA), way);
+    std::memcpy(out, l.data, Cache::lineSize);
+    tracker.onCopyUp(MemLevel::L2, c.level(), lineA, Cache::lineSize);
+    return lat;
+}
+
+void
+MemHierarchy::installBelow(Cache &c, uint32_t addr, const uint8_t *data,
+                           bool moveTaint)
+{
+    const uint32_t lineA = addr & ~(Cache::lineSize - 1);
+    if (c.level() == MemLevel::L2) {
+        if (memmap::inRam(lineA, Cache::lineSize))
+            mem.writeBlock(lineA, data, Cache::lineSize);
+        // Misdirected write-backs outside RAM are dropped.
+        tracker.onWriteback(MemLevel::L2, MemLevel::Mem, lineA, lineA,
+                            Cache::lineSize, moveTaint);
+        return;
+    }
+    // L1 victim goes into L2 (allocate-on-writeback).
+    auto [lat, way] = ensureLine(l2, lineA);
+    (void)lat;
+    Cache::Line &l = l2.line(l2.setOf(lineA), way);
+    std::memcpy(l.data, data, Cache::lineSize);
+    l.dirty = true;
+    tracker.onWriteback(c.level(), MemLevel::L2, lineA, lineA,
+                        Cache::lineSize, moveTaint);
+}
+
+void
+MemHierarchy::evict(Cache &c, uint32_t set, int way)
+{
+    Cache::Line &l = c.line(set, way);
+    if (!l.valid)
+        return;
+    const uint32_t addr = c.lineAddr(set, l.tag);
+    if (l.dirty) {
+        installBelow(c, addr, l.data);
+    } else {
+        tracker.onDiscard(c.level(), addr, Cache::lineSize);
+    }
+    l.valid = false;
+    l.dirty = false;
+}
+
+std::pair<int, int>
+MemHierarchy::ensureLine(Cache &c, uint32_t addr)
+{
+    int way = c.findWay(addr);
+    const uint32_t set = c.setOf(addr);
+    if (way >= 0) {
+        c.touch(set, way);
+        return {c.latency(), way};
+    }
+    way = c.victimWay(addr);
+    evict(c, set, way);
+
+    Cache::Line &l = c.line(set, way);
+    int lat = c.latency() + readLineBelow(c, addr & ~(Cache::lineSize - 1),
+                                          l.data);
+    l.tag = c.tagOf(addr);
+    l.valid = true;
+    l.dirty = false;
+    c.touch(set, way);
+    return {lat, way};
+}
+
+int
+MemHierarchy::read(uint32_t addr, unsigned bytes, uint64_t &val,
+                   uint64_t cycle, std::optional<Fpm> *fpm)
+{
+    auto [lat, way] = ensureLine(l1d, addr);
+    Cache::Line &l = l1d.line(l1d.setOf(addr), way);
+    const uint32_t off = addr & (Cache::lineSize - 1);
+    assert(off + bytes <= Cache::lineSize);
+    uint64_t v = 0;
+    std::memcpy(&v, l.data + off, bytes);
+    val = v;
+    auto hit = tracker.onConsume(MemLevel::L1D, addr, bytes,
+                                 ConsumeKind::Load, 0, cycle);
+    if (fpm && hit)
+        *fpm = hit;
+    return lat;
+}
+
+int
+MemHierarchy::write(uint32_t addr, unsigned bytes, uint64_t val,
+                    uint64_t cycle)
+{
+    (void)cycle;
+    auto [lat, way] = ensureLine(l1d, addr);
+    Cache::Line &l = l1d.line(l1d.setOf(addr), way);
+    const uint32_t off = addr & (Cache::lineSize - 1);
+    assert(off + bytes <= Cache::lineSize);
+    std::memcpy(l.data + off, &val, bytes);
+    l.dirty = true;
+    tracker.onOverwrite(MemLevel::L1D, addr, bytes);
+    return lat;
+}
+
+int
+MemHierarchy::fetch(uint32_t addr, uint32_t &word, uint64_t cycle,
+                    std::optional<Fpm> *fpm)
+{
+    auto [lat, way] = ensureLine(l1i, addr);
+    Cache::Line &l = l1i.line(l1i.setOf(addr), way);
+    const uint32_t off = addr & (Cache::lineSize - 1);
+    assert(off + 4 <= Cache::lineSize);
+    uint32_t w = 0;
+    std::memcpy(&w, l.data + off, 4);
+    word = w;
+    auto hit = tracker.onConsume(MemLevel::L1I, addr, 4, ConsumeKind::Fetch,
+                                 w, cycle);
+    if (fpm && hit)
+        *fpm = hit;
+    return lat;
+}
+
+void
+MemHierarchy::cleanLine(uint32_t addr)
+{
+    const int way = l1d.findWay(addr);
+    if (way < 0)
+        return;
+    Cache::Line &l = l1d.line(l1d.setOf(addr), way);
+    if (!l.dirty)
+        return;
+    const uint32_t lineA = l1d.lineAddr(l1d.setOf(addr), l.tag);
+    // The line stays valid (and clean) in the L1: copy, don't move.
+    installBelow(l1d, lineA, l.data, /*moveTaint=*/false);
+    l.dirty = false;
+}
+
+void
+MemHierarchy::snoop(uint32_t addr, uint8_t *dst, size_t n, uint64_t cycle)
+{
+    for (size_t i = 0; i < n;) {
+        const uint32_t a = addr + static_cast<uint32_t>(i);
+        const uint32_t off = a & (Cache::lineSize - 1);
+        const size_t chunk =
+            std::min<size_t>(n - i, Cache::lineSize - off);
+
+        int way;
+        if ((way = l2.findWay(a)) >= 0) {
+            Cache::Line &l = l2.line(l2.setOf(a), way);
+            std::memcpy(dst + i, l.data + off, chunk);
+            tracker.onConsume(MemLevel::L2, a,
+                              static_cast<uint32_t>(chunk),
+                              ConsumeKind::Dma, 0, cycle);
+        } else if (memmap::inRam(a, static_cast<unsigned>(chunk))) {
+            mem.readBlock(a, dst + i, chunk);
+            tracker.onConsume(MemLevel::Mem, a,
+                              static_cast<uint32_t>(chunk),
+                              ConsumeKind::Dma, 0, cycle);
+        } else {
+            std::memset(dst + i, 0, chunk);
+        }
+        i += chunk;
+    }
+}
+
+} // namespace vstack

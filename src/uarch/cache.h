@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Write-back cache model and two-level hierarchy.
+ *
+ * Caches store real tag/state/data bits, so injected flips have honest
+ * consequences: data flips corrupt values served to the core or
+ * written back; tag flips cause misses, aliased hits, and misdirected
+ * write-backs; dirty-bit flips lose updates; valid-bit flips drop or
+ * conjure lines.  The hierarchy reports per-access latency to the
+ * core and feeds the taint tracker for HVF classification.
+ */
+#ifndef VSTACK_UARCH_CACHE_H
+#define VSTACK_UARCH_CACHE_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "machine/physmem.h"
+#include "uarch/config.h"
+#include "uarch/taint.h"
+
+namespace vstack
+{
+
+/** One set-associative write-back cache. */
+class Cache
+{
+  public:
+    static constexpr uint32_t lineSize = CacheGeom::lineSize;
+
+    struct Line
+    {
+        uint32_t tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        uint64_t lastUse = 0;
+        uint8_t data[lineSize];
+    };
+
+    Cache(const CacheGeom &geom, MemLevel level);
+
+    /** Invalidate everything (between runs). */
+    void reset();
+
+    uint32_t numSets() const { return sets; }
+    int numWays() const { return ways; }
+    int latency() const { return lat; }
+    MemLevel level() const { return lvl; }
+
+    uint32_t setOf(uint32_t addr) const { return (addr >> 6) & (sets - 1); }
+    uint32_t tagOf(uint32_t addr) const { return addr >> (6 + setBits); }
+    uint32_t lineAddr(uint32_t set, uint32_t tag) const
+    {
+        return (tag << (6 + setBits)) | (set << 6);
+    }
+
+    Line &line(uint32_t set, int way) { return lines[set * ways + way]; }
+    const Line &line(uint32_t set, int way) const
+    {
+        return lines[set * ways + way];
+    }
+
+    /** Way holding addr, or -1. */
+    int findWay(uint32_t addr) const;
+
+    /** LRU victim way in addr's set. */
+    int victimWay(uint32_t addr) const;
+
+    void touch(uint32_t set, int way) { line(set, way).lastUse = ++clock; }
+
+    /** Total injectable SRAM bits. */
+    uint64_t totalBits() const { return bits; }
+
+    /**
+     * Flip one bit of the structure's bit space and register taint.
+     * Layout per line: 512 data bits, then tag bits, then valid, then
+     * dirty.
+     */
+    void flipBit(uint64_t bit, TaintTracker &tracker);
+
+  private:
+    uint32_t sets;
+    int ways;
+    int lat;
+    int setBits;
+    int tagBitCount;
+    MemLevel lvl;
+    uint64_t bits;
+    uint64_t clock = 0;
+    std::vector<Line> lines;
+};
+
+/**
+ * The L1i/L1d/L2/DRAM hierarchy with DMA snooping.  All addresses
+ * passed in must be RAM addresses; MMIO bypasses the hierarchy.
+ */
+class MemHierarchy
+{
+  public:
+    MemHierarchy(const CoreConfig &cfg, PhysMem &mem,
+                 TaintTracker &tracker);
+
+    void reset();
+
+    /** Data read. Returns latency; fills `val`.  If the read bytes
+     *  were tainted, `fpm` (when non-null) receives the pending FPM
+     *  classification for the core to record at commit. */
+    int read(uint32_t addr, unsigned bytes, uint64_t &val, uint64_t cycle,
+             std::optional<Fpm> *fpm = nullptr);
+
+    /** Data write (write-allocate). Returns latency. */
+    int write(uint32_t addr, unsigned bytes, uint64_t val,
+              uint64_t cycle);
+
+    /** Instruction fetch of one word. Returns latency; `fpm` as in
+     *  read(). */
+    int fetch(uint32_t addr, uint32_t &word, uint64_t cycle,
+              std::optional<Fpm> *fpm = nullptr);
+
+    /**
+     * DMA read.  The DMA engine is NOT coherent with the L1 (as on
+     * the embedded Arm parts the paper models): it reads L2, then
+     * memory.  The kernel cleans the staged lines (see cleanLine)
+     * before ringing the doorbell.  Consumes taint as ESC.
+     */
+    void snoop(uint32_t addr, uint8_t *dst, size_t n, uint64_t cycle);
+
+    /** Cache-maintenance: clean (write back, keep) the L1d line
+     *  containing addr, making it visible to the DMA engine. */
+    void cleanLine(uint32_t addr);
+
+    Cache &l1iCache() { return l1i; }
+    Cache &l1dCache() { return l1d; }
+    Cache &l2Cache() { return l2; }
+
+  private:
+    /**
+     * Ensure addr's line is present in `c`; returns (latency, way).
+     * Fills from the next level down, evicting (with write-back) as
+     * needed.
+     */
+    std::pair<int, int> ensureLine(Cache &c, uint32_t addr);
+
+    /** Evict a specific line (write-back if dirty). */
+    void evict(Cache &c, uint32_t set, int way);
+
+    /** Write 64 bytes into the level below `c` (L2 or memory). */
+    void installBelow(Cache &c, uint32_t addr, const uint8_t *data,
+                      bool moveTaint = true);
+
+    /** Read 64 bytes from the level below `c` without allocation
+     *  decisions (L2 lookup/fill or memory). Returns latency. */
+    int readLineBelow(Cache &c, uint32_t addr, uint8_t *out);
+
+    const CoreConfig &cfg;
+    PhysMem &mem;
+    TaintTracker &tracker;
+    Cache l1i;
+    Cache l1d;
+    Cache l2;
+};
+
+} // namespace vstack
+
+#endif // VSTACK_UARCH_CACHE_H

@@ -1,0 +1,135 @@
+#include "config.h"
+
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace vstack
+{
+
+int
+CacheGeom::tagBits() const
+{
+    // 32-bit physical address minus set index and line offset bits.
+    int setBits = 0;
+    uint32_t sets = numSets();
+    while (sets > 1) {
+        sets >>= 1;
+        ++setBits;
+    }
+    return 32 - setBits - 6; // 6 = log2(64-byte line)
+}
+
+const std::vector<CoreConfig> &
+allCores()
+{
+    static const std::vector<CoreConfig> cores = [] {
+        std::vector<CoreConfig> v;
+
+        // ax9 — Cortex-A9 analog: narrow av32 core, small window.
+        CoreConfig a9;
+        a9.name = "ax9";
+        a9.isa = IsaId::Av32;
+        a9.fetchWidth = a9.renameWidth = a9.issueWidth = a9.commitWidth = 2;
+        a9.robSize = 40;
+        a9.iqSize = 20;
+        a9.lqSize = 8;
+        a9.sqSize = 8;
+        a9.numPhysRegs = 56;
+        a9.mulLatency = 4;
+        a9.divLatency = 19;
+        a9.bimodalEntries = 1024;
+        a9.btbEntries = 256;
+        a9.rasEntries = 8;
+        a9.mispredictPenalty = 8;
+        a9.l1i = {4, 2, 1};
+        a9.l1d = {2, 2, 1};
+        a9.l2 = {16, 4, 8};
+        a9.memLatency = 80;
+        v.push_back(a9);
+
+        // ax15 — Cortex-A15 analog: wide av32 core.
+        CoreConfig a15;
+        a15.name = "ax15";
+        a15.isa = IsaId::Av32;
+        a15.fetchWidth = a15.renameWidth = a15.issueWidth =
+            a15.commitWidth = 3;
+        a15.robSize = 60;
+        a15.iqSize = 40;
+        a15.lqSize = 16;
+        a15.sqSize = 16;
+        a15.numPhysRegs = 90;
+        a15.mulLatency = 4;
+        a15.divLatency = 19;
+        a15.bimodalEntries = 4096;
+        a15.btbEntries = 512;
+        a15.rasEntries = 16;
+        a15.mispredictPenalty = 12;
+        a15.l1i = {4, 4, 2};
+        a15.l1d = {2, 4, 2};
+        a15.l2 = {32, 8, 10};
+        a15.memLatency = 90;
+        v.push_back(a15);
+
+        // ax57 — Cortex-A57 analog: av64, big window.
+        CoreConfig a57;
+        a57.name = "ax57";
+        a57.isa = IsaId::Av64;
+        a57.fetchWidth = a57.renameWidth = a57.issueWidth =
+            a57.commitWidth = 3;
+        a57.robSize = 128;
+        a57.iqSize = 48;
+        a57.lqSize = 16;
+        a57.sqSize = 16;
+        a57.numPhysRegs = 128;
+        a57.mulLatency = 3;
+        a57.divLatency = 12;
+        a57.bimodalEntries = 4096;
+        a57.btbEntries = 1024;
+        a57.rasEntries = 16;
+        a57.mispredictPenalty = 12;
+        a57.l1i = {6, 3, 2};
+        a57.l1d = {2, 2, 2};
+        a57.l2 = {32, 16, 12};
+        a57.memLatency = 100;
+        v.push_back(a57);
+
+        // ax72 — Cortex-A72 analog: av64, biggest core of the set.
+        CoreConfig a72;
+        a72.name = "ax72";
+        a72.isa = IsaId::Av64;
+        a72.fetchWidth = a72.renameWidth = a72.issueWidth =
+            a72.commitWidth = 3;
+        a72.robSize = 128;
+        a72.iqSize = 64;
+        a72.lqSize = 24;
+        a72.sqSize = 24;
+        a72.numPhysRegs = 160;
+        a72.mulLatency = 3;
+        a72.divLatency = 12;
+        a72.bimodalEntries = 8192;
+        a72.btbEntries = 2048;
+        a72.rasEntries = 16;
+        a72.mispredictPenalty = 10;
+        a72.l1i = {6, 3, 2};
+        a72.l1d = {2, 2, 2};
+        a72.l2 = {64, 16, 14};
+        a72.memLatency = 100;
+        v.push_back(a72);
+
+        return v;
+    }();
+    return cores;
+}
+
+const CoreConfig &
+coreByName(const std::string &name)
+{
+    for (const CoreConfig &c : allCores()) {
+        if (c.name == name)
+            return c;
+    }
+    fatal("unknown core '%s'", name.c_str());
+}
+
+} // namespace vstack

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Core configurations: the four simulated microarchitectures.
+ *
+ * Cache capacities are scaled down ~8x from the silicon parts to
+ * match the scaled-down workload footprints (DESIGN.md, Section 2);
+ * the cross-core size ordering of every structure is preserved.
+ *
+ * The presets mirror the paper's Table II axis — two av32 cores
+ * (ax9/ax15, the Cortex-A9/A15 analogs) and two av64 cores
+ * (ax57/ax72, the Cortex-A57/A72 analogs) — differing in pipeline
+ * widths, window sizes, physical register count, LSQ depth, and cache
+ * geometry.  The same workload therefore exercises each core with
+ * different occupancy and utilisation patterns, which is what makes
+ * the cross-layer AVF microarchitecture-dependent.
+ */
+#ifndef VSTACK_UARCH_CONFIG_H
+#define VSTACK_UARCH_CONFIG_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace vstack
+{
+
+/** Geometry and latency of one cache. */
+struct CacheGeom
+{
+    uint32_t sizeKB;
+    int assoc;
+    int latency; ///< hit latency in cycles
+    static constexpr uint32_t lineSize = 64;
+
+    uint32_t numLines() const { return sizeKB * 1024 / lineSize; }
+    uint32_t numSets() const
+    {
+        return numLines() / static_cast<uint32_t>(assoc);
+    }
+    /** Tag width for a 32-bit physical address space. */
+    int tagBits() const;
+    /** Total SRAM bits (data + tag + valid + dirty per line). */
+    uint64_t totalBits() const
+    {
+        return static_cast<uint64_t>(numLines()) *
+               (lineSize * 8 + tagBits() + 2);
+    }
+};
+
+/** Full configuration of a simulated core. */
+struct CoreConfig
+{
+    std::string name;
+    IsaId isa = IsaId::Av64;
+
+    int fetchWidth = 3;
+    int renameWidth = 3;
+    int issueWidth = 3;
+    int commitWidth = 3;
+
+    int robSize = 128;
+    int iqSize = 48;
+    int lqSize = 16;
+    int sqSize = 16;
+    int numPhysRegs = 128;
+
+    int mulLatency = 3;
+    int divLatency = 12;
+
+    int bimodalEntries = 4096;
+    int btbEntries = 1024;
+    int rasEntries = 16;
+    int mispredictPenalty = 8; ///< front-end refill bubble
+
+    CacheGeom l1i{32, 4, 2};
+    CacheGeom l1d{32, 4, 2};
+    CacheGeom l2{1024, 16, 12};
+    int memLatency = 100;
+
+    uint64_t dmaDelay = 30000; ///< cycles from doorbell to DMA pull
+
+    /** Bits in the physical integer register file. */
+    uint64_t rfBits() const
+    {
+        return static_cast<uint64_t>(numPhysRegs) *
+               IsaSpec::get(isa).xlen;
+    }
+    /** Bits in the LSQ (address + data per entry). */
+    uint64_t lsqBits() const
+    {
+        return static_cast<uint64_t>(lqSize + sqSize) *
+               (32 + IsaSpec::get(isa).xlen);
+    }
+};
+
+/** The four paper-analog cores: ax9, ax15 (av32); ax57, ax72 (av64). */
+const std::vector<CoreConfig> &allCores();
+
+/** Preset lookup by name; fatal() if unknown. */
+const CoreConfig &coreByName(const std::string &name);
+
+} // namespace vstack
+
+#endif // VSTACK_UARCH_CONFIG_H

@@ -1,0 +1,1028 @@
+#include "core.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <deque>
+
+#include "support/logging.h"
+
+namespace vstack
+{
+
+namespace
+{
+
+/** Guest exception causes, delivered at commit. */
+enum class Exc : uint8_t {
+    None,
+    BadFetch,
+    UndefInst,
+    BadAddr,
+    Misaligned,
+    Priv,
+    BadMmio,
+};
+
+const char *
+excName(Exc e)
+{
+    switch (e) {
+      case Exc::None: return "none";
+      case Exc::BadFetch: return "bad instruction fetch";
+      case Exc::UndefInst: return "undefined instruction";
+      case Exc::BadAddr: return "bad data address";
+      case Exc::Misaligned: return "misaligned access";
+      case Exc::Priv: return "privilege violation";
+      case Exc::BadMmio: return "unmapped MMIO access";
+    }
+    return "?";
+}
+
+constexpr uint8_t NO_FPM = 0xff;
+constexpr int WHEEL_SIZE = 512; // > max access latency
+
+} // namespace
+
+struct CycleSim::Impl
+{
+    struct Uop
+    {
+        DecodedInst d;
+        uint32_t pc = 0;
+        uint32_t word = 0;
+        uint64_t seq = 0;
+        int16_t pdst = -1, psrc1 = -1, psrc2 = -1, psrc3 = -1;
+        int16_t poldDst = -1;
+        uint8_t state = 0; // 0 waiting, 1 issued, 2 done
+        Exc exc = Exc::None;
+        bool squashed = false;
+        bool isLoad = false, isStore = false, serial = false;
+        bool kernel = false; ///< privilege mode at fetch
+        int16_t lqIdx = -1, sqIdx = -1;
+        uint64_t result = 0;
+        uint32_t predNext = 0;
+        bool predTaken = false;
+        bool isCondBr = false;
+        uint8_t taintFpm = NO_FPM;
+    };
+
+    struct LsqEntry
+    {
+        uint32_t addr = 0;
+        uint64_t data = 0;
+        uint64_t seq = 0;
+        bool valid = false;
+        bool addrValid = false;
+        bool mmio = false;
+        uint8_t bytes = 0;
+        bool taintAddr = false, taintData = false;
+    };
+
+    struct Ref
+    {
+        int slot;
+        uint64_t seq;
+    };
+
+    Impl(const CoreConfig &cfg, UarchStats &stats)
+        : cfg(cfg), spec(IsaSpec::get(cfg.isa)), stats(stats),
+          tracker(cfg.isa), hier(cfg, mem, tracker),
+          rob(static_cast<size_t>(cfg.robSize)),
+          lq(static_cast<size_t>(cfg.lqSize)),
+          sq(static_cast<size_t>(cfg.sqSize)),
+          prf(static_cast<size_t>(cfg.numPhysRegs), 0),
+          pregReady(static_cast<size_t>(cfg.numPhysRegs), 1),
+          renameMap(static_cast<size_t>(spec.numRegs), 0),
+          wheel(WHEEL_SIZE),
+          bimodal(static_cast<size_t>(cfg.bimodalEntries), 1),
+          btb(static_cast<size_t>(cfg.btbEntries), {0, 0})
+    {
+        hub = std::make_unique<DeviceHub>(
+            [this](uint32_t addr, uint8_t *dst, size_t n) {
+                hier.snoop(addr, dst, n, cycle);
+            },
+            cfg.dmaDelay);
+        iq.reserve(static_cast<size_t>(cfg.iqSize));
+    }
+
+    // ---- configuration / global state ----------------------------------
+    const CoreConfig &cfg;
+    const IsaSpec &spec;
+    UarchStats &stats;
+    PhysMem mem;
+    TaintTracker tracker;
+    MemHierarchy hier;
+    std::unique_ptr<DeviceHub> hub;
+
+    // ROB (circular)
+    std::vector<Uop> rob;
+    int robHead = 0, robTail = 0, robCount = 0;
+    uint64_t nextSeq = 1;
+
+    // LSQ (circular)
+    std::vector<LsqEntry> lq, sq;
+    int lqHead = 0, lqTail = 0, lqCount = 0;
+    int sqHead = 0, sqTail = 0, sqCount = 0;
+
+    // PRF + rename
+    std::vector<uint64_t> prf;
+    std::vector<uint8_t> pregReady;
+    std::vector<int> renameMap;
+    std::vector<int> freeList;
+    int taintedPreg = -1;
+    // ACE-lite accounting: per-preg write and last-read cycles.
+    std::vector<uint64_t> pregWriteCycle;
+    std::vector<uint64_t> pregLastRead;
+
+    // Issue queue + writeback wheel
+    std::vector<Ref> iq;
+    std::vector<std::vector<Ref>> wheel;
+
+    // Front end
+    std::deque<Uop> fetchBuf;
+    uint32_t fetchPC = 0;
+    uint64_t fetchStallUntil = 0;
+    bool fetchBlocked = false; ///< serializing/faulting inst in flight
+    std::vector<uint8_t> bimodal;
+    std::vector<std::pair<uint32_t, uint32_t>> btb; // pc -> target
+    std::vector<uint32_t> ras;
+
+    // Privileged state
+    bool kernelMode = true;
+    uint64_t epc = 0;
+
+    // Run state
+    uint64_t cycle = 0;
+    uint64_t committed = 0;
+    uint64_t kernelInsts = 0;
+    uint64_t kernelCycles = 0;
+    uint64_t lastCommitCycle = 0;
+    StopReason stop = StopReason::Running;
+    std::string excMsg;
+    std::vector<FaultSite> pendingInjections;
+
+    // ---- helpers --------------------------------------------------------
+    int archDst(const Uop &u) const
+    {
+        return (u.d.op == Op::BL || u.d.op == Op::BLR) ? spec.lr : u.d.rd;
+    }
+
+    void reset(const Program &image)
+    {
+        mem.clear();
+        mem.load(image);
+        hier.reset();
+        tracker.reset();
+        hub->reset();
+
+        robHead = robTail = robCount = 0;
+        nextSeq = 1;
+        lqHead = lqTail = lqCount = 0;
+        sqHead = sqTail = sqCount = 0;
+        for (auto &e : lq)
+            e = LsqEntry{};
+        for (auto &e : sq)
+            e = LsqEntry{};
+
+        std::fill(prf.begin(), prf.end(), 0);
+        std::fill(pregReady.begin(), pregReady.end(), 1);
+        pregWriteCycle.assign(static_cast<size_t>(cfg.numPhysRegs), 0);
+        pregLastRead.assign(static_cast<size_t>(cfg.numPhysRegs), 0);
+        freeList.clear();
+        for (int p = spec.numRegs; p < cfg.numPhysRegs; ++p)
+            freeList.push_back(p);
+        for (int a = 0; a < spec.numRegs; ++a)
+            renameMap[a] = a;
+        taintedPreg = -1;
+
+        iq.clear();
+        for (auto &w : wheel)
+            w.clear();
+
+        fetchBuf.clear();
+        fetchPC = image.entry;
+        fetchStallUntil = 0;
+        fetchBlocked = false;
+        std::fill(bimodal.begin(), bimodal.end(), 1);
+        std::fill(btb.begin(), btb.end(), std::make_pair(0u, 0u));
+        ras.clear();
+
+        kernelMode = true;
+        epc = 0;
+        cycle = 0;
+        committed = 0;
+        kernelInsts = 0;
+        kernelCycles = 0;
+        lastCommitCycle = 0;
+        stop = StopReason::Running;
+        excMsg.clear();
+        pendingInjections.clear();
+        stats = UarchStats{};
+    }
+
+    void fail(Exc e, const Uop &u)
+    {
+        stop = StopReason::Exception;
+        excMsg = strprintf("%s (pc=0x%08x, %s mode, inst %llu, cycle %llu)",
+                           excName(e), u.pc, u.kernel ? "kernel" : "user",
+                           static_cast<unsigned long long>(committed),
+                           static_cast<unsigned long long>(cycle));
+    }
+
+    // ---- fault injection -------------------------------------------------
+    void applyInjection(const FaultSite &site)
+    {
+        switch (site.structure) {
+          case Structure::RF: {
+            const int xlen = spec.xlen;
+            for (uint64_t k = 0; k < site.burst; ++k) {
+                const uint64_t bit =
+                    (site.bit + k) % (static_cast<uint64_t>(xlen) *
+                                      cfg.numPhysRegs);
+                const int preg = static_cast<int>(bit / xlen);
+                prf[preg] ^= 1ull << (bit % xlen);
+                taintedPreg = preg; // last flipped (bursts stay local)
+            }
+            return;
+          }
+          case Structure::LSQ: {
+            const uint64_t entryBits = 32 + spec.xlen;
+            const uint64_t total =
+                entryBits * static_cast<uint64_t>(cfg.lqSize + cfg.sqSize);
+            for (uint64_t k = 0; k < site.burst; ++k) {
+                const uint64_t bit = (site.bit + k) % total;
+                const int idx = static_cast<int>(bit / entryBits);
+                const uint64_t off = bit % entryBits;
+                LsqEntry &e = idx < cfg.lqSize
+                                  ? lq[idx]
+                                  : sq[idx - cfg.lqSize];
+                if (off < 32) {
+                    e.addr ^= 1u << off;
+                    e.taintAddr = true;
+                } else {
+                    e.data ^= 1ull << (off - 32);
+                    e.taintData = true;
+                }
+            }
+            return;
+          }
+          case Structure::L1I:
+          case Structure::L1D:
+          case Structure::L2: {
+            Cache &c = site.structure == Structure::L1I
+                           ? hier.l1iCache()
+                           : site.structure == Structure::L1D
+                                 ? hier.l1dCache()
+                                 : hier.l2Cache();
+            for (uint64_t k = 0; k < site.burst; ++k)
+                c.flipBit((site.bit + k) % c.totalBits(), tracker);
+            return;
+          }
+        }
+    }
+
+    // ---- squash ----------------------------------------------------------
+    /** Squash every uop younger than `seq` (exclusive). */
+    void squashAfter(uint64_t seq)
+    {
+        while (robCount > 0) {
+            int tailSlot = (robTail + cfg.robSize - 1) % cfg.robSize;
+            Uop &u = rob[tailSlot];
+            if (u.seq <= seq)
+                break;
+            // Undo rename.
+            if (u.pdst >= 0) {
+                renameMap[archDst(u)] = u.poldDst;
+                freeList.push_back(u.pdst);
+            }
+            // Release LSQ tail entries.
+            if (u.lqIdx >= 0) {
+                lq[u.lqIdx].valid = false;
+                lqTail = u.lqIdx;
+                --lqCount;
+            }
+            if (u.sqIdx >= 0) {
+                sq[u.sqIdx].valid = false;
+                sqTail = u.sqIdx;
+                --sqCount;
+            }
+            u.squashed = true;
+            ++stats.squashedUops;
+            robTail = tailSlot;
+            --robCount;
+        }
+        fetchBuf.clear();
+        fetchBlocked = false;
+        // IQ/wheel entries are lazily dropped via seq validation.
+    }
+
+    // ---- fetch -----------------------------------------------------------
+    void fetchStage()
+    {
+        if (fetchBlocked || stop != StopReason::Running)
+            return;
+        if (cycle < fetchStallUntil)
+            return;
+        if (fetchBuf.size() >= static_cast<size_t>(2 * cfg.fetchWidth))
+            return;
+
+        for (int i = 0; i < cfg.fetchWidth; ++i) {
+            const uint32_t pc = fetchPC;
+            Uop u;
+            u.pc = pc;
+            u.kernel = kernelMode;
+            u.predNext = pc + 4;
+
+            // Fetch permission checks.
+            if (pc % 4 != 0 || !memmap::inRam(pc, 4) ||
+                (!kernelMode && !memmap::userAccessible(pc, 4))) {
+                u.exc = Exc::BadFetch;
+                fetchBuf.push_back(u);
+                fetchBlocked = true;
+                return;
+            }
+
+            uint32_t word = 0;
+            std::optional<Fpm> fpm;
+            const int lat = hier.fetch(pc, word, cycle, &fpm);
+            if (lat > hier.l1iCache().latency()) {
+                // Miss: stall and retry (line now filled).
+                fetchStallUntil = cycle + static_cast<uint64_t>(lat);
+                return;
+            }
+            u.word = word;
+            u.d = decode(cfg.isa, word);
+            if (fpm)
+                u.taintFpm = static_cast<uint8_t>(*fpm);
+
+            if (!u.d.valid) {
+                u.exc = Exc::UndefInst;
+                fetchBuf.push_back(u);
+                fetchBlocked = true;
+                return;
+            }
+
+            const OpInfo &info = u.d.info();
+            u.isLoad = info.isLoad;
+            u.isStore = info.isStore;
+            u.serial = isSerializing(u.d.op);
+            u.isCondBr = info.isCondBranch;
+
+            if (u.serial) {
+                fetchBuf.push_back(u);
+                fetchBlocked = true;
+                return;
+            }
+
+            // Branch prediction.
+            if (info.isBranch) {
+                const uint32_t fallthrough = pc + 4;
+                uint32_t target = fallthrough;
+                switch (u.d.op) {
+                  case Op::B:
+                    target = pc + static_cast<uint32_t>(u.d.imm);
+                    break;
+                  case Op::BL:
+                    target = pc + static_cast<uint32_t>(u.d.imm);
+                    pushRas(fallthrough);
+                    break;
+                  case Op::BR:
+                    if (u.d.rd == spec.lr && !ras.empty()) {
+                        target = ras.back();
+                        ras.pop_back();
+                    } else {
+                        target = btbLookup(pc, fallthrough);
+                    }
+                    break;
+                  case Op::BLR:
+                    target = btbLookup(pc, fallthrough);
+                    pushRas(fallthrough);
+                    break;
+                  default: { // conditional
+                    const uint8_t ctr =
+                        bimodal[(pc >> 2) & (cfg.bimodalEntries - 1)];
+                    u.predTaken = ctr >= 2;
+                    target = u.predTaken
+                                 ? pc + static_cast<uint32_t>(u.d.imm)
+                                 : fallthrough;
+                    break;
+                  }
+                }
+                u.predNext = target;
+            }
+
+            fetchPC = u.predNext;
+            fetchBuf.push_back(u);
+            if (u.predNext != pc + 4)
+                return; // taken branch ends the fetch group
+        }
+    }
+
+    void pushRas(uint32_t retAddr)
+    {
+        if (static_cast<int>(ras.size()) >= cfg.rasEntries)
+            ras.erase(ras.begin());
+        ras.push_back(retAddr);
+    }
+
+    uint32_t btbLookup(uint32_t pc, uint32_t fallback) const
+    {
+        const auto &[tag, target] = btb[(pc >> 2) & (cfg.btbEntries - 1)];
+        return tag == pc ? target : fallback;
+    }
+
+    // ---- rename/dispatch ---------------------------------------------------
+    void renameStage()
+    {
+        for (int i = 0; i < cfg.renameWidth && !fetchBuf.empty(); ++i) {
+            Uop &front = fetchBuf.front();
+            if (robCount >= cfg.robSize)
+                return;
+            if (static_cast<int>(iq.size()) >= cfg.iqSize)
+                return;
+            if (front.serial && robCount != 0)
+                return; // serialize: drain first
+            if (front.isLoad && lqCount >= cfg.lqSize)
+                return;
+            if (front.isStore && sqCount >= cfg.sqSize)
+                return;
+            const OpInfo &info = front.d.info();
+            const bool writes =
+                info.writesRd && archDst(front) != spec.zeroReg;
+            if (writes && freeList.empty())
+                return;
+
+            Uop u = front;
+            fetchBuf.pop_front();
+            u.seq = nextSeq++;
+
+            if (u.exc == Exc::None) {
+                auto src = [&](int arch) {
+                    return arch == spec.zeroReg
+                               ? static_cast<int16_t>(-1)
+                               : static_cast<int16_t>(renameMap[arch]);
+                };
+                if (info.readsRs1)
+                    u.psrc1 = src(u.d.rs1);
+                if (info.readsRs2)
+                    u.psrc2 = src(u.d.rs2);
+                if (info.readsRdSlot)
+                    u.psrc3 = src(u.d.rd);
+                if (writes) {
+                    const int adst = archDst(u);
+                    u.poldDst = static_cast<int16_t>(renameMap[adst]);
+                    u.pdst = static_cast<int16_t>(freeList.back());
+                    freeList.pop_back();
+                    renameMap[adst] = u.pdst;
+                    pregReady[u.pdst] = 0;
+                }
+                if (u.isLoad) {
+                    u.lqIdx = static_cast<int16_t>(lqTail);
+                    LsqEntry &e = lq[lqTail];
+                    e = LsqEntry{};
+                    e.valid = true;
+                    e.seq = u.seq;
+                    e.bytes = static_cast<uint8_t>(
+                        memAccessBytes(spec, u.d.op));
+                    lqTail = (lqTail + 1) % cfg.lqSize;
+                    ++lqCount;
+                }
+                if (u.isStore) {
+                    u.sqIdx = static_cast<int16_t>(sqTail);
+                    LsqEntry &e = sq[sqTail];
+                    e = LsqEntry{};
+                    e.valid = true;
+                    e.seq = u.seq;
+                    e.bytes = static_cast<uint8_t>(
+                        memAccessBytes(spec, u.d.op));
+                    sqTail = (sqTail + 1) % cfg.sqSize;
+                    ++sqCount;
+                }
+            }
+
+            const int slot = robTail;
+            rob[slot] = u;
+            robTail = (robTail + 1) % cfg.robSize;
+            ++robCount;
+            iq.push_back({slot, u.seq});
+        }
+    }
+
+    // ---- issue / execute ----------------------------------------------------
+    bool srcsReady(const Uop &u) const
+    {
+        if (u.psrc1 >= 0 && !pregReady[u.psrc1])
+            return false;
+        if (u.psrc2 >= 0 && !pregReady[u.psrc2])
+            return false;
+        if (u.psrc3 >= 0 && !pregReady[u.psrc3])
+            return false;
+        return true;
+    }
+
+    uint64_t readSrc(Uop &u, int16_t preg)
+    {
+        if (preg < 0)
+            return 0;
+        if (preg == taintedPreg && u.taintFpm == NO_FPM)
+            u.taintFpm = static_cast<uint8_t>(Fpm::WD);
+        pregLastRead[preg] = cycle;
+        return prf[preg];
+    }
+
+    void scheduleWb(int slot, uint64_t seq, int latency)
+    {
+        assert(latency >= 1 && latency < WHEEL_SIZE);
+        wheel[(cycle + static_cast<uint64_t>(latency)) % WHEEL_SIZE]
+            .push_back({slot, seq});
+    }
+
+    void issueStage()
+    {
+        int issued = 0;
+        size_t keep = 0;
+        for (size_t i = 0; i < iq.size(); ++i) {
+            const Ref ref = iq[i];
+            Uop &u = rob[ref.slot];
+            const bool live = !u.squashed && u.seq == ref.seq;
+            if (!live)
+                continue; // drop squashed entries
+            if (u.state != 0) {
+                continue; // already issued (shouldn't stay in IQ)
+            }
+            if (issued >= cfg.issueWidth || !trylIssue(u, issued)) {
+                iq[keep++] = ref;
+                continue;
+            }
+        }
+        iq.resize(keep);
+    }
+
+    /** Try to issue one uop; true if it left the IQ. */
+    bool trylIssue(Uop &u, int &issued)
+    {
+        // Faulting fetches complete immediately; the exception fires
+        // at commit.
+        if (u.exc != Exc::None) {
+            u.state = 1;
+            scheduleWb(static_cast<int>(&u - rob.data()), u.seq, 1);
+            return true;
+        }
+        if (!srcsReady(u))
+            return false;
+
+        const OpInfo &info = u.d.info();
+
+        // Privileged instructions in user mode fault.
+        if (info.privileged && !u.kernel) {
+            u.exc = Exc::Priv;
+            u.state = 1;
+            scheduleWb(static_cast<int>(&u - rob.data()), u.seq, 1);
+            return true;
+        }
+
+        if (u.isLoad)
+            return issueLoad(u, issued);
+
+        const int slot = static_cast<int>(&u - rob.data());
+        const uint64_t v1 = readSrc(u, u.psrc1);
+        const uint64_t v2 = readSrc(u, u.psrc2);
+        const uint64_t v3 = readSrc(u, u.psrc3);
+        int lat = 1;
+
+        if (u.isStore) {
+            const uint32_t addr = static_cast<uint32_t>(
+                spec.maskVal(v1 + static_cast<uint64_t>(u.d.imm)));
+            LsqEntry &e = sq[u.sqIdx];
+            const unsigned bytes = e.bytes;
+            Exc exc = validateData(addr, bytes, u.kernel, true);
+            if (exc != Exc::None) {
+                u.exc = exc;
+            } else {
+                e.addr = addr;
+                e.data = v3;
+                e.addrValid = true;
+                e.mmio = memmap::inMmio(addr);
+                e.taintAddr = e.taintData = false;
+            }
+        } else if (u.serial) {
+            // Effects at commit; MFEPC/MTEPC move values now.
+            if (u.d.op == Op::MFEPC)
+                u.result = epc;
+            if (u.d.op == Op::MTEPC)
+                u.result = v3;
+        } else if (u.d.op == Op::DCCB) {
+            u.result = v3; // address; the clean happens at commit
+        } else if (info.isBranch) {
+            executeBranch(u, v1, v2, v3);
+        } else if (info.writesRd) {
+            const uint64_t old = u.psrc3 >= 0 ? v3 : 0;
+            u.result = spec.maskVal(aluResult(spec, u.d, v1, v2, old));
+            if (u.d.op == Op::MUL)
+                lat = cfg.mulLatency;
+            else if (u.d.op == Op::UDIV || u.d.op == Op::SDIV ||
+                     u.d.op == Op::UREM || u.d.op == Op::SREM)
+                lat = cfg.divLatency;
+        }
+
+        u.state = 1;
+        scheduleWb(slot, u.seq, lat);
+        ++issued;
+        return true;
+    }
+
+    Exc validateData(uint32_t addr, unsigned bytes, bool kernel,
+                     bool isStore) const
+    {
+        (void)isStore;
+        if (addr % bytes != 0)
+            return Exc::Misaligned;
+        if (memmap::inMmio(addr))
+            return kernel ? Exc::None : Exc::Priv;
+        if (!memmap::inRam(addr, bytes))
+            return Exc::BadAddr;
+        if (!kernel && !memmap::userAccessible(addr, bytes))
+            return Exc::Priv;
+        return Exc::None;
+    }
+
+    bool issueLoad(Uop &u, int &issued)
+    {
+        const int slot = static_cast<int>(&u - rob.data());
+        const uint64_t v1 = readSrc(u, u.psrc1);
+        const uint32_t addr = static_cast<uint32_t>(
+            spec.maskVal(v1 + static_cast<uint64_t>(u.d.imm)));
+        LsqEntry &e = lq[u.lqIdx];
+        const unsigned bytes = e.bytes;
+
+        const Exc exc = validateData(addr, bytes, u.kernel, false);
+        if (exc != Exc::None) {
+            u.exc = exc;
+            u.state = 1;
+            scheduleWb(slot, u.seq, 1);
+            ++issued;
+            return true;
+        }
+
+        int lat;
+        uint64_t val = 0;
+        if (memmap::inMmio(addr)) {
+            if (!hub->load(addr, cycle, val)) {
+                u.exc = Exc::BadMmio;
+                u.state = 1;
+                scheduleWb(slot, u.seq, 1);
+                ++issued;
+                return true;
+            }
+            lat = 20;
+        } else {
+            // Memory disambiguation against older stores.
+            const LsqEntry *fwd = nullptr;
+            for (int n = 0, idx = sqHead; n < sqCount;
+                 ++n, idx = (idx + 1) % cfg.sqSize) {
+                const LsqEntry &s = sq[idx];
+                if (!s.valid || s.seq >= u.seq)
+                    continue;
+                if (!s.addrValid)
+                    return false; // unknown older store: wait
+                const uint32_t sLo = s.addr, sHi = s.addr + s.bytes;
+                const uint32_t lLo = addr, lHi = addr + bytes;
+                if (sLo < lHi && lLo < sHi) {
+                    if (sLo == lLo && s.bytes >= bytes) {
+                        fwd = &s; // youngest covering store wins
+                    } else {
+                        return false; // partial overlap: wait
+                    }
+                }
+            }
+            if (fwd) {
+                val = fwd->data;
+                if (bytes < 8)
+                    val &= (1ull << (bytes * 8)) - 1;
+                if (fwd->taintData && u.taintFpm == NO_FPM)
+                    u.taintFpm = static_cast<uint8_t>(Fpm::WD);
+                lat = 1;
+            } else {
+                std::optional<Fpm> fpm;
+                lat = hier.read(addr, bytes, val, cycle, &fpm);
+                if (fpm && u.taintFpm == NO_FPM)
+                    u.taintFpm = static_cast<uint8_t>(*fpm);
+            }
+        }
+
+        if (u.d.op == Op::LDB) {
+            val = static_cast<uint64_t>(
+                static_cast<int64_t>(static_cast<int8_t>(val)));
+        }
+        e.addr = addr;
+        e.addrValid = true;
+        e.data = spec.maskVal(val);
+        e.taintAddr = e.taintData = false;
+
+        ++stats.loads;
+        u.state = 1;
+        scheduleWb(slot, u.seq, lat);
+        ++issued;
+        return true;
+    }
+
+    void executeBranch(Uop &u, uint64_t v1, uint64_t v2, uint64_t v3)
+    {
+        ++stats.branches;
+        const uint32_t fallthrough = u.pc + 4;
+        uint32_t actual;
+        bool taken = true;
+        switch (u.d.op) {
+          case Op::B:
+            actual = u.pc + static_cast<uint32_t>(u.d.imm);
+            break;
+          case Op::BL:
+            actual = u.pc + static_cast<uint32_t>(u.d.imm);
+            u.result = fallthrough;
+            break;
+          case Op::BR:
+            actual = static_cast<uint32_t>(spec.maskVal(v3));
+            break;
+          case Op::BLR:
+            actual = static_cast<uint32_t>(spec.maskVal(v3));
+            u.result = fallthrough;
+            break;
+          default:
+            taken = branchTaken(spec, u.d.op, v1, v2);
+            actual = taken ? u.pc + static_cast<uint32_t>(u.d.imm)
+                           : fallthrough;
+            // Bimodal update.
+            uint8_t &ctr =
+                bimodal[(u.pc >> 2) & (cfg.bimodalEntries - 1)];
+            if (taken && ctr < 3)
+                ++ctr;
+            if (!taken && ctr > 0)
+                --ctr;
+            break;
+        }
+        if (u.d.op == Op::BR || u.d.op == Op::BLR)
+            btb[(u.pc >> 2) & (cfg.btbEntries - 1)] = {u.pc, actual};
+
+        if (actual != u.predNext) {
+            ++stats.mispredicts;
+            squashAfter(u.seq);
+            fetchPC = actual;
+            fetchStallUntil =
+                cycle + static_cast<uint64_t>(cfg.mispredictPenalty);
+        }
+    }
+
+    // ---- writeback ------------------------------------------------------
+    void writebackStage()
+    {
+        auto &bucket = wheel[cycle % WHEEL_SIZE];
+        for (const Ref &ref : bucket) {
+            Uop &u = rob[ref.slot];
+            if (u.squashed || u.seq != ref.seq)
+                continue;
+            if (u.isLoad && u.lqIdx >= 0 && u.exc == Exc::None) {
+                LsqEntry &e = lq[u.lqIdx];
+                u.result = spec.maskVal(e.data);
+                if (e.taintData && u.taintFpm == NO_FPM)
+                    u.taintFpm = static_cast<uint8_t>(Fpm::WD);
+            }
+            if (u.pdst >= 0) {
+                prf[u.pdst] = spec.maskVal(u.result);
+                pregReady[u.pdst] = 1;
+                pregWriteCycle[u.pdst] = cycle;
+                pregLastRead[u.pdst] = cycle;
+                if (u.pdst == taintedPreg)
+                    taintedPreg = -1; // overwritten: hardware-masked
+            }
+            u.state = 2;
+        }
+        bucket.clear();
+    }
+
+    // ---- commit ---------------------------------------------------------
+    void commitStage()
+    {
+        for (int n = 0; n < cfg.commitWidth && robCount > 0; ++n) {
+            Uop &u = rob[robHead];
+            if (u.state != 2)
+                return;
+
+            if (u.exc != Exc::None) {
+                fail(u.exc, u);
+                return;
+            }
+            if (u.taintFpm != NO_FPM)
+                tracker.markVisible(static_cast<Fpm>(u.taintFpm), cycle);
+
+            if (u.isStore) {
+                if (!commitStore(u))
+                    return;
+            }
+            if (u.isLoad) {
+                lq[u.lqIdx].valid = false;
+                lqHead = (lqHead + 1) % cfg.lqSize;
+                --lqCount;
+            }
+            if (u.pdst >= 0 && u.poldDst >= 0) {
+                // ACE-lite: the superseded register was architecturally
+                // required from its write until its last read.
+                const int old = u.poldDst;
+                if (pregLastRead[old] > pregWriteCycle[old]) {
+                    stats.rfAceBitCycles +=
+                        (pregLastRead[old] - pregWriteCycle[old]) *
+                        static_cast<uint64_t>(spec.xlen);
+                }
+                freeList.push_back(old);
+            }
+
+            if (u.d.op == Op::DCCB) {
+                hier.cleanLine(static_cast<uint32_t>(
+                    spec.maskVal(u.result)));
+            }
+            if (u.serial)
+                commitSerial(u);
+
+            ++committed;
+            if (u.kernel)
+                ++kernelInsts;
+            lastCommitCycle = cycle;
+            robHead = (robHead + 1) % cfg.robSize;
+            --robCount;
+
+            // exit()/detect() take effect at the committing store.
+            if (hub->exited()) {
+                stop = StopReason::Exited;
+                hub->flush();
+            } else if (hub->detected()) {
+                stop = StopReason::DetectHit;
+                hub->flush();
+            }
+            if (stop != StopReason::Running)
+                return;
+        }
+    }
+
+    bool commitStore(Uop &u)
+    {
+        LsqEntry &e = sq[u.sqIdx];
+        // Re-validate: the queued address may have been corrupted.
+        const Exc exc = validateData(e.addr, e.bytes, u.kernel, true);
+        if (exc != Exc::None) {
+            fail(exc, u);
+            return false;
+        }
+        if (e.taintData)
+            tracker.markVisible(Fpm::WD, cycle);
+        if (e.taintAddr)
+            tracker.markVisible(Fpm::WOI, cycle);
+
+        if (memmap::inMmio(e.addr)) {
+            if (!hub->store(e.addr, e.data, cycle)) {
+                fail(Exc::BadMmio, u);
+                return false;
+            }
+        } else {
+            hier.write(e.addr, e.bytes, e.data, cycle);
+        }
+        ++stats.stores;
+        e.valid = false;
+        sqHead = (sqHead + 1) % cfg.sqSize;
+        --sqCount;
+        return true;
+    }
+
+    void commitSerial(Uop &u)
+    {
+        uint32_t next = u.pc + 4;
+        switch (u.d.op) {
+          case Op::SYSCALL:
+            epc = u.pc + 4;
+            kernelMode = true;
+            next = memmap::TRAP_VECTOR;
+            break;
+          case Op::ERET:
+            kernelMode = false;
+            next = static_cast<uint32_t>(epc);
+            break;
+          case Op::HALT:
+            stop = StopReason::Exited;
+            hub->flush();
+            return;
+          case Op::MTEPC:
+            epc = u.result;
+            break;
+          case Op::MFEPC:
+            break;
+          default:
+            panic("unexpected serial op");
+        }
+        fetchBuf.clear();
+        fetchBlocked = false;
+        fetchPC = next;
+        fetchStallUntil = cycle + 1;
+    }
+
+    // ---- main loop ------------------------------------------------------
+    UarchRunResult run(uint64_t maxCycles)
+    {
+        while (stop == StopReason::Running) {
+            ++cycle;
+            if (kernelMode)
+                ++kernelCycles;
+
+            if (!pendingInjections.empty()) {
+                for (size_t i = 0; i < pendingInjections.size();) {
+                    if (pendingInjections[i].cycle <= cycle) {
+                        applyInjection(pendingInjections[i]);
+                        pendingInjections.erase(
+                            pendingInjections.begin() +
+                            static_cast<long>(i));
+                    } else {
+                        ++i;
+                    }
+                }
+            }
+
+            commitStage();
+            if (stop != StopReason::Running)
+                break;
+            writebackStage();
+            issueStage();
+            renameStage();
+            fetchStage();
+
+            hub->tick(cycle);
+            if (hub->exited()) {
+                stop = StopReason::Exited;
+                hub->flush();
+                break;
+            }
+            if (hub->detected()) {
+                stop = StopReason::DetectHit;
+                hub->flush();
+                break;
+            }
+
+            if (cycle >= maxCycles ||
+                cycle - lastCommitCycle > 200'000) {
+                stop = StopReason::Watchdog;
+                excMsg = "watchdog";
+                break;
+            }
+        }
+
+        UarchRunResult r;
+        r.stop = stop;
+        r.excMsg = excMsg;
+        r.cycles = cycle;
+        r.insts = committed;
+        r.kernelInsts = kernelInsts;
+        r.kernelCycles = kernelCycles;
+        r.output = hub->output();
+        r.visibility = tracker.visibility();
+        return r;
+    }
+};
+
+CycleSim::CycleSim(const CoreConfig &cfg)
+    : impl(std::make_unique<Impl>(cfg, stats_)), cfg(cfg)
+{
+}
+
+CycleSim::~CycleSim() = default;
+
+void
+CycleSim::load(const Program &image)
+{
+    if (image.isa != cfg.isa)
+        fatal("image ISA does not match core '%s'", cfg.name.c_str());
+    impl->reset(image);
+}
+
+void
+CycleSim::scheduleInjection(const FaultSite &site)
+{
+    impl->pendingInjections.push_back(site);
+}
+
+UarchRunResult
+CycleSim::run(uint64_t maxCycles)
+{
+    return impl->run(maxCycles);
+}
+
+uint64_t
+CycleSim::structureBits(Structure s) const
+{
+    switch (s) {
+      case Structure::RF: return cfg.rfBits();
+      case Structure::LSQ: return cfg.lsqBits();
+      case Structure::L1I: return cfg.l1i.totalBits();
+      case Structure::L1D: return cfg.l1d.totalBits();
+      case Structure::L2: return cfg.l2.totalBits();
+    }
+    return 0;
+}
+
+} // namespace vstack

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Cycle-level out-of-order core: the GeFIN-analog injection vehicle.
+ *
+ * The pipeline models the structures whose bits the paper injects
+ * into — physical register file, load/store queues, and the cache
+ * hierarchy — with real stored state, plus the machinery that shapes
+ * their occupancy and lifetimes: fetch with branch prediction
+ * (bimodal + BTB + RAS), walk-based rename with a free list, an
+ * age-ordered issue queue, store-to-load forwarding with conservative
+ * memory disambiguation, a reorder buffer with in-order commit,
+ * serializing system instructions, and squash-based misprediction
+ * recovery.  Speculative faults that get squashed are therefore
+ * masked naturally, stores expose their queue residency from execute
+ * to commit, and renamed registers are vulnerable exactly from write
+ * to last-read-or-free.
+ */
+#ifndef VSTACK_UARCH_CORE_H
+#define VSTACK_UARCH_CORE_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+#include "isa/semantics.h"
+#include "machine/devices.h"
+#include "machine/outcome.h"
+#include "machine/physmem.h"
+#include "uarch/cache.h"
+#include "uarch/config.h"
+#include "uarch/faultsite.h"
+#include "uarch/taint.h"
+
+namespace vstack
+{
+
+/** Summary of one cycle-level run. */
+struct UarchRunResult
+{
+    StopReason stop = StopReason::Running;
+    std::string excMsg;
+    uint64_t cycles = 0;
+    uint64_t insts = 0;       ///< committed instructions
+    uint64_t kernelInsts = 0; ///< committed in kernel mode
+    uint64_t kernelCycles = 0;
+    DeviceOutput output;
+    Visibility visibility; ///< HVF record (valid for injection runs)
+
+    double ipc() const
+    {
+        return cycles ? static_cast<double>(insts) / cycles : 0.0;
+    }
+};
+
+/** Perf/side statistics exposed for tests and the config bench. */
+struct UarchStats
+{
+    uint64_t branches = 0;
+    uint64_t mispredicts = 0;
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t squashedUops = 0;
+    /** ACE-lite accounting: bit-cycles during which a physical
+     *  register held a value that was still going to be read
+     *  (write -> last architectural read).  AVF_ACE(RF) =
+     *  rfAceBitCycles / (rfBits * cycles); analytically derived, and
+     *  — as the literature says — pessimistic vs injection. */
+    uint64_t rfAceBitCycles = 0;
+};
+
+/** The cycle-level simulator for one core configuration. */
+class CycleSim
+{
+  public:
+    explicit CycleSim(const CoreConfig &cfg);
+    ~CycleSim();
+
+    /** Load a bootable system image and reset all state. */
+    void load(const Program &image);
+
+    /**
+     * Schedule a single-bit flip; applied at the start of the given
+     * cycle.  Call after load(), before run().
+     */
+    void scheduleInjection(const FaultSite &site);
+
+    /** Run to completion (exit/crash/watchdog at maxCycles). */
+    UarchRunResult run(uint64_t maxCycles);
+
+    /** Bit-space size of an injectable structure on this core. */
+    uint64_t structureBits(Structure s) const;
+
+    const CoreConfig &config() const { return cfg; }
+    const UarchStats &stats() const { return stats_; }
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl;
+    const CoreConfig cfg;
+    UarchStats stats_;
+};
+
+} // namespace vstack
+
+#endif // VSTACK_UARCH_CORE_H

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Microarchitectural fault sites and first-visibility records.
+ */
+#ifndef VSTACK_UARCH_FAULTSITE_H
+#define VSTACK_UARCH_FAULTSITE_H
+
+#include <cstdint>
+#include <string>
+
+#include "machine/fpm.h"
+
+namespace vstack
+{
+
+/** The five injectable SRAM structures (paper Section III.C). */
+enum class Structure : uint8_t { RF, LSQ, L1I, L1D, L2 };
+
+constexpr const char *
+structureName(Structure s)
+{
+    switch (s) {
+      case Structure::RF: return "RF";
+      case Structure::LSQ: return "LSQ";
+      case Structure::L1I: return "L1i";
+      case Structure::L1D: return "L1d";
+      case Structure::L2: return "L2";
+    }
+    return "?";
+}
+
+constexpr Structure allStructures[] = {Structure::RF, Structure::LSQ,
+                                       Structure::L1I, Structure::L1D,
+                                       Structure::L2};
+
+/** One sampled microarchitectural fault. */
+struct FaultSite
+{
+    Structure structure = Structure::RF;
+    uint64_t cycle = 0; ///< injection cycle
+    uint64_t bit = 0;   ///< bit index within the structure's bit space
+    /** Burst length: number of adjacent bits flipped (1 = the paper's
+     *  single-bit transient model; >1 models multi-bit upsets). */
+    uint32_t burst = 1;
+};
+
+/**
+ * HVF bookkeeping for a single injection: whether and how the flipped
+ * bit became architecturally visible (first event only).
+ */
+struct Visibility
+{
+    bool visible = false;
+    Fpm fpm = Fpm::WD;
+    uint64_t cycle = 0;
+
+    void mark(Fpm f, uint64_t when)
+    {
+        if (!visible) {
+            visible = true;
+            fpm = f;
+            cycle = when;
+        }
+    }
+};
+
+} // namespace vstack
+
+#endif // VSTACK_UARCH_FAULTSITE_H

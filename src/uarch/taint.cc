@@ -1,0 +1,173 @@
+#include "taint.h"
+
+#include <algorithm>
+
+namespace vstack
+{
+
+namespace
+{
+
+bool
+overlaps(const TaintRange &r, MemLevel level, uint32_t addr, uint32_t len)
+{
+    return r.level == level && r.addr < addr + len && addr < r.addr + r.len;
+}
+
+} // namespace
+
+void
+TaintTracker::addData(MemLevel level, uint32_t addr, int bitInByte)
+{
+    ranges.push_back({level, addr, 1, bitInByte});
+}
+
+void
+TaintTracker::addMeta(MemLevel level, uint32_t addr, uint32_t len)
+{
+    ranges.push_back({level, addr, len, -1});
+}
+
+void
+TaintTracker::clearOverlap(MemLevel level, uint32_t addr, uint32_t len)
+{
+    std::vector<TaintRange> next;
+    next.reserve(ranges.size());
+    for (const TaintRange &r : ranges) {
+        if (!overlaps(r, level, addr, len)) {
+            next.push_back(r);
+            continue;
+        }
+        // Keep the non-overlapping head/tail pieces.
+        if (r.addr < addr)
+            next.push_back({r.level, r.addr, addr - r.addr, r.bitInByte});
+        const uint32_t rEnd = r.addr + r.len;
+        const uint32_t end = addr + len;
+        if (rEnd > end)
+            next.push_back({r.level, end, rEnd - end, r.bitInByte});
+    }
+    ranges = std::move(next);
+}
+
+void
+TaintTracker::onCopyUp(MemLevel from, MemLevel to, uint32_t lineAddr,
+                       uint32_t len)
+{
+    if (ranges.empty())
+        return;
+    // The destination line's previous identity was already handled by
+    // the eviction path; the fill overwrites its bytes.
+    std::vector<TaintRange> copies;
+    for (const TaintRange &r : ranges) {
+        if (overlaps(r, from, lineAddr, len)) {
+            const uint32_t lo = std::max(r.addr, lineAddr);
+            const uint32_t hi = std::min(r.addr + r.len, lineAddr + len);
+            copies.push_back({to, lo, hi - lo, r.bitInByte});
+        }
+    }
+    for (const TaintRange &c : copies)
+        ranges.push_back(c);
+}
+
+void
+TaintTracker::onWriteback(MemLevel from, MemLevel to, uint32_t srcLineAddr,
+                          uint32_t dstLineAddr, uint32_t len, bool moveSrc)
+{
+    if (ranges.empty())
+        return;
+    // Destination bytes are replaced wholesale.
+    clearOverlap(to, dstLineAddr, len);
+    // Tainted source bytes land at the destination (usually the same
+    // address; different when the tag itself was corrupted).
+    std::vector<TaintRange> copies;
+    for (const TaintRange &r : ranges) {
+        if (overlaps(r, from, srcLineAddr, len)) {
+            const uint32_t lo = std::max(r.addr, srcLineAddr);
+            const uint32_t hi = std::min(r.addr + r.len, srcLineAddr + len);
+            copies.push_back({to, dstLineAddr + (lo - srcLineAddr), hi - lo,
+                              r.bitInByte});
+        }
+    }
+    // A write-back *moves* the line out of the source level; leaving
+    // the source ranges in place would duplicate taint on every
+    // evict/refill round trip.
+    if (moveSrc)
+        clearOverlap(from, srcLineAddr, len);
+    for (const TaintRange &c : copies)
+        ranges.push_back(c);
+}
+
+void
+TaintTracker::onOverwrite(MemLevel level, uint32_t addr, uint32_t len)
+{
+    if (ranges.empty())
+        return;
+    clearOverlap(level, addr, len);
+}
+
+void
+TaintTracker::onDiscard(MemLevel level, uint32_t addr, uint32_t len)
+{
+    if (ranges.empty())
+        return;
+    clearOverlap(level, addr, len);
+}
+
+std::optional<Fpm>
+TaintTracker::onConsume(MemLevel level, uint32_t addr, uint32_t len,
+                        ConsumeKind kind, uint32_t word, uint64_t cycle)
+{
+    if (ranges.empty() || vis.visible)
+        return std::nullopt;
+    for (const TaintRange &r : ranges) {
+        if (!overlaps(r, level, addr, len))
+            continue;
+        Fpm fpm;
+        switch (kind) {
+          case ConsumeKind::Dma:
+            fpm = Fpm::ESC;
+            break;
+          case ConsumeKind::Load:
+            fpm = Fpm::WD;
+            break;
+          case ConsumeKind::Fetch: {
+            if (r.bitInByte < 0) {
+                fpm = Fpm::WI; // meta corruption: wrong line fetched
+                break;
+            }
+            // Locate the flipped bit inside the 4-byte word.
+            const uint32_t lo = std::max(r.addr, addr);
+            const int byteInWord = static_cast<int>(lo - addr);
+            const int bit = byteInWord * 8 + r.bitInByte;
+            const InstFieldKind k = classifyInstBit(isa, word, bit);
+            switch (k) {
+              case InstFieldKind::Opcode:
+              case InstFieldKind::ControlOffset:
+                fpm = Fpm::WI;
+                break;
+              case InstFieldKind::RegSpecifier:
+              case InstFieldKind::Immediate:
+                fpm = Fpm::WOI;
+                break;
+              case InstFieldKind::Unused:
+                // Decode-identical: the flip is architecturally
+                // invisible in this word; not a visibility event.
+                continue;
+            }
+            break;
+          }
+          default:
+            continue;
+        }
+        // DMA consumption is architecturally final (the bytes left the
+        // system) and is recorded immediately; load/fetch consumption
+        // is only visible if the consuming instruction commits — the
+        // core records it at commit time via markVisible().
+        if (kind == ConsumeKind::Dma)
+            vis.mark(fpm, cycle);
+        return fpm;
+    }
+    return std::nullopt;
+}
+
+} // namespace vstack

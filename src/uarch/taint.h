@@ -1,0 +1,110 @@
+/**
+ * @file
+ * First-visibility taint tracking for HVF/FPM classification.
+ *
+ * A single injected bit flip is watched at its home location until it
+ * is either consumed (load, instruction fetch, DMA pull, LSQ use,
+ * physical register read) — at which point it becomes architecturally
+ * visible and is classified into an FPM — or destroyed (overwritten,
+ * evicted clean, reallocated), i.e. masked by the hardware.  Taint
+ * moves with the data: cache fills copy it upward, write-backs carry
+ * it downward, stores erase it.
+ *
+ * Only the FIRST visibility event matters (the HVF definition); the
+ * run always continues to completion for the AVF outcome.
+ */
+#ifndef VSTACK_UARCH_TAINT_H
+#define VSTACK_UARCH_TAINT_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "isa/isa.h"
+#include "uarch/faultsite.h"
+
+namespace vstack
+{
+
+/** Memory-hierarchy levels for taint bookkeeping. */
+enum class MemLevel : uint8_t { L1I, L1D, L2, Mem };
+
+/** How tainted bytes were consumed. */
+enum class ConsumeKind : uint8_t { Load, Fetch, Dma };
+
+/** A tainted byte range at one hierarchy level. */
+struct TaintRange
+{
+    MemLevel level;
+    uint32_t addr;
+    uint32_t len;
+    int bitInByte; ///< exact flipped bit (-1 for meta/whole-line taint)
+};
+
+class TaintTracker
+{
+  public:
+    explicit TaintTracker(IsaId isa) : isa(isa) {}
+
+    void reset()
+    {
+        ranges.clear();
+        vis = Visibility{};
+    }
+
+    bool empty() const { return ranges.empty(); }
+    const Visibility &visibility() const { return vis; }
+
+    /** Record a visibility event directly (PRF/LSQ consumption). */
+    void markVisible(Fpm fpm, uint64_t cycle) { vis.mark(fpm, cycle); }
+
+    /** @name Registration @{ */
+    void addData(MemLevel level, uint32_t addr, int bitInByte);
+    void addMeta(MemLevel level, uint32_t addr, uint32_t len);
+    /** @} */
+
+    /** @name Data-movement hooks @{ */
+    /** A line was copied from `from` into `to` (cache fill). */
+    void onCopyUp(MemLevel from, MemLevel to, uint32_t lineAddr,
+                  uint32_t len);
+    /** A line was written back from `from` into `to`; the destination
+     *  bytes are overwritten by the source bytes.  When `moveSrc` the
+     *  source copy is gone afterwards (eviction); a cache-clean keeps
+     *  the source line valid and passes false. */
+    void onWriteback(MemLevel from, MemLevel to, uint32_t srcLineAddr,
+                     uint32_t dstLineAddr, uint32_t len,
+                     bool moveSrc = true);
+    /** Bytes at a level were overwritten with fresh data (CPU store,
+     *  or a fill replacing a line's previous contents). */
+    void onOverwrite(MemLevel level, uint32_t addr, uint32_t len);
+    /** A clean line was dropped from a level. */
+    void onDiscard(MemLevel level, uint32_t addr, uint32_t len);
+    /** @} */
+
+    /**
+     * The core/DMA read [addr, addr+len) served from `level`.  If the
+     * range is tainted, classify and record the visibility event.
+     * For Fetch consumption the FPM comes from the flipped bit's
+     * position inside the corrupted instruction word (`word` = the
+     * fetched, i.e. corrupted, encoding).
+     *
+     * Returns the FPM recorded, if any (first event only).
+     */
+    std::optional<Fpm> onConsume(MemLevel level, uint32_t addr,
+                                 uint32_t len, ConsumeKind kind,
+                                 uint32_t word, uint64_t cycle);
+
+    /** Current tainted ranges (tests). */
+    const std::vector<TaintRange> &taintRanges() const { return ranges; }
+
+  private:
+    void clearOverlap(MemLevel level, uint32_t addr, uint32_t len);
+
+    IsaId isa;
+    std::vector<TaintRange> ranges;
+    Visibility vis;
+};
+
+} // namespace vstack
+
+#endif // VSTACK_UARCH_TAINT_H

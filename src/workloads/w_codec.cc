@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Codec workloads: cjpeg (forward DCT + quantise + RLE) and djpeg
+ * (decode + inverse DCT) — JPEG-pipeline analogs of MiBench's
+ * cjpeg/djpeg.
+ */
+#include "workloads.h"
+
+namespace vstack::workload_sources
+{
+
+namespace
+{
+
+/** Shared integer-DCT helpers used by both codec workloads. */
+const char *codecCommon = R"MCL(
+// 8x8 integer DCT basis in Q10: bas[u][x] = round(1024 * c(u)/2 *
+// cos((2x+1)u*pi/16)), with c(0)=1/sqrt(2).
+const dctbas: int[64] = {
+   362,  362,  362,  362,  362,  362,  362,  362,
+   502,  426,  284,  100, -100, -284, -426, -502,
+   473,  196, -196, -473, -473, -196,  196,  473,
+   426, -100, -502, -284,  284,  502,  100, -426,
+   362, -362, -362,  362,  362, -362, -362,  362,
+   284, -502,  100,  426, -426, -100,  502, -284,
+   196, -473,  473, -196, -196,  473, -473,  196,
+   100, -284,  426, -502,  502, -426,  284, -100 };
+
+const quant: int[64] = {
+   16, 11, 10, 16, 24, 40, 51, 61,
+   12, 12, 14, 19, 26, 58, 60, 55,
+   14, 13, 16, 24, 40, 57, 69, 56,
+   14, 17, 22, 29, 51, 87, 80, 62,
+   18, 22, 37, 56, 68,109,103, 77,
+   24, 35, 55, 64, 81,104,113, 92,
+   49, 64, 78, 87,103,121,120,101,
+   72, 92, 95, 98,112,100,103, 99 };
+
+const zigzag: int[64] = {
+    0,  1,  8, 16,  9,  2,  3, 10,
+   17, 24, 32, 25, 18, 11,  4,  5,
+   12, 19, 26, 33, 40, 48, 41, 34,
+   27, 20, 13,  6,  7, 14, 21, 28,
+   35, 42, 49, 56, 57, 50, 43, 36,
+   29, 22, 15, 23, 30, 37, 44, 51,
+   58, 59, 52, 45, 38, 31, 39, 46,
+   53, 60, 61, 54, 47, 55, 62, 63 };
+
+var block: int[64];
+var coef: int[64];
+
+// forward DCT: coef = B * block * B^T (Q10 basis, rescaled)
+fn fdct() {
+    var tmp: int[64];
+    var u: int = 0;
+    while (u < 8) {
+        var x: int = 0;
+        while (x < 8) {
+            var acc: int = 0;
+            var k: int = 0;
+            while (k < 8) {
+                acc = acc + dctbas[u * 8 + k] * block[k * 8 + x];
+                k = k + 1;
+            }
+            tmp[u * 8 + x] = acc >> 10;
+            x = x + 1;
+        }
+        u = u + 1;
+    }
+    u = 0;
+    while (u < 8) {
+        var v: int = 0;
+        while (v < 8) {
+            var acc: int = 0;
+            var k: int = 0;
+            while (k < 8) {
+                acc = acc + tmp[u * 8 + k] * dctbas[v * 8 + k];
+                k = k + 1;
+            }
+            coef[u * 8 + v] = acc >> 10;
+            v = v + 1;
+        }
+        u = u + 1;
+    }
+}
+
+// inverse DCT: block = B^T * coef * B
+fn idct() {
+    var tmp: int[64];
+    var x: int = 0;
+    while (x < 8) {
+        var v: int = 0;
+        while (v < 8) {
+            var acc: int = 0;
+            var k: int = 0;
+            while (k < 8) {
+                acc = acc + dctbas[k * 8 + x] * coef[k * 8 + v];
+                k = k + 1;
+            }
+            tmp[x * 8 + v] = acc >> 10;
+            v = v + 1;
+        }
+        x = x + 1;
+    }
+    x = 0;
+    while (x < 8) {
+        var y: int = 0;
+        while (y < 8) {
+            var acc: int = 0;
+            var k: int = 0;
+            while (k < 8) {
+                acc = acc + tmp[x * 8 + k] * dctbas[k * 8 + y];
+                k = k + 1;
+            }
+            block[x * 8 + y] = acc >> 10;
+            y = y + 1;
+        }
+        x = x + 1;
+    }
+}
+)MCL";
+
+} // namespace
+
+std::string
+cjpegSource()
+{
+    return std::string(codecCommon) + R"MCL(
+// cjpeg: compress a 16x16 synthetic image: per 8x8 block, forward
+// DCT, quantise, zigzag, run-length encode, emit the byte stream.
+
+var img: byte[64];     // 8 x 8
+var stream: byte[256];
+var slen: int;
+var seed: int;
+
+fn next_rand(): int {
+    seed = (seed * 1103515245 + 12345) & 0xffffffff;
+    return __lshr(seed, 16) & 0xff;
+}
+
+fn build_image() {
+    var y: int = 0;
+    while (y < 8) {
+        var x: int = 0;
+        while (x < 8) {
+            var v: int = 128 + ((x - 4) * (y - 4)) * 2;
+            v = v + next_rand() % 17 - 8;
+            if (v < 0) { v = 0; }
+            if (v > 255) { v = 255; }
+            img[y * 8 + x] = v;
+            x = x + 1;
+        }
+        y = y + 1;
+    }
+}
+
+fn emit(b: int) {
+    stream[slen] = b;
+    slen = slen + 1;
+}
+
+fn encode_block(bx: int, by: int) {
+    var y: int = 0;
+    while (y < 8) {
+        var x: int = 0;
+        while (x < 8) {
+            block[y * 8 + x] = img[(by * 8 + y) * 8 + bx * 8 + x] - 128;
+            x = x + 1;
+        }
+        y = y + 1;
+    }
+    fdct();
+    // quantise + zigzag + RLE(zero runs)
+    var run: int = 0;
+    var i: int = 0;
+    while (i < 64) {
+        var q: int = coef[zigzag[i]] / quant[zigzag[i]];
+        if (q == 0) {
+            run = run + 1;
+        } else {
+            while (run > 15) { emit(0xf0); run = run - 16; }
+            // nibble-packed run + signed value byte
+            emit((run << 4) | (q & 15) ^ 0);
+            emit((q + 128) & 0xff);
+            run = 0;
+        }
+        i = i + 1;
+    }
+    emit(0x00);   // end of block
+}
+
+fn main(): int {
+    seed = 12321;
+    slen = 0;
+    build_image();
+    encode_block(0, 0);
+    // coefficient plane (what a real cjpeg would entropy-code)
+    write_words32(&coef[0], 64);
+    write(&stream[0], slen);
+    print_str("bytes ");
+    print_int(slen);
+    print_nl();
+    return 0;
+}
+)MCL";
+}
+
+std::string
+djpegSource()
+{
+    return std::string(codecCommon) + R"MCL(
+// djpeg: decode a fixed compressed stream (produced by the cjpeg
+// analog) back into pixels via dequantise + inverse DCT.
+
+const stream: byte[] = {
+  0x11,0x92, 0x12,0x85, 0x21,0x7e, 0x01,0x83, 0x13,0x7a, 0x31,0x81,
+  0x02,0x7f, 0x22,0x84, 0x00,
+  0x12,0x9a, 0x11,0x7c, 0x03,0x82, 0x21,0x86, 0x41,0x7d, 0x00,
+  0x13,0x8e, 0x01,0x7b, 0x12,0x88, 0x32,0x7f, 0x00,
+  0x11,0x90, 0x22,0x81, 0x02,0x7d, 0x11,0x85, 0x51,0x80, 0x00 };
+
+var out: byte[64];
+var nblocks: int;
+
+fn decode_block(pos: int, obase: int): int {
+    var i: int = 0;
+    while (i < 64) { coef[i] = 0; i = i + 1; }
+    var zi: int = 0;
+    while (zi < 64) {
+        var b: int = stream[pos];
+        pos = pos + 1;
+        if (b == 0) { break; }
+        var run: int = __lshr(b, 4) & 15;
+        var mag: int = b & 15;
+        zi = zi + run;
+        if (zi >= 64) { break; }
+        var val: int = stream[pos] - 128;
+        pos = pos + 1;
+        if (mag == 0) { mag = 1; }
+        coef[zigzag[zi]] = val * quant[zigzag[zi]];
+        zi = zi + 1;
+    }
+    idct();
+    i = 0;
+    while (i < 64) {
+        var v: int = block[i] + 128;
+        if (v < 0) { v = 0; }
+        if (v > 255) { v = 255; }
+        out[obase + i] = v;
+        i = i + 1;
+    }
+    return pos;
+}
+
+fn main(): int {
+    var pos: int = 0;
+    nblocks = 0;
+    var slen: int = 48;
+    while (pos < slen) {
+        if (nblocks >= 1) { break; }
+        pos = decode_block(pos, nblocks * 64);
+        nblocks = nblocks + 1;
+    }
+    write_words32(&block[0], 64);   // raw idct plane
+    write(&out[0], 64);
+    var sum: int = 0;
+    var i: int = 0;
+    while (i < 64) { sum = (sum * 131 + out[i]) & 0xffffffff; i = i + 1; }
+    print_str("blocks ");
+    print_int(nblocks);
+    print_nl();
+    print_str("checksum ");
+    print_hex(sum, 8);
+    print_nl();
+    return 0;
+}
+)MCL";
+}
+
+} // namespace vstack::workload_sources

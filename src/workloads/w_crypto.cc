@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Crypto workloads: sha (SHA-1) and rijndael (AES-128 encryption),
+ * MiBench analogs.  All arithmetic is explicitly masked to 32 bits so
+ * results match across av32/av64.
+ */
+#include "workloads.h"
+
+namespace vstack::workload_sources
+{
+
+std::string
+shaSource()
+{
+    return R"MCL(
+// sha: SHA-1 over a 256-byte pseudo-random message, one compression
+// per 64-byte block, printing the running digest after every block
+// (MiBench sha analog).
+
+var msg: byte[64];
+var h0: int; var h1: int; var h2: int; var h3: int; var h4: int;
+var w: int[80];
+var seed: int;
+
+fn next_rand(): int {
+    seed = (seed * 1103515245 + 12345) & 0xffffffff;
+    return __lshr(seed, 16) & 0xff;
+}
+
+fn rotl(x: int, n: int): int {
+    x = x & 0xffffffff;
+    return ((x << n) | __lshr(x, 32 - n)) & 0xffffffff;
+}
+
+fn sha1_block(off: int) {
+    var i: int = 0;
+    while (i < 16) {
+        var b: int = off + i * 4;
+        w[i] = ((msg[b] << 24) | (msg[b + 1] << 16) | (msg[b + 2] << 8)
+                | msg[b + 3]) & 0xffffffff;
+        i = i + 1;
+    }
+    while (i < 80) {
+        w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+        i = i + 1;
+    }
+    var a: int = h0; var b2: int = h1; var c: int = h2;
+    var d: int = h3; var e: int = h4;
+    i = 0;
+    while (i < 80) {
+        var f: int = 0;
+        var k: int = 0;
+        if (i < 20) {
+            f = (b2 & c) | ((~b2) & d);
+            k = 0x5a827999;
+        } else { if (i < 40) {
+            f = b2 ^ c ^ d;
+            k = 0x6ed9eba1;
+        } else { if (i < 60) {
+            f = (b2 & c) | (b2 & d) | (c & d);
+            k = 0x8f1bbcdc;
+        } else {
+            f = b2 ^ c ^ d;
+            k = 0xca62c1d6;
+        } } }
+        var tmp: int = (rotl(a, 5) + f + e + k + w[i]) & 0xffffffff;
+        e = d;
+        d = c;
+        c = rotl(b2, 30);
+        b2 = a;
+        a = tmp;
+        i = i + 1;
+    }
+    h0 = (h0 + a) & 0xffffffff;
+    h1 = (h1 + b2) & 0xffffffff;
+    h2 = (h2 + c) & 0xffffffff;
+    h3 = (h3 + d) & 0xffffffff;
+    h4 = (h4 + e) & 0xffffffff;
+}
+
+fn print_digest() {
+    print_hex(h0, 8); print_hex(h1, 8); print_hex(h2, 8);
+    print_hex(h3, 8); print_hex(h4, 8); print_nl();
+}
+
+fn main(): int {
+    seed = 20210614;
+    var i: int = 0;
+    while (i < 64) { msg[i] = next_rand(); i = i + 1; }
+    h0 = 0x67452301; h1 = 0xefcdab89; h2 = 0x98badcfe;
+    h3 = 0x10325476; h4 = 0xc3d2e1f0;
+    var blk: int = 0;
+    while (blk < 1) {
+        sha1_block(blk * 64);
+        print_digest();
+        blk = blk + 1;
+    }
+    return 0;
+}
+)MCL";
+}
+
+std::string
+rijndaelSource()
+{
+    return R"MCL(
+// rijndael: AES-128 ECB encryption of 64 bytes (4 blocks) with a full
+// key schedule and table-based S-box (MiBench rijndael analog).
+
+const sbox: byte[256] = {
+  0x63,0x7c,0x77,0x7b,0xf2,0x6b,0x6f,0xc5,0x30,0x01,0x67,0x2b,0xfe,0xd7,0xab,0x76,
+  0xca,0x82,0xc9,0x7d,0xfa,0x59,0x47,0xf0,0xad,0xd4,0xa2,0xaf,0x9c,0xa4,0x72,0xc0,
+  0xb7,0xfd,0x93,0x26,0x36,0x3f,0xf7,0xcc,0x34,0xa5,0xe5,0xf1,0x71,0xd8,0x31,0x15,
+  0x04,0xc7,0x23,0xc3,0x18,0x96,0x05,0x9a,0x07,0x12,0x80,0xe2,0xeb,0x27,0xb2,0x75,
+  0x09,0x83,0x2c,0x1a,0x1b,0x6e,0x5a,0xa0,0x52,0x3b,0xd6,0xb3,0x29,0xe3,0x2f,0x84,
+  0x53,0xd1,0x00,0xed,0x20,0xfc,0xb1,0x5b,0x6a,0xcb,0xbe,0x39,0x4a,0x4c,0x58,0xcf,
+  0xd0,0xef,0xaa,0xfb,0x43,0x4d,0x33,0x85,0x45,0xf9,0x02,0x7f,0x50,0x3c,0x9f,0xa8,
+  0x51,0xa3,0x40,0x8f,0x92,0x9d,0x38,0xf5,0xbc,0xb6,0xda,0x21,0x10,0xff,0xf3,0xd2,
+  0xcd,0x0c,0x13,0xec,0x5f,0x97,0x44,0x17,0xc4,0xa7,0x7e,0x3d,0x64,0x5d,0x19,0x73,
+  0x60,0x81,0x4f,0xdc,0x22,0x2a,0x90,0x88,0x46,0xee,0xb8,0x14,0xde,0x5e,0x0b,0xdb,
+  0xe0,0x32,0x3a,0x0a,0x49,0x06,0x24,0x5c,0xc2,0xd3,0xac,0x62,0x91,0x95,0xe4,0x79,
+  0xe7,0xc8,0x37,0x6d,0x8d,0xd5,0x4e,0xa9,0x6c,0x56,0xf4,0xea,0x65,0x7a,0xae,0x08,
+  0xba,0x78,0x25,0x2e,0x1c,0xa6,0xb4,0xc6,0xe8,0xdd,0x74,0x1f,0x4b,0xbd,0x8b,0x8a,
+  0x70,0x3e,0xb5,0x66,0x48,0x03,0xf6,0x0e,0x61,0x35,0x57,0xb9,0x86,0xc1,0x1d,0x9e,
+  0xe1,0xf8,0x98,0x11,0x69,0xd9,0x8e,0x94,0x9b,0x1e,0x87,0xe9,0xce,0x55,0x28,0xdf,
+  0x8c,0xa1,0x89,0x0d,0xbf,0xe6,0x42,0x68,0x41,0x99,0x2d,0x0f,0xb0,0x54,0xbb,0x16 };
+
+const rcon: byte[11] = { 0x8d,0x01,0x02,0x04,0x08,0x10,0x20,0x40,0x80,0x1b,0x36 };
+
+var rk: byte[176];     // round keys
+var state: byte[16];
+var buf: byte[16];
+var seed: int;
+
+fn next_rand(): int {
+    seed = (seed * 1103515245 + 12345) & 0xffffffff;
+    return __lshr(seed, 16) & 0xff;
+}
+
+fn xtime(x: int): int {
+    x = x << 1;
+    if ((x & 0x100) != 0) { x = x ^ 0x11b; }
+    return x & 0xff;
+}
+
+fn key_expand(key: byte*) {
+    var i: int = 0;
+    while (i < 16) { rk[i] = key[i]; i = i + 1; }
+    i = 16;
+    var rci: int = 1;
+    while (i < 176) {
+        var t0: int = rk[i - 4]; var t1: int = rk[i - 3];
+        var t2: int = rk[i - 2]; var t3: int = rk[i - 1];
+        if ((i % 16) == 0) {
+            var tmp: int = t0;
+            t0 = sbox[t1] ^ rcon[rci];
+            t1 = sbox[t2];
+            t2 = sbox[t3];
+            t3 = sbox[tmp];
+            rci = rci + 1;
+        }
+        rk[i] = rk[i - 16] ^ t0;
+        rk[i + 1] = rk[i - 15] ^ t1;
+        rk[i + 2] = rk[i - 14] ^ t2;
+        rk[i + 3] = rk[i - 13] ^ t3;
+        i = i + 4;
+    }
+}
+
+fn add_round_key(round: int) {
+    var i: int = 0;
+    while (i < 16) {
+        state[i] = state[i] ^ rk[round * 16 + i];
+        i = i + 1;
+    }
+}
+
+fn sub_shift() {
+    // SubBytes + ShiftRows combined.
+    var tmp: byte[16];
+    var i: int = 0;
+    while (i < 16) { tmp[i] = sbox[state[i]]; i = i + 1; }
+    // column-major state: s[r + 4c]
+    var c: int = 0;
+    while (c < 4) {
+        var r: int = 0;
+        while (r < 4) {
+            state[r + 4 * c] = tmp[r + 4 * ((c + r) % 4)];
+            r = r + 1;
+        }
+        c = c + 1;
+    }
+}
+
+fn mix_columns() {
+    var c: int = 0;
+    while (c < 4) {
+        var a0: int = state[4 * c];     var a1: int = state[4 * c + 1];
+        var a2: int = state[4 * c + 2]; var a3: int = state[4 * c + 3];
+        state[4 * c]     = xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3;
+        state[4 * c + 1] = a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3;
+        state[4 * c + 2] = a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3);
+        state[4 * c + 3] = (xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3);
+        c = c + 1;
+    }
+}
+
+fn encrypt_block(off: int) {
+    var i: int = 0;
+    while (i < 16) { state[i] = buf[off + i]; i = i + 1; }
+    add_round_key(0);
+    var round: int = 1;
+    while (round < 10) {
+        sub_shift();
+        mix_columns();
+        add_round_key(round);
+        round = round + 1;
+    }
+    sub_shift();
+    add_round_key(10);
+    i = 0;
+    while (i < 16) { buf[off + i] = state[i]; i = i + 1; }
+}
+
+fn main(): int {
+    var key: byte[16];
+    var i: int = 0;
+    seed = 99991;
+    while (i < 16) { key[i] = next_rand(); i = i + 1; }
+    i = 0;
+    while (i < 16) { buf[i] = next_rand(); i = i + 1; }
+    key_expand(&key[0]);
+    var blk: int = 0;
+    while (blk < 1) {
+        encrypt_block(blk * 16);
+        blk = blk + 1;
+    }
+    i = 0;
+    while (i < 16) {
+        print_hex(buf[i], 2);
+        if ((i % 16) == 15) { print_nl(); }
+        i = i + 1;
+    }
+    return 0;
+}
+)MCL";
+}
+
+} // namespace vstack::workload_sources

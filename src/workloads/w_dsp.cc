@@ -1,0 +1,260 @@
+/**
+ * @file
+ * DSP and telecom workloads: fft (fixed-point radix-2 FFT), crc32
+ * (table-driven CRC-32), and search (Boyer-Moore-Horspool string
+ * search) — MiBench analogs.
+ */
+#include "workloads.h"
+
+namespace vstack::workload_sources
+{
+
+std::string
+fftSource()
+{
+    return R"MCL(
+// fft: 64-point radix-2 decimation-in-time FFT in Q15 fixed point
+// over a pseudo-random signal (MiBench fft analog).  Twiddles come
+// from a quarter-wave sine table.
+
+const sintab: int[17] = {
+      0,  3212,  6393,  9512, 12539, 15446, 18204, 20787,
+  23170, 25329, 27245, 28898, 30273, 31356, 32137, 32609, 32767 };
+
+var re: int[32];
+var im: int[32];
+var seed: int;
+
+fn next_rand(): int {
+    seed = (seed * 1103515245 + 12345) & 0xffffffff;
+    return __lshr(seed, 16) & 0x7fff;
+}
+
+// sin(2*pi*k/64) in Q15 for k in [0, 63]
+fn qsin(k: int): int {
+    k = k & 63;
+    if (k <= 16) { return sintab[k]; }
+    if (k <= 32) { return sintab[32 - k]; }
+    if (k <= 48) { return 0 - sintab[k - 32]; }
+    return 0 - sintab[64 - k];
+}
+
+fn qcos(k: int): int {
+    return qsin(k + 16);
+}
+
+fn bitrev(x: int): int {
+    var r: int = 0;
+    var i: int = 0;
+    while (i < 5) {
+        r = (r << 1) | (x & 1);
+        x = x >> 1;
+        i = i + 1;
+    }
+    return r;
+}
+
+fn mulq15(a: int, b: int): int {
+    // signed Q15 multiply; operands are within +-32768 so the
+    // product fits in 31 bits on both register widths
+    return (a * b) >> 15;
+}
+
+fn fft32() {
+    // bit-reverse reorder
+    var i: int = 0;
+    while (i < 32) {
+        var j: int = bitrev(i);
+        if (j > i) {
+            var t: int = re[i]; re[i] = re[j]; re[j] = t;
+            t = im[i]; im[i] = im[j]; im[j] = t;
+        }
+        i = i + 1;
+    }
+    var len: int = 2;
+    while (len <= 32) {
+        var half: int = len / 2;
+        var step: int = 64 / len;
+        var base: int = 0;
+        while (base < 32) {
+            var k: int = 0;
+            while (k < half) {
+                var wr: int = qcos(k * step);
+                var wi: int = 0 - qsin(k * step);
+                var ar: int = re[base + k];
+                var ai: int = im[base + k];
+                var br: int = re[base + k + half];
+                var bi: int = im[base + k + half];
+                var tr: int = mulq15(wr, br) - mulq15(wi, bi);
+                var ti: int = mulq15(wr, bi) + mulq15(wi, br);
+                re[base + k] = (ar + tr) / 2;
+                im[base + k] = (ai + ti) / 2;
+                re[base + k + half] = (ar - tr) / 2;
+                im[base + k + half] = (ai - ti) / 2;
+                k = k + 1;
+            }
+            base = base + len;
+        }
+        len = len * 2;
+    }
+}
+
+fn main(): int {
+    seed = 31415;
+    var i: int = 0;
+    while (i < 32) {
+        re[i] = next_rand() - 16384;
+        im[i] = 0;
+        i = i + 1;
+    }
+    fft32();
+    // dump the raw spectrum (the "output file" of the DSP pipeline)
+    write_words32(&re[0], 32);
+    write_words32(&im[0], 32);
+    var sum: int = 0;
+    i = 0;
+    while (i < 32) {
+        var p: int = mulq15(re[i], re[i]) + mulq15(im[i], im[i]);
+        sum = (sum + p) & 0xffffffff;
+        print_int(p);
+        if ((i % 8) == 7) { print_nl(); }
+        i = i + 1;
+    }
+    print_str("power ");
+    print_hex(sum, 8);
+    print_nl();
+    return 0;
+}
+)MCL";
+}
+
+std::string
+crc32Source()
+{
+    return R"MCL(
+// crc32: table-driven CRC-32 (IEEE polynomial) over a 2 KiB
+// pseudo-random buffer (MiBench CRC32 analog; extra workload).
+
+var table: int[256];
+var buf: byte[256];
+var seed: int;
+
+fn next_rand(): int {
+    seed = (seed * 1103515245 + 12345) & 0xffffffff;
+    return __lshr(seed, 16) & 0xff;
+}
+
+fn build_table() {
+    var n: int = 0;
+    while (n < 256) {
+        var c: int = n;
+        var k: int = 0;
+        while (k < 8) {
+            if ((c & 1) != 0) {
+                c = 0xedb88320 ^ __lshr(c & 0xffffffff, 1);
+            } else {
+                c = __lshr(c & 0xffffffff, 1);
+            }
+            k = k + 1;
+        }
+        table[n] = c & 0xffffffff;
+        n = n + 1;
+    }
+}
+
+fn crc_update(crc: int, b: int): int {
+    return (table[(crc ^ b) & 0xff] ^ __lshr(crc & 0xffffffff, 8))
+           & 0xffffffff;
+}
+
+fn main(): int {
+    seed = 271828;
+    build_table();
+    var i: int = 0;
+    while (i < 256) { buf[i] = next_rand(); i = i + 1; }
+    var crc: int = 0xffffffff;
+    i = 0;
+    while (i < 256) {
+        crc = crc_update(crc, buf[i]);
+        if ((i % 64) == 63) {
+            print_hex(crc ^ 0xffffffff, 8);
+            print_nl();
+        }
+        i = i + 1;
+    }
+    print_str("crc ");
+    print_hex(crc ^ 0xffffffff, 8);
+    print_nl();
+    return 0;
+}
+)MCL";
+}
+
+std::string
+searchSource()
+{
+    return R"MCL(
+// search: Boyer-Moore-Horspool substring search of several patterns
+// over a text corpus (MiBench stringsearch analog).
+
+const text: byte[] = "it was the best of times it was the worst of times it was the age of wisdom it was the age of foolishness it was the epoch of belief it was the epoch of incredulity it was the season of light it was the season of darkness it was the spring of hope it was the winter of despair we had everything before us we had nothing before us we were all going direct to heaven we were all going direct the other way in short the period was so far like the present period that some of its noisiest authorities insisted on its being received for good or for evil in the superlative degree of comparison only";
+
+const pat0: byte[] = "season";
+const pat1: byte[] = "epoch of belief";
+const pat2: byte[] = "direct";
+const pat3: byte[] = "superlative";
+const pat4: byte[] = "nowhere";
+
+var shift: int[256];
+
+fn hsearch(pat: byte*, plen: int, tlen: int): int {
+    var i: int = 0;
+    var count: int = 0;
+    while (i < 256) { shift[i] = plen; i = i + 1; }
+    i = 0;
+    while (i < plen - 1) {
+        shift[pat[i]] = plen - 1 - i;
+        i = i + 1;
+    }
+    var pos: int = 0;
+    while (pos + plen <= tlen) {
+        var j: int = plen - 1;
+        while (j >= 0) {
+            if (text[pos + j] != pat[j]) { break; }
+            j = j - 1;
+        }
+        if (j < 0) {
+            count = count + 1;
+            print_int(pos);
+            print_nl();
+            pos = pos + plen;
+        } else {
+            pos = pos + shift[text[pos + plen - 1]];
+        }
+    }
+    return count;
+}
+
+fn run_one(pat: byte*): int {
+    var plen: int = rt_strlen(pat);
+    var n: int = hsearch(pat, plen, rt_strlen(text));
+    print_str("matches ");
+    print_int(n);
+    print_nl();
+    return n;
+}
+
+fn main(): int {
+    var total: int = 0;
+    total = total + run_one(pat0);
+    total = total + run_one(pat2);
+    total = total + run_one(pat4);
+    print_str("total ");
+    print_int(total);
+    print_nl();
+    return total;
+}
+)MCL";
+}
+
+} // namespace vstack::workload_sources

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Image-processing workloads: corner (SUSAN corner detection analog)
+ * and smooth (SUSAN smoothing analog) — the two case-study workloads
+ * of the paper's Section VI.
+ */
+#include "workloads.h"
+
+namespace vstack::workload_sources
+{
+
+std::string
+cornerSource()
+{
+    return R"MCL(
+// corner: USAN-style corner detection on a 24x24 synthetic image
+// (SUSAN corners analog).  For every interior pixel, count
+// similar-brightness neighbours in a 5x5 disc; low counts mark
+// corners.
+
+var img: byte[144];    // 12 x 12
+var resp: byte[144];
+var seed: int;
+
+fn next_rand(): int {
+    seed = (seed * 1103515245 + 12345) & 0xffffffff;
+    return __lshr(seed, 16) & 0xff;
+}
+
+fn absdiff(a: int, b: int): int {
+    if (a > b) { return a - b; }
+    return b - a;
+}
+
+fn build_image() {
+    // blocks of flat intensity plus noise: gives real corners
+    var y: int = 0;
+    while (y < 12) {
+        var x: int = 0;
+        while (x < 12) {
+            var base: int = 40;
+            if (x >= 6) { base = base + 90; }
+            if (y >= 6) { base = base + 60; }
+            var noise: int = next_rand() % 11;
+            img[y * 12 + x] = base + noise;
+            x = x + 1;
+        }
+        y = y + 1;
+    }
+}
+
+fn usan(x: int, y: int): int {
+    var center: int = img[y * 12 + x];
+    var count: int = 0;
+    var dy: int = 0 - 1;
+    while (dy <= 1) {
+        var dx: int = 0 - 1;
+        while (dx <= 1) {
+            var v: int = img[(y + dy) * 12 + (x + dx)];
+            var d: int = v - center;
+            if (d < 0) { d = 0 - d; }
+            if (d <= 20) { count = count + 1; }
+            dx = dx + 1;
+        }
+        dy = dy + 1;
+    }
+    return count;
+}
+
+fn main(): int {
+    seed = 1337;
+    build_image();
+    write(&img[0], 144);    // echo the input frame
+    var corners: int = 0;
+    var sum: int = 0;
+    var y: int = 1;
+    while (y < 11) {
+        var x: int = 1;
+        while (x < 11) {
+            var c: int = usan(x, y);
+            var r: int = 0;
+            if (c < 5) { r = 255; corners = corners + 1; }
+            resp[y * 12 + x] = r;
+            sum = (sum * 33 + c) & 0xffffffff;
+            x = x + 1;
+        }
+        write(&resp[y * 12], 12);   // stream the finished row
+        y = y + 1;
+    }
+    print_str("corners ");
+    print_int(corners);
+    print_nl();
+    print_str("checksum ");
+    print_hex(sum, 8);
+    print_nl();
+    return 0;
+}
+)MCL";
+}
+
+std::string
+smoothSource()
+{
+    return R"MCL(
+// smooth: brightness-weighted 3x3 smoothing of a 20x20 synthetic
+// image (SUSAN smoothing analog) — the second case-study workload of
+// the paper's Section VI.
+
+var img: byte[100];    // 10 x 10
+var out: byte[100];
+var seed: int;
+
+fn next_rand(): int {
+    seed = (seed * 1103515245 + 12345) & 0xffffffff;
+    return __lshr(seed, 16) & 0xff;
+}
+
+fn absdiff(a: int, b: int): int {
+    if (a > b) { return a - b; }
+    return b - a;
+}
+
+fn build_image() {
+    var y: int = 0;
+    while (y < 10) {
+        var x: int = 0;
+        while (x < 10) {
+            var v: int = (x * 9 + y * 5) & 0xff;
+            v = (v + next_rand() % 31) & 0xff;
+            img[y * 10 + x] = v;
+            x = x + 1;
+        }
+        y = y + 1;
+    }
+}
+
+// weight falls off with brightness difference (SUSAN-style kernel)
+fn weight(diff: int): int {
+    if (diff <= 8) { return 16; }
+    if (diff <= 16) { return 8; }
+    if (diff <= 32) { return 4; }
+    if (diff <= 64) { return 1; }
+    return 0;
+}
+
+fn smooth_pixel(x: int, y: int): int {
+    var center: int = img[y * 10 + x];
+    var num: int = 0;
+    var den: int = 0;
+    var dy: int = 0 - 1;
+    while (dy <= 1) {
+        var dx: int = 0 - 1;
+        while (dx <= 1) {
+            var v: int = img[(y + dy) * 10 + (x + dx)];
+            var w: int = weight(absdiff(v, center));
+            num = num + v * w;
+            den = den + w;
+            dx = dx + 1;
+        }
+        dy = dy + 1;
+    }
+    if (den == 0) { return center; }
+    return num / den;
+}
+
+fn main(): int {
+    seed = 2718;
+    build_image();
+    write(&img[0], 100);    // echo the input frame
+    var sum: int = 0;
+    var y: int = 1;
+    while (y < 9) {
+        var x: int = 1;
+        while (x < 9) {
+            var s: int = smooth_pixel(x, y);
+            out[y * 10 + x] = s;
+            sum = (sum * 31 + s) & 0xffffffff;
+            x = x + 1;
+        }
+        write(&out[y * 10], 10);    // stream the finished row
+        y = y + 1;
+    }
+    print_str("checksum ");
+    print_hex(sum, 8);
+    print_nl();
+    return 0;
+}
+)MCL";
+}
+
+} // namespace vstack::workload_sources

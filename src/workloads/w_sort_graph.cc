@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Sorting and graph workloads: qsort (recursive quicksort) and
+ * dijkstra (single-source shortest paths), MiBench analogs.
+ */
+#include "workloads.h"
+
+namespace vstack::workload_sources
+{
+
+std::string
+qsortSource()
+{
+    return R"MCL(
+// qsort: recursive quicksort over 150 pseudo-random ints (MiBench
+// qsort analog).  Prints the sorted array and a checksum.
+
+var data: int[48];
+var seed: int;
+
+fn next_rand(): int {
+    seed = (seed * 1103515245 + 12345) & 0xffffffff;
+    return __lshr(seed, 16) & 0x7fff;
+}
+
+fn quicksort(lo: int, hi: int) {
+    if (lo >= hi) { return; }
+    var pivot: int = data[(lo + hi) / 2];
+    var i: int = lo;
+    var j: int = hi;
+    while (i <= j) {
+        while (data[i] < pivot) { i = i + 1; }
+        while (data[j] > pivot) { j = j - 1; }
+        if (i <= j) {
+            var t: int = data[i];
+            data[i] = data[j];
+            data[j] = t;
+            i = i + 1;
+            j = j - 1;
+        }
+    }
+    quicksort(lo, j);
+    quicksort(i, hi);
+}
+
+fn main(): int {
+    seed = 4242;
+    var i: int = 0;
+    while (i < 48) { data[i] = next_rand(); i = i + 1; }
+    quicksort(0, 47);
+
+    var sum: int = 0;
+    var bad: int = 0;
+    i = 0;
+    while (i < 48) {
+        sum = (sum * 31 + data[i]) & 0xffffffff;
+        if (i > 0) {
+            if (data[i] < data[i - 1]) { bad = bad + 1; }
+        }
+        i = i + 1;
+    }
+    // dump the sorted array (the "output file"), then pretty-print
+    write_words32(&data[0], 48);
+    i = 0;
+    while (i < 48) {
+        print_int(data[i]);
+        if ((i % 10) == 9) { print_nl(); }
+        i = i + 1;
+    }
+    print_str("checksum ");
+    print_hex(sum, 8);
+    print_nl();
+    return bad;
+}
+)MCL";
+}
+
+std::string
+dijkstraSource()
+{
+    return R"MCL(
+// dijkstra: O(V^2) single-source shortest paths on a 24-node dense
+// graph with pseudo-random weights (MiBench dijkstra analog).
+
+var adj: int[256];   // 16 x 16
+var dist: int[16];
+var done: int[16];
+var seed: int;
+
+fn next_rand(): int {
+    seed = (seed * 1103515245 + 12345) & 0xffffffff;
+    return __lshr(seed, 16) & 0x7fff;
+}
+
+fn build_graph() {
+    var i: int = 0;
+    while (i < 16) {
+        var j: int = 0;
+        while (j < 16) {
+            if (i == j) {
+                adj[i * 16 + j] = 0;
+            } else {
+                var w: int = next_rand() % 97 + 1;
+                if (w > 80) { w = 1000000; }  // sparse-ish
+                adj[i * 16 + j] = w;
+            }
+            j = j + 1;
+        }
+        i = i + 1;
+    }
+}
+
+fn dijkstra(src: int) {
+    var i: int = 0;
+    while (i < 16) {
+        dist[i] = 1000000000;
+        done[i] = 0;
+        i = i + 1;
+    }
+    dist[src] = 0;
+    var iter: int = 0;
+    while (iter < 16) {
+        var best: int = 1000000001;
+        var u: int = 0 - 1;
+        i = 0;
+        while (i < 16) {
+            if (done[i] == 0) {
+                if (dist[i] < best) { best = dist[i]; u = i; }
+            }
+            i = i + 1;
+        }
+        if (u < 0) { return; }
+        done[u] = 1;
+        i = 0;
+        while (i < 16) {
+            var alt: int = dist[u] + adj[u * 16 + i];
+            if (alt < dist[i]) { dist[i] = alt; }
+            i = i + 1;
+        }
+        iter = iter + 1;
+    }
+}
+
+fn main(): int {
+    seed = 777;
+    build_graph();
+    var src: int = 0;
+    var total: int = 0;
+    while (src < 2) {
+        dijkstra(src * 7);
+        var i: int = 0;
+        while (i < 16) {
+            print_int(dist[i]);
+            total = (total + dist[i]) & 0xffffffff;
+            i = i + 1;
+        }
+        print_nl();
+        src = src + 1;
+    }
+    print_str("total ");
+    print_hex(total, 8);
+    print_nl();
+    return 0;
+}
+)MCL";
+}
+
+} // namespace vstack::workload_sources

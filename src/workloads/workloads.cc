@@ -1,0 +1,64 @@
+#include "workloads.h"
+
+#include "support/logging.h"
+
+namespace vstack
+{
+
+namespace workload_sources
+{
+std::string qsortSource();
+std::string dijkstraSource();
+std::string shaSource();
+std::string rijndaelSource();
+std::string fftSource();
+std::string crc32Source();
+std::string searchSource();
+std::string cornerSource();
+std::string smoothSource();
+std::string cjpegSource();
+std::string djpegSource();
+} // namespace workload_sources
+
+const std::vector<Workload> &
+paperWorkloads()
+{
+    using namespace workload_sources;
+    static const std::vector<Workload> suite = {
+        {"fft", "dsp", fftSource()},
+        {"qsort", "sort", qsortSource()},
+        {"sha", "crypto", shaSource()},
+        {"rijndael", "crypto", rijndaelSource()},
+        {"dijkstra", "graph", dijkstraSource()},
+        {"search", "string", searchSource()},
+        {"corner", "image", cornerSource()},
+        {"smooth", "image", smoothSource()},
+        {"cjpeg", "codec", cjpegSource()},
+        {"djpeg", "codec", djpegSource()},
+    };
+    return suite;
+}
+
+const std::vector<Workload> &
+allWorkloads()
+{
+    static const std::vector<Workload> suite = [] {
+        std::vector<Workload> all = paperWorkloads();
+        all.push_back({"crc32", "telecom",
+                       workload_sources::crc32Source()});
+        return all;
+    }();
+    return suite;
+}
+
+const Workload &
+findWorkload(const std::string &name)
+{
+    for (const Workload &w : allWorkloads()) {
+        if (w.name == name)
+            return w;
+    }
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+} // namespace vstack

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The MiBench-analog workload suite.
+ *
+ * Ten MCL workloads mirroring the paper's MiBench selection across
+ * the same application domains (DSP, sorting, crypto, graph, string
+ * processing, image processing, codec), plus crc32 as an extra for
+ * examples.  Input sizes are tuned so full microarchitectural
+ * injection campaigns complete on a single-core host.
+ *
+ * All workloads are written width-portably: they produce identical
+ * output on av32 and av64 (32-bit arithmetic is masked explicitly),
+ * which the cross-ISA tests verify.
+ */
+#ifndef VSTACK_WORKLOADS_WORKLOADS_H
+#define VSTACK_WORKLOADS_WORKLOADS_H
+
+#include <string>
+#include <vector>
+
+namespace vstack
+{
+
+/** A workload: name + MCL source (runtime library not included). */
+struct Workload
+{
+    std::string name;
+    std::string domain; ///< e.g. "crypto", "dsp"
+    std::string source;
+};
+
+/** The paper's 10-workload suite (fft, qsort, sha, rijndael, dijkstra,
+ *  search, corner, smooth, cjpeg, djpeg). */
+const std::vector<Workload> &paperWorkloads();
+
+/** All workloads including extras (crc32). */
+const std::vector<Workload> &allWorkloads();
+
+/** Look up a workload by name; fatal() if unknown. */
+const Workload &findWorkload(const std::string &name);
+
+} // namespace vstack
+
+#endif // VSTACK_WORKLOADS_WORKLOADS_H

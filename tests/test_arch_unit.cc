@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Functional-emulator unit tests: exception taxonomy, privilege
+ * enforcement, watchdog, stepping/peek API, and PVF classification
+ * helpers.
+ */
+#include <gtest/gtest.h>
+
+#include "arch/archsim.h"
+#include "arch/pvf.h"
+#include "isa/assembler.h"
+#include "support/logging.h"
+
+namespace vstack
+{
+namespace
+{
+
+ArchRunResult
+runBare(const std::string &body, uint64_t maxInsts = 1'000'000)
+{
+    const std::string src = strprintf(R"(
+        .isa av64
+        .org 0x%x
+_start:
+%s
+)", memmap::BOOT_VECTOR, body.c_str());
+    AsmResult as = assemble(src, IsaId::Av64, memmap::BOOT_VECTOR);
+    EXPECT_TRUE(as.ok) << as.error;
+    as.program.entry = memmap::BOOT_VECTOR;
+    ArchConfig cfg;
+    cfg.maxInsts = maxInsts;
+    ArchSim sim(cfg);
+    sim.load(as.program);
+    return sim.run();
+}
+
+TEST(ArchUnit, MisalignedLoadFaults)
+{
+    ArchRunResult r = runBare(R"(
+        li  x1, #0x2001
+        ldx x2, [x1, #0]
+    )");
+    EXPECT_EQ(r.stop, StopReason::Exception);
+    EXPECT_NE(r.exceptionMsg.find("misaligned"), std::string::npos);
+}
+
+TEST(ArchUnit, UnmappedAddressFaults)
+{
+    ArchRunResult r = runBare(R"(
+        li  x1, #0x2000000
+        ldx x2, [x1, #0]
+    )");
+    EXPECT_EQ(r.stop, StopReason::Exception);
+    EXPECT_NE(r.exceptionMsg.find("bad address"), std::string::npos);
+}
+
+TEST(ArchUnit, BranchToUnmappedFaultsOnFetch)
+{
+    ArchRunResult r = runBare(R"(
+        li  x1, #0x3000000
+        br  x1
+    )");
+    EXPECT_EQ(r.stop, StopReason::Exception);
+    EXPECT_NE(r.exceptionMsg.find("fetch"), std::string::npos);
+}
+
+TEST(ArchUnit, PrivilegedInUserModeFaults)
+{
+    // Drop to user code that tries HALT.
+    ArchRunResult r = runBare(strprintf(R"(
+        li    x3, #0x%x
+        mtepc x3
+        eret
+        .org 0x%x
+user:
+        halt
+)", memmap::USER_TEXT, memmap::USER_TEXT));
+    EXPECT_EQ(r.stop, StopReason::Exception);
+    EXPECT_NE(r.exceptionMsg.find("privileged"), std::string::npos);
+}
+
+TEST(ArchUnit, UserMmioAccessFaults)
+{
+    ArchRunResult r = runBare(strprintf(R"(
+        li    x3, #0x%x
+        mtepc x3
+        eret
+        .org 0x%x
+user:
+        li  x1, #0x%x
+        stx x1, [x1, #0]
+)", memmap::USER_TEXT, memmap::USER_TEXT, memmap::MMIO_EXIT_CODE));
+    EXPECT_EQ(r.stop, StopReason::Exception);
+}
+
+TEST(ArchUnit, WatchdogCatchesInfiniteLoop)
+{
+    ArchRunResult r = runBare("hang: b hang", 10'000);
+    EXPECT_EQ(r.stop, StopReason::Watchdog);
+    EXPECT_EQ(r.instCount, 10'000u);
+}
+
+TEST(ArchUnit, StepAndPeek)
+{
+    const std::string src = strprintf(R"(
+        .isa av64
+        .org 0x%x
+_start:
+        li  x1, #5
+        add x1, x1, x1
+        halt
+)", memmap::BOOT_VECTOR);
+    AsmResult as = assemble(src, IsaId::Av64, memmap::BOOT_VECTOR);
+    ASSERT_TRUE(as.ok) << as.error;
+    as.program.entry = memmap::BOOT_VECTOR;
+    ArchConfig cfg;
+    ArchSim sim(cfg);
+    sim.load(as.program);
+
+    DecodedInst d;
+    ASSERT_TRUE(sim.peek(d));
+    EXPECT_EQ(d.op, Op::MOVZ); // li expands to movz+movk
+    EXPECT_TRUE(sim.step());   // movz
+    EXPECT_TRUE(sim.step());   // movk
+    EXPECT_EQ(sim.readReg(1), 5u);
+    ASSERT_TRUE(sim.peek(d));
+    EXPECT_EQ(d.op, Op::ADD);
+    EXPECT_TRUE(sim.step());
+    EXPECT_EQ(sim.readReg(1), 10u);
+    EXPECT_FALSE(sim.step()); // halt
+    EXPECT_EQ(sim.stopReason(), StopReason::Exited);
+}
+
+TEST(ArchUnit, WriteRegRespectsZeroRegister)
+{
+    ArchConfig cfg;
+    ArchSim sim(cfg);
+    Program p;
+    p.isa = IsaId::Av64;
+    p.entry = memmap::BOOT_VECTOR;
+    p.segments.push_back({memmap::BOOT_VECTOR, {0, 0, 0, 0}});
+    sim.load(p);
+    sim.writeReg(31, 0xffff); // xzr
+    EXPECT_EQ(sim.readReg(31), 0u);
+    sim.writeReg(4, 0xffff);
+    EXPECT_EQ(sim.readReg(4), 0xffffu);
+}
+
+TEST(ArchUnit, ClassifyRunTaxonomy)
+{
+    GoldenRef golden;
+    golden.dma = {1, 2, 3};
+    golden.exitCode = 0;
+    golden.valid = true;
+
+    DeviceOutput same;
+    same.dma = {1, 2, 3};
+    EXPECT_EQ(classifyRun(StopReason::Exited, same, golden),
+              Outcome::Masked);
+
+    DeviceOutput diff;
+    diff.dma = {1, 2, 4};
+    EXPECT_EQ(classifyRun(StopReason::Exited, diff, golden),
+              Outcome::Sdc);
+
+    DeviceOutput wrongExit = same;
+    wrongExit.exitCode = 9;
+    EXPECT_EQ(classifyRun(StopReason::Exited, wrongExit, golden),
+              Outcome::Sdc);
+
+    EXPECT_EQ(classifyRun(StopReason::Exception, same, golden),
+              Outcome::Crash);
+    EXPECT_EQ(classifyRun(StopReason::Watchdog, same, golden),
+              Outcome::Crash);
+    EXPECT_EQ(classifyRun(StopReason::DetectHit, same, golden),
+              Outcome::Detected);
+}
+
+TEST(ArchUnit, DivByZeroDoesNotFault)
+{
+    ArchRunResult r = runBare(strprintf(R"(
+        li   x1, #10
+        li   x2, #0
+        sdiv x3, x1, x2
+        udiv x4, x1, x2
+        urem x5, x1, x2
+        li   x2, #0x%x
+        stx  x5, [x2, #0]
+        halt
+)", memmap::MMIO_EXIT_CODE));
+    ASSERT_EQ(r.stop, StopReason::Exited) << r.exceptionMsg;
+    EXPECT_EQ(r.output.exitCode, 10u); // x % 0 == x
+}
+
+} // namespace
+} // namespace vstack

@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Compiler tests: lexer/parser behaviour and errors, IR generation
+ * invariants, and a table-driven semantics sweep that executes MCL
+ * expression programs through the IR interpreter AND the compiled
+ * guest binary on both ISAs, asserting identical exit codes.
+ */
+#include <gtest/gtest.h>
+
+#include "arch/archsim.h"
+#include "compiler/compile.h"
+#include "compiler/irgen.h"
+#include "compiler/lexer.h"
+#include "compiler/parser.h"
+#include "kernel/kernel.h"
+#include "support/logging.h"
+#include "swfi/interp.h"
+
+namespace vstack
+{
+namespace
+{
+
+// ---- lexer -----------------------------------------------------------------
+
+TEST(Lexer, TokenKinds)
+{
+    auto r = mcl::lex("fn x1 123 0x1f 'a' \"s\" + - << >> <= == && ||");
+    ASSERT_TRUE(r.ok) << r.error;
+    using mcl::Tok;
+    std::vector<Tok> kinds;
+    for (const auto &t : r.tokens)
+        kinds.push_back(t.kind);
+    std::vector<Tok> expect{Tok::KwFn,  Tok::Ident, Tok::Number,
+                            Tok::Number, Tok::CharLit, Tok::String,
+                            Tok::Plus,  Tok::Minus, Tok::Shl,
+                            Tok::Shr,   Tok::Le,    Tok::EqEq,
+                            Tok::AndAnd, Tok::OrOr, Tok::End};
+    EXPECT_EQ(kinds, expect);
+    EXPECT_EQ(r.tokens[2].value, 123);
+    EXPECT_EQ(r.tokens[3].value, 0x1f);
+    EXPECT_EQ(r.tokens[4].value, 'a');
+}
+
+TEST(Lexer, CommentsAndErrors)
+{
+    EXPECT_TRUE(mcl::lex("// line\n/* block\nstill */ fn").ok);
+    EXPECT_FALSE(mcl::lex("/* unterminated").ok);
+    EXPECT_FALSE(mcl::lex("\"unterminated").ok);
+    EXPECT_FALSE(mcl::lex("@").ok);
+}
+
+// ---- parser ----------------------------------------------------------------
+
+TEST(Parser, FunctionAndGlobals)
+{
+    auto r = mcl::parse(R"(
+        var g: int = 5;
+        const t: byte[4] = { 1, 2, 3, 4 };
+        const s: byte[] = "abc";
+        fn f(a: int, p: byte*): int { return a; }
+        fn v() { }
+    )");
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.module.globals.size(), 3u);
+    EXPECT_EQ(r.module.globals[2].type.arraySize, 4); // "abc" + NUL
+    ASSERT_EQ(r.module.funcs.size(), 2u);
+    EXPECT_EQ(r.module.funcs[0].params.size(), 2u);
+    EXPECT_TRUE(r.module.funcs[1].retType.isVoid());
+}
+
+TEST(Parser, SyntaxErrors)
+{
+    const char *bad[] = {
+        "fn f() { return }",
+        "fn f() { var x int; }",
+        "fn f() { if x { } }",
+        "var g: int[] ;",
+        "fn f() { break; }",          // caught in irgen? no: parser ok
+        "fn f( { }",
+        "fn f() { x = ; }",
+        "fn 123() { }",
+    };
+    int failures = 0;
+    for (const char *src : bad)
+        failures += !mcl::parse(src).ok;
+    EXPECT_GE(failures, 6);
+}
+
+// ---- irgen type checking ----------------------------------------------------
+
+TEST(IrGen, RejectsSemanticErrors)
+{
+    struct Case
+    {
+        const char *src;
+        const char *needle;
+    };
+    const Case cases[] = {
+        {"fn f() { x = 1; }", "undefined variable"},
+        {"fn f() { undefined_fn(); }", "undefined function"},
+        {"fn f(a: int) { a(); }", "undefined function"},
+        {"fn f() { var p: int*; var q: int = p; }", "pointer"},
+        {"fn f() { break; }", "outside a loop"},
+        {"fn f(): int { return; }", "must return a value"},
+        {"fn f() { return 3; }", "void function"},
+        {"fn f(a: int, b: int) { f(a); }", "expects 2 arguments"},
+        {"fn f() { var a: int = 1; var a: int = 2; }", "redefinition"},
+        {"fn f() { } fn f() { }", "duplicate"},
+        {"fn f() { var a: int[4]; a = 3; }", "cannot assign"},
+    };
+    for (const Case &c : cases) {
+        auto pr = mcl::parse(c.src);
+        ASSERT_TRUE(pr.ok) << c.src << ": " << pr.error;
+        auto ir = mcl::generateIr(pr.module, 64);
+        EXPECT_FALSE(ir.ok) << c.src;
+        EXPECT_NE(ir.error.find(c.needle), std::string::npos)
+            << c.src << " -> " << ir.error;
+    }
+}
+
+TEST(IrGen, ProducedIrVerifies)
+{
+    auto fr = mcl::compileToIr(R"(
+        var g: int[8];
+        fn fib(n: int): int {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        fn main(): int {
+            var i: int = 0;
+            while (i < 8) { g[i] = fib(i); i = i + 1; }
+            return g[7];
+        }
+    )", 64);
+    ASSERT_TRUE(fr.ok) << fr.error;
+    EXPECT_EQ(ir::verify(fr.module), "");
+    EXPECT_FALSE(ir::print(fr.module).empty());
+}
+
+// ---- cross-layer semantics sweep ---------------------------------------------
+
+/** One expression-semantics case: program returns `expect`. */
+struct SemCase
+{
+    const char *name;
+    const char *body; ///< statements of main; must `return` expect
+    int expect;
+};
+
+const SemCase semCases[] = {
+    {"add", "return 40 + 2;", 42},
+    {"sub_neg", "return 10 - 52 + 84;", 42},
+    {"mul", "return 6 * 7;", 42},
+    {"sdiv", "return (0 - 84) / (0 - 2);", 42},
+    {"srem", "return 85 % 43;", 42},
+    {"udiv_intr", "return __udiv(84, 2);", 42},
+    {"urem_intr", "return __urem(127, 85);", 42},
+    {"and_or_xor", "return (47 & 62) | (12 ^ 8);", 46},
+    {"shifts", "return (21 << 1) | ((1 >> 3) & 0);", 42},
+    {"lshr_intr", "return __lshr(84, 1);", 42},
+    {"ashr_negative", "return ((0 - 168) >> 2) + 84;", 42},
+    {"cmp_chain", "return (3 < 4) + (4 <= 4) + (5 > 4) + (5 >= 6);", 3},
+    {"eq_ne", "return (7 == 7) * 40 + (7 != 7) + 2 * (3 != 2);", 42},
+    {"ultu_intr", "return __ultu(1, 0 - 1);", 1},
+    {"unary", "return -(-42) + ~0 + 1;", 42},
+    {"lognot", "return !0 * 41 + !!7;", 42},
+    {"shortcircuit_and", "var x: int = 0;\n"
+                         "if ((x != 0) && (1 / x) > 0) { return 1; }\n"
+                         "return 42;", 42},
+    {"shortcircuit_or", "var x: int = 1;\n"
+                        "if ((x == 1) || (1 / 0) > 0) { return 42; }\n"
+                        "return 0;", 42},
+    {"while_sum", "var s: int = 0; var i: int = 1;\n"
+                  "while (i <= 6) { s = s + i; i = i + 1; }\n"
+                  "return s * 2;", 42},
+    {"break_continue", "var s: int = 0; var i: int = 0;\n"
+                       "while (1 == 1) {\n"
+                       "  i = i + 1;\n"
+                       "  if (i > 10) { break; }\n"
+                       "  if ((i % 2) == 0) { continue; }\n"
+                       "  s = s + i;\n"
+                       "}\n"
+                       "return s + 17;", 42}, // 1+3+5+7+9 = 25
+    {"nested_if", "var a: int = 5;\n"
+                  "if (a > 3) { if (a < 10) { return 42; } }\n"
+                  "return 0;", 42},
+    {"local_array", "var a: int[4];\n"
+                    "a[0] = 40; a[1] = 2;\n"
+                    "return a[0] + a[1];", 42},
+    {"byte_truncation", "var b: byte = 300;\n"
+                        "return b;", 44}, // 300 & 0xff
+    {"byte_cast", "return (0x1ff as byte) + 0xff - 0x1fc;", 2},
+    {"pointer_walk", "var a: int[3];\n"
+                     "a[0] = 1; a[1] = 2; a[2] = 39;\n"
+                     "var p: int* = &a[0];\n"
+                     "p = p + 2;\n"
+                     "return *p + a[1] + a[0];", 42},
+    {"pointer_deref_store", "var a: int[2];\n"
+                            "var p: int* = &a[1];\n"
+                            "*p = 42;\n"
+                            "return a[1];", 42},
+    {"char_literals", "return 'z' - 'a' + 17;", 42},
+    {"hex_mask32", "return ((0xdeadbeef * 3) & 0xff);", (0xdeadbeef * 3) & 0xff},
+    {"precedence", "return 2 + 3 * 4 - 20 / 4 + (1 << 5) - 3 % 2;", 40},
+    {"recursion", "return 0;", 0},
+};
+
+class SemanticsSweep
+    : public ::testing::TestWithParam<std::tuple<SemCase, IsaId>>
+{
+};
+
+TEST_P(SemanticsSweep, InterpreterAndGuestAgree)
+{
+    const auto &[c, isa] = GetParam();
+    const std::string src =
+        std::string("fn main(): int {\n") + c.body + "\n}\n";
+
+    // IR interpreter (software layer).
+    auto fr = mcl::compileToIr(src, IsaSpec::get(isa).xlen);
+    ASSERT_TRUE(fr.ok) << fr.error;
+    IrInterp interp(fr.module);
+    InterpResult ir = interp.run();
+    ASSERT_EQ(ir.stop, StopReason::Exited) << ir.error;
+    EXPECT_EQ(ir.exitCode, static_cast<uint32_t>(c.expect)) << c.name;
+
+    // Guest binary on the functional emulator.
+    auto build = mcl::buildUserProgram(src, isa);
+    ASSERT_TRUE(build.ok) << build.error;
+    Program sys = buildSystemImage(buildKernel(isa), build.program);
+    ArchConfig cfg;
+    cfg.isa = isa;
+    ArchSim sim(cfg);
+    sim.load(sys);
+    ArchRunResult r = sim.run();
+    ASSERT_EQ(r.stop, StopReason::Exited) << r.exceptionMsg;
+    EXPECT_EQ(r.output.exitCode, static_cast<uint32_t>(c.expect))
+        << c.name << " on " << isaName(isa);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Expressions, SemanticsSweep,
+    ::testing::Combine(::testing::ValuesIn(semCases),
+                       ::testing::Values(IsaId::Av32, IsaId::Av64)),
+    [](const auto &info) {
+        return std::string(std::get<0>(info.param).name) + "_" +
+               isaName(std::get<1>(info.param));
+    });
+
+// ---- backend specifics -------------------------------------------------------
+
+TEST(Backend, EmitsAssemblableTextForBothIsas)
+{
+    const char *src = R"(
+        var g: int = 3;
+        fn helper(a: int, b: int, c: int, d: int): int {
+            return a + b + c + d;
+        }
+        fn main(): int {
+            return helper(g, 2, 3, 4);
+        }
+    )";
+    for (IsaId isa : {IsaId::Av32, IsaId::Av64}) {
+        auto b = mcl::buildUserProgram(src, isa);
+        ASSERT_TRUE(b.ok) << b.error;
+        EXPECT_NE(b.asmText.find("helper:"), std::string::npos);
+        EXPECT_NE(b.asmText.find("_start:"), std::string::npos);
+        EXPECT_GT(b.program.totalBytes(), 100u);
+    }
+}
+
+TEST(Backend, LargeConstantsMaterialise)
+{
+    const char *src =
+        "fn main(): int { return (0x12345678 & 0xff) + 1; }";
+    for (IsaId isa : {IsaId::Av32, IsaId::Av64}) {
+        auto b = mcl::buildUserProgram(src, isa);
+        ASSERT_TRUE(b.ok) << b.error;
+        Program sys = buildSystemImage(buildKernel(isa), b.program);
+        ArchConfig cfg;
+        cfg.isa = isa;
+        ArchSim sim(cfg);
+        sim.load(sys);
+        EXPECT_EQ(sim.run().output.exitCode, 0x79u);
+    }
+}
+
+TEST(Backend, DeepExpressionSpillsWork)
+{
+    // Deep enough to exhaust callee-saved homes on av32.
+    std::string body = "var a: int = 1;";
+    for (int i = 0; i < 20; ++i)
+        body += strprintf("var v%d: int = a + %d;", i, i);
+    body += "return v0 + v19;"; // 1 + 1+19 = 21
+    const std::string src = "fn main(): int {" + body + "}";
+    auto b = mcl::buildUserProgram(src, IsaId::Av32);
+    ASSERT_TRUE(b.ok) << b.error;
+    Program sys = buildSystemImage(buildKernel(IsaId::Av32), b.program);
+    ArchConfig cfg;
+    cfg.isa = IsaId::Av32;
+    ArchSim sim(cfg);
+    sim.load(sys);
+    EXPECT_EQ(sim.run().output.exitCode, 21u);
+}
+
+TEST(Runtime, PrintIntFormatsCorrectly)
+{
+    const char *src = R"(
+        fn main(): int {
+            print_int(0); print_nl();
+            print_int(42); print_nl();
+            print_int(0 - 12345); print_nl();
+            print_hex(0xbeef, 4); print_nl();
+            return 0;
+        }
+    )";
+    auto fr = mcl::compileToIr(src, 64);
+    ASSERT_TRUE(fr.ok) << fr.error;
+    IrInterp interp(fr.module);
+    InterpResult r = interp.run();
+    ASSERT_EQ(r.stop, StopReason::Exited);
+    std::string out(r.output.begin(), r.output.end());
+    EXPECT_EQ(out, "0\n42\n-12345\nbeef\n");
+}
+
+TEST(Runtime, WriteWords32IsPortable)
+{
+    const char *src = R"(
+        var v: int[3];
+        fn main(): int {
+            v[0] = 1; v[1] = 0x01020304; v[2] = 0 - 1;
+            write_words32(&v[0], 3);
+            return 0;
+        }
+    )";
+    std::string out32, out64;
+    for (IsaId isa : {IsaId::Av32, IsaId::Av64}) {
+        auto b = mcl::buildUserProgram(src, isa);
+        ASSERT_TRUE(b.ok) << b.error;
+        Program sys = buildSystemImage(buildKernel(isa), b.program);
+        ArchConfig cfg;
+        cfg.isa = isa;
+        ArchSim sim(cfg);
+        sim.load(sys);
+        ArchRunResult r = sim.run();
+        ASSERT_EQ(r.stop, StopReason::Exited);
+        ASSERT_EQ(r.output.dma.size(), 12u);
+        (isa == IsaId::Av32 ? out32 : out64)
+            .assign(r.output.dma.begin(), r.output.dma.end());
+    }
+    EXPECT_EQ(out32, out64);
+}
+
+} // namespace
+} // namespace vstack

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Hardening-pass unit tests: structural properties of the transformed
+ * IR, detection coverage per corruption site, AN parameter choices,
+ * and the protection boundary (runtime functions stay unprotected).
+ */
+#include <gtest/gtest.h>
+
+#include "compiler/compile.h"
+#include "ft/harden.h"
+#include "swfi/interp.h"
+#include "swfi/svf.h"
+#include "workloads/workloads.h"
+
+namespace vstack
+{
+namespace
+{
+
+ir::Module
+irOf(const std::string &src, int xlen = 64, bool withRuntime = true)
+{
+    mcl::FrontendResult fr = mcl::compileToIr(src, xlen, withRuntime);
+    EXPECT_TRUE(fr.ok) << fr.error;
+    return std::move(fr.module);
+}
+
+TEST(FtPass, HardenedIrVerifiesAndGrows)
+{
+    ir::Module m = irOf(R"(
+        var g: int[8];
+        fn main(): int {
+            var i: int = 0;
+            while (i < 8) { g[i] = i * i; i = i + 1; }
+            return g[5];
+        }
+    )");
+    ir::Module h = hardenModule(m, defaultHardenOptions());
+    EXPECT_EQ(ir::verify(h), "");
+    // Protected code (main) must grow substantially; the module total
+    // also includes the untouched runtime library.
+    const size_t before = ir::instCount(m.funcs[m.findFunc("main")]);
+    const size_t after = ir::instCount(h.funcs[h.findFunc("main")]);
+    EXPECT_GT(after, before * 2);
+}
+
+TEST(FtPass, RuntimeFunctionsAreLeftIntact)
+{
+    ir::Module m = irOf("fn main(): int { print_int(1); return 0; }");
+    ir::Module h = hardenModule(m, defaultHardenOptions());
+    const int plainIdx = m.findFunc("print_int");
+    const int hardIdx = h.findFunc("print_int");
+    ASSERT_GE(plainIdx, 0);
+    ASSERT_GE(hardIdx, 0);
+    EXPECT_EQ(ir::instCount(m.funcs[plainIdx]),
+              ir::instCount(h.funcs[hardIdx]));
+    // main, by contrast, grew.
+    EXPECT_GT(ir::instCount(h.funcs[h.findFunc("main")]),
+              ir::instCount(m.funcs[m.findFunc("main")]));
+}
+
+TEST(FtPass, EquivalentForManyAValues)
+{
+    ir::Module m = irOf(R"(
+        fn mix(x: int): int {
+            return ((x * 2654435761) ^ (x >> 7)) & 0xffffff;
+        }
+        fn main(): int {
+            var acc: int = 0;
+            var i: int = 1;
+            while (i < 40) { acc = (acc + mix(i)) & 0xffffff; i = i + 1; }
+            return acc & 0xff;
+        }
+    )");
+    IrInterp plain(m);
+    const uint32_t expect = plain.run().exitCode;
+    for (int64_t A : {3, 257, 58659, 65521}) {
+        HardenOptions opts = defaultHardenOptions();
+        opts.A = A;
+        ir::Module h = hardenModule(m, opts);
+        IrInterp ft(h);
+        InterpResult r = ft.run();
+        ASSERT_EQ(r.stop, StopReason::Exited)
+            << "A=" << A << " detect=" << r.detectCode;
+        EXPECT_EQ(r.exitCode, expect) << "A=" << A;
+    }
+}
+
+TEST(FtPass, AddressCheckingTogglesCostAndCoverage)
+{
+    ir::Module m = irOf(findWorkload("qsort").source);
+    HardenOptions with = defaultHardenOptions();
+    with.checkAddresses = true;
+    HardenOptions without = defaultHardenOptions();
+    without.checkAddresses = false;
+
+    ir::Module hWith = hardenModule(m, with);
+    ir::Module hWithout = hardenModule(m, without);
+    IrInterp a(hWith), b(hWithout);
+    InterpResult ra = a.run(), rb = b.run();
+    ASSERT_EQ(ra.stop, StopReason::Exited);
+    ASSERT_EQ(rb.stop, StopReason::Exited);
+    EXPECT_EQ(ra.output, rb.output);
+    EXPECT_GT(ra.steps, rb.steps); // address checks cost instructions
+}
+
+TEST(FtPass, DetectionCoverageIsHighUnderSvf)
+{
+    ir::Module m = irOf(findWorkload("rijndael").source);
+    ir::Module h = hardenModule(m, defaultHardenOptions());
+    SvfCampaign plain(m), ft(h);
+    OutcomeCounts c0 = plain.run(300, 77);
+    OutcomeCounts c1 = ft.run(300, 77);
+    // Most previously-SDC faults must now be caught or masked.
+    EXPECT_LT(c1.sdcRate(), c0.sdcRate() / 2.0);
+    EXPECT_GT(c1.detectedRate(), 0.2);
+}
+
+TEST(FtPass, HardenedGoldenIsDeterministic)
+{
+    ir::Module m = irOf(findWorkload("smooth").source);
+    ir::Module h = hardenModule(m, defaultHardenOptions());
+    IrInterp i1(h), i2(h);
+    InterpResult a = i1.run(), b = i2.run();
+    EXPECT_EQ(a.output, b.output);
+    EXPECT_EQ(a.steps, b.steps);
+}
+
+} // namespace
+} // namespace vstack

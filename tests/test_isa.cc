@@ -1,0 +1,381 @@
+/**
+ * @file
+ * ISA-layer tests: encode/decode round trips (property sweep over all
+ * ops and random fields on both ISAs), instruction-bit FPM
+ * classification, register naming, the assembler, and program images.
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "isa/assembler.h"
+#include "isa/isa.h"
+#include "isa/program.h"
+#include "isa/semantics.h"
+#include "support/rng.h"
+
+namespace vstack
+{
+namespace
+{
+
+std::vector<IsaId> bothIsas{IsaId::Av32, IsaId::Av64};
+
+class IsaRoundTrip : public ::testing::TestWithParam<IsaId>
+{
+};
+
+/** Build a random-but-valid DecodedInst for an op on an ISA. */
+DecodedInst
+randomInst(Op op, IsaId isa, Rng &rng)
+{
+    const IsaSpec &spec = IsaSpec::get(isa);
+    const OpInfo &info = opInfo(op);
+    const int ib = spec.immBits();
+    DecodedInst d;
+    d.op = op;
+    d.valid = true;
+    auto reg = [&] {
+        return static_cast<uint8_t>(rng.uniform(spec.numRegs));
+    };
+    switch (info.format) {
+      case Format::Sys:
+        break;
+      case Format::R:
+        d.rd = reg();
+        d.rs1 = reg();
+        d.rs2 = reg();
+        break;
+      case Format::R2:
+      case Format::Jr:
+        d.rd = reg();
+        break;
+      case Format::I:
+      case Format::MemL:
+      case Format::MemS:
+        d.rd = reg();
+        d.rs1 = reg();
+        d.imm = static_cast<int64_t>(rng.uniform(1ull << ib)) -
+                (1ll << (ib - 1));
+        break;
+      case Format::Br:
+        d.rs1 = reg();
+        d.rs2 = reg();
+        d.imm = (static_cast<int64_t>(rng.uniform(1ull << ib)) -
+                 (1ll << (ib - 1))) *
+                4;
+        break;
+      case Format::J:
+        d.imm = (static_cast<int64_t>(rng.uniform(1ull << 26)) -
+                 (1ll << 25)) *
+                4;
+        break;
+      case Format::Lui:
+        d.rd = reg();
+        d.imm = static_cast<int64_t>(rng.uniform(1ull << 22));
+        break;
+      case Format::Mov:
+        d.rd = reg();
+        d.imm = static_cast<int64_t>(rng.uniform(1ull << 16));
+        d.hw = static_cast<uint8_t>(
+            rng.uniform(IsaSpec::get(isa).xlen / 16));
+        break;
+    }
+    return d;
+}
+
+TEST_P(IsaRoundTrip, EncodeDecodeIsIdentityForAllOps)
+{
+    const IsaId isa = GetParam();
+    Rng rng(2024);
+    for (size_t o = 0; o < static_cast<size_t>(Op::NumOps); ++o) {
+        const Op op = static_cast<Op>(o);
+        if (!opValidFor(op, isa))
+            continue;
+        for (int trial = 0; trial < 50; ++trial) {
+            DecodedInst d = randomInst(op, isa, rng);
+            const uint32_t word = encode(isa, d);
+            DecodedInst back = decode(isa, word);
+            ASSERT_TRUE(back.valid)
+                << opInfo(op).name << " word=" << std::hex << word;
+            EXPECT_TRUE(back.sameAs(d))
+                << opInfo(op).name << ": " << disassemble(isa, word);
+        }
+    }
+}
+
+TEST_P(IsaRoundTrip, InvalidOpcodesDecodeInvalid)
+{
+    const IsaId isa = GetParam();
+    for (uint32_t opc = static_cast<uint32_t>(Op::NumOps); opc < 64;
+         ++opc) {
+        DecodedInst d = decode(isa, opc << 26);
+        EXPECT_FALSE(d.valid);
+    }
+}
+
+TEST_P(IsaRoundTrip, DisassembleNamesEveryValidOp)
+{
+    const IsaId isa = GetParam();
+    Rng rng(5);
+    for (size_t o = 0; o < static_cast<size_t>(Op::NumOps); ++o) {
+        const Op op = static_cast<Op>(o);
+        if (!opValidFor(op, isa))
+            continue;
+        DecodedInst d = randomInst(op, isa, rng);
+        std::string text = disassemble(isa, encode(isa, d));
+        EXPECT_EQ(text.rfind(opInfo(op).name, 0), 0u) << text;
+    }
+}
+
+TEST_P(IsaRoundTrip, ClassifyInstBitPartitionsWords)
+{
+    const IsaId isa = GetParam();
+    Rng rng(99);
+    for (size_t o = 0; o < static_cast<size_t>(Op::NumOps); ++o) {
+        const Op op = static_cast<Op>(o);
+        if (!opValidFor(op, isa))
+            continue;
+        DecodedInst d = randomInst(op, isa, rng);
+        const uint32_t word = encode(isa, d);
+        for (int bit = 26; bit < 32; ++bit)
+            EXPECT_EQ(classifyInstBit(isa, word, bit),
+                      InstFieldKind::Opcode);
+        // Flipping a bit classified Unused must not change decode.
+        for (int bit = 0; bit < 26; ++bit) {
+            if (classifyInstBit(isa, word, bit) == InstFieldKind::Unused) {
+                DecodedInst flipped = decode(isa, word ^ (1u << bit));
+                EXPECT_TRUE(flipped.sameAs(d))
+                    << opInfo(op).name << " bit " << bit;
+            }
+        }
+    }
+}
+
+TEST_P(IsaRoundTrip, BranchOffsetsClassifyAsControl)
+{
+    const IsaId isa = GetParam();
+    DecodedInst d;
+    d.op = Op::B;
+    d.imm = 64;
+    d.valid = true;
+    const uint32_t word = encode(isa, d);
+    EXPECT_EQ(classifyInstBit(isa, word, 0),
+              InstFieldKind::ControlOffset);
+    EXPECT_EQ(classifyInstBit(isa, word, 20),
+              InstFieldKind::ControlOffset);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothIsas, IsaRoundTrip,
+                         ::testing::ValuesIn(bothIsas),
+                         [](const auto &info) {
+                             return std::string(isaName(info.param));
+                         });
+
+TEST(IsaSpecTest, RegisterNamesRoundTrip)
+{
+    for (IsaId isa : bothIsas) {
+        const IsaSpec &spec = IsaSpec::get(isa);
+        for (int r = 0; r < spec.numRegs; ++r) {
+            EXPECT_EQ(spec.parseReg(spec.regName(r)), r)
+                << isaName(isa) << " reg " << r;
+        }
+        EXPECT_EQ(spec.parseReg("sp"), spec.sp);
+        EXPECT_EQ(spec.parseReg("lr"), spec.lr);
+        EXPECT_EQ(spec.parseReg("bogus"), -1);
+    }
+}
+
+TEST(IsaSpecTest, AbiRegistersAreDisjoint)
+{
+    for (IsaId isa : bothIsas) {
+        const IsaSpec &spec = IsaSpec::get(isa);
+        std::set<int> special{spec.sp, spec.lr, spec.kreg,
+                              spec.syscallNr};
+        if (spec.zeroReg >= 0)
+            special.insert(spec.zeroReg);
+        for (int t : spec.tempRegs) {
+            EXPECT_FALSE(special.count(t)) << isaName(isa);
+            for (int c : spec.calleeSaved)
+                EXPECT_NE(t, c);
+        }
+        for (int c : spec.calleeSaved)
+            EXPECT_FALSE(special.count(c)) << isaName(isa);
+    }
+}
+
+TEST(Semantics, DivisionByZeroFollowsArmRules)
+{
+    const IsaSpec &spec = IsaSpec::get(IsaId::Av64);
+    DecodedInst d;
+    d.op = Op::UDIV;
+    EXPECT_EQ(aluResult(spec, d, 42, 0, 0), 0u);
+    d.op = Op::SDIV;
+    EXPECT_EQ(aluResult(spec, d, static_cast<uint64_t>(-42), 0, 0), 0u);
+    d.op = Op::UREM;
+    EXPECT_EQ(aluResult(spec, d, 42, 0, 0), 42u);
+}
+
+TEST(Semantics, MovkInsertsHalfword)
+{
+    const IsaSpec &spec = IsaSpec::get(IsaId::Av64);
+    DecodedInst d;
+    d.op = Op::MOVK;
+    d.imm = 0xbeef;
+    d.hw = 1;
+    EXPECT_EQ(aluResult(spec, d, 0, 0, 0x1111222233334444ull),
+              0x11112222beef4444ull);
+}
+
+TEST(Semantics, ShiftsMaskByWidth)
+{
+    const IsaSpec &spec32 = IsaSpec::get(IsaId::Av32);
+    DecodedInst d;
+    d.op = Op::LSLV;
+    // Shift amounts are taken mod xlen.
+    EXPECT_EQ(spec32.maskVal(aluResult(spec32, d, 1, 33, 0)), 2u);
+}
+
+// ---- assembler -----------------------------------------------------------
+
+TEST(Assembler, AssemblesBasicProgram)
+{
+    const char *src = R"(
+        .isa av64
+        .org 0x1000
+_start:
+        li   x1, #10
+        li   x2, #0
+loop:
+        add  x2, x2, x1
+        addi x1, x1, #-1
+        bne  x1, xzr, loop
+        halt
+)";
+    AsmResult r = assemble(src, IsaId::Av64, 0x1000);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.program.entry, 0x1000u);
+    EXPECT_TRUE(r.program.hasSymbol("loop"));
+    // li expands to two instructions.
+    EXPECT_EQ(r.program.symbol("loop"), 0x1000u + 4 * 4);
+}
+
+TEST(Assembler, DataDirectives)
+{
+    const char *src = R"(
+        .org 0x2000
+tab:    .word 1, 2, 0xdeadbeef
+bytes:  .byte 1, 2, 3
+text:   .asciz "hi"
+        .align 4
+after:  .space 8
+)";
+    AsmResult r = assemble(src, IsaId::Av32, 0x2000);
+    ASSERT_TRUE(r.ok) << r.error;
+    const Segment &seg = r.program.segments.at(0);
+    EXPECT_EQ(seg.addr, 0x2000u);
+    EXPECT_EQ(seg.bytes[0], 1u);
+    EXPECT_EQ(seg.bytes[8], 0xefu); // little-endian 0xdeadbeef
+    EXPECT_EQ(r.program.symbol("bytes"), 0x200cu);
+    EXPECT_EQ(seg.bytes[r.program.symbol("text") - 0x2000], 'h');
+    EXPECT_EQ(r.program.symbol("after") % 4, 0u);
+}
+
+TEST(Assembler, ReportsErrors)
+{
+    struct Case
+    {
+        const char *src;
+        const char *needle;
+    };
+    const Case cases[] = {
+        {"bogus x1, x2", "unknown mnemonic"},
+        {"add x1, x2", "3 operands"},
+        {"addi x1, x2, #999999", "out of range"},
+        {"ldx x1, x2", "memory operand"},
+        {"b missing_label", "undefined symbol"},
+        {"lui x1, #5", "not valid for av64"},
+        {"add x1, x2, r3", "bad register"},
+        {"dup: nop\ndup: nop", "duplicate label"},
+    };
+    for (const Case &c : cases) {
+        AsmResult r = assemble(c.src, IsaId::Av64, 0);
+        EXPECT_FALSE(r.ok) << c.src;
+        EXPECT_NE(r.error.find(c.needle), std::string::npos)
+            << c.src << " -> " << r.error;
+    }
+}
+
+TEST(Assembler, PseudoInstructions)
+{
+    const char *src = R"(
+        mov x1, x2
+        ret
+        la  x3, target
+target: nop
+)";
+    AsmResult r = assemble(src, IsaId::Av64, 0x100);
+    ASSERT_TRUE(r.ok) << r.error;
+    // mov = addi; ret = br lr; la = movz+movk.
+    const Segment &seg = r.program.segments.at(0);
+    DecodedInst mov = decode(IsaId::Av64,
+                             static_cast<uint32_t>(seg.bytes[0]) |
+                                 (seg.bytes[1] << 8) |
+                                 (seg.bytes[2] << 16) |
+                                 (static_cast<uint32_t>(seg.bytes[3])
+                                  << 24));
+    EXPECT_EQ(mov.op, Op::ADDI);
+    EXPECT_EQ(r.program.symbol("target"), 0x100u + 4 * 4);
+}
+
+TEST(Assembler, BranchTargetsResolveBothDirections)
+{
+    const char *src = R"(
+back:   nop
+        b fwd
+        b back
+fwd:    nop
+)";
+    AsmResult r = assemble(src, IsaId::Av32, 0);
+    ASSERT_TRUE(r.ok) << r.error;
+    const Segment &seg = r.program.segments.at(0);
+    auto word = [&](size_t i) {
+        uint32_t w = 0;
+        std::memcpy(&w, seg.bytes.data() + 4 * i, 4);
+        return w;
+    };
+    DecodedInst fwd = decode(IsaId::Av32, word(1));
+    EXPECT_EQ(fwd.imm, 8); // from 0x4 to 0xc
+    DecodedInst back = decode(IsaId::Av32, word(2));
+    EXPECT_EQ(back.imm, -8); // from 0x8 to 0x0
+}
+
+// ---- program images -------------------------------------------------------
+
+TEST(ProgramImage, MergeDetectsOverlap)
+{
+    Program a, b;
+    a.isa = b.isa = IsaId::Av64;
+    a.segments.push_back({0x100, std::vector<uint8_t>(16, 1)});
+    b.segments.push_back({0x108, std::vector<uint8_t>(16, 2)});
+    EXPECT_DEATH(a.merge(b), "overlapping");
+}
+
+TEST(ProgramImage, MergeCombinesSymbols)
+{
+    Program a, b;
+    a.isa = b.isa = IsaId::Av64;
+    a.segments.push_back({0x100, {1, 2}});
+    a.symbols["one"] = 0x100;
+    b.segments.push_back({0x200, {3}});
+    b.symbols["two"] = 0x200;
+    a.merge(b);
+    EXPECT_EQ(a.symbol("one"), 0x100u);
+    EXPECT_EQ(a.symbol("two"), 0x200u);
+    EXPECT_EQ(a.totalBytes(), 3u);
+    EXPECT_EQ(a.highWatermark(), 0x201u);
+}
+
+} // namespace
+} // namespace vstack

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Machine-layer tests: memory map predicates, physical memory,
+ * the MMIO device hub (DMA queueing/latency/flush, exit/detect
+ * ports), and the outcome taxonomy helpers.
+ */
+#include <gtest/gtest.h>
+
+#include "machine/devices.h"
+#include "machine/fpm.h"
+#include "machine/memmap.h"
+#include "machine/outcome.h"
+#include "machine/physmem.h"
+
+namespace vstack
+{
+namespace
+{
+
+using namespace memmap;
+
+TEST(MemMap, RegionPredicates)
+{
+    EXPECT_TRUE(inRam(0, 4));
+    EXPECT_TRUE(inRam(RAM_SIZE - 4, 4));
+    EXPECT_FALSE(inRam(RAM_SIZE - 3, 4));
+    EXPECT_FALSE(inRam(MMIO_BASE, 4));
+    EXPECT_TRUE(inMmio(MMIO_DMA_SRC));
+    EXPECT_FALSE(inMmio(USER_TEXT));
+    EXPECT_TRUE(userAccessible(USER_TEXT, 4));
+    EXPECT_FALSE(userAccessible(KERNEL_TEXT, 4));
+    EXPECT_FALSE(userAccessible(USER_BASE - 4, 4));
+    EXPECT_FALSE(userAccessible(RAM_SIZE - 2, 4));
+}
+
+TEST(MemMap, LayoutIsOrdered)
+{
+    EXPECT_LT(BOOT_VECTOR, TRAP_VECTOR);
+    EXPECT_LT(TRAP_VECTOR, KERNEL_FUNCS);
+    EXPECT_LT(KERNEL_FUNCS, KSAVE);
+    EXPECT_LT(KERNEL_IOBUF + KERNEL_IOBUF_SIZE, KERNEL_STACK_TOP);
+    EXPECT_LT(KERNEL_STACK_TOP, USER_BASE);
+    EXPECT_LT(USER_TEXT, USER_DATA);
+    EXPECT_LT(USER_DATA, USER_STACK_TOP);
+    EXPECT_LE(USER_STACK_TOP, RAM_SIZE);
+}
+
+TEST(PhysMemTest, ReadWriteRoundTrip)
+{
+    PhysMem mem;
+    mem.write(0x1000, 0x1122334455667788ull, 8);
+    EXPECT_EQ(mem.read(0x1000, 8), 0x1122334455667788ull);
+    EXPECT_EQ(mem.read(0x1000, 4), 0x55667788ull);
+    EXPECT_EQ(mem.read(0x1000, 1), 0x88ull);
+    EXPECT_EQ(mem.read(0x1004, 4), 0x11223344ull);
+}
+
+TEST(PhysMemTest, LoadProgramSegments)
+{
+    Program p;
+    p.isa = IsaId::Av64;
+    p.segments.push_back({0x100, {1, 2, 3}});
+    p.segments.push_back({0x200, {9}});
+    PhysMem mem;
+    mem.load(p);
+    EXPECT_EQ(mem.read(0x100, 1), 1u);
+    EXPECT_EQ(mem.read(0x102, 1), 3u);
+    EXPECT_EQ(mem.read(0x200, 1), 9u);
+    mem.clear();
+    EXPECT_EQ(mem.read(0x100, 1), 0u);
+}
+
+class DeviceHubTest : public ::testing::Test
+{
+  protected:
+    DeviceHubTest()
+        : backing(256, 0xab),
+          hub([this](uint32_t addr, uint8_t *dst, size_t n) {
+              for (size_t i = 0; i < n; ++i)
+                  dst[i] = backing[(addr + i) % backing.size()];
+          },
+          100)
+    {
+    }
+
+    std::vector<uint8_t> backing;
+    DeviceHub hub;
+};
+
+TEST_F(DeviceHubTest, DmaRespectsLatency)
+{
+    hub.store(MMIO_DMA_SRC, 0, 10);
+    hub.store(MMIO_DMA_LEN, 8, 10);
+    hub.store(MMIO_DMA_DOORBELL, 1, 10);
+    hub.tick(50);
+    EXPECT_TRUE(hub.output().dma.empty());
+    EXPECT_EQ(hub.nextReady(), 110u);
+    hub.tick(110);
+    EXPECT_EQ(hub.output().dma.size(), 8u);
+    EXPECT_EQ(hub.output().dma[0], 0xab);
+}
+
+TEST_F(DeviceHubTest, FlushDrainsEverythingInOrder)
+{
+    backing.assign(256, 1);
+    hub.store(MMIO_DMA_SRC, 0, 0);
+    hub.store(MMIO_DMA_LEN, 2, 0);
+    hub.store(MMIO_DMA_DOORBELL, 1, 0);
+    backing.assign(256, 2); // second descriptor reads different bytes
+    hub.store(MMIO_DMA_SRC, 16, 1);
+    hub.store(MMIO_DMA_LEN, 2, 1);
+    hub.store(MMIO_DMA_DOORBELL, 1, 1);
+    hub.flush();
+    const auto &dma = hub.output().dma;
+    ASSERT_EQ(dma.size(), 4u);
+    EXPECT_EQ(dma[0], 2); // flush happens after backing changed...
+    EXPECT_EQ(dma[2], 2);
+}
+
+TEST_F(DeviceHubTest, ExitAndDetectPorts)
+{
+    EXPECT_FALSE(hub.exited());
+    hub.store(MMIO_EXIT_CODE, 42, 0);
+    EXPECT_TRUE(hub.exited());
+    EXPECT_EQ(hub.output().exitCode, 42u);
+    hub.store(MMIO_DETECT_CODE, 7, 0);
+    EXPECT_TRUE(hub.detected());
+    EXPECT_EQ(hub.output().detectCode, 7u);
+}
+
+TEST_F(DeviceHubTest, ConsoleAccumulates)
+{
+    for (char c : std::string("hi"))
+        hub.store(MMIO_CONSOLE, static_cast<uint64_t>(c), 0);
+    EXPECT_EQ(hub.output().console, "hi");
+}
+
+TEST_F(DeviceHubTest, UnmappedOffsetsRejected)
+{
+    EXPECT_FALSE(hub.store(MMIO_BASE + 0x999, 1, 0));
+    uint64_t v;
+    EXPECT_FALSE(hub.load(MMIO_BASE + 0x999, 0, v));
+    EXPECT_TRUE(hub.load(MMIO_TICK, 1234, v));
+    EXPECT_EQ(v, 1234u);
+}
+
+TEST_F(DeviceHubTest, ResetClearsState)
+{
+    hub.store(MMIO_EXIT_CODE, 1, 0);
+    hub.store(MMIO_DMA_SRC, 0, 0);
+    hub.store(MMIO_DMA_LEN, 4, 0);
+    hub.store(MMIO_DMA_DOORBELL, 1, 0);
+    hub.reset();
+    EXPECT_FALSE(hub.exited());
+    EXPECT_TRUE(hub.output().dma.empty());
+    EXPECT_EQ(hub.nextReady(), UINT64_MAX);
+}
+
+TEST(OutcomeTest, CountsAndRates)
+{
+    OutcomeCounts c;
+    c.add(Outcome::Masked);
+    c.add(Outcome::Masked);
+    c.add(Outcome::Sdc);
+    c.add(Outcome::Crash);
+    c.add(Outcome::Detected);
+    EXPECT_EQ(c.total(), 5u);
+    EXPECT_DOUBLE_EQ(c.sdcRate(), 0.2);
+    EXPECT_DOUBLE_EQ(c.crashRate(), 0.2);
+    EXPECT_DOUBLE_EQ(c.detectedRate(), 0.2);
+    EXPECT_DOUBLE_EQ(c.vulnerability(), 0.4);
+}
+
+TEST(OutcomeTest, Names)
+{
+    EXPECT_STREQ(outcomeName(Outcome::Sdc), "SDC");
+    EXPECT_STREQ(outcomeName(Outcome::Masked), "Masked");
+    EXPECT_STREQ(fpmName(Fpm::ESC), "ESC");
+    EXPECT_STREQ(fpmName(Fpm::WOI), "WOI");
+}
+
+TEST(FpmCountsTest, AddAndGet)
+{
+    FpmCounts f;
+    f.add(Fpm::WD);
+    f.add(Fpm::WD);
+    f.add(Fpm::ESC);
+    EXPECT_EQ(f.total(), 3u);
+    EXPECT_EQ(f.get(Fpm::WD), 2u);
+    EXPECT_EQ(f.get(Fpm::ESC), 1u);
+    EXPECT_EQ(f.get(Fpm::WI), 0u);
+}
+
+} // namespace
+} // namespace vstack

@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Unit tests for the support library: RNG determinism and uniformity,
+ * the statistical sampling model, JSON round-trips, table rendering,
+ * and environment parsing.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+
+#include "support/env.h"
+#include "support/json.h"
+#include "support/rng.h"
+#include "support/stats.h"
+#include "support/table.h"
+
+namespace vstack
+{
+namespace
+{
+
+// ---- RNG ---------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next64() == b.next64();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformRespectsBound)
+{
+    Rng r(7);
+    for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(r.uniform(bound), bound);
+    }
+}
+
+TEST(Rng, UniformCoversRange)
+{
+    Rng r(11);
+    std::map<uint64_t, int> hist;
+    for (int i = 0; i < 6000; ++i)
+        ++hist[r.uniform(6)];
+    ASSERT_EQ(hist.size(), 6u);
+    for (const auto &[v, count] : hist) {
+        EXPECT_GT(count, 800) << "value " << v;
+        EXPECT_LT(count, 1200) << "value " << v;
+    }
+}
+
+TEST(Rng, UniformRangeInclusive)
+{
+    Rng r(13);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 500; ++i) {
+        uint64_t v = r.uniformRange(5, 8);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 8u);
+        sawLo |= v == 5;
+        sawHi |= v == 8;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, UniformDoubleInUnitInterval)
+{
+    Rng r(17);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double d = r.uniformDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+        sum += d;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ForkIsIndependent)
+{
+    Rng parent(21);
+    Rng childA = parent.fork();
+    Rng childB = parent.fork();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += childA.next64() == childB.next64();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(31);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+// ---- statistics ----------------------------------------------------------
+
+TEST(Stats, ZValueKnownPoints)
+{
+    EXPECT_NEAR(zValue(0.95), 1.960, 0.002);
+    EXPECT_NEAR(zValue(0.99), 2.576, 0.002);
+    EXPECT_NEAR(zValue(0.90), 1.645, 0.002);
+}
+
+TEST(Stats, PaperSamplingPoint)
+{
+    // The paper: 2,000 samples give a 2.88% margin at 99% confidence.
+    EXPECT_NEAR(samplingMargin(2000, 0.5, 0.99), 0.0288, 0.0002);
+}
+
+TEST(Stats, MarginShrinksWithSamples)
+{
+    EXPECT_GT(samplingMargin(100, 0.5, 0.99),
+              samplingMargin(1000, 0.5, 0.99));
+    EXPECT_GT(samplingMargin(1000, 0.5, 0.99),
+              samplingMargin(10000, 0.5, 0.99));
+}
+
+TEST(Stats, FinitePopulationCorrectionReducesMargin)
+{
+    EXPECT_LT(samplingMargin(2000, 0.5, 0.99, 4000),
+              samplingMargin(2000, 0.5, 0.99));
+}
+
+TEST(Stats, SamplesForMarginInvertsMargin)
+{
+    const size_t n = samplesForMargin(0.0288, 0.99);
+    EXPECT_NEAR(static_cast<double>(n), 2000.0, 20.0);
+    EXPECT_LE(samplingMargin(n, 0.5, 0.99), 0.0289);
+}
+
+TEST(Stats, WeightedMean)
+{
+    EXPECT_DOUBLE_EQ(weightedMean({1.0, 3.0}, {1.0, 1.0}), 2.0);
+    EXPECT_DOUBLE_EQ(weightedMean({1.0, 3.0}, {3.0, 1.0}), 1.5);
+    EXPECT_DOUBLE_EQ(weightedMean({5.0}, {42.0}), 5.0);
+}
+
+TEST(Stats, Mean)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({2.0, 4.0, 6.0}), 4.0);
+}
+
+TEST(Stats, WilsonIntervalContainsEstimate)
+{
+    auto [lo, hi] = wilsonInterval(30, 100, 0.95);
+    EXPECT_LT(lo, 0.30);
+    EXPECT_GT(hi, 0.30);
+    EXPECT_GT(lo, 0.18);
+    EXPECT_LT(hi, 0.42);
+}
+
+TEST(Stats, WilsonIntervalEdges)
+{
+    auto zero = wilsonInterval(0, 50, 0.99);
+    EXPECT_DOUBLE_EQ(zero.lo, 0.0);
+    EXPECT_GT(zero.hi, 0.0);
+    auto all = wilsonInterval(50, 50, 0.99);
+    EXPECT_LT(all.lo, 1.0);
+    EXPECT_NEAR(all.hi, 1.0, 1e-9);
+}
+
+// ---- JSON ---------------------------------------------------------------
+
+TEST(Json, ScalarRoundTrip)
+{
+    EXPECT_EQ(Json(42).dump(), "42");
+    EXPECT_EQ(Json(-7).dump(), "-7");
+    EXPECT_EQ(Json(true).dump(), "true");
+    EXPECT_EQ(Json(false).dump(), "false");
+    EXPECT_EQ(Json().dump(), "null");
+    EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, ObjectInsertionOrderPreserved)
+{
+    Json j = Json::object();
+    j.set("z", 1);
+    j.set("a", 2);
+    EXPECT_EQ(j.dump(), "{\"z\":1,\"a\":2}");
+}
+
+TEST(Json, NestedRoundTrip)
+{
+    Json j = Json::object();
+    j.set("name", "campaign");
+    Json arr = Json::array();
+    arr.push(1);
+    arr.push(2.5);
+    arr.push("three");
+    j.set("items", std::move(arr));
+    Json inner = Json::object();
+    inner.set("deep", true);
+    j.set("nested", std::move(inner));
+
+    std::string text = j.dump(2);
+    std::string err;
+    Json back = Json::parse(text, &err);
+    EXPECT_TRUE(err.empty()) << err;
+    EXPECT_EQ(back.at("name").asString(), "campaign");
+    EXPECT_EQ(back.at("items").size(), 3u);
+    EXPECT_EQ(back.at("items").at(0).asInt(), 1);
+    EXPECT_DOUBLE_EQ(back.at("items").at(1).asDouble(), 2.5);
+    EXPECT_TRUE(back.at("nested").at("deep").asBool());
+}
+
+TEST(Json, StringEscapes)
+{
+    Json j("a\"b\\c\nd\te");
+    std::string err;
+    Json back = Json::parse(j.dump(), &err);
+    EXPECT_TRUE(err.empty()) << err;
+    EXPECT_EQ(back.asString(), "a\"b\\c\nd\te");
+}
+
+TEST(Json, ParseUnicodeEscape)
+{
+    std::string err;
+    Json j = Json::parse("\"\\u0041\\u00e9\"", &err);
+    EXPECT_TRUE(err.empty());
+    EXPECT_EQ(j.asString(), "A\xc3\xa9");
+}
+
+TEST(Json, ParseErrors)
+{
+    for (const char *bad :
+         {"{", "[1,", "{\"a\"}", "tru", "\"unterminated", "1 2",
+          "{\"a\":}", "[,]"}) {
+        std::string err;
+        Json::parse(bad, &err);
+        EXPECT_FALSE(err.empty()) << "input: " << bad;
+    }
+}
+
+TEST(Json, ParseWhitespaceTolerant)
+{
+    std::string err;
+    Json j = Json::parse("  {\n \"a\" :\t[ 1 , 2 ]\n}  ", &err);
+    EXPECT_TRUE(err.empty()) << err;
+    EXPECT_EQ(j.at("a").size(), 2u);
+}
+
+TEST(Json, HasAndSize)
+{
+    Json j = Json::object();
+    j.set("k", 1);
+    EXPECT_TRUE(j.has("k"));
+    EXPECT_FALSE(j.has("missing"));
+    EXPECT_EQ(j.size(), 1u);
+}
+
+TEST(Json, NegativeAndLargeNumbers)
+{
+    std::string err;
+    Json j = Json::parse("[-123456789012345, 1e3, 0.25]", &err);
+    EXPECT_TRUE(err.empty());
+    EXPECT_EQ(j.at(0).asInt(), -123456789012345);
+    EXPECT_DOUBLE_EQ(j.at(1).asDouble(), 1000.0);
+    EXPECT_DOUBLE_EQ(j.at(2).asDouble(), 0.25);
+}
+
+// ---- table ----------------------------------------------------------------
+
+TEST(Table, RendersAlignedCells)
+{
+    Table t("demo");
+    t.header({"name", "value"});
+    t.row({"x", "1"});
+    t.row({"longer", "22"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("demo"), std::string::npos);
+    EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(Table, PctAndNumFormatting)
+{
+    EXPECT_EQ(Table::pct(0.1234, 1), "12.3%");
+    EXPECT_EQ(Table::pct(0.0, 2), "0.00%");
+    EXPECT_EQ(Table::num(3.14159, 3), "3.142");
+}
+
+TEST(Table, HandlesRaggedRows)
+{
+    Table t;
+    t.header({"a", "b", "c"});
+    t.row({"only-one"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("only-one"), std::string::npos);
+}
+
+// ---- env ---------------------------------------------------------------
+
+TEST(Env, ParsesIntegers)
+{
+    ::setenv("VSTACK_TEST_INT", "250", 1);
+    EXPECT_EQ(envInt("VSTACK_TEST_INT", 1), 250);
+    ::setenv("VSTACK_TEST_INT", "0x20", 1);
+    EXPECT_EQ(envInt("VSTACK_TEST_INT", 1), 32);
+    ::setenv("VSTACK_TEST_INT", "junk", 1);
+    EXPECT_EQ(envInt("VSTACK_TEST_INT", 7), 7);
+    ::unsetenv("VSTACK_TEST_INT");
+    EXPECT_EQ(envInt("VSTACK_TEST_INT", 9), 9);
+}
+
+TEST(Env, ConfigDefaultsScaleFromFaults)
+{
+    ::setenv("VSTACK_FAULTS", "200", 1);
+    ::unsetenv("VSTACK_ARCH_FAULTS");
+    ::unsetenv("VSTACK_SW_FAULTS");
+    EnvConfig cfg = EnvConfig::fromEnvironment();
+    EXPECT_EQ(cfg.uarchFaults, 200u);
+    EXPECT_EQ(cfg.archFaults, 600u);
+    EXPECT_EQ(cfg.swFaults, 600u);
+    ::unsetenv("VSTACK_FAULTS");
+}
+
+} // namespace
+} // namespace vstack

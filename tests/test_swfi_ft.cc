@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the software layer: IR interpreter fidelity, SVF
+ * campaigns, and the AN-encoding + duplication hardening pass.
+ */
+#include <gtest/gtest.h>
+
+#include "arch/archsim.h"
+#include "compiler/compile.h"
+#include "ft/harden.h"
+#include "kernel/kernel.h"
+#include "swfi/interp.h"
+#include "swfi/svf.h"
+#include "workloads/workloads.h"
+
+namespace vstack
+{
+namespace
+{
+
+ir::Module
+irFor(const std::string &wl)
+{
+    mcl::FrontendResult fr =
+        mcl::compileToIr(findWorkload(wl).source, 64);
+    EXPECT_TRUE(fr.ok) << fr.error;
+    return std::move(fr.module);
+}
+
+std::vector<uint8_t>
+archOutput(const std::string &wl)
+{
+    mcl::BuildResult b =
+        mcl::buildUserProgram(findWorkload(wl).source, IsaId::Av64);
+    EXPECT_TRUE(b.ok) << b.error;
+    Program sys = buildSystemImage(buildKernel(IsaId::Av64), b.program);
+    ArchConfig cfg;
+    ArchSim sim(cfg);
+    sim.load(sys);
+    ArchRunResult r = sim.run();
+    EXPECT_EQ(r.stop, StopReason::Exited);
+    return r.output.dma;
+}
+
+class InterpVsGuest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(InterpVsGuest, OutputMatchesGuestExecution)
+{
+    ir::Module m = irFor(GetParam());
+    IrInterp interp(m);
+    InterpResult r = interp.run();
+    ASSERT_EQ(r.stop, StopReason::Exited) << r.error;
+    EXPECT_EQ(r.output, archOutput(GetParam()));
+}
+
+std::vector<std::string>
+names()
+{
+    std::vector<std::string> out;
+    for (const Workload &w : paperWorkloads())
+        out.push_back(w.name);
+    return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, InterpVsGuest,
+                         ::testing::ValuesIn(names()),
+                         [](const auto &info) { return info.param; });
+
+TEST(Svf, CampaignProducesAllOutcomeKinds)
+{
+    ir::Module m = irFor("sha");
+    SvfCampaign campaign(m);
+    OutcomeCounts c = campaign.run(150, 7);
+    EXPECT_EQ(c.total(), 150u);
+    EXPECT_GT(c.masked, 0u);
+    EXPECT_GT(c.sdc + c.crash, 0u);
+}
+
+TEST(Svf, DeterministicForSameSeed)
+{
+    ir::Module m = irFor("qsort");
+    SvfCampaign campaign(m);
+    OutcomeCounts a = campaign.run(40, 99);
+    OutcomeCounts b = campaign.run(40, 99);
+    EXPECT_EQ(a.masked, b.masked);
+    EXPECT_EQ(a.sdc, b.sdc);
+    EXPECT_EQ(a.crash, b.crash);
+}
+
+class HardenTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(HardenTest, HardenedProgramIsFunctionallyEquivalent)
+{
+    ir::Module m = irFor(GetParam());
+    ir::Module hardened = hardenModule(m, defaultHardenOptions());
+    IrInterp plain(m), ft(hardened);
+    InterpResult rp = plain.run();
+    InterpResult rf = ft.run();
+    ASSERT_EQ(rp.stop, StopReason::Exited) << rp.error;
+    ASSERT_EQ(rf.stop, StopReason::Exited)
+        << rf.error << " detect=" << rf.detectCode;
+    EXPECT_EQ(rp.output, rf.output);
+    EXPECT_EQ(rp.exitCode, rf.exitCode);
+    // The instrumentation must cost something substantial (paper: the
+    // technique costs 2-4x).
+    EXPECT_GT(rf.steps, rp.steps * 3 / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(CaseStudy, HardenTest,
+                         ::testing::Values("sha", "smooth", "qsort"),
+                         [](const auto &info) { return info.param; });
+
+TEST(HardenTest, DetectsMostSdcsUnderSvfInjection)
+{
+    ir::Module m = irFor("sha");
+    ir::Module hardened = hardenModule(m, defaultHardenOptions());
+
+    SvfCampaign plain(m), ft(hardened);
+    OutcomeCounts cp = plain.run(200, 21);
+    OutcomeCounts cf = ft.run(200, 21);
+
+    // Hardening must detect a large share of faults and cut the SDC
+    // vulnerability substantially (paper: up to 3.3-3.8x).
+    EXPECT_GT(cf.detected, 20u);
+    EXPECT_LT(cf.sdcRate(), cp.sdcRate());
+}
+
+TEST(HardenTest, HardenedBinaryRunsOnGuest)
+{
+    ir::Module m = irFor("sha");
+    ir::Module hardened = hardenModule(m, defaultHardenOptions());
+    mcl::BuildResult b = mcl::buildUserFromIr(hardened, IsaId::Av64);
+    ASSERT_TRUE(b.ok) << b.error;
+    Program sys = buildSystemImage(buildKernel(IsaId::Av64), b.program);
+    ArchConfig cfg;
+    ArchSim sim(cfg);
+    sim.load(sys);
+    ArchRunResult r = sim.run();
+    ASSERT_EQ(r.stop, StopReason::Exited) << r.exceptionMsg;
+    EXPECT_EQ(r.output.dma, archOutput("sha"));
+}
+
+TEST(HardenTest, WorksOnThirtyTwoBitTarget)
+{
+    mcl::FrontendResult fr =
+        mcl::compileToIr(findWorkload("sha").source, 32);
+    ASSERT_TRUE(fr.ok);
+    ir::Module hardened = hardenModule(fr.module, defaultHardenOptions());
+    IrInterp plain(fr.module), ft(hardened);
+    InterpResult rp = plain.run();
+    InterpResult rf = ft.run();
+    ASSERT_EQ(rf.stop, StopReason::Exited) << rf.detectCode;
+    EXPECT_EQ(rp.output, rf.output);
+}
+
+} // namespace
+} // namespace vstack

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Co-simulation tests: the cycle-level core must produce byte-exact
+ * architectural results (DMA output + exit code) against the
+ * functional emulator for every workload on every core, with sane
+ * timing behaviour.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "arch/archsim.h"
+#include "compiler/compile.h"
+#include "kernel/kernel.h"
+#include "uarch/core.h"
+#include "workloads/workloads.h"
+
+namespace vstack
+{
+namespace
+{
+
+struct SysImage
+{
+    Program image;
+    ArchRunResult golden;
+};
+
+const SysImage &
+systemFor(const std::string &wl, IsaId isa)
+{
+    static std::map<std::string, SysImage> cache;
+    const std::string key = wl + "/" + isaName(isa);
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+
+    mcl::BuildResult build =
+        mcl::buildUserProgram(findWorkload(wl).source, isa);
+    EXPECT_TRUE(build.ok) << build.error;
+    SysImage sys;
+    sys.image = buildSystemImage(buildKernel(isa), build.program);
+    ArchConfig cfg;
+    cfg.isa = isa;
+    ArchSim sim(cfg);
+    sim.load(sys.image);
+    sys.golden = sim.run();
+    EXPECT_EQ(sys.golden.stop, StopReason::Exited);
+    return cache.emplace(key, std::move(sys)).first->second;
+}
+
+using Param = std::tuple<std::string, std::string>; // core, workload
+
+class CosimTest : public ::testing::TestWithParam<Param>
+{
+};
+
+TEST_P(CosimTest, MatchesFunctionalEmulator)
+{
+    const auto &[coreName, wl] = GetParam();
+    const CoreConfig &core = coreByName(coreName);
+    const SysImage &sys = systemFor(wl, core.isa);
+
+    CycleSim sim(core);
+    sim.load(sys.image);
+    UarchRunResult r = sim.run(100'000'000);
+
+    ASSERT_EQ(r.stop, StopReason::Exited) << r.excMsg;
+    EXPECT_EQ(r.output.dma, sys.golden.output.dma);
+    EXPECT_EQ(r.output.exitCode, sys.golden.output.exitCode);
+    EXPECT_EQ(r.insts, sys.golden.instCount)
+        << "committed instruction count differs from functional run";
+    // Timing sanity: IPC within (0.05, width].
+    EXPECT_GT(r.ipc(), 0.05);
+    EXPECT_LE(r.ipc(), core.commitWidth);
+}
+
+std::vector<Param>
+allParams()
+{
+    std::vector<Param> ps;
+    for (const CoreConfig &c : allCores()) {
+        for (const Workload &w : paperWorkloads())
+            ps.emplace_back(c.name, w.name);
+    }
+    return ps;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCores, CosimTest,
+                         ::testing::ValuesIn(allParams()),
+                         [](const auto &info) {
+                             return std::get<0>(info.param) + "_" +
+                                    std::get<1>(info.param);
+                         });
+
+TEST(UarchTiming, BiggerCoreIsFasterOnFft)
+{
+    const SysImage &sys64 = systemFor("fft", IsaId::Av64);
+    const SysImage &sys32 = systemFor("fft", IsaId::Av32);
+
+    std::map<std::string, uint64_t> cycles;
+    for (const CoreConfig &c : allCores()) {
+        CycleSim sim(c);
+        sim.load(c.isa == IsaId::Av64 ? sys64.image : sys32.image);
+        UarchRunResult r = sim.run(100'000'000);
+        ASSERT_EQ(r.stop, StopReason::Exited) << c.name << ": " << r.excMsg;
+        cycles[c.name] = r.cycles;
+    }
+    // The ax15 is a wider ax9; it should not be slower.
+    EXPECT_LE(cycles["ax15"], cycles["ax9"]);
+}
+
+TEST(UarchStatsTest, BranchesAndMemOpsCounted)
+{
+    const SysImage &sys = systemFor("qsort", IsaId::Av64);
+    CycleSim sim(coreByName("ax72"));
+    sim.load(sys.image);
+    UarchRunResult r = sim.run(100'000'000);
+    ASSERT_EQ(r.stop, StopReason::Exited);
+    EXPECT_GT(sim.stats().branches, 1000u);
+    EXPECT_GT(sim.stats().loads, 1000u);
+    EXPECT_GT(sim.stats().stores, 1000u);
+    EXPECT_GT(sim.stats().mispredicts, 0u);
+    EXPECT_LT(sim.stats().mispredicts, sim.stats().branches);
+}
+
+} // namespace
+} // namespace vstack

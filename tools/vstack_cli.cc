@@ -1,0 +1,329 @@
+/**
+ * @file
+ * `vstack` — command-line driver for the toolchain and injectors.
+ *
+ *   vstack workloads
+ *       List the bundled MiBench-analog workloads.
+ *   vstack compile <file.mcl|workload> [--isa av32|av64]
+ *       Compile and print image statistics.
+ *   vstack asm <file.mcl|workload> [--isa ...]
+ *       Dump the generated assembly.
+ *   vstack ir <file.mcl|workload> [--xlen 32|64] [--harden]
+ *       Dump the (optionally hardened) IR.
+ *   vstack run <file.mcl|workload> [--core ax72] [--functional]
+ *       Execute on the cycle-level core (default) or the functional
+ *       emulator and print the program output and run statistics.
+ *   vstack campaign <file.mcl|workload> [--core ax72]
+ *           [--structure RF|LSQ|L1i|L1d|L2] [-n N] [--seed S] [--harden]
+ *       Run a microarchitectural injection campaign and print
+ *       AVF/HVF/FPM results.
+ *   vstack svf <file.mcl|workload> [-n N] [--seed S] [--harden]
+ *       Run a software-level (LLFI-analog) campaign.
+ *
+ * Sources may be a path to an .mcl file or the name of a bundled
+ * workload.
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arch/archsim.h"
+#include "compiler/compile.h"
+#include "ft/harden.h"
+#include "gefin/campaign.h"
+#include "kernel/kernel.h"
+#include "support/logging.h"
+#include "swfi/svf.h"
+#include "workloads/workloads.h"
+
+namespace
+{
+
+using namespace vstack;
+
+struct Args
+{
+    std::string command;
+    std::string target;
+    std::string core = "ax72";
+    std::string isa = "av64";
+    std::string structure = "RF";
+    size_t n = 200;
+    uint64_t seed = 42;
+    bool harden = false;
+    bool functional = false;
+    int xlen = 64;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: vstack <command> [target] [options]\n"
+        "commands: workloads | compile | asm | ir | run | campaign | "
+        "svf\n"
+        "options: --isa av32|av64  --core ax9|ax15|ax57|ax72\n"
+        "         --structure RF|LSQ|L1i|L1d|L2  -n N  --seed S\n"
+        "         --harden  --functional  --xlen 32|64\n");
+    std::exit(2);
+}
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args a;
+    if (argc < 2)
+        usage();
+    a.command = argv[1];
+    int i = 2;
+    if (i < argc && argv[i][0] != '-')
+        a.target = argv[i++];
+    for (; i < argc; ++i) {
+        std::string flag = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (flag == "--isa")
+            a.isa = value();
+        else if (flag == "--core")
+            a.core = value();
+        else if (flag == "--structure")
+            a.structure = value();
+        else if (flag == "-n")
+            a.n = static_cast<size_t>(std::stoull(value()));
+        else if (flag == "--seed")
+            a.seed = std::stoull(value());
+        else if (flag == "--xlen")
+            a.xlen = std::stoi(value());
+        else if (flag == "--harden")
+            a.harden = true;
+        else if (flag == "--functional")
+            a.functional = true;
+        else
+            usage();
+    }
+    return a;
+}
+
+std::string
+loadSource(const std::string &target)
+{
+    // A bundled workload name wins; otherwise read the file.
+    for (const Workload &w : allWorkloads()) {
+        if (w.name == target)
+            return w.source;
+    }
+    std::ifstream in(target);
+    if (!in)
+        fatal("no bundled workload or readable file named '%s'",
+              target.c_str());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+Structure
+parseStructure(const std::string &name)
+{
+    for (Structure s : allStructures) {
+        if (name == structureName(s))
+            return s;
+    }
+    fatal("unknown structure '%s'", name.c_str());
+}
+
+ir::Module
+buildIr(const Args &a, const std::string &src, int xlen)
+{
+    mcl::FrontendResult fr = mcl::compileToIr(src, xlen);
+    if (!fr.ok)
+        fatal("%s", fr.error.c_str());
+    if (a.harden)
+        return hardenModule(fr.module, defaultHardenOptions());
+    return std::move(fr.module);
+}
+
+Program
+buildSystem(const Args &a, const std::string &src, IsaId isa)
+{
+    ir::Module m = buildIr(a, src, IsaSpec::get(isa).xlen);
+    mcl::BuildResult b = mcl::buildUserFromIr(m, isa);
+    if (!b.ok)
+        fatal("%s", b.error.c_str());
+    return buildSystemImage(buildKernel(isa), b.program);
+}
+
+int
+cmdWorkloads()
+{
+    std::printf("%-10s %-8s %s\n", "name", "domain", "source bytes");
+    for (const Workload &w : allWorkloads()) {
+        std::printf("%-10s %-8s %zu\n", w.name.c_str(),
+                    w.domain.c_str(), w.source.size());
+    }
+    return 0;
+}
+
+int
+cmdCompile(const Args &a)
+{
+    const IsaId isa = isaFromName(a.isa);
+    const std::string src = loadSource(a.target);
+    mcl::BuildResult b = mcl::buildUserProgram(src, isa);
+    if (!b.ok)
+        fatal("%s", b.error.c_str());
+    std::printf("target          %s\n", a.isa.c_str());
+    std::printf("image bytes     %zu\n", b.program.totalBytes());
+    std::printf("entry           0x%08x\n", b.program.entry);
+    std::printf("symbols         %zu\n", b.program.symbols.size());
+    size_t irInsts = 0;
+    for (const ir::Func &f : b.ir.funcs)
+        irInsts += ir::instCount(f);
+    std::printf("IR functions    %zu (%zu instructions)\n",
+                b.ir.funcs.size(), irInsts);
+    return 0;
+}
+
+int
+cmdAsm(const Args &a)
+{
+    const IsaId isa = isaFromName(a.isa);
+    mcl::BuildResult b = mcl::buildUserProgram(loadSource(a.target), isa);
+    if (!b.ok)
+        fatal("%s", b.error.c_str());
+    std::fputs(b.asmText.c_str(), stdout);
+    return 0;
+}
+
+int
+cmdIr(const Args &a)
+{
+    ir::Module m = buildIr(a, loadSource(a.target), a.xlen);
+    std::fputs(ir::print(m).c_str(), stdout);
+    return 0;
+}
+
+int
+cmdRun(const Args &a)
+{
+    const CoreConfig &core = coreByName(a.core);
+    Program sys = buildSystem(a, loadSource(a.target), core.isa);
+
+    if (a.functional) {
+        ArchConfig cfg;
+        cfg.isa = core.isa;
+        ArchSim sim(cfg);
+        sim.load(sys);
+        ArchRunResult r = sim.run();
+        std::fwrite(r.output.dma.data(), 1, r.output.dma.size(), stdout);
+        std::printf("\n-- functional: %llu instructions (%.1f%% kernel), "
+                    "exit %u, stop=%d\n",
+                    static_cast<unsigned long long>(r.instCount),
+                    100.0 * static_cast<double>(r.kernelInsts) /
+                        std::max<uint64_t>(r.instCount, 1),
+                    r.output.exitCode, static_cast<int>(r.stop));
+        return r.stop == StopReason::Exited ? 0 : 1;
+    }
+
+    CycleSim sim(core);
+    sim.load(sys);
+    UarchRunResult r = sim.run(1'000'000'000);
+    std::fwrite(r.output.dma.data(), 1, r.output.dma.size(), stdout);
+    std::printf("\n-- %s: %llu cycles, %llu insts (IPC %.2f), "
+                "%.1f%% kernel time, exit %u\n",
+                a.core.c_str(), static_cast<unsigned long long>(r.cycles),
+                static_cast<unsigned long long>(r.insts), r.ipc(),
+                100.0 * static_cast<double>(r.kernelCycles) /
+                    std::max<uint64_t>(r.cycles, 1),
+                r.output.exitCode);
+    if (r.stop != StopReason::Exited) {
+        std::printf("-- abnormal stop: %s\n", r.excMsg.c_str());
+        return 1;
+    }
+    return 0;
+}
+
+int
+cmdCampaign(const Args &a)
+{
+    const CoreConfig &core = coreByName(a.core);
+    const Structure s = parseStructure(a.structure);
+    Program sys = buildSystem(a, loadSource(a.target), core.isa);
+    UarchCampaign campaign(core, sys);
+    std::printf("golden: %llu cycles, %llu insts\n",
+                static_cast<unsigned long long>(campaign.golden().cycles),
+                static_cast<unsigned long long>(campaign.golden().insts));
+    size_t done = 0;
+    UarchCampaignResult r =
+        campaign.run(s, a.n, a.seed, [&](size_t i) {
+            if (i * 10 / a.n != done) {
+                done = i * 10 / a.n;
+                std::fprintf(stderr, "\r%zu%%", done * 10);
+                std::fflush(stderr);
+            }
+        });
+    std::fprintf(stderr, "\r     \r");
+    std::printf("%s on %s, %zu faults (seed %llu):\n", structureName(s),
+                a.core.c_str(), a.n,
+                static_cast<unsigned long long>(a.seed));
+    std::printf("  masked=%llu sdc=%llu crash=%llu detected=%llu\n",
+                static_cast<unsigned long long>(r.outcomes.masked),
+                static_cast<unsigned long long>(r.outcomes.sdc),
+                static_cast<unsigned long long>(r.outcomes.crash),
+                static_cast<unsigned long long>(r.outcomes.detected));
+    std::printf("  AVF %.2f%%  HVF %.2f%%  FPM: WD=%llu WI=%llu "
+                "WOI=%llu ESC=%llu\n",
+                r.avf() * 100, r.hvf() * 100,
+                static_cast<unsigned long long>(r.fpms.wd),
+                static_cast<unsigned long long>(r.fpms.wi),
+                static_cast<unsigned long long>(r.fpms.woi),
+                static_cast<unsigned long long>(r.fpms.esc));
+    return 0;
+}
+
+int
+cmdSvf(const Args &a)
+{
+    ir::Module m = buildIr(a, loadSource(a.target), 64);
+    SvfCampaign campaign(m);
+    OutcomeCounts c = campaign.run(a.n, a.seed);
+    std::printf("SVF, %zu faults: masked=%llu sdc=%llu crash=%llu "
+                "detected=%llu -> %.2f%% vulnerable\n",
+                a.n, static_cast<unsigned long long>(c.masked),
+                static_cast<unsigned long long>(c.sdc),
+                static_cast<unsigned long long>(c.crash),
+                static_cast<unsigned long long>(c.detected),
+                c.vulnerability() * 100);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args a = parseArgs(argc, argv);
+    if (a.command == "workloads")
+        return cmdWorkloads();
+    if (a.target.empty())
+        usage();
+    if (a.command == "compile")
+        return cmdCompile(a);
+    if (a.command == "asm")
+        return cmdAsm(a);
+    if (a.command == "ir")
+        return cmdIr(a);
+    if (a.command == "run")
+        return cmdRun(a);
+    if (a.command == "campaign")
+        return cmdCampaign(a);
+    if (a.command == "svf")
+        return cmdSvf(a);
+    usage();
+}
