@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ace.dir/bench_ablation_ace.cc.o"
+  "CMakeFiles/bench_ablation_ace.dir/bench_ablation_ace.cc.o.d"
+  "bench_ablation_ace"
+  "bench_ablation_ace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_esc.dir/bench_ablation_esc.cc.o"
+  "CMakeFiles/bench_ablation_esc.dir/bench_ablation_esc.cc.o.d"
+  "bench_ablation_esc"
+  "bench_ablation_esc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_esc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

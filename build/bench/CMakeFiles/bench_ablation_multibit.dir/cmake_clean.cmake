@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multibit.dir/bench_ablation_multibit.cc.o"
+  "CMakeFiles/bench_ablation_multibit.dir/bench_ablation_multibit.cc.o.d"
+  "bench_ablation_multibit"
+  "bench_ablation_multibit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multibit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

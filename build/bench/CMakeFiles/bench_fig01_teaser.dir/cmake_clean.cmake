@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_teaser.dir/bench_fig01_teaser.cc.o"
+  "CMakeFiles/bench_fig01_teaser.dir/bench_fig01_teaser.cc.o.d"
+  "bench_fig01_teaser"
+  "bench_fig01_teaser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_teaser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_pvf_svf_avf.dir/bench_fig04_pvf_svf_avf.cc.o"
+  "CMakeFiles/bench_fig04_pvf_svf_avf.dir/bench_fig04_pvf_svf_avf.cc.o.d"
+  "bench_fig04_pvf_svf_avf"
+  "bench_fig04_pvf_svf_avf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_pvf_svf_avf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_hvf_fpm.dir/bench_fig05_hvf_fpm.cc.o"
+  "CMakeFiles/bench_fig05_hvf_fpm.dir/bench_fig05_hvf_fpm.cc.o.d"
+  "bench_fig05_hvf_fpm"
+  "bench_fig05_hvf_fpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_hvf_fpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig05_hvf_fpm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_fpm_dist.dir/bench_fig06_fpm_dist.cc.o"
+  "CMakeFiles/bench_fig06_fpm_dist.dir/bench_fig06_fpm_dist.cc.o.d"
+  "bench_fig06_fpm_dist"
+  "bench_fig06_fpm_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_fpm_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_rpvf.dir/bench_fig08_rpvf.cc.o"
+  "CMakeFiles/bench_fig08_rpvf.dir/bench_fig08_rpvf.cc.o.d"
+  "bench_fig08_rpvf"
+  "bench_fig08_rpvf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_rpvf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_casestudy_sha.dir/bench_fig10_casestudy_sha.cc.o"
+  "CMakeFiles/bench_fig10_casestudy_sha.dir/bench_fig10_casestudy_sha.cc.o.d"
+  "bench_fig10_casestudy_sha"
+  "bench_fig10_casestudy_sha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_casestudy_sha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

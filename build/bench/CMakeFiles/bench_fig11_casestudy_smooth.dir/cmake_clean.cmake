@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_casestudy_smooth.dir/bench_fig11_casestudy_smooth.cc.o"
+  "CMakeFiles/bench_fig11_casestudy_smooth.dir/bench_fig11_casestudy_smooth.cc.o.d"
+  "bench_fig11_casestudy_smooth"
+  "bench_fig11_casestudy_smooth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_casestudy_smooth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

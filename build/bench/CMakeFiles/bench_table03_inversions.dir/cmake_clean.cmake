@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table03_inversions.dir/bench_table03_inversions.cc.o"
+  "CMakeFiles/bench_table03_inversions.dir/bench_table03_inversions.cc.o.d"
+  "bench_table03_inversions"
+  "bench_table03_inversions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table03_inversions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

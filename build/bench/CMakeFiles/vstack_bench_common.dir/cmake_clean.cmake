@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vstack_bench_common.dir/casestudy.cc.o"
+  "CMakeFiles/vstack_bench_common.dir/casestudy.cc.o.d"
+  "libvstack_bench_common.a"
+  "libvstack_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vstack_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_layer_report.dir/cross_layer_report.cpp.o"
+  "CMakeFiles/cross_layer_report.dir/cross_layer_report.cpp.o.d"
+  "cross_layer_report"
+  "cross_layer_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_layer_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harden_and_measure.dir/harden_and_measure.cpp.o"
+  "CMakeFiles/harden_and_measure.dir/harden_and_measure.cpp.o.d"
+  "harden_and_measure"
+  "harden_and_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harden_and_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("isa")
+subdirs("machine")
+subdirs("compiler")
+subdirs("arch")
+subdirs("kernel")
+subdirs("workloads")
+subdirs("swfi")
+subdirs("ft")
+subdirs("uarch")
+subdirs("gefin")
+subdirs("core")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/archsim.cc" "src/arch/CMakeFiles/vstack_arch.dir/archsim.cc.o" "gcc" "src/arch/CMakeFiles/vstack_arch.dir/archsim.cc.o.d"
+  "/root/repo/src/arch/pvf.cc" "src/arch/CMakeFiles/vstack_arch.dir/pvf.cc.o" "gcc" "src/arch/CMakeFiles/vstack_arch.dir/pvf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/vstack_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/vstack_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/vstack_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vstack_arch.dir/archsim.cc.o"
+  "CMakeFiles/vstack_arch.dir/archsim.cc.o.d"
+  "CMakeFiles/vstack_arch.dir/pvf.cc.o"
+  "CMakeFiles/vstack_arch.dir/pvf.cc.o.d"
+  "libvstack_arch.a"
+  "libvstack_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vstack_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

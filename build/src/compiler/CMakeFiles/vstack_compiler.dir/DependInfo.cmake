@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/backend.cc" "src/compiler/CMakeFiles/vstack_compiler.dir/backend.cc.o" "gcc" "src/compiler/CMakeFiles/vstack_compiler.dir/backend.cc.o.d"
+  "/root/repo/src/compiler/compile.cc" "src/compiler/CMakeFiles/vstack_compiler.dir/compile.cc.o" "gcc" "src/compiler/CMakeFiles/vstack_compiler.dir/compile.cc.o.d"
+  "/root/repo/src/compiler/ir.cc" "src/compiler/CMakeFiles/vstack_compiler.dir/ir.cc.o" "gcc" "src/compiler/CMakeFiles/vstack_compiler.dir/ir.cc.o.d"
+  "/root/repo/src/compiler/irgen.cc" "src/compiler/CMakeFiles/vstack_compiler.dir/irgen.cc.o" "gcc" "src/compiler/CMakeFiles/vstack_compiler.dir/irgen.cc.o.d"
+  "/root/repo/src/compiler/lexer.cc" "src/compiler/CMakeFiles/vstack_compiler.dir/lexer.cc.o" "gcc" "src/compiler/CMakeFiles/vstack_compiler.dir/lexer.cc.o.d"
+  "/root/repo/src/compiler/parser.cc" "src/compiler/CMakeFiles/vstack_compiler.dir/parser.cc.o" "gcc" "src/compiler/CMakeFiles/vstack_compiler.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/vstack_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/vstack_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/vstack_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vstack_compiler.dir/backend.cc.o"
+  "CMakeFiles/vstack_compiler.dir/backend.cc.o.d"
+  "CMakeFiles/vstack_compiler.dir/compile.cc.o"
+  "CMakeFiles/vstack_compiler.dir/compile.cc.o.d"
+  "CMakeFiles/vstack_compiler.dir/ir.cc.o"
+  "CMakeFiles/vstack_compiler.dir/ir.cc.o.d"
+  "CMakeFiles/vstack_compiler.dir/irgen.cc.o"
+  "CMakeFiles/vstack_compiler.dir/irgen.cc.o.d"
+  "CMakeFiles/vstack_compiler.dir/lexer.cc.o"
+  "CMakeFiles/vstack_compiler.dir/lexer.cc.o.d"
+  "CMakeFiles/vstack_compiler.dir/parser.cc.o"
+  "CMakeFiles/vstack_compiler.dir/parser.cc.o.d"
+  "libvstack_compiler.a"
+  "libvstack_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vstack_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vstack_core.dir/resultstore.cc.o"
+  "CMakeFiles/vstack_core.dir/resultstore.cc.o.d"
+  "CMakeFiles/vstack_core.dir/vstack.cc.o"
+  "CMakeFiles/vstack_core.dir/vstack.cc.o.d"
+  "libvstack_core.a"
+  "libvstack_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vstack_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vstack_ft.dir/harden.cc.o"
+  "CMakeFiles/vstack_ft.dir/harden.cc.o.d"
+  "libvstack_ft.a"
+  "libvstack_ft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vstack_ft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vstack_gefin.dir/campaign.cc.o"
+  "CMakeFiles/vstack_gefin.dir/campaign.cc.o.d"
+  "libvstack_gefin.a"
+  "libvstack_gefin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vstack_gefin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vstack_isa.dir/assembler.cc.o"
+  "CMakeFiles/vstack_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/vstack_isa.dir/isa.cc.o"
+  "CMakeFiles/vstack_isa.dir/isa.cc.o.d"
+  "CMakeFiles/vstack_isa.dir/program.cc.o"
+  "CMakeFiles/vstack_isa.dir/program.cc.o.d"
+  "CMakeFiles/vstack_isa.dir/semantics.cc.o"
+  "CMakeFiles/vstack_isa.dir/semantics.cc.o.d"
+  "libvstack_isa.a"
+  "libvstack_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vstack_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

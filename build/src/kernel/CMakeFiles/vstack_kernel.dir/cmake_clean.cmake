@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vstack_kernel.dir/kernel.cc.o"
+  "CMakeFiles/vstack_kernel.dir/kernel.cc.o.d"
+  "libvstack_kernel.a"
+  "libvstack_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vstack_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

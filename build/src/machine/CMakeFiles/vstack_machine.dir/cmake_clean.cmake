@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vstack_machine.dir/devices.cc.o"
+  "CMakeFiles/vstack_machine.dir/devices.cc.o.d"
+  "CMakeFiles/vstack_machine.dir/physmem.cc.o"
+  "CMakeFiles/vstack_machine.dir/physmem.cc.o.d"
+  "libvstack_machine.a"
+  "libvstack_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vstack_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vstack_support.dir/env.cc.o"
+  "CMakeFiles/vstack_support.dir/env.cc.o.d"
+  "CMakeFiles/vstack_support.dir/json.cc.o"
+  "CMakeFiles/vstack_support.dir/json.cc.o.d"
+  "CMakeFiles/vstack_support.dir/logging.cc.o"
+  "CMakeFiles/vstack_support.dir/logging.cc.o.d"
+  "CMakeFiles/vstack_support.dir/rng.cc.o"
+  "CMakeFiles/vstack_support.dir/rng.cc.o.d"
+  "CMakeFiles/vstack_support.dir/stats.cc.o"
+  "CMakeFiles/vstack_support.dir/stats.cc.o.d"
+  "CMakeFiles/vstack_support.dir/table.cc.o"
+  "CMakeFiles/vstack_support.dir/table.cc.o.d"
+  "libvstack_support.a"
+  "libvstack_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vstack_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

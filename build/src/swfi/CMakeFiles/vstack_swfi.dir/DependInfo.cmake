@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/swfi/interp.cc" "src/swfi/CMakeFiles/vstack_swfi.dir/interp.cc.o" "gcc" "src/swfi/CMakeFiles/vstack_swfi.dir/interp.cc.o.d"
+  "/root/repo/src/swfi/svf.cc" "src/swfi/CMakeFiles/vstack_swfi.dir/svf.cc.o" "gcc" "src/swfi/CMakeFiles/vstack_swfi.dir/svf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compiler/CMakeFiles/vstack_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/vstack_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/vstack_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/vstack_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

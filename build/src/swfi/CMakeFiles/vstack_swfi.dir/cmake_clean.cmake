@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vstack_swfi.dir/interp.cc.o"
+  "CMakeFiles/vstack_swfi.dir/interp.cc.o.d"
+  "CMakeFiles/vstack_swfi.dir/svf.cc.o"
+  "CMakeFiles/vstack_swfi.dir/svf.cc.o.d"
+  "libvstack_swfi.a"
+  "libvstack_swfi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vstack_swfi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vstack_uarch.dir/cache.cc.o"
+  "CMakeFiles/vstack_uarch.dir/cache.cc.o.d"
+  "CMakeFiles/vstack_uarch.dir/config.cc.o"
+  "CMakeFiles/vstack_uarch.dir/config.cc.o.d"
+  "CMakeFiles/vstack_uarch.dir/core.cc.o"
+  "CMakeFiles/vstack_uarch.dir/core.cc.o.d"
+  "CMakeFiles/vstack_uarch.dir/taint.cc.o"
+  "CMakeFiles/vstack_uarch.dir/taint.cc.o.d"
+  "libvstack_uarch.a"
+  "libvstack_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vstack_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvstack_uarch.a"
+)

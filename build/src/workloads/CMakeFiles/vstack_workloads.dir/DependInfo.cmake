@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/w_codec.cc" "src/workloads/CMakeFiles/vstack_workloads.dir/w_codec.cc.o" "gcc" "src/workloads/CMakeFiles/vstack_workloads.dir/w_codec.cc.o.d"
+  "/root/repo/src/workloads/w_crypto.cc" "src/workloads/CMakeFiles/vstack_workloads.dir/w_crypto.cc.o" "gcc" "src/workloads/CMakeFiles/vstack_workloads.dir/w_crypto.cc.o.d"
+  "/root/repo/src/workloads/w_dsp.cc" "src/workloads/CMakeFiles/vstack_workloads.dir/w_dsp.cc.o" "gcc" "src/workloads/CMakeFiles/vstack_workloads.dir/w_dsp.cc.o.d"
+  "/root/repo/src/workloads/w_image.cc" "src/workloads/CMakeFiles/vstack_workloads.dir/w_image.cc.o" "gcc" "src/workloads/CMakeFiles/vstack_workloads.dir/w_image.cc.o.d"
+  "/root/repo/src/workloads/w_sort_graph.cc" "src/workloads/CMakeFiles/vstack_workloads.dir/w_sort_graph.cc.o" "gcc" "src/workloads/CMakeFiles/vstack_workloads.dir/w_sort_graph.cc.o.d"
+  "/root/repo/src/workloads/workloads.cc" "src/workloads/CMakeFiles/vstack_workloads.dir/workloads.cc.o" "gcc" "src/workloads/CMakeFiles/vstack_workloads.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/vstack_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

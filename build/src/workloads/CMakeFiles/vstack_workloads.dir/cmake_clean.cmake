@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vstack_workloads.dir/w_codec.cc.o"
+  "CMakeFiles/vstack_workloads.dir/w_codec.cc.o.d"
+  "CMakeFiles/vstack_workloads.dir/w_crypto.cc.o"
+  "CMakeFiles/vstack_workloads.dir/w_crypto.cc.o.d"
+  "CMakeFiles/vstack_workloads.dir/w_dsp.cc.o"
+  "CMakeFiles/vstack_workloads.dir/w_dsp.cc.o.d"
+  "CMakeFiles/vstack_workloads.dir/w_image.cc.o"
+  "CMakeFiles/vstack_workloads.dir/w_image.cc.o.d"
+  "CMakeFiles/vstack_workloads.dir/w_sort_graph.cc.o"
+  "CMakeFiles/vstack_workloads.dir/w_sort_graph.cc.o.d"
+  "CMakeFiles/vstack_workloads.dir/workloads.cc.o"
+  "CMakeFiles/vstack_workloads.dir/workloads.cc.o.d"
+  "libvstack_workloads.a"
+  "libvstack_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vstack_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch_unit.dir/test_arch_unit.cc.o"
+  "CMakeFiles/test_arch_unit.dir/test_arch_unit.cc.o.d"
+  "test_arch_unit"
+  "test_arch_unit.pdb"
+  "test_arch_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_campaigns.dir/test_campaigns.cc.o"
+  "CMakeFiles/test_campaigns.dir/test_campaigns.cc.o.d"
+  "test_campaigns"
+  "test_campaigns.pdb"
+  "test_campaigns[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_campaigns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

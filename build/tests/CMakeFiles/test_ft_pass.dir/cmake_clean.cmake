@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ft_pass.dir/test_ft_pass.cc.o"
+  "CMakeFiles/test_ft_pass.dir/test_ft_pass.cc.o.d"
+  "test_ft_pass"
+  "test_ft_pass.pdb"
+  "test_ft_pass[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ft_pass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

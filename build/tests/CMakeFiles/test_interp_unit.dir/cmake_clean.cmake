@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interp_unit.dir/test_interp_unit.cc.o"
+  "CMakeFiles/test_interp_unit.dir/test_interp_unit.cc.o.d"
+  "test_interp_unit"
+  "test_interp_unit.pdb"
+  "test_interp_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interp_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_swfi_ft.dir/test_swfi_ft.cc.o"
+  "CMakeFiles/test_swfi_ft.dir/test_swfi_ft.cc.o.d"
+  "test_swfi_ft"
+  "test_swfi_ft.pdb"
+  "test_swfi_ft[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_swfi_ft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

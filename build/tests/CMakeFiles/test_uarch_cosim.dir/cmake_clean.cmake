@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uarch_cosim.dir/test_uarch_cosim.cc.o"
+  "CMakeFiles/test_uarch_cosim.dir/test_uarch_cosim.cc.o.d"
+  "test_uarch_cosim"
+  "test_uarch_cosim.pdb"
+  "test_uarch_cosim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uarch_cosim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

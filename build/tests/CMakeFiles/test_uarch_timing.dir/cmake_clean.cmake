@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uarch_timing.dir/test_uarch_timing.cc.o"
+  "CMakeFiles/test_uarch_timing.dir/test_uarch_timing.cc.o.d"
+  "test_uarch_timing"
+  "test_uarch_timing.pdb"
+  "test_uarch_timing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uarch_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

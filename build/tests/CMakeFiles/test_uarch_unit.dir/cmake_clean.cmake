@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uarch_unit.dir/test_uarch_unit.cc.o"
+  "CMakeFiles/test_uarch_unit.dir/test_uarch_unit.cc.o.d"
+  "test_uarch_unit"
+  "test_uarch_unit.pdb"
+  "test_uarch_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uarch_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_workload_golden.cc" "tests/CMakeFiles/test_workload_golden.dir/test_workload_golden.cc.o" "gcc" "tests/CMakeFiles/test_workload_golden.dir/test_workload_golden.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vstack_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gefin/CMakeFiles/vstack_gefin.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/vstack_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/ft/CMakeFiles/vstack_ft.dir/DependInfo.cmake"
+  "/root/repo/build/src/swfi/CMakeFiles/vstack_swfi.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/vstack_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/vstack_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/vstack_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/vstack_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/vstack_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/vstack_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/vstack_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_arch_e2e[1]_include.cmake")
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_uarch_cosim[1]_include.cmake")
+include("/root/repo/build/tests/test_swfi_ft[1]_include.cmake")
+include("/root/repo/build/tests/test_compiler[1]_include.cmake")
+include("/root/repo/build/tests/test_machine[1]_include.cmake")
+include("/root/repo/build/tests/test_uarch_unit[1]_include.cmake")
+include("/root/repo/build/tests/test_campaigns[1]_include.cmake")
+include("/root/repo/build/tests/test_kernel[1]_include.cmake")
+include("/root/repo/build/tests/test_uarch_timing[1]_include.cmake")
+include("/root/repo/build/tests/test_arch_unit[1]_include.cmake")
+include("/root/repo/build/tests/test_workload_golden[1]_include.cmake")
+include("/root/repo/build/tests/test_ft_pass[1]_include.cmake")
+include("/root/repo/build/tests/test_interp_unit[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vstack.dir/vstack_cli.cc.o"
+  "CMakeFiles/vstack.dir/vstack_cli.cc.o.d"
+  "vstack"
+  "vstack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vstack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
