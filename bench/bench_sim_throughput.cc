@@ -10,6 +10,7 @@
 
 #include "arch/archsim.h"
 #include "compiler/compile.h"
+#include "gefin/campaign.h"
 #include "kernel/kernel.h"
 #include "swfi/interp.h"
 #include "uarch/core.h"
@@ -81,6 +82,32 @@ BM_IrInterpSha(benchmark::State &state)
         static_cast<double>(steps), benchmark::Counter::kIsRate);
 }
 
+/**
+ * Thread scaling of the campaign executor: one full microarchitectural
+ * campaign per iteration at `jobs = state.range(0)`.  Results are
+ * bit-identical across the jobs axis; only wall-clock should move.
+ * Documents what parallelism buys a paper-scale (VSTACK_FAULTS=2000)
+ * campaign on this host.
+ */
+void
+BM_UarchCampaignJobs(benchmark::State &state)
+{
+    const CoreConfig &core = coreByName("ax72");
+    UarchCampaign campaign(core, shaImage(core.isa));
+    const size_t faults = 64;
+    exec::ExecConfig ec;
+    ec.jobs = static_cast<unsigned>(state.range(0));
+    uint64_t injections = 0;
+    for (auto _ : state) {
+        UarchCampaignResult r =
+            campaign.run(Structure::RF, faults, 42, ec);
+        injections += r.samples;
+        benchmark::DoNotOptimize(r.outcomes.sdc);
+    }
+    state.counters["injections/s"] = benchmark::Counter(
+        static_cast<double>(injections), benchmark::Counter::kIsRate);
+}
+
 void
 BM_CompileSha(benchmark::State &state)
 {
@@ -98,5 +125,12 @@ BENCHMARK_CAPTURE(BM_CycleSimSha, ax72, std::string("ax72"));
 BENCHMARK(BM_ArchSimSha);
 BENCHMARK(BM_IrInterpSha);
 BENCHMARK(BM_CompileSha);
+BENCHMARK(BM_UarchCampaignJobs)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

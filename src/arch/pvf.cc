@@ -1,6 +1,7 @@
 #include "pvf.h"
 
 #include <cassert>
+#include <memory>
 
 #include "support/logging.h"
 
@@ -32,9 +33,10 @@ PvfCampaign::PvfCampaign(Program image, ArchConfig cfg)
     sim.load(this->image);
     ArchRunResult r = sim.run();
     if (r.stop != StopReason::Exited) {
-        fatal("PVF golden run did not exit cleanly (%s): %s",
-              r.stop == StopReason::Exception ? "exception" : "other",
-              r.exceptionMsg.c_str());
+        throw GoldenRunError(strprintf(
+            "PVF golden run did not exit cleanly (%s): %s",
+            r.stop == StopReason::Exception ? "exception" : "other",
+            r.exceptionMsg.c_str()));
     }
     golden_.dma = r.output.dma;
     golden_.exitCode = r.output.exitCode;
@@ -68,9 +70,15 @@ bitsForFpm(IsaId isa, uint32_t word, Fpm fpm)
 Outcome
 PvfCampaign::runOne(Fpm fpm, Rng &rng)
 {
+    return runOneOn(sim, fpm, rng);
+}
+
+Outcome
+PvfCampaign::runOneOn(ArchSim &sim, Fpm fpm, Rng &rng) const
+{
     assert(fpm != Fpm::ESC && "ESC is unobservable at the PVF layer");
 
-    sim.setMaxInsts(golden_.insts * 4 + 10'000);
+    sim.setMaxInsts(watchdog.limitFor(golden_.insts));
     sim.load(image);
     const IsaSpec &spec = sim.spec();
 
@@ -165,13 +173,34 @@ PvfCampaign::runOne(Fpm fpm, Rng &rng)
 }
 
 OutcomeCounts
-PvfCampaign::run(Fpm fpm, size_t n, uint64_t seed)
+PvfCampaign::run(Fpm fpm, size_t n, uint64_t seed,
+                 const exec::ExecConfig &ec)
 {
+    // PVF injections draw from their RNG during the run, so instead
+    // of a fault list we pre-derive each sample's fork seed (the i-th
+    // master draw, a pure function of (seed, i)) — identical streams
+    // at any thread count.
     Rng master(seed);
+    std::vector<uint64_t> forkSeeds(n);
+    for (uint64_t &s : forkSeeds)
+        s = master.next64();
+
+    auto samples = exec::runSamples<Outcome>(
+        n, ec,
+        [this] { return std::make_unique<ArchSim>(cfg); },
+        [this, fpm, &forkSeeds](ArchSim &worker, size_t i) {
+            Rng r(forkSeeds[i]);
+            return runOneOn(worker, fpm, r);
+        },
+        [](Outcome o) { return Json(static_cast<int>(o)); },
+        [](const Json &j) { return static_cast<Outcome>(j.asInt()); });
+
     OutcomeCounts counts;
-    for (size_t i = 0; i < n; ++i) {
-        Rng r = master.fork();
-        counts.add(runOne(fpm, r));
+    for (const auto &s : samples) {
+        if (s)
+            counts.add(*s);
+        else
+            ++counts.injectorErrors;
     }
     return counts;
 }

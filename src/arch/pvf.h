@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "arch/archsim.h"
+#include "exec/executor.h"
 #include "machine/fpm.h"
 #include "machine/outcome.h"
 #include "support/rng.h"
@@ -53,23 +54,34 @@ class PvfCampaign
     /**
      * @param image  merged kernel+user image
      * @param cfg    emulator config (watchdog is derived per run)
+     * @throws GoldenRunError if the golden run does not exit cleanly
      */
     PvfCampaign(Program image, ArchConfig cfg);
 
     /** Golden reference (computed on construction). */
     const GoldenRef &golden() const { return golden_; }
 
+    /** Per-injection watchdog budget, in instructions relative to the
+     *  golden run (default: 4x golden + 10k). */
+    void setWatchdog(const exec::WatchdogBudget &wd) { watchdog = wd; }
+
     /** Run one injection with the given FPM. */
     Outcome runOne(Fpm fpm, Rng &rng);
 
-    /** Run a campaign of n injections. */
-    OutcomeCounts run(Fpm fpm, size_t n, uint64_t seed);
+    /** Run one injection on a caller-provided emulator (workers). */
+    Outcome runOneOn(ArchSim &worker, Fpm fpm, Rng &rng) const;
+
+    /** Run a campaign of n injections.  Deterministic for a given
+     *  seed at any job count. */
+    OutcomeCounts run(Fpm fpm, size_t n, uint64_t seed,
+                      const exec::ExecConfig &ec = {});
 
   private:
     Program image;
     ArchConfig cfg;
-    ArchSim sim; ///< reused across injections (16 MiB arena)
+    ArchSim sim; ///< reused across serial injections (16 MiB arena)
     GoldenRef golden_;
+    exec::WatchdogBudget watchdog{4.0, 10'000};
 };
 
 } // namespace vstack

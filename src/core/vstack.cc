@@ -25,6 +25,8 @@ countsToJson(const OutcomeCounts &c)
     j.set("sdc", c.sdc);
     j.set("crash", c.crash);
     j.set("detected", c.detected);
+    if (c.injectorErrors)
+        j.set("injectorErrors", c.injectorErrors);
     return j;
 }
 
@@ -36,6 +38,9 @@ countsFromJson(const Json &j)
     c.sdc = static_cast<uint64_t>(j.at("sdc").asInt());
     c.crash = static_cast<uint64_t>(j.at("crash").asInt());
     c.detected = static_cast<uint64_t>(j.at("detected").asInt());
+    if (j.has("injectorErrors"))
+        c.injectorErrors =
+            static_cast<uint64_t>(j.at("injectorErrors").asInt());
     return c;
 }
 
@@ -80,6 +85,25 @@ goldenToJson(const UarchGolden &g)
     j.set("kernelCycles", g.kernelCycles);
     j.set("exitCode", g.exitCode);
     return j; // DMA bytes not cached; only stats are consumed
+}
+
+/**
+ * Execution policy for one memoised campaign: worker count from the
+ * environment, plus a resume journal under the result-store directory
+ * keyed like the cache entry.  The journal is removed once the final
+ * result lands in the store.
+ */
+exec::ExecConfig
+execPolicy(const EnvConfig &cfg, exec::Journal &journal,
+           const std::string &key, size_t n)
+{
+    exec::ExecConfig ec;
+    ec.jobs = cfg.jobs;
+    if (!cfg.resultsDir.empty() &&
+        journal.open(exec::Journal::pathFor(cfg.resultsDir, key), key, n,
+                     cfg.seed, cfg.resume))
+        ec.journal = &journal;
+    return ec;
 }
 
 } // namespace
@@ -159,8 +183,12 @@ VulnerabilityStack::uarch(const std::string &core, const Variant &v,
 
     const CoreConfig &cc = coreByName(core);
     UarchCampaign campaign(cc, imageFor(v, cc.isa));
-    UarchCampaignResult r = campaign.run(s, cfg.uarchFaults, cfg.seed);
+    campaign.setWatchdog({cfg.watchdogFactor, 50'000});
+    exec::Journal journal;
+    exec::ExecConfig ec = execPolicy(cfg, journal, key, cfg.uarchFaults);
+    UarchCampaignResult r = campaign.run(s, cfg.uarchFaults, cfg.seed, ec);
     store.put(key, uarchToJson(r));
+    journal.removeFile();
     return r;
 }
 
@@ -200,8 +228,12 @@ VulnerabilityStack::pvf(IsaId isa, const Variant &v, Fpm fpm)
     ArchConfig acfg;
     acfg.isa = isa;
     PvfCampaign campaign(imageFor(v, isa), acfg);
-    OutcomeCounts c = campaign.run(fpm, cfg.archFaults, cfg.seed);
+    campaign.setWatchdog({cfg.watchdogFactor, 10'000});
+    exec::Journal journal;
+    exec::ExecConfig ec = execPolicy(cfg, journal, key, cfg.archFaults);
+    OutcomeCounts c = campaign.run(fpm, cfg.archFaults, cfg.seed, ec);
     store.put(key, countsToJson(c));
+    journal.removeFile();
     return c;
 }
 
@@ -215,8 +247,12 @@ VulnerabilityStack::svf(const Variant &v)
         return countsFromJson(*cached);
 
     SvfCampaign campaign(irFor(v, 64));
-    OutcomeCounts c = campaign.run(cfg.swFaults, cfg.seed);
+    campaign.setWatchdog({cfg.watchdogFactor, 100'000});
+    exec::Journal journal;
+    exec::ExecConfig ec = execPolicy(cfg, journal, key, cfg.swFaults);
+    OutcomeCounts c = campaign.run(cfg.swFaults, cfg.seed, ec);
     store.put(key, countsToJson(c));
+    journal.removeFile();
     return c;
 }
 

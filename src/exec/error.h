@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Typed simulation-error hierarchy.
+ *
+ * Errors raised on the simulation path (image loading, golden runs,
+ * individual injections) used to call fatal() and kill the whole
+ * process — one bad sample aborted an entire multi-thousand-injection
+ * campaign.  They now throw a SimError subclass instead, so the
+ * campaign executor can contain the failure to the one sample
+ * (retry, then quarantine into `injectorErrors`) and the CLI can
+ * surface constructor-time failures as a clean one-line error.
+ *
+ * Header-only so low-level libraries (machine, uarch) can throw
+ * without linking against vstack_exec.
+ */
+#ifndef VSTACK_EXEC_ERROR_H
+#define VSTACK_EXEC_ERROR_H
+
+#include <stdexcept>
+#include <string>
+
+namespace vstack
+{
+
+/** Base class of all contained simulation errors. */
+class SimError : public std::runtime_error
+{
+  public:
+    explicit SimError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** A system image could not be loaded into a simulator. */
+class ImageLoadError : public SimError
+{
+  public:
+    explicit ImageLoadError(const std::string &msg) : SimError(msg) {}
+};
+
+/** The fault-free reference run of a campaign failed. */
+class GoldenRunError : public SimError
+{
+  public:
+    explicit GoldenRunError(const std::string &msg) : SimError(msg) {}
+};
+
+/** A single injection run failed for reasons outside the fault model
+ *  (simulator defect, resource failure) — quarantined per sample. */
+class InjectionError : public SimError
+{
+  public:
+    explicit InjectionError(const std::string &msg) : SimError(msg) {}
+};
+
+} // namespace vstack
+
+#endif // VSTACK_EXEC_ERROR_H

@@ -1,0 +1,51 @@
+#include "executor.h"
+
+#include <exception>
+#include <thread>
+
+namespace vstack::exec
+{
+
+unsigned
+resolveJobs(unsigned requested)
+{
+    if (requested == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        return hw ? hw : 1;
+    }
+    return requested;
+}
+
+void
+runOnWorkers(unsigned jobs, const std::function<void(unsigned)> &body)
+{
+    if (jobs <= 1) {
+        body(0);
+        return;
+    }
+
+    // Workers park their first exception; it is rethrown in the
+    // caller once every thread has joined, so a failing worker can
+    // never leave detached threads touching campaign state.
+    std::mutex mu;
+    std::exception_ptr firstError;
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (unsigned w = 0; w < jobs; ++w) {
+        pool.emplace_back([&, w] {
+            try {
+                body(w);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mu);
+                if (!firstError)
+                    firstError = std::current_exception();
+            }
+        });
+    }
+    for (std::thread &t : pool)
+        t.join();
+    if (firstError)
+        std::rethrow_exception(firstError);
+}
+
+} // namespace vstack::exec

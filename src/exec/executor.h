@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Shared campaign execution engine.
+ *
+ * All three injection layers (microarchitectural, architectural,
+ * software) run their campaigns through runSamples(), which provides:
+ *
+ *  - a worker-thread pool (`jobs`) over the campaign's sample index
+ *    space.  Each sample's RNG stream is derived up front from
+ *    (seed, sample index) by the caller, and per-sample results are
+ *    folded in index order, so aggregates are **bit-identical at any
+ *    thread count** — jobs=4 reproduces jobs=1 exactly;
+ *
+ *  - per-sample fault containment: a SimError thrown by one injection
+ *    is retried (`retries` times) and then quarantined — the sample
+ *    becomes an `injectorErrors` count instead of aborting the
+ *    process;
+ *
+ *  - optional journaling: completed samples are appended to a Journal
+ *    and replayed (instead of re-simulated) on resume.
+ *
+ * The engine is deliberately generic: campaigns supply a per-worker
+ * simulation context factory, a run function, and encode/decode hooks
+ * for the journal payload.
+ */
+#ifndef VSTACK_EXEC_EXECUTOR_H
+#define VSTACK_EXEC_EXECUTOR_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "exec/error.h"
+#include "exec/journal.h"
+
+namespace vstack::exec
+{
+
+/**
+ * Watchdog budget for one injection run, expressed relative to the
+ * golden run: limit = factor * golden + slack.  Generalizes the
+ * hard-coded `golden * 4 + 50'000` caps so a pathological injection
+ * cannot hang a worker and the budget stays configurable per layer.
+ */
+struct WatchdogBudget
+{
+    double factor = 4.0;
+    uint64_t slack = 50'000;
+
+    uint64_t limitFor(uint64_t goldenUnits) const
+    {
+        const double limit =
+            factor * static_cast<double>(goldenUnits) +
+            static_cast<double>(slack);
+        return limit < 1.0 ? 1 : static_cast<uint64_t>(limit);
+    }
+};
+
+/** Execution policy of one campaign invocation. */
+struct ExecConfig
+{
+    /** Worker threads; 0 = one per hardware thread; 1 = in-caller. */
+    unsigned jobs = 1;
+    /** Re-attempts after a SimError before quarantining a sample. */
+    unsigned retries = 1;
+    /** Optional journal for crash-resume (nullptr = unjournaled). */
+    Journal *journal = nullptr;
+    /** Optional progress callback: (samples finished, total).  Called
+     *  under a lock — invocations never overlap. */
+    std::function<void(size_t, size_t)> progress;
+};
+
+/** Resolve a `jobs` request (0 = hardware concurrency) to >= 1. */
+unsigned resolveJobs(unsigned requested);
+
+/**
+ * Run `body(workerId)` on `jobs` workers.  jobs <= 1 runs in the
+ * calling thread (no thread is ever spawned for serial campaigns).
+ * An exception escaping any worker is rethrown in the caller after
+ * all workers have joined.
+ */
+void runOnWorkers(unsigned jobs, const std::function<void(unsigned)> &body);
+
+/**
+ * Execute samples [0, n) of a campaign.
+ *
+ * @tparam R       per-sample result (copyable, journal-encodable)
+ * @param makeCtx  called once per worker thread; returns the worker's
+ *                 private simulation context (e.g. its own CycleSim)
+ * @param runFn    runFn(ctx, i) simulates sample i; may throw SimError
+ * @param encode   R -> Json journal payload
+ * @param decode   Json journal payload -> R
+ * @return per-sample results in index order; std::nullopt marks a
+ *         quarantined sample (counted as an injector error by the
+ *         caller, excluded from AVF denominators)
+ *
+ * A non-SimError exception from runFn is not contained: it propagates
+ * to the caller (after workers join) — internal invariant violations
+ * should still fail loudly.
+ */
+template <typename R, typename MakeCtx, typename RunFn, typename Encode,
+          typename Decode>
+std::vector<std::optional<R>>
+runSamples(size_t n, const ExecConfig &cfg, MakeCtx makeCtx, RunFn runFn,
+           Encode encode, Decode decode)
+{
+    std::vector<std::optional<R>> results(n);
+
+    // Replay journaled samples; collect the remainder as work items.
+    std::vector<size_t> todo;
+    todo.reserve(n);
+    size_t replayed = 0;
+    for (size_t i = 0; i < n; ++i) {
+        const Json *rec = cfg.journal ? cfg.journal->find(i) : nullptr;
+        if (rec) {
+            if (rec->has("r"))
+                results[i] = decode(rec->at("r"));
+            ++replayed; // an "err" record replays as a quarantine
+        } else {
+            todo.push_back(i);
+        }
+    }
+    if (cfg.progress && replayed)
+        cfg.progress(replayed, n);
+    if (todo.empty())
+        return results;
+
+    const unsigned jobs = static_cast<unsigned>(std::min<size_t>(
+        resolveJobs(cfg.jobs), todo.size()));
+    std::atomic<size_t> cursor{0};
+    std::atomic<size_t> finished{replayed};
+    std::mutex reportMu; // serializes journal appends + progress
+
+    runOnWorkers(jobs, [&](unsigned) {
+        auto ctx = makeCtx();
+        for (;;) {
+            const size_t t = cursor.fetch_add(1, std::memory_order_relaxed);
+            if (t >= todo.size())
+                break;
+            const size_t i = todo[t];
+
+            std::string quarantine;
+            for (unsigned attempt = 0;; ++attempt) {
+                try {
+                    results[i] = runFn(*ctx, i);
+                    break;
+                } catch (const SimError &e) {
+                    if (attempt >= cfg.retries) {
+                        quarantine = e.what();
+                        break;
+                    }
+                }
+            }
+
+            const size_t done =
+                finished.fetch_add(1, std::memory_order_relaxed) + 1;
+            std::lock_guard<std::mutex> lock(reportMu);
+            if (cfg.journal) {
+                if (results[i])
+                    cfg.journal->append(i, encode(*results[i]));
+                else
+                    cfg.journal->appendError(i, quarantine);
+            }
+            if (cfg.progress)
+                cfg.progress(done, n);
+        }
+    });
+    return results;
+}
+
+} // namespace vstack::exec
+
+#endif // VSTACK_EXEC_EXECUTOR_H

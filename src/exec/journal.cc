@@ -1,0 +1,164 @@
+#include "journal.h"
+
+#include <cctype>
+#include <filesystem>
+
+#include "support/logging.h"
+
+namespace vstack::exec
+{
+
+Journal::~Journal()
+{
+    close();
+}
+
+void
+Journal::close()
+{
+    if (out) {
+        std::fclose(out);
+        out = nullptr;
+    }
+    records.clear();
+}
+
+bool
+Journal::open(const std::string &path, const std::string &meta, uint64_t n,
+              uint64_t seed, bool resume)
+{
+    close();
+    path_ = path;
+
+    std::error_code ec;
+    std::filesystem::create_directories(
+        std::filesystem::path(path).parent_path(), ec);
+
+    bool valid = false;
+    if (resume) {
+        std::string text;
+        if (readFile(path, text)) {
+            size_t pos = 0;
+            bool first = true;
+            while (pos < text.size()) {
+                size_t eol = text.find('\n', pos);
+                const std::string line = text.substr(
+                    pos, eol == std::string::npos ? std::string::npos
+                                                  : eol - pos);
+                pos = eol == std::string::npos ? text.size() : eol + 1;
+                if (line.empty())
+                    continue;
+                std::string err;
+                Json j = Json::parse(line, &err);
+                if (!err.empty() || !j.isObject())
+                    continue; // torn tail line from a killed campaign
+                if (first) {
+                    first = false;
+                    if (!j.has("meta"))
+                        break;
+                    const Json &m = j.at("meta");
+                    if (!m.has("campaign") ||
+                        m.at("campaign").asString() != meta ||
+                        static_cast<uint64_t>(m.at("n").asInt()) != n ||
+                        static_cast<uint64_t>(m.at("seed").asInt()) != seed) {
+                        warn("journal '%s' belongs to a different campaign; "
+                             "restarting it",
+                             path.c_str());
+                        break;
+                    }
+                    valid = true;
+                    continue;
+                }
+                if (j.has("i"))
+                    records[static_cast<size_t>(j.at("i").asInt())] =
+                        std::move(j);
+            }
+            if (!valid)
+                records.clear();
+        }
+    }
+
+    out = std::fopen(path.c_str(), valid ? "ab" : "wb");
+    if (!out) {
+        warn("cannot open journal '%s'; campaign runs unjournaled",
+             path.c_str());
+        records.clear();
+        return false;
+    }
+    if (!valid) {
+        Json header = Json::object();
+        Json m = Json::object();
+        m.set("campaign", meta);
+        m.set("n", n);
+        m.set("seed", seed);
+        header.set("meta", m);
+        writeLine(header);
+    }
+    return true;
+}
+
+const Json *
+Journal::find(size_t i) const
+{
+    auto it = records.find(i);
+    return it == records.end() ? nullptr : &it->second;
+}
+
+void
+Journal::writeLine(const Json &line)
+{
+    const std::string text = line.dump();
+    std::fwrite(text.data(), 1, text.size(), out);
+    std::fputc('\n', out);
+    std::fflush(out);
+}
+
+void
+Journal::append(size_t i, const Json &payload)
+{
+    if (!out)
+        return;
+    Json j = Json::object();
+    j.set("i", i);
+    j.set("r", payload);
+    std::lock_guard<std::mutex> lock(mu);
+    writeLine(j);
+}
+
+void
+Journal::appendError(size_t i, const std::string &msg)
+{
+    if (!out)
+        return;
+    Json j = Json::object();
+    j.set("i", i);
+    j.set("err", msg);
+    std::lock_guard<std::mutex> lock(mu);
+    writeLine(j);
+}
+
+void
+Journal::removeFile()
+{
+    if (!out)
+        return;
+    close();
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+}
+
+std::string
+Journal::pathFor(const std::string &dir, const std::string &key)
+{
+    std::string name;
+    name.reserve(key.size());
+    for (char c : key) {
+        name += (std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+                 c == '.')
+                    ? c
+                    : '_';
+    }
+    return dir + "/journal/" + name + ".jsonl";
+}
+
+} // namespace vstack::exec

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Append-only JSONL campaign journal.
+ *
+ * Every completed injection sample is appended as one self-contained
+ * JSON line, flushed immediately, so a campaign killed at any point
+ * leaves a prefix of valid lines behind.  Re-invoking the campaign
+ * with resume enabled replays the journaled samples and only
+ * simulates the remainder; because every sample's RNG stream is
+ * derived from (seed, sample index), the resumed aggregate is
+ * bit-identical to an uninterrupted run.
+ *
+ * File format (one JSON object per line):
+ *
+ *   {"meta":{"campaign":"<key>","n":N,"seed":S}}   <- header line
+ *   {"i":0,"r":{...}}                              <- completed sample
+ *   {"i":3,"err":"<message>"}                      <- quarantined sample
+ *
+ * A truncated final line (torn write at kill time) parses as garbage
+ * and is skipped; a header that does not match the requesting
+ * campaign's parameters invalidates the whole file (it is restarted),
+ * so a journal can never leak samples across campaigns.
+ */
+#ifndef VSTACK_EXEC_JOURNAL_H
+#define VSTACK_EXEC_JOURNAL_H
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "support/json.h"
+
+namespace vstack::exec
+{
+
+class Journal
+{
+  public:
+    /** A disabled journal: find() misses, append() is a no-op. */
+    Journal() = default;
+    ~Journal();
+
+    Journal(const Journal &) = delete;
+    Journal &operator=(const Journal &) = delete;
+
+    /**
+     * Open (creating parent directories as needed).
+     *
+     * @param path    journal file path
+     * @param meta    campaign identity; a mismatched on-disk header
+     *                discards the existing journal
+     * @param n       campaign sample count (part of the identity)
+     * @param seed    campaign seed (part of the identity)
+     * @param resume  replay existing records when true; start fresh
+     *                (truncate) when false
+     * @return false if the file could not be opened (journal stays
+     *         disabled; the campaign still runs, just unjournaled)
+     */
+    bool open(const std::string &path, const std::string &meta, uint64_t n,
+              uint64_t seed, bool resume);
+
+    bool enabled() const { return out != nullptr; }
+
+    /** Number of samples replayed from disk at open(). */
+    size_t replayed() const { return records.size(); }
+
+    /**
+     * Journaled record for sample i, or nullptr if not journaled.
+     * The record is the full line object: inspect "r" (completed
+     * payload) or "err" (quarantined).  Only valid between open() and
+     * the next open()/close().
+     */
+    const Json *find(size_t i) const;
+
+    /** Append a completed sample (thread-safe, flushed per line). */
+    void append(size_t i, const Json &payload);
+
+    /** Append a quarantined sample (thread-safe, flushed per line). */
+    void appendError(size_t i, const std::string &msg);
+
+    /** Close and delete the journal file (campaign completed). */
+    void removeFile();
+
+    /** Canonical journal path for a campaign key under a cache dir. */
+    static std::string pathFor(const std::string &dir,
+                               const std::string &key);
+
+  private:
+    void close();
+    void writeLine(const Json &line);
+
+    std::string path_;
+    std::map<size_t, Json> records;
+    std::FILE *out = nullptr;
+    std::mutex mu;
+};
+
+} // namespace vstack::exec
+
+#endif // VSTACK_EXEC_JOURNAL_H

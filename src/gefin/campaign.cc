@@ -1,5 +1,7 @@
 #include "campaign.h"
 
+#include <memory>
+
 #include "support/logging.h"
 #include "support/rng.h"
 
@@ -12,8 +14,9 @@ UarchCampaign::UarchCampaign(const CoreConfig &core, Program image)
     sim.load(this->image);
     UarchRunResult r = sim.run(400'000'000);
     if (r.stop != StopReason::Exited) {
-        fatal("golden cycle-level run failed on %s: %s",
-              core.name.c_str(), r.excMsg.c_str());
+        throw GoldenRunError(
+            strprintf("golden cycle-level run failed on %s: %s",
+                      core.name.c_str(), r.excMsg.c_str()));
     }
     golden_.cycles = r.cycles;
     golden_.insts = r.insts;
@@ -26,9 +29,16 @@ UarchCampaign::UarchCampaign(const CoreConfig &core, Program image)
 Outcome
 UarchCampaign::runOne(const FaultSite &site, Visibility &vis)
 {
-    sim.load(image);
-    sim.scheduleInjection(site);
-    UarchRunResult r = sim.run(golden_.cycles * 4 + 50'000);
+    return runOneOn(sim, site, vis);
+}
+
+Outcome
+UarchCampaign::runOneOn(CycleSim &worker, const FaultSite &site,
+                        Visibility &vis) const
+{
+    worker.load(image);
+    worker.scheduleInjection(site);
+    UarchRunResult r = worker.run(watchdog.limitFor(golden_.cycles));
     vis = r.visibility;
 
     switch (r.stop) {
@@ -46,32 +56,87 @@ UarchCampaign::runOne(const FaultSite &site, Visibility &vis)
     return Outcome::Masked;
 }
 
+namespace
+{
+
+/** Per-sample journal payload of one microarchitectural injection. */
+struct UarchSample
+{
+    Outcome out = Outcome::Masked;
+    Visibility vis;
+};
+
+Json
+sampleToJson(const UarchSample &s)
+{
+    Json j = Json::object();
+    j.set("o", static_cast<int>(s.out));
+    j.set("v", s.vis.visible);
+    if (s.vis.visible) {
+        j.set("f", static_cast<int>(s.vis.fpm));
+        j.set("c", s.vis.cycle);
+    }
+    return j;
+}
+
+UarchSample
+sampleFromJson(const Json &j)
+{
+    UarchSample s;
+    s.out = static_cast<Outcome>(j.at("o").asInt());
+    s.vis.visible = j.at("v").asBool();
+    if (s.vis.visible) {
+        s.vis.fpm = static_cast<Fpm>(j.at("f").asInt());
+        s.vis.cycle = static_cast<uint64_t>(j.at("c").asInt());
+    }
+    return s;
+}
+
+} // namespace
+
 UarchCampaignResult
 UarchCampaign::run(Structure structure, size_t n, uint64_t seed,
-                   const std::function<void(size_t)> &progress)
+                   const exec::ExecConfig &ec)
 {
     const uint64_t bits = sim.structureBits(structure);
     Rng master(seed ^ (static_cast<uint64_t>(structure) << 56));
 
-    UarchCampaignResult res;
-    res.samples = n;
-    for (size_t i = 0; i < n; ++i) {
+    // Sample the fault list up front; each sample's stream is the i-th
+    // fork of the master, a pure function of (seed, i), so the list —
+    // and hence the campaign — is identical at every thread count.
+    std::vector<FaultSite> sites(n);
+    for (FaultSite &site : sites) {
         Rng rng = master.fork();
-        FaultSite site;
         site.structure = structure;
         site.cycle = 1 + rng.uniform(golden_.cycles);
         site.bit = rng.uniform(bits);
+    }
 
-        Visibility vis;
-        const Outcome out = runOne(site, vis);
-        res.outcomes.add(out);
-        if (vis.visible)
-            res.fpms.add(vis.fpm);
+    auto samples = exec::runSamples<UarchSample>(
+        n, ec,
+        [this] { return std::make_unique<CycleSim>(core_); },
+        [this, &sites](CycleSim &worker, size_t i) {
+            UarchSample s;
+            s.out = runOneOn(worker, sites[i], s.vis);
+            return s;
+        },
+        sampleToJson, sampleFromJson);
+
+    // Fold in index order: aggregation is deterministic by
+    // construction, independent of completion order.
+    UarchCampaignResult res;
+    for (const auto &s : samples) {
+        if (!s) {
+            ++res.outcomes.injectorErrors;
+            continue;
+        }
+        res.outcomes.add(s->out);
+        if (s->vis.visible)
+            res.fpms.add(s->vis.fpm);
         else
             ++res.hwMasked;
-        if (progress)
-            progress(i + 1);
     }
+    res.samples = n - res.outcomes.injectorErrors;
     return res;
 }
 

@@ -8,13 +8,19 @@
  * both the cross-layer outcome statistics (AVF) and the
  * first-visibility statistics (HVF + FPM distribution), exactly as
  * the paper derives both metrics from the same infrastructure.
+ *
+ * Campaigns execute through the shared engine in src/exec: the fault
+ * list is sampled up front from per-sample RNG streams, so results
+ * are bit-identical at any `jobs` count, simulator failures are
+ * contained per sample, and completed samples can be journaled for
+ * crash-resume.
  */
 #ifndef VSTACK_GEFIN_CAMPAIGN_H
 #define VSTACK_GEFIN_CAMPAIGN_H
 
-#include <functional>
 #include <string>
 
+#include "exec/executor.h"
 #include "machine/fpm.h"
 #include "machine/outcome.h"
 #include "uarch/core.h"
@@ -28,7 +34,7 @@ struct UarchCampaignResult
     OutcomeCounts outcomes; ///< AVF classification per injection
     FpmCounts fpms;         ///< FPM of faults that became visible
     uint64_t hwMasked = 0;  ///< never became architecturally visible
-    uint64_t samples = 0;
+    uint64_t samples = 0;   ///< classified samples (errors excluded)
 
     /** AVF = (SDC + Crash) / N (detections excluded, paper §VI.B). */
     double avf() const { return outcomes.vulnerability(); }
@@ -51,36 +57,44 @@ struct UarchGolden
 };
 
 /**
- * Campaign driver for one (core, system image) pair.  The simulator
- * instance is reused across injections; each run reloads the image.
+ * Campaign driver for one (core, system image) pair.  The calling
+ * thread's simulator instance is reused across serial injections;
+ * parallel campaigns give each worker its own simulator.
  */
 class UarchCampaign
 {
   public:
-    /** Runs the golden simulation on construction (fatal on failure). */
+    /** Runs the golden simulation on construction.
+     *  @throws GoldenRunError if it does not exit cleanly */
     UarchCampaign(const CoreConfig &core, Program image);
 
     const UarchGolden &golden() const { return golden_; }
     const CoreConfig &core() const { return core_; }
 
-    /** Run one injection and classify it. */
+    /** Per-injection watchdog budget, in cycles relative to the
+     *  golden run (default: 4x golden + 50k). */
+    void setWatchdog(const exec::WatchdogBudget &wd) { watchdog = wd; }
+
+    /** Run one injection on the campaign's own simulator. */
     Outcome runOne(const FaultSite &site, Visibility &vis);
+
+    /** Run one injection on a caller-provided simulator (workers). */
+    Outcome runOneOn(CycleSim &worker, const FaultSite &site,
+                     Visibility &vis) const;
 
     /**
      * Run a full campaign: n uniformly sampled (cycle, bit) faults in
-     * `structure`.  Deterministic for a given seed.
-     *
-     * @param progress  optional callback invoked after each sample
+     * `structure`.  Deterministic for a given seed at any job count.
      */
-    UarchCampaignResult
-    run(Structure structure, size_t n, uint64_t seed,
-        const std::function<void(size_t)> &progress = nullptr);
+    UarchCampaignResult run(Structure structure, size_t n, uint64_t seed,
+                            const exec::ExecConfig &ec = {});
 
   private:
     CoreConfig core_;
     Program image;
     CycleSim sim;
     UarchGolden golden_;
+    exec::WatchdogBudget watchdog;
 };
 
 } // namespace vstack

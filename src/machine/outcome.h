@@ -52,7 +52,13 @@ struct OutcomeCounts
     uint64_t sdc = 0;
     uint64_t crash = 0;
     uint64_t detected = 0;
+    /** Samples quarantined after a contained injector failure (a
+     *  SimError from the simulator itself, not a modelled fault
+     *  effect).  Excluded from every rate denominator, mirroring the
+     *  paper's §VI.B exclusion of non-classifiable runs. */
+    uint64_t injectorErrors = 0;
 
+    /** Classified samples (injector errors excluded). */
     uint64_t total() const { return masked + sdc + crash + detected; }
 
     void add(Outcome o)

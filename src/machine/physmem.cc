@@ -1,5 +1,6 @@
 #include "physmem.h"
 
+#include "exec/error.h"
 #include "support/logging.h"
 
 namespace vstack
@@ -11,8 +12,9 @@ PhysMem::load(const Program &prog)
     for (const auto &seg : prog.segments) {
         if (!memmap::inRam(seg.addr, static_cast<unsigned>(0)) ||
             seg.addr + seg.bytes.size() > bytes.size()) {
-            fatal("segment at 0x%08x (%zu bytes) does not fit in RAM",
-                  seg.addr, seg.bytes.size());
+            throw ImageLoadError(strprintf(
+                "segment at 0x%08x (%zu bytes) does not fit in RAM",
+                seg.addr, seg.bytes.size()));
         }
         std::memcpy(bytes.data() + seg.addr, seg.bytes.data(),
                     seg.bytes.size());

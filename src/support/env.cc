@@ -25,6 +25,19 @@ envString(const char *name, const std::string &fallback)
     return v ? std::string(v) : fallback;
 }
 
+double
+envDouble(const char *name, double fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    char *end = nullptr;
+    double parsed = std::strtod(v, &end);
+    if (end == v || *end != '\0')
+        return fallback;
+    return parsed;
+}
+
 EnvConfig
 EnvConfig::fromEnvironment()
 {
@@ -39,6 +52,11 @@ EnvConfig::fromEnvironment()
     cfg.swFaults = static_cast<size_t>(envInt("VSTACK_SW_FAULTS", faults * 3));
     cfg.seed = static_cast<uint64_t>(envInt("VSTACK_SEED", 42));
     cfg.resultsDir = envString("VSTACK_RESULTS", "results");
+    const int64_t jobs = envInt("VSTACK_JOBS", 1);
+    cfg.jobs = jobs >= 0 ? static_cast<unsigned>(jobs) : 1;
+    cfg.resume = envInt("VSTACK_RESUME", 1) != 0;
+    const double wd = envDouble("VSTACK_WATCHDOG", 4.0);
+    cfg.watchdogFactor = wd > 0 ? wd : 4.0;
     return cfg;
 }
 

@@ -9,6 +9,11 @@
  *   VSTACK_FAULTS=2000  faults per (structure x workload x core) cell
  *   VSTACK_SEED=42      campaign master seed
  *   VSTACK_RESULTS=dir  campaign result cache directory ("" disables)
+ *   VSTACK_JOBS=4       campaign worker threads (0 = all hw threads;
+ *                       results are bit-identical at any value)
+ *   VSTACK_RESUME=0     disable journal replay of interrupted campaigns
+ *   VSTACK_WATCHDOG=4.0 per-injection watchdog budget as a multiple of
+ *                       the golden run
  */
 #ifndef VSTACK_SUPPORT_ENV_H
 #define VSTACK_SUPPORT_ENV_H
@@ -25,6 +30,9 @@ int64_t envInt(const char *name, int64_t fallback);
 /** Read a string env var, returning fallback if unset. */
 std::string envString(const char *name, const std::string &fallback);
 
+/** Read a floating-point env var, returning fallback if unset/invalid. */
+double envDouble(const char *name, double fallback);
+
 /** Campaign configuration resolved from the environment. */
 struct EnvConfig
 {
@@ -38,6 +46,12 @@ struct EnvConfig
     uint64_t seed;
     /** Result-cache directory; empty string disables caching. */
     std::string resultsDir;
+    /** Campaign worker threads (0 = hardware concurrency). */
+    unsigned jobs = 1;
+    /** Replay journaled samples of interrupted campaigns. */
+    bool resume = true;
+    /** Per-injection watchdog budget factor (x golden run). */
+    double watchdogFactor = 4.0;
 
     /** Resolve from the process environment. */
     static EnvConfig fromEnvironment();

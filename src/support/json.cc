@@ -1,5 +1,6 @@
 #include "json.h"
 
+#include <atomic>
 #include <cassert>
 #include <cmath>
 #include <cstdio>
@@ -500,7 +501,13 @@ readFile(const std::string &path, std::string &out)
 bool
 writeFile(const std::string &path, const std::string &content)
 {
-    const std::string tmp = path + ".tmp";
+    // Write-to-temp + rename keeps readers from ever seeing a
+    // truncated file; a per-call unique suffix keeps concurrent
+    // writers of the same path from tearing each other's temp file.
+    static std::atomic<unsigned> counter{0};
+    const std::string tmp =
+        path + ".tmp." +
+        std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
     {
         std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
         if (!out)
@@ -509,7 +516,11 @@ writeFile(const std::string &path, const std::string &content)
         if (!out)
             return false;
     }
-    return std::rename(tmp.c_str(), path.c_str()) == 0;
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
 }
 
 } // namespace vstack

@@ -1,5 +1,7 @@
 #include "svf.h"
 
+#include <memory>
+
 #include "support/logging.h"
 #include "support/rng.h"
 
@@ -10,15 +12,23 @@ SvfCampaign::SvfCampaign(const ir::Module &mod) : m(mod), interp(mod)
 {
     golden_ = interp.run();
     if (golden_.stop != StopReason::Exited)
-        fatal("SVF golden run failed: %s", golden_.error.c_str());
+        throw GoldenRunError(
+            strprintf("SVF golden run failed: %s", golden_.error.c_str()));
 }
 
 Outcome
 SvfCampaign::runOne(uint64_t targetValueStep, int bit)
 {
+    return runOneOn(interp, targetValueStep, bit);
+}
+
+Outcome
+SvfCampaign::runOneOn(IrInterp &worker, uint64_t targetValueStep,
+                      int bit) const
+{
     SwFault fault{targetValueStep, bit};
     InterpResult r =
-        interp.runWithFault(fault, golden_.steps * 4 + 100'000);
+        worker.runWithFault(fault, watchdog.limitFor(golden_.steps));
 
     switch (r.stop) {
       case StopReason::DetectHit:
@@ -36,15 +46,39 @@ SvfCampaign::runOne(uint64_t targetValueStep, int bit)
 }
 
 OutcomeCounts
-SvfCampaign::run(size_t n, uint64_t seed)
+SvfCampaign::run(size_t n, uint64_t seed, const exec::ExecConfig &ec)
 {
     Rng master(seed ^ 0x5f0d1e2c3b4a5968ull);
-    OutcomeCounts counts;
-    for (size_t i = 0; i < n; ++i) {
+
+    // Pre-sample every fault from the i-th fork of the master stream
+    // (a pure function of (seed, i)) — see src/exec/executor.h.
+    struct SvfFault
+    {
+        uint64_t step;
+        int bit;
+    };
+    std::vector<SvfFault> faults(n);
+    for (SvfFault &f : faults) {
         Rng rng = master.fork();
-        const uint64_t step = rng.uniform(golden_.valueSteps);
-        const int bit = static_cast<int>(rng.uniform(m.xlen));
-        counts.add(runOne(step, bit));
+        f.step = rng.uniform(golden_.valueSteps);
+        f.bit = static_cast<int>(rng.uniform(m.xlen));
+    }
+
+    auto samples = exec::runSamples<Outcome>(
+        n, ec,
+        [this] { return std::make_unique<IrInterp>(m); },
+        [this, &faults](IrInterp &worker, size_t i) {
+            return runOneOn(worker, faults[i].step, faults[i].bit);
+        },
+        [](Outcome o) { return Json(static_cast<int>(o)); },
+        [](const Json &j) { return static_cast<Outcome>(j.asInt()); });
+
+    OutcomeCounts counts;
+    for (const auto &s : samples) {
+        if (s)
+            counts.add(*s);
+        else
+            ++counts.injectorErrors;
     }
     return counts;
 }

@@ -8,11 +8,15 @@
  * model: no kernel activity, no WI/WOI manifestations, no ESC class,
  * and no microarchitecture.  Like LLFI, it only supports the 64-bit
  * ISA's IR (the paper ran LLFI natively on a 64-bit Arm host).
+ *
+ * Campaigns execute through the shared engine in src/exec (parallel
+ * workers, per-sample fault containment, journaling).
  */
 #ifndef VSTACK_SWFI_SVF_H
 #define VSTACK_SWFI_SVF_H
 
 #include "compiler/ir.h"
+#include "exec/executor.h"
 #include "machine/outcome.h"
 #include "swfi/interp.h"
 
@@ -23,21 +27,33 @@ namespace vstack
 class SvfCampaign
 {
   public:
-    /** Runs the golden execution on construction (fatal on failure). */
+    /** Runs the golden execution on construction.
+     *  @throws GoldenRunError if it does not exit cleanly */
     explicit SvfCampaign(const ir::Module &m);
 
     const InterpResult &golden() const { return golden_; }
 
-    /** Run one injection. */
+    /** Per-injection watchdog budget, in IR steps relative to the
+     *  golden run (default: 4x golden + 100k). */
+    void setWatchdog(const exec::WatchdogBudget &wd) { watchdog = wd; }
+
+    /** Run one injection on the campaign's own interpreter. */
     Outcome runOne(uint64_t targetValueStep, int bit);
 
-    /** Run a campaign of n injections with uniform sampling. */
-    OutcomeCounts run(size_t n, uint64_t seed);
+    /** Run one injection on a caller-provided interpreter (workers). */
+    Outcome runOneOn(IrInterp &worker, uint64_t targetValueStep,
+                     int bit) const;
+
+    /** Run a campaign of n injections with uniform sampling.
+     *  Deterministic for a given seed at any job count. */
+    OutcomeCounts run(size_t n, uint64_t seed,
+                      const exec::ExecConfig &ec = {});
 
   private:
     const ir::Module &m;
-    IrInterp interp; ///< reused across injections
+    IrInterp interp; ///< reused across serial injections
     InterpResult golden_;
+    exec::WatchdogBudget watchdog{4.0, 100'000};
 };
 
 } // namespace vstack

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <deque>
 
+#include "exec/error.h"
 #include "support/logging.h"
 
 namespace vstack
@@ -996,7 +997,8 @@ void
 CycleSim::load(const Program &image)
 {
     if (image.isa != cfg.isa)
-        fatal("image ISA does not match core '%s'", cfg.name.c_str());
+        throw ImageLoadError(strprintf(
+            "image ISA does not match core '%s'", cfg.name.c_str()));
     impl->reset(image);
 }
 

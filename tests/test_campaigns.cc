@@ -9,6 +9,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 #include "arch/pvf.h"
 #include "compiler/compile.h"
@@ -17,6 +18,7 @@
 #include "support/logging.h"
 #include "gefin/campaign.h"
 #include "kernel/kernel.h"
+#include "swfi/svf.h"
 #include "workloads/workloads.h"
 
 namespace vstack
@@ -95,6 +97,103 @@ TEST(UarchCampaignTest, L1iFaultsManifestAsWiOrWoi)
     EXPECT_GT(r.fpms.wi + r.fpms.woi, 0u);
 }
 
+bool
+operator==(const OutcomeCounts &a, const OutcomeCounts &b)
+{
+    return a.masked == b.masked && a.sdc == b.sdc && a.crash == b.crash &&
+           a.detected == b.detected &&
+           a.injectorErrors == b.injectorErrors;
+}
+
+bool
+operator==(const UarchCampaignResult &a, const UarchCampaignResult &b)
+{
+    return a.outcomes == b.outcomes && a.fpms.wd == b.fpms.wd &&
+           a.fpms.wi == b.fpms.wi && a.fpms.woi == b.fpms.woi &&
+           a.fpms.esc == b.fpms.esc && a.hwMasked == b.hwMasked &&
+           a.samples == b.samples;
+}
+
+TEST(UarchCampaignTest, ParallelRunIsBitIdenticalToSerial)
+{
+    UarchCampaign campaign(coreByName("ax72"),
+                           systemImage("sha", IsaId::Av64));
+    auto serial = campaign.run(Structure::RF, 48, 7);
+    exec::ExecConfig four;
+    four.jobs = 4;
+    EXPECT_TRUE(serial == campaign.run(Structure::RF, 48, 7, four));
+    exec::ExecConfig all;
+    all.jobs = 0; // hardware concurrency
+    EXPECT_TRUE(serial == campaign.run(Structure::RF, 48, 7, all));
+}
+
+TEST(UarchCampaignTest, JournalResumeMatchesUninterrupted)
+{
+    const std::string dir = "/tmp/vstack_uarch_resume_test";
+    std::filesystem::remove_all(dir);
+    UarchCampaign campaign(coreByName("ax72"),
+                           systemImage("qsort", IsaId::Av64));
+    const auto uninterrupted = campaign.run(Structure::RF, 30, 3);
+
+    // First invocation journals everything; chop the journal down to
+    // a prefix to model a campaign killed mid-run.
+    const std::string path = exec::Journal::pathFor(dir, "t");
+    {
+        exec::Journal j;
+        ASSERT_TRUE(j.open(path, "t", 30, 3, false));
+        exec::ExecConfig ec;
+        ec.journal = &j;
+        campaign.run(Structure::RF, 30, 3, ec);
+    }
+    std::string text;
+    ASSERT_TRUE(readFile(path, text));
+    size_t cut = 0;
+    for (int lines = 0; lines < 12; ++lines)
+        cut = text.find('\n', cut) + 1;
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << text.substr(0, cut);
+    }
+
+    exec::Journal j;
+    ASSERT_TRUE(j.open(path, "t", 30, 3, true));
+    EXPECT_EQ(j.replayed(), 11u); // 12 lines = header + 11 samples
+    exec::ExecConfig ec;
+    ec.journal = &j;
+    ec.jobs = 2;
+    size_t firstReport = 0;
+    ec.progress = [&](size_t done, size_t) {
+        if (!firstReport)
+            firstReport = done;
+    };
+    const auto resumed = campaign.run(Structure::RF, 30, 3, ec);
+    EXPECT_TRUE(resumed == uninterrupted);
+    EXPECT_EQ(firstReport, 11u) << "journaled samples were re-simulated";
+    std::filesystem::remove_all(dir);
+}
+
+TEST(UarchCampaignTest, MismatchedImageThrowsSimError)
+{
+    // An av32 image cannot load into an av64 core: the campaign
+    // constructor must surface a typed SimError (clean CLI exit), not
+    // abort the process.
+    EXPECT_THROW(UarchCampaign(coreByName("ax72"),
+                               systemImage("sha", IsaId::Av32)),
+                 SimError);
+}
+
+TEST(UarchCampaignTest, TightWatchdogTurnsRunsIntoCrashes)
+{
+    UarchCampaign campaign(coreByName("ax72"),
+                           systemImage("sha", IsaId::Av64));
+    // A budget far below the golden runtime classifies every
+    // injection as a watchdog crash — the generalized budget is
+    // actually enforced.
+    campaign.setWatchdog({0.0, 100});
+    auto r = campaign.run(Structure::RF, 10, 3);
+    EXPECT_EQ(r.outcomes.crash, 10u);
+}
+
 TEST(UarchCampaignTest, GoldenMatchesFunctionalOutput)
 {
     Program sys = systemImage("fft", IsaId::Av64);
@@ -106,6 +205,31 @@ TEST(UarchCampaignTest, GoldenMatchesFunctionalOutput)
     ArchRunResult r = sim.run();
     EXPECT_EQ(campaign.golden().dma, r.output.dma);
     EXPECT_EQ(campaign.golden().insts, r.instCount);
+}
+
+TEST(UarchCampaignTest, JournaledErrorCountsAsInjectorError)
+{
+    const std::string dir = "/tmp/vstack_uarch_err_test";
+    std::filesystem::remove_all(dir);
+    UarchCampaign campaign(coreByName("ax72"),
+                           systemImage("qsort", IsaId::Av64));
+
+    // A quarantined sample (journaled as an error record) must fold
+    // into injectorErrors and shrink the AVF denominator — the
+    // campaign completes instead of aborting.
+    const std::string path = exec::Journal::pathFor(dir, "e");
+    exec::Journal j;
+    ASSERT_TRUE(j.open(path, "e", 20, 3, false));
+    j.appendError(0, "injected SimError");
+    exec::Journal reopened;
+    ASSERT_TRUE(reopened.open(path, "e", 20, 3, true));
+    exec::ExecConfig ec;
+    ec.journal = &reopened;
+    auto r = campaign.run(Structure::RF, 20, 3, ec);
+    EXPECT_EQ(r.outcomes.injectorErrors, 1u);
+    EXPECT_EQ(r.samples, 19u);
+    EXPECT_EQ(r.outcomes.total(), 19u);
+    std::filesystem::remove_all(dir);
 }
 
 // ---- PVF -------------------------------------------------------------------
@@ -122,6 +246,20 @@ TEST(PvfTest, DeterministicAndComplete)
         EXPECT_EQ(a.masked, b.masked) << fpmName(f);
         EXPECT_EQ(a.sdc, b.sdc) << fpmName(f);
         EXPECT_EQ(a.crash, b.crash) << fpmName(f);
+    }
+}
+
+TEST(PvfTest, ParallelRunIsBitIdenticalToSerial)
+{
+    ArchConfig cfg;
+    cfg.isa = IsaId::Av64;
+    PvfCampaign campaign(systemImage("qsort", IsaId::Av64), cfg);
+    for (Fpm f : {Fpm::WD, Fpm::WI, Fpm::WOI}) {
+        auto serial = campaign.run(f, 60, 11);
+        exec::ExecConfig four;
+        four.jobs = 4;
+        EXPECT_TRUE(serial == campaign.run(f, 60, 11, four))
+            << fpmName(f);
     }
 }
 
@@ -143,6 +281,31 @@ TEST(PvfTest, GoldenRecordsKernelShare)
     PvfCampaign campaign(systemImage("sha", IsaId::Av64), cfg);
     EXPECT_GT(campaign.golden().kernelInsts, 0u);
     EXPECT_LT(campaign.golden().kernelInsts, campaign.golden().insts);
+}
+
+// ---- SVF -------------------------------------------------------------------
+
+TEST(SvfCampaignTest, ParallelRunIsBitIdenticalToSerial)
+{
+    mcl::FrontendResult fr =
+        mcl::compileToIr(findWorkload("sha").source, 64);
+    ASSERT_TRUE(fr.ok);
+    SvfCampaign campaign(fr.module);
+    auto serial = campaign.run(80, 13);
+    exec::ExecConfig four;
+    four.jobs = 4;
+    EXPECT_TRUE(serial == campaign.run(80, 13, four));
+}
+
+TEST(SvfCampaignTest, GoldenRunFailureThrowsCleanly)
+{
+    mcl::FrontendResult fr = mcl::compileToIr(
+        "fn main(): int { var p: int* = 64 as int*; return *p; }", 64);
+    ASSERT_TRUE(fr.ok) << fr.error;
+    // The golden run faults immediately: the constructor must raise a
+    // typed GoldenRunError (one-line CLI error), not abort via
+    // fatal().
+    EXPECT_THROW(SvfCampaign campaign(fr.module), GoldenRunError);
 }
 
 // ---- result store -----------------------------------------------------------
@@ -180,6 +343,48 @@ TEST(ResultStoreTest, CorruptEntryIsIgnored)
     store.put("key", Json(1));
     writeFile(store.pathFor("key"), "{not json");
     EXPECT_FALSE(store.get("key").has_value());
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultStoreTest, TruncatedEntryIsAMissNotACrash)
+{
+    const std::string dir = "/tmp/vstack_store_test3";
+    std::filesystem::remove_all(dir);
+    ResultStore store(dir);
+    Json j = Json::object();
+    j.set("samples", 2000);
+    j.set("sdc", 123);
+    store.put("key", j);
+
+    // Model an interrupted writer of the pre-atomic era: chop the
+    // JSON mid-value.  The store must treat it as a miss.
+    std::string text;
+    ASSERT_TRUE(readFile(store.pathFor("key"), text));
+    std::ofstream(store.pathFor("key"),
+                  std::ios::binary | std::ios::trunc)
+        << text.substr(0, text.size() / 2);
+    EXPECT_FALSE(store.get("key").has_value());
+
+    // A rewrite (temp file + rename) fully replaces the damage.
+    store.put("key", j);
+    ASSERT_TRUE(store.get("key").has_value());
+    EXPECT_EQ(store.get("key")->at("sdc").asInt(), 123);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultStoreTest, PutLeavesNoTempFilesBehind)
+{
+    const std::string dir = "/tmp/vstack_store_test4";
+    std::filesystem::remove_all(dir);
+    ResultStore store(dir);
+    store.put("a", Json(1));
+    store.put("a", Json(2));
+    size_t entries = 0;
+    for (const auto &e : std::filesystem::directory_iterator(dir)) {
+        ++entries;
+        EXPECT_EQ(e.path().extension(), ".json") << e.path();
+    }
+    EXPECT_EQ(entries, 1u);
     std::filesystem::remove_all(dir);
 }
 
@@ -255,6 +460,32 @@ TEST(StackTest, MarginMatchesPaperAtScale)
     cfg.uarchFaults = 2000;
     VulnerabilityStack stack(cfg);
     EXPECT_NEAR(stack.uarchMargin(), 0.0288, 0.0002);
+}
+
+TEST(StackTest, JobsDoNotChangeResults)
+{
+    EnvConfig serial = tinyConfig("");
+    EnvConfig parallel = tinyConfig("");
+    parallel.jobs = 4;
+    VulnerabilityStack a(serial), b(parallel);
+    const Variant v{"sha", false};
+    EXPECT_TRUE(a.svf(v) == b.svf(v));
+    EXPECT_TRUE(a.pvf(IsaId::Av64, v, Fpm::WD) ==
+                b.pvf(IsaId::Av64, v, Fpm::WD));
+    EXPECT_TRUE(a.uarch("ax72", v, Structure::RF) ==
+                b.uarch("ax72", v, Structure::RF));
+}
+
+TEST(StackTest, CompletedCampaignRemovesItsJournal)
+{
+    const std::string dir = "/tmp/vstack_stack_journal_test";
+    std::filesystem::remove_all(dir);
+    VulnerabilityStack stack(tinyConfig(dir));
+    stack.svf({"sha", false});
+    // The result landed in the store; the journal must be gone.
+    EXPECT_TRUE(!std::filesystem::exists(dir + "/journal") ||
+                std::filesystem::is_empty(dir + "/journal"));
+    std::filesystem::remove_all(dir);
 }
 
 TEST(StackTest, VariantTagging)

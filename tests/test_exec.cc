@@ -1,0 +1,369 @@
+/**
+ * @file
+ * Tests for the shared campaign execution engine (src/exec): thread
+ * scaling determinism, SimError containment (retry + quarantine),
+ * journal persistence/resume/torn-line handling, and the watchdog
+ * budget.  Run under TSan by tools/ci_sanitize.sh.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "exec/error.h"
+#include "exec/executor.h"
+#include "exec/journal.h"
+#include "support/logging.h"
+
+namespace vstack
+{
+namespace
+{
+
+/** A trivially-copyable per-worker "simulator" context. */
+struct CountingCtx
+{
+    size_t runs = 0;
+};
+
+Json
+encodeU64(const uint64_t &v)
+{
+    return Json(v);
+}
+
+uint64_t
+decodeU64(const Json &j)
+{
+    return static_cast<uint64_t>(j.asInt());
+}
+
+/** Deterministic per-sample payload (mixes the index). */
+uint64_t
+mix(size_t i)
+{
+    uint64_t z = static_cast<uint64_t>(i) + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    return z ^ (z >> 27);
+}
+
+TEST(ExecutorTest, ResolveJobs)
+{
+    EXPECT_GE(exec::resolveJobs(0), 1u);
+    EXPECT_EQ(exec::resolveJobs(1), 1u);
+    EXPECT_EQ(exec::resolveJobs(7), 7u);
+}
+
+TEST(ExecutorTest, SerialRunsInCallingThread)
+{
+    const auto caller = std::this_thread::get_id();
+    exec::runOnWorkers(1, [&](unsigned) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+    });
+}
+
+TEST(ExecutorTest, AllWorkersRun)
+{
+    std::atomic<unsigned> ran{0};
+    exec::runOnWorkers(4, [&](unsigned) { ++ran; });
+    EXPECT_EQ(ran.load(), 4u);
+}
+
+TEST(ExecutorTest, WorkerExceptionIsRethrownAfterJoin)
+{
+    EXPECT_THROW(
+        exec::runOnWorkers(
+            3, [](unsigned w) {
+                if (w == 1)
+                    throw std::runtime_error("boom");
+            }),
+        std::runtime_error);
+}
+
+TEST(ExecutorTest, ResultsAreIdenticalAtAnyThreadCount)
+{
+    const size_t n = 500;
+    auto runAt = [&](unsigned jobs) {
+        exec::ExecConfig ec;
+        ec.jobs = jobs;
+        return exec::runSamples<uint64_t>(
+            n, ec, [] { return std::make_unique<CountingCtx>(); },
+            [](CountingCtx &, size_t i) { return mix(i); }, encodeU64,
+            decodeU64);
+    };
+    const auto serial = runAt(1);
+    ASSERT_EQ(serial.size(), n);
+    EXPECT_EQ(serial, runAt(4));
+    EXPECT_EQ(serial, runAt(16));
+}
+
+TEST(ExecutorTest, EverySampleRunsExactlyOnce)
+{
+    const size_t n = 300;
+    std::mutex mu;
+    std::multiset<size_t> seen;
+    exec::ExecConfig ec;
+    ec.jobs = 8;
+    exec::runSamples<uint64_t>(
+        n, ec, [] { return std::make_unique<CountingCtx>(); },
+        [&](CountingCtx &, size_t i) {
+            std::lock_guard<std::mutex> lock(mu);
+            seen.insert(i);
+            return mix(i);
+        },
+        encodeU64, decodeU64);
+    EXPECT_EQ(seen.size(), n);
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(seen.count(i), 1u) << i;
+}
+
+TEST(ExecutorTest, SimErrorIsRetriedOnce)
+{
+    std::atomic<size_t> attempts{0};
+    exec::ExecConfig ec;
+    ec.jobs = 2;
+    auto results = exec::runSamples<uint64_t>(
+        10, ec, [] { return std::make_unique<CountingCtx>(); },
+        [&](CountingCtx &, size_t i) -> uint64_t {
+            // Sample 4 fails transiently: the first attempt throws.
+            if (i == 4 && attempts.fetch_add(1) == 0)
+                throw InjectionError("transient hiccup");
+            return mix(i);
+        },
+        encodeU64, decodeU64);
+    EXPECT_EQ(attempts.load(), 2u);
+    ASSERT_TRUE(results[4].has_value());
+    EXPECT_EQ(*results[4], mix(4));
+}
+
+TEST(ExecutorTest, PersistentSimErrorQuarantinesOnlyThatSample)
+{
+    exec::ExecConfig ec;
+    ec.jobs = 4;
+    auto results = exec::runSamples<uint64_t>(
+        50, ec, [] { return std::make_unique<CountingCtx>(); },
+        [](CountingCtx &, size_t i) -> uint64_t {
+            if (i == 13)
+                throw InjectionError("deterministic failure");
+            return mix(i);
+        },
+        encodeU64, decodeU64);
+    for (size_t i = 0; i < results.size(); ++i) {
+        if (i == 13)
+            EXPECT_FALSE(results[i].has_value());
+        else
+            ASSERT_TRUE(results[i].has_value()) << i;
+    }
+}
+
+TEST(ExecutorTest, NonSimErrorPropagates)
+{
+    exec::ExecConfig ec;
+    ec.jobs = 2;
+    EXPECT_THROW(
+        exec::runSamples<uint64_t>(
+            8, ec, [] { return std::make_unique<CountingCtx>(); },
+            [](CountingCtx &, size_t) -> uint64_t {
+                throw std::logic_error("invariant violation");
+            },
+            encodeU64, decodeU64),
+        std::logic_error);
+}
+
+TEST(ExecutorTest, ProgressReachesTotalAndNeverOverlaps)
+{
+    exec::ExecConfig ec;
+    ec.jobs = 4;
+    std::vector<size_t> ticks; // progress is called under a lock
+    ec.progress = [&](size_t done, size_t total) {
+        EXPECT_EQ(total, 64u);
+        ticks.push_back(done);
+    };
+    exec::runSamples<uint64_t>(
+        64, ec, [] { return std::make_unique<CountingCtx>(); },
+        [](CountingCtx &, size_t i) { return mix(i); }, encodeU64,
+        decodeU64);
+    ASSERT_EQ(ticks.size(), 64u);
+    EXPECT_EQ(*std::max_element(ticks.begin(), ticks.end()), 64u);
+}
+
+TEST(ExecutorTest, WatchdogBudget)
+{
+    exec::WatchdogBudget wd; // defaults: 4x + 50k
+    EXPECT_EQ(wd.limitFor(1000), 54'000u);
+    exec::WatchdogBudget tight{2.0, 10};
+    EXPECT_EQ(tight.limitFor(100), 210u);
+    exec::WatchdogBudget zero{0.0, 0};
+    EXPECT_EQ(zero.limitFor(0), 1u) << "budget is never zero";
+}
+
+// ---- journal ----------------------------------------------------------------
+
+class JournalTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        dir = "/tmp/vstack_journal_test";
+        std::filesystem::remove_all(dir);
+        path = dir + "/j.jsonl";
+    }
+    void TearDown() override { std::filesystem::remove_all(dir); }
+
+    std::string dir, path;
+};
+
+TEST_F(JournalTest, AppendAndResume)
+{
+    {
+        exec::Journal j;
+        ASSERT_TRUE(j.open(path, "camp", 10, 42, false));
+        j.append(0, Json(7));
+        j.appendError(3, "injector died");
+    }
+    exec::Journal j;
+    ASSERT_TRUE(j.open(path, "camp", 10, 42, true));
+    EXPECT_EQ(j.replayed(), 2u);
+    ASSERT_NE(j.find(0), nullptr);
+    EXPECT_EQ(j.find(0)->at("r").asInt(), 7);
+    ASSERT_NE(j.find(3), nullptr);
+    EXPECT_TRUE(j.find(3)->has("err"));
+    EXPECT_EQ(j.find(1), nullptr);
+}
+
+TEST_F(JournalTest, TornTailLineIsIgnored)
+{
+    {
+        exec::Journal j;
+        ASSERT_TRUE(j.open(path, "camp", 10, 42, false));
+        j.append(0, Json(1));
+        j.append(1, Json(2));
+    }
+    // Simulate a kill mid-append: chop the file mid-way through the
+    // last line.
+    std::string text;
+    ASSERT_TRUE(readFile(path, text));
+    std::ofstream(path, std::ios::binary | std::ios::trunc)
+        << text.substr(0, text.size() - 5);
+
+    exec::Journal j;
+    ASSERT_TRUE(j.open(path, "camp", 10, 42, true));
+    EXPECT_EQ(j.replayed(), 1u);
+    EXPECT_NE(j.find(0), nullptr);
+    EXPECT_EQ(j.find(1), nullptr) << "torn record must not replay";
+}
+
+TEST_F(JournalTest, MismatchedCampaignRestartsJournal)
+{
+    {
+        exec::Journal j;
+        ASSERT_TRUE(j.open(path, "campA", 10, 42, false));
+        j.append(0, Json(1));
+    }
+    exec::Journal j;
+    ASSERT_TRUE(j.open(path, "campB", 10, 42, true));
+    EXPECT_EQ(j.replayed(), 0u) << "other campaign's samples must not leak";
+
+    exec::Journal k;
+    ASSERT_TRUE(k.open(path, "campA", 10, 42, true));
+    EXPECT_EQ(k.replayed(), 0u) << "restart truncated the old records";
+}
+
+TEST_F(JournalTest, MismatchedSeedRestartsJournal)
+{
+    {
+        exec::Journal j;
+        ASSERT_TRUE(j.open(path, "camp", 10, 42, false));
+        j.append(0, Json(1));
+    }
+    exec::Journal j;
+    ASSERT_TRUE(j.open(path, "camp", 10, 43, true));
+    EXPECT_EQ(j.replayed(), 0u);
+}
+
+TEST_F(JournalTest, NoResumeStartsFresh)
+{
+    {
+        exec::Journal j;
+        ASSERT_TRUE(j.open(path, "camp", 10, 42, false));
+        j.append(0, Json(1));
+    }
+    exec::Journal j;
+    ASSERT_TRUE(j.open(path, "camp", 10, 42, false));
+    EXPECT_EQ(j.replayed(), 0u);
+}
+
+TEST_F(JournalTest, RemoveFileDeletes)
+{
+    exec::Journal j;
+    ASSERT_TRUE(j.open(path, "camp", 10, 42, false));
+    j.append(0, Json(1));
+    j.removeFile();
+    EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST_F(JournalTest, DisabledJournalIsInert)
+{
+    exec::Journal j;
+    EXPECT_FALSE(j.enabled());
+    EXPECT_EQ(j.find(0), nullptr);
+    j.append(0, Json(1));   // no-op
+    j.appendError(1, "x");  // no-op
+    j.removeFile();         // no-op
+}
+
+TEST_F(JournalTest, ExecutorReplaysJournaledSamples)
+{
+    const size_t n = 40;
+    std::atomic<size_t> simulated{0};
+    auto runFn = [&](CountingCtx &, size_t i) -> uint64_t {
+        ++simulated;
+        if (i == 7)
+            throw InjectionError("always fails");
+        return mix(i);
+    };
+
+    exec::Journal first;
+    ASSERT_TRUE(first.open(path, "camp", n, 1, false));
+    exec::ExecConfig ec;
+    ec.jobs = 3;
+    ec.journal = &first;
+    auto full = exec::runSamples<uint64_t>(
+        n, ec, [] { return std::make_unique<CountingCtx>(); }, runFn,
+        encodeU64, decodeU64);
+    // 39 good samples + 1 quarantined (retried once => 2 attempts).
+    EXPECT_EQ(simulated.load(), n + 1);
+
+    // Resume replays everything — zero re-simulation — and the folded
+    // results (including the quarantine) are identical.
+    simulated = 0;
+    exec::Journal second;
+    ASSERT_TRUE(second.open(path, "camp", n, 1, true));
+    EXPECT_EQ(second.replayed(), n);
+    ec.journal = &second;
+    auto resumed = exec::runSamples<uint64_t>(
+        n, ec, [] { return std::make_unique<CountingCtx>(); }, runFn,
+        encodeU64, decodeU64);
+    EXPECT_EQ(simulated.load(), 0u);
+    EXPECT_EQ(resumed, full);
+    EXPECT_FALSE(resumed[7].has_value());
+}
+
+TEST_F(JournalTest, PathForSanitizes)
+{
+    const std::string p =
+        exec::Journal::pathFor("/tmp/x", "uarch/v1/a b/seed42");
+    EXPECT_EQ(p.find("/tmp/x/journal/"), 0u);
+    EXPECT_EQ(p.find(' '), std::string::npos);
+    EXPECT_NE(p.find(".jsonl"), std::string::npos);
+}
+
+} // namespace
+} // namespace vstack

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Build and test under sanitizers (VSTACK_SANITIZE CMake option):
+#
+#   - address + undefined: full tier-1 test suite
+#   - thread: the campaign-executor tests (test_exec + the parallel
+#     campaign determinism tests), i.e. everything that exercises the
+#     worker pool in src/exec
+#
+# Usage: tools/ci_sanitize.sh [build-dir-prefix]
+# Exits non-zero on the first sanitizer failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+prefix="${1:-build-san}"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+build() {
+    local san="$1" dir="$2"
+    echo "=== configure + build [${san}] -> ${dir}"
+    cmake -B "${dir}" -S . -DVSTACK_SANITIZE="${san}" \
+          -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+    cmake --build "${dir}" -j "${jobs}" > /dev/null
+}
+
+for san in address undefined; do
+    dir="${prefix}-${san}"
+    build "${san}" "${dir}"
+    echo "=== tier-1 tests [${san}]"
+    ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
+done
+
+dir="${prefix}-thread"
+build thread "${dir}"
+echo "=== executor tests [thread]"
+# The executor tests plus the campaign-level parallel determinism and
+# resume tests are the code that actually runs multithreaded.
+ctest --test-dir "${dir}" --output-on-failure -j "${jobs}" \
+      -R 'Executor|Journal|Parallel|Resume|Jobs'
+
+echo "=== all sanitizer runs passed"

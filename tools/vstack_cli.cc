@@ -15,13 +15,20 @@
  *       emulator and print the program output and run statistics.
  *   vstack campaign <file.mcl|workload> [--core ax72]
  *           [--structure RF|LSQ|L1i|L1d|L2] [-n N] [--seed S] [--harden]
+ *           [--jobs J] [--resume] [--watchdog F]
  *       Run a microarchitectural injection campaign and print
  *       AVF/HVF/FPM results.
  *   vstack svf <file.mcl|workload> [-n N] [--seed S] [--harden]
+ *           [--jobs J] [--resume]
  *       Run a software-level (LLFI-analog) campaign.
  *
  * Sources may be a path to an .mcl file or the name of a bundled
  * workload.
+ *
+ * Campaigns run on `--jobs J` worker threads with bit-identical
+ * results at any J (0 = all hardware threads).  Completed samples are
+ * journaled under $VSTACK_RESULTS/journal/, so a killed campaign can
+ * be re-invoked with `--resume` to simulate only the remainder.
  */
 #include <cstdio>
 #include <cstring>
@@ -32,9 +39,11 @@
 
 #include "arch/archsim.h"
 #include "compiler/compile.h"
+#include "exec/executor.h"
 #include "ft/harden.h"
 #include "gefin/campaign.h"
 #include "kernel/kernel.h"
+#include "support/env.h"
 #include "support/logging.h"
 #include "swfi/svf.h"
 #include "workloads/workloads.h"
@@ -56,6 +65,9 @@ struct Args
     bool harden = false;
     bool functional = false;
     int xlen = 64;
+    unsigned jobs = 1;
+    bool resume = false;
+    double watchdog = 4.0;
 };
 
 [[noreturn]] void
@@ -68,8 +80,42 @@ usage()
         "svf\n"
         "options: --isa av32|av64  --core ax9|ax15|ax57|ax72\n"
         "         --structure RF|LSQ|L1i|L1d|L2  -n N  --seed S\n"
-        "         --harden  --functional  --xlen 32|64\n");
+        "         --harden  --functional  --xlen 32|64\n"
+        "         --jobs J (0 = all hw threads)  --resume\n"
+        "         --watchdog F (injection budget, x golden run)\n");
     std::exit(2);
+}
+
+uint64_t
+numValue(const std::string &flag, const std::string &v)
+{
+    size_t pos = 0;
+    uint64_t n = 0;
+    try {
+        n = std::stoull(v, &pos);
+    } catch (const std::exception &) {
+        pos = 0;
+    }
+    if (v.empty() || v[0] == '-' || pos != v.size())
+        fatal("%s expects a non-negative integer, got '%s'", flag.c_str(),
+              v.c_str());
+    return n;
+}
+
+double
+doubleValue(const std::string &flag, const std::string &v)
+{
+    size_t pos = 0;
+    double d = 0.0;
+    try {
+        d = std::stod(v, &pos);
+    } catch (const std::exception &) {
+        pos = 0;
+    }
+    if (v.empty() || pos != v.size() || d < 0.0)
+        fatal("%s expects a non-negative number, got '%s'", flag.c_str(),
+              v.c_str());
+    return d;
 }
 
 Args
@@ -96,11 +142,17 @@ parseArgs(int argc, char **argv)
         else if (flag == "--structure")
             a.structure = value();
         else if (flag == "-n")
-            a.n = static_cast<size_t>(std::stoull(value()));
+            a.n = static_cast<size_t>(numValue(flag, value()));
         else if (flag == "--seed")
-            a.seed = std::stoull(value());
+            a.seed = numValue(flag, value());
         else if (flag == "--xlen")
-            a.xlen = std::stoi(value());
+            a.xlen = static_cast<int>(numValue(flag, value()));
+        else if (flag == "--jobs")
+            a.jobs = static_cast<unsigned>(numValue(flag, value()));
+        else if (flag == "--watchdog")
+            a.watchdog = doubleValue(flag, value());
+        else if (flag == "--resume")
+            a.resume = true;
         else if (flag == "--harden")
             a.harden = true;
         else if (flag == "--functional")
@@ -249,6 +301,44 @@ cmdRun(const Args &a)
     return 0;
 }
 
+/** Live progress line on stderr, cleared when the campaign ends. */
+struct ProgressLine
+{
+    void operator()(size_t done, size_t total) const
+    {
+        std::fprintf(stderr, "\r%zu/%zu (%zu%%)", done, total,
+                     total ? done * 100 / total : 100);
+        std::fflush(stderr);
+    }
+    ~ProgressLine()
+    {
+        std::fprintf(stderr, "\r\033[K");
+        std::fflush(stderr);
+    }
+};
+
+/**
+ * Execution policy for a CLI campaign: worker threads from --jobs, a
+ * live progress line, and a resume journal under $VSTACK_RESULTS
+ * keyed by everything that shapes the fault list.
+ */
+exec::ExecConfig
+cliExecPolicy(const Args &a, const std::string &key, exec::Journal &journal,
+              const ProgressLine &progress)
+{
+    exec::ExecConfig ec;
+    ec.jobs = a.jobs;
+    ec.progress = std::cref(progress);
+    const std::string dir = envString("VSTACK_RESULTS", "results");
+    if (!dir.empty() &&
+        journal.open(exec::Journal::pathFor(dir, key), key, a.n, a.seed,
+                     a.resume))
+        ec.journal = &journal;
+    else if (a.resume)
+        warn("no journal available; --resume starts from scratch");
+    return ec;
+}
+
 int
 cmdCampaign(const Args &a)
 {
@@ -256,19 +346,24 @@ cmdCampaign(const Args &a)
     const Structure s = parseStructure(a.structure);
     Program sys = buildSystem(a, loadSource(a.target), core.isa);
     UarchCampaign campaign(core, sys);
+    campaign.setWatchdog({a.watchdog, 50'000});
     std::printf("golden: %llu cycles, %llu insts\n",
                 static_cast<unsigned long long>(campaign.golden().cycles),
                 static_cast<unsigned long long>(campaign.golden().insts));
-    size_t done = 0;
-    UarchCampaignResult r =
-        campaign.run(s, a.n, a.seed, [&](size_t i) {
-            if (i * 10 / a.n != done) {
-                done = i * 10 / a.n;
-                std::fprintf(stderr, "\r%zu%%", done * 10);
-                std::fflush(stderr);
-            }
-        });
-    std::fprintf(stderr, "\r     \r");
+
+    UarchCampaignResult r;
+    exec::Journal journal;
+    {
+        const std::string key = strprintf(
+            "cli-campaign/%s/%s/%s%s/n%zu/seed%llu", a.target.c_str(),
+            a.core.c_str(), structureName(s), a.harden ? "/ft" : "", a.n,
+            static_cast<unsigned long long>(a.seed));
+        ProgressLine progress;
+        r = campaign.run(s, a.n, a.seed,
+                         cliExecPolicy(a, key, journal, progress));
+    }
+    journal.removeFile();
+
     std::printf("%s on %s, %zu faults (seed %llu):\n", structureName(s),
                 a.core.c_str(), a.n,
                 static_cast<unsigned long long>(a.seed));
@@ -277,6 +372,11 @@ cmdCampaign(const Args &a)
                 static_cast<unsigned long long>(r.outcomes.sdc),
                 static_cast<unsigned long long>(r.outcomes.crash),
                 static_cast<unsigned long long>(r.outcomes.detected));
+    if (r.outcomes.injectorErrors)
+        std::printf("  injectorErrors=%llu (quarantined, excluded from "
+                    "AVF)\n",
+                    static_cast<unsigned long long>(
+                        r.outcomes.injectorErrors));
     std::printf("  AVF %.2f%%  HVF %.2f%%  FPM: WD=%llu WI=%llu "
                 "WOI=%llu ESC=%llu\n",
                 r.avf() * 100, r.hvf() * 100,
@@ -292,7 +392,21 @@ cmdSvf(const Args &a)
 {
     ir::Module m = buildIr(a, loadSource(a.target), 64);
     SvfCampaign campaign(m);
-    OutcomeCounts c = campaign.run(a.n, a.seed);
+    campaign.setWatchdog({a.watchdog, 100'000});
+
+    OutcomeCounts c;
+    exec::Journal journal;
+    {
+        const std::string key = strprintf(
+            "cli-svf/%s%s/n%zu/seed%llu", a.target.c_str(),
+            a.harden ? "/ft" : "", a.n,
+            static_cast<unsigned long long>(a.seed));
+        ProgressLine progress;
+        c = campaign.run(a.n, a.seed,
+                         cliExecPolicy(a, key, journal, progress));
+    }
+    journal.removeFile();
+
     std::printf("SVF, %zu faults: masked=%llu sdc=%llu crash=%llu "
                 "detected=%llu -> %.2f%% vulnerable\n",
                 a.n, static_cast<unsigned long long>(c.masked),
@@ -300,19 +414,15 @@ cmdSvf(const Args &a)
                 static_cast<unsigned long long>(c.crash),
                 static_cast<unsigned long long>(c.detected),
                 c.vulnerability() * 100);
+    if (c.injectorErrors)
+        std::printf("  injectorErrors=%llu (quarantined, excluded)\n",
+                    static_cast<unsigned long long>(c.injectorErrors));
     return 0;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+dispatch(const Args &a)
 {
-    Args a = parseArgs(argc, argv);
-    if (a.command == "workloads")
-        return cmdWorkloads();
-    if (a.target.empty())
-        usage();
     if (a.command == "compile")
         return cmdCompile(a);
     if (a.command == "asm")
@@ -326,4 +436,25 @@ main(int argc, char **argv)
     if (a.command == "svf")
         return cmdSvf(a);
     usage();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args a = parseArgs(argc, argv);
+    if (a.command == "workloads")
+        return cmdWorkloads();
+    if (a.target.empty())
+        usage();
+    try {
+        return dispatch(a);
+    } catch (const SimError &e) {
+        // Golden-run or image failures surface as one clean line
+        // instead of an abort (per-sample errors are contained and
+        // quarantined by the executor, so they never reach here).
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
 }
