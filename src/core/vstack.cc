@@ -99,6 +99,8 @@ execPolicy(const EnvConfig &cfg, exec::Journal &journal,
 {
     exec::ExecConfig ec;
     ec.jobs = cfg.jobs;
+    ec.isolate = cfg.isolate;
+    journal.setFsync(cfg.journalFsync);
     if (!cfg.resultsDir.empty() &&
         journal.open(exec::Journal::pathFor(cfg.resultsDir, key), key, n,
                      cfg.seed, cfg.resume))
@@ -187,6 +189,8 @@ VulnerabilityStack::uarch(const std::string &core, const Variant &v,
     exec::Journal journal;
     exec::ExecConfig ec = execPolicy(cfg, journal, key, cfg.uarchFaults);
     UarchCampaignResult r = campaign.run(s, cfg.uarchFaults, cfg.seed, ec);
+    if (exec::shutdownRequested())
+        return r; // interrupted: keep the journal, never cache a partial
     store.put(key, uarchToJson(r));
     journal.removeFile();
     return r;
@@ -232,6 +236,8 @@ VulnerabilityStack::pvf(IsaId isa, const Variant &v, Fpm fpm)
     exec::Journal journal;
     exec::ExecConfig ec = execPolicy(cfg, journal, key, cfg.archFaults);
     OutcomeCounts c = campaign.run(fpm, cfg.archFaults, cfg.seed, ec);
+    if (exec::shutdownRequested())
+        return c; // interrupted: keep the journal, never cache a partial
     store.put(key, countsToJson(c));
     journal.removeFile();
     return c;
@@ -251,6 +257,8 @@ VulnerabilityStack::svf(const Variant &v)
     exec::Journal journal;
     exec::ExecConfig ec = execPolicy(cfg, journal, key, cfg.swFaults);
     OutcomeCounts c = campaign.run(cfg.swFaults, cfg.seed, ec);
+    if (exec::shutdownRequested())
+        return c; // interrupted: keep the journal, never cache a partial
     store.put(key, countsToJson(c));
     journal.removeFile();
     return c;

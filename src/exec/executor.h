@@ -26,15 +26,18 @@
 #ifndef VSTACK_EXEC_EXECUTOR_H
 #define VSTACK_EXEC_EXECUTOR_H
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <vector>
 
 #include "exec/error.h"
 #include "exec/journal.h"
+#include "exec/sandbox.h"
 
 namespace vstack::exec
 {
@@ -55,6 +58,10 @@ struct WatchdogBudget
         const double limit =
             factor * static_cast<double>(goldenUnits) +
             static_cast<double>(slack);
+        // double -> uint64_t is UB at or above 2^64 (huge golden runs
+        // at paper scale can get there); saturate instead.
+        if (limit >= 0x1p64)
+            return UINT64_MAX;
         return limit < 1.0 ? 1 : static_cast<uint64_t>(limit);
     }
 };
@@ -71,6 +78,13 @@ struct ExecConfig
     /** Optional progress callback: (samples finished, total).  Called
      *  under a lock — invocations never overlap. */
     std::function<void(size_t, size_t)> progress;
+    /** Run sample batches in forked, resource-limited children; a
+     *  child death (signal, tripped rlimit, missed wall deadline) is
+     *  triaged as a HostFault quarantine instead of killing the
+     *  campaign.  Results stay bit-identical to in-process runs. */
+    bool isolate = false;
+    /** Resource ceilings and deadline for isolated children. */
+    SandboxLimits sandbox;
 };
 
 /** Resolve a `jobs` request (0 = hardware concurrency) to >= 1. */
@@ -85,6 +99,116 @@ unsigned resolveJobs(unsigned requested);
 void runOnWorkers(unsigned jobs, const std::function<void(unsigned)> &body);
 
 /**
+ * Isolated-mode worker loop (ExecConfig::isolate): workers claim
+ * whole batches and supervise one forked child per batch via
+ * runIsolatedBatch().  makeCtx/runFn execute only inside children, so
+ * a sample that SIGSEGVs, trips an rlimit ceiling, or hangs past the
+ * wall deadline kills its child, not the campaign; the supervisor
+ * triages it as a HostFault, retries it (cfg.retries times, each in a
+ * fresh child), and finally quarantines it into the journal with its
+ * triage record.  Samples a dead child never reached are re-batched.
+ * Implementation detail of runSamples().
+ */
+template <typename R, typename MakeCtx, typename RunFn, typename Encode,
+          typename Decode>
+void
+runSamplesIsolated(std::vector<std::optional<R>> &results,
+                   const std::vector<size_t> &todo, size_t n,
+                   const ExecConfig &cfg, unsigned jobs,
+                   std::atomic<size_t> &cursor, std::atomic<size_t> &finished,
+                   std::mutex &reportMu, MakeCtx makeCtx, RunFn runFn,
+                   Encode encode, Decode decode)
+{
+    const size_t batch = std::max<size_t>(1, cfg.sandbox.batch);
+    runOnWorkers(jobs, [&](unsigned) {
+        // Materialized lazily *inside each forked child* — the parent
+        // never constructs a simulator in isolated mode, and a fresh
+        // fork always starts with a pristine (null) context because a
+        // child's writes are invisible to the parent.
+        decltype(makeCtx()) childCtx{};
+        const std::function<Json(size_t)> childRun =
+            [&](size_t i) -> Json {
+            for (unsigned attempt = 0;; ++attempt) {
+                try {
+                    if (!childCtx)
+                        childCtx = makeCtx();
+                    return encode(runFn(*childCtx, i));
+                } catch (const SimError &) {
+                    if (attempt >= cfg.retries)
+                        throw;
+                    childCtx = {}; // retry on a fresh simulator
+                }
+            }
+        };
+
+        auto report = [&](size_t i, auto journalAppend) {
+            const size_t done =
+                finished.fetch_add(1, std::memory_order_relaxed) + 1;
+            std::lock_guard<std::mutex> lock(reportMu);
+            if (cfg.journal)
+                journalAppend();
+            if (cfg.progress)
+                cfg.progress(done, n);
+            (void)i;
+        };
+
+        for (;;) {
+            if (shutdownRequested())
+                break;
+            const size_t t0 =
+                cursor.fetch_add(batch, std::memory_order_relaxed);
+            if (t0 >= todo.size())
+                break;
+            const size_t t1 = std::min(todo.size(), t0 + batch);
+            std::vector<size_t> pending(todo.begin() + t0,
+                                        todo.begin() + t1);
+            std::map<size_t, unsigned> hostFailures;
+            while (!pending.empty()) {
+                auto outcomes =
+                    runIsolatedBatch(pending, cfg.sandbox, childRun);
+                std::vector<size_t> requeue;
+                for (size_t k = 0; k < pending.size(); ++k) {
+                    const size_t i = pending[k];
+                    IsolatedOutcome &o = outcomes[k];
+                    switch (o.kind) {
+                      case IsolatedOutcome::Kind::Ok:
+                        results[i] = decode(o.payload);
+                        report(i, [&] {
+                            cfg.journal->append(i, o.payload);
+                        });
+                        break;
+                      case IsolatedOutcome::Kind::SimErr:
+                        // The child already exhausted SimError retries.
+                        report(i, [&] {
+                            cfg.journal->appendError(i, o.errMsg);
+                        });
+                        break;
+                      case IsolatedOutcome::Kind::Host:
+                        if (!shutdownRequested() &&
+                            ++hostFailures[i] <= cfg.retries) {
+                            requeue.push_back(i);
+                        } else if (!shutdownRequested()) {
+                            report(i, [&] {
+                                cfg.journal->appendHostFault(
+                                    i, o.host.describe(), o.host.toJson());
+                            });
+                        }
+                        break;
+                      case IsolatedOutcome::Kind::NotRun:
+                        if (!shutdownRequested())
+                            requeue.push_back(i);
+                        break;
+                    }
+                }
+                if (shutdownRequested())
+                    break; // drop unfinished work; journal stays valid
+                pending = std::move(requeue);
+            }
+        }
+    });
+}
+
+/**
  * Execute samples [0, n) of a campaign.
  *
  * @tparam R       per-sample result (copyable, journal-encodable)
@@ -97,9 +221,17 @@ void runOnWorkers(unsigned jobs, const std::function<void(unsigned)> &body);
  *         quarantined sample (counted as an injector error by the
  *         caller, excluded from AVF denominators)
  *
- * A non-SimError exception from runFn is not contained: it propagates
- * to the caller (after workers join) — internal invariant violations
- * should still fail loudly.
+ * In-process mode: a non-SimError exception from runFn is not
+ * contained — it propagates to the caller (after workers join), so
+ * internal invariant violations still fail loudly.  Isolated mode
+ * (cfg.isolate) cannot make that distinction: *any* child death —
+ * SIGSEGV, std::terminate, rlimit ceiling, missed wall deadline — is
+ * triaged as a HostFault and quarantined, which is the point of the
+ * sandbox.
+ *
+ * If a shutdown was requested (see sandbox.h) the run drains
+ * gracefully: finished samples are journaled, unclaimed ones are left
+ * for a --resume invocation, and unfinished entries read as nullopt.
  */
 template <typename R, typename MakeCtx, typename RunFn, typename Encode,
           typename Decode>
@@ -134,9 +266,17 @@ runSamples(size_t n, const ExecConfig &cfg, MakeCtx makeCtx, RunFn runFn,
     std::atomic<size_t> finished{replayed};
     std::mutex reportMu; // serializes journal appends + progress
 
+    if (cfg.isolate) {
+        runSamplesIsolated(results, todo, n, cfg, jobs, cursor, finished,
+                           reportMu, makeCtx, runFn, encode, decode);
+        return results;
+    }
+
     runOnWorkers(jobs, [&](unsigned) {
         auto ctx = makeCtx();
         for (;;) {
+            if (shutdownRequested())
+                break; // graceful drain: stop claiming samples
             const size_t t = cursor.fetch_add(1, std::memory_order_relaxed);
             if (t >= todo.size())
                 break;

@@ -3,6 +3,8 @@
 #include <cctype>
 #include <filesystem>
 
+#include <unistd.h>
+
 #include "support/logging.h"
 
 namespace vstack::exec
@@ -111,6 +113,8 @@ Journal::writeLine(const Json &line)
     std::fwrite(text.data(), 1, text.size(), out);
     std::fputc('\n', out);
     std::fflush(out);
+    if (fsyncOnAppend)
+        ::fsync(::fileno(out));
 }
 
 void
@@ -133,6 +137,20 @@ Journal::appendError(size_t i, const std::string &msg)
     Json j = Json::object();
     j.set("i", i);
     j.set("err", msg);
+    std::lock_guard<std::mutex> lock(mu);
+    writeLine(j);
+}
+
+void
+Journal::appendHostFault(size_t i, const std::string &msg,
+                         const Json &triage)
+{
+    if (!out)
+        return;
+    Json j = Json::object();
+    j.set("i", i);
+    j.set("err", msg);
+    j.set("hf", triage);
     std::lock_guard<std::mutex> lock(mu);
     writeLine(j);
 }

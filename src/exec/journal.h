@@ -15,6 +15,10 @@
  *   {"meta":{"campaign":"<key>","n":N,"seed":S}}   <- header line
  *   {"i":0,"r":{...}}                              <- completed sample
  *   {"i":3,"err":"<message>"}                      <- quarantined sample
+ *   {"i":5,"err":"<message>","hf":{...}}           <- host-fault triage
+ *                                                     (sandboxed child
+ *                                                     died; see
+ *                                                     exec/sandbox.h)
  *
  * A truncated final line (torn write at kill time) parses as garbage
  * and is skipped; a header that does not match the requesting
@@ -79,6 +83,22 @@ class Journal
     /** Append a quarantined sample (thread-safe, flushed per line). */
     void appendError(size_t i, const std::string &msg);
 
+    /**
+     * Append a host-fault quarantine: an "err" record carrying the
+     * sandbox triage object under "hf" (signal, rusage, phase).
+     * Replays as a quarantine like any other error record.
+     */
+    void appendHostFault(size_t i, const std::string &msg,
+                         const Json &triage);
+
+    /**
+     * fsync the file after every append (default off).  fflush alone
+     * survives a process kill; fsync also survives host power loss,
+     * at a large per-sample latency cost (VSTACK_JOURNAL_FSYNC; cost
+     * documented in DESIGN.md §7).
+     */
+    void setFsync(bool on) { fsyncOnAppend = on; }
+
     /** Close and delete the journal file (campaign completed). */
     void removeFile();
 
@@ -93,6 +113,7 @@ class Journal
     std::string path_;
     std::map<size_t, Json> records;
     std::FILE *out = nullptr;
+    bool fsyncOnAppend = false;
     std::mutex mu;
 };
 

@@ -1,0 +1,367 @@
+#include "sandbox.h"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <map>
+
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "exec/error.h"
+#include "support/logging.h"
+
+// ASan/TSan map tens of terabytes of shadow address space, so any
+// realistic RLIMIT_AS kills the child at startup; skip the address-
+// space ceiling under sanitizers (CPU/stack/wall limits still apply).
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define VSTACK_SANDBOX_SKIP_AS_LIMIT 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define VSTACK_SANDBOX_SKIP_AS_LIMIT 1
+#endif
+#endif
+
+namespace vstack::exec
+{
+
+namespace
+{
+
+// ---- graceful shutdown ------------------------------------------------------
+
+std::atomic<int> g_shutdown{0};
+
+extern "C" void
+onShutdownSignal(int)
+{
+    // Second signal: the user really means it — die now.  _exit is
+    // async-signal-safe; 130 is the conventional SIGINT exit code.
+    if (g_shutdown.exchange(1))
+        _exit(130);
+}
+
+// ---- child side -------------------------------------------------------------
+
+/** write() the whole buffer; a broken pipe means the supervisor is
+ *  gone, so the child just dies. */
+void
+writeAll(int fd, const char *data, size_t len)
+{
+    while (len) {
+        const ssize_t w = ::write(fd, data, len);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            _exit(121);
+        }
+        data += w;
+        len -= static_cast<size_t>(w);
+    }
+}
+
+void
+writeLine(int fd, const Json &j)
+{
+    std::string s = j.dump();
+    s += '\n';
+    writeAll(fd, s.data(), s.size());
+}
+
+/** Lower a soft limit (clamped to the current hard limit). */
+void
+applyLimit(int resource, uint64_t value)
+{
+    if (!value)
+        return;
+    struct rlimit rl {};
+    if (::getrlimit(resource, &rl) != 0)
+        return;
+    rlim_t v = static_cast<rlim_t>(value);
+    if (rl.rlim_max != RLIM_INFINITY && v > rl.rlim_max)
+        v = rl.rlim_max;
+    rl.rlim_cur = v;
+    ::setrlimit(resource, &rl);
+}
+
+[[noreturn]] void
+childMain(int fd, const SandboxLimits &limits,
+          const std::vector<size_t> &indices,
+          const std::function<Json(size_t)> &runEncoded)
+{
+    // The child must die on terminal signals (the parent supervises),
+    // and a crashing injection should not litter core files.
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    struct rlimit noCore {0, 0};
+    ::setrlimit(RLIMIT_CORE, &noCore);
+#ifndef VSTACK_SANDBOX_SKIP_AS_LIMIT
+    applyLimit(RLIMIT_AS, limits.memBytes);
+#endif
+    applyLimit(RLIMIT_CPU, limits.cpuSeconds);
+    applyLimit(RLIMIT_STACK, limits.stackBytes);
+
+    for (size_t i : indices) {
+        Json begin = Json::object();
+        begin.set("s", i);
+        writeLine(fd, begin);
+        Json line = Json::object();
+        line.set("i", i);
+        try {
+            line.set("r", runEncoded(i));
+        } catch (const SimError &e) {
+            line.set("err", std::string(e.what()));
+        } catch (...) {
+            // A non-SimError (bad_alloc from a resource ceiling, logic
+            // error) must not unwind into stack frames forked from the
+            // supervisor: die here and let the parent triage the death
+            // as a HostFault on the in-flight sample.
+            _exit(122);
+        }
+        writeLine(fd, line);
+    }
+    // _exit: never flush stdio streams inherited from the parent
+    // (journal FILE*, progress line) — those belong to the supervisor.
+    _exit(0);
+}
+
+// ---- parent side ------------------------------------------------------------
+
+double
+tvSeconds(const struct timeval &tv)
+{
+    return static_cast<double>(tv.tv_sec) +
+           static_cast<double>(tv.tv_usec) / 1e6;
+}
+
+} // namespace
+
+std::string
+HostFault::describe() const
+{
+    std::string why;
+    if (timedOut)
+        why = "missed the wall-clock deadline";
+    else if (signal == SIGXCPU)
+        why = "tripped the CPU-time ceiling (SIGXCPU)";
+    else if (signal)
+        why = strprintf("died on signal %d (%s)", signal,
+                        strsignal(signal));
+    else
+        why = strprintf("exited with status %d mid-batch", exitCode);
+    return strprintf("host fault: child %s in phase %s "
+                     "(%.2fs user, %.2fs sys, %ld KiB peak RSS)",
+                     why.c_str(), phase.c_str(), userSec, sysSec,
+                     maxRssKb);
+}
+
+Json
+HostFault::toJson() const
+{
+    Json j = Json::object();
+    j.set("sig", signal);
+    j.set("exit", exitCode);
+    j.set("timeout", timedOut);
+    j.set("rssKb", static_cast<int64_t>(maxRssKb));
+    j.set("usr", userSec);
+    j.set("sys", sysSec);
+    j.set("phase", phase);
+    return j;
+}
+
+std::vector<IsolatedOutcome>
+runIsolatedBatch(const std::vector<size_t> &indices,
+                 const SandboxLimits &limits,
+                 const std::function<Json(size_t)> &runEncoded)
+{
+    std::vector<IsolatedOutcome> out(indices.size());
+    std::map<size_t, size_t> posOf;
+    for (size_t k = 0; k < indices.size(); ++k)
+        posOf[indices[k]] = k;
+
+    int fds[2];
+    if (::pipe(fds) != 0)
+        fatal("sandbox: pipe: %s", std::strerror(errno));
+    const pid_t pid = ::fork();
+    if (pid < 0)
+        fatal("sandbox: fork: %s", std::strerror(errno));
+    if (pid == 0) {
+        ::close(fds[0]);
+        childMain(fds[1], limits, indices, runEncoded);
+    }
+    ::close(fds[1]);
+
+    using Clock = std::chrono::steady_clock;
+    const auto wall = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(
+            limits.wallSeconds > 0 ? limits.wallSeconds : 0));
+    auto deadline = Clock::now() + wall;
+
+    // inflight = position of the last begun-but-unfinished sample.
+    ptrdiff_t inflight = -1;
+    bool timedOut = false, interrupted = false;
+    std::string buf;
+
+    auto consumeLines = [&] {
+        size_t pos = 0;
+        for (size_t eol; (eol = buf.find('\n', pos)) != std::string::npos;
+             pos = eol + 1) {
+            std::string err;
+            Json j = Json::parse(buf.substr(pos, eol - pos), &err);
+            if (!err.empty() || !j.isObject())
+                continue; // torn write at child death time
+            if (j.has("s")) {
+                auto it = posOf.find(static_cast<size_t>(j.at("s").asInt()));
+                if (it != posOf.end()) {
+                    inflight = static_cast<ptrdiff_t>(it->second);
+                    deadline = Clock::now() + wall; // per-sample clock
+                }
+            } else if (j.has("i")) {
+                auto it = posOf.find(static_cast<size_t>(j.at("i").asInt()));
+                if (it == posOf.end())
+                    continue;
+                IsolatedOutcome &o = out[it->second];
+                if (j.has("r")) {
+                    o.kind = IsolatedOutcome::Kind::Ok;
+                    o.payload = j.at("r");
+                } else {
+                    o.kind = IsolatedOutcome::Kind::SimErr;
+                    o.errMsg = j.has("err") ? j.at("err").asString() : "";
+                }
+                if (inflight == static_cast<ptrdiff_t>(it->second))
+                    inflight = -1;
+            }
+        }
+        buf.erase(0, pos);
+    };
+
+    for (;;) {
+        if (shutdownRequested()) {
+            interrupted = true;
+            ::kill(pid, SIGKILL);
+            break;
+        }
+        int timeoutMs = 250;
+        if (limits.wallSeconds > 0) {
+            const auto left = deadline - Clock::now();
+            if (left <= Clock::duration::zero()) {
+                timedOut = true;
+                ::kill(pid, SIGKILL);
+                break;
+            }
+            const auto leftMs =
+                std::chrono::duration_cast<std::chrono::milliseconds>(left)
+                    .count() +
+                1;
+            if (leftMs < timeoutMs)
+                timeoutMs = static_cast<int>(leftMs);
+        }
+        struct pollfd p {fds[0], POLLIN, 0};
+        const int pr = ::poll(&p, 1, timeoutMs);
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (pr == 0)
+            continue;
+        char chunk[4096];
+        const ssize_t r = ::read(fds[0], chunk, sizeof chunk);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (r == 0)
+            break; // EOF: child closed the pipe (finished or died)
+        buf.append(chunk, static_cast<size_t>(r));
+        consumeLines();
+    }
+
+    // Drain what the child managed to write before it died (the child
+    // is dead or dying, so EOF is imminent and this cannot hang).
+    for (;;) {
+        char chunk[4096];
+        const ssize_t r = ::read(fds[0], chunk, sizeof chunk);
+        if (r < 0 && errno == EINTR)
+            continue;
+        if (r <= 0)
+            break;
+        buf.append(chunk, static_cast<size_t>(r));
+    }
+    consumeLines();
+    ::close(fds[0]);
+
+    int status = 0;
+    struct rusage ru {};
+    while (::wait4(pid, &status, 0, &ru) < 0 && errno == EINTR) {
+    }
+
+    if (interrupted)
+        return out; // unfinished samples stay NotRun; caller drops them
+
+    // Blame the child's death on the in-flight sample, or — if it died
+    // between samples / during setup — on the first one it never
+    // finished.  Everything after the blamed sample stays NotRun and
+    // is re-batched into a fresh child by the executor.
+    ptrdiff_t blame = inflight;
+    std::string phase = "run";
+    if (blame < 0) {
+        for (size_t k = 0; k < out.size(); ++k) {
+            if (out[k].kind == IsolatedOutcome::Kind::NotRun) {
+                blame = static_cast<ptrdiff_t>(k);
+                phase = "setup";
+                break;
+            }
+        }
+    }
+    const bool cleanExit = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    if (blame >= 0 && (!cleanExit || timedOut ||
+                       out[blame].kind == IsolatedOutcome::Kind::NotRun)) {
+        IsolatedOutcome &o = out[blame];
+        o.kind = IsolatedOutcome::Kind::Host;
+        o.host.signal = WIFSIGNALED(status) ? WTERMSIG(status) : 0;
+        o.host.exitCode = WIFEXITED(status) ? WEXITSTATUS(status) : 0;
+        o.host.timedOut = timedOut;
+        o.host.maxRssKb = ru.ru_maxrss;
+        o.host.userSec = tvSeconds(ru.ru_utime);
+        o.host.sysSec = tvSeconds(ru.ru_stime);
+        o.host.phase = phase;
+    }
+    return out;
+}
+
+void
+installShutdownHandler()
+{
+    struct sigaction sa {};
+    sa.sa_handler = onShutdownSignal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0; // no SA_RESTART: wake blocking poll/read promptly
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+bool
+shutdownRequested()
+{
+    return g_shutdown.load(std::memory_order_relaxed) != 0;
+}
+
+void
+requestShutdown()
+{
+    g_shutdown.store(1, std::memory_order_relaxed);
+}
+
+void
+clearShutdown()
+{
+    g_shutdown.store(0, std::memory_order_relaxed);
+}
+
+} // namespace vstack::exec

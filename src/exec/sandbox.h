@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Process-isolated injection sandbox (ZOFI-style fork supervisor).
+ *
+ * Feeding simulators corrupted state means an injection can drive the
+ * *host* process into failure modes a C++ exception never surfaces:
+ * SIGSEGV/SIGFPE inside the simulator, stack overflow in recursive
+ * workloads, runaway allocation, or a wall-clock hang the
+ * simulated-unit watchdog cannot see.  In isolated mode the executor
+ * runs each batch of samples in a forked child under setrlimit
+ * ceilings and a supervisor-enforced per-sample wall-clock deadline;
+ * results stream back over a pipe as the journal's JSON line
+ * encoding, and a child that dies on a signal, trips a ceiling, or
+ * misses its deadline is classified into a HostFault triage record
+ * (signal, exit status, rusage, phase) instead of taking down the
+ * campaign.
+ *
+ * Determinism is preserved by construction: per-sample RNG streams
+ * are pre-derived in the parent before any fork, so isolated runs are
+ * bit-identical to in-process runs at any jobs count.
+ *
+ * The supervisor also owns graceful-shutdown state: a SIGINT/SIGTERM
+ * handler (installShutdownHandler) flips a flag that makes workers
+ * stop claiming samples and supervisors reap their children, so an
+ * interrupted campaign flushes its journal and stays resumable.
+ */
+#ifndef VSTACK_EXEC_SANDBOX_H
+#define VSTACK_EXEC_SANDBOX_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "support/json.h"
+
+namespace vstack::exec
+{
+
+/** Resource ceilings and deadline for one sandboxed child. */
+struct SandboxLimits
+{
+    /** RLIMIT_AS ceiling in bytes (0 = unlimited). */
+    uint64_t memBytes = 4ull << 30;
+    /** RLIMIT_CPU ceiling in seconds (0 = unlimited). */
+    uint64_t cpuSeconds = 300;
+    /** RLIMIT_STACK ceiling in bytes (0 = inherit). */
+    uint64_t stackBytes = 64ull << 20;
+    /** Supervisor wall-clock deadline per sample, in seconds; covers
+     *  host-level hangs the simulated-unit watchdog cannot see
+     *  (0 = no deadline).  The clock restarts at each sample, so it
+     *  must cover one injection plus, for a child's first sample,
+     *  simulator construction. */
+    double wallSeconds = 60.0;
+    /** Samples per forked child (amortizes the fork). */
+    unsigned batch = 8;
+};
+
+/** Triage record of a child that died outside the fault model. */
+struct HostFault
+{
+    int signal = 0;        ///< terminating signal (0 = exited)
+    int exitCode = 0;      ///< exit status when signal == 0
+    bool timedOut = false; ///< supervisor wall-clock deadline expired
+    long maxRssKb = 0;     ///< child peak RSS (rusage, KiB)
+    double userSec = 0.0;  ///< child user CPU seconds
+    double sysSec = 0.0;   ///< child system CPU seconds
+    /** "run" = died inside a sample's injection; "setup" = died
+     *  between samples or before the first one started. */
+    std::string phase = "run";
+
+    /** One-line human description (journal "err" field). */
+    std::string describe() const;
+    /** Structured triage payload (journal "hf" field). */
+    Json toJson() const;
+};
+
+/** Per-index outcome of one isolated batch. */
+struct IsolatedOutcome
+{
+    enum class Kind {
+        Ok,     ///< sample completed; payload holds the encoded result
+        SimErr, ///< child exhausted SimError retries; errMsg set
+        Host,   ///< child died on this sample; host triage set
+        NotRun, ///< never attempted (a predecessor killed the child)
+    };
+    Kind kind = Kind::NotRun;
+    Json payload;
+    std::string errMsg;
+    HostFault host;
+};
+
+/**
+ * Run `indices` in one forked, resource-limited child.
+ *
+ * `runEncoded(i)` executes only in the child; it returns the sample's
+ * encoded journal payload or throws SimError (which the child reports
+ * as a SimErr outcome).  Any other child death — signal, tripped
+ * rlimit, missed deadline, premature exit — is triaged as a Host
+ * outcome on the in-flight sample; samples the child never reached
+ * come back NotRun so the caller can re-batch them into a fresh
+ * child.  If shutdown is requested mid-batch the child is killed and
+ * unfinished samples come back NotRun.
+ *
+ * Thread-safe: may be called concurrently from multiple worker
+ * threads (each supervises its own child).
+ */
+std::vector<IsolatedOutcome>
+runIsolatedBatch(const std::vector<size_t> &indices,
+                 const SandboxLimits &limits,
+                 const std::function<Json(size_t)> &runEncoded);
+
+/**
+ * Install a SIGINT/SIGTERM handler that requests a graceful campaign
+ * drain: workers stop claiming samples, supervisors kill and reap
+ * their children, the journal keeps every finished record.  A second
+ * signal exits immediately.  Intended for CLI drivers; the library
+ * never installs handlers behind the caller's back.
+ */
+void installShutdownHandler();
+
+/** True once a shutdown signal (or requestShutdown) was seen. */
+bool shutdownRequested();
+
+/** Programmatic shutdown request (tests, embedders). */
+void requestShutdown();
+
+/** Reset the shutdown flag (tests; call between campaigns). */
+void clearShutdown();
+
+} // namespace vstack::exec
+
+#endif // VSTACK_EXEC_SANDBOX_H

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "support/logging.h"
+
 namespace vstack
 {
 
@@ -38,6 +40,39 @@ envDouble(const char *name, double fallback)
     return parsed;
 }
 
+int64_t
+envIntStrict(const char *name, int64_t fallback, int64_t min)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    char *end = nullptr;
+    long long parsed = std::strtoll(v, &end, 0);
+    if (end == v || *end != '\0' || parsed < min)
+        fatal("%s must be an integer >= %lld, got '%s'", name,
+              static_cast<long long>(min), v);
+    return parsed;
+}
+
+double
+envDoubleStrict(const char *name, double fallback, double min)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    char *end = nullptr;
+    double parsed = std::strtod(v, &end);
+    if (end == v || *end != '\0' || !(parsed >= min))
+        fatal("%s must be a number >= %g, got '%s'", name, min, v);
+    return parsed;
+}
+
+bool
+envFlagStrict(const char *name, bool fallback)
+{
+    return envIntStrict(name, fallback ? 1 : 0, 0) != 0;
+}
+
 EnvConfig
 EnvConfig::fromEnvironment()
 {
@@ -52,11 +87,16 @@ EnvConfig::fromEnvironment()
     cfg.swFaults = static_cast<size_t>(envInt("VSTACK_SW_FAULTS", faults * 3));
     cfg.seed = static_cast<uint64_t>(envInt("VSTACK_SEED", 42));
     cfg.resultsDir = envString("VSTACK_RESULTS", "results");
-    const int64_t jobs = envInt("VSTACK_JOBS", 1);
-    cfg.jobs = jobs >= 0 ? static_cast<unsigned>(jobs) : 1;
+    // Execution-shaping knobs are validated strictly: a negative or
+    // garbage VSTACK_JOBS/VSTACK_ISOLATE silently misconfiguring a
+    // multi-hour campaign is worse than failing at startup.
+    cfg.jobs = static_cast<unsigned>(envIntStrict("VSTACK_JOBS", 1, 0));
     cfg.resume = envInt("VSTACK_RESUME", 1) != 0;
-    const double wd = envDouble("VSTACK_WATCHDOG", 4.0);
-    cfg.watchdogFactor = wd > 0 ? wd : 4.0;
+    // A watchdog factor below 1.0 would classify even the golden
+    // runtime as a hang; reject it at parse time.
+    cfg.watchdogFactor = envDoubleStrict("VSTACK_WATCHDOG", 4.0, 1.0);
+    cfg.isolate = envFlagStrict("VSTACK_ISOLATE");
+    cfg.journalFsync = envFlagStrict("VSTACK_JOURNAL_FSYNC");
     return cfg;
 }
 

@@ -13,7 +13,18 @@
  *                       results are bit-identical at any value)
  *   VSTACK_RESUME=0     disable journal replay of interrupted campaigns
  *   VSTACK_WATCHDOG=4.0 per-injection watchdog budget as a multiple of
- *                       the golden run
+ *                       the golden run (must be >= 1.0)
+ *   VSTACK_ISOLATE=1    fork each sample batch into a supervised,
+ *                       resource-limited child; host-level failures
+ *                       (SIGSEGV, runaway allocation, hangs) are
+ *                       quarantined instead of killing the campaign
+ *   VSTACK_JOURNAL_FSYNC=1  fsync the resume journal per appended
+ *                       sample (survives power loss, not just kills)
+ *
+ * Values that shape execution (VSTACK_JOBS, VSTACK_ISOLATE,
+ * VSTACK_WATCHDOG, VSTACK_JOURNAL_FSYNC) are validated strictly: a
+ * set-but-garbage value is a one-line fatal error, never a silent
+ * fallback to a misconfigured campaign.
  */
 #ifndef VSTACK_SUPPORT_ENV_H
 #define VSTACK_SUPPORT_ENV_H
@@ -32,6 +43,14 @@ std::string envString(const char *name, const std::string &fallback);
 
 /** Read a floating-point env var, returning fallback if unset/invalid. */
 double envDouble(const char *name, double fallback);
+
+/** @name Strict variants: a set-but-invalid (unparseable or < min)
+ *  value is a one-line fatal error instead of a silent fallback. @{ */
+int64_t envIntStrict(const char *name, int64_t fallback, int64_t min);
+double envDoubleStrict(const char *name, double fallback, double min);
+/** Boolean flag: unset -> fallback, integer -> nonzero, else fatal. */
+bool envFlagStrict(const char *name, bool fallback = false);
+/** @} */
 
 /** Campaign configuration resolved from the environment. */
 struct EnvConfig
@@ -52,6 +71,10 @@ struct EnvConfig
     bool resume = true;
     /** Per-injection watchdog budget factor (x golden run). */
     double watchdogFactor = 4.0;
+    /** Run sample batches in forked, resource-limited children. */
+    bool isolate = false;
+    /** fsync the resume journal after every appended sample. */
+    bool journalFsync = false;
 
     /** Resolve from the process environment. */
     static EnvConfig fromEnvironment();

@@ -7,6 +7,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <csignal>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -232,6 +233,49 @@ TEST(UarchCampaignTest, JournaledErrorCountsAsInjectorError)
     std::filesystem::remove_all(dir);
 }
 
+// Sandbox-backed campaign runs fork real children; these tests are
+// named to stay out of the TSan stage's ctest filter (fork from a
+// multithreaded TSan process is unsupported — tools/ci_sanitize.sh).
+TEST(UarchCampaignTest, IsolatedRunMatchesInProcess)
+{
+    UarchCampaign campaign(coreByName("ax72"),
+                           systemImage("sha", IsaId::Av64));
+    auto inProcess = campaign.run(Structure::RF, 24, 7);
+    exec::ExecConfig ec;
+    ec.isolate = true;
+    ec.jobs = 2;
+    ec.sandbox.batch = 4;
+    EXPECT_TRUE(inProcess == campaign.run(Structure::RF, 24, 7, ec));
+}
+
+TEST(UarchCampaignTest, HostFaultRecordFoldsIntoInjectorErrors)
+{
+    const std::string dir = "/tmp/vstack_uarch_hf_test";
+    std::filesystem::remove_all(dir);
+    UarchCampaign campaign(coreByName("ax72"),
+                           systemImage("qsort", IsaId::Av64));
+
+    // A sandboxed child death is journaled as a HostFault triage
+    // record; on resume it must fold into injectorErrors exactly like
+    // a SimError quarantine (excluded from the AVF denominator).
+    exec::HostFault hf;
+    hf.signal = SIGSEGV;
+    hf.phase = "run";
+    const std::string path = exec::Journal::pathFor(dir, "hf");
+    exec::Journal j;
+    ASSERT_TRUE(j.open(path, "hf", 20, 3, false));
+    j.appendHostFault(0, hf.describe(), hf.toJson());
+    exec::Journal reopened;
+    ASSERT_TRUE(reopened.open(path, "hf", 20, 3, true));
+    exec::ExecConfig ec;
+    ec.journal = &reopened;
+    auto r = campaign.run(Structure::RF, 20, 3, ec);
+    EXPECT_EQ(r.outcomes.injectorErrors, 1u);
+    EXPECT_EQ(r.samples, 19u);
+    EXPECT_EQ(r.outcomes.total(), 19u);
+    std::filesystem::remove_all(dir);
+}
+
 // ---- PVF -------------------------------------------------------------------
 
 TEST(PvfTest, DeterministicAndComplete)
@@ -295,6 +339,20 @@ TEST(SvfCampaignTest, ParallelRunIsBitIdenticalToSerial)
     exec::ExecConfig four;
     four.jobs = 4;
     EXPECT_TRUE(serial == campaign.run(80, 13, four));
+}
+
+TEST(SvfCampaignTest, IsolatedRunMatchesInProcess)
+{
+    mcl::FrontendResult fr =
+        mcl::compileToIr(findWorkload("sha").source, 64);
+    ASSERT_TRUE(fr.ok);
+    SvfCampaign campaign(fr.module);
+    auto inProcess = campaign.run(40, 13);
+    exec::ExecConfig ec;
+    ec.isolate = true;
+    ec.jobs = 2;
+    ec.sandbox.batch = 8;
+    EXPECT_TRUE(inProcess == campaign.run(40, 13, ec));
 }
 
 TEST(SvfCampaignTest, GoldenRunFailureThrowsCleanly)

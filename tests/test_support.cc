@@ -330,5 +330,60 @@ TEST(Env, ConfigDefaultsScaleFromFaults)
     ::unsetenv("VSTACK_FAULTS");
 }
 
+TEST(Env, StrictVariantsPassThroughValidAndUnset)
+{
+    ::unsetenv("VSTACK_TEST_STRICT");
+    EXPECT_EQ(envIntStrict("VSTACK_TEST_STRICT", 5, 0), 5);
+    EXPECT_EQ(envDoubleStrict("VSTACK_TEST_STRICT", 2.5, 1.0), 2.5);
+    EXPECT_FALSE(envFlagStrict("VSTACK_TEST_STRICT"));
+    ::setenv("VSTACK_TEST_STRICT", "3", 1);
+    EXPECT_EQ(envIntStrict("VSTACK_TEST_STRICT", 5, 0), 3);
+    EXPECT_EQ(envDoubleStrict("VSTACK_TEST_STRICT", 2.5, 1.0), 3.0);
+    EXPECT_TRUE(envFlagStrict("VSTACK_TEST_STRICT"));
+    ::setenv("VSTACK_TEST_STRICT", "0", 1);
+    EXPECT_FALSE(envFlagStrict("VSTACK_TEST_STRICT"));
+    ::unsetenv("VSTACK_TEST_STRICT");
+}
+
+TEST(EnvDeathTest, StrictIntRejectsGarbageAndNegative)
+{
+    ::setenv("VSTACK_TEST_STRICT", "junk", 1);
+    EXPECT_DEATH(envIntStrict("VSTACK_TEST_STRICT", 1, 0),
+                 "must be an integer");
+    ::setenv("VSTACK_TEST_STRICT", "-2", 1);
+    EXPECT_DEATH(envIntStrict("VSTACK_TEST_STRICT", 1, 0),
+                 "must be an integer >= 0");
+    ::unsetenv("VSTACK_TEST_STRICT");
+}
+
+TEST(EnvDeathTest, StrictDoubleRejectsGarbageAndBelowMin)
+{
+    ::setenv("VSTACK_TEST_STRICT", "fast", 1);
+    EXPECT_DEATH(envDoubleStrict("VSTACK_TEST_STRICT", 4.0, 1.0),
+                 "must be a number");
+    ::setenv("VSTACK_TEST_STRICT", "0.5", 1);
+    EXPECT_DEATH(envDoubleStrict("VSTACK_TEST_STRICT", 4.0, 1.0),
+                 "must be a number >= 1");
+    ::setenv("VSTACK_TEST_STRICT", "nan", 1);
+    EXPECT_DEATH(envDoubleStrict("VSTACK_TEST_STRICT", 4.0, 1.0),
+                 "must be a number");
+    ::unsetenv("VSTACK_TEST_STRICT");
+}
+
+TEST(EnvDeathTest, ConfigRejectsMisconfiguredExecutionKnobs)
+{
+    // A garbage VSTACK_JOBS / VSTACK_ISOLATE or a sub-1.0 watchdog
+    // must fail at startup, not silently fall back mid-campaign.
+    ::setenv("VSTACK_JOBS", "many", 1);
+    EXPECT_DEATH(EnvConfig::fromEnvironment(), "VSTACK_JOBS");
+    ::unsetenv("VSTACK_JOBS");
+    ::setenv("VSTACK_ISOLATE", "yes please", 1);
+    EXPECT_DEATH(EnvConfig::fromEnvironment(), "VSTACK_ISOLATE");
+    ::unsetenv("VSTACK_ISOLATE");
+    ::setenv("VSTACK_WATCHDOG", "0.5", 1);
+    EXPECT_DEATH(EnvConfig::fromEnvironment(), "VSTACK_WATCHDOG");
+    ::unsetenv("VSTACK_WATCHDOG");
+}
+
 } // namespace
 } // namespace vstack

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Crash-consistency stress for the campaign journal: SIGKILL a live
+# isolated campaign several times mid-run, then let `--resume` finish
+# the remainder and verify the final report is byte-identical to an
+# uninterrupted run (per-sample RNG derivation makes the aggregate
+# independent of where the kills landed).
+#
+# Usage: tools/stress_resume.sh [build-dir] [kills]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build="${1:-build}"
+kills="${2:-3}"
+vstack="${build}/tools/vstack"
+if [ ! -x "${vstack}" ]; then
+    echo "error: ${vstack} not built (cmake --build ${build})" >&2
+    exit 1
+fi
+
+work="$(mktemp -d)"
+trap 'rm -rf "${work}"' EXIT
+
+cmd=(campaign sha --core ax72 --structure RF -n 200 --seed 7 --jobs 2)
+
+echo "=== reference: uninterrupted run"
+VSTACK_RESULTS="${work}/ref" "${vstack}" "${cmd[@]}" > "${work}/ref.out" 2>/dev/null
+
+echo "=== killing a live isolated campaign ${kills} time(s)"
+for k in $(seq 1 "${kills}"); do
+    VSTACK_RESULTS="${work}/hot" "${vstack}" "${cmd[@]}" --isolate --resume \
+        > "${work}/kill${k}.out" 2>/dev/null &
+    pid=$!
+    sleep 0.6
+    if kill -KILL "${pid}" 2>/dev/null; then
+        echo "    kill ${k}: landed"
+    else
+        echo "    kill ${k}: campaign already finished"
+    fi
+    wait "${pid}" 2>/dev/null || true
+done
+
+echo "=== final resume must match the reference byte-for-byte"
+VSTACK_RESULTS="${work}/hot" "${vstack}" "${cmd[@]}" --isolate --resume \
+    > "${work}/final.out" 2>/dev/null
+cmp "${work}/ref.out" "${work}/final.out"
+echo "=== stress resume passed (${kills} kills, byte-identical report)"

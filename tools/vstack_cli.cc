@@ -15,11 +15,11 @@
  *       emulator and print the program output and run statistics.
  *   vstack campaign <file.mcl|workload> [--core ax72]
  *           [--structure RF|LSQ|L1i|L1d|L2] [-n N] [--seed S] [--harden]
- *           [--jobs J] [--resume] [--watchdog F]
+ *           [--jobs J] [--resume] [--watchdog F] [--isolate]
  *       Run a microarchitectural injection campaign and print
  *       AVF/HVF/FPM results.
  *   vstack svf <file.mcl|workload> [-n N] [--seed S] [--harden]
- *           [--jobs J] [--resume]
+ *           [--jobs J] [--resume] [--isolate]
  *       Run a software-level (LLFI-analog) campaign.
  *
  * Sources may be a path to an .mcl file or the name of a bundled
@@ -29,6 +29,14 @@
  * results at any J (0 = all hardware threads).  Completed samples are
  * journaled under $VSTACK_RESULTS/journal/, so a killed campaign can
  * be re-invoked with `--resume` to simulate only the remainder.
+ *
+ * `--isolate` (or VSTACK_ISOLATE=1) forks each sample batch into a
+ * supervised child under resource ceilings and a wall-clock deadline;
+ * a sample that SIGSEGVs, over-allocates, or hangs the host is
+ * quarantined as a HostFault triage record instead of killing the
+ * campaign.  Ctrl-C (SIGINT/SIGTERM) drains gracefully: children are
+ * reaped, the journal keeps every finished sample, and the campaign
+ * is resumable with --resume.
  */
 #include <cstdio>
 #include <cstring>
@@ -68,6 +76,7 @@ struct Args
     unsigned jobs = 1;
     bool resume = false;
     double watchdog = 4.0;
+    bool isolate = false;
 };
 
 [[noreturn]] void
@@ -82,7 +91,9 @@ usage()
         "         --structure RF|LSQ|L1i|L1d|L2  -n N  --seed S\n"
         "         --harden  --functional  --xlen 32|64\n"
         "         --jobs J (0 = all hw threads)  --resume\n"
-        "         --watchdog F (injection budget, x golden run)\n");
+        "         --watchdog F (injection budget, x golden run, >= 1)\n"
+        "         --isolate (sandbox each sample batch in a forked,\n"
+        "                    resource-limited child)\n");
     std::exit(2);
 }
 
@@ -151,6 +162,8 @@ parseArgs(int argc, char **argv)
             a.jobs = static_cast<unsigned>(numValue(flag, value()));
         else if (flag == "--watchdog")
             a.watchdog = doubleValue(flag, value());
+        else if (flag == "--isolate")
+            a.isolate = true;
         else if (flag == "--resume")
             a.resume = true;
         else if (flag == "--harden")
@@ -160,6 +173,14 @@ parseArgs(int argc, char **argv)
         else
             usage();
     }
+    // Validate at parse time: a watchdog factor below 1.0 would
+    // classify even the golden runtime as a hang.
+    if (a.watchdog < 1.0)
+        fatal("--watchdog factor must be >= 1.0, got %g", a.watchdog);
+    // VSTACK_ISOLATE complements --isolate (strictly validated: a
+    // garbage value is a fatal error, not a silent non-sandbox run).
+    if (envFlagStrict("VSTACK_ISOLATE"))
+        a.isolate = true;
     return a;
 }
 
@@ -328,7 +349,9 @@ cliExecPolicy(const Args &a, const std::string &key, exec::Journal &journal,
 {
     exec::ExecConfig ec;
     ec.jobs = a.jobs;
+    ec.isolate = a.isolate;
     ec.progress = std::cref(progress);
+    journal.setFsync(envFlagStrict("VSTACK_JOURNAL_FSYNC"));
     const std::string dir = envString("VSTACK_RESULTS", "results");
     if (!dir.empty() &&
         journal.open(exec::Journal::pathFor(dir, key), key, a.n, a.seed,
@@ -339,9 +362,28 @@ cliExecPolicy(const Args &a, const std::string &key, exec::Journal &journal,
     return ec;
 }
 
+/**
+ * Graceful-interrupt epilogue shared by the campaign commands: when a
+ * SIGINT/SIGTERM drained the run, every finished sample is already in
+ * the journal, so keep the file, tell the user how to continue, and
+ * exit with the conventional interrupted status.
+ */
+bool
+interrupted(const std::string &command)
+{
+    if (!exec::shutdownRequested())
+        return false;
+    std::fprintf(stderr,
+                 "interrupted: finished samples are journaled; re-run "
+                 "`vstack %s ... --resume` to continue\n",
+                 command.c_str());
+    return true;
+}
+
 int
 cmdCampaign(const Args &a)
 {
+    exec::installShutdownHandler();
     const CoreConfig &core = coreByName(a.core);
     const Structure s = parseStructure(a.structure);
     Program sys = buildSystem(a, loadSource(a.target), core.isa);
@@ -362,6 +404,8 @@ cmdCampaign(const Args &a)
         r = campaign.run(s, a.n, a.seed,
                          cliExecPolicy(a, key, journal, progress));
     }
+    if (interrupted("campaign"))
+        return 130;
     journal.removeFile();
 
     std::printf("%s on %s, %zu faults (seed %llu):\n", structureName(s),
@@ -390,6 +434,7 @@ cmdCampaign(const Args &a)
 int
 cmdSvf(const Args &a)
 {
+    exec::installShutdownHandler();
     ir::Module m = buildIr(a, loadSource(a.target), 64);
     SvfCampaign campaign(m);
     campaign.setWatchdog({a.watchdog, 100'000});
@@ -405,6 +450,8 @@ cmdSvf(const Args &a)
         c = campaign.run(a.n, a.seed,
                          cliExecPolicy(a, key, journal, progress));
     }
+    if (interrupted("svf"))
+        return 130;
     journal.removeFile();
 
     std::printf("SVF, %zu faults: masked=%llu sdc=%llu crash=%llu "
