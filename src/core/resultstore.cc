@@ -1,11 +1,25 @@
 #include "resultstore.h"
 
+#include <cerrno>
+#include <cstdio>
 #include <filesystem>
 
+#include <unistd.h>
+
+#include "support/crc32c.h"
+#include "support/failpoint.h"
 #include "support/logging.h"
 
 namespace vstack
 {
+
+namespace
+{
+
+/** Envelope format version (bare pre-envelope JSON reads as legacy). */
+constexpr int64_t FORMAT = 2;
+
+} // namespace
 
 ResultStore::ResultStore(std::string dir) : dir(std::move(dir))
 {
@@ -35,6 +49,20 @@ ResultStore::pathFor(const std::string &key) const
 }
 
 std::optional<Json>
+ResultStore::quarantine(const std::string &key, const char *why) const
+{
+    const std::string path = pathFor(key);
+    const std::string sidecar = path + ".corrupt";
+    std::error_code ec;
+    std::filesystem::rename(path, sidecar, ec);
+    faults.fetch_add(1, std::memory_order_relaxed);
+    warn("corrupt cache entry '%s' (%s): quarantined to '%s'; "
+         "recomputing",
+         key.c_str(), why, ec ? path.c_str() : sidecar.c_str());
+    return std::nullopt;
+}
+
+std::optional<Json>
 ResultStore::get(const std::string &key) const
 {
     if (dir.empty())
@@ -44,10 +72,19 @@ ResultStore::get(const std::string &key) const
         return std::nullopt;
     std::string err;
     Json j = Json::parse(text, &err);
-    if (!err.empty()) {
-        warn("corrupt cache entry '%s': %s", key.c_str(), err.c_str());
-        return std::nullopt;
+    if (!err.empty())
+        return quarantine(key, err.c_str());
+    if (j.isObject() && j.has("fmt")) {
+        if (j.at("fmt").asInt() != FORMAT || !j.has("crc") ||
+            !j.has("data"))
+            return quarantine(key, "malformed envelope");
+        if (crc32cHex(crc32c(j.at("data").dump())) !=
+            j.at("crc").asString())
+            return quarantine(key, "checksum mismatch");
+        return j.at("data");
     }
+    // Bare JSON: a legacy pre-envelope entry (accepted unverified for
+    // cache continuity; rewritten with a checksum on the next put).
     return j;
 }
 
@@ -56,8 +93,45 @@ ResultStore::put(const std::string &key, const Json &value) const
 {
     if (dir.empty())
         return;
-    if (!writeFile(pathFor(key), value.dump(2)))
+    Json env = Json::object();
+    env.set("fmt", FORMAT);
+    env.set("crc", crc32cHex(crc32c(value.dump())));
+    env.set("data", value);
+    const std::string content = env.dump(2);
+    const std::string path = pathFor(key);
+
+    // Atomic + durable by hand (not support's writeFile): the cache is
+    // the long-lived artifact campaigns trust, so the temp file is
+    // fsynced before the rename and the directory after it — and the
+    // sequence carries the chaos failpoints.
+    static std::atomic<unsigned> counter{0};
+    const std::string tmp =
+        path + ".tmp." +
+        std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+    bool ok = false;
+    if (std::FILE *f = std::fopen(tmp.c_str(), "wb")) {
+        // A short write is what ENOSPC mid-entry looks like: bytes up
+        // to the full size never make it, and put() must fail cleanly.
+        size_t want = content.size();
+        if (failpoint("store.write.enospc"))
+            want /= 2;
+        ok = std::fwrite(content.data(), 1, want, f) == want &&
+             want == content.size();
+        std::fflush(f);
+        ::fsync(::fileno(f));
+        std::fclose(f);
+    }
+    failpointKill("store.rename.kill");
+    if (ok && failpoint("store.rename.enospc"))
+        ok = false;
+    if (ok)
+        ok = std::rename(tmp.c_str(), path.c_str()) == 0;
+    if (!ok) {
+        std::remove(tmp.c_str());
         warn("failed to write cache entry '%s'", key.c_str());
+        return;
+    }
+    fsyncDir(dir);
 }
 
 } // namespace vstack

@@ -1,16 +1,39 @@
 /**
  * @file
- * On-disk campaign result cache.
+ * On-disk campaign result cache with end-to-end integrity checking.
  *
  * Injection campaigns are expensive (hundreds of full-system
  * simulations per data point) and shared between figures, so results
  * are memoised as JSON keyed by every parameter that affects them.
  * Benches hit the cache after the first run; deleting the directory
  * forces recomputation.
+ *
+ * A silently corrupted cache entry skews AVF/SVF deltas exactly like
+ * the SDCs the campaigns measure, so entries are stored in a
+ * version-stamped, CRC-32C-checksummed envelope:
+ *
+ *   {"fmt": 2, "crc": "<crc32c of data's compact dump>", "data": {...}}
+ *
+ * Reads verify the checksum; a damaged entry (unparseable, bad
+ * envelope, checksum mismatch) is quarantined by renaming it to
+ * `<entry>.json.corrupt`, counted in storageFaults(), and reported as
+ * a miss — the campaign recomputes instead of trusting rotten data.
+ * Entries from the pre-envelope cache format (bare JSON, schema "v1")
+ * are still accepted so existing result directories keep working;
+ * they are re-stamped the next time they are written.
+ *
+ * Writes are atomic and durable: unique temp file + fsync + rename +
+ * parent-directory fsync, so a reader never observes a partial entry
+ * and a crash immediately after put() cannot lose the rename itself.
+ * The write path carries chaos failpoints (`store.write.enospc`,
+ * `store.rename.enospc`, `store.rename.kill` — support/failpoint.h)
+ * used by tests/test_chaos.cc to prove those guarantees.
  */
 #ifndef VSTACK_CORE_RESULTSTORE_H
 #define VSTACK_CORE_RESULTSTORE_H
 
+#include <atomic>
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -27,17 +50,28 @@ class ResultStore
 
     bool enabled() const { return !dir.empty(); }
 
-    /** Fetch a cached value; nullopt on miss/parse failure. */
+    /** Fetch a cached value; nullopt on miss or quarantined damage. */
     std::optional<Json> get(const std::string &key) const;
 
-    /** Store a value (no-op when disabled). */
+    /** Store a value atomically and durably (no-op when disabled). */
     void put(const std::string &key, const Json &value) const;
 
     /** Filesystem path backing a key (for diagnostics). */
     std::string pathFor(const std::string &key) const;
 
+    /** Corrupt entries quarantined to `.corrupt` sidecars so far
+     *  (the `storageFaults` field of campaign reports). */
+    uint64_t storageFaults() const
+    {
+        return faults.load(std::memory_order_relaxed);
+    }
+
   private:
+    std::optional<Json> quarantine(const std::string &key,
+                                   const char *why) const;
+
     std::string dir;
+    mutable std::atomic<uint64_t> faults{0};
 };
 
 } // namespace vstack

@@ -100,6 +100,7 @@ execPolicy(const EnvConfig &cfg, exec::Journal &journal,
     exec::ExecConfig ec;
     ec.jobs = cfg.jobs;
     ec.isolate = cfg.isolate;
+    ec.verifyReplay = cfg.verifyReplay;
     journal.setFsync(cfg.journalFsync);
     if (!cfg.resultsDir.empty() &&
         journal.open(exec::Journal::pathFor(cfg.resultsDir, key), key, n,
@@ -188,6 +189,7 @@ VulnerabilityStack::uarch(const std::string &core, const Variant &v,
     campaign.setWatchdog({cfg.watchdogFactor, 50'000});
     exec::Journal journal;
     exec::ExecConfig ec = execPolicy(cfg, journal, key, cfg.uarchFaults);
+    journalFaults += journal.storageFaults();
     UarchCampaignResult r = campaign.run(s, cfg.uarchFaults, cfg.seed, ec);
     if (exec::shutdownRequested())
         return r; // interrupted: keep the journal, never cache a partial
@@ -235,6 +237,7 @@ VulnerabilityStack::pvf(IsaId isa, const Variant &v, Fpm fpm)
     campaign.setWatchdog({cfg.watchdogFactor, 10'000});
     exec::Journal journal;
     exec::ExecConfig ec = execPolicy(cfg, journal, key, cfg.archFaults);
+    journalFaults += journal.storageFaults();
     OutcomeCounts c = campaign.run(fpm, cfg.archFaults, cfg.seed, ec);
     if (exec::shutdownRequested())
         return c; // interrupted: keep the journal, never cache a partial
@@ -256,6 +259,7 @@ VulnerabilityStack::svf(const Variant &v)
     campaign.setWatchdog({cfg.watchdogFactor, 100'000});
     exec::Journal journal;
     exec::ExecConfig ec = execPolicy(cfg, journal, key, cfg.swFaults);
+    journalFaults += journal.storageFaults();
     OutcomeCounts c = campaign.run(cfg.swFaults, cfg.seed, ec);
     if (exec::shutdownRequested())
         return c; // interrupted: keep the journal, never cache a partial

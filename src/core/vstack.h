@@ -142,9 +142,23 @@ class VulnerabilityStack
     /** Sampling margin of error for the microarch campaigns (99%). */
     double uarchMargin() const;
 
+    /**
+     * Corrupt storage records quarantined so far by this instance:
+     * damaged result-cache entries plus damaged journal records found
+     * while resuming campaigns.  Every count means a record was moved
+     * to a `.corrupt` sidecar and its data recomputed, never silently
+     * trusted.  CLI drivers surface this as the `storageFaults` notice
+     * (on stderr, so campaign reports stay byte-comparable).
+     */
+    uint64_t storageFaults() const
+    {
+        return store.storageFaults() + journalFaults;
+    }
+
   private:
     EnvConfig cfg;
     ResultStore store;
+    uint64_t journalFaults = 0;
     struct Cache;
     std::unique_ptr<Cache> cache;
 };

@@ -51,6 +51,22 @@ class InjectionError : public SimError
     explicit InjectionError(const std::string &msg) : SimError(msg) {}
 };
 
+/**
+ * A journal-replayed sample did not reproduce when re-simulated
+ * (--verify-replay).  Deliberately NOT a SimError: containment would
+ * quarantine the sample and keep going, but a replay divergence means
+ * either the journal is corrupt in a way the checksums cannot see or
+ * the campaign is not deterministic — both poison every aggregate, so
+ * the campaign must fail loudly.
+ */
+class ReplayDivergence : public std::runtime_error
+{
+  public:
+    explicit ReplayDivergence(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
 } // namespace vstack
 
 #endif // VSTACK_EXEC_ERROR_H

@@ -33,6 +33,7 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "exec/error.h"
@@ -85,7 +86,35 @@ struct ExecConfig
     bool isolate = false;
     /** Resource ceilings and deadline for isolated children. */
     SandboxLimits sandbox;
+    /** Re-simulate this percentage (0..100) of journal-replayed
+     *  samples before running the remainder and throw
+     *  ReplayDivergence if any re-run disagrees with its journaled
+     *  record.  Catches corruption the checksums cannot see (a stale
+     *  journal against changed simulator code, non-determinism).  The
+     *  check runs serially in the calling process, even under
+     *  cfg.isolate (VSTACK_VERIFY_REPLAY / --verify-replay). */
+    double verifyReplay = 0.0;
 };
+
+/**
+ * Deterministic membership test for the --verify-replay subset:
+ * depends only on (index, percent), so the same samples are checked
+ * at any thread count and on every resume.
+ */
+inline bool
+verifyReplaySelected(size_t i, double percent)
+{
+    if (percent <= 0.0)
+        return false;
+    if (percent >= 100.0)
+        return true;
+    // splitmix64 finalizer: spreads consecutive indices uniformly.
+    uint64_t h = static_cast<uint64_t>(i) + 0x9E3779B97F4A7C15ull;
+    h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
+    h = (h ^ (h >> 27)) * 0x94D049BB133111EBull;
+    h ^= h >> 31;
+    return static_cast<double>(h % 10000) < percent * 100.0;
+}
 
 /** Resolve a `jobs` request (0 = hardware concurrency) to >= 1. */
 unsigned resolveJobs(unsigned requested);
@@ -244,17 +273,51 @@ runSamples(size_t n, const ExecConfig &cfg, MakeCtx makeCtx, RunFn runFn,
     // Replay journaled samples; collect the remainder as work items.
     std::vector<size_t> todo;
     todo.reserve(n);
+    std::vector<size_t> verify;
     size_t replayed = 0;
     for (size_t i = 0; i < n; ++i) {
         const Json *rec = cfg.journal ? cfg.journal->find(i) : nullptr;
         if (rec) {
-            if (rec->has("r"))
+            if (rec->has("r")) {
                 results[i] = decode(rec->at("r"));
+                if (verifyReplaySelected(i, cfg.verifyReplay))
+                    verify.push_back(i);
+            }
             ++replayed; // an "err" record replays as a quarantine
         } else {
             todo.push_back(i);
         }
     }
+
+    if (!verify.empty()) {
+        // Spot-check the replay before trusting it: re-simulate the
+        // deterministic subset serially and require byte-identical
+        // journal payloads.  A SimError here is also a divergence —
+        // the journaled run completed, so a failing re-run means the
+        // record no longer describes this campaign.
+        auto ctx = makeCtx();
+        for (size_t i : verify) {
+            const std::string want =
+                cfg.journal->find(i)->at("r").dump();
+            std::string got;
+            try {
+                got = encode(runFn(*ctx, i)).dump();
+            } catch (const SimError &e) {
+                throw ReplayDivergence(
+                    "verify-replay: sample " + std::to_string(i) +
+                    " replayed from the journal but failed to "
+                    "re-simulate: " + e.what());
+            }
+            if (got != want) {
+                throw ReplayDivergence(
+                    "verify-replay: sample " + std::to_string(i) +
+                    " diverged from its journaled record (journal " +
+                    want + ", re-run " + got +
+                    "); the journal does not describe this campaign");
+            }
+        }
+    }
+
     if (cfg.progress && replayed)
         cfg.progress(replayed, n);
     if (todo.empty())

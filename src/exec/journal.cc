@@ -1,14 +1,89 @@
 #include "journal.h"
 
 #include <cctype>
+#include <cerrno>
 #include <filesystem>
+#include <vector>
 
 #include <unistd.h>
 
+#include "support/crc32c.h"
+#include "support/failpoint.h"
 #include "support/logging.h"
 
 namespace vstack::exec
 {
+
+namespace
+{
+
+/** On-disk record framing version (the "fmt" header field). */
+constexpr int64_t FORMAT = 2;
+
+/** Frame a JSON dump: checksum over exactly the bytes written. */
+std::string
+frameLine(const std::string &text)
+{
+    return "c=" + crc32cHex(crc32c(text)) + " " + text;
+}
+
+/**
+ * Unframe one line: verify the `c=<hex> ` prefix, the checksum, and
+ * that the payload parses to a JSON object.  Returns false on any
+ * damage (the caller classifies torn tail vs corrupt).
+ */
+bool
+unframeLine(const std::string &line, Json &out)
+{
+    // "c=" + 8 hex digits + ' ' + at least "{}".
+    if (line.size() < 13 || line[0] != 'c' || line[1] != '=' ||
+        line[10] != ' ')
+        return false;
+    uint32_t crc = 0;
+    for (int i = 2; i < 10; ++i) {
+        const char c = line[i];
+        crc <<= 4;
+        if (c >= '0' && c <= '9')
+            crc |= static_cast<uint32_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            crc |= static_cast<uint32_t>(c - 'a' + 10);
+        else
+            return false;
+    }
+    const std::string payload = line.substr(11);
+    if (crc32c(payload) != crc)
+        return false;
+    std::string err;
+    Json j = Json::parse(payload, &err);
+    if (!err.empty() || !j.isObject())
+        return false;
+    out = std::move(j);
+    return true;
+}
+
+/** Durable single-file write: tmp + fsync + rename + directory fsync. */
+bool
+writeFileDurable(const std::string &path, const std::string &content)
+{
+    const std::string tmp = path + ".heal";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        return false;
+    const bool wrote =
+        std::fwrite(content.data(), 1, content.size(), f) ==
+        content.size();
+    std::fflush(f);
+    ::fsync(::fileno(f));
+    std::fclose(f);
+    if (!wrote || std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    fsyncDir(std::filesystem::path(path).parent_path().string());
+    return true;
+}
+
+} // namespace
 
 Journal::~Journal()
 {
@@ -23,6 +98,21 @@ Journal::close()
         out = nullptr;
     }
     records.clear();
+    storageFaults_ = 0;
+}
+
+Json
+Journal::headerJson(const std::string &meta, uint64_t n,
+                    uint64_t seed) const
+{
+    Json header = Json::object();
+    Json m = Json::object();
+    m.set("campaign", meta);
+    m.set("n", n);
+    m.set("seed", seed);
+    m.set("fmt", FORMAT);
+    header.set("meta", m);
+    return header;
 }
 
 bool
@@ -33,50 +123,147 @@ Journal::open(const std::string &path, const std::string &meta, uint64_t n,
     path_ = path;
 
     std::error_code ec;
-    std::filesystem::create_directories(
-        std::filesystem::path(path).parent_path(), ec);
+    const std::string parent =
+        std::filesystem::path(path).parent_path().string();
+    std::filesystem::create_directories(parent, ec);
 
     bool valid = false;
-    if (resume) {
-        std::string text;
-        if (readFile(path, text)) {
-            size_t pos = 0;
-            bool first = true;
-            while (pos < text.size()) {
-                size_t eol = text.find('\n', pos);
-                const std::string line = text.substr(
-                    pos, eol == std::string::npos ? std::string::npos
-                                                  : eol - pos);
-                pos = eol == std::string::npos ? text.size() : eol + 1;
-                if (line.empty())
-                    continue;
-                std::string err;
-                Json j = Json::parse(line, &err);
-                if (!err.empty() || !j.isObject())
-                    continue; // torn tail line from a killed campaign
-                if (first) {
-                    first = false;
-                    if (!j.has("meta"))
-                        break;
-                    const Json &m = j.at("meta");
-                    if (!m.has("campaign") ||
-                        m.at("campaign").asString() != meta ||
-                        static_cast<uint64_t>(m.at("n").asInt()) != n ||
-                        static_cast<uint64_t>(m.at("seed").asInt()) != seed) {
-                        warn("journal '%s' belongs to a different campaign; "
+    bool quarantineWholeFile = false;
+    std::vector<std::string> corruptLines;
+    std::string text;
+    if (resume && readFile(path, text)) {
+        const bool endsWithNewline = !text.empty() && text.back() == '\n';
+        bool first = true;
+        size_t pos = 0;
+        while (pos < text.size()) {
+            const size_t eol = text.find('\n', pos);
+            const bool isTail = eol == std::string::npos;
+            const std::string line =
+                text.substr(pos, isTail ? std::string::npos : eol - pos);
+            pos = isTail ? text.size() : eol + 1;
+            if (line.empty())
+                continue;
+
+            Json j;
+            const bool ok = unframeLine(line, j);
+            if (first) {
+                // The header carries the only identity information, so
+                // it is all-or-nothing: if it is damaged or foreign the
+                // rest of the file cannot be trusted.
+                first = false;
+                if (!ok) {
+                    if (line.rfind("c=", 0) != 0) {
+                        warn("journal '%s' predates the framed format; "
                              "restarting it",
                              path.c_str());
-                        break;
+                    } else {
+                        // Identity is unrecoverable, so none of the
+                        // records can be trusted: preserve the whole
+                        // file as evidence before restarting.
+                        warn("journal '%s' has a corrupt header; "
+                             "quarantining the file and restarting",
+                             path.c_str());
+                        quarantineWholeFile = true;
                     }
-                    valid = true;
-                    continue;
+                    break;
                 }
-                if (j.has("i"))
-                    records[static_cast<size_t>(j.at("i").asInt())] =
-                        std::move(j);
+                if (!j.has("meta") || !j.at("meta").has("fmt") ||
+                    j.at("meta").at("fmt").asInt() != FORMAT) {
+                    warn("journal '%s' has an unknown format version; "
+                         "restarting it",
+                         path.c_str());
+                    break;
+                }
+                const Json &m = j.at("meta");
+                if (!m.has("campaign") ||
+                    m.at("campaign").asString() != meta ||
+                    static_cast<uint64_t>(m.at("n").asInt()) != n ||
+                    static_cast<uint64_t>(m.at("seed").asInt()) != seed) {
+                    warn("journal '%s' belongs to a different campaign; "
+                         "restarting it",
+                         path.c_str());
+                    break;
+                }
+                valid = true;
+                continue;
             }
-            if (!valid)
-                records.clear();
+
+            if (!ok) {
+                // A damaged final line of a file without a trailing
+                // newline is the expected artifact of a kill
+                // mid-append; anything else is real corruption.
+                if (isTail && !endsWithNewline)
+                    continue;
+                corruptLines.push_back(line);
+                continue;
+            }
+            if (!j.has("i")) {
+                corruptLines.push_back(line);
+                continue;
+            }
+            const int64_t rawIdx = j.at("i").asInt();
+            const size_t i = static_cast<size_t>(rawIdx);
+            if (rawIdx < 0 || i >= n) {
+                // Intact but impossible: a record beyond the campaign's
+                // sample space (stale oversized file, flipped index).
+                corruptLines.push_back(line);
+                continue;
+            }
+            if (records.count(i)) {
+                // Duplicate index: the first record wins (it is the one
+                // any earlier resume replayed); the duplicate is
+                // evidence, not data.
+                corruptLines.push_back(line);
+                continue;
+            }
+            records[i] = std::move(j);
+        }
+        if (!valid)
+            records.clear();
+    }
+
+    if (quarantineWholeFile || !corruptLines.empty()) {
+        storageFaults_ =
+            quarantineWholeFile ? 1 : corruptLines.size();
+        const std::string sidecar = corruptPathFor(path);
+        if (std::FILE *q = std::fopen(sidecar.c_str(), "ab")) {
+            if (quarantineWholeFile) {
+                std::fwrite(text.data(), 1, text.size(), q);
+                std::fputc('\n', q);
+            } else {
+                for (const std::string &line : corruptLines) {
+                    std::fwrite(line.data(), 1, line.size(), q);
+                    std::fputc('\n', q);
+                }
+            }
+            std::fclose(q);
+        } else {
+            warn("cannot write corrupt-record sidecar '%s'",
+                 sidecar.c_str());
+        }
+        warn("journal '%s': quarantined %zu corrupt record(s) to '%s'; "
+             "lost samples will be re-simulated",
+             path.c_str(), storageFaults_, sidecar.c_str());
+    }
+
+    if (valid && storageFaults_) {
+        // Self-heal: rewrite the journal from the surviving records so
+        // the on-disk file is clean before any new append lands.  The
+        // rewrite is crash-safe (tmp + rename); if it fails we restart
+        // rather than keep appending after corruption.
+        std::string healed = frameLine(headerJson(meta, n, seed).dump());
+        healed += '\n';
+        for (const auto &[i, rec] : records) {
+            (void)i;
+            healed += frameLine(rec.dump());
+            healed += '\n';
+        }
+        if (!writeFileDurable(path, healed)) {
+            warn("journal '%s': cannot rewrite after recovery; "
+                 "restarting it",
+                 path.c_str());
+            valid = false;
+            records.clear();
         }
     }
 
@@ -88,13 +275,11 @@ Journal::open(const std::string &path, const std::string &meta, uint64_t n,
         return false;
     }
     if (!valid) {
-        Json header = Json::object();
-        Json m = Json::object();
-        m.set("campaign", meta);
-        m.set("n", n);
-        m.set("seed", seed);
-        header.set("meta", m);
-        writeLine(header);
+        writeLine(headerJson(meta, n, seed));
+        // Make the file's existence durable, not just its content: a
+        // crash right after creation must not lose the entry itself
+        // (cost: one directory barrier per campaign, not per sample).
+        fsyncDir(parent);
     }
     return true;
 }
@@ -109,12 +294,33 @@ Journal::find(size_t i) const
 void
 Journal::writeLine(const Json &line)
 {
-    const std::string text = line.dump();
-    std::fwrite(text.data(), 1, text.size(), out);
-    std::fputc('\n', out);
+    std::string framed = frameLine(line.dump());
+    framed += '\n';
+    // Chaos sites: a kill *at* the append leaves a torn tail; a short
+    // write followed by later appends produces mid-file corruption.
+    if (failpoint("journal.append.kill")) {
+        std::fwrite(framed.data(), 1, framed.size() / 2, out);
+        std::fflush(out);
+        _exit(137);
+    }
+    if (failpoint("journal.append.short_write")) {
+        std::fwrite(framed.data(), 1, framed.size() / 2, out);
+        std::fflush(out);
+        return;
+    }
+    std::fwrite(framed.data(), 1, framed.size(), out);
     std::fflush(out);
-    if (fsyncOnAppend)
-        ::fsync(::fileno(out));
+    if (fsyncOnAppend) {
+        int rc;
+        do {
+            if (failpoint("journal.fsync.eintr")) {
+                errno = EINTR;
+                rc = -1;
+                continue;
+            }
+            rc = ::fsync(::fileno(out));
+        } while (rc != 0 && errno == EINTR);
+    }
 }
 
 void
@@ -177,6 +383,12 @@ Journal::pathFor(const std::string &dir, const std::string &key)
                     : '_';
     }
     return dir + "/journal/" + name + ".jsonl";
+}
+
+std::string
+Journal::corruptPathFor(const std::string &path)
+{
+    return path + ".corrupt";
 }
 
 } // namespace vstack::exec

@@ -1,29 +1,55 @@
 /**
  * @file
- * Append-only JSONL campaign journal.
+ * Append-only, CRC-framed JSONL campaign journal.
  *
- * Every completed injection sample is appended as one self-contained
- * JSON line, flushed immediately, so a campaign killed at any point
- * leaves a prefix of valid lines behind.  Re-invoking the campaign
+ * Every completed injection sample is appended as one self-contained,
+ * checksummed line, flushed immediately, so a campaign killed at any
+ * point leaves recoverable records behind.  Re-invoking the campaign
  * with resume enabled replays the journaled samples and only
  * simulates the remainder; because every sample's RNG stream is
  * derived from (seed, sample index), the resumed aggregate is
  * bit-identical to an uninterrupted run.
  *
- * File format (one JSON object per line):
+ * File format (format 2): one framed record per line,
  *
- *   {"meta":{"campaign":"<key>","n":N,"seed":S}}   <- header line
- *   {"i":0,"r":{...}}                              <- completed sample
- *   {"i":3,"err":"<message>"}                      <- quarantined sample
- *   {"i":5,"err":"<message>","hf":{...}}           <- host-fault triage
- *                                                     (sandboxed child
- *                                                     died; see
- *                                                     exec/sandbox.h)
+ *   c=<crc32c-hex> <json>
  *
- * A truncated final line (torn write at kill time) parses as garbage
- * and is skipped; a header that does not match the requesting
- * campaign's parameters invalidates the whole file (it is restarted),
- * so a journal can never leak samples across campaigns.
+ * where the checksum covers exactly the JSON bytes as written.  The
+ * JSON objects are:
+ *
+ *   {"meta":{"campaign":"<key>","n":N,"seed":S,"fmt":2}}  <- header
+ *   {"i":0,"r":{...}}                            <- completed sample
+ *   {"i":3,"err":"<message>"}                    <- quarantined sample
+ *   {"i":5,"err":"<message>","hf":{...}}         <- host-fault triage
+ *                                                   (see exec/sandbox.h)
+ *
+ * Recovery is per record, not all-or-nothing.  On open() with resume,
+ * every line is classified:
+ *
+ *   - valid: frame intact, checksum matches, index in [0, n) and not
+ *     a duplicate -> replayed;
+ *   - torn tail: the final line is damaged *and* the file does not
+ *     end in a newline — the expected artifact of a kill mid-append —
+ *     -> skipped silently;
+ *   - corrupt: a damaged line anywhere else (bit rot, a short write
+ *     followed by later appends, trailing garbage), a duplicate
+ *     index, or an index >= n -> quarantined verbatim into the
+ *     `<path>.corrupt` sidecar and counted in storageFaults().
+ *
+ * When anything was quarantined the journal is rewritten in place
+ * (tmp + rename + directory fsync) from the surviving records, so the
+ * file is clean again before new appends land; the executor then
+ * re-simulates exactly the lost indices.  A header that is corrupt,
+ * has the wrong format version, or names a different (campaign, n,
+ * seed) invalidates the whole file — identity can no longer be
+ * trusted — and the journal restarts (a corrupt header is preserved
+ * in the sidecar first).
+ *
+ * Chaos coverage: the append/fsync paths carry failpoints
+ * (`journal.append.short_write`, `journal.append.kill`,
+ * `journal.fsync.eintr` — see support/failpoint.h) so
+ * tests/test_chaos.cc and tools/chaos_campaign.sh can prove the
+ * recovery path byte-identical under systematic storage faults.
  */
 #ifndef VSTACK_EXEC_JOURNAL_H
 #define VSTACK_EXEC_JOURNAL_H
@@ -70,6 +96,14 @@ class Journal
     size_t replayed() const { return records.size(); }
 
     /**
+     * Corrupt, duplicate, or out-of-range records quarantined into the
+     * `.corrupt` sidecar by the last open().  A benign torn tail (kill
+     * mid-append) is not counted.  Surfaced as the `storageFaults`
+     * field of campaign reports.
+     */
+    size_t storageFaults() const { return storageFaults_; }
+
+    /**
      * Journaled record for sample i, or nullptr if not journaled.
      * The record is the full line object: inspect "r" (completed
      * payload) or "err" (quarantined).  Only valid between open() and
@@ -106,14 +140,20 @@ class Journal
     static std::string pathFor(const std::string &dir,
                                const std::string &key);
 
+    /** Sidecar path holding quarantined corrupt records. */
+    static std::string corruptPathFor(const std::string &path);
+
   private:
     void close();
     void writeLine(const Json &line);
+    Json headerJson(const std::string &meta, uint64_t n,
+                    uint64_t seed) const;
 
     std::string path_;
     std::map<size_t, Json> records;
     std::FILE *out = nullptr;
     bool fsyncOnAppend = false;
+    size_t storageFaults_ = 0;
     std::mutex mu;
 };
 

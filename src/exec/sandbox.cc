@@ -13,6 +13,7 @@
 #include <unistd.h>
 
 #include "exec/error.h"
+#include "support/failpoint.h"
 #include "support/logging.h"
 
 // ASan/TSan map tens of terabytes of shadow address space, so any
@@ -69,6 +70,13 @@ writeLine(int fd, const Json &j)
 {
     std::string s = j.dump();
     s += '\n';
+    // Chaos site: die after half a frame, leaving the supervisor a
+    // torn partial line that must triage as a host fault, never as a
+    // parse error or a phantom result.
+    if (failpoint("sandbox.pipe.short_write")) {
+        writeAll(fd, s.data(), s.size() / 2);
+        _exit(125);
+    }
     writeAll(fd, s.data(), s.size());
 }
 
@@ -94,9 +102,13 @@ childMain(int fd, const SandboxLimits &limits,
           const std::function<Json(size_t)> &runEncoded)
 {
     // The child must die on terminal signals (the parent supervises),
-    // and a crashing injection should not litter core files.
+    // and a crashing injection should not litter core files.  SIGPIPE
+    // is ignored so a vanished supervisor surfaces as an EPIPE write
+    // error (clean _exit in writeAll) instead of an untriaged signal
+    // death.
     std::signal(SIGINT, SIG_DFL);
     std::signal(SIGTERM, SIG_DFL);
+    std::signal(SIGPIPE, SIG_IGN);
     struct rlimit noCore {0, 0};
     ::setrlimit(RLIMIT_CORE, &noCore);
 #ifndef VSTACK_SANDBOX_SKIP_AS_LIMIT
@@ -153,10 +165,11 @@ HostFault::describe() const
                         strsignal(signal));
     else
         why = strprintf("exited with status %d mid-batch", exitCode);
-    return strprintf("host fault: child %s in phase %s "
+    return strprintf("host fault: child %s in phase %s%s "
                      "(%.2fs user, %.2fs sys, %ld KiB peak RSS)",
-                     why.c_str(), phase.c_str(), userSec, sysSec,
-                     maxRssKb);
+                     why.c_str(), phase.c_str(),
+                     tornFrame ? " leaving a torn result frame" : "",
+                     userSec, sysSec, maxRssKb);
 }
 
 Json
@@ -166,6 +179,7 @@ HostFault::toJson() const
     j.set("sig", signal);
     j.set("exit", exitCode);
     j.set("timeout", timedOut);
+    j.set("torn", tornFrame);
     j.set("rssKb", static_cast<int64_t>(maxRssKb));
     j.set("usr", userSec);
     j.set("sys", sysSec);
@@ -270,7 +284,13 @@ runIsolatedBatch(const std::vector<size_t> &indices,
         if (pr == 0)
             continue;
         char chunk[4096];
-        const ssize_t r = ::read(fds[0], chunk, sizeof chunk);
+        ssize_t r;
+        if (failpoint("sandbox.read.eintr")) {
+            errno = EINTR;
+            r = -1;
+        } else {
+            r = ::read(fds[0], chunk, sizeof chunk);
+        }
         if (r < 0) {
             if (errno == EINTR)
                 continue;
@@ -286,7 +306,13 @@ runIsolatedBatch(const std::vector<size_t> &indices,
     // is dead or dying, so EOF is imminent and this cannot hang).
     for (;;) {
         char chunk[4096];
-        const ssize_t r = ::read(fds[0], chunk, sizeof chunk);
+        ssize_t r;
+        if (failpoint("sandbox.read.eintr")) {
+            errno = EINTR;
+            r = -1;
+        } else {
+            r = ::read(fds[0], chunk, sizeof chunk);
+        }
         if (r < 0 && errno == EINTR)
             continue;
         if (r <= 0)
@@ -294,11 +320,22 @@ runIsolatedBatch(const std::vector<size_t> &indices,
         buf.append(chunk, static_cast<size_t>(r));
     }
     consumeLines();
+    // A leftover partial line after EOF is a frame the child never
+    // finished writing (short pipe write at death).  It is evidence of
+    // how the child died, not data — record it on the triaged sample.
+    const bool tornFrame = !buf.empty();
     ::close(fds[0]);
 
     int status = 0;
     struct rusage ru {};
-    while (::wait4(pid, &status, 0, &ru) < 0 && errno == EINTR) {
+    for (;;) {
+        if (failpoint("sandbox.reap.eintr")) {
+            errno = EINTR;
+        } else if (::wait4(pid, &status, 0, &ru) >= 0) {
+            break;
+        }
+        if (errno != EINTR)
+            break;
     }
 
     if (interrupted)
@@ -327,6 +364,7 @@ runIsolatedBatch(const std::vector<size_t> &indices,
         o.host.signal = WIFSIGNALED(status) ? WTERMSIG(status) : 0;
         o.host.exitCode = WIFEXITED(status) ? WEXITSTATUS(status) : 0;
         o.host.timedOut = timedOut;
+        o.host.tornFrame = tornFrame;
         o.host.maxRssKb = ru.ru_maxrss;
         o.host.userSec = tvSeconds(ru.ru_utime);
         o.host.sysSec = tvSeconds(ru.ru_stime);

@@ -62,6 +62,10 @@ struct HostFault
     int signal = 0;        ///< terminating signal (0 = exited)
     int exitCode = 0;      ///< exit status when signal == 0
     bool timedOut = false; ///< supervisor wall-clock deadline expired
+    /** The child died mid-write, leaving a partial result frame on
+     *  the pipe.  Triaged here instead of surfacing as a JSON parse
+     *  error or a half-trusted result. */
+    bool tornFrame = false;
     long maxRssKb = 0;     ///< child peak RSS (rusage, KiB)
     double userSec = 0.0;  ///< child user CPU seconds
     double sysSec = 0.0;   ///< child system CPU seconds

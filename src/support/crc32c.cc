@@ -1,0 +1,51 @@
+#include "crc32c.h"
+
+#include <array>
+
+namespace vstack
+{
+
+namespace
+{
+
+/** Byte-at-a-time table for the reflected Castagnoli polynomial. */
+std::array<uint32_t, 256>
+makeTable()
+{
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0x82f63b78u ^ (c >> 1) : c >> 1;
+        t[i] = c;
+    }
+    return t;
+}
+
+const std::array<uint32_t, 256> table = makeTable();
+
+} // namespace
+
+uint32_t
+crc32c(const void *data, size_t len)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    uint32_t crc = 0xffffffffu;
+    for (size_t i = 0; i < len; ++i)
+        crc = table[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+    return crc ^ 0xffffffffu;
+}
+
+std::string
+crc32cHex(uint32_t crc)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(8, '0');
+    for (int i = 7; i >= 0; --i) {
+        out[i] = digits[crc & 0xf];
+        crc >>= 4;
+    }
+    return out;
+}
+
+} // namespace vstack

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * CRC-32C (Castagnoli) checksum.
+ *
+ * Used to stamp every campaign storage record — journal lines and
+ * result-cache entries — so that silent on-disk corruption is
+ * *detected and classified* instead of skewing AVF/SVF aggregates the
+ * way the SDCs under study would.  CRC-32C is the iSCSI/ext4/Btrfs
+ * polynomial (0x1EDC6F41); the implementation is a portable
+ * table-driven one (no ISA extensions), fast enough that a checksum
+ * per journal line is noise next to the simulation it records.
+ */
+#ifndef VSTACK_SUPPORT_CRC32C_H
+#define VSTACK_SUPPORT_CRC32C_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace vstack
+{
+
+/** CRC-32C of a byte range (init/xorout per the standard). */
+uint32_t crc32c(const void *data, size_t len);
+
+/** CRC-32C of a string's bytes. */
+inline uint32_t
+crc32c(const std::string &s)
+{
+    return crc32c(s.data(), s.size());
+}
+
+/** Fixed-width lowercase hex rendering, e.g. "e3069283". */
+std::string crc32cHex(uint32_t crc);
+
+} // namespace vstack
+
+#endif // VSTACK_SUPPORT_CRC32C_H

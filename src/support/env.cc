@@ -97,6 +97,11 @@ EnvConfig::fromEnvironment()
     cfg.watchdogFactor = envDoubleStrict("VSTACK_WATCHDOG", 4.0, 1.0);
     cfg.isolate = envFlagStrict("VSTACK_ISOLATE");
     cfg.journalFsync = envFlagStrict("VSTACK_JOURNAL_FSYNC");
+    cfg.verifyReplay = envDoubleStrict("VSTACK_VERIFY_REPLAY", 0.0, 0.0);
+    if (cfg.verifyReplay > 100.0)
+        fatal("VSTACK_VERIFY_REPLAY must be a percentage in [0, 100], "
+              "got %g",
+              cfg.verifyReplay);
     return cfg;
 }
 

@@ -20,11 +20,18 @@
  *                       quarantined instead of killing the campaign
  *   VSTACK_JOURNAL_FSYNC=1  fsync the resume journal per appended
  *                       sample (survives power loss, not just kills)
+ *   VSTACK_VERIFY_REPLAY=P  re-simulate a deterministic P% (0..100) of
+ *                       journal-replayed samples and abort the
+ *                       campaign on any divergence
+ *   VSTACK_FAILPOINTS=...   arm deterministic fault-injection sites in
+ *                       the storage/sandbox paths (chaos testing; see
+ *                       support/failpoint.h for the spec grammar)
  *
  * Values that shape execution (VSTACK_JOBS, VSTACK_ISOLATE,
- * VSTACK_WATCHDOG, VSTACK_JOURNAL_FSYNC) are validated strictly: a
- * set-but-garbage value is a one-line fatal error, never a silent
- * fallback to a misconfigured campaign.
+ * VSTACK_WATCHDOG, VSTACK_JOURNAL_FSYNC, VSTACK_VERIFY_REPLAY,
+ * VSTACK_FAILPOINTS) are validated strictly: a set-but-garbage value
+ * is a one-line fatal error, never a silent fallback to a
+ * misconfigured campaign.
  */
 #ifndef VSTACK_SUPPORT_ENV_H
 #define VSTACK_SUPPORT_ENV_H
@@ -75,6 +82,9 @@ struct EnvConfig
     bool isolate = false;
     /** fsync the resume journal after every appended sample. */
     bool journalFsync = false;
+    /** Percentage (0..100) of journal-replayed samples to re-simulate
+     *  and compare against their records before trusting a resume. */
+    double verifyReplay = 0.0;
 
     /** Resolve from the process environment. */
     static EnvConfig fromEnvironment();

@@ -1,0 +1,221 @@
+#include "failpoint.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include <unistd.h>
+
+#include "support/logging.h"
+
+namespace vstack
+{
+
+namespace
+{
+
+/** One armed rule plus its deterministic hit/fire counters. */
+struct Rule
+{
+    uint64_t firstN = 0; ///< fire on the first N hits (N form)
+    uint64_t m = 0;      ///< fire on M of every K hits (M/K form)
+    uint64_t k = 0;
+    uint64_t at = 0;     ///< fire exactly on hit #at, 1-based (@N form)
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+
+    bool firesOn(uint64_t hitIndex) const // 0-based
+    {
+        if (at)
+            return hitIndex + 1 == at;
+        if (k)
+            return hitIndex % k < m;
+        return hitIndex < firstN;
+    }
+};
+
+struct State
+{
+    std::mutex mu;
+    std::map<std::string, Rule> rules;
+};
+
+State &
+state()
+{
+    static State s;
+    return s;
+}
+
+// Fast path for the (overwhelmingly common) unarmed case: one relaxed
+// load, no lock, no map walk.
+std::atomic<bool> g_armed{false};
+
+std::once_flag g_envOnce;
+
+uint64_t
+parseCount(const char *what, const std::string &spec,
+           const std::string &text)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (text.empty() || end != text.c_str() + text.size() || v == 0)
+        fatal("VSTACK_FAILPOINTS: %s in '%s' must be a positive integer",
+              what, spec.c_str());
+    return v;
+}
+
+void
+installRules(const std::string &spec)
+{
+    std::map<std::string, Rule> rules;
+    size_t pos = 0;
+    while (pos < spec.size()) {
+        size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string item = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (item.empty())
+            continue;
+        const size_t eq = item.find('=');
+        if (eq == std::string::npos || eq == 0)
+            fatal("VSTACK_FAILPOINTS: expected 'site=rule', got '%s'",
+                  item.c_str());
+        const std::string name = item.substr(0, eq);
+        for (char c : name) {
+            if (!std::islower(static_cast<unsigned char>(c)) &&
+                !std::isdigit(static_cast<unsigned char>(c)) &&
+                c != '.' && c != '_')
+                fatal("VSTACK_FAILPOINTS: bad site name '%s'", name.c_str());
+        }
+        const std::string rule = item.substr(eq + 1);
+        Rule r;
+        if (!rule.empty() && rule[0] == '@') {
+            r.at = parseCount("@N hit number", item, rule.substr(1));
+        } else if (rule.find('/') != std::string::npos) {
+            const size_t slash = rule.find('/');
+            r.m = parseCount("M in M/K", item, rule.substr(0, slash));
+            r.k = parseCount("K in M/K", item, rule.substr(slash + 1));
+            if (r.m > r.k)
+                fatal("VSTACK_FAILPOINTS: M/K rule '%s' needs M <= K",
+                      item.c_str());
+        } else {
+            r.firstN = parseCount("hit count", item, rule);
+        }
+        if (!rules.emplace(name, r).second)
+            fatal("VSTACK_FAILPOINTS: site '%s' armed twice", name.c_str());
+    }
+
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.rules = std::move(rules);
+    g_armed.store(!s.rules.empty(), std::memory_order_relaxed);
+}
+
+/** Consume VSTACK_FAILPOINTS exactly once, lazily, at first use. */
+void
+ensureEnvLoaded()
+{
+    std::call_once(g_envOnce, [] {
+        const char *v = std::getenv("VSTACK_FAILPOINTS");
+        if (v && *v)
+            installRules(v);
+    });
+}
+
+} // namespace
+
+bool
+failpoint(const char *site)
+{
+    ensureEnvLoaded();
+    if (!g_armed.load(std::memory_order_relaxed))
+        return false;
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.rules.find(site);
+    if (it == s.rules.end())
+        return false;
+    Rule &r = it->second;
+    const bool fire = r.firesOn(r.hits++);
+    if (fire)
+        ++r.fires;
+    return fire;
+}
+
+void
+failpointKill(const char *site)
+{
+    if (failpoint(site))
+        _exit(137); // as if SIGKILL landed exactly at this operation
+}
+
+uint64_t
+failpointHits(const char *site)
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.rules.find(site);
+    return it == s.rules.end() ? 0 : it->second.hits;
+}
+
+uint64_t
+failpointFires(const char *site)
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.rules.find(site);
+    return it == s.rules.end() ? 0 : it->second.fires;
+}
+
+void
+armFailpoints(const std::string &spec)
+{
+    // Tests arm programmatically; make sure a later lazy env load can
+    // never overwrite their rule set.
+    std::call_once(g_envOnce, [] {});
+    installRules(spec);
+}
+
+void
+clearFailpoints()
+{
+    armFailpoints("");
+}
+
+bool
+failpointsArmed()
+{
+    ensureEnvLoaded();
+    return g_armed.load(std::memory_order_relaxed);
+}
+
+std::string
+failpointSummary()
+{
+    ensureEnvLoaded();
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    std::string out;
+    for (const auto &[name, r] : s.rules) {
+        if (!out.empty())
+            out += ", ";
+        out += name;
+        if (r.at)
+            out += strprintf("=@%llu",
+                             static_cast<unsigned long long>(r.at));
+        else if (r.k)
+            out += strprintf("=%llu/%llu",
+                             static_cast<unsigned long long>(r.m),
+                             static_cast<unsigned long long>(r.k));
+        else
+            out += strprintf("=%llu",
+                             static_cast<unsigned long long>(r.firstN));
+    }
+    return out;
+}
+
+} // namespace vstack

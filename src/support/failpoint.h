@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Deterministic failpoint framework (ARMORY-style systematic fault
+ * placement in the tool itself).
+ *
+ * The injection harness is as much a fault target as the simulators
+ * it drives: a short write in the journal, an ENOSPC at the result
+ * store's rename, or a torn pipe frame from a dying sandbox child
+ * corrupts campaign aggregates exactly like the SDCs being measured.
+ * Failpoints let the chaos harness (tests/test_chaos.cc,
+ * tools/chaos_campaign.sh) *place* those faults deterministically and
+ * assert that recovery restores byte-identical reports.
+ *
+ * Failpoints are compiled in always and disarmed by default; an
+ * unarmed site costs one relaxed atomic load.  Arm via the
+ * environment:
+ *
+ *   VSTACK_FAILPOINTS="journal.append.short_write=1/7,store.rename.enospc=1"
+ *
+ * or programmatically with armFailpoints() (tests).  Rules, evaluated
+ * against a deterministic per-site hit counter:
+ *
+ *   N      fire on the first N hits (N >= 1); "=1" means "fire once"
+ *   M/K    fire on M of every K hits (hit indices h with h mod K < M)
+ *   @N     fire exactly on the Nth hit (1-based), once
+ *
+ * The *effect* of a fired site is encoded in the site's name and
+ * implemented at the call site — `.short_write` truncates the I/O,
+ * `.enospc` fails it, `.eintr` simulates an interrupted syscall,
+ * `.kill` calls `_exit(137)` mid-operation (a SIGKILL landing exactly
+ * there).  The full site list lives in DESIGN.md §7.
+ *
+ * A malformed VSTACK_FAILPOINTS value is a fatal error at first use,
+ * never a silently unarmed chaos run (same strictness contract as
+ * VSTACK_JOBS and friends).
+ */
+#ifndef VSTACK_SUPPORT_FAILPOINT_H
+#define VSTACK_SUPPORT_FAILPOINT_H
+
+#include <cstdint>
+#include <string>
+
+namespace vstack
+{
+
+/**
+ * Count a hit on `site` and report whether an armed rule fires on it.
+ * Unarmed (the common case): no registration, no locking, false.
+ * Thread-safe; forked children inherit the armed rules and the
+ * counter values at fork time, and count independently from there.
+ */
+bool failpoint(const char *site);
+
+/** If `site` fires on this hit, die via `_exit(137)` — a SIGKILL
+ *  landing exactly at the instrumented operation. */
+void failpointKill(const char *site);
+
+/** Hits / fires recorded for a site (0 if never armed; tests). */
+uint64_t failpointHits(const char *site);
+uint64_t failpointFires(const char *site);
+
+/**
+ * Replace the armed rule set with `spec` (same grammar as
+ * VSTACK_FAILPOINTS; empty string disarms everything).  Resets all
+ * hit/fire counters.  Malformed specs are fatal.
+ */
+void armFailpoints(const std::string &spec);
+
+/** Disarm everything and reset counters. */
+void clearFailpoints();
+
+/** True if any failpoint rule is currently armed. */
+bool failpointsArmed();
+
+/** One-line summary of armed sites ("" when unarmed; diagnostics). */
+std::string failpointSummary();
+
+} // namespace vstack
+
+#endif // VSTACK_SUPPORT_FAILPOINT_H

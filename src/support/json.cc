@@ -2,10 +2,14 @@
 
 #include <atomic>
 #include <cassert>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 namespace vstack
 {
@@ -521,6 +525,24 @@ writeFile(const std::string &path, const std::string &content)
         return false;
     }
     return true;
+}
+
+bool
+fsyncDir(const std::string &dir)
+{
+    int fd;
+    do {
+        fd = ::open(dir.empty() ? "." : dir.c_str(),
+                    O_RDONLY | O_DIRECTORY);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0)
+        return false;
+    int rc;
+    do {
+        rc = ::fsync(fd);
+    } while (rc != 0 && errno == EINTR);
+    ::close(fd);
+    return rc == 0;
 }
 
 } // namespace vstack

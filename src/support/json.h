@@ -105,6 +105,14 @@ bool readFile(const std::string &path, std::string &out);
 /** Write a string to a file atomically (tmp + rename); false on error. */
 bool writeFile(const std::string &path, const std::string &content);
 
+/**
+ * fsync a directory so a just-created/renamed entry inside it survives
+ * power loss (the rename itself is atomic either way; without the
+ * directory sync the *existence* of the new name is not durable).
+ * Returns false if the directory cannot be opened or synced.
+ */
+bool fsyncDir(const std::string &dir);
+
 } // namespace vstack
 
 #endif // VSTACK_SUPPORT_JSON_H

@@ -430,6 +430,29 @@ TEST(ResultStoreTest, TruncatedEntryIsAMissNotACrash)
     std::filesystem::remove_all(dir);
 }
 
+TEST(ResultStoreTest, LegacyBareJsonEntryIsAccepted)
+{
+    const std::string dir = "/tmp/vstack_store_test5";
+    std::filesystem::remove_all(dir);
+    ResultStore store(dir);
+    // A pre-envelope cache entry: bare JSON with no fmt/crc wrapper.
+    // Existing result directories must keep working (unverified);
+    // the next put() re-stamps the entry with a checksum.
+    writeFile(store.pathFor("key"), "{\"sdc\": 7}");
+    auto v = store.get("key");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->at("sdc").asInt(), 7);
+    EXPECT_EQ(store.storageFaults(), 0u);
+
+    store.put("key", *v);
+    std::string text;
+    ASSERT_TRUE(readFile(store.pathFor("key"), text));
+    EXPECT_NE(text.find("\"crc\""), std::string::npos)
+        << "rewritten entries carry the envelope";
+    ASSERT_TRUE(store.get("key").has_value());
+    std::filesystem::remove_all(dir);
+}
+
 TEST(ResultStoreTest, PutLeavesNoTempFilesBehind)
 {
     const std::string dir = "/tmp/vstack_store_test4";

@@ -1,0 +1,399 @@
+/**
+ * @file
+ * Chaos harness for the campaign storage stack: systematic failpoint
+ * schedules (short writes, ENOSPC, EINTR storms, kill-at-site) driven
+ * through real executor runs, asserting the recovery invariants that
+ * make campaign numbers trustworthy:
+ *
+ *  - a resumed campaign's results are bit-identical to an
+ *    uninterrupted run, at any jobs count;
+ *  - no sample is ever double-counted or lost: every index is either
+ *    replayed from an intact journal record or re-simulated exactly
+ *    once;
+ *  - corrupt records are quarantined into `.corrupt` sidecars and
+ *    counted in storageFaults(), never silently trusted;
+ *  - the result cache never exposes a partial entry, even when the
+ *    process dies between the temp-file write and the rename.
+ *
+ * Tests fork real children (armed with failpoints) and are therefore
+ * excluded from the TSan stage of tools/ci_sanitize.sh, like the
+ * sandbox tests.  Payloads reuse the deterministic mix(i) scheme from
+ * test_exec.cc so chaos runs can be compared against clean runs.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "core/resultstore.h"
+#include "exec/executor.h"
+#include "exec/journal.h"
+#include "exec/sandbox.h"
+#include "support/failpoint.h"
+#include "support/json.h"
+
+namespace vstack
+{
+namespace
+{
+
+struct CountingCtx
+{
+    size_t runs = 0;
+};
+
+Json
+encodeU64(const uint64_t &v)
+{
+    return Json(v);
+}
+
+uint64_t
+decodeU64(const Json &j)
+{
+    return static_cast<uint64_t>(j.asInt());
+}
+
+/** Deterministic per-sample payload (same scheme as test_exec.cc). */
+uint64_t
+mix(size_t i)
+{
+    uint64_t z = static_cast<uint64_t>(i) + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    return z ^ (z >> 27);
+}
+
+class ChaosTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        clearFailpoints();
+        dir = "/tmp/vstack_chaos_test";
+        std::filesystem::remove_all(dir);
+        path = dir + "/j.jsonl";
+    }
+    void TearDown() override
+    {
+        clearFailpoints();
+        std::filesystem::remove_all(dir);
+    }
+
+    /** Reference: an uninterrupted, unjournaled serial run. */
+    std::vector<std::optional<uint64_t>> cleanRun(size_t n)
+    {
+        return exec::runSamples<uint64_t>(
+            n, exec::ExecConfig{},
+            [] { return std::make_unique<CountingCtx>(); },
+            [](CountingCtx &, size_t i) { return mix(i); }, encodeU64,
+            decodeU64);
+    }
+
+    std::string dir, path;
+};
+
+// ---- journal chaos ----------------------------------------------------------
+
+TEST_F(ChaosTest, ShortWriteCorruptionHealsOnResume)
+{
+    const size_t n = 40;
+    const auto reference = cleanRun(n);
+
+    // Chaos phase: arm short writes *after* open() so the header lands
+    // intact; every fifth record append is torn mid-line, and the next
+    // append merges with the torn half into newline-terminated
+    // garbage — mid-file corruption, not a benign torn tail.
+    {
+        exec::Journal j;
+        ASSERT_TRUE(j.open(path, "camp", n, 1, false));
+        armFailpoints("journal.append.short_write=1/5");
+        exec::ExecConfig ec;
+        ec.journal = &j;
+        exec::runSamples<uint64_t>(
+            n, ec, [] { return std::make_unique<CountingCtx>(); },
+            [](CountingCtx &, size_t i) { return mix(i); }, encodeU64,
+            decodeU64);
+        clearFailpoints();
+    }
+
+    // Recovery: corrupt records quarantined + counted, survivors
+    // replayed, lost samples re-simulated exactly once.
+    exec::Journal j;
+    ASSERT_TRUE(j.open(path, "camp", n, 1, true));
+    EXPECT_GT(j.storageFaults(), 0u);
+    EXPECT_LT(j.replayed(), n);
+    EXPECT_TRUE(
+        std::filesystem::exists(exec::Journal::corruptPathFor(path)));
+
+    std::set<size_t> resimulated;
+    exec::ExecConfig ec;
+    ec.journal = &j;
+    auto recovered = exec::runSamples<uint64_t>(
+        n, ec, [] { return std::make_unique<CountingCtx>(); },
+        [&](CountingCtx &, size_t i) {
+            EXPECT_TRUE(resimulated.insert(i).second)
+                << "sample " << i << " simulated twice";
+            return mix(i);
+        },
+        encodeU64, decodeU64);
+    EXPECT_EQ(recovered, reference);
+    EXPECT_EQ(resimulated.size() + j.replayed(), n)
+        << "every sample exactly once: replayed or re-simulated";
+
+    // The heal rewrote the file: a third open sees a clean journal.
+    exec::Journal k;
+    ASSERT_TRUE(k.open(path, "camp", n, 1, true));
+    EXPECT_EQ(k.storageFaults(), 0u);
+    EXPECT_EQ(k.replayed(), n);
+}
+
+TEST_F(ChaosTest, ResumeAfterKillAtAppendIsByteIdentical)
+{
+    const size_t n = 30;
+    const auto reference = cleanRun(n);
+
+    // A child campaign dies by "SIGKILL" exactly mid-append (hit 8 =
+    // header + 7th record), leaving a torn tail on disk.
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        armFailpoints("journal.append.kill=@8");
+        exec::Journal j;
+        if (!j.open(path, "camp", n, 1, false))
+            _exit(90);
+        exec::ExecConfig ec;
+        ec.journal = &j;
+        exec::runSamples<uint64_t>(
+            n, ec, [] { return std::make_unique<CountingCtx>(); },
+            [](CountingCtx &, size_t i) { return mix(i); }, encodeU64,
+            decodeU64);
+        _exit(0); // failpoint did not fire: fail the parent's check
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    ASSERT_EQ(WEXITSTATUS(status), 137) << "child must die mid-append";
+
+    // Resume: the torn tail is a benign kill artifact (skipped, not a
+    // storage fault); the recovered aggregate is bit-identical.
+    exec::Journal j;
+    ASSERT_TRUE(j.open(path, "camp", n, 1, true));
+    EXPECT_EQ(j.storageFaults(), 0u)
+        << "a torn tail is expected kill damage, not corruption";
+    EXPECT_LT(j.replayed(), n);
+    exec::ExecConfig ec;
+    ec.journal = &j;
+    auto recovered = exec::runSamples<uint64_t>(
+        n, ec, [] { return std::make_unique<CountingCtx>(); },
+        [](CountingCtx &, size_t i) { return mix(i); }, encodeU64,
+        decodeU64);
+    EXPECT_EQ(recovered, reference);
+}
+
+TEST_F(ChaosTest, ScheduleSweepIsByteIdenticalAtAnyJobsCount)
+{
+    const size_t n = 60;
+    const auto reference = cleanRun(n);
+    const char *schedules[] = {
+        "journal.append.short_write=1/6",
+        "journal.append.short_write=2/9",
+        "journal.fsync.eintr=1/2",
+        "journal.append.short_write=1/4,journal.fsync.eintr=1/3",
+    };
+
+    for (const char *schedule : schedules) {
+        for (unsigned jobs : {1u, 4u}) {
+            std::filesystem::remove_all(dir);
+            {
+                exec::Journal j;
+                ASSERT_TRUE(j.open(path, "camp", n, 1, false));
+                j.setFsync(true); // exercise the fsync retry loop
+                armFailpoints(schedule);
+                exec::ExecConfig ec;
+                ec.jobs = jobs;
+                ec.journal = &j;
+                exec::runSamples<uint64_t>(
+                    n, ec,
+                    [] { return std::make_unique<CountingCtx>(); },
+                    [](CountingCtx &, size_t i) { return mix(i); },
+                    encodeU64, decodeU64);
+                clearFailpoints();
+            }
+
+            exec::Journal j;
+            ASSERT_TRUE(j.open(path, "camp", n, 1, true));
+            std::mutex mu;
+            std::set<size_t> resimulated;
+            exec::ExecConfig ec;
+            ec.jobs = jobs;
+            ec.journal = &j;
+            auto recovered = exec::runSamples<uint64_t>(
+                n, ec, [] { return std::make_unique<CountingCtx>(); },
+                [&](CountingCtx &, size_t i) {
+                    std::lock_guard<std::mutex> lock(mu);
+                    EXPECT_TRUE(resimulated.insert(i).second)
+                        << "double-simulated under '" << schedule << "'";
+                    return mix(i);
+                },
+                encodeU64, decodeU64);
+            EXPECT_EQ(recovered, reference)
+                << "schedule '" << schedule << "' jobs=" << jobs;
+            EXPECT_EQ(resimulated.size() + j.replayed(), n)
+                << "schedule '" << schedule << "' jobs=" << jobs;
+        }
+    }
+}
+
+// ---- result-store chaos -----------------------------------------------------
+
+TEST_F(ChaosTest, StoreShortWriteNeverExposesPartialEntry)
+{
+    ResultStore store(dir + "/cache");
+    Json v = Json::object();
+    v.set("sdc", 123);
+
+    armFailpoints("store.write.enospc=1");
+    store.put("key", v); // fails cleanly: short temp-file write
+    clearFailpoints();
+    EXPECT_FALSE(store.get("key").has_value());
+    EXPECT_FALSE(std::filesystem::exists(store.pathFor("key")))
+        << "a failed put must not install an entry";
+
+    store.put("key", v); // the retry fully replaces the failure
+    ASSERT_TRUE(store.get("key").has_value());
+    EXPECT_EQ(store.get("key")->at("sdc").asInt(), 123);
+    EXPECT_EQ(store.storageFaults(), 0u)
+        << "a clean write failure is not data corruption";
+}
+
+TEST_F(ChaosTest, StoreRenameEnospcFailsCleanly)
+{
+    ResultStore store(dir + "/cache");
+    armFailpoints("store.rename.enospc=1");
+    store.put("key", Json(7));
+    clearFailpoints();
+    EXPECT_FALSE(store.get("key").has_value());
+    for (const auto &e :
+         std::filesystem::directory_iterator(dir + "/cache"))
+        ADD_FAILURE() << "leftover file: " << e.path();
+
+    store.put("key", Json(7));
+    ASSERT_TRUE(store.get("key").has_value());
+}
+
+TEST_F(ChaosTest, StoreKillBetweenWriteAndRenameLeavesNoEntry)
+{
+    ResultStore store(dir + "/cache");
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        armFailpoints("store.rename.kill=1");
+        store.put("key", Json(7)); // dies after fsync, before rename
+        _exit(0);
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    ASSERT_EQ(WEXITSTATUS(status), 137);
+
+    // The visible entry path never holds a partial value: the orphaned
+    // temp file is invisible to get(), and a fresh put() still works.
+    EXPECT_FALSE(std::filesystem::exists(store.pathFor("key")));
+    EXPECT_FALSE(store.get("key").has_value());
+    store.put("key", Json(7));
+    ASSERT_TRUE(store.get("key").has_value());
+}
+
+TEST_F(ChaosTest, CacheBitRotIsQuarantinedAndCounted)
+{
+    ResultStore store(dir + "/cache");
+    Json v = Json::object();
+    v.set("sdc", 123);
+    store.put("key", v);
+
+    // Flip one payload byte: the envelope checksum must catch it.
+    std::string text;
+    ASSERT_TRUE(readFile(store.pathFor("key"), text));
+    const size_t at = text.find("123");
+    ASSERT_NE(at, std::string::npos);
+    text[at] = '9';
+    std::ofstream(store.pathFor("key"),
+                  std::ios::binary | std::ios::trunc)
+        << text;
+
+    EXPECT_FALSE(store.get("key").has_value())
+        << "rotten data must read as a miss, never as a result";
+    EXPECT_EQ(store.storageFaults(), 1u);
+    EXPECT_TRUE(
+        std::filesystem::exists(store.pathFor("key") + ".corrupt"));
+}
+
+// ---- sandbox pipe chaos -----------------------------------------------------
+
+TEST_F(ChaosTest, TornPipeFrameIsTriagedAsHostFault)
+{
+    // Child write hits: begin(0), result(0), begin(1), result(1) —
+    // @4 tears sample 1's result frame in half and kills the child.
+    armFailpoints("sandbox.pipe.short_write=@4");
+    exec::SandboxLimits limits;
+    limits.wallSeconds = 10.0;
+    auto outcomes = exec::runIsolatedBatch(
+        {0, 1, 2}, limits,
+        [](size_t i) { return encodeU64(mix(i)); });
+    clearFailpoints();
+
+    ASSERT_EQ(outcomes.size(), 3u);
+    EXPECT_EQ(outcomes[0].kind, exec::IsolatedOutcome::Kind::Ok);
+    EXPECT_EQ(outcomes[0].payload.asInt(),
+              static_cast<int64_t>(mix(0)));
+    ASSERT_EQ(outcomes[1].kind, exec::IsolatedOutcome::Kind::Host)
+        << "a torn frame is a host fault, not a parse error";
+    EXPECT_TRUE(outcomes[1].host.tornFrame);
+    EXPECT_EQ(outcomes[1].host.exitCode, 125);
+    EXPECT_EQ(outcomes[1].host.signal, 0);
+    EXPECT_EQ(outcomes[2].kind, exec::IsolatedOutcome::Kind::NotRun)
+        << "samples after the death are re-batched, not blamed";
+}
+
+TEST_F(ChaosTest, EintrStormIsHarmless)
+{
+    const size_t n = 12;
+    const auto reference = cleanRun(n);
+
+    // Interrupted syscalls on every storage/supervision path at once:
+    // journal fsync, sandbox pipe reads, child reaping.  All must
+    // retry; none may lose or duplicate data.
+    armFailpoints(
+        "journal.fsync.eintr=2,sandbox.read.eintr=1/3,"
+        "sandbox.reap.eintr=2");
+    exec::Journal j;
+    ASSERT_TRUE(j.open(path, "camp", n, 1, false));
+    j.setFsync(true);
+    exec::ExecConfig ec;
+    ec.isolate = true;
+    ec.sandbox.batch = 4;
+    ec.sandbox.wallSeconds = 10.0;
+    ec.journal = &j;
+    auto results = exec::runSamples<uint64_t>(
+        n, ec, [] { return std::make_unique<CountingCtx>(); },
+        [](CountingCtx &, size_t i) { return mix(i); }, encodeU64,
+        decodeU64);
+    clearFailpoints();
+    EXPECT_EQ(results, reference);
+
+    exec::Journal k;
+    ASSERT_TRUE(k.open(path, "camp", n, 1, true));
+    EXPECT_EQ(k.replayed(), n);
+    EXPECT_EQ(k.storageFaults(), 0u);
+}
+
+} // namespace
+} // namespace vstack

@@ -688,5 +688,206 @@ TEST(SandboxTest, SimErrorInsideChildStillQuarantines)
     }
 }
 
+// ---- journal corruption recovery --------------------------------------------
+
+/** Flip one payload byte inside 0-based line `lineNo` of a file. */
+void
+corruptLineInFile(const std::string &path, size_t lineNo)
+{
+    std::string text;
+    ASSERT_TRUE(readFile(path, text));
+    size_t start = 0;
+    for (size_t skipped = 0; skipped < lineNo; ++skipped)
+        start = text.find('\n', start) + 1;
+    const size_t end = text.find('\n', start);
+    ASSERT_NE(end, std::string::npos);
+    text[end - 2] ^= 0x01; // inside the JSON payload, not the newline
+    std::ofstream(path, std::ios::binary | std::ios::trunc) << text;
+}
+
+TEST_F(JournalTest, MidFileCorruptionIsQuarantinedAndHealed)
+{
+    {
+        exec::Journal j;
+        ASSERT_TRUE(j.open(path, "camp", 10, 42, false));
+        j.append(0, Json(10));
+        j.append(1, Json(11));
+        j.append(2, Json(12));
+    }
+    corruptLineInFile(path, 2); // record for sample 1
+
+    exec::Journal j;
+    ASSERT_TRUE(j.open(path, "camp", 10, 42, true));
+    EXPECT_EQ(j.replayed(), 2u);
+    EXPECT_EQ(j.storageFaults(), 1u);
+    EXPECT_NE(j.find(0), nullptr);
+    EXPECT_EQ(j.find(1), nullptr) << "corrupt record must not replay";
+    EXPECT_NE(j.find(2), nullptr);
+    EXPECT_TRUE(
+        std::filesystem::exists(exec::Journal::corruptPathFor(path)));
+
+    // The file was healed in place: a further resume sees a clean
+    // journal with the surviving records and no new faults.
+    exec::Journal k;
+    ASSERT_TRUE(k.open(path, "camp", 10, 42, true));
+    EXPECT_EQ(k.replayed(), 2u);
+    EXPECT_EQ(k.storageFaults(), 0u);
+}
+
+TEST_F(JournalTest, DuplicateIndexFirstWinsAndIsQuarantined)
+{
+    {
+        exec::Journal j;
+        ASSERT_TRUE(j.open(path, "camp", 10, 42, false));
+        j.append(0, Json(1));
+        j.append(0, Json(2)); // double-append (a storage-layer bug)
+    }
+    exec::Journal j;
+    ASSERT_TRUE(j.open(path, "camp", 10, 42, true));
+    EXPECT_EQ(j.replayed(), 1u) << "a sample must never count twice";
+    EXPECT_EQ(j.storageFaults(), 1u);
+    EXPECT_EQ(j.find(0)->at("r").asInt(), 1)
+        << "the record an earlier resume replayed must win";
+}
+
+TEST_F(JournalTest, TrailingGarbageBlockIsQuarantined)
+{
+    {
+        exec::Journal j;
+        ASSERT_TRUE(j.open(path, "camp", 10, 42, false));
+        j.append(0, Json(1));
+    }
+    // Newline-terminated garbage is NOT a torn tail (a torn append
+    // never writes the final newline): it must count as corruption.
+    {
+        std::ofstream f(path, std::ios::binary | std::ios::app);
+        f << "c=deadbeef {\"i\":9,\"r\":0}\n";
+    }
+    exec::Journal j;
+    ASSERT_TRUE(j.open(path, "camp", 10, 42, true));
+    EXPECT_EQ(j.replayed(), 1u);
+    EXPECT_EQ(j.storageFaults(), 1u);
+}
+
+TEST_F(JournalTest, EmptyFileStartsFreshWithoutFaults)
+{
+    std::filesystem::create_directories(dir);
+    std::ofstream(path, std::ios::binary | std::ios::trunc) << "";
+    exec::Journal j;
+    ASSERT_TRUE(j.open(path, "camp", 10, 42, true));
+    EXPECT_EQ(j.replayed(), 0u);
+    EXPECT_EQ(j.storageFaults(), 0u);
+    j.append(0, Json(1));
+}
+
+TEST_F(JournalTest, RecordBeyondSampleSpaceIsQuarantined)
+{
+    {
+        exec::Journal j;
+        ASSERT_TRUE(j.open(path, "camp", 10, 42, false));
+        j.append(15, Json(1)); // larger than the campaign's n
+        j.append(3, Json(2));
+    }
+    exec::Journal j;
+    ASSERT_TRUE(j.open(path, "camp", 10, 42, true));
+    EXPECT_EQ(j.replayed(), 1u);
+    EXPECT_EQ(j.storageFaults(), 1u);
+    EXPECT_EQ(j.find(15), nullptr);
+    EXPECT_NE(j.find(3), nullptr);
+}
+
+TEST_F(JournalTest, CorruptHeaderQuarantinesWholeFile)
+{
+    {
+        exec::Journal j;
+        ASSERT_TRUE(j.open(path, "camp", 10, 42, false));
+        j.append(0, Json(1));
+    }
+    corruptLineInFile(path, 0); // the identity header
+
+    exec::Journal j;
+    ASSERT_TRUE(j.open(path, "camp", 10, 42, true));
+    EXPECT_EQ(j.replayed(), 0u)
+        << "records under a corrupt header cannot be trusted";
+    EXPECT_EQ(j.storageFaults(), 1u);
+    std::string sidecar;
+    ASSERT_TRUE(
+        readFile(exec::Journal::corruptPathFor(path), sidecar));
+    EXPECT_NE(sidecar.find("\"i\""), std::string::npos)
+        << "the whole file is preserved as evidence";
+}
+
+// ---- verify-replay ----------------------------------------------------------
+
+TEST_F(JournalTest, VerifyReplayAcceptsFaithfulJournal)
+{
+    const size_t n = 30;
+    auto run = [&](exec::Journal &j, bool resume, double verify) {
+        ASSERT_TRUE(j.open(path, "camp", n, 1, resume));
+        exec::ExecConfig ec;
+        ec.journal = &j;
+        ec.verifyReplay = verify;
+        auto results = exec::runSamples<uint64_t>(
+            n, ec, [] { return std::make_unique<CountingCtx>(); },
+            [](CountingCtx &, size_t i) { return mix(i); }, encodeU64,
+            decodeU64);
+        for (size_t i = 0; i < n; ++i)
+            EXPECT_EQ(results[i], mix(i)) << i;
+    };
+    exec::Journal first;
+    run(first, false, 0.0);
+    exec::Journal second;
+    run(second, true, 100.0); // every replayed sample re-checked
+}
+
+TEST_F(JournalTest, VerifyReplayDetectsDivergence)
+{
+    const size_t n = 30;
+    {
+        exec::Journal first;
+        ASSERT_TRUE(first.open(path, "camp", n, 1, false));
+        exec::ExecConfig ec;
+        ec.journal = &first;
+        exec::runSamples<uint64_t>(
+            n, ec, [] { return std::make_unique<CountingCtx>(); },
+            [](CountingCtx &, size_t i) { return mix(i); }, encodeU64,
+            decodeU64);
+    }
+    // Resume with a runFn that no longer reproduces the journal —
+    // checksum-valid records, wrong campaign behavior.  verify-replay
+    // must refuse to build numbers on them.
+    exec::Journal second;
+    ASSERT_TRUE(second.open(path, "camp", n, 1, true));
+    ASSERT_EQ(second.replayed(), n);
+    exec::ExecConfig ec;
+    ec.journal = &second;
+    ec.verifyReplay = 100.0;
+    EXPECT_THROW(
+        exec::runSamples<uint64_t>(
+            n, ec, [] { return std::make_unique<CountingCtx>(); },
+            [](CountingCtx &, size_t i) { return mix(i) + 1; },
+            encodeU64, decodeU64),
+        ReplayDivergence);
+}
+
+TEST_F(JournalTest, VerifyReplaySubsetIsDeterministic)
+{
+    std::vector<size_t> a, b;
+    for (size_t i = 0; i < 1000; ++i) {
+        if (exec::verifyReplaySelected(i, 10.0))
+            a.push_back(i);
+        if (exec::verifyReplaySelected(i, 10.0))
+            b.push_back(i);
+    }
+    EXPECT_EQ(a, b);
+    // ~10% of 1000, loosely bounded (the subset is hash-selected).
+    EXPECT_GT(a.size(), 50u);
+    EXPECT_LT(a.size(), 200u);
+    for (size_t i = 0; i < 100; ++i) {
+        EXPECT_FALSE(exec::verifyReplaySelected(i, 0.0));
+        EXPECT_TRUE(exec::verifyReplaySelected(i, 100.0));
+    }
+}
+
 } // namespace
 } // namespace vstack

@@ -2,14 +2,16 @@
  * @file
  * Unit tests for the support library: RNG determinism and uniformity,
  * the statistical sampling model, JSON round-trips, table rendering,
- * and environment parsing.
+ * environment parsing, CRC-32C, and the failpoint framework.
  */
 #include <gtest/gtest.h>
 
 #include <cstdlib>
 #include <map>
 
+#include "support/crc32c.h"
 #include "support/env.h"
+#include "support/failpoint.h"
 #include "support/json.h"
 #include "support/rng.h"
 #include "support/stats.h"
@@ -383,6 +385,110 @@ TEST(EnvDeathTest, ConfigRejectsMisconfiguredExecutionKnobs)
     ::setenv("VSTACK_WATCHDOG", "0.5", 1);
     EXPECT_DEATH(EnvConfig::fromEnvironment(), "VSTACK_WATCHDOG");
     ::unsetenv("VSTACK_WATCHDOG");
+    ::setenv("VSTACK_VERIFY_REPLAY", "150", 1);
+    EXPECT_DEATH(EnvConfig::fromEnvironment(), "VSTACK_VERIFY_REPLAY");
+    ::unsetenv("VSTACK_VERIFY_REPLAY");
+}
+
+// ---- CRC-32C -----------------------------------------------------------
+
+TEST(Crc32c, KnownAnswer)
+{
+    // The CRC-32C check value from RFC 3720 appendix B.4.
+    EXPECT_EQ(crc32c("123456789"), 0xE3069283u);
+    EXPECT_EQ(crc32c(""), 0u);
+}
+
+TEST(Crc32c, SensitiveToEveryByte)
+{
+    const std::string base = "the journal line payload";
+    const uint32_t ref = crc32c(base);
+    for (size_t i = 0; i < base.size(); ++i) {
+        std::string flipped = base;
+        flipped[i] = static_cast<char>(flipped[i] ^ 0x01);
+        EXPECT_NE(crc32c(flipped), ref) << "byte " << i;
+    }
+}
+
+TEST(Crc32c, HexIsFixedWidthLowercase)
+{
+    EXPECT_EQ(crc32cHex(0xE3069283u), "e3069283");
+    EXPECT_EQ(crc32cHex(0x1u), "00000001");
+    EXPECT_EQ(crc32cHex(0u), "00000000");
+}
+
+// ---- failpoints --------------------------------------------------------
+
+class FailpointTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { clearFailpoints(); }
+};
+
+TEST_F(FailpointTest, UnarmedSitesNeverFire)
+{
+    clearFailpoints();
+    EXPECT_FALSE(failpointsArmed());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_FALSE(failpoint("some.site"));
+    EXPECT_EQ(failpointHits("some.site"), 0u);
+}
+
+TEST_F(FailpointTest, FirstNRuleFiresExactlyNTimes)
+{
+    armFailpoints("a.b=2");
+    EXPECT_TRUE(failpointsArmed());
+    EXPECT_TRUE(failpoint("a.b"));
+    EXPECT_TRUE(failpoint("a.b"));
+    EXPECT_FALSE(failpoint("a.b"));
+    EXPECT_FALSE(failpoint("a.b"));
+    EXPECT_EQ(failpointHits("a.b"), 4u);
+    EXPECT_EQ(failpointFires("a.b"), 2u);
+    EXPECT_FALSE(failpoint("other.site")) << "unarmed site stays cold";
+}
+
+TEST_F(FailpointTest, RatioRuleFiresMOfEveryK)
+{
+    armFailpoints("a.b=1/3");
+    int fires = 0;
+    for (int i = 0; i < 9; ++i)
+        fires += failpoint("a.b");
+    EXPECT_EQ(fires, 3);
+    EXPECT_TRUE(failpoint("a.b")) << "hit 9 starts a new window";
+}
+
+TEST_F(FailpointTest, AtRuleFiresOnlyOnTheNthHit)
+{
+    armFailpoints("a.b=@3");
+    EXPECT_FALSE(failpoint("a.b"));
+    EXPECT_FALSE(failpoint("a.b"));
+    EXPECT_TRUE(failpoint("a.b"));
+    EXPECT_FALSE(failpoint("a.b"));
+    EXPECT_EQ(failpointFires("a.b"), 1u);
+}
+
+TEST_F(FailpointTest, ArmReplacesRulesAndResetsCounters)
+{
+    armFailpoints("a.b=1");
+    EXPECT_TRUE(failpoint("a.b"));
+    armFailpoints("c.d=1");
+    EXPECT_EQ(failpointHits("a.b"), 0u) << "re-arming resets counters";
+    EXPECT_FALSE(failpoint("a.b"));
+    EXPECT_TRUE(failpoint("c.d"));
+    EXPECT_NE(failpointSummary().find("c.d"), std::string::npos);
+    clearFailpoints();
+    EXPECT_FALSE(failpointsArmed());
+    EXPECT_EQ(failpointSummary(), "");
+}
+
+TEST(FailpointDeathTest, MalformedSpecsAreFatal)
+{
+    EXPECT_DEATH(armFailpoints("no_equals"), "VSTACK_FAILPOINTS");
+    EXPECT_DEATH(armFailpoints("a.b=0"), "VSTACK_FAILPOINTS");
+    EXPECT_DEATH(armFailpoints("a.b=junk"), "VSTACK_FAILPOINTS");
+    EXPECT_DEATH(armFailpoints("a.b=5/3"), "VSTACK_FAILPOINTS");
+    EXPECT_DEATH(armFailpoints("Bad.Site=1"), "VSTACK_FAILPOINTS");
+    EXPECT_DEATH(armFailpoints("a.b=1,a.b=2"), "VSTACK_FAILPOINTS");
 }
 
 } // namespace

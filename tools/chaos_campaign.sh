@@ -1,0 +1,130 @@
+#!/usr/bin/env bash
+# Chaos sweep over real `vstack campaign` runs: arm deterministic
+# failpoint schedules (VSTACK_FAILPOINTS) inside the CLI so the
+# process suffers short writes, EINTR storms, or dies mid-append;
+# then resume and require the recovered report to be byte-identical
+# to an uninterrupted run (cmp on stdout).  Storage-fault notices go
+# to stderr precisely so this comparison stays byte-exact.
+#
+# Complements tests/test_chaos.cc: that file proves the recovery
+# invariants at the executor level; this script proves them end to
+# end through the CLI, the journal files on disk, and --verify-replay.
+#
+# Usage: tools/chaos_campaign.sh [--smoke] [build-dir]
+#   --smoke  one schedule at one jobs count (CI-sized)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+smoke=0
+if [ "${1:-}" = "--smoke" ]; then
+    smoke=1
+    shift
+fi
+build="${1:-build}"
+vstack="${build}/tools/vstack"
+if [ ! -x "${vstack}" ]; then
+    echo "error: ${vstack} not built (cmake --build ${build})" >&2
+    exit 1
+fi
+
+work="$(mktemp -d)"
+trap 'rm -rf "${work}"' EXIT
+
+n=200
+kill_at=60
+jobs_list="1 2"
+if [ "${smoke}" = 1 ]; then
+    n=80
+    kill_at=25
+    jobs_list="2"
+fi
+
+cmd=(campaign sha --core ax72 --structure RF -n "${n}" --seed 7)
+
+echo "=== reference: uninterrupted run (n=${n})"
+VSTACK_RESULTS="${work}/ref" "${vstack}" "${cmd[@]}" --jobs 1 \
+    > "${work}/ref.out" 2> /dev/null
+
+# run_chaos <name> <jobs> <schedule> <fsync> <expect-kill>
+#   Phase 1 runs the campaign with the schedule armed; with
+#   expect-kill=1 the process must die with _exit(137) mid-append.
+#   Phase 2 resumes with failpoints disarmed and --verify-replay=20
+#   (a fifth of the replayed samples re-simulated and checked), and
+#   the final stdout must be byte-identical to the reference.
+run_chaos() {
+    local name="$1" jobs="$2" schedule="$3" fsync="$4" expect_kill="$5"
+    local dir="${work}/${name}-j${jobs}"
+    echo "=== ${name} (jobs=${jobs}): '${schedule}'"
+
+    local rc=0
+    VSTACK_RESULTS="${dir}" VSTACK_FAILPOINTS="${schedule}" \
+        VSTACK_JOURNAL_FSYNC="${fsync}" \
+        "${vstack}" "${cmd[@]}" --jobs "${jobs}" --resume \
+        > "${dir}.chaos.out" 2> "${dir}.chaos.err" || rc=$?
+
+    if [ "${expect_kill}" = 1 ]; then
+        if [ "${rc}" != 137 ]; then
+            echo "FAIL: expected the chaos run to die with 137, got ${rc}" >&2
+            exit 1
+        fi
+        echo "    chaos run died mid-append as scheduled (exit 137)"
+        local out
+        out="$(VSTACK_RESULTS="${dir}" "${vstack}" "${cmd[@]}" \
+                   --jobs "${jobs}" --resume --verify-replay=20 \
+                   2> "${dir}.resume.err")"
+        printf '%s\n' "${out}" > "${dir}.resume.out"
+        cmp "${work}/ref.out" "${dir}.resume.out" || {
+            echo "FAIL: recovered report differs from the reference" >&2
+            exit 1
+        }
+        echo "    resume report byte-identical to the clean run"
+    else
+        if [ "${rc}" != 0 ]; then
+            echo "FAIL: chaos run expected to survive, exit ${rc}" >&2
+            exit 1
+        fi
+        cmp "${work}/ref.out" "${dir}.chaos.out" || {
+            echo "FAIL: chaos-survivor report differs from reference" >&2
+            exit 1
+        }
+        echo "    report byte-identical despite the schedule"
+    fi
+}
+
+for jobs in ${jobs_list}; do
+    # Mid-file corruption + death: short writes tear records, the kill
+    # leaves the damage behind; the resume must quarantine the corrupt
+    # records (storageFaults notice), heal the file, re-simulate only
+    # the lost samples, and reproduce the report byte-for-byte.
+    run_chaos corrupt-kill "${jobs}" \
+        "journal.append.short_write=1/7,journal.append.kill=@$((kill_at * 2))" \
+        0 1
+    dir="${work}/corrupt-kill-j${jobs}"
+    if ! grep -q "storageFaults=" "${dir}.resume.err"; then
+        echo "FAIL: resume did not report quarantined corruption" >&2
+        exit 1
+    fi
+    if ! ls "${dir}"/journal/*.corrupt > /dev/null 2>&1; then
+        echo "FAIL: no .corrupt sidecar left as evidence" >&2
+        exit 1
+    fi
+    echo "    corruption quarantined to a .corrupt sidecar and reported"
+
+    if [ "${smoke}" = 1 ]; then
+        continue
+    fi
+
+    # Pure kill-at-append: the torn tail is benign damage; resume must
+    # not count storage faults.
+    run_chaos kill "${jobs}" "journal.append.kill=@${kill_at}" 0 1
+    if grep -q "storageFaults=" "${work}/kill-j${jobs}.resume.err"; then
+        echo "FAIL: a benign torn tail was miscounted as corruption" >&2
+        exit 1
+    fi
+
+    # EINTR storm on the fsync path: the run must survive with an
+    # unchanged report, no resume needed.
+    run_chaos eintr "${jobs}" "journal.fsync.eintr=1/3" 1 0
+done
+
+echo "=== chaos sweep passed (reports byte-identical, corruption quarantined)"

@@ -2,6 +2,8 @@
 # Build and test under sanitizers (VSTACK_SANITIZE CMake option):
 #
 #   - address + undefined: full tier-1 test suite
+#   - address: sandbox-isolation smoke + failpoint chaos smoke (the
+#     storage recovery paths and one end-to-end CLI chaos schedule)
 #   - thread: the campaign-executor tests (test_exec + the parallel
 #     campaign determinism tests), i.e. everything that exercises the
 #     worker pool in src/exec
@@ -39,16 +41,28 @@ echo "=== isolation smoke [address]"
 ctest --test-dir "${prefix}-address" --output-on-failure -j "${jobs}" \
       -R 'Sandbox|Isolated'
 
+echo "=== chaos smoke [address]"
+# The failpoint chaos harness under ASan: the recovery paths
+# (quarantine, self-heal rewrite, torn-frame triage) shuffle buffers
+# and rename files while children die mid-write — exactly where
+# use-after-free and leaked-descriptor bugs would hide.  The ctest
+# stage runs the executor-level chaos suite; the script runs one
+# end-to-end kill-and-corrupt schedule through the real CLI.
+ctest --test-dir "${prefix}-address" --output-on-failure -j "${jobs}" \
+      -R 'Chaos'
+tools/chaos_campaign.sh --smoke "${prefix}-address"
+
 dir="${prefix}-thread"
 build thread "${dir}"
 echo "=== executor tests [thread]"
 # The executor tests plus the campaign-level parallel determinism and
 # resume tests are the code that actually runs multithreaded.  The
-# filter deliberately excludes the Sandbox/Isolated fork tests: fork
-# from a multithreaded TSan process is unsupported (the sandbox tests
-# are covered by the ASan smoke stage above instead).
+# filter deliberately excludes the Sandbox/Isolated fork tests and the
+# Chaos suite (which also forks failpoint-armed children): fork from a
+# multithreaded TSan process is unsupported (both are covered by the
+# ASan smoke stages above instead).
 ctest --test-dir "${dir}" --output-on-failure -j "${jobs}" \
       -R 'Executor|Journal|Parallel|Resume|Jobs' \
-      -E 'Sandbox|Isolated'
+      -E 'Sandbox|Isolated|Chaos'
 
 echo "=== all sanitizer runs passed"

@@ -37,6 +37,13 @@
  * campaign.  Ctrl-C (SIGINT/SIGTERM) drains gracefully: children are
  * reaped, the journal keeps every finished sample, and the campaign
  * is resumable with --resume.
+ *
+ * `--verify-replay=P` (or VSTACK_VERIFY_REPLAY=P) re-simulates a
+ * deterministic P% of the samples replayed from the journal on a
+ * --resume and exits with status 3 if any re-run disagrees with its
+ * journaled record.  Corrupt journal/cache records found during
+ * recovery are quarantined, counted, and reported as a
+ * `storageFaults=` notice on stderr.
  */
 #include <cstdio>
 #include <cstring>
@@ -52,6 +59,7 @@
 #include "gefin/campaign.h"
 #include "kernel/kernel.h"
 #include "support/env.h"
+#include "support/failpoint.h"
 #include "support/logging.h"
 #include "swfi/svf.h"
 #include "workloads/workloads.h"
@@ -77,6 +85,7 @@ struct Args
     bool resume = false;
     double watchdog = 4.0;
     bool isolate = false;
+    double verifyReplay = 0.0;
 };
 
 [[noreturn]] void
@@ -93,7 +102,9 @@ usage()
         "         --jobs J (0 = all hw threads)  --resume\n"
         "         --watchdog F (injection budget, x golden run, >= 1)\n"
         "         --isolate (sandbox each sample batch in a forked,\n"
-        "                    resource-limited child)\n");
+        "                    resource-limited child)\n"
+        "         --verify-replay=P (re-simulate P%% of journal-replayed\n"
+        "                    samples; abort on any divergence)\n");
     std::exit(2);
 }
 
@@ -133,6 +144,7 @@ Args
 parseArgs(int argc, char **argv)
 {
     Args a;
+    bool verifyReplayGiven = false;
     if (argc < 2)
         usage();
     a.command = argv[1];
@@ -146,6 +158,20 @@ parseArgs(int argc, char **argv)
                 usage();
             return argv[++i];
         };
+        // --verify-replay takes its percentage in either form
+        // (--verify-replay=10 or --verify-replay 10).
+        if (flag.rfind("--verify-replay", 0) == 0) {
+            std::string v;
+            if (flag.size() > 15 && flag[15] == '=')
+                v = flag.substr(16);
+            else if (flag.size() == 15)
+                v = value();
+            else
+                usage();
+            a.verifyReplay = doubleValue("--verify-replay", v);
+            verifyReplayGiven = true;
+            continue;
+        }
         if (flag == "--isa")
             a.isa = value();
         else if (flag == "--core")
@@ -181,6 +207,12 @@ parseArgs(int argc, char **argv)
     // garbage value is a fatal error, not a silent non-sandbox run).
     if (envFlagStrict("VSTACK_ISOLATE"))
         a.isolate = true;
+    if (!verifyReplayGiven)
+        a.verifyReplay =
+            envDoubleStrict("VSTACK_VERIFY_REPLAY", 0.0, 0.0);
+    if (a.verifyReplay > 100.0)
+        fatal("--verify-replay must be a percentage in [0, 100], got %g",
+              a.verifyReplay);
     return a;
 }
 
@@ -350,6 +382,7 @@ cliExecPolicy(const Args &a, const std::string &key, exec::Journal &journal,
     exec::ExecConfig ec;
     ec.jobs = a.jobs;
     ec.isolate = a.isolate;
+    ec.verifyReplay = a.verifyReplay;
     ec.progress = std::cref(progress);
     journal.setFsync(envFlagStrict("VSTACK_JOURNAL_FSYNC"));
     const std::string dir = envString("VSTACK_RESULTS", "results");
@@ -360,6 +393,24 @@ cliExecPolicy(const Args &a, const std::string &key, exec::Journal &journal,
     else if (a.resume)
         warn("no journal available; --resume starts from scratch");
     return ec;
+}
+
+/**
+ * Surface quarantined-corruption counts on stderr.  Deliberately not
+ * stdout: campaign reports must stay byte-identical between a clean
+ * run and a recovered one, which is exactly what the chaos harness
+ * compares with cmp(1).
+ */
+void
+reportStorageFaults(const exec::Journal &journal)
+{
+    if (journal.storageFaults()) {
+        std::fprintf(stderr,
+                     "storageFaults=%zu corrupt journal record(s) "
+                     "quarantined to the .corrupt sidecar; lost samples "
+                     "were re-simulated\n",
+                     journal.storageFaults());
+    }
 }
 
 /**
@@ -404,6 +455,7 @@ cmdCampaign(const Args &a)
         r = campaign.run(s, a.n, a.seed,
                          cliExecPolicy(a, key, journal, progress));
     }
+    reportStorageFaults(journal);
     if (interrupted("campaign"))
         return 130;
     journal.removeFile();
@@ -450,6 +502,7 @@ cmdSvf(const Args &a)
         c = campaign.run(a.n, a.seed,
                          cliExecPolicy(a, key, journal, progress));
     }
+    reportStorageFaults(journal);
     if (interrupted("svf"))
         return 130;
     journal.removeFile();
@@ -491,12 +544,24 @@ int
 main(int argc, char **argv)
 {
     Args a = parseArgs(argc, argv);
+    // Make a chaos run unmistakable in logs: nobody should puzzle over
+    // "why did this campaign see storage faults" when the faults were
+    // injected on purpose.
+    if (failpointsArmed())
+        std::fprintf(stderr, "failpoints armed: %s\n",
+                     failpointSummary().c_str());
     if (a.command == "workloads")
         return cmdWorkloads();
     if (a.target.empty())
         usage();
     try {
         return dispatch(a);
+    } catch (const ReplayDivergence &e) {
+        // The journal does not describe this campaign (corruption the
+        // checksums cannot see, changed simulator code, or lost
+        // determinism): refuse to emit numbers built on it.
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 3;
     } catch (const SimError &e) {
         // Golden-run or image failures surface as one clean line
         // instead of an abort (per-sample errors are contained and
