@@ -108,6 +108,89 @@ BM_UarchCampaignJobs(benchmark::State &state)
         static_cast<double>(injections), benchmark::Counter::kIsRate);
 }
 
+/**
+ * Checkpoint primitive cost per core config: ns/snapshot (taken
+ * mid-run, chained to a previous checkpoint the way recording runs
+ * chain them), marginal bytes per checkpoint, and restore latency.
+ * These are the constants behind DESIGN.md §8's cost model.
+ */
+void
+BM_UarchSnapshot(benchmark::State &state, const std::string &coreName)
+{
+    const CoreConfig &core = coreByName(coreName);
+    CycleSim sim(core);
+    sim.load(shaImage(core.isa));
+    auto prev = sim.snapshot(nullptr);
+    uint64_t bytes = 0, snaps = 0;
+    for (auto _ : state) {
+        // Chained, mostly-clean snapshot: the steady state of a
+        // recording run, where few pages changed since the previous
+        // checkpoint and everything else is shared COW.
+        auto cur = sim.snapshot(prev.get());
+        bytes += uarchSnapshotBytes(*cur);
+        ++snaps;
+        benchmark::DoNotOptimize(cur);
+    }
+    state.counters["bytes/ckpt"] = benchmark::Counter(
+        snaps ? static_cast<double>(bytes) / static_cast<double>(snaps)
+              : 0.0);
+}
+
+void
+BM_UarchRestore(benchmark::State &state, const std::string &coreName)
+{
+    const CoreConfig &core = coreByName(coreName);
+    CycleSim sim(core);
+    sim.load(shaImage(core.isa));
+    // Mid-run checkpoints from a real recording pass; restoring the
+    // same one repeatedly is exactly the campaign hot path (samples
+    // are dispatched in injection-order restore locality).
+    UarchTrace trace;
+    sim.runRecording(10'000'000, trace, 1000, 4);
+    const auto &cp = trace.checkpoints[trace.checkpoints.size() / 2];
+    for (auto _ : state)
+        sim.restore(cp.state);
+}
+
+void
+BM_ArchSnapshotRestore(benchmark::State &state)
+{
+    ArchConfig cfg;
+    ArchSim sim(cfg);
+    sim.load(shaImage(IsaId::Av64));
+    for (int i = 0; i < 4000; ++i)
+        sim.step();
+    auto snap = sim.snapshot(nullptr);
+    for (auto _ : state) {
+        sim.restore(snap);
+        sim.step();
+    }
+}
+
+/** Full accelerated campaign vs the same campaign cold: the headline
+ *  speedup the checkpoint accelerator buys (perf_smoke.sh asserts the
+ *  ratio end-to-end; this documents it per-iteration). */
+void
+BM_UarchCampaignCheckpointed(benchmark::State &state, bool accelerated)
+{
+    const CoreConfig &core = coreByName("ax72");
+    UarchCampaign campaign(core, shaImage(core.isa));
+    if (!accelerated) {
+        exec::CheckpointPolicy p;
+        p.enabled = false;
+        p.earlyStop = false;
+        campaign.setCheckpointPolicy(p);
+    }
+    uint64_t injections = 0;
+    for (auto _ : state) {
+        UarchCampaignResult r = campaign.run(Structure::RF, 64, 42);
+        injections += r.samples;
+        benchmark::DoNotOptimize(r.outcomes.sdc);
+    }
+    state.counters["injections/s"] = benchmark::Counter(
+        static_cast<double>(injections), benchmark::Counter::kIsRate);
+}
+
 void
 BM_CompileSha(benchmark::State &state)
 {
@@ -125,6 +208,15 @@ BENCHMARK_CAPTURE(BM_CycleSimSha, ax72, std::string("ax72"));
 BENCHMARK(BM_ArchSimSha);
 BENCHMARK(BM_IrInterpSha);
 BENCHMARK(BM_CompileSha);
+BENCHMARK_CAPTURE(BM_UarchSnapshot, ax9, std::string("ax9"));
+BENCHMARK_CAPTURE(BM_UarchSnapshot, ax72, std::string("ax72"));
+BENCHMARK_CAPTURE(BM_UarchRestore, ax9, std::string("ax9"));
+BENCHMARK_CAPTURE(BM_UarchRestore, ax72, std::string("ax72"));
+BENCHMARK(BM_ArchSnapshotRestore);
+BENCHMARK_CAPTURE(BM_UarchCampaignCheckpointed, cold, false)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_UarchCampaignCheckpointed, accelerated, true)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_UarchCampaignJobs)
     ->Arg(1)
     ->Arg(2)

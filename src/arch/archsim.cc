@@ -2,10 +2,20 @@
 
 #include <cassert>
 
+#include "support/crc32c.h"
 #include "support/logging.h"
 
 namespace vstack
 {
+
+/** Complete captured state of one ArchSim. */
+struct ArchSnapshot
+{
+    IsaId isa;
+    uint64_t icount = 0;
+    std::vector<uint8_t> state;
+    snap::MemImage mem;
+};
 
 ArchSim::ArchSim(const ArchConfig &cfg)
     : cfg(cfg), spec_(IsaSpec::get(cfg.isa))
@@ -35,6 +45,107 @@ ArchSim::load(const Program &image)
     kcount = 0;
     stop = StopReason::Running;
     excMsg.clear();
+
+    pageCrcValid = false;
+    ckptDirty.markAll();
+    lastRestored.reset();
+}
+
+void
+ArchSim::harvestPageCrc()
+{
+    const size_t nPages = mem_.numPages();
+    if (!pageCrcValid) {
+        pageCrc.resize(nPages);
+        for (size_t p = 0; p < nPages; ++p) {
+            pageCrc[p] = crc32c(mem_.data() + p * snap::PAGE_SIZE,
+                                snap::PAGE_SIZE);
+            ckptDirty.mark(p);
+        }
+        mem_.digestDirty().clearAll();
+        pageCrcValid = true;
+        return;
+    }
+    mem_.digestDirty().forEachDirty([&](size_t p) {
+        pageCrc[p] = crc32c(mem_.data() + p * snap::PAGE_SIZE,
+                            snap::PAGE_SIZE);
+        ckptDirty.mark(p);
+    });
+    mem_.digestDirty().clearAll();
+}
+
+void
+ArchSim::serializeState(snap::ByteSink &s, bool digest) const
+{
+    for (uint64_t r : regs)
+        s.u64(r);
+    s.u64(pc_);
+    s.u64(epc);
+    s.b(kernel);
+    s.u64(icount);
+    s.u64(kcount);
+    hub->saveState(s, digest);
+    if (!digest) {
+        s.u8(static_cast<uint8_t>(stop));
+        s.str(excMsg);
+    }
+}
+
+uint32_t
+ArchSim::stateDigest()
+{
+    harvestPageCrc();
+    snap::ByteSink s;
+    serializeState(s, /*digest=*/true);
+    s.bytes(pageCrc.data(), pageCrc.size() * sizeof(uint32_t));
+    return crc32c(s.data().data(), s.size());
+}
+
+std::shared_ptr<const ArchSnapshot>
+ArchSim::snapshot(const ArchSnapshot *prev)
+{
+    harvestPageCrc();
+    auto snapPtr = std::make_shared<ArchSnapshot>();
+    snapPtr->isa = cfg.isa;
+    snapPtr->icount = icount;
+    snap::ByteSink s;
+    serializeState(s, /*digest=*/false);
+    snapPtr->state = s.take();
+    snapPtr->mem = snap::MemImage::capture(mem_.data(), mem_.size(),
+                                           ckptDirty, pageCrc,
+                                           prev ? &prev->mem : nullptr);
+    ckptDirty.clearAll();
+    return snapPtr;
+}
+
+void
+ArchSim::restore(std::shared_ptr<const ArchSnapshot> snapPtr)
+{
+    if (snapPtr->isa != cfg.isa)
+        panic("restoring a snapshot across ISA variants");
+    snapPtr->mem.restore(mem_.data(), mem_.size(),
+                         lastRestored ? &lastRestored->mem : nullptr,
+                         &mem_.restoreDirty());
+    mem_.restoreDirty().clearAll();
+    mem_.digestDirty().clearAll();
+    pageCrc = snapPtr->mem.pageCrc;
+    pageCrcValid = true;
+    ckptDirty.markAll();
+
+    snap::ByteSource src(snapPtr->state);
+    for (uint64_t &r : regs)
+        r = src.u64();
+    pc_ = src.u64();
+    epc = src.u64();
+    kernel = src.b();
+    icount = src.u64();
+    kcount = src.u64();
+    hub->loadState(src);
+    stop = static_cast<StopReason>(src.u8());
+    excMsg = src.str();
+    if (!src.atEnd())
+        panic("ArchSim snapshot has trailing bytes");
+    lastRestored = std::move(snapPtr);
 }
 
 void

@@ -27,9 +27,18 @@
 #include "machine/memmap.h"
 #include "machine/outcome.h"
 #include "machine/physmem.h"
+#include "support/snapshot.h"
 
 namespace vstack
 {
+
+/**
+ * Opaque full-state snapshot of an ArchSim (defined in archsim.cc):
+ * serialized architectural + device state plus a copy-on-write image
+ * of guest RAM.  The watchdog budget (cfg.maxInsts) is deliberately
+ * not captured — setMaxInsts() stays in effect across restore().
+ */
+struct ArchSnapshot;
 
 /** Result of a completed run. */
 struct ArchRunResult
@@ -100,10 +109,32 @@ class ArchSim
      */
     bool peek(DecodedInst &out) const;
 
+    /** @name Checkpoint/restore fast-forward @{ */
+    /**
+     * Capture complete emulator state.  `prev` (a snapshot taken
+     * earlier in the SAME run) enables page sharing for unmodified
+     * memory.
+     */
+    std::shared_ptr<const ArchSnapshot> snapshot(
+        const ArchSnapshot *prev = nullptr);
+
+    /** Restore a snapshot taken on a same-ISA emulator; replaces
+     *  load() for fast-forwarded runs. */
+    void restore(std::shared_ptr<const ArchSnapshot> snap);
+
+    /** CRC-32C of the complete architectural + device-forwarding
+     *  state (registers, pc/epc/mode, counters, DMA engine, RAM page
+     *  CRCs).  Equal digests at equal instruction counts mean the two
+     *  runs' futures are identical. */
+    uint32_t stateDigest();
+    /** @} */
+
   private:
     void raise(const std::string &msg);
     bool memAccess(uint64_t addr, unsigned bytes, bool isStore,
                    uint64_t &val);
+    void harvestPageCrc();
+    void serializeState(snap::ByteSink &s, bool digest) const;
 
     ArchConfig cfg;
     const IsaSpec &spec_;
@@ -117,6 +148,13 @@ class ArchSim
     uint64_t kcount = 0;
     StopReason stop = StopReason::Running;
     std::string excMsg;
+
+    // Checkpoint machinery: incremental per-page RAM CRCs and the COW
+    // dirty map (see CycleSim for the cycle-level counterpart).
+    std::vector<uint32_t> pageCrc;
+    bool pageCrcValid = false;
+    snap::DirtyMap ckptDirty{memmap::RAM_SIZE >> snap::PAGE_SHIFT};
+    std::shared_ptr<const ArchSnapshot> lastRestored;
 };
 
 } // namespace vstack

@@ -1,5 +1,6 @@
 #include "pvf.h"
 
+#include <algorithm>
 #include <cassert>
 #include <memory>
 
@@ -7,6 +8,22 @@
 
 namespace vstack
 {
+
+const ArchTrace::Checkpoint &
+ArchTrace::nearestAtOrBelow(uint64_t icount) const
+{
+    if (checkpoints.empty() || checkpoints.front().icount > icount)
+        panic("ArchTrace::nearestAtOrBelow: no checkpoint at or below "
+              "instruction %llu",
+              static_cast<unsigned long long>(icount));
+    const Checkpoint *best = &checkpoints.front();
+    for (const Checkpoint &cp : checkpoints) {
+        if (cp.icount > icount)
+            break;
+        best = &cp;
+    }
+    return *best;
+}
 
 Outcome
 classifyRun(StopReason stop, const DeviceOutput &out, const GoldenRef &golden)
@@ -67,25 +84,128 @@ bitsForFpm(IsaId isa, uint32_t word, Fpm fpm)
 
 } // namespace
 
+void
+PvfCampaign::ensureTrace()
+{
+    if (!policy_.enabled || trace_.recorded())
+        return;
+    trace_.interval = policy_.digestInterval(golden_.insts);
+    const unsigned ckptEvery = std::max(1u, policy_.digestsPerCheckpoint);
+    // Serial runOne() calls retune the shared emulator's watchdog;
+    // record under the construction-time golden budget.
+    sim.setMaxInsts(cfg.maxInsts);
+    sim.load(image);
+    trace_.checkpoints.push_back({0, sim.snapshot()});
+    while (sim.step()) {
+        const uint64_t ic = sim.instCount();
+        if (ic % trace_.interval != 0)
+            continue;
+        trace_.digests.push_back(sim.stateDigest());
+        trace_.dmaLens.push_back(sim.devices().output().dma.size());
+        if (trace_.digests.size() % ckptEvery == 0)
+            trace_.checkpoints.push_back(
+                {ic,
+                 sim.snapshot(trace_.checkpoints.back().state.get())});
+    }
+    // The recording pass must retrace the construction-time golden run
+    // exactly — anything else means the emulator is nondeterministic
+    // and no checkpoint can be trusted.
+    const DeviceOutput &o = sim.devices().output();
+    if (sim.stopReason() != StopReason::Exited ||
+        sim.instCount() != golden_.insts || o.dma != golden_.dma ||
+        o.exitCode != golden_.exitCode) {
+        throw GoldenRunError(
+            "PVF golden recording pass diverged from the golden run");
+    }
+    trace_.truncated = o.truncated;
+}
+
 Outcome
 PvfCampaign::runOne(Fpm fpm, Rng &rng)
 {
+    ensureTrace();
     return runOneOn(sim, fpm, rng);
 }
 
 Outcome
-PvfCampaign::runOneOn(ArchSim &sim, Fpm fpm, Rng &rng) const
+PvfCampaign::runOneOn(ArchSim &worker, Fpm fpm, Rng &rng) const
+{
+    return runInjection(worker, fpm, rng, true);
+}
+
+Outcome
+PvfCampaign::runOneColdOn(ArchSim &worker, Fpm fpm, Rng &rng) const
+{
+    return runInjection(worker, fpm, rng, false);
+}
+
+Outcome
+PvfCampaign::finish(ArchSim &sim, bool accel) const
+{
+    // Early termination is sound only when the injected run cannot be
+    // stopped by the watchdog before reaching the golden instruction
+    // count, and the golden output never hit the capture cap.
+    const bool earlyStop =
+        accel && policy_.enabled && policy_.earlyStop &&
+        trace_.recorded() && !trace_.truncated &&
+        watchdog.limitFor(golden_.insts) >= golden_.insts;
+    if (!earlyStop) {
+        while (sim.step()) {
+        }
+        return classifyRun(sim.stopReason(), sim.devices().output(),
+                           golden_);
+    }
+
+    constexpr unsigned DIGEST_GIVE_UP = 12;
+    unsigned digestFails = 0;
+    while (sim.step()) {
+        const uint64_t ic = sim.instCount();
+        if (ic % trace_.interval != 0)
+            continue;
+        const uint64_t k = ic / trace_.interval - 1;
+        if (digestFails >= DIGEST_GIVE_UP || k >= trace_.digests.size())
+            continue;
+        if (sim.stateDigest() != trace_.digests[k]) {
+            ++digestFails;
+            continue;
+        }
+        // State reconverged with the golden run at the same instruction
+        // count: the remaining execution is identical, so the final DMA
+        // stream is what was emitted so far plus the golden suffix, and
+        // the exit code is the golden one.  Classify without executing
+        // the tail.
+        const DeviceOutput &o = sim.devices().output();
+        const uint64_t suffix = golden_.dma.size() - trace_.dmaLens[k];
+        if (o.truncated ||
+            o.dma.size() + suffix > DeviceHub::captureCap)
+            continue; // the spliced output would truncate; run it out
+        const bool clean =
+            o.dma.size() == trace_.dmaLens[k] &&
+            std::equal(o.dma.begin(), o.dma.end(), golden_.dma.begin());
+        return clean ? Outcome::Masked : Outcome::Sdc;
+    }
+    return classifyRun(sim.stopReason(), sim.devices().output(), golden_);
+}
+
+Outcome
+PvfCampaign::runInjection(ArchSim &sim, Fpm fpm, Rng &rng, bool accel) const
 {
     assert(fpm != Fpm::ESC && "ESC is unobservable at the PVF layer");
 
     sim.setMaxInsts(watchdog.limitFor(golden_.insts));
-    sim.load(image);
-    const IsaSpec &spec = sim.spec();
 
+    // Draw the per-sample randomness before touching emulator state so
+    // cold and fast-forwarded runs consume the identical RNG stream.
     const uint64_t targetInst = rng.uniform(golden_.insts);
     // PC corruption uses the machine's 32-bit address space; other
     // flips pick a bit position lazily at the injection site.
     const bool wiUsesPc = fpm == Fpm::WI && rng.chance(0.5);
+
+    if (accel && policy_.enabled && trace_.recorded())
+        sim.restore(trace_.nearestAtOrBelow(targetInst).state);
+    else
+        sim.load(image);
+    const IsaSpec &spec = sim.spec();
 
     // Advance to the injection point.
     while (sim.instCount() < targetInst) {
@@ -166,10 +286,9 @@ PvfCampaign::runOneOn(ArchSim &sim, Fpm fpm, Rng &rng) const
         }
     }
 
-    // Run to completion and classify.
-    while (sim.step()) {
-    }
-    return classifyRun(sim.stopReason(), sim.devices().output(), golden_);
+    // Run to completion (or early-terminate on golden reconvergence)
+    // and classify.
+    return finish(sim, accel);
 }
 
 OutcomeCounts
@@ -185,8 +304,23 @@ PvfCampaign::run(Fpm fpm, size_t n, uint64_t seed,
     for (uint64_t &s : forkSeeds)
         s = master.next64();
 
+    ensureTrace();
+
+    exec::ExecConfig xc = ec;
+    const bool accelerated = policy_.enabled && trace_.recorded();
+    if (accelerated && !xc.scheduleKey) {
+        // Dispatch in injection-instruction order so consecutive
+        // samples on a worker restore the same checkpoint.  The target
+        // is each fork's first draw, so it can be precomputed without
+        // running anything (results still fold in index order).
+        auto keys = std::make_shared<std::vector<uint64_t>>(n);
+        for (size_t i = 0; i < n; ++i)
+            (*keys)[i] = Rng(forkSeeds[i]).uniform(golden_.insts);
+        xc.scheduleKey = [keys](size_t i) { return (*keys)[i]; };
+    }
+
     auto samples = exec::runSamples<Outcome>(
-        n, ec,
+        n, xc,
         [this] { return std::make_unique<ArchSim>(cfg); },
         [this, fpm, &forkSeeds](ArchSim &worker, size_t i) {
             Rng r(forkSeeds[i]);
@@ -194,6 +328,31 @@ PvfCampaign::run(Fpm fpm, size_t n, uint64_t seed,
         },
         [](Outcome o) { return Json(static_cast<int>(o)); },
         [](const Json &j) { return static_cast<Outcome>(j.asInt()); });
+
+    // VSTACK_VERIFY_CHECKPOINT audit: re-run a deterministic subset
+    // cold (full prefix re-execution, no early termination) and
+    // require identical outcomes.
+    if (accelerated && policy_.verifyPercent > 0.0 &&
+        !exec::shutdownRequested()) {
+        std::unique_ptr<ArchSim> cold;
+        for (size_t i = 0; i < n; ++i) {
+            if (!samples[i] ||
+                !exec::verifyReplaySelected(i, policy_.verifyPercent))
+                continue;
+            if (!cold)
+                cold = std::make_unique<ArchSim>(cfg);
+            Rng r(forkSeeds[i]);
+            const Outcome o = runOneColdOn(*cold, fpm, r);
+            if (o != *samples[i]) {
+                throw CheckpointDivergence(strprintf(
+                    "verify-checkpoint: PVF sample %zu (%s) diverged "
+                    "from its cold re-run (cold %s, accelerated %s); "
+                    "the checkpoint path is unsound",
+                    i, fpmName(fpm), outcomeName(o),
+                    outcomeName(*samples[i])));
+            }
+        }
+    }
 
     OutcomeCounts counts;
     for (const auto &s : samples) {

@@ -47,6 +47,39 @@ struct GoldenRef
 Outcome classifyRun(StopReason stop, const DeviceOutput &out,
                     const GoldenRef &golden);
 
+/**
+ * Golden-run trace of the functional emulator, on an instruction-count
+ * grid (the arch layer's unit of time): evenly spaced checkpoints for
+ * fast-forward plus denser state digests and DMA-length marks for
+ * early termination.
+ */
+struct ArchTrace
+{
+    struct Checkpoint
+    {
+        uint64_t icount = 0;
+        std::shared_ptr<const ArchSnapshot> state;
+    };
+
+    /** Digest cadence in instructions (0 = not recorded). */
+    uint64_t interval = 0;
+    bool truncated = false; ///< golden output hit the capture cap
+
+    /** Grid entry k describes the state after instruction (k+1)*interval. */
+    std::vector<uint32_t> digests;
+    std::vector<uint64_t> dmaLens;
+
+    /** Ascending by icount; [0] is always instruction 0. */
+    std::vector<Checkpoint> checkpoints;
+
+    bool recorded() const { return interval != 0; }
+
+    /** Latest checkpoint at or below `icount` (the arch layer injects
+     *  after advancing to the target instruction, so restoring at the
+     *  target itself is exact). */
+    const Checkpoint &nearestAtOrBelow(uint64_t icount) const;
+};
+
 /** One PVF campaign over a fixed system image. */
 class PvfCampaign
 {
@@ -65,11 +98,25 @@ class PvfCampaign
      *  golden run (default: 4x golden + 10k). */
     void setWatchdog(const exec::WatchdogBudget &wd) { watchdog = wd; }
 
+    /** Checkpoint acceleration policy (enabled by default). */
+    void setCheckpointPolicy(const exec::CheckpointPolicy &p) { policy_ = p; }
+    const exec::CheckpointPolicy &checkpointPolicy() const { return policy_; }
+
+    /** Record the golden checkpoint trace if not done yet (runs the
+     *  golden again with recording; verifies it reproduces). */
+    void ensureTrace();
+    const ArchTrace &trace() const { return trace_; }
+
     /** Run one injection with the given FPM. */
     Outcome runOne(Fpm fpm, Rng &rng);
 
-    /** Run one injection on a caller-provided emulator (workers). */
+    /** Run one injection on a caller-provided emulator (workers);
+     *  uses checkpoint fast-forward + early stop when available. */
     Outcome runOneOn(ArchSim &worker, Fpm fpm, Rng &rng) const;
+
+    /** Same, but always cold (full golden-prefix re-execution, run to
+     *  a stop condition).  Used by the checkpoint-verification audit. */
+    Outcome runOneColdOn(ArchSim &worker, Fpm fpm, Rng &rng) const;
 
     /** Run a campaign of n injections.  Deterministic for a given
      *  seed at any job count. */
@@ -77,11 +124,17 @@ class PvfCampaign
                       const exec::ExecConfig &ec = {});
 
   private:
+    Outcome runInjection(ArchSim &sim, Fpm fpm, Rng &rng,
+                         bool accel) const;
+    Outcome finish(ArchSim &sim, bool accel) const;
+
     Program image;
     ArchConfig cfg;
     ArchSim sim; ///< reused across serial injections (16 MiB arena)
     GoldenRef golden_;
     exec::WatchdogBudget watchdog{4.0, 10'000};
+    exec::CheckpointPolicy policy_;
+    ArchTrace trace_;
 };
 
 } // namespace vstack

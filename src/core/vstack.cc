@@ -126,6 +126,14 @@ struct VulnerabilityStack::Cache
     std::map<std::string, ir::Module> irs;
     std::map<std::string, Program> images;
     std::map<IsaId, Program> kernels;
+    // Size-1 LRU of the cycle-level campaign: the five structure
+    // campaigns against one (core, workload) reuse a single golden
+    // run and checkpoint trace.  Deliberately not an unbounded map —
+    // a recorded trace holds the checkpoints' COW pages, and keeping
+    // one per (core, workload) pair alive across a 16-cell report
+    // sweep would pin hundreds of MB.
+    std::string campaignKey;
+    std::shared_ptr<UarchCampaign> campaign;
 };
 
 VulnerabilityStack::VulnerabilityStack(const EnvConfig &cfg)
@@ -173,6 +181,28 @@ VulnerabilityStack::imageFor(const Variant &v, IsaId isa)
     return cache->images.emplace(key, std::move(sys)).first->second;
 }
 
+UarchCampaign &
+VulnerabilityStack::campaignFor(const std::string &core, const Variant &v)
+{
+    const std::string key = core + "/" + v.tag();
+    if (cache->campaignKey == key && cache->campaign)
+        return *cache->campaign;
+
+    const CoreConfig &cc = coreByName(core);
+    auto campaign =
+        std::make_shared<UarchCampaign>(cc, imageFor(v, cc.isa));
+    campaign->setWatchdog({cfg.watchdogFactor, 50'000});
+    exec::CheckpointPolicy policy;
+    policy.enabled = cfg.checkpoint;
+    policy.checkpoints = cfg.checkpoints;
+    policy.earlyStop = cfg.checkpoint;
+    policy.verifyPercent = cfg.verifyCheckpoint;
+    campaign->setCheckpointPolicy(policy);
+    cache->campaignKey = key;
+    cache->campaign = std::move(campaign);
+    return *cache->campaign;
+}
+
 UarchCampaignResult
 VulnerabilityStack::uarch(const std::string &core, const Variant &v,
                           Structure s)
@@ -184,9 +214,7 @@ VulnerabilityStack::uarch(const std::string &core, const Variant &v,
     if (auto cached = store.get(key))
         return uarchFromJson(*cached);
 
-    const CoreConfig &cc = coreByName(core);
-    UarchCampaign campaign(cc, imageFor(v, cc.isa));
-    campaign.setWatchdog({cfg.watchdogFactor, 50'000});
+    UarchCampaign &campaign = campaignFor(core, v);
     exec::Journal journal;
     exec::ExecConfig ec = execPolicy(cfg, journal, key, cfg.uarchFaults);
     journalFaults += journal.storageFaults();
@@ -215,10 +243,9 @@ VulnerabilityStack::uarchGolden(const std::string &core, const Variant &v)
             static_cast<uint32_t>(cached->at("exitCode").asInt());
         return g;
     }
-    const CoreConfig &cc = coreByName(core);
-    UarchCampaign campaign(cc, imageFor(v, cc.isa));
-    store.put(key, goldenToJson(campaign.golden()));
-    return campaign.golden();
+    const UarchGolden &g = campaignFor(core, v).golden();
+    store.put(key, goldenToJson(g));
+    return g;
 }
 
 OutcomeCounts
@@ -235,6 +262,12 @@ VulnerabilityStack::pvf(IsaId isa, const Variant &v, Fpm fpm)
     acfg.isa = isa;
     PvfCampaign campaign(imageFor(v, isa), acfg);
     campaign.setWatchdog({cfg.watchdogFactor, 10'000});
+    exec::CheckpointPolicy policy;
+    policy.enabled = cfg.checkpoint;
+    policy.checkpoints = cfg.checkpoints;
+    policy.earlyStop = cfg.checkpoint;
+    policy.verifyPercent = cfg.verifyCheckpoint;
+    campaign.setCheckpointPolicy(policy);
     exec::Journal journal;
     exec::ExecConfig ec = execPolicy(cfg, journal, key, cfg.archFaults);
     journalFaults += journal.storageFaults();
@@ -257,6 +290,12 @@ VulnerabilityStack::svf(const Variant &v)
 
     SvfCampaign campaign(irFor(v, 64));
     campaign.setWatchdog({cfg.watchdogFactor, 100'000});
+    exec::CheckpointPolicy policy;
+    policy.enabled = cfg.checkpoint;
+    policy.checkpoints = cfg.checkpoints;
+    policy.earlyStop = cfg.checkpoint;
+    policy.verifyPercent = cfg.verifyCheckpoint;
+    campaign.setCheckpointPolicy(policy);
     exec::Journal journal;
     exec::ExecConfig ec = execPolicy(cfg, journal, key, cfg.swFaults);
     journalFaults += journal.storageFaults();

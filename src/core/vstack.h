@@ -156,6 +156,11 @@ class VulnerabilityStack
     }
 
   private:
+    /** The cycle-level campaign (golden run + checkpoint trace) for
+     *  one (core, workload); shared by the five structure campaigns
+     *  via a size-1 LRU so the golden work is done once per pair. */
+    UarchCampaign &campaignFor(const std::string &core, const Variant &v);
+
     EnvConfig cfg;
     ResultStore store;
     uint64_t journalFaults = 0;

@@ -67,6 +67,22 @@ class ReplayDivergence : public std::runtime_error
     {}
 };
 
+/**
+ * A checkpoint-accelerated sample did not reproduce when re-run cold
+ * from boot (VSTACK_VERIFY_CHECKPOINT).  Like ReplayDivergence this is
+ * deliberately NOT a SimError: a divergence means the restore path or
+ * the early-termination logic is wrong, which silently poisons every
+ * aggregate the accelerator touches — the campaign must fail loudly,
+ * not quarantine one sample and keep going.
+ */
+class CheckpointDivergence : public std::runtime_error
+{
+  public:
+    explicit CheckpointDivergence(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
 } // namespace vstack
 
 #endif // VSTACK_EXEC_ERROR_H

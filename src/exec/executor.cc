@@ -3,8 +3,18 @@
 #include <exception>
 #include <thread>
 
+#include "support/env.h"
+
 namespace vstack::exec
 {
+
+uint64_t
+goldenRunBudget(const WatchdogBudget &wd)
+{
+    const uint64_t reference = static_cast<uint64_t>(
+        envIntStrict("VSTACK_GOLDEN_BUDGET", 100'000'000, 1));
+    return wd.limitFor(reference);
+}
 
 unsigned
 resolveJobs(unsigned requested)

@@ -94,7 +94,59 @@ struct ExecConfig
      *  check runs serially in the calling process, even under
      *  cfg.isolate (VSTACK_VERIFY_REPLAY / --verify-replay). */
     double verifyReplay = 0.0;
+    /** Optional dispatch-order key: pending samples are handed to
+     *  workers in ascending scheduleKey(i) order (ties in index
+     *  order) instead of index order.  Campaigns sort by injection
+     *  cycle so consecutive samples restore the same checkpoint.
+     *  Dispatch order only — results are still folded, journaled, and
+     *  reported in sample-index order, so aggregates stay
+     *  bit-identical at any jobs count, under isolate, and across
+     *  resume. */
+    std::function<uint64_t(size_t)> scheduleKey;
 };
+
+/**
+ * Campaign-accelerator policy: checkpoint/restore fast-forward and
+ * golden-trace early termination.  The defaults are the shipped
+ * behavior (acceleration on); results are bit-identical either way by
+ * construction, enforced on demand by `verifyPercent`.
+ */
+struct CheckpointPolicy
+{
+    /** Capture checkpoints during the golden run and restore the
+     *  nearest one below each injection point. */
+    bool enabled = true;
+    /** Checkpoints spread evenly across the golden run. */
+    unsigned checkpoints = 16;
+    /** State digests recorded per checkpoint interval (early
+     *  termination can fire this much sooner than the next
+     *  checkpoint). */
+    unsigned digestsPerCheckpoint = 4;
+    /** Stop an injected run as soon as its state digest reconverges
+     *  with the golden trace (requires enabled). */
+    bool earlyStop = true;
+    /** Re-run this percentage (0..100) of samples cold — from boot,
+     *  no early termination — and throw CheckpointDivergence if any
+     *  byte of the sample record differs (VSTACK_VERIFY_CHECKPOINT). */
+    double verifyPercent = 0.0;
+
+    /** Digest cadence in golden-run units (cycles/insts/steps). */
+    uint64_t digestInterval(uint64_t goldenUnits) const
+    {
+        const uint64_t points = std::max<uint64_t>(
+            1, uint64_t{checkpoints} * std::max(1u, digestsPerCheckpoint));
+        return std::max<uint64_t>(1, goldenUnits / points);
+    }
+};
+
+/**
+ * Budget for a campaign's fault-free reference run.  There is no
+ * golden baseline to scale from yet, so the watchdog is applied to an
+ * env-overridable reference unit count (VSTACK_GOLDEN_BUDGET, strict,
+ * >= 1; default 100'000'000 — with the default 4x+50k watchdog that
+ * reproduces the historical 4e8-cycle cap).
+ */
+uint64_t goldenRunBudget(const WatchdogBudget &wd);
 
 /**
  * Deterministic membership test for the --verify-replay subset:
@@ -322,6 +374,15 @@ runSamples(size_t n, const ExecConfig &cfg, MakeCtx makeCtx, RunFn runFn,
         cfg.progress(replayed, n);
     if (todo.empty())
         return results;
+
+    if (cfg.scheduleKey) {
+        // Dispatch order only; stable so equal keys keep index order
+        // and the sequence is deterministic.
+        std::stable_sort(todo.begin(), todo.end(),
+                         [&](size_t a, size_t b) {
+                             return cfg.scheduleKey(a) < cfg.scheduleKey(b);
+                         });
+    }
 
     const unsigned jobs = static_cast<unsigned>(std::min<size_t>(
         resolveJobs(cfg.jobs), todo.size()));

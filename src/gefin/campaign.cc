@@ -1,5 +1,6 @@
 #include "campaign.h"
 
+#include <algorithm>
 #include <memory>
 
 #include "support/logging.h"
@@ -12,7 +13,7 @@ UarchCampaign::UarchCampaign(const CoreConfig &core, Program image)
     : core_(core), image(std::move(image)), sim(core)
 {
     sim.load(this->image);
-    UarchRunResult r = sim.run(400'000'000);
+    UarchRunResult r = sim.run(exec::goldenRunBudget(watchdog));
     if (r.stop != StopReason::Exited) {
         throw GoldenRunError(
             strprintf("golden cycle-level run failed on %s: %s",
@@ -26,21 +27,33 @@ UarchCampaign::UarchCampaign(const CoreConfig &core, Program image)
     golden_.exitCode = r.output.exitCode;
 }
 
-Outcome
-UarchCampaign::runOne(const FaultSite &site, Visibility &vis)
+void
+UarchCampaign::ensureTrace()
 {
-    return runOneOn(sim, site, vis);
+    if (!policy_.enabled || trace_.recorded())
+        return;
+    sim.load(image);
+    // The recording budget must cover the known golden length even if
+    // the per-injection watchdog was tightened after construction.
+    UarchRunResult r = sim.runRecording(
+        std::max(exec::goldenRunBudget(watchdog), golden_.cycles + 1),
+        trace_, policy_.digestInterval(golden_.cycles),
+        std::max(1u, policy_.digestsPerCheckpoint));
+    // The recording pass must retrace the construction-time golden run
+    // exactly — anything else means the simulator is nondeterministic
+    // and no checkpoint can be trusted.
+    if (r.stop != StopReason::Exited || r.cycles != golden_.cycles ||
+        r.output.dma != golden_.dma ||
+        r.output.exitCode != golden_.exitCode) {
+        throw GoldenRunError(strprintf(
+            "golden recording pass diverged from the golden run on %s",
+            core_.name.c_str()));
+    }
 }
 
 Outcome
-UarchCampaign::runOneOn(CycleSim &worker, const FaultSite &site,
-                        Visibility &vis) const
+UarchCampaign::classify(const UarchRunResult &r) const
 {
-    worker.load(image);
-    worker.scheduleInjection(site);
-    UarchRunResult r = worker.run(watchdog.limitFor(golden_.cycles));
-    vis = r.visibility;
-
     switch (r.stop) {
       case StopReason::DetectHit:
         return Outcome::Detected;
@@ -54,6 +67,66 @@ UarchCampaign::runOneOn(CycleSim &worker, const FaultSite &site,
     if (r.output.dma != golden_.dma || r.output.exitCode != golden_.exitCode)
         return Outcome::Sdc;
     return Outcome::Masked;
+}
+
+Outcome
+UarchCampaign::runOne(const FaultSite &site, Visibility &vis)
+{
+    ensureTrace();
+    return runOneOn(sim, site, vis);
+}
+
+Outcome
+UarchCampaign::runOneOn(CycleSim &worker, const FaultSite &site,
+                        Visibility &vis) const
+{
+    if (!policy_.enabled || !trace_.recorded())
+        return runOneColdOn(worker, site, vis);
+
+    worker.restore(trace_.nearestBelow(site.cycle).state);
+    worker.scheduleInjection(site);
+    UarchRunResult r = worker.runWithTrace(
+        watchdog.limitFor(golden_.cycles), trace_, policy_.earlyStop);
+    vis = r.visibility;
+    return classify(r);
+}
+
+Outcome
+UarchCampaign::runOneColdOn(CycleSim &worker, const FaultSite &site,
+                            Visibility &vis) const
+{
+    worker.load(image);
+    worker.scheduleInjection(site);
+    UarchRunResult r = worker.run(watchdog.limitFor(golden_.cycles));
+    vis = r.visibility;
+    return classify(r);
+}
+
+std::vector<FaultSite>
+UarchCampaign::sampleSites(Structure structure, size_t n,
+                           uint64_t seed) const
+{
+    const uint64_t bits = sim.structureBits(structure);
+    Rng master(seed ^ (static_cast<uint64_t>(structure) << 56));
+
+    // Sample the fault list up front; each sample's stream is the i-th
+    // fork of the master, a pure function of (seed, i), so the list —
+    // and hence the campaign — is identical at every thread count.
+    std::vector<FaultSite> sites(n);
+    for (FaultSite &site : sites) {
+        Rng rng = master.fork();
+        site.structure = structure;
+        // 1 + uniform(cycles) spans [1, cycles]; the top draw would
+        // inject during the exit cycle itself, after the last point
+        // at which the flip could do anything.  Clamp into the live
+        // range without changing the draw count, so every other
+        // sample's stream is untouched.
+        site.cycle = std::min<uint64_t>(
+            1 + rng.uniform(golden_.cycles),
+            golden_.cycles > 1 ? golden_.cycles - 1 : 1);
+        site.bit = rng.uniform(bits);
+    }
+    return sites;
 }
 
 namespace
@@ -98,22 +171,19 @@ UarchCampaignResult
 UarchCampaign::run(Structure structure, size_t n, uint64_t seed,
                    const exec::ExecConfig &ec)
 {
-    const uint64_t bits = sim.structureBits(structure);
-    Rng master(seed ^ (static_cast<uint64_t>(structure) << 56));
+    std::vector<FaultSite> sites = sampleSites(structure, n, seed);
+    ensureTrace();
 
-    // Sample the fault list up front; each sample's stream is the i-th
-    // fork of the master, a pure function of (seed, i), so the list —
-    // and hence the campaign — is identical at every thread count.
-    std::vector<FaultSite> sites(n);
-    for (FaultSite &site : sites) {
-        Rng rng = master.fork();
-        site.structure = structure;
-        site.cycle = 1 + rng.uniform(golden_.cycles);
-        site.bit = rng.uniform(bits);
+    exec::ExecConfig cfg = ec;
+    if (policy_.enabled && trace_.recorded() && !cfg.scheduleKey) {
+        // Dispatch in injection-cycle order so consecutive samples on
+        // a worker restore the same checkpoint (results still fold in
+        // index order — see ExecConfig::scheduleKey).
+        cfg.scheduleKey = [&sites](size_t i) { return sites[i].cycle; };
     }
 
     auto samples = exec::runSamples<UarchSample>(
-        n, ec,
+        n, cfg,
         [this] { return std::make_unique<CycleSim>(core_); },
         [this, &sites](CycleSim &worker, size_t i) {
             UarchSample s;
@@ -121,6 +191,36 @@ UarchCampaign::run(Structure structure, size_t n, uint64_t seed,
             return s;
         },
         sampleToJson, sampleFromJson);
+
+    // VSTACK_VERIFY_CHECKPOINT audit: re-run a deterministic subset
+    // cold (from boot, no early termination) and require byte-identical
+    // sample records.  Serial, in the calling process, after the
+    // campaign — the accelerated results it checks are already final.
+    if (policy_.enabled && trace_.recorded() &&
+        policy_.verifyPercent > 0.0 && !exec::shutdownRequested()) {
+        std::unique_ptr<CycleSim> cold;
+        for (size_t i = 0; i < n; ++i) {
+            if (!samples[i] ||
+                !exec::verifyReplaySelected(i, policy_.verifyPercent))
+                continue;
+            if (!cold)
+                cold = std::make_unique<CycleSim>(core_);
+            UarchSample ref;
+            ref.out = runOneColdOn(*cold, sites[i], ref.vis);
+            const std::string want = sampleToJson(ref).dump();
+            const std::string got = sampleToJson(*samples[i]).dump();
+            if (got != want) {
+                throw CheckpointDivergence(strprintf(
+                    "verify-checkpoint: sample %zu (%s, cycle %llu, "
+                    "bit %llu) diverged from its cold re-run (cold %s, "
+                    "accelerated %s); the checkpoint path is unsound",
+                    i, structureName(structure),
+                    static_cast<unsigned long long>(sites[i].cycle),
+                    static_cast<unsigned long long>(sites[i].bit),
+                    want.c_str(), got.c_str()));
+            }
+        }
+    }
 
     // Fold in index order: aggregation is deterministic by
     // construction, independent of completion order.

@@ -14,11 +14,23 @@
  * are bit-identical at any `jobs` count, simulator failures are
  * contained per sample, and completed samples can be journaled for
  * crash-resume.
+ *
+ * Campaigns are checkpoint-accelerated by default (CheckpointPolicy):
+ * a second golden pass records evenly spaced full-state checkpoints
+ * plus a denser digest grid, each injection restores the nearest
+ * checkpoint below its injection cycle instead of replaying from
+ * boot, samples are dispatched in injection-cycle order for restore
+ * locality, and a post-injection run terminates as soon as its state
+ * provably reconverges with the golden trajectory.  Every sample
+ * record is bit-identical to the cold path by construction;
+ * VSTACK_VERIFY_CHECKPOINT re-runs a deterministic subset cold and
+ * fails the campaign on any divergence.
  */
 #ifndef VSTACK_GEFIN_CAMPAIGN_H
 #define VSTACK_GEFIN_CAMPAIGN_H
 
 #include <string>
+#include <vector>
 
 #include "exec/executor.h"
 #include "machine/fpm.h"
@@ -59,7 +71,9 @@ struct UarchGolden
 /**
  * Campaign driver for one (core, system image) pair.  The calling
  * thread's simulator instance is reused across serial injections;
- * parallel campaigns give each worker its own simulator.
+ * parallel campaigns give each worker its own simulator.  One
+ * campaign's golden run and trace are shared by every structure
+ * campaign run against it.
  */
 class UarchCampaign
 {
@@ -75,12 +89,50 @@ class UarchCampaign
      *  golden run (default: 4x golden + 50k). */
     void setWatchdog(const exec::WatchdogBudget &wd) { watchdog = wd; }
 
+    /** Campaign-accelerator policy (defaults: acceleration on). */
+    void setCheckpointPolicy(const exec::CheckpointPolicy &p)
+    {
+        policy_ = p;
+    }
+    const exec::CheckpointPolicy &checkpointPolicy() const
+    {
+        return policy_;
+    }
+
+    /**
+     * Sample the campaign fault list for one structure: per-sample
+     * forked RNG streams, injection cycles uniform over the golden
+     * run's live cycles.  The list run() uses; public so tests can
+     * pin the site distribution.
+     */
+    std::vector<FaultSite> sampleSites(Structure structure, size_t n,
+                                       uint64_t seed) const;
+
+    /**
+     * Record the golden checkpoint/digest trace (second golden pass)
+     * if the policy enables acceleration and it is not recorded yet.
+     * run() calls this lazily; the trace is shared across structures.
+     * @throws GoldenRunError if the recording pass does not reproduce
+     *         the construction-time golden run
+     */
+    void ensureTrace();
+
+    /** The recorded golden trace (interval 0 until ensureTrace()). */
+    const UarchTrace &trace() const { return trace_; }
+
     /** Run one injection on the campaign's own simulator. */
     Outcome runOne(const FaultSite &site, Visibility &vis);
 
-    /** Run one injection on a caller-provided simulator (workers). */
+    /** Run one injection on a caller-provided simulator (workers):
+     *  checkpoint-accelerated when a trace is recorded and the policy
+     *  enables it, cold otherwise. */
     Outcome runOneOn(CycleSim &worker, const FaultSite &site,
                      Visibility &vis) const;
+
+    /** Run one injection cold — from boot, no fast-forward, no early
+     *  termination (the VSTACK_VERIFY_CHECKPOINT reference path). */
+    Outcome runOneColdOn(CycleSim &worker, const FaultSite &site,
+                         Visibility &vis) const;
 
     /**
      * Run a full campaign: n uniformly sampled (cycle, bit) faults in
@@ -90,11 +142,15 @@ class UarchCampaign
                             const exec::ExecConfig &ec = {});
 
   private:
+    Outcome classify(const UarchRunResult &r) const;
+
     CoreConfig core_;
     Program image;
     CycleSim sim;
     UarchGolden golden_;
     exec::WatchdogBudget watchdog;
+    exec::CheckpointPolicy policy_;
+    UarchTrace trace_;
 };
 
 } // namespace vstack

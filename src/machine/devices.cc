@@ -87,7 +87,6 @@ DeviceHub::drain(const Descriptor &d)
         return;
     // Cap captured output: a fault-corrupted guest can otherwise ring
     // the doorbell arbitrarily often with maximum-length descriptors.
-    constexpr size_t captureCap = 4u << 20;
     const size_t old = out.dma.size();
     if (old >= captureCap) {
         out.truncated = true;
@@ -107,6 +106,53 @@ DeviceHub::reset()
     dmaLen = 0;
     queue.clear();
     out = DeviceOutput{};
+}
+
+void
+DeviceHub::saveState(snap::ByteSink &s, bool digest) const
+{
+    s.u32(dmaSrc);
+    s.u32(dmaLen);
+    s.u64(queue.size());
+    for (const auto &d : queue) {
+        s.u32(d.src);
+        s.u32(d.len);
+        s.u64(d.readyAt);
+    }
+    s.b(out.truncated);
+    if (digest)
+        return;
+    s.u64(out.dma.size());
+    s.bytes(out.dma.data(), out.dma.size());
+    s.str(out.console);
+    s.u32(out.exitCode);
+    s.b(out.exited);
+    s.b(out.detected);
+    s.u32(out.detectCode);
+}
+
+void
+DeviceHub::loadState(snap::ByteSource &s)
+{
+    dmaSrc = s.u32();
+    dmaLen = s.u32();
+    queue.clear();
+    const uint64_t qn = s.u64();
+    for (uint64_t i = 0; i < qn; ++i) {
+        Descriptor d;
+        d.src = s.u32();
+        d.len = s.u32();
+        d.readyAt = s.u64();
+        queue.push_back(d);
+    }
+    out.truncated = s.b();
+    out.dma.resize(s.u64());
+    s.bytes(out.dma.data(), out.dma.size());
+    out.console = s.str();
+    out.exitCode = s.u32();
+    out.exited = s.b();
+    out.detected = s.b();
+    out.detectCode = s.u32();
 }
 
 } // namespace vstack

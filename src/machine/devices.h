@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "support/snapshot.h"
+
 namespace vstack
 {
 
@@ -80,6 +82,23 @@ class DeviceHub
 
     /** Reset all device state for a fresh run. */
     void reset();
+
+    /** Captured-output ceiling enforced by drain(); early termination
+     *  refuses to fire once synthesized output could cross it. */
+    static constexpr size_t captureCap = 4u << 20;
+
+    /**
+     * Serialize mutable device state (not the reader/delay config).
+     * Digest mode covers only future-behavior-relevant state: DMA
+     * registers, the descriptor queue, and the truncation flag (the
+     * output size feeds the capture cap, but emitted bytes are
+     * compared against the golden stream separately).  Full mode adds
+     * the output buffers and exit/detect latches for checkpointing.
+     */
+    void saveState(snap::ByteSink &s, bool digest) const;
+
+    /** Restore state saved by saveState(s, false). */
+    void loadState(snap::ByteSource &s);
 
   private:
     struct Descriptor

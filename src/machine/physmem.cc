@@ -19,6 +19,8 @@ PhysMem::load(const Program &prog)
         std::memcpy(bytes.data() + seg.addr, seg.bytes.data(),
                     seg.bytes.size());
     }
+    digestDirty_.markAll();
+    restoreDirty_.markAll();
 }
 
 } // namespace vstack

@@ -11,18 +11,41 @@
 
 #include "isa/program.h"
 #include "machine/memmap.h"
+#include "support/snapshot.h"
 
 namespace vstack
 {
 
-/** Byte-addressable little-endian guest RAM. */
+/**
+ * Byte-addressable little-endian guest RAM.
+ *
+ * Every mutation path (write/writeBlock/load/clear) maintains two
+ * page-granular dirty maps for the checkpoint machinery:
+ *
+ *  - digestDirty(): pages whose CRC must be re-hashed before the next
+ *    state digest; harvested and cleared at each digest point;
+ *  - restoreDirty(): pages modified since the last checkpoint restore;
+ *    lets MemImage::restore skip pages that provably still hold the
+ *    target image's bytes.
+ *
+ * Code that mutates RAM through data() directly (the snapshot restore
+ * path) is responsible for updating the maps itself.
+ */
 class PhysMem
 {
   public:
-    PhysMem() : bytes(memmap::RAM_SIZE, 0) {}
+    PhysMem()
+        : bytes(memmap::RAM_SIZE, 0), digestDirty_(numPages()),
+          restoreDirty_(numPages())
+    {}
 
     /** Zero all of memory (between injection runs). */
-    void clear() { std::memset(bytes.data(), 0, bytes.size()); }
+    void clear()
+    {
+        std::memset(bytes.data(), 0, bytes.size());
+        digestDirty_.markAll();
+        restoreDirty_.markAll();
+    }
 
     /** Load a program image. @pre all segments fit in RAM. */
     void load(const Program &prog);
@@ -39,6 +62,7 @@ class PhysMem
     void write(uint32_t addr, uint64_t v, unsigned n)
     {
         std::memcpy(bytes.data() + addr, &v, n);
+        touch(addr, n);
     }
 
     /** Bulk copy out of RAM. @pre range valid. */
@@ -51,14 +75,31 @@ class PhysMem
     void writeBlock(uint32_t addr, const uint8_t *src, size_t n)
     {
         std::memcpy(bytes.data() + addr, src, n);
+        touch(addr, n);
     }
 
     uint8_t *data() { return bytes.data(); }
     const uint8_t *data() const { return bytes.data(); }
     size_t size() const { return bytes.size(); }
 
+    size_t numPages() const { return memmap::RAM_SIZE >> snap::PAGE_SHIFT; }
+    snap::DirtyMap &digestDirty() { return digestDirty_; }
+    snap::DirtyMap &restoreDirty() { return restoreDirty_; }
+
   private:
+    void touch(uint32_t addr, size_t n)
+    {
+        const size_t first = addr >> snap::PAGE_SHIFT;
+        const size_t last = (addr + n - 1) >> snap::PAGE_SHIFT;
+        for (size_t p = first; p <= last; ++p) {
+            digestDirty_.mark(p);
+            restoreDirty_.mark(p);
+        }
+    }
+
     std::vector<uint8_t> bytes;
+    snap::DirtyMap digestDirty_;
+    snap::DirtyMap restoreDirty_;
 };
 
 } // namespace vstack

@@ -102,6 +102,17 @@ EnvConfig::fromEnvironment()
         fatal("VSTACK_VERIFY_REPLAY must be a percentage in [0, 100], "
               "got %g",
               cfg.verifyReplay);
+    cfg.checkpoint = envFlagStrict("VSTACK_CHECKPOINT", true);
+    cfg.checkpoints =
+        static_cast<unsigned>(envIntStrict("VSTACK_CHECKPOINTS", 16, 1));
+    cfg.verifyCheckpoint =
+        envDoubleStrict("VSTACK_VERIFY_CHECKPOINT", 0.0, 0.0);
+    if (cfg.verifyCheckpoint > 100.0)
+        fatal("VSTACK_VERIFY_CHECKPOINT must be a percentage in [0, 100], "
+              "got %g",
+              cfg.verifyCheckpoint);
+    cfg.goldenBudget = static_cast<uint64_t>(
+        envIntStrict("VSTACK_GOLDEN_BUDGET", 100'000'000, 1));
     return cfg;
 }
 

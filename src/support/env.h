@@ -26,12 +26,24 @@
  *   VSTACK_FAILPOINTS=...   arm deterministic fault-injection sites in
  *                       the storage/sandbox paths (chaos testing; see
  *                       support/failpoint.h for the spec grammar)
+ *   VSTACK_CHECKPOINT=1 checkpoint/restore fast-forward + golden-trace
+ *                       early termination for injection campaigns
+ *                       (default on; 0 replays every sample from boot)
+ *   VSTACK_CHECKPOINTS=16   checkpoints captured across the golden run
+ *                       (>= 1; more = less replayed prefix per sample,
+ *                       more memory per campaign)
+ *   VSTACK_VERIFY_CHECKPOINT=P  re-run a deterministic P% (0..100) of
+ *                       checkpointed samples cold (from boot, no early
+ *                       termination) and abort on any divergence
+ *   VSTACK_GOLDEN_BUDGET=N  golden-run reference budget in cycles/
+ *                       instructions/steps (>= 1); the actual cap is
+ *                       the campaign watchdog applied to N
  *
  * Values that shape execution (VSTACK_JOBS, VSTACK_ISOLATE,
  * VSTACK_WATCHDOG, VSTACK_JOURNAL_FSYNC, VSTACK_VERIFY_REPLAY,
- * VSTACK_FAILPOINTS) are validated strictly: a set-but-garbage value
- * is a one-line fatal error, never a silent fallback to a
- * misconfigured campaign.
+ * VSTACK_FAILPOINTS, VSTACK_CHECKPOINT*, VSTACK_GOLDEN_BUDGET) are
+ * validated strictly: a set-but-garbage value is a one-line fatal
+ * error, never a silent fallback to a misconfigured campaign.
  */
 #ifndef VSTACK_SUPPORT_ENV_H
 #define VSTACK_SUPPORT_ENV_H
@@ -85,6 +97,17 @@ struct EnvConfig
     /** Percentage (0..100) of journal-replayed samples to re-simulate
      *  and compare against their records before trusting a resume. */
     double verifyReplay = 0.0;
+    /** Checkpoint/restore fast-forward + early termination (default
+     *  on; results are bit-identical either way). */
+    bool checkpoint = true;
+    /** Checkpoints captured across each golden run. */
+    unsigned checkpoints = 16;
+    /** Percentage (0..100) of checkpointed samples to re-run cold and
+     *  compare byte-for-byte against the fast path. */
+    double verifyCheckpoint = 0.0;
+    /** Golden-run reference budget (cycles/insts/steps) the campaign
+     *  watchdog is applied to; caps the fault-free reference run. */
+    uint64_t goldenBudget = 100'000'000;
 
     /** Resolve from the process environment. */
     static EnvConfig fromEnvironment();

@@ -1,0 +1,98 @@
+#include "support/snapshot.h"
+
+#include "support/logging.h"
+
+namespace vstack::snap
+{
+
+uint64_t
+ByteSource::take(size_t count)
+{
+    if (off + count > n)
+        panic("snapshot underrun: read %zu bytes at offset %zu of %zu",
+              count, off, n);
+    uint64_t v = 0;
+    for (size_t i = 0; i < count; ++i)
+        v |= uint64_t{p[off + i]} << (8 * i);
+    off += count;
+    return v;
+}
+
+void
+ByteSource::bytes(void *dst, size_t count)
+{
+    if (off + count > n)
+        panic("snapshot underrun: read %zu bytes at offset %zu of %zu",
+              count, off, n);
+    std::memcpy(dst, p + off, count);
+    off += count;
+}
+
+std::string
+ByteSource::str()
+{
+    const uint64_t len = u64();
+    if (off + len > n)
+        panic("snapshot underrun: string of %llu bytes at offset %zu of %zu",
+              static_cast<unsigned long long>(len), off, n);
+    std::string s(reinterpret_cast<const char *>(p + off),
+                  static_cast<size_t>(len));
+    off += static_cast<size_t>(len);
+    return s;
+}
+
+MemImage
+MemImage::capture(const uint8_t *mem, size_t size, const DirtyMap &changed,
+                  const std::vector<uint32_t> &crcTable, const MemImage *prev)
+{
+    const size_t nPages = (size + PAGE_SIZE - 1) / PAGE_SIZE;
+    if (prev && prev->pages.size() != nPages)
+        panic("MemImage::capture: previous image has %zu pages, need %zu",
+              prev->pages.size(), nPages);
+    if (crcTable.size() != nPages)
+        panic("MemImage::capture: CRC table has %zu entries, need %zu pages",
+              crcTable.size(), nPages);
+
+    MemImage img;
+    img.pages.resize(nPages);
+    img.pageCrc = crcTable;
+    for (size_t i = 0; i < nPages; ++i) {
+        if (prev && !changed.test(i)) {
+            img.pages[i] = prev->pages[i];
+            continue;
+        }
+        const size_t base = i * PAGE_SIZE;
+        const size_t len = std::min(PAGE_SIZE, size - base);
+        auto page = std::make_shared<std::vector<uint8_t>>(
+            mem + base, mem + base + len);
+        img.pages[i] = std::move(page);
+        ++img.freshPages;
+    }
+    return img;
+}
+
+size_t
+MemImage::restore(uint8_t *mem, size_t size, const MemImage *last,
+                  const DirtyMap *dirtySinceLast) const
+{
+    const size_t nPages = pages.size();
+    if ((size + PAGE_SIZE - 1) / PAGE_SIZE != nPages)
+        panic("MemImage::restore: image has %zu pages, memory needs %zu",
+              nPages, (size + PAGE_SIZE - 1) / PAGE_SIZE);
+
+    size_t copied = 0;
+    const bool incremental =
+        last && dirtySinceLast && last->pages.size() == nPages;
+    for (size_t i = 0; i < nPages; ++i) {
+        if (incremental && !dirtySinceLast->test(i) &&
+            last->pages[i].get() == pages[i].get())
+            continue; // memory still holds exactly these bytes
+        const size_t base = i * PAGE_SIZE;
+        const size_t len = std::min(PAGE_SIZE, size - base);
+        std::memcpy(mem + base, pages[i]->data(), len);
+        copied += len;
+    }
+    return copied;
+}
+
+} // namespace vstack::snap

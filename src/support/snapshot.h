@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Snapshot/restore building blocks shared by the three simulators.
+ *
+ * The campaign accelerator captures full simulator state at K evenly
+ * spaced points of the golden run so each injection can restore the
+ * nearest checkpoint instead of replaying from boot, and records
+ * periodic state digests so a post-injection run can stop as soon as
+ * its state provably reconverges with the golden trajectory.  This
+ * header provides the layer-agnostic pieces:
+ *
+ *  - ByteSink / ByteSource: explicit-width, padding-free serialization
+ *    of simulator state.  Struct memcpy is deliberately avoided —
+ *    padding bytes are indeterminate and would make digests
+ *    nondeterministic;
+ *  - DirtyMap: page-granular dirty bitmap over a flat guest memory;
+ *  - MemImage: page-granular copy-on-write snapshot of guest RAM.
+ *    Pages untouched since the previous checkpoint share the previous
+ *    checkpoint's buffers, so K checkpoints of a 16 MiB guest cost
+ *    O(working set), not O(K * 16 MiB).  Each image carries the
+ *    per-page CRC-32C table so a restored simulator can resume
+ *    incremental digesting without re-hashing all of RAM.
+ */
+#ifndef VSTACK_SUPPORT_SNAPSHOT_H
+#define VSTACK_SUPPORT_SNAPSHOT_H
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vstack::snap
+{
+
+/** Snapshot page size: 4 KiB, the sweet spot between COW sharing
+ *  granularity and per-page bookkeeping overhead. */
+constexpr size_t PAGE_SHIFT = 12;
+constexpr size_t PAGE_SIZE = size_t{1} << PAGE_SHIFT;
+
+/** Append-only little-endian byte buffer for state serialization. */
+class ByteSink
+{
+  public:
+    void u8(uint8_t v) { buf.push_back(v); }
+    void b(bool v) { buf.push_back(v ? 1 : 0); }
+    void u16(uint16_t v) { putLe(&v, 2); }
+    void u32(uint32_t v) { putLe(&v, 4); }
+    void u64(uint64_t v) { putLe(&v, 8); }
+    void i16(int16_t v) { u16(static_cast<uint16_t>(v)); }
+    void i32(int32_t v) { u32(static_cast<uint32_t>(v)); }
+    void i64(int64_t v) { u64(static_cast<uint64_t>(v)); }
+
+    void bytes(const void *p, size_t n)
+    {
+        const uint8_t *src = static_cast<const uint8_t *>(p);
+        buf.insert(buf.end(), src, src + n);
+    }
+
+    void str(const std::string &s)
+    {
+        u64(s.size());
+        bytes(s.data(), s.size());
+    }
+
+    const std::vector<uint8_t> &data() const { return buf; }
+    size_t size() const { return buf.size(); }
+    void clear() { buf.clear(); }
+
+    /** Move the accumulated bytes out (ends this sink's use). */
+    std::vector<uint8_t> take() { return std::move(buf); }
+
+  private:
+    void putLe(const void *p, size_t n)
+    {
+        // Serialize integers byte-by-byte, low byte first, so the
+        // encoding (and hence every digest) is host-endian-independent.
+        const uint8_t *src = static_cast<const uint8_t *>(p);
+        uint64_t v = 0;
+        std::memcpy(&v, src, n);
+        for (size_t i = 0; i < n; ++i)
+            buf.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+
+    std::vector<uint8_t> buf;
+};
+
+/** Cursor over a serialized state buffer.  An overrun is an internal
+ *  invariant violation (snapshots never leave process memory) and
+ *  aborts via fatal(). */
+class ByteSource
+{
+  public:
+    ByteSource(const uint8_t *p, size_t n) : p(p), n(n) {}
+    explicit ByteSource(const std::vector<uint8_t> &v)
+        : p(v.data()), n(v.size())
+    {}
+
+    uint8_t u8() { return take(1) & 0xff; }
+    bool b() { return u8() != 0; }
+    uint16_t u16() { return static_cast<uint16_t>(take(2)); }
+    uint32_t u32() { return static_cast<uint32_t>(take(4)); }
+    uint64_t u64() { return take(8); }
+    int16_t i16() { return static_cast<int16_t>(u16()); }
+    int32_t i32() { return static_cast<int32_t>(u32()); }
+    int64_t i64() { return static_cast<int64_t>(u64()); }
+
+    void bytes(void *dst, size_t count);
+    std::string str();
+
+    bool atEnd() const { return off == n; }
+    size_t offset() const { return off; }
+
+  private:
+    uint64_t take(size_t count);
+
+    const uint8_t *p;
+    size_t n;
+    size_t off = 0;
+};
+
+/** Page-granular dirty bitmap.  Newly constructed maps are fully
+ *  dirty: until a consumer harvests, everything must be assumed
+ *  modified. */
+class DirtyMap
+{
+  public:
+    explicit DirtyMap(size_t pages)
+        : words((pages + 63) / 64, ~uint64_t{0}), pages_(pages)
+    {}
+
+    size_t pages() const { return pages_; }
+
+    void mark(size_t page) { words[page >> 6] |= uint64_t{1} << (page & 63); }
+
+    bool test(size_t page) const
+    {
+        return (words[page >> 6] >> (page & 63)) & 1;
+    }
+
+    void markAll()
+    {
+        std::fill(words.begin(), words.end(), ~uint64_t{0});
+    }
+
+    void clearAll() { std::fill(words.begin(), words.end(), 0); }
+
+    /** Invoke fn(page) for every dirty page, in ascending order. */
+    template <typename Fn>
+    void forEachDirty(Fn fn) const
+    {
+        for (size_t w = 0; w < words.size(); ++w) {
+            uint64_t bits = words[w];
+            while (bits) {
+                const unsigned tz =
+                    static_cast<unsigned>(__builtin_ctzll(bits));
+                const size_t page = w * 64 + tz;
+                if (page >= pages_)
+                    return;
+                fn(page);
+                bits &= bits - 1;
+            }
+        }
+    }
+
+  private:
+    std::vector<uint64_t> words;
+    size_t pages_;
+};
+
+/**
+ * Copy-on-write snapshot of a flat memory.  capture() shares every
+ * page that was not dirtied since the previous image; restore() is
+ * incremental when the caller can prove which pages still hold the
+ * previously restored image's bytes.
+ */
+struct MemImage
+{
+    std::vector<std::shared_ptr<const std::vector<uint8_t>>> pages;
+    /** Per-page CRC-32C at capture time, adopted by restored
+     *  simulators so digesting stays incremental. */
+    std::vector<uint32_t> pageCrc;
+    /** Pages copied fresh (not shared with prev); bench telemetry. */
+    size_t freshPages = 0;
+
+    /**
+     * Capture `size` bytes at `mem`.
+     *
+     * @param changed  pages modified since `prev` was captured; only
+     *                 these are copied, the rest share prev's buffers
+     * @param crcTable current per-page CRC table (kept by the owner's
+     *                 digest harvesting); copied into the image
+     * @param prev     previous checkpoint in the same run, or nullptr
+     *                 (full copy)
+     */
+    static MemImage capture(const uint8_t *mem, size_t size,
+                            const DirtyMap &changed,
+                            const std::vector<uint32_t> &crcTable,
+                            const MemImage *prev);
+
+    /**
+     * Write the image back into `mem`.
+     *
+     * @param last            image this memory was last restored from
+     *                        (nullptr = unknown: full copy)
+     * @param dirtySinceLast  pages modified since that restore; a page
+     *                        is skipped only when it is clean AND both
+     *                        images share the same buffer for it
+     * @return bytes actually copied (restore-latency telemetry)
+     */
+    size_t restore(uint8_t *mem, size_t size, const MemImage *last,
+                   const DirtyMap *dirtySinceLast) const;
+
+    /** Total bytes held by pages not shared with the previous image
+     *  (the checkpoint's marginal memory cost). */
+    size_t freshBytes() const { return freshPages * PAGE_SIZE; }
+};
+
+} // namespace vstack::snap
+
+#endif // VSTACK_SUPPORT_SNAPSHOT_H

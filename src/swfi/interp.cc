@@ -2,7 +2,7 @@
 
 #include <cstring>
 
-#include "machine/memmap.h"
+#include "support/crc32c.h"
 #include "support/logging.h"
 
 namespace vstack
@@ -11,6 +11,42 @@ namespace vstack
 using ir::Inst;
 using ir::IrOp;
 using ir::Value;
+
+namespace
+{
+
+/** Stop probing for reconvergence after this many failed digest
+ *  compares (mirrors the cycle-level interpreter's policy). */
+constexpr unsigned DIGEST_GIVE_UP = 12;
+
+} // namespace
+
+/**
+ * Complete captured state of one IrInterp: serialized run state (sp,
+ * call stack, in-progress result) plus a COW image of interpreter
+ * memory with its per-page CRC table.
+ */
+struct InterpSnapshot
+{
+    std::vector<uint8_t> state;
+    snap::MemImage mem;
+};
+
+const SwfiTrace::Checkpoint &
+SwfiTrace::bestFor(uint64_t targetValueStep) const
+{
+    if (checkpoints.empty() || checkpoints.front().valueSteps > targetValueStep)
+        panic("SwfiTrace::bestFor: no checkpoint at or below value step "
+              "%llu",
+              static_cast<unsigned long long>(targetValueStep));
+    const Checkpoint *best = &checkpoints.front();
+    for (const Checkpoint &cp : checkpoints) {
+        if (cp.valueSteps > targetValueStep)
+            break;
+        best = &cp;
+    }
+    return *best;
+}
 
 IrInterp::IrInterp(const ir::Module &mod) : m(mod)
 {
@@ -26,66 +62,210 @@ IrInterp::IrInterp(const ir::Module &mod) : m(mod)
     globalsEnd = addr;
 }
 
-namespace
-{
-
-struct Frame
-{
-    int funcIdx;
-    int block = 0;
-    size_t ip = 0;
-    int retDst = -1; ///< caller vreg receiving the result
-    uint32_t savedSp;
-    std::vector<uint64_t> vregs;
-    std::vector<uint32_t> arrayAddr;
-};
-
-} // namespace
+IrInterp::~IrInterp() = default;
 
 InterpResult
 IrInterp::run(uint64_t maxSteps)
 {
-    return exec(nullptr, maxSteps);
+    return exec(nullptr, maxSteps, nullptr, 0, 0, nullptr, false, false);
 }
 
 InterpResult
 IrInterp::runWithFault(const SwFault &fault, uint64_t maxSteps)
 {
-    return exec(&fault, maxSteps);
+    return exec(&fault, maxSteps, nullptr, 0, 0, nullptr, false, false);
 }
 
 InterpResult
-IrInterp::exec(const SwFault *fault, uint64_t maxSteps)
+IrInterp::runRecording(uint64_t maxSteps, SwfiTrace &trace,
+                       uint64_t interval, unsigned ckptEvery)
 {
-    InterpResult res;
-    const uint64_t mask =
-        m.xlen == 64 ? ~0ull : 0xffffffffull;
+    if (interval == 0 || ckptEvery == 0)
+        panic("runRecording: cadence must be nonzero");
+    trace.interval = interval;
+    trace.digests.clear();
+    trace.outLens.clear();
+    trace.checkpoints.clear();
+    return exec(nullptr, maxSteps, &trace, interval, ckptEvery, nullptr,
+                false, false);
+}
 
+InterpResult
+IrInterp::runWithTrace(const SwFault &fault, uint64_t maxSteps,
+                       const SwfiTrace &trace, bool earlyStop)
+{
+    restore(trace.bestFor(fault.targetValueStep).state);
+    return exec(&fault, maxSteps, nullptr, 0, 0, &trace, earlyStop, true);
+}
+
+void
+IrInterp::beginRun()
+{
     if (mem.empty())
         mem.resize(memmap::RAM_SIZE);
     std::memset(mem.data(), 0, mem.size());
-    // Initialise globals.
     for (size_t g = 0; g < m.globals.size(); ++g) {
         const auto &init = m.globals[g].init;
         if (!init.empty())
             std::memcpy(mem.data() + globalAddr[g], init.data(),
                         init.size());
     }
+    pageCrcValid = false;
+    digestDirty.markAll();
+    ckptDirty.markAll();
+    restoreDirty.markAll();
+    lastRestored.reset();
 
-    uint32_t sp = memmap::USER_STACK_TOP;
+    sp = memmap::USER_STACK_TOP;
+    stack.clear();
+    res = InterpResult{};
+}
+
+void
+IrInterp::harvestPageCrc()
+{
+    const size_t nPages = mem.size() >> snap::PAGE_SHIFT;
+    if (!pageCrcValid) {
+        pageCrc.resize(nPages);
+        for (size_t p = 0; p < nPages; ++p) {
+            pageCrc[p] = crc32c(mem.data() + p * snap::PAGE_SIZE,
+                                snap::PAGE_SIZE);
+            ckptDirty.mark(p);
+        }
+        digestDirty.clearAll();
+        pageCrcValid = true;
+        return;
+    }
+    digestDirty.forEachDirty([&](size_t p) {
+        pageCrc[p] = crc32c(mem.data() + p * snap::PAGE_SIZE,
+                            snap::PAGE_SIZE);
+        ckptDirty.mark(p);
+    });
+    digestDirty.clearAll();
+}
+
+/**
+ * Serialize run state.  Digest mode covers exactly the state that
+ * determines future behavior: sp, the call stack, and (appended by
+ * stateDigest) the memory page CRCs — plus the step/valueStep
+ * counters, so a digest match at a grid point implies the remaining
+ * execution AND the final counters are identical.  The output stream
+ * is excluded (compared against the golden prefix separately).  Full
+ * mode adds the in-progress result so a restored run resumes exactly.
+ */
+void
+IrInterp::serializeState(snap::ByteSink &s, bool digest) const
+{
+    s.u32(sp);
+    s.u64(res.steps);
+    s.u64(res.valueSteps);
+    s.u64(stack.size());
+    for (const Frame &fr : stack) {
+        s.i32(fr.funcIdx);
+        s.i32(fr.block);
+        s.u64(fr.ip);
+        s.i32(fr.retDst);
+        s.u32(fr.savedSp);
+        s.u64(fr.vregs.size());
+        for (uint64_t v : fr.vregs)
+            s.u64(v);
+        s.u64(fr.arrayAddr.size());
+        for (uint32_t a : fr.arrayAddr)
+            s.u32(a);
+    }
+    if (digest)
+        return;
+    s.u8(static_cast<uint8_t>(res.stop));
+    s.str(res.error);
+    s.u64(res.output.size());
+    s.bytes(res.output.data(), res.output.size());
+    s.u32(res.exitCode);
+    s.u32(res.detectCode);
+}
+
+uint32_t
+IrInterp::stateDigest()
+{
+    harvestPageCrc();
+    snap::ByteSink s;
+    serializeState(s, /*digest=*/true);
+    s.bytes(pageCrc.data(), pageCrc.size() * sizeof(uint32_t));
+    return crc32c(s.data().data(), s.size());
+}
+
+std::shared_ptr<const InterpSnapshot>
+IrInterp::snapshot(const InterpSnapshot *prev)
+{
+    harvestPageCrc();
+    auto snapPtr = std::make_shared<InterpSnapshot>();
+    snap::ByteSink s;
+    serializeState(s, /*digest=*/false);
+    snapPtr->state = s.take();
+    snapPtr->mem = snap::MemImage::capture(mem.data(), mem.size(),
+                                           ckptDirty, pageCrc,
+                                           prev ? &prev->mem : nullptr);
+    ckptDirty.clearAll();
+    return snapPtr;
+}
+
+void
+IrInterp::restore(std::shared_ptr<const InterpSnapshot> snapPtr)
+{
+    if (mem.empty())
+        mem.resize(memmap::RAM_SIZE);
+    snapPtr->mem.restore(mem.data(), mem.size(),
+                         lastRestored ? &lastRestored->mem : nullptr,
+                         &restoreDirty);
+    restoreDirty.clearAll();
+    digestDirty.clearAll();
+    pageCrc = snapPtr->mem.pageCrc;
+    pageCrcValid = true;
+    // Future checkpoints taken from here have unknown deltas.
+    ckptDirty.markAll();
+
+    snap::ByteSource s(snapPtr->state);
+    sp = s.u32();
+    res = InterpResult{};
+    res.steps = s.u64();
+    res.valueSteps = s.u64();
+    stack.resize(s.u64());
+    for (Frame &fr : stack) {
+        fr.funcIdx = s.i32();
+        fr.block = s.i32();
+        fr.ip = s.u64();
+        fr.retDst = s.i32();
+        fr.savedSp = s.u32();
+        fr.vregs.resize(s.u64());
+        for (uint64_t &v : fr.vregs)
+            v = s.u64();
+        fr.arrayAddr.resize(s.u64());
+        for (uint32_t &a : fr.arrayAddr)
+            a = s.u32();
+    }
+    res.stop = static_cast<StopReason>(s.u8());
+    res.error = s.str();
+    res.output.resize(s.u64());
+    s.bytes(res.output.data(), res.output.size());
+    res.exitCode = s.u32();
+    res.detectCode = s.u32();
+    if (!s.atEnd())
+        panic("IrInterp snapshot has trailing bytes");
+    lastRestored = std::move(snapPtr);
+}
+
+InterpResult
+IrInterp::exec(const SwFault *fault, uint64_t maxSteps, SwfiTrace *record,
+               uint64_t interval, unsigned ckptEvery,
+               const SwfiTrace *check, bool earlyStop, bool resume)
+{
+    const uint64_t mask =
+        m.xlen == 64 ? ~0ull : 0xffffffffull;
 
     auto fail = [&](const std::string &msg) {
         res.stop = StopReason::Exception;
         res.error = msg;
     };
 
-    const int mainIdx = m.findFunc("main");
-    if (mainIdx < 0) {
-        fail("no main");
-        return res;
-    }
-
-    std::vector<Frame> stack;
     auto pushFrame = [&](int funcIdx, int retDst,
                          const std::vector<uint64_t> &args) -> bool {
         const ir::Func &f = m.funcs[funcIdx];
@@ -113,8 +293,28 @@ IrInterp::exec(const SwFault *fault, uint64_t maxSteps)
         return true;
     };
 
-    if (!pushFrame(mainIdx, -1, {}))
-        return res;
+    if (!resume) {
+        beginRun();
+        const int mainIdx = m.findFunc("main");
+        if (mainIdx < 0) {
+            fail("no main");
+            return res;
+        }
+        if (!pushFrame(mainIdx, -1, {}))
+            return res;
+    }
+
+    if (record)
+        record->checkpoints.push_back(
+            {res.steps, res.valueSteps, snapshot(nullptr)});
+
+    // Early termination is sound only when the injected run cannot be
+    // stopped by the watchdog before reaching the golden step count.
+    const bool stopEligible =
+        earlyStop && check && check->recorded() &&
+        check->final.stop == StopReason::Exited &&
+        maxSteps >= check->final.steps;
+    unsigned digestFails = 0;
 
     auto memOk = [&](uint64_t addr, unsigned bytes) {
         return addr >= memmap::USER_BASE &&
@@ -218,6 +418,12 @@ IrInterp::exec(const SwFault *fault, uint64_t maxSteps)
             uint64_t v = b;
             std::memcpy(mem.data() + addr, &v,
                         static_cast<size_t>(inst.size));
+            // memOk guarantees alignment, so the access cannot
+            // straddle a page boundary.
+            const size_t page = addr >> snap::PAGE_SHIFT;
+            digestDirty.mark(page);
+            ckptDirty.mark(page);
+            restoreDirty.mark(page);
             break;
           }
           case IrOp::AddrGlobal:
@@ -304,7 +510,48 @@ IrInterp::exec(const SwFault *fault, uint64_t maxSteps)
             break;
         if (advance)
             ++stack.back().ip;
+
+        if (record && res.steps % interval == 0) {
+            record->digests.push_back(stateDigest());
+            record->outLens.push_back(res.output.size());
+            if (record->digests.size() % ckptEvery == 0)
+                record->checkpoints.push_back(
+                    {res.steps, res.valueSteps,
+                     snapshot(record->checkpoints.back().state.get())});
+        }
+
+        if (stopEligible && res.steps % check->interval == 0 &&
+            res.valueSteps > fault->targetValueStep &&
+            digestFails < DIGEST_GIVE_UP) {
+            const uint64_t k = res.steps / check->interval - 1;
+            if (k < check->digests.size()) {
+                if (stateDigest() != check->digests[k]) {
+                    ++digestFails;
+                } else {
+                    // State reconverged with the golden run at the
+                    // same step count: splice the golden suffix onto
+                    // the emitted output and return the exact result
+                    // of the full run without executing the tail.
+                    InterpResult r;
+                    r.stop = check->final.stop;
+                    r.steps = check->final.steps;
+                    r.valueSteps = check->final.valueSteps;
+                    r.exitCode = check->final.exitCode;
+                    r.detectCode = check->final.detectCode;
+                    r.output = res.output;
+                    r.output.insert(
+                        r.output.end(),
+                        check->final.output.begin() +
+                            static_cast<ptrdiff_t>(check->outLens[k]),
+                        check->final.output.end());
+                    return r;
+                }
+            }
+        }
     }
+
+    if (record)
+        record->final = res;
     return res;
 }
 

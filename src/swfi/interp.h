@@ -8,16 +8,26 @@
  * lower layers: no kernel activity, no devices, no microarchitecture.
  * This is exactly the abstraction SVF-based studies operate at, and
  * whose blind spots the paper quantifies.
+ *
+ * Like the other two injection vehicles, the interpreter supports
+ * checkpoint/restore fast-forward and golden-trace early termination
+ * (see DESIGN.md §8): a recording run captures full-state snapshots
+ * plus periodic state digests, and each injection restores the latest
+ * checkpoint not past its fault point, then stops as soon as its state
+ * provably reconverges with the golden trajectory.
  */
 #ifndef VSTACK_SWFI_INTERP_H
 #define VSTACK_SWFI_INTERP_H
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "compiler/ir.h"
+#include "machine/memmap.h"
 #include "machine/outcome.h"
+#include "support/snapshot.h"
 
 namespace vstack
 {
@@ -42,6 +52,44 @@ struct SwFault
     int bit = 0;
 };
 
+/** Opaque full-state snapshot of an IrInterp (defined in interp.cc). */
+struct InterpSnapshot;
+
+/**
+ * Golden-run trace of the interpreter on an IR-step grid: evenly
+ * spaced checkpoints for fast-forward plus denser state digests and
+ * output-length marks for early termination.
+ */
+struct SwfiTrace
+{
+    struct Checkpoint
+    {
+        uint64_t steps = 0;
+        uint64_t valueSteps = 0;
+        std::shared_ptr<const InterpSnapshot> state;
+    };
+
+    /** Digest cadence in IR steps (0 = not recorded). */
+    uint64_t interval = 0;
+    /** Result of the recording run (used to synthesize early-stop
+     *  results exactly). */
+    InterpResult final;
+
+    /** Grid entry k describes the state after step (k+1)*interval. */
+    std::vector<uint32_t> digests;
+    std::vector<uint64_t> outLens;
+
+    /** Ascending; [0] is always step 0. */
+    std::vector<Checkpoint> checkpoints;
+
+    bool recorded() const { return interval != 0; }
+
+    /** Latest checkpoint whose valueSteps does not exceed the fault's
+     *  target: the fault fires at valueSteps == target+1, so any state
+     *  at or before the target is an exact prefix. */
+    const Checkpoint &bestFor(uint64_t targetValueStep) const;
+};
+
 /**
  * The interpreter.  Memory uses the same layout constants as the
  * guest (globals at USER_DATA, stack below USER_STACK_TOP) so pointer
@@ -51,20 +99,75 @@ class IrInterp
 {
   public:
     explicit IrInterp(const ir::Module &m);
+    ~IrInterp();
 
     /** Fault-free run. */
     InterpResult run(uint64_t maxSteps = 80'000'000);
 
-    /** Run with one injected fault. */
+    /** Run with one injected fault (cold: from the entry point). */
     InterpResult runWithFault(const SwFault &fault, uint64_t maxSteps);
 
+    /**
+     * Fault-free run that also records `trace`: a state digest every
+     * `interval` steps and a full checkpoint every `ckptEvery`
+     * digests (plus one at step 0).
+     */
+    InterpResult runRecording(uint64_t maxSteps, SwfiTrace &trace,
+                              uint64_t interval, unsigned ckptEvery);
+
+    /**
+     * Run with one injected fault, fast-forwarded from the best
+     * checkpoint of `trace`.  With `earlyStop`, the run terminates as
+     * soon as a post-injection state digest matches the golden digest
+     * at the same step count, returning a result bit-identical to the
+     * full run's.
+     */
+    InterpResult runWithTrace(const SwFault &fault, uint64_t maxSteps,
+                              const SwfiTrace &trace, bool earlyStop);
+
   private:
-    InterpResult exec(const SwFault *fault, uint64_t maxSteps);
+    struct Frame
+    {
+        int funcIdx;
+        int block = 0;
+        size_t ip = 0;
+        int retDst = -1; ///< caller vreg receiving the result
+        uint32_t savedSp;
+        std::vector<uint64_t> vregs;
+        std::vector<uint32_t> arrayAddr;
+    };
+
+    void beginRun();
+    std::shared_ptr<const InterpSnapshot> snapshot(
+        const InterpSnapshot *prev);
+    void restore(std::shared_ptr<const InterpSnapshot> snap);
+    uint32_t stateDigest();
+    void harvestPageCrc();
+    void serializeState(snap::ByteSink &s, bool digest) const;
+    InterpResult exec(const SwFault *fault, uint64_t maxSteps,
+                      SwfiTrace *record, uint64_t interval,
+                      unsigned ckptEvery, const SwfiTrace *check,
+                      bool earlyStop, bool resume);
 
     const ir::Module &m;
     std::vector<uint32_t> globalAddr; ///< assigned global addresses
     uint32_t globalsEnd = 0;
     std::vector<uint8_t> mem; ///< reused across runs
+
+    // Run state (hoisted out of the exec loop so it can be
+    // checkpointed and restored mid-run).
+    uint32_t sp = 0;
+    std::vector<Frame> stack;
+    InterpResult res;
+
+    // Checkpoint machinery: incremental per-page memory CRCs and the
+    // COW dirty maps (see CycleSim for the cycle-level counterpart).
+    std::vector<uint32_t> pageCrc;
+    bool pageCrcValid = false;
+    snap::DirtyMap digestDirty{memmap::RAM_SIZE >> snap::PAGE_SHIFT};
+    snap::DirtyMap ckptDirty{memmap::RAM_SIZE >> snap::PAGE_SHIFT};
+    snap::DirtyMap restoreDirty{memmap::RAM_SIZE >> snap::PAGE_SHIFT};
+    std::shared_ptr<const InterpSnapshot> lastRestored;
 };
 
 } // namespace vstack

@@ -1,5 +1,6 @@
 #include "svf.h"
 
+#include <algorithm>
 #include <memory>
 
 #include "support/logging.h"
@@ -16,20 +17,30 @@ SvfCampaign::SvfCampaign(const ir::Module &mod) : m(mod), interp(mod)
             strprintf("SVF golden run failed: %s", golden_.error.c_str()));
 }
 
-Outcome
-SvfCampaign::runOne(uint64_t targetValueStep, int bit)
+void
+SvfCampaign::ensureTrace()
 {
-    return runOneOn(interp, targetValueStep, bit);
+    if (!policy_.enabled || trace_.recorded())
+        return;
+    // The recording budget must cover the known golden length even if
+    // the per-injection watchdog is tight.
+    InterpResult r = interp.runRecording(
+        std::max<uint64_t>(80'000'000, golden_.steps + 1), trace_,
+        policy_.digestInterval(golden_.steps),
+        std::max(1u, policy_.digestsPerCheckpoint));
+    // The recording pass must retrace the construction-time golden run
+    // exactly — anything else means the interpreter is
+    // nondeterministic and no checkpoint can be trusted.
+    if (r.stop != StopReason::Exited || r.steps != golden_.steps ||
+        r.output != golden_.output || r.exitCode != golden_.exitCode) {
+        throw GoldenRunError(
+            "SVF golden recording pass diverged from the golden run");
+    }
 }
 
 Outcome
-SvfCampaign::runOneOn(IrInterp &worker, uint64_t targetValueStep,
-                      int bit) const
+SvfCampaign::classify(const InterpResult &r) const
 {
-    SwFault fault{targetValueStep, bit};
-    InterpResult r =
-        worker.runWithFault(fault, watchdog.limitFor(golden_.steps));
-
     switch (r.stop) {
       case StopReason::DetectHit:
         return Outcome::Detected;
@@ -43,6 +54,37 @@ SvfCampaign::runOneOn(IrInterp &worker, uint64_t targetValueStep,
     if (r.output != golden_.output || r.exitCode != golden_.exitCode)
         return Outcome::Sdc;
     return Outcome::Masked;
+}
+
+Outcome
+SvfCampaign::runOne(uint64_t targetValueStep, int bit)
+{
+    ensureTrace();
+    return runOneOn(interp, targetValueStep, bit);
+}
+
+Outcome
+SvfCampaign::runOneOn(IrInterp &worker, uint64_t targetValueStep,
+                      int bit) const
+{
+    if (!policy_.enabled || !trace_.recorded())
+        return runOneColdOn(worker, targetValueStep, bit);
+
+    SwFault fault{targetValueStep, bit};
+    InterpResult r = worker.runWithTrace(
+        fault, watchdog.limitFor(golden_.steps), trace_,
+        policy_.earlyStop);
+    return classify(r);
+}
+
+Outcome
+SvfCampaign::runOneColdOn(IrInterp &worker, uint64_t targetValueStep,
+                          int bit) const
+{
+    SwFault fault{targetValueStep, bit};
+    InterpResult r =
+        worker.runWithFault(fault, watchdog.limitFor(golden_.steps));
+    return classify(r);
 }
 
 OutcomeCounts
@@ -64,14 +106,50 @@ SvfCampaign::run(size_t n, uint64_t seed, const exec::ExecConfig &ec)
         f.bit = static_cast<int>(rng.uniform(m.xlen));
     }
 
+    ensureTrace();
+
+    exec::ExecConfig cfg = ec;
+    if (policy_.enabled && trace_.recorded() && !cfg.scheduleKey) {
+        // Dispatch in fault-step order so consecutive samples on a
+        // worker restore the same checkpoint (results still fold in
+        // index order — see ExecConfig::scheduleKey).
+        cfg.scheduleKey = [&faults](size_t i) { return faults[i].step; };
+    }
+
     auto samples = exec::runSamples<Outcome>(
-        n, ec,
+        n, cfg,
         [this] { return std::make_unique<IrInterp>(m); },
         [this, &faults](IrInterp &worker, size_t i) {
             return runOneOn(worker, faults[i].step, faults[i].bit);
         },
         [](Outcome o) { return Json(static_cast<int>(o)); },
         [](const Json &j) { return static_cast<Outcome>(j.asInt()); });
+
+    // VSTACK_VERIFY_CHECKPOINT audit: re-run a deterministic subset
+    // cold and require identical outcomes (see UarchCampaign::run).
+    if (policy_.enabled && trace_.recorded() &&
+        policy_.verifyPercent > 0.0 && !exec::shutdownRequested()) {
+        std::unique_ptr<IrInterp> cold;
+        for (size_t i = 0; i < n; ++i) {
+            if (!samples[i] ||
+                !exec::verifyReplaySelected(i, policy_.verifyPercent))
+                continue;
+            if (!cold)
+                cold = std::make_unique<IrInterp>(m);
+            const Outcome ref =
+                runOneColdOn(*cold, faults[i].step, faults[i].bit);
+            if (ref != *samples[i]) {
+                throw CheckpointDivergence(strprintf(
+                    "verify-checkpoint: SVF sample %zu (value step "
+                    "%llu, bit %d) diverged from its cold re-run "
+                    "(cold %s, accelerated %s); the checkpoint path "
+                    "is unsound",
+                    i, static_cast<unsigned long long>(faults[i].step),
+                    faults[i].bit, outcomeName(ref),
+                    outcomeName(*samples[i])));
+            }
+        }
+    }
 
     OutcomeCounts counts;
     for (const auto &s : samples) {

@@ -10,7 +10,9 @@
  * ISA's IR (the paper ran LLFI natively on a 64-bit Arm host).
  *
  * Campaigns execute through the shared engine in src/exec (parallel
- * workers, per-sample fault containment, journaling).
+ * workers, per-sample fault containment, journaling), and by default
+ * through the checkpoint accelerator (fast-forward restore plus
+ * golden-trace early termination — see DESIGN.md §8).
  */
 #ifndef VSTACK_SWFI_SVF_H
 #define VSTACK_SWFI_SVF_H
@@ -37,23 +39,50 @@ class SvfCampaign
      *  golden run (default: 4x golden + 100k). */
     void setWatchdog(const exec::WatchdogBudget &wd) { watchdog = wd; }
 
+    /** Checkpoint accelerator policy (enabled by default). */
+    void setCheckpointPolicy(const exec::CheckpointPolicy &p)
+    {
+        policy_ = p;
+    }
+    const exec::CheckpointPolicy &checkpointPolicy() const
+    {
+        return policy_;
+    }
+
+    /** Record the golden trace if the policy wants one and it is not
+     *  recorded yet.  Campaigns call this lazily; tests may call it
+     *  eagerly. */
+    void ensureTrace();
+    const SwfiTrace &trace() const { return trace_; }
+
     /** Run one injection on the campaign's own interpreter. */
     Outcome runOne(uint64_t targetValueStep, int bit);
 
-    /** Run one injection on a caller-provided interpreter (workers). */
+    /** Run one injection on a caller-provided interpreter (workers),
+     *  checkpoint-accelerated when a trace is recorded. */
     Outcome runOneOn(IrInterp &worker, uint64_t targetValueStep,
                      int bit) const;
 
+    /** Run one injection cold (from the entry point, no early
+     *  termination) — the reference path for checkpoint audits. */
+    Outcome runOneColdOn(IrInterp &worker, uint64_t targetValueStep,
+                         int bit) const;
+
     /** Run a campaign of n injections with uniform sampling.
-     *  Deterministic for a given seed at any job count. */
+     *  Deterministic for a given seed at any job count, with or
+     *  without the accelerator. */
     OutcomeCounts run(size_t n, uint64_t seed,
                       const exec::ExecConfig &ec = {});
 
   private:
+    Outcome classify(const InterpResult &r) const;
+
     const ir::Module &m;
     IrInterp interp; ///< reused across serial injections
     InterpResult golden_;
     exec::WatchdogBudget watchdog{4.0, 100'000};
+    exec::CheckpointPolicy policy_;
+    SwfiTrace trace_;
 };
 
 } // namespace vstack

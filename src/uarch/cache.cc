@@ -28,6 +28,11 @@ Cache::reset()
         l.dirty = false;
         l.tag = 0;
         l.lastUse = 0;
+        // Also zero the data bits: they are injection-reachable (a
+        // valid-bit flip conjures whatever the array holds), so a cold
+        // run's stale contents must not depend on what the previous
+        // sample in this worker left behind.
+        std::memset(l.data, 0, lineSize);
     }
     clock = 0;
 }
@@ -324,6 +329,47 @@ MemHierarchy::snoop(uint32_t addr, uint8_t *dst, size_t n, uint64_t cycle)
             std::memset(dst + i, 0, chunk);
         }
         i += chunk;
+    }
+}
+
+void
+Cache::saveState(snap::ByteSink &s, bool liveOnly) const
+{
+    s.u64(clock);
+    if (liveOnly) {
+        // Valid lines only, keyed by array index so position matters.
+        for (uint32_t i = 0; i < lines.size(); ++i) {
+            const Line &l = lines[i];
+            if (!l.valid)
+                continue;
+            s.u32(i);
+            s.u32(l.tag);
+            s.b(l.dirty);
+            s.u64(l.lastUse);
+            s.bytes(l.data, lineSize);
+        }
+        s.u32(UINT32_MAX); // terminator
+        return;
+    }
+    for (const Line &l : lines) {
+        s.u32(l.tag);
+        s.b(l.valid);
+        s.b(l.dirty);
+        s.u64(l.lastUse);
+        s.bytes(l.data, lineSize);
+    }
+}
+
+void
+Cache::loadState(snap::ByteSource &s)
+{
+    clock = s.u64();
+    for (Line &l : lines) {
+        l.tag = s.u32();
+        l.valid = s.b();
+        l.dirty = s.b();
+        l.lastUse = s.u64();
+        s.bytes(l.data, lineSize);
     }
 }
 

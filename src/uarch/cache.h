@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "machine/physmem.h"
+#include "support/snapshot.h"
 #include "uarch/config.h"
 #include "uarch/taint.h"
 
@@ -78,6 +79,20 @@ class Cache
      * dirty.
      */
     void flipBit(uint64_t bit, TaintTracker &tracker);
+
+    /**
+     * Serialize array state.  liveOnly (digest mode) covers valid
+     * lines only — invalid lines' stale tag/data bits are unreachable
+     * by normal operation and would otherwise keep two behaviorally
+     * identical states from ever digest-matching.  Full mode includes
+     * every line verbatim: stale bits ARE injection-reachable (a
+     * valid-bit flip conjures whatever the array holds), so restored
+     * state must be bit-exact for later injections.
+     */
+    void saveState(snap::ByteSink &s, bool liveOnly) const;
+
+    /** Restore state saved by saveState(s, false). */
+    void loadState(snap::ByteSource &s);
 
   private:
     uint32_t sets;

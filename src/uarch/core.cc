@@ -6,7 +6,9 @@
 #include <deque>
 
 #include "exec/error.h"
+#include "support/crc32c.h"
 #include "support/logging.h"
+#include "support/snapshot.h"
 
 namespace vstack
 {
@@ -43,7 +45,48 @@ excName(Exc e)
 constexpr uint8_t NO_FPM = 0xff;
 constexpr int WHEEL_SIZE = 512; // > max access latency
 
+/** Stop probing for reconvergence after this many failed digest
+ *  compares: runs that will never reconverge (e.g. a flip parked in a
+ *  never-reallocated free register) shouldn't pay hashing forever. */
+constexpr unsigned DIGEST_GIVE_UP = 12;
+
 } // namespace
+
+/**
+ * Complete captured state of one CycleSim.  `state` is the serialized
+ * pipeline/predictor/cache/device/bookkeeping state (full mode, stale
+ * bits included — they are injection-reachable); `mem` is the COW
+ * guest-RAM image with its per-page CRC table.
+ */
+struct UarchSnapshot
+{
+    std::string coreName;
+    uint64_t cycle = 0;
+    std::vector<uint8_t> state;
+    snap::MemImage mem;
+};
+
+size_t
+uarchSnapshotBytes(const UarchSnapshot &s)
+{
+    return s.state.size() + s.mem.freshBytes() +
+           s.mem.pageCrc.size() * sizeof(uint32_t);
+}
+
+const UarchTrace::Checkpoint &
+UarchTrace::nearestBelow(uint64_t cycle) const
+{
+    if (checkpoints.empty() || checkpoints.front().cycle >= cycle)
+        panic("UarchTrace::nearestBelow: no checkpoint below cycle %llu",
+              static_cast<unsigned long long>(cycle));
+    const Checkpoint *best = &checkpoints.front();
+    for (const Checkpoint &cp : checkpoints) {
+        if (cp.cycle >= cycle)
+            break;
+        best = &cp;
+    }
+    return *best;
+}
 
 struct CycleSim::Impl
 {
@@ -95,6 +138,8 @@ struct CycleSim::Impl
           prf(static_cast<size_t>(cfg.numPhysRegs), 0),
           pregReady(static_cast<size_t>(cfg.numPhysRegs), 1),
           renameMap(static_cast<size_t>(spec.numRegs), 0),
+          pregWriteCycle(static_cast<size_t>(cfg.numPhysRegs), 0),
+          pregLastRead(static_cast<size_t>(cfg.numPhysRegs), 0),
           wheel(WHEEL_SIZE),
           bimodal(static_cast<size_t>(cfg.bimodalEntries), 1),
           btb(static_cast<size_t>(cfg.btbEntries), {0, 0})
@@ -220,6 +265,10 @@ struct CycleSim::Impl
         excMsg.clear();
         pendingInjections.clear();
         stats = UarchStats{};
+
+        pageCrcValid = false;
+        ckptDirty.markAll();
+        lastRestored.reset();
     }
 
     void fail(Exc e, const Uop &u)
@@ -229,6 +278,485 @@ struct CycleSim::Impl
                            excName(e), u.pc, u.kernel ? "kernel" : "user",
                            static_cast<unsigned long long>(committed),
                            static_cast<unsigned long long>(cycle));
+    }
+
+    // ---- snapshot / digest machinery ------------------------------------
+    /** Running per-page CRC-32C of guest RAM, kept incremental via
+     *  PhysMem's digest dirty map. */
+    std::vector<uint32_t> pageCrc;
+    bool pageCrcValid = false;
+    /** Pages modified since the last takeSnapshot (checkpoint COW). */
+    snap::DirtyMap ckptDirty{memmap::RAM_SIZE >> snap::PAGE_SHIFT};
+    /** Snapshot most recently restored into this simulator; lets the
+     *  next restore copy only pages that actually changed. */
+    std::shared_ptr<const UarchSnapshot> lastRestored;
+
+    void harvestPageCrc()
+    {
+        const size_t nPages = mem.numPages();
+        if (!pageCrcValid) {
+            pageCrc.resize(nPages);
+            for (size_t p = 0; p < nPages; ++p) {
+                pageCrc[p] = crc32c(mem.data() + p * snap::PAGE_SIZE,
+                                    snap::PAGE_SIZE);
+                ckptDirty.mark(p);
+            }
+            mem.digestDirty().clearAll();
+            pageCrcValid = true;
+            return;
+        }
+        mem.digestDirty().forEachDirty([&](size_t p) {
+            pageCrc[p] = crc32c(mem.data() + p * snap::PAGE_SIZE,
+                                snap::PAGE_SIZE);
+            ckptDirty.mark(p);
+        });
+        mem.digestDirty().clearAll();
+    }
+
+    static void putUop(snap::ByteSink &s, const Uop &u)
+    {
+        s.u16(static_cast<uint16_t>(u.d.op));
+        s.b(u.d.valid);
+        s.u8(u.d.rd);
+        s.u8(u.d.rs1);
+        s.u8(u.d.rs2);
+        s.i64(u.d.imm);
+        s.u8(u.d.hw);
+        s.u32(u.pc);
+        s.u32(u.word);
+        s.u64(u.seq);
+        s.i16(u.pdst);
+        s.i16(u.psrc1);
+        s.i16(u.psrc2);
+        s.i16(u.psrc3);
+        s.i16(u.poldDst);
+        s.u8(u.state);
+        s.u8(static_cast<uint8_t>(u.exc));
+        s.b(u.squashed);
+        s.b(u.isLoad);
+        s.b(u.isStore);
+        s.b(u.serial);
+        s.b(u.kernel);
+        s.i16(u.lqIdx);
+        s.i16(u.sqIdx);
+        s.u64(u.result);
+        s.u32(u.predNext);
+        s.b(u.predTaken);
+        s.b(u.isCondBr);
+        s.u8(u.taintFpm);
+    }
+
+    static Uop getUop(snap::ByteSource &s)
+    {
+        Uop u;
+        u.d.op = static_cast<Op>(s.u16());
+        u.d.valid = s.b();
+        u.d.rd = s.u8();
+        u.d.rs1 = s.u8();
+        u.d.rs2 = s.u8();
+        u.d.imm = s.i64();
+        u.d.hw = s.u8();
+        u.pc = s.u32();
+        u.word = s.u32();
+        u.seq = s.u64();
+        u.pdst = s.i16();
+        u.psrc1 = s.i16();
+        u.psrc2 = s.i16();
+        u.psrc3 = s.i16();
+        u.poldDst = s.i16();
+        u.state = s.u8();
+        u.exc = static_cast<Exc>(s.u8());
+        u.squashed = s.b();
+        u.isLoad = s.b();
+        u.isStore = s.b();
+        u.serial = s.b();
+        u.kernel = s.b();
+        u.lqIdx = s.i16();
+        u.sqIdx = s.i16();
+        u.result = s.u64();
+        u.predNext = s.u32();
+        u.predTaken = s.b();
+        u.isCondBr = s.b();
+        u.taintFpm = s.u8();
+        return u;
+    }
+
+    static void putLsq(snap::ByteSink &s, const LsqEntry &e)
+    {
+        s.u32(e.addr);
+        s.u64(e.data);
+        s.u64(e.seq);
+        s.b(e.valid);
+        s.b(e.addrValid);
+        s.b(e.mmio);
+        s.u8(e.bytes);
+        s.b(e.taintAddr);
+        s.b(e.taintData);
+    }
+
+    static LsqEntry getLsq(snap::ByteSource &s)
+    {
+        LsqEntry e;
+        e.addr = s.u32();
+        e.data = s.u64();
+        e.seq = s.u64();
+        e.valid = s.b();
+        e.addrValid = s.b();
+        e.mmio = s.b();
+        e.bytes = s.u8();
+        e.taintAddr = s.b();
+        e.taintData = s.b();
+        return e;
+    }
+
+    /** A ref still drives future behavior iff the writeback/issue
+     *  validation would accept it. */
+    bool refLive(const Ref &ref) const
+    {
+        const Uop &u = rob[ref.slot];
+        return !u.squashed && u.seq == ref.seq;
+    }
+
+    /**
+     * Serialize simulator state (guest RAM is handled separately via
+     * MemImage / pageCrc).
+     *
+     * Digest mode covers exactly the state that determines future
+     * behavior and the remaining result fields: live ROB/LSQ/IQ/wheel
+     * entries, the full PRF/rename/free-list, predictor state, valid
+     * cache lines, device-forwarding state and counters.  Stale
+     * entries (committed/squashed slots, dead refs, invalid lines) are
+     * excluded: they are provably inert — ref validation drops them —
+     * but permanently remember the divergence window, so including
+     * them would prevent any post-injection state from ever matching
+     * the golden digest.  Also excluded: stats and the ACE read/write
+     * cycle maps (reporting only), taint-tracker state (the early-stop
+     * precondition handles it), and output streams (compared against
+     * the golden prefix separately).
+     *
+     * Full mode (checkpoints) serializes everything verbatim — stale
+     * bits included, since injections can reach them — so a restored
+     * run is bit-identical to a cold replay.
+     */
+    void serializeState(snap::ByteSink &s, bool digest)
+    {
+        s.u64(cycle);
+        s.u64(committed);
+        s.u64(kernelInsts);
+        s.u64(kernelCycles);
+        s.u64(lastCommitCycle);
+        s.u64(nextSeq);
+        s.u64(epc);
+        s.u32(fetchPC);
+        s.u64(fetchStallUntil);
+        s.b(fetchBlocked);
+        s.b(kernelMode);
+
+        // ROB
+        s.u32(static_cast<uint32_t>(robHead));
+        s.u32(static_cast<uint32_t>(robTail));
+        s.u32(static_cast<uint32_t>(robCount));
+        if (digest) {
+            for (int n = 0; n < robCount; ++n) {
+                const int slot = (robHead + n) % cfg.robSize;
+                s.u32(static_cast<uint32_t>(slot));
+                putUop(s, rob[slot]);
+            }
+        } else {
+            for (const Uop &u : rob)
+                putUop(s, u);
+        }
+
+        // LSQ
+        s.u32(static_cast<uint32_t>(lqHead));
+        s.u32(static_cast<uint32_t>(lqTail));
+        s.u32(static_cast<uint32_t>(lqCount));
+        s.u32(static_cast<uint32_t>(sqHead));
+        s.u32(static_cast<uint32_t>(sqTail));
+        s.u32(static_cast<uint32_t>(sqCount));
+        if (digest) {
+            for (int n = 0; n < lqCount; ++n) {
+                const int idx = (lqHead + n) % cfg.lqSize;
+                s.u32(static_cast<uint32_t>(idx));
+                putLsq(s, lq[idx]);
+            }
+            for (int n = 0; n < sqCount; ++n) {
+                const int idx = (sqHead + n) % cfg.sqSize;
+                s.u32(static_cast<uint32_t>(idx));
+                putLsq(s, sq[idx]);
+            }
+        } else {
+            for (const LsqEntry &e : lq)
+                putLsq(s, e);
+            for (const LsqEntry &e : sq)
+                putLsq(s, e);
+        }
+
+        // PRF + rename.  The digest masks the CONTENT of registers on
+        // the free list: a freed register has no outstanding readers
+        // (in-order commit retires every consumer of its previous
+        // mapping first) and its next use writes it before the first
+        // read, so its value cannot influence future architectural
+        // state.  Masking it lets the large fraction of RF flips that
+        // land in free registers reconverge at the next grid point
+        // instead of blocking early stop forever.  Free-list
+        // membership and order stay digested, as does the content of
+        // every mapped or still-reclaimable register.
+        if (digest) {
+            std::vector<uint8_t> isFree(prf.size(), 0);
+            for (int f : freeList)
+                isFree[static_cast<size_t>(f)] = 1;
+            for (size_t p = 0; p < prf.size(); ++p)
+                s.u64(isFree[p] ? 0 : prf[p]);
+            s.bytes(pregReady.data(), pregReady.size());
+            for (int m : renameMap)
+                s.i32(m);
+            s.u64(freeList.size());
+            for (int f : freeList)
+                s.i32(f);
+            // Same deadness argument: a taint marker on a free
+            // register can never propagate (the register is written —
+            // clearing the marker — before its first read).
+            s.i32(taintedPreg >= 0 &&
+                          isFree[static_cast<size_t>(taintedPreg)]
+                      ? -1
+                      : taintedPreg);
+        } else {
+            for (uint64_t v : prf)
+                s.u64(v);
+            s.bytes(pregReady.data(), pregReady.size());
+            for (int m : renameMap)
+                s.i32(m);
+            s.u64(freeList.size());
+            for (int f : freeList)
+                s.i32(f);
+            s.i32(taintedPreg);
+        }
+        if (!digest) {
+            for (uint64_t v : pregWriteCycle)
+                s.u64(v);
+            for (uint64_t v : pregLastRead)
+                s.u64(v);
+        }
+
+        // IQ
+        if (digest) {
+            for (const Ref &r : iq) {
+                if (!refLive(r) || rob[r.slot].state != 0)
+                    continue;
+                s.u32(static_cast<uint32_t>(r.slot));
+                s.u64(r.seq);
+            }
+            s.u32(UINT32_MAX);
+        } else {
+            s.u64(iq.size());
+            for (const Ref &r : iq) {
+                s.u32(static_cast<uint32_t>(r.slot));
+                s.u64(r.seq);
+            }
+        }
+
+        // Writeback wheel (bucket index is part of the encoding: it
+        // fixes when the writeback fires)
+        for (int w = 0; w < WHEEL_SIZE; ++w) {
+            if (digest) {
+                for (const Ref &r : wheel[w]) {
+                    if (!refLive(r))
+                        continue;
+                    s.u32(static_cast<uint32_t>(w));
+                    s.u32(static_cast<uint32_t>(r.slot));
+                    s.u64(r.seq);
+                }
+            } else {
+                s.u64(wheel[w].size());
+                for (const Ref &r : wheel[w]) {
+                    s.u32(static_cast<uint32_t>(r.slot));
+                    s.u64(r.seq);
+                }
+            }
+        }
+        if (digest)
+            s.u32(UINT32_MAX);
+
+        // Front end
+        s.u64(fetchBuf.size());
+        for (const Uop &u : fetchBuf)
+            putUop(s, u);
+        s.bytes(bimodal.data(), bimodal.size());
+        for (const auto &e : btb) {
+            s.u32(e.first);
+            s.u32(e.second);
+        }
+        s.u64(ras.size());
+        for (uint32_t r : ras)
+            s.u32(r);
+
+        // Memory hierarchy + devices
+        hier.l1iCache().saveState(s, digest);
+        hier.l1dCache().saveState(s, digest);
+        hier.l2Cache().saveState(s, digest);
+        hub->saveState(s, digest);
+
+        if (!digest) {
+            tracker.saveState(s);
+            s.u8(static_cast<uint8_t>(stop));
+            s.str(excMsg);
+            s.u64(pendingInjections.size());
+            for (const FaultSite &f : pendingInjections) {
+                s.u8(static_cast<uint8_t>(f.structure));
+                s.u64(f.cycle);
+                s.u64(f.bit);
+                s.u32(f.burst);
+            }
+            s.u64(stats.branches);
+            s.u64(stats.mispredicts);
+            s.u64(stats.loads);
+            s.u64(stats.stores);
+            s.u64(stats.squashedUops);
+            s.u64(stats.rfAceBitCycles);
+        }
+    }
+
+    /** Restore state serialized by serializeState(s, false). */
+    void deserializeState(snap::ByteSource &s)
+    {
+        cycle = s.u64();
+        committed = s.u64();
+        kernelInsts = s.u64();
+        kernelCycles = s.u64();
+        lastCommitCycle = s.u64();
+        nextSeq = s.u64();
+        epc = s.u64();
+        fetchPC = s.u32();
+        fetchStallUntil = s.u64();
+        fetchBlocked = s.b();
+        kernelMode = s.b();
+
+        robHead = static_cast<int>(s.u32());
+        robTail = static_cast<int>(s.u32());
+        robCount = static_cast<int>(s.u32());
+        for (Uop &u : rob)
+            u = getUop(s);
+
+        lqHead = static_cast<int>(s.u32());
+        lqTail = static_cast<int>(s.u32());
+        lqCount = static_cast<int>(s.u32());
+        sqHead = static_cast<int>(s.u32());
+        sqTail = static_cast<int>(s.u32());
+        sqCount = static_cast<int>(s.u32());
+        for (LsqEntry &e : lq)
+            e = getLsq(s);
+        for (LsqEntry &e : sq)
+            e = getLsq(s);
+
+        for (uint64_t &v : prf)
+            v = s.u64();
+        s.bytes(pregReady.data(), pregReady.size());
+        for (int &m : renameMap)
+            m = s.i32();
+        freeList.resize(s.u64());
+        for (int &f : freeList)
+            f = s.i32();
+        taintedPreg = s.i32();
+        for (uint64_t &v : pregWriteCycle)
+            v = s.u64();
+        for (uint64_t &v : pregLastRead)
+            v = s.u64();
+
+        iq.resize(s.u64());
+        for (Ref &r : iq) {
+            r.slot = static_cast<int>(s.u32());
+            r.seq = s.u64();
+        }
+        for (int w = 0; w < WHEEL_SIZE; ++w) {
+            wheel[w].resize(s.u64());
+            for (Ref &r : wheel[w]) {
+                r.slot = static_cast<int>(s.u32());
+                r.seq = s.u64();
+            }
+        }
+
+        fetchBuf.resize(s.u64());
+        for (Uop &u : fetchBuf)
+            u = getUop(s);
+        s.bytes(bimodal.data(), bimodal.size());
+        for (auto &e : btb) {
+            e.first = s.u32();
+            e.second = s.u32();
+        }
+        ras.resize(s.u64());
+        for (uint32_t &r : ras)
+            r = s.u32();
+
+        hier.l1iCache().loadState(s);
+        hier.l1dCache().loadState(s);
+        hier.l2Cache().loadState(s);
+        hub->loadState(s);
+
+        tracker.loadState(s);
+        stop = static_cast<StopReason>(s.u8());
+        excMsg = s.str();
+        pendingInjections.resize(s.u64());
+        for (FaultSite &f : pendingInjections) {
+            f.structure = static_cast<Structure>(s.u8());
+            f.cycle = s.u64();
+            f.bit = s.u64();
+            f.burst = s.u32();
+        }
+        stats.branches = s.u64();
+        stats.mispredicts = s.u64();
+        stats.loads = s.u64();
+        stats.stores = s.u64();
+        stats.squashedUops = s.u64();
+        stats.rfAceBitCycles = s.u64();
+        if (!s.atEnd())
+            panic("CycleSim snapshot has trailing bytes");
+    }
+
+    /** CRC-32C over the digest-mode state + the page-CRC table. */
+    uint32_t stateDigest()
+    {
+        harvestPageCrc();
+        snap::ByteSink s;
+        serializeState(s, /*digest=*/true);
+        s.bytes(pageCrc.data(), pageCrc.size() * sizeof(uint32_t));
+        return crc32c(s.data().data(), s.size());
+    }
+
+    std::shared_ptr<const UarchSnapshot> takeSnapshot(
+        const UarchSnapshot *prev)
+    {
+        harvestPageCrc();
+        auto snapPtr = std::make_shared<UarchSnapshot>();
+        snapPtr->coreName = cfg.name;
+        snapPtr->cycle = cycle;
+        snap::ByteSink s;
+        serializeState(s, /*digest=*/false);
+        snapPtr->state = s.take();
+        snapPtr->mem = snap::MemImage::capture(
+            mem.data(), mem.size(), ckptDirty, pageCrc,
+            prev ? &prev->mem : nullptr);
+        ckptDirty.clearAll();
+        return snapPtr;
+    }
+
+    void restoreState(std::shared_ptr<const UarchSnapshot> snapPtr)
+    {
+        if (snapPtr->coreName != cfg.name)
+            panic("restoring a '%s' snapshot onto core '%s'",
+                  snapPtr->coreName.c_str(), cfg.name.c_str());
+        snapPtr->mem.restore(mem.data(), mem.size(),
+                             lastRestored ? &lastRestored->mem : nullptr,
+                             &mem.restoreDirty());
+        mem.restoreDirty().clearAll();
+        mem.digestDirty().clearAll();
+        pageCrc = snapPtr->mem.pageCrc;
+        pageCrcValid = true;
+        // Future checkpoints taken from here have unknown deltas.
+        ckptDirty.markAll();
+        snap::ByteSource src(snapPtr->state);
+        deserializeState(src);
+        lastRestored = std::move(snapPtr);
     }
 
     // ---- fault injection -------------------------------------------------
@@ -925,8 +1453,80 @@ struct CycleSim::Impl
     }
 
     // ---- main loop ------------------------------------------------------
-    UarchRunResult run(uint64_t maxCycles)
+    /**
+     * Synthesize the exact end-of-run result for a run whose state
+     * digest matched the golden digest at grid point k: from there the
+     * two trajectories are bit-identical, so the remaining output is
+     * the golden streams past the grid marks and the totals are the
+     * golden totals (instruction/cycle counters are digested, hence
+     * already equal).
+     */
+    UarchRunResult earlyResult(const UarchTrace &t, size_t k) const
     {
+        const DeviceOutput &o = hub->output();
+        UarchRunResult r = t.final;
+        r.output.dma = o.dma;
+        r.output.dma.insert(r.output.dma.end(),
+                            t.final.output.dma.begin() +
+                                static_cast<long>(t.dmaLens[k]),
+                            t.final.output.dma.end());
+        r.output.console = o.console;
+        r.output.console.append(t.final.output.console, t.consoleLens[k],
+                                std::string::npos);
+        r.visibility = tracker.visibility();
+        const bool prefixClean =
+            o.dma.size() == t.dmaLens[k] &&
+            std::equal(o.dma.begin(), o.dma.end(),
+                       t.final.output.dma.begin());
+        r.reconverge = prefixClean ? UarchRunResult::Reconverge::Clean
+                                   : UarchRunResult::Reconverge::Diverged;
+        return r;
+    }
+
+    /**
+     * The one run loop behind run()/runRecording()/runWithTrace().
+     *
+     * With `record`, this is a golden recording run: a state digest
+     * every `recInterval` cycles, a full checkpoint every
+     * `recCkptEvery` digests (plus one before the first cycle), and
+     * the final result captured into the trace.
+     *
+     * With `check` + `earlyStop`, the run probes for reconvergence
+     * with the golden trajectory at every grid cycle and terminates
+     * with a synthesized result once that is provably exact:
+     *  - the golden run exited cleanly within this run's own cycle
+     *    budget (a tighter watchdog keeps run-to-the-end semantics);
+     *  - no injection is still pending and no fault bit is latent in
+     *    any tracked structure (register/LSQ taint is digested, so a
+     *    digest match already excludes it; memory-hierarchy taint is
+     *    checked explicitly) — the HVF verdict is final;
+     *  - the state digest (live pipeline + caches + devices + RAM
+     *    page CRCs) equals the golden digest for the same cycle;
+     *  - neither run's output can cross the capture cap, so the
+     *    spliced output streams are exact.
+     */
+    UarchRunResult runLoop(uint64_t maxCycles, const UarchTrace *check,
+                           bool earlyStop, UarchTrace *record,
+                           uint64_t recInterval, unsigned recCkptEvery)
+    {
+        if (record) {
+            if (recInterval == 0 || recCkptEvery == 0)
+                panic("runRecording: cadence must be nonzero");
+            record->interval = recInterval;
+            record->digests.clear();
+            record->dmaLens.clear();
+            record->consoleLens.clear();
+            record->checkpoints.clear();
+            record->checkpoints.push_back({cycle, takeSnapshot(nullptr)});
+        }
+
+        const bool stopEligible =
+            earlyStop && check && check->recorded() &&
+            check->final.stop == StopReason::Exited &&
+            !check->final.output.truncated &&
+            maxCycles >= check->final.cycles;
+        unsigned digestFails = 0;
+
         while (stop == StopReason::Running) {
             ++cycle;
             if (kernelMode)
@@ -965,6 +1565,39 @@ struct CycleSim::Impl
                 break;
             }
 
+            if (record && cycle % recInterval == 0) {
+                record->digests.push_back(stateDigest());
+                record->dmaLens.push_back(hub->output().dma.size());
+                record->consoleLens.push_back(
+                    hub->output().console.size());
+                if (record->digests.size() % recCkptEvery == 0)
+                    record->checkpoints.push_back(
+                        {cycle,
+                         takeSnapshot(
+                             record->checkpoints.back().state.get())});
+            }
+
+            if (stopEligible && digestFails < DIGEST_GIVE_UP &&
+                cycle % check->interval == 0) {
+                const size_t k = cycle / check->interval - 1;
+                if (k < check->digests.size() &&
+                    pendingInjections.empty() &&
+                    (tracker.empty() ||
+                     tracker.visibility().visible)) {
+                    if (stateDigest() != check->digests[k]) {
+                        ++digestFails;
+                    } else {
+                        const DeviceOutput &o = hub->output();
+                        if (!o.truncated &&
+                            o.dma.size() +
+                                    (check->final.output.dma.size() -
+                                     check->dmaLens[k]) <=
+                                DeviceHub::captureCap)
+                            return earlyResult(*check, k);
+                    }
+                }
+            }
+
             if (cycle >= maxCycles ||
                 cycle - lastCommitCycle > 200'000) {
                 stop = StopReason::Watchdog;
@@ -982,6 +1615,8 @@ struct CycleSim::Impl
         r.kernelCycles = kernelCycles;
         r.output = hub->output();
         r.visibility = tracker.visibility();
+        if (record)
+            record->final = r;
         return r;
     }
 };
@@ -1011,7 +1646,35 @@ CycleSim::scheduleInjection(const FaultSite &site)
 UarchRunResult
 CycleSim::run(uint64_t maxCycles)
 {
-    return impl->run(maxCycles);
+    return impl->runLoop(maxCycles, nullptr, false, nullptr, 0, 0);
+}
+
+UarchRunResult
+CycleSim::runRecording(uint64_t maxCycles, UarchTrace &trace,
+                       uint64_t digestInterval,
+                       unsigned digestsPerCheckpoint)
+{
+    return impl->runLoop(maxCycles, nullptr, false, &trace, digestInterval,
+                         digestsPerCheckpoint);
+}
+
+UarchRunResult
+CycleSim::runWithTrace(uint64_t maxCycles, const UarchTrace &trace,
+                       bool earlyStop)
+{
+    return impl->runLoop(maxCycles, &trace, earlyStop, nullptr, 0, 0);
+}
+
+std::shared_ptr<const UarchSnapshot>
+CycleSim::snapshot(const UarchSnapshot *prev)
+{
+    return impl->takeSnapshot(prev);
+}
+
+void
+CycleSim::restore(std::shared_ptr<const UarchSnapshot> snap)
+{
+    impl->restoreState(std::move(snap));
 }
 
 uint64_t

@@ -40,6 +40,13 @@ namespace vstack
 /** Summary of one cycle-level run. */
 struct UarchRunResult
 {
+    /** How a traced run ended relative to the golden trajectory. */
+    enum class Reconverge : uint8_t {
+        NotTaken, ///< ran to its natural end (no early termination)
+        Clean,    ///< digest reconverged, output prefix matched golden
+        Diverged, ///< digest reconverged after the output diverged
+    };
+
     StopReason stop = StopReason::Running;
     std::string excMsg;
     uint64_t cycles = 0;
@@ -48,12 +55,63 @@ struct UarchRunResult
     uint64_t kernelCycles = 0;
     DeviceOutput output;
     Visibility visibility; ///< HVF record (valid for injection runs)
+    /** Early-termination diagnostics; never part of campaign records
+     *  (sample payloads stay byte-identical to cold runs). */
+    Reconverge reconverge = Reconverge::NotTaken;
 
     double ipc() const
     {
         return cycles ? static_cast<double>(insts) / cycles : 0.0;
     }
 };
+
+/**
+ * Opaque full-state snapshot of a CycleSim (defined in core.cc).
+ * Holds the serialized pipeline/cache/device state plus a
+ * copy-on-write image of guest RAM; snapshots taken back-to-back in
+ * one run share unmodified memory pages.
+ */
+struct UarchSnapshot;
+
+/**
+ * Golden-run trace for one (core, workload): evenly spaced full
+ * checkpoints for fast-forward plus a denser grid of CRC-32C state
+ * digests and output-length marks for early termination.
+ */
+struct UarchTrace
+{
+    struct Checkpoint
+    {
+        uint64_t cycle = 0;
+        std::shared_ptr<const UarchSnapshot> state;
+    };
+
+    /** Digest cadence in cycles (0 = trace not recorded). */
+    uint64_t interval = 0;
+
+    /** Complete golden-run result; the synthesized tail of an
+     *  early-stopped run is spliced out of it. */
+    UarchRunResult final;
+
+    /** Grid entry k describes end-of-cycle (k+1)*interval. */
+    std::vector<uint32_t> digests;
+    std::vector<uint64_t> dmaLens;
+    std::vector<uint64_t> consoleLens;
+
+    /** Ascending by cycle; [0] is always cycle 0 (right after load),
+     *  so every injection has a checkpoint strictly below it. */
+    std::vector<Checkpoint> checkpoints;
+
+    bool recorded() const { return interval != 0; }
+
+    /** Latest checkpoint strictly below `cycle` (restoring at the
+     *  injection cycle itself would apply the flip one cycle late). */
+    const Checkpoint &nearestBelow(uint64_t cycle) const;
+};
+
+/** Marginal in-memory size of a snapshot: serialized state plus the
+ *  pages it does not share with its predecessor (bench telemetry). */
+size_t uarchSnapshotBytes(const UarchSnapshot &s);
 
 /** Perf/side statistics exposed for tests and the config bench. */
 struct UarchStats
@@ -89,6 +147,44 @@ class CycleSim
 
     /** Run to completion (exit/crash/watchdog at maxCycles). */
     UarchRunResult run(uint64_t maxCycles);
+
+    /**
+     * Run while recording a golden trace: a state digest every
+     * `digestInterval` cycles, a full checkpoint every
+     * `digestsPerCheckpoint` digests (plus one at cycle 0), and the
+     * final output streams.  Call on a freshly load()ed simulator.
+     */
+    UarchRunResult runRecording(uint64_t maxCycles, UarchTrace &trace,
+                                uint64_t digestInterval,
+                                unsigned digestsPerCheckpoint);
+
+    /**
+     * Run an injection against a recorded golden trace.  When
+     * `earlyStop`, the run terminates as soon as its state digest
+     * matches the golden digest for the same cycle, no fault bits
+     * remain latent in any injectable structure, and the synthesized
+     * tail is provably exact; the returned result is bit-identical
+     * (in every campaign-relevant field) to running to completion.
+     * Early termination is skipped when maxCycles could cut the run
+     * short of the golden end (tight watchdogs keep cold semantics).
+     */
+    UarchRunResult runWithTrace(uint64_t maxCycles, const UarchTrace &trace,
+                                bool earlyStop);
+
+    /**
+     * Capture the complete simulator state (pipeline, caches, devices,
+     * guest RAM).  `prev` (a snapshot taken earlier in the SAME run)
+     * enables page sharing for unmodified memory.
+     */
+    std::shared_ptr<const UarchSnapshot> snapshot(
+        const UarchSnapshot *prev = nullptr);
+
+    /**
+     * Restore a snapshot taken on an identically configured core;
+     * replaces load() for fast-forwarded runs.  Restoring repeatedly
+     * on one simulator only copies pages that actually changed.
+     */
+    void restore(std::shared_ptr<const UarchSnapshot> snap);
 
     /** Bit-space size of an injectable structure on this core. */
     uint64_t structureBits(Structure s) const;

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "isa/isa.h"
+#include "support/snapshot.h"
 #include "uarch/faultsite.h"
 
 namespace vstack
@@ -96,6 +97,40 @@ class TaintTracker
 
     /** Current tainted ranges (tests). */
     const std::vector<TaintRange> &taintRanges() const { return ranges; }
+
+    /** Serialize tracker state for checkpointing (never digested:
+     *  taint is bookkeeping about the fault, not simulated state). */
+    void saveState(snap::ByteSink &s) const
+    {
+        s.u64(ranges.size());
+        for (const TaintRange &r : ranges) {
+            s.u8(static_cast<uint8_t>(r.level));
+            s.u32(r.addr);
+            s.u32(r.len);
+            s.i32(r.bitInByte);
+        }
+        s.b(vis.visible);
+        s.u8(static_cast<uint8_t>(vis.fpm));
+        s.u64(vis.cycle);
+    }
+
+    /** Restore state saved by saveState(). */
+    void loadState(snap::ByteSource &s)
+    {
+        ranges.clear();
+        const uint64_t n = s.u64();
+        for (uint64_t i = 0; i < n; ++i) {
+            TaintRange r;
+            r.level = static_cast<MemLevel>(s.u8());
+            r.addr = s.u32();
+            r.len = s.u32();
+            r.bitInByte = s.i32();
+            ranges.push_back(r);
+        }
+        vis.visible = s.b();
+        vis.fpm = static_cast<Fpm>(s.u8());
+        vis.cycle = s.u64();
+    }
 
   private:
     void clearOverlap(MemLevel level, uint32_t addr, uint32_t len);

@@ -77,7 +77,9 @@ class ChaosTest : public ::testing::Test
     void SetUp() override
     {
         clearFailpoints();
-        dir = "/tmp/vstack_chaos_test";
+        // Per-process dir: ctest runs each case as its own process,
+        // possibly concurrently; a shared fixed path would race.
+        dir = "/tmp/vstack_chaos_test." + std::to_string(getpid());
         std::filesystem::remove_all(dir);
         path = dir + "/j.jsonl";
     }

@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Campaign-accelerator tests: checkpoint/restore fast-forward and
+ * golden-trace early termination must be invisible in the results —
+ * every sample record bit-identical to the cold path — across all
+ * three injection layers, all execution modes, and resume.
+ */
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "arch/pvf.h"
+#include "compiler/compile.h"
+#include "gefin/campaign.h"
+#include "kernel/kernel.h"
+#include "support/logging.h"
+#include "swfi/svf.h"
+#include "workloads/workloads.h"
+
+namespace vstack
+{
+namespace
+{
+
+Program
+systemImage(const std::string &wl, IsaId isa)
+{
+    mcl::BuildResult b =
+        mcl::buildUserProgram(findWorkload(wl).source, isa);
+    EXPECT_TRUE(b.ok) << b.error;
+    return buildSystemImage(buildKernel(isa), b.program);
+}
+
+bool
+operator==(const OutcomeCounts &a, const OutcomeCounts &b)
+{
+    return a.masked == b.masked && a.sdc == b.sdc && a.crash == b.crash &&
+           a.detected == b.detected &&
+           a.injectorErrors == b.injectorErrors;
+}
+
+bool
+operator==(const UarchCampaignResult &a, const UarchCampaignResult &b)
+{
+    return a.outcomes == b.outcomes && a.fpms.wd == b.fpms.wd &&
+           a.fpms.wi == b.fpms.wi && a.fpms.woi == b.fpms.woi &&
+           a.fpms.esc == b.fpms.esc && a.hwMasked == b.hwMasked &&
+           a.samples == b.samples;
+}
+
+exec::CheckpointPolicy
+disabledPolicy()
+{
+    exec::CheckpointPolicy p;
+    p.enabled = false;
+    p.earlyStop = false;
+    return p;
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    out.assign(std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>());
+    return true;
+}
+
+// ---- microarchitectural layer ----------------------------------------------
+
+TEST(CheckpointUarchTest, RestoredRunsMatchColdPerCoreAndStructure)
+{
+    struct Case
+    {
+        const char *core;
+        const char *wl;
+        IsaId isa;
+    };
+    for (const Case &c : {Case{"ax72", "sha", IsaId::Av64},
+                          Case{"ax9", "qsort", IsaId::Av32}}) {
+        UarchCampaign campaign(coreByName(c.core),
+                               systemImage(c.wl, c.isa));
+        campaign.ensureTrace();
+        ASSERT_TRUE(campaign.trace().recorded());
+        CycleSim accel(coreByName(c.core));
+        CycleSim cold(coreByName(c.core));
+        for (Structure s : allStructures) {
+            for (const FaultSite &site :
+                 campaign.sampleSites(s, 6, 21)) {
+                Visibility va, vc;
+                const Outcome oa = campaign.runOneOn(accel, site, va);
+                const Outcome oc =
+                    campaign.runOneColdOn(cold, site, vc);
+                ASSERT_EQ(oa, oc)
+                    << c.core << "/" << structureName(s) << " cycle "
+                    << site.cycle << " bit " << site.bit;
+                ASSERT_EQ(va.visible, vc.visible);
+                if (va.visible) {
+                    ASSERT_EQ(va.fpm, vc.fpm);
+                    ASSERT_EQ(va.cycle, vc.cycle);
+                }
+            }
+        }
+    }
+}
+
+TEST(CheckpointUarchTest, AcceleratedCampaignMatchesColdAcrossExecModes)
+{
+    const Program image = systemImage("sha", IsaId::Av64);
+    UarchCampaign accel(coreByName("ax72"), image);
+    UarchCampaign cold(coreByName("ax72"), image);
+    cold.setCheckpointPolicy(disabledPolicy());
+
+    const auto ref = cold.run(Structure::RF, 40, 7);
+    EXPECT_TRUE(ref == accel.run(Structure::RF, 40, 7));
+
+    exec::ExecConfig four;
+    four.jobs = 4;
+    EXPECT_TRUE(ref == accel.run(Structure::RF, 40, 7, four));
+
+    exec::ExecConfig iso;
+    iso.isolate = true;
+    iso.jobs = 2;
+    iso.sandbox.batch = 8;
+    EXPECT_TRUE(ref == accel.run(Structure::RF, 40, 7, iso));
+}
+
+TEST(CheckpointUarchTest, EarlyStopMatchesRunToExitAcrossSeeds)
+{
+    const Program image = systemImage("qsort", IsaId::Av64);
+    UarchCampaign stopping(coreByName("ax72"), image);
+    UarchCampaign running(coreByName("ax72"), image);
+    exec::CheckpointPolicy noStop;
+    noStop.earlyStop = false;
+    running.setCheckpointPolicy(noStop);
+    for (uint64_t seed : {1, 2, 3, 4}) {
+        EXPECT_TRUE(running.run(Structure::RF, 25, seed) ==
+                    stopping.run(Structure::RF, 25, seed))
+            << "seed " << seed;
+    }
+}
+
+TEST(CheckpointUarchTest, ResumeMatchesUninterrupted)
+{
+    const std::string dir =
+        "/tmp/vstack_ckpt_resume_test." + std::to_string(getpid());
+    std::filesystem::remove_all(dir);
+    UarchCampaign campaign(coreByName("ax72"),
+                           systemImage("qsort", IsaId::Av64));
+    ASSERT_TRUE(campaign.checkpointPolicy().enabled)
+        << "acceleration must be the default";
+    const auto uninterrupted = campaign.run(Structure::RF, 30, 3);
+
+    // Journal a full accelerated run, then chop the journal to a
+    // prefix to model a kill mid-campaign.
+    const std::string path = exec::Journal::pathFor(dir, "ck");
+    {
+        exec::Journal j;
+        ASSERT_TRUE(j.open(path, "ck", 30, 3, false));
+        exec::ExecConfig ec;
+        ec.journal = &j;
+        campaign.run(Structure::RF, 30, 3, ec);
+    }
+    std::string text;
+    ASSERT_TRUE(readFile(path, text));
+    size_t cut = 0;
+    for (int lines = 0; lines < 12; ++lines)
+        cut = text.find('\n', cut) + 1;
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << text.substr(0, cut);
+    }
+
+    exec::Journal j;
+    ASSERT_TRUE(j.open(path, "ck", 30, 3, true));
+    EXPECT_EQ(j.replayed(), 11u);
+    exec::ExecConfig ec;
+    ec.journal = &j;
+    ec.jobs = 2;
+    EXPECT_TRUE(campaign.run(Structure::RF, 30, 3, ec) == uninterrupted);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CheckpointUarchTest, SampleSitesStayInLiveCycleRange)
+{
+    UarchCampaign campaign(coreByName("ax72"),
+                           systemImage("sha", IsaId::Av64));
+    const uint64_t cycles = campaign.golden().cycles;
+    ASSERT_GT(cycles, 1u);
+    for (const FaultSite &site :
+         campaign.sampleSites(Structure::RF, 400, 17)) {
+        // The exit cycle itself is dead: a flip there can never
+        // manifest, and the checkpoint trace has no grid past it.
+        EXPECT_GE(site.cycle, 1u);
+        EXPECT_LE(site.cycle, cycles - 1);
+    }
+}
+
+TEST(CheckpointUarchTest, VerifyCheckpointAuditPasses)
+{
+    UarchCampaign campaign(coreByName("ax72"),
+                           systemImage("sha", IsaId::Av64));
+    exec::CheckpointPolicy p;
+    p.verifyPercent = 100.0;
+    campaign.setCheckpointPolicy(p);
+    EXPECT_NO_THROW(campaign.run(Structure::RF, 20, 3));
+}
+
+TEST(CheckpointUarchTest, VerifyCheckpointDetectsForcedDivergence)
+{
+    UarchCampaign campaign(coreByName("ax72"),
+                           systemImage("sha", IsaId::Av64));
+    exec::CheckpointPolicy p;
+    p.verifyPercent = 100.0;
+    campaign.setCheckpointPolicy(p);
+    campaign.ensureTrace();
+    // Corrupt the recorded golden result: every early-stopped sample
+    // now synthesizes a wrong exit code and classifies differently
+    // from its cold reference, which the 100% audit must catch.
+    const_cast<UarchRunResult &>(campaign.trace().final)
+        .output.exitCode ^= 0x40;
+    EXPECT_THROW(campaign.run(Structure::RF, 30, 3),
+                 CheckpointDivergence);
+}
+
+// ---- architectural layer (PVF) ---------------------------------------------
+
+TEST(CheckpointPvfTest, RestoredRunsMatchCold)
+{
+    ArchConfig cfg;
+    cfg.isa = IsaId::Av64;
+    PvfCampaign campaign(systemImage("sha", IsaId::Av64), cfg);
+    campaign.ensureTrace();
+    ASSERT_TRUE(campaign.trace().recorded());
+    ArchSim accel(cfg);
+    ArchSim cold(cfg);
+    for (Fpm f : {Fpm::WD, Fpm::WI, Fpm::WOI}) {
+        for (uint64_t seed = 1; seed <= 10; ++seed) {
+            Rng ra(seed * 77 + static_cast<uint64_t>(f));
+            Rng rc(seed * 77 + static_cast<uint64_t>(f));
+            ASSERT_EQ(campaign.runOneOn(accel, f, ra),
+                      campaign.runOneColdOn(cold, f, rc))
+                << fpmName(f) << " seed " << seed;
+        }
+    }
+}
+
+TEST(CheckpointPvfTest, AcceleratedCampaignMatchesColdAcrossSeeds)
+{
+    ArchConfig cfg;
+    cfg.isa = IsaId::Av64;
+    const Program image = systemImage("qsort", IsaId::Av64);
+    PvfCampaign accel(image, cfg);
+    PvfCampaign cold(image, cfg);
+    cold.setCheckpointPolicy(disabledPolicy());
+    for (uint64_t seed : {5, 6}) {
+        const auto ref = cold.run(Fpm::WD, 30, seed);
+        EXPECT_TRUE(ref == accel.run(Fpm::WD, 30, seed));
+        exec::ExecConfig four;
+        four.jobs = 4;
+        EXPECT_TRUE(ref == accel.run(Fpm::WD, 30, seed, four));
+    }
+}
+
+TEST(CheckpointPvfTest, VerifyCheckpointDetectsForcedDivergence)
+{
+    ArchConfig cfg;
+    cfg.isa = IsaId::Av64;
+    PvfCampaign campaign(systemImage("sha", IsaId::Av64), cfg);
+    exec::CheckpointPolicy p;
+    p.verifyPercent = 100.0;
+    campaign.setCheckpointPolicy(p);
+    campaign.ensureTrace();
+    // Shift every golden DMA-length mark: an early-stopped clean
+    // sample now fails the emitted-prefix comparison and classifies
+    // Sdc, diverging from its cold (Masked) reference.
+    for (uint64_t &len :
+         const_cast<ArchTrace &>(campaign.trace()).dmaLens)
+        len += 1;
+    EXPECT_THROW(campaign.run(Fpm::WD, 40, 3), CheckpointDivergence);
+}
+
+// ---- software layer (SVF) --------------------------------------------------
+
+TEST(CheckpointSvfTest, RestoredRunsMatchCold)
+{
+    mcl::FrontendResult fr =
+        mcl::compileToIr(findWorkload("sha").source, 64);
+    ASSERT_TRUE(fr.ok);
+    SvfCampaign campaign(fr.module);
+    campaign.ensureTrace();
+    ASSERT_TRUE(campaign.trace().recorded());
+    IrInterp accel(fr.module);
+    IrInterp cold(fr.module);
+    Rng rng(99);
+    for (int i = 0; i < 25; ++i) {
+        const uint64_t step =
+            rng.uniform(campaign.golden().valueSteps);
+        const int bit = static_cast<int>(rng.uniform(64));
+        ASSERT_EQ(campaign.runOneOn(accel, step, bit),
+                  campaign.runOneColdOn(cold, step, bit))
+            << "value step " << step << " bit " << bit;
+    }
+}
+
+TEST(CheckpointSvfTest, AcceleratedCampaignMatchesColdAcrossExecModes)
+{
+    mcl::FrontendResult fr =
+        mcl::compileToIr(findWorkload("qsort").source, 64);
+    ASSERT_TRUE(fr.ok);
+    SvfCampaign accel(fr.module);
+    SvfCampaign cold(fr.module);
+    cold.setCheckpointPolicy(disabledPolicy());
+
+    const auto ref = cold.run(60, 13);
+    EXPECT_TRUE(ref == accel.run(60, 13));
+
+    exec::ExecConfig four;
+    four.jobs = 4;
+    EXPECT_TRUE(ref == accel.run(60, 13, four));
+
+    exec::ExecConfig iso;
+    iso.isolate = true;
+    iso.jobs = 2;
+    iso.sandbox.batch = 8;
+    EXPECT_TRUE(ref == accel.run(60, 13, iso));
+}
+
+TEST(CheckpointSvfTest, VerifyCheckpointAuditPasses)
+{
+    mcl::FrontendResult fr =
+        mcl::compileToIr(findWorkload("sha").source, 64);
+    ASSERT_TRUE(fr.ok);
+    SvfCampaign campaign(fr.module);
+    exec::CheckpointPolicy p;
+    p.verifyPercent = 100.0;
+    campaign.setCheckpointPolicy(p);
+    EXPECT_NO_THROW(campaign.run(40, 13));
+}
+
+TEST(CheckpointSvfTest, VerifyCheckpointDetectsForcedDivergence)
+{
+    mcl::FrontendResult fr =
+        mcl::compileToIr(findWorkload("sha").source, 64);
+    ASSERT_TRUE(fr.ok);
+    SvfCampaign campaign(fr.module);
+    exec::CheckpointPolicy p;
+    p.verifyPercent = 100.0;
+    campaign.setCheckpointPolicy(p);
+    campaign.ensureTrace();
+    const_cast<InterpResult &>(campaign.trace().final).exitCode ^= 0x40;
+    EXPECT_THROW(campaign.run(40, 13), CheckpointDivergence);
+}
+
+} // namespace
+} // namespace vstack

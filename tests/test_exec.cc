@@ -21,6 +21,8 @@
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
 #include "exec/error.h"
 #include "exec/executor.h"
 #include "exec/journal.h"
@@ -250,7 +252,9 @@ class JournalTest : public ::testing::Test
   protected:
     void SetUp() override
     {
-        dir = "/tmp/vstack_journal_test";
+        // Per-process dir: ctest runs each case as its own process,
+        // possibly concurrently; a shared fixed path would race.
+        dir = "/tmp/vstack_journal_test." + std::to_string(getpid());
         std::filesystem::remove_all(dir);
         path = dir + "/j.jsonl";
     }

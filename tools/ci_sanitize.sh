@@ -4,6 +4,8 @@
 #   - address + undefined: full tier-1 test suite
 #   - address: sandbox-isolation smoke + failpoint chaos smoke (the
 #     storage recovery paths and one end-to-end CLI chaos schedule)
+#     + checkpoint smoke (the snapshot/restore fast-forward path and
+#     a verified CLI campaign)
 #   - thread: the campaign-executor tests (test_exec + the parallel
 #     campaign determinism tests), i.e. everything that exercises the
 #     worker pool in src/exec
@@ -51,6 +53,19 @@ echo "=== chaos smoke [address]"
 ctest --test-dir "${prefix}-address" --output-on-failure -j "${jobs}" \
       -R 'Chaos'
 tools/chaos_campaign.sh --smoke "${prefix}-address"
+
+echo "=== checkpoint smoke [address]"
+# The checkpoint accelerator under ASan: snapshot/restore shares COW
+# memory pages across std::shared_ptr chains and splices golden-trace
+# suffixes into early-terminated results — the classic habitat of
+# use-after-free and off-by-one reads.  The ctest stage runs the
+# restored-vs-cold and byte-identity suites; the CLI run exercises the
+# end-to-end checkpointed path with a 100% cold verification audit, so
+# every sample is simulated both ways under the sanitizer.
+ctest --test-dir "${prefix}-address" --output-on-failure -j "${jobs}" \
+      -R 'Checkpoint'
+VSTACK_RESULTS= "${prefix}-address/tools/vstack" campaign sha \
+    --core ax9 -n 24 --seed 7 --verify-checkpoint=100 > /dev/null
 
 dir="${prefix}-thread"
 build thread "${dir}"

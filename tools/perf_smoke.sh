@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Checkpoint-accelerator performance smoke: assert that the
+# accelerated campaign path is (a) byte-identical to the cold path and
+# (b) at least MIN_SPEEDUP times faster end-to-end, then emit the
+# measurements as BENCH_checkpoint.json for trend tracking.
+#
+# Usage: tools/perf_smoke.sh [build-dir]
+#
+#   build-dir     defaults to ./build (must already contain tools/vstack)
+#   MIN_SPEEDUP   env override of the asserted ratio (default 5.0)
+#   FAULTS        env override of the campaign size (default 256)
+#
+# Exits non-zero if the reports differ or the speedup falls short.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build="${1:-build}"
+vstack="${build}/tools/vstack"
+[ -x "${vstack}" ] || {
+    echo "error: ${vstack} not built (run: cmake -B ${build} -S . && cmake --build ${build} -j)" >&2
+    exit 2
+}
+
+min_speedup="${MIN_SPEEDUP:-5.0}"
+faults="${FAULTS:-256}"
+out="$(mktemp -d /tmp/vstack_perf_smoke.XXXXXX)"
+trap 'rm -rf "${out}"' EXIT
+
+# Results dir off: every sample must actually simulate (a cache hit
+# would time the filesystem, and a journal would leak across runs).
+# Best-of-REPS wall time: minimum filters out scheduler noise, which
+# at a 5x threshold is otherwise enough to flake the assertion.
+reps="${REPS:-3}"
+run() { # run <tag> <extra args...>
+    local tag="$1"
+    shift
+    local best=-1 t0 t1 ms i
+    for ((i = 0; i < reps; i++)); do
+        t0="$(date +%s%N)"
+        VSTACK_RESULTS= "${vstack}" campaign sha --core ax72 \
+            -n "${faults}" --seed 42 "$@" \
+            > "${out}/uarch.${tag}" 2> /dev/null
+        t1="$(date +%s%N)"
+        ms=$(((t1 - t0) / 1000000))
+        if ((best < 0 || ms < best)); then best=${ms}; fi
+    done
+    echo "${best}"
+}
+
+echo "== uarch campaign: sha/ax72/RF, n=${faults}, jobs=1"
+cold_ms="$(run cold --no-checkpoint)"
+accel_ms="$(run accel)"
+echo "   cold ${cold_ms} ms, accelerated ${accel_ms} ms"
+
+echo "== byte-identity: accelerated vs cold campaign report"
+cmp "${out}/uarch.cold" "${out}/uarch.accel" || {
+    echo "error: accelerated report differs from cold report" >&2
+    exit 1
+}
+
+# SVF byte-identity rides along (its speedup is not asserted: the
+# interpreter's runs are short enough that fixed costs dominate).
+echo "== svf campaign byte-identity, n=${faults}"
+VSTACK_RESULTS= "${vstack}" svf sha -n "${faults}" --seed 42 \
+    --no-checkpoint > "${out}/svf.cold" 2> /dev/null
+VSTACK_RESULTS= "${vstack}" svf sha -n "${faults}" --seed 42 \
+    > "${out}/svf.accel" 2> /dev/null
+cmp "${out}/svf.cold" "${out}/svf.accel" || {
+    echo "error: accelerated SVF report differs from cold report" >&2
+    exit 1
+}
+
+speedup="$(awk -v c="${cold_ms}" -v a="${accel_ms}" \
+    'BEGIN { printf "%.2f", (a + 0 > 0) ? c / a : 0 }')"
+echo "== speedup: ${speedup}x (required >= ${min_speedup}x)"
+
+cat > BENCH_checkpoint.json <<EOF
+{
+  "bench": "checkpoint_accelerator",
+  "workload": "sha",
+  "core": "ax72",
+  "structure": "RF",
+  "faults": ${faults},
+  "cold_ms": ${cold_ms},
+  "accelerated_ms": ${accel_ms},
+  "speedup": ${speedup},
+  "min_speedup": ${min_speedup},
+  "byte_identical": true
+}
+EOF
+echo "== wrote BENCH_checkpoint.json"
+
+awk -v s="${speedup}" -v m="${min_speedup}" \
+    'BEGIN { exit !(s + 0 >= m + 0) }' || {
+    echo "error: speedup ${speedup}x below required ${min_speedup}x" >&2
+    exit 1
+}
+echo "== perf smoke passed"

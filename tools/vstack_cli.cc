@@ -86,6 +86,8 @@ struct Args
     double watchdog = 4.0;
     bool isolate = false;
     double verifyReplay = 0.0;
+    bool checkpoint = true;
+    double verifyCheckpoint = 0.0;
 };
 
 [[noreturn]] void
@@ -104,7 +106,11 @@ usage()
         "         --isolate (sandbox each sample batch in a forked,\n"
         "                    resource-limited child)\n"
         "         --verify-replay=P (re-simulate P%% of journal-replayed\n"
-        "                    samples; abort on any divergence)\n");
+        "                    samples; abort on any divergence)\n"
+        "         --no-checkpoint (disable checkpoint fast-forward and\n"
+        "                    golden-trace early termination)\n"
+        "         --verify-checkpoint=P (re-run P%% of checkpointed\n"
+        "                    samples cold; abort on any divergence)\n");
     std::exit(2);
 }
 
@@ -145,6 +151,7 @@ parseArgs(int argc, char **argv)
 {
     Args a;
     bool verifyReplayGiven = false;
+    bool verifyCheckpointGiven = false;
     if (argc < 2)
         usage();
     a.command = argv[1];
@@ -172,6 +179,19 @@ parseArgs(int argc, char **argv)
             verifyReplayGiven = true;
             continue;
         }
+        // --verify-checkpoint likewise (either =P or a separate arg).
+        if (flag.rfind("--verify-checkpoint", 0) == 0) {
+            std::string v;
+            if (flag.size() > 19 && flag[19] == '=')
+                v = flag.substr(20);
+            else if (flag.size() == 19)
+                v = value();
+            else
+                usage();
+            a.verifyCheckpoint = doubleValue("--verify-checkpoint", v);
+            verifyCheckpointGiven = true;
+            continue;
+        }
         if (flag == "--isa")
             a.isa = value();
         else if (flag == "--core")
@@ -190,6 +210,8 @@ parseArgs(int argc, char **argv)
             a.watchdog = doubleValue(flag, value());
         else if (flag == "--isolate")
             a.isolate = true;
+        else if (flag == "--no-checkpoint")
+            a.checkpoint = false;
         else if (flag == "--resume")
             a.resume = true;
         else if (flag == "--harden")
@@ -213,6 +235,17 @@ parseArgs(int argc, char **argv)
     if (a.verifyReplay > 100.0)
         fatal("--verify-replay must be a percentage in [0, 100], got %g",
               a.verifyReplay);
+    // VSTACK_CHECKPOINT=0 complements --no-checkpoint; the flag wins
+    // when both are given (it can only disable).
+    if (!envFlagStrict("VSTACK_CHECKPOINT", true))
+        a.checkpoint = false;
+    if (!verifyCheckpointGiven)
+        a.verifyCheckpoint =
+            envDoubleStrict("VSTACK_VERIFY_CHECKPOINT", 0.0, 0.0);
+    if (a.verifyCheckpoint > 100.0)
+        fatal("--verify-checkpoint must be a percentage in [0, 100], "
+              "got %g",
+              a.verifyCheckpoint);
     return a;
 }
 
@@ -370,6 +403,21 @@ struct ProgressLine
     }
 };
 
+/** Checkpoint accelerator policy for a CLI campaign: on by default,
+ *  disabled by --no-checkpoint / VSTACK_CHECKPOINT=0, audited by
+ *  --verify-checkpoint / VSTACK_VERIFY_CHECKPOINT. */
+exec::CheckpointPolicy
+cliCheckpointPolicy(const Args &a)
+{
+    exec::CheckpointPolicy p;
+    p.enabled = a.checkpoint;
+    p.checkpoints = static_cast<unsigned>(
+        envIntStrict("VSTACK_CHECKPOINTS", 16, 1));
+    p.earlyStop = a.checkpoint;
+    p.verifyPercent = a.verifyCheckpoint;
+    return p;
+}
+
 /**
  * Execution policy for a CLI campaign: worker threads from --jobs, a
  * live progress line, and a resume journal under $VSTACK_RESULTS
@@ -440,6 +488,7 @@ cmdCampaign(const Args &a)
     Program sys = buildSystem(a, loadSource(a.target), core.isa);
     UarchCampaign campaign(core, sys);
     campaign.setWatchdog({a.watchdog, 50'000});
+    campaign.setCheckpointPolicy(cliCheckpointPolicy(a));
     std::printf("golden: %llu cycles, %llu insts\n",
                 static_cast<unsigned long long>(campaign.golden().cycles),
                 static_cast<unsigned long long>(campaign.golden().insts));
@@ -490,6 +539,7 @@ cmdSvf(const Args &a)
     ir::Module m = buildIr(a, loadSource(a.target), 64);
     SvfCampaign campaign(m);
     campaign.setWatchdog({a.watchdog, 100'000});
+    campaign.setCheckpointPolicy(cliCheckpointPolicy(a));
 
     OutcomeCounts c;
     exec::Journal journal;
@@ -560,6 +610,12 @@ main(int argc, char **argv)
         // The journal does not describe this campaign (corruption the
         // checksums cannot see, changed simulator code, or lost
         // determinism): refuse to emit numbers built on it.
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 3;
+    } catch (const CheckpointDivergence &e) {
+        // An accelerated sample disagreed with its cold reference run:
+        // the checkpoint path is unsound for this build, so refuse to
+        // emit numbers built on it (same contract as replay audits).
         std::fprintf(stderr, "error: %s\n", e.what());
         return 3;
     } catch (const SimError &e) {
