@@ -25,6 +25,11 @@ main()
            "Size-weighted (FIT) vs arithmetic-mean benchmark AVF, ax72",
            stack);
 
+    CampaignPlan plan;
+    for (const std::string &wl : workloadNames())
+        plan.addUarchAll("ax72", {wl, false});
+    prefetch(stack, plan);
+
     CycleSim sizer(coreByName("ax72"));
     Table t("weighted vs unweighted");
     t.header({"benchmark", "weighted AVF", "plain mean AVF", "ratio"});

@@ -19,6 +19,13 @@ main()
            "qsort (paper: the layers report opposite pictures)",
            stack);
 
+    CampaignPlan plan;
+    for (const char *wl : {"sha", "qsort"}) {
+        plan.addSvf({wl, false});
+        plan.addUarchAll("ax72", {wl, false});
+    }
+    prefetch(stack, plan);
+
     Table sw("Software-layer analysis (SVF, LLFI analog)");
     sw.header({"benchmark", "SDC", "Crash", "total"});
     Table avf("Cross-layer analysis (AVF, ax72, size-weighted)");

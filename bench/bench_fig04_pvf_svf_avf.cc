@@ -19,6 +19,15 @@ main()
            "Note the paper plots PVF/SVF and AVF on different scales.",
            stack);
 
+    CampaignPlan plan;
+    for (const std::string &wl : workloadNames()) {
+        const Variant v{wl, false};
+        plan.addPvf(IsaId::Av64, v, Fpm::WD);
+        plan.addSvf(v);
+        plan.addUarchAll("ax72", v);
+    }
+    prefetch(stack, plan);
+
     struct Row
     {
         std::string wl;

@@ -19,6 +19,13 @@ main()
            "HVF per structure with FPM breakdown (ax9 and ax15)",
            stack);
 
+    CampaignPlan plan;
+    for (const char *coreName : {"ax9", "ax15"})
+        for (Structure s : allStructures)
+            for (const std::string &wl : workloadNames())
+                plan.addUarch(coreName, {wl, false}, s);
+    prefetch(stack, plan);
+
     for (const char *coreName : {"ax9", "ax15"}) {
         for (Structure s : allStructures) {
             Table t(strprintf("%s %s: HVF and FPM mix", coreName,

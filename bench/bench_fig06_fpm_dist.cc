@@ -17,6 +17,12 @@ main()
            "Size-weighted FPM distribution across the four cores",
            stack);
 
+    CampaignPlan plan;
+    for (const CoreConfig &core : allCores())
+        for (const std::string &wl : workloadNames())
+            plan.addUarchAll(core.name, {wl, false});
+    prefetch(stack, plan);
+
     double escSum = 0, escMax = 0;
     int cells = 0;
     for (const CoreConfig &core : allCores()) {

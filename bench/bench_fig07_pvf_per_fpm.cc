@@ -16,6 +16,15 @@ main()
     VulnerabilityStack stack(EnvConfig::fromEnvironment());
     banner("Fig. 7", "PVF per FPM (av64), SDC/Crash split", stack);
 
+    CampaignPlan plan;
+    for (const std::string &wl : workloadNames()) {
+        const Variant v{wl, false};
+        plan.addPvf(IsaId::Av64, v, Fpm::WD);
+        plan.addPvf(IsaId::Av64, v, Fpm::WOI);
+        plan.addPvf(IsaId::Av64, v, Fpm::WI);
+    }
+    prefetch(stack, plan);
+
     Table t("PVF per FPM");
     t.header({"benchmark", "WD SDC", "WD Crash", "WOI SDC", "WOI Crash",
               "WI SDC", "WI Crash"});

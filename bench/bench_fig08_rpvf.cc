@@ -16,6 +16,18 @@ main()
     VulnerabilityStack stack(EnvConfig::fromEnvironment());
     banner("Fig. 8", "rPVF vs cross-layer AVF across cores", stack);
 
+    CampaignPlan plan;
+    for (const std::string &wl : workloadNames()) {
+        const Variant v{wl, false};
+        for (const CoreConfig &core : allCores()) {
+            plan.addUarchAll(core.name, v);
+            plan.addPvf(core.isa, v, Fpm::WD);
+            plan.addPvf(core.isa, v, Fpm::WI);
+            plan.addPvf(core.isa, v, Fpm::WOI);
+        }
+    }
+    prefetch(stack, plan);
+
     Table t("rPVF (left) vs AVF (right)");
     t.header({"benchmark", "core", "rPVF SDC", "rPVF Crash", "rPVF tot",
               "AVF SDC", "AVF Crash", "AVF tot"});

@@ -17,6 +17,15 @@ main()
            "Crash-only and SDC-only vulnerability per layer (av64/ax72)",
            stack);
 
+    CampaignPlan plan;
+    for (const std::string &wl : workloadNames()) {
+        const Variant v{wl, false};
+        plan.addSvf(v);
+        plan.addPvf(IsaId::Av64, v, Fpm::WD);
+        plan.addUarchAll("ax72", v);
+    }
+    prefetch(stack, plan);
+
     Table crash("Crash vulnerability per layer");
     crash.header({"benchmark", "SVF", "PVF", "AVF"});
     Table sdc("SDC vulnerability per layer");

@@ -42,6 +42,18 @@ main()
               "SVF~AVF effect", "SVF~PVF total"});
 
     const auto names = workloadNames();
+    CampaignPlan plan;
+    for (const CoreConfig &core : allCores()) {
+        for (const std::string &wl : names) {
+            const Variant v{wl, false};
+            plan.addUarchAll(core.name, v);
+            plan.addPvf(core.isa, v, Fpm::WD);
+            if (core.isa == IsaId::Av64)
+                plan.addSvf(v);
+        }
+    }
+    prefetch(stack, plan);
+
     for (const CoreConfig &core : allCores()) {
         std::vector<double> avfTot, pvfTot, svfTot;
         int pvfEff = 0, svfEff = 0;

@@ -29,19 +29,7 @@ Outcome
 classifyRun(StopReason stop, const DeviceOutput &out, const GoldenRef &golden)
 {
     assert(golden.valid);
-    switch (stop) {
-      case StopReason::DetectHit:
-        return Outcome::Detected;
-      case StopReason::Exception:
-      case StopReason::Watchdog:
-      case StopReason::Running:
-        return Outcome::Crash;
-      case StopReason::Exited:
-        break;
-    }
-    if (out.dma != golden.dma || out.exitCode != golden.exitCode)
-        return Outcome::Sdc;
-    return Outcome::Masked;
+    return classifyDeviceRun(stop, out, golden.dma, golden.exitCode);
 }
 
 PvfCampaign::PvfCampaign(Program image, ArchConfig cfg)
@@ -87,6 +75,10 @@ bitsForFpm(IsaId isa, uint32_t word, Fpm fpm)
 void
 PvfCampaign::ensureTrace()
 {
+    // Double-checked under the lock: suite prepare tasks may race a
+    // serial runOne(), and the recording pass mutates the campaign's
+    // own emulator.
+    std::lock_guard<std::mutex> lock(traceMu);
     if (!policy_.enabled || trace_.recorded())
         return;
     trace_.interval = policy_.digestInterval(golden_.insts);
@@ -291,77 +283,103 @@ PvfCampaign::runInjection(ArchSim &sim, Fpm fpm, Rng &rng, bool accel) const
     return finish(sim, accel);
 }
 
-OutcomeCounts
-PvfCampaign::run(Fpm fpm, size_t n, uint64_t seed,
-                 const exec::ExecConfig &ec)
+namespace
+{
+
+/** A worker's private functional emulator. */
+struct PvfCtx final : exec::LayerDriver::Ctx
+{
+    explicit PvfCtx(const ArchConfig &cfg) : sim(cfg) {}
+    ArchSim sim;
+};
+
+} // namespace
+
+PvfDriver::PvfDriver(PvfCampaign &campaign, Fpm fpm, size_t n,
+                     uint64_t seed)
+    : campaign(campaign), fpm(fpm), n(n)
 {
     // PVF injections draw from their RNG during the run, so instead
     // of a fault list we pre-derive each sample's fork seed (the i-th
     // master draw, a pure function of (seed, i)) — identical streams
-    // at any thread count.
+    // at any thread count.  The dispatch key is each fork's first
+    // draw (the target instruction), precomputable without running
+    // anything; the golden reference is immutable after campaign
+    // construction, so both live in the constructor.
     Rng master(seed);
-    std::vector<uint64_t> forkSeeds(n);
+    forkSeeds.resize(n);
     for (uint64_t &s : forkSeeds)
         s = master.next64();
+    keys.resize(n);
+    for (size_t i = 0; i < n; ++i)
+        keys[i] = Rng(forkSeeds[i]).uniform(campaign.golden().insts);
+}
 
-    ensureTrace();
+void
+PvfDriver::prepare()
+{
+    campaign.ensureTrace();
+}
 
-    exec::ExecConfig xc = ec;
-    const bool accelerated = policy_.enabled && trace_.recorded();
-    if (accelerated && !xc.scheduleKey) {
-        // Dispatch in injection-instruction order so consecutive
-        // samples on a worker restore the same checkpoint.  The target
-        // is each fork's first draw, so it can be precomputed without
-        // running anything (results still fold in index order).
-        auto keys = std::make_shared<std::vector<uint64_t>>(n);
-        for (size_t i = 0; i < n; ++i)
-            (*keys)[i] = Rng(forkSeeds[i]).uniform(golden_.insts);
-        xc.scheduleKey = [keys](size_t i) { return (*keys)[i]; };
-    }
+std::unique_ptr<exec::LayerDriver::Ctx>
+PvfDriver::makeCtx() const
+{
+    return std::make_unique<PvfCtx>(campaign.cfg);
+}
 
-    auto samples = exec::runSamples<Outcome>(
-        n, xc,
-        [this] { return std::make_unique<ArchSim>(cfg); },
-        [this, fpm, &forkSeeds](ArchSim &worker, size_t i) {
-            Rng r(forkSeeds[i]);
-            return runOneOn(worker, fpm, r);
-        },
-        [](Outcome o) { return Json(static_cast<int>(o)); },
-        [](const Json &j) { return static_cast<Outcome>(j.asInt()); });
+Json
+PvfDriver::runSample(Ctx &ctx, size_t i) const
+{
+    Rng r(forkSeeds[i]);
+    return Json(static_cast<int>(
+        campaign.runOneOn(static_cast<PvfCtx &>(ctx).sim, fpm, r)));
+}
 
-    // VSTACK_VERIFY_CHECKPOINT audit: re-run a deterministic subset
-    // cold (full prefix re-execution, no early termination) and
-    // require identical outcomes.
-    if (accelerated && policy_.verifyPercent > 0.0 &&
-        !exec::shutdownRequested()) {
-        std::unique_ptr<ArchSim> cold;
-        for (size_t i = 0; i < n; ++i) {
-            if (!samples[i] ||
-                !exec::verifyReplaySelected(i, policy_.verifyPercent))
-                continue;
-            if (!cold)
-                cold = std::make_unique<ArchSim>(cfg);
-            Rng r(forkSeeds[i]);
-            const Outcome o = runOneColdOn(*cold, fpm, r);
-            if (o != *samples[i]) {
-                throw CheckpointDivergence(strprintf(
-                    "verify-checkpoint: PVF sample %zu (%s) diverged "
-                    "from its cold re-run (cold %s, accelerated %s); "
-                    "the checkpoint path is unsound",
-                    i, fpmName(fpm), outcomeName(o),
-                    outcomeName(*samples[i])));
-            }
-        }
-    }
+Json
+PvfDriver::runSampleCold(Ctx &ctx, size_t i) const
+{
+    Rng r(forkSeeds[i]);
+    return Json(static_cast<int>(
+        campaign.runOneColdOn(static_cast<PvfCtx &>(ctx).sim, fpm, r)));
+}
 
-    OutcomeCounts counts;
-    for (const auto &s : samples) {
-        if (s)
-            counts.add(*s);
-        else
-            ++counts.injectorErrors;
-    }
-    return counts;
+bool
+PvfDriver::scheduled() const
+{
+    return campaign.checkpointPolicy().enabled &&
+           campaign.trace().recorded();
+}
+
+uint64_t
+PvfDriver::scheduleKey(size_t i) const
+{
+    return keys[i];
+}
+
+double
+PvfDriver::verifyPercent() const
+{
+    return scheduled() ? campaign.checkpointPolicy().verifyPercent : 0.0;
+}
+
+std::string
+PvfDriver::describeSample(size_t i) const
+{
+    return strprintf("PVF sample %zu (%s)", i, fpmName(fpm));
+}
+
+std::string
+PvfDriver::payloadName(const Json &payload) const
+{
+    return outcomeName(static_cast<Outcome>(payload.asInt()));
+}
+
+OutcomeCounts
+PvfCampaign::run(Fpm fpm, size_t n, uint64_t seed,
+                 const exec::ExecConfig &ec)
+{
+    PvfDriver driver(*this, fpm, n, seed);
+    return foldOutcomeSamples(exec::runDriver(driver, ec));
 }
 
 } // namespace vstack

@@ -22,9 +22,11 @@
 #ifndef VSTACK_ARCH_PVF_H
 #define VSTACK_ARCH_PVF_H
 
+#include <mutex>
 #include <vector>
 
 #include "arch/archsim.h"
+#include "exec/driver.h"
 #include "exec/executor.h"
 #include "machine/fpm.h"
 #include "machine/outcome.h"
@@ -43,7 +45,8 @@ struct GoldenRef
     bool valid = false;
 };
 
-/** Classify a finished run against the golden reference. */
+/** Classify a finished run against the golden reference (a thin
+ *  wrapper over the shared classifyDeviceRun in machine/outcome.h). */
 Outcome classifyRun(StopReason stop, const DeviceOutput &out,
                     const GoldenRef &golden);
 
@@ -124,6 +127,8 @@ class PvfCampaign
                       const exec::ExecConfig &ec = {});
 
   private:
+    friend class PvfDriver;
+
     Outcome runInjection(ArchSim &sim, Fpm fpm, Rng &rng,
                          bool accel) const;
     Outcome finish(ArchSim &sim, bool accel) const;
@@ -135,6 +140,37 @@ class PvfCampaign
     exec::WatchdogBudget watchdog{4.0, 10'000};
     exec::CheckpointPolicy policy_;
     ArchTrace trace_;
+    std::mutex traceMu; ///< serializes the recording pass
+};
+
+/**
+ * LayerDriver adapter: one (FPM, sample count, seed) PVF campaign.
+ * The journal payload is the bare Outcome integer the layer has
+ * always used, so journals and stores stay byte-compatible.
+ */
+class PvfDriver final : public exec::LayerDriver
+{
+  public:
+    PvfDriver(PvfCampaign &campaign, Fpm fpm, size_t n, uint64_t seed);
+
+    const char *layerName() const override { return "pvf"; }
+    size_t samples() const override { return n; }
+    void prepare() override;
+    std::unique_ptr<Ctx> makeCtx() const override;
+    Json runSample(Ctx &ctx, size_t i) const override;
+    Json runSampleCold(Ctx &ctx, size_t i) const override;
+    bool scheduled() const override;
+    uint64_t scheduleKey(size_t i) const override;
+    double verifyPercent() const override;
+    std::string describeSample(size_t i) const override;
+    std::string payloadName(const Json &payload) const override;
+
+  private:
+    PvfCampaign &campaign;
+    Fpm fpm;
+    size_t n;
+    std::vector<uint64_t> forkSeeds; ///< the i-th master draw
+    std::vector<uint64_t> keys;      ///< injection instruction per sample
 };
 
 } // namespace vstack

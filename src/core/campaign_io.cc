@@ -1,0 +1,169 @@
+#include "campaign_io.h"
+
+#include "support/logging.h"
+
+namespace vstack::campaign_io
+{
+
+Json
+countsToJson(const OutcomeCounts &c)
+{
+    Json j = Json::object();
+    j.set("masked", c.masked);
+    j.set("sdc", c.sdc);
+    j.set("crash", c.crash);
+    j.set("detected", c.detected);
+    if (c.injectorErrors)
+        j.set("injectorErrors", c.injectorErrors);
+    return j;
+}
+
+OutcomeCounts
+countsFromJson(const Json &j)
+{
+    OutcomeCounts c;
+    c.masked = static_cast<uint64_t>(j.at("masked").asInt());
+    c.sdc = static_cast<uint64_t>(j.at("sdc").asInt());
+    c.crash = static_cast<uint64_t>(j.at("crash").asInt());
+    c.detected = static_cast<uint64_t>(j.at("detected").asInt());
+    if (j.has("injectorErrors"))
+        c.injectorErrors =
+            static_cast<uint64_t>(j.at("injectorErrors").asInt());
+    return c;
+}
+
+Json
+uarchToJson(const UarchCampaignResult &r)
+{
+    Json j = Json::object();
+    j.set("outcomes", countsToJson(r.outcomes));
+    Json f = Json::object();
+    f.set("wd", r.fpms.wd);
+    f.set("wi", r.fpms.wi);
+    f.set("woi", r.fpms.woi);
+    f.set("esc", r.fpms.esc);
+    j.set("fpms", f);
+    j.set("hwMasked", r.hwMasked);
+    j.set("samples", r.samples);
+    return j;
+}
+
+UarchCampaignResult
+uarchFromJson(const Json &j)
+{
+    UarchCampaignResult r;
+    r.outcomes = countsFromJson(j.at("outcomes"));
+    const Json &f = j.at("fpms");
+    r.fpms.wd = static_cast<uint64_t>(f.at("wd").asInt());
+    r.fpms.wi = static_cast<uint64_t>(f.at("wi").asInt());
+    r.fpms.woi = static_cast<uint64_t>(f.at("woi").asInt());
+    r.fpms.esc = static_cast<uint64_t>(f.at("esc").asInt());
+    r.hwMasked = static_cast<uint64_t>(j.at("hwMasked").asInt());
+    r.samples = static_cast<uint64_t>(j.at("samples").asInt());
+    return r;
+}
+
+Json
+goldenToJson(const UarchGolden &g)
+{
+    Json j = Json::object();
+    j.set("cycles", g.cycles);
+    j.set("insts", g.insts);
+    j.set("kernelInsts", g.kernelInsts);
+    j.set("kernelCycles", g.kernelCycles);
+    j.set("exitCode", g.exitCode);
+    return j; // DMA bytes not cached; only stats are consumed
+}
+
+UarchGolden
+goldenFromJson(const Json &j)
+{
+    UarchGolden g;
+    g.cycles = static_cast<uint64_t>(j.at("cycles").asInt());
+    g.insts = static_cast<uint64_t>(j.at("insts").asInt());
+    g.kernelInsts = static_cast<uint64_t>(j.at("kernelInsts").asInt());
+    g.kernelCycles = static_cast<uint64_t>(j.at("kernelCycles").asInt());
+    g.exitCode = static_cast<uint32_t>(j.at("exitCode").asInt());
+    return g;
+}
+
+std::string
+uarchKey(const EnvConfig &cfg, const std::string &core, const Variant &v,
+         Structure s)
+{
+    return strprintf("uarch/%s/%s/%s/%s/n%zu/seed%llu", SCHEMA,
+                     core.c_str(), v.tag().c_str(), structureName(s),
+                     cfg.uarchFaults,
+                     static_cast<unsigned long long>(cfg.seed));
+}
+
+std::string
+pvfKey(const EnvConfig &cfg, IsaId isa, const Variant &v, Fpm fpm)
+{
+    return strprintf("pvf/%s/%s/%s/%s/n%zu/seed%llu", SCHEMA,
+                     isaName(isa), v.tag().c_str(), fpmName(fpm),
+                     cfg.archFaults,
+                     static_cast<unsigned long long>(cfg.seed));
+}
+
+std::string
+svfKey(const EnvConfig &cfg, const Variant &v)
+{
+    return strprintf("svf/%s/%s/n%zu/seed%llu", SCHEMA, v.tag().c_str(),
+                     cfg.swFaults,
+                     static_cast<unsigned long long>(cfg.seed));
+}
+
+std::string
+goldenKey(const std::string &core, const Variant &v)
+{
+    return strprintf("golden/%s/%s/%s", SCHEMA, core.c_str(),
+                     v.tag().c_str());
+}
+
+exec::CheckpointPolicy
+checkpointPolicy(const EnvConfig &cfg)
+{
+    exec::CheckpointPolicy policy;
+    policy.enabled = cfg.checkpoint;
+    policy.checkpoints = cfg.checkpoints;
+    policy.earlyStop = cfg.checkpoint;
+    policy.verifyPercent = cfg.verifyCheckpoint;
+    return policy;
+}
+
+exec::WatchdogBudget
+uarchWatchdog(const EnvConfig &cfg)
+{
+    return {cfg.watchdogFactor, 50'000};
+}
+
+exec::WatchdogBudget
+pvfWatchdog(const EnvConfig &cfg)
+{
+    return {cfg.watchdogFactor, 10'000};
+}
+
+exec::WatchdogBudget
+svfWatchdog(const EnvConfig &cfg)
+{
+    return {cfg.watchdogFactor, 100'000};
+}
+
+exec::ExecConfig
+execPolicy(const EnvConfig &cfg, exec::Journal &journal,
+           const std::string &key, size_t n)
+{
+    exec::ExecConfig ec;
+    ec.jobs = cfg.jobs;
+    ec.isolate = cfg.isolate;
+    ec.verifyReplay = cfg.verifyReplay;
+    journal.setFsync(cfg.journalFsync);
+    if (!cfg.resultsDir.empty() &&
+        journal.open(exec::Journal::pathFor(cfg.resultsDir, key), key, n,
+                     cfg.seed, cfg.resume))
+        ec.journal = &journal;
+    return ec;
+}
+
+} // namespace vstack::campaign_io

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shared campaign memoisation schema.
+ *
+ * Result-store keys, the JSON codecs of cached campaign results, and
+ * the per-layer execution policy (watchdog slack, checkpoint policy,
+ * journal wiring) used by both the per-metric VulnerabilityStack
+ * entry points and the suite scheduler (core/suite.h).  Keeping every
+ * caller on this one module is what guarantees a suite's store
+ * entries are byte-identical to the serial path's: same key bytes,
+ * same encoder, same policy.
+ */
+#ifndef VSTACK_CORE_CAMPAIGN_IO_H
+#define VSTACK_CORE_CAMPAIGN_IO_H
+
+#include <string>
+
+#include "exec/executor.h"
+#include "gefin/campaign.h"
+#include "isa/isa.h"
+#include "machine/fpm.h"
+#include "machine/outcome.h"
+#include "support/env.h"
+#include "support/json.h"
+
+namespace vstack
+{
+
+/** A workload variant: baseline or FT-hardened. */
+struct Variant
+{
+    std::string workload;
+    bool hardened = false;
+
+    std::string tag() const
+    {
+        return workload + (hardened ? "-ft" : "");
+    }
+};
+
+namespace campaign_io
+{
+
+/** Result-store schema version embedded in every key. */
+constexpr const char *SCHEMA = "v1";
+
+/** @name Cached-result JSON codecs @{ */
+Json countsToJson(const OutcomeCounts &c);
+OutcomeCounts countsFromJson(const Json &j);
+Json uarchToJson(const UarchCampaignResult &r);
+UarchCampaignResult uarchFromJson(const Json &j);
+/** DMA bytes are not cached; only the statistics are consumed. */
+Json goldenToJson(const UarchGolden &g);
+UarchGolden goldenFromJson(const Json &j);
+/** @} */
+
+/** @name Result-store keys (byte-stable; changing one orphans every
+ *  cached campaign under the old bytes) @{ */
+std::string uarchKey(const EnvConfig &cfg, const std::string &core,
+                     const Variant &v, Structure s);
+std::string pvfKey(const EnvConfig &cfg, IsaId isa, const Variant &v,
+                   Fpm fpm);
+std::string svfKey(const EnvConfig &cfg, const Variant &v);
+std::string goldenKey(const std::string &core, const Variant &v);
+/** @} */
+
+/** Checkpoint-accelerator policy derived from the environment. */
+exec::CheckpointPolicy checkpointPolicy(const EnvConfig &cfg);
+
+/** @name Per-layer watchdog budgets (historical slacks) @{ */
+exec::WatchdogBudget uarchWatchdog(const EnvConfig &cfg);
+exec::WatchdogBudget pvfWatchdog(const EnvConfig &cfg);
+exec::WatchdogBudget svfWatchdog(const EnvConfig &cfg);
+/** @} */
+
+/**
+ * Execution policy for one memoised campaign: worker count from the
+ * environment, plus a resume journal under the result-store directory
+ * keyed like the cache entry.  The journal is removed by the caller
+ * once the final result lands in the store.
+ */
+exec::ExecConfig execPolicy(const EnvConfig &cfg, exec::Journal &journal,
+                            const std::string &key, size_t n);
+
+} // namespace campaign_io
+
+} // namespace vstack
+
+#endif // VSTACK_CORE_CAMPAIGN_IO_H

@@ -1,0 +1,725 @@
+#include "suite.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+
+#include "arch/pvf.h"
+#include "core/campaign_io.h"
+#include "exec/driver.h"
+#include "support/logging.h"
+#include "swfi/svf.h"
+
+namespace vstack
+{
+
+using namespace campaign_io;
+
+const char *
+campaignLayerName(CampaignLayer layer)
+{
+    switch (layer) {
+      case CampaignLayer::Uarch: return "uarch";
+      case CampaignLayer::Pvf: return "pvf";
+      case CampaignLayer::Svf: return "svf";
+    }
+    return "?";
+}
+
+std::string
+CampaignSpec::label() const
+{
+    switch (layer) {
+      case CampaignLayer::Uarch:
+        return strprintf("uarch/%s/%s/%s", core.c_str(),
+                         variant.tag().c_str(), structureName(structure));
+      case CampaignLayer::Pvf:
+        return strprintf("pvf/%s/%s/%s", isaName(isa),
+                         variant.tag().c_str(), fpmName(fpm));
+      case CampaignLayer::Svf:
+        return strprintf("svf/%s", variant.tag().c_str());
+    }
+    return "?";
+}
+
+void
+CampaignPlan::addUarch(const std::string &core, const Variant &v,
+                       Structure s)
+{
+    CampaignSpec spec;
+    spec.layer = CampaignLayer::Uarch;
+    spec.core = core;
+    spec.variant = v;
+    spec.structure = s;
+    specs_.push_back(std::move(spec));
+}
+
+void
+CampaignPlan::addUarchAll(const std::string &core, const Variant &v)
+{
+    for (Structure s : allStructures)
+        addUarch(core, v, s);
+}
+
+void
+CampaignPlan::addPvf(IsaId isa, const Variant &v, Fpm fpm)
+{
+    CampaignSpec spec;
+    spec.layer = CampaignLayer::Pvf;
+    spec.isa = isa;
+    spec.variant = v;
+    spec.fpm = fpm;
+    specs_.push_back(std::move(spec));
+}
+
+void
+CampaignPlan::addSvf(const Variant &v)
+{
+    CampaignSpec spec;
+    spec.layer = CampaignLayer::Svf;
+    spec.variant = v;
+    specs_.push_back(std::move(spec));
+}
+
+namespace
+{
+
+std::string
+keyFor(const EnvConfig &cfg, const CampaignSpec &spec)
+{
+    switch (spec.layer) {
+      case CampaignLayer::Uarch:
+        return uarchKey(cfg, spec.core, spec.variant, spec.structure);
+      case CampaignLayer::Pvf:
+        return pvfKey(cfg, spec.isa, spec.variant, spec.fpm);
+      case CampaignLayer::Svf:
+        return svfKey(cfg, spec.variant);
+    }
+    return {};
+}
+
+size_t
+samplesFor(const EnvConfig &cfg, const CampaignSpec &spec)
+{
+    switch (spec.layer) {
+      case CampaignLayer::Uarch: return cfg.uarchFaults;
+      case CampaignLayer::Pvf: return cfg.archFaults;
+      case CampaignLayer::Svf: return cfg.swFaults;
+    }
+    return 0;
+}
+
+/** Fold a campaign's final per-sample payloads into its store entry —
+ *  the same codecs the serial entry points write, byte for byte. */
+Json
+foldFor(const CampaignSpec &spec,
+        const std::vector<std::optional<Json>> &samples)
+{
+    if (spec.layer == CampaignLayer::Uarch)
+        return uarchToJson(foldUarchSamples(samples));
+    return countsToJson(foldOutcomeSamples(samples));
+}
+
+void
+decodeOutcome(CampaignOutcome &o, const Json &result)
+{
+    if (o.spec.layer == CampaignLayer::Uarch)
+        o.uarch = uarchFromJson(result);
+    else
+        o.counts = countsFromJson(result);
+}
+
+/** One unique campaign of the suite (duplicate specs share a Run). */
+struct Run
+{
+    enum class St {
+        Pending,    ///< waiting for a worker to prepare it
+        Preparing,  ///< golden run / trace / journal replay in flight
+        Running,    ///< samples claimable
+        FinalReady, ///< all samples done; fold/verify/store pending
+        Finalizing,
+        Done,
+    };
+
+    CampaignSpec spec; ///< first plan spec naming this campaign
+    size_t planIndex = 0;
+    std::string key;
+    size_t n = 0;
+    St st = St::Pending;
+    bool cacheHit = false;
+
+    // Built by the prepare task.  The campaign objects must outlive
+    // the driver that references them.
+    std::shared_ptr<UarchCampaign> uarchCampaign;
+    std::unique_ptr<PvfCampaign> pvfCampaign;
+    std::unique_ptr<SvfCampaign> svfCampaign;
+    std::unique_ptr<exec::LayerDriver> driver;
+    std::unique_ptr<exec::Journal> journal;
+    exec::ExecConfig ec;
+
+    std::vector<std::optional<Json>> results; ///< index order
+    std::vector<size_t> todo; ///< pending samples, dispatch order
+    size_t cursor = 0;        ///< next todo slot to claim
+    size_t outstanding = 0;   ///< claimed but unfinished samples
+
+    Json resultJson; ///< final store payload (set when Done)
+};
+
+struct Sched
+{
+    VulnerabilityStack &stack;
+    const SuiteOptions &opts;
+    EnvConfig cfg;
+
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<std::unique_ptr<Run>> runs; ///< unique campaigns
+    std::vector<Run *> bySpec;              ///< plan index -> run
+
+    bool abort = false;
+    std::exception_ptr error;
+    size_t errorIndex = SIZE_MAX;
+
+    size_t campaignsDone = 0;
+    size_t samplesDone = 0;  ///< finished incl. journal replays
+    size_t samplesTotal = 0; ///< across all non-cached campaigns
+    size_t liveSamples = 0;  ///< actually simulated this run
+    std::chrono::steady_clock::time_point t0 =
+        std::chrono::steady_clock::now();
+
+    Sched(VulnerabilityStack &stack, const SuiteOptions &opts)
+        : stack(stack), opts(opts), cfg(stack.config())
+    {
+    }
+
+    /** Record a suite-fatal error for the earliest affected plan
+     *  entry (call under mu). */
+    void fail(size_t planIndex, std::exception_ptr e)
+    {
+        if (planIndex < errorIndex) {
+            errorIndex = planIndex;
+            error = e;
+        }
+        abort = true;
+        cv.notify_all();
+    }
+
+    /** Emit a progress snapshot (call under mu). */
+    void reportProgress()
+    {
+        if (!opts.progress)
+            return;
+        SuiteProgress p;
+        p.campaignsDone = campaignsDone;
+        p.campaignsTotal = runs.size();
+        p.samplesDone = samplesDone;
+        p.samplesTotal = samplesTotal;
+        const double sec =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        p.samplesPerSec =
+            sec > 0 ? static_cast<double>(liveSamples) / sec : 0.0;
+        p.storageFaults = stack.storageFaults();
+        p.goldenEvictions = stack.goldenEvictions();
+        opts.progress(p);
+    }
+};
+
+/**
+ * Prepare task: build the campaign + driver (golden run, trace
+ * recording), open the campaign's journal, replay + spot-verify its
+ * records, and sort the remaining samples into dispatch order.  Runs
+ * unlocked on one worker; concurrent prepares of campaigns sharing a
+ * UarchCampaign serialize inside ensureTrace().
+ */
+void
+prepareRun(Sched &S, Run &r)
+{
+    std::unique_ptr<exec::LayerDriver> driver;
+    switch (r.spec.layer) {
+      case CampaignLayer::Uarch:
+        r.uarchCampaign = S.stack.campaignFor(r.spec.core, r.spec.variant);
+        driver = std::make_unique<UarchDriver>(
+            *r.uarchCampaign, r.spec.structure, r.n, S.cfg.seed);
+        break;
+      case CampaignLayer::Pvf:
+        r.pvfCampaign =
+            S.stack.makePvfCampaign(r.spec.isa, r.spec.variant);
+        driver = std::make_unique<PvfDriver>(*r.pvfCampaign, r.spec.fpm,
+                                             r.n, S.cfg.seed);
+        break;
+      case CampaignLayer::Svf:
+        r.svfCampaign = S.stack.makeSvfCampaign(r.spec.variant);
+        driver = std::make_unique<SvfDriver>(*r.svfCampaign, r.n,
+                                             S.cfg.seed);
+        break;
+    }
+    driver->prepare();
+
+    auto journal = std::make_unique<exec::Journal>();
+    exec::ExecConfig ec = execPolicy(S.cfg, *journal, r.key, r.n);
+    const uint64_t journalFaults = journal->storageFaults();
+
+    // Replay journaled samples; collect the remainder as work items
+    // (mirrors exec::runSamples).
+    std::vector<std::optional<Json>> results(r.n);
+    std::vector<size_t> todo;
+    todo.reserve(r.n);
+    std::vector<size_t> verify;
+    size_t replayed = 0;
+    for (size_t i = 0; i < r.n; ++i) {
+        const Json *rec = ec.journal ? ec.journal->find(i) : nullptr;
+        if (rec) {
+            if (rec->has("r")) {
+                results[i] = rec->at("r");
+                if (exec::verifyReplaySelected(i, ec.verifyReplay))
+                    verify.push_back(i);
+            }
+            ++replayed; // an "err" record replays as a quarantine
+        } else {
+            todo.push_back(i);
+        }
+    }
+
+    if (!verify.empty()) {
+        // Spot-check the replay before trusting it (serial, in this
+        // task), with the exact failure semantics of exec::runSamples.
+        auto ctx = driver->makeCtx();
+        for (size_t i : verify) {
+            const std::string want = ec.journal->find(i)->at("r").dump();
+            std::string got;
+            try {
+                got = exec::runDriverSample(*driver, *ctx, i).dump();
+            } catch (const SimError &e) {
+                throw ReplayDivergence(
+                    "verify-replay: sample " + std::to_string(i) +
+                    " replayed from the journal but failed to "
+                    "re-simulate: " + e.what());
+            }
+            if (got != want) {
+                throw ReplayDivergence(
+                    "verify-replay: sample " + std::to_string(i) +
+                    " diverged from its journaled record (journal " +
+                    want + ", re-run " + got +
+                    "); the journal does not describe this campaign");
+            }
+        }
+    }
+
+    if (driver->scheduled()) {
+        // Dispatch order only; stable so equal keys keep index order.
+        const exec::LayerDriver &d = *driver;
+        std::stable_sort(todo.begin(), todo.end(),
+                         [&d](size_t a, size_t b) {
+                             return d.scheduleKey(a) < d.scheduleKey(b);
+                         });
+    }
+
+    std::lock_guard<std::mutex> lock(S.mu);
+    r.driver = std::move(driver);
+    r.journal = std::move(journal);
+    r.ec = ec;
+    r.results = std::move(results);
+    r.todo = std::move(todo);
+    if (journalFaults)
+        S.stack.noteStorageFaults(journalFaults);
+    S.samplesDone += replayed;
+    r.st = r.todo.empty() ? Run::St::FinalReady : Run::St::Running;
+    S.reportProgress();
+    S.cv.notify_all();
+}
+
+/**
+ * Finalize task: the cold verification audit, the index-ordered fold,
+ * the store write, and journal retirement.  Unlocked on one worker.
+ */
+void
+finalizeRun(Sched &S, Run &r)
+{
+    verifyDriverSamples(*r.driver, r.results);
+    Json out = foldFor(r.spec, r.results);
+    if (!exec::shutdownRequested()) {
+        // Interrupted: keep the journal, never cache a partial (the
+        // serial entry points make the same call).
+        S.stack.resultStore().put(r.key, out);
+        if (r.journal)
+            r.journal->removeFile();
+    }
+
+    std::lock_guard<std::mutex> lock(S.mu);
+    r.resultJson = std::move(out);
+    // Release the campaign's working set now, not at suite teardown:
+    // a long plan would otherwise accumulate every golden trace,
+    // checkpoint chain, and sample buffer in memory at once.  (Stale
+    // worker-local Ctx objects reference only stack-owned state, so
+    // dropping the campaign here is safe.)
+    r.driver.reset();
+    r.journal.reset();
+    r.ec.journal = nullptr;
+    r.uarchCampaign.reset();
+    r.pvfCampaign.reset();
+    r.svfCampaign.reset();
+    r.results = {};
+    r.todo = {};
+    r.st = Run::St::Done;
+    ++S.campaignsDone;
+    S.reportProgress();
+    S.cv.notify_all();
+}
+
+/** In-process sample execution (claim of one sample), mirroring the
+ *  retry/quarantine/journal semantics of exec::runSamples. */
+void
+runOneSample(Sched &S, Run &r, size_t i, exec::LayerDriver::Ctx &ctx)
+{
+    std::optional<Json> payload;
+    std::string quarantine;
+    for (unsigned attempt = 0;; ++attempt) {
+        try {
+            payload = exec::runDriverSample(*r.driver, ctx, i);
+            break;
+        } catch (const SimError &e) {
+            if (attempt >= r.ec.retries) {
+                quarantine = e.what();
+                break;
+            }
+        }
+    }
+
+    std::lock_guard<std::mutex> lock(S.mu);
+    if (payload) {
+        if (r.ec.journal)
+            r.ec.journal->append(i, *payload);
+        r.results[i] = std::move(*payload);
+    } else if (r.ec.journal) {
+        r.ec.journal->appendError(i, quarantine);
+    }
+    ++S.samplesDone;
+    ++S.liveSamples;
+    --r.outstanding;
+    if (r.cursor >= r.todo.size() && r.outstanding == 0) {
+        r.st = Run::St::FinalReady;
+        S.cv.notify_all();
+    }
+    S.reportProgress();
+}
+
+/** Isolated-mode sample execution: supervise one forked child per
+ *  batch, with the re-batch/triage loop of runSamplesIsolated. */
+void
+runIsolatedSamples(Sched &S, Run &r, std::vector<size_t> pending)
+{
+    std::unique_ptr<exec::LayerDriver::Ctx> childCtx;
+    const std::function<Json(size_t)> childRun = [&](size_t i) -> Json {
+        for (unsigned attempt = 0;; ++attempt) {
+            try {
+                if (!childCtx)
+                    childCtx = r.driver->makeCtx();
+                return exec::runDriverSample(*r.driver, *childCtx, i);
+            } catch (const SimError &) {
+                if (attempt >= r.ec.retries)
+                    throw;
+                childCtx = {}; // retry on a fresh simulator
+            }
+        }
+    };
+
+    auto settle = [&](size_t i, const std::optional<Json> &payload,
+                      auto journalAppend) {
+        std::lock_guard<std::mutex> lock(S.mu);
+        if (r.ec.journal)
+            journalAppend();
+        if (payload)
+            r.results[i] = *payload;
+        ++S.samplesDone;
+        ++S.liveSamples;
+        --r.outstanding;
+        S.reportProgress();
+    };
+
+    std::map<size_t, unsigned> hostFailures;
+    while (!pending.empty()) {
+        auto outcomes =
+            exec::runIsolatedBatch(pending, r.ec.sandbox, childRun);
+        std::vector<size_t> requeue;
+        for (size_t k = 0; k < pending.size(); ++k) {
+            const size_t i = pending[k];
+            exec::IsolatedOutcome &o = outcomes[k];
+            switch (o.kind) {
+              case exec::IsolatedOutcome::Kind::Ok:
+                settle(i, o.payload, [&] {
+                    r.ec.journal->append(i, o.payload);
+                });
+                break;
+              case exec::IsolatedOutcome::Kind::SimErr:
+                // The child already exhausted SimError retries.
+                settle(i, std::nullopt, [&] {
+                    r.ec.journal->appendError(i, o.errMsg);
+                });
+                break;
+              case exec::IsolatedOutcome::Kind::Host:
+                if (!exec::shutdownRequested() &&
+                    ++hostFailures[i] <= r.ec.retries) {
+                    requeue.push_back(i);
+                } else if (!exec::shutdownRequested()) {
+                    settle(i, std::nullopt, [&] {
+                        r.ec.journal->appendHostFault(i, o.host.describe(),
+                                                      o.host.toJson());
+                    });
+                }
+                break;
+              case exec::IsolatedOutcome::Kind::NotRun:
+                if (!exec::shutdownRequested())
+                    requeue.push_back(i);
+                break;
+            }
+        }
+        if (exec::shutdownRequested())
+            break; // drop unfinished work; journal stays valid
+        pending = std::move(requeue);
+    }
+
+    std::lock_guard<std::mutex> lock(S.mu);
+    if (r.cursor >= r.todo.size() && r.outstanding == 0) {
+        r.st = Run::St::FinalReady;
+        S.cv.notify_all();
+    }
+}
+
+/**
+ * The worker loop.  Claim priority: (1) finalize a finished campaign,
+ * (2) a sample from the earliest campaign with claimable samples,
+ * (3) prepare the earliest pending campaign.  (3) below (2) means
+ * workers stay on sample throughput while any exists and use campaign
+ * tails (and the suite's cold start) to run golden work — that is the
+ * cross-campaign overlap the scheduler exists for.
+ */
+void
+workerLoop(Sched &S, unsigned)
+{
+    // This worker's private simulation contexts, one per campaign it
+    // has touched; dropped as soon as the campaign has no more
+    // claimable samples.
+    std::map<Run *, std::unique_ptr<exec::LayerDriver::Ctx>> ctxs;
+
+    std::unique_lock<std::mutex> lock(S.mu);
+    for (;;) {
+        if (S.abort || exec::shutdownRequested())
+            return;
+
+        Run *fin = nullptr, *samp = nullptr, *prep = nullptr;
+        bool allDone = true;
+        for (auto &up : S.runs) {
+            Run *r = up.get();
+            if (r->st != Run::St::Done)
+                allDone = false;
+            if (!fin && r->st == Run::St::FinalReady)
+                fin = r;
+            if (!samp && r->st == Run::St::Running &&
+                r->cursor < r->todo.size())
+                samp = r;
+            if (!prep && r->st == Run::St::Pending)
+                prep = r;
+        }
+        if (allDone)
+            return;
+
+        if (fin) {
+            fin->st = Run::St::Finalizing;
+            lock.unlock();
+            try {
+                finalizeRun(S, *fin);
+            } catch (...) {
+                std::lock_guard<std::mutex> g(S.mu);
+                S.fail(fin->planIndex, std::current_exception());
+            }
+            lock.lock();
+            continue;
+        }
+
+        if (samp) {
+            if (samp->ec.isolate) {
+                const size_t batch =
+                    std::max<size_t>(1, samp->ec.sandbox.batch);
+                const size_t t0 = samp->cursor;
+                const size_t t1 =
+                    std::min(samp->todo.size(), t0 + batch);
+                samp->cursor = t1;
+                samp->outstanding += t1 - t0;
+                std::vector<size_t> pending(samp->todo.begin() + t0,
+                                            samp->todo.begin() + t1);
+                lock.unlock();
+                runIsolatedSamples(S, *samp, std::move(pending));
+            } else {
+                const size_t i = samp->todo[samp->cursor++];
+                ++samp->outstanding;
+                auto &ctx = ctxs[samp];
+                lock.unlock();
+                try {
+                    if (!ctx)
+                        ctx = samp->driver->makeCtx();
+                    runOneSample(S, *samp, i, *ctx);
+                } catch (...) {
+                    // A non-SimError escaping an injection is an
+                    // internal invariant violation: fail the suite
+                    // loudly, like the in-process serial path.
+                    std::lock_guard<std::mutex> g(S.mu);
+                    --samp->outstanding;
+                    S.fail(samp->planIndex, std::current_exception());
+                }
+            }
+            lock.lock();
+            if (samp->cursor >= samp->todo.size())
+                ctxs.erase(samp); // no more claims from this campaign
+            continue;
+        }
+
+        if (prep) {
+            prep->st = Run::St::Preparing;
+            lock.unlock();
+            try {
+                prepareRun(S, *prep);
+            } catch (...) {
+                std::lock_guard<std::mutex> g(S.mu);
+                S.fail(prep->planIndex, std::current_exception());
+            }
+            lock.lock();
+            continue;
+        }
+
+        // Nothing claimable: outstanding work is in flight elsewhere.
+        // The timeout doubles as a shutdown-signal poll.
+        S.cv.wait_for(lock, std::chrono::milliseconds(50));
+    }
+}
+
+SuiteReport
+runSerialSuite(VulnerabilityStack &stack, const CampaignPlan &plan,
+               const SuiteOptions &opts)
+{
+    const EnvConfig &cfg = stack.config();
+    SuiteReport report;
+    report.outcomes.reserve(plan.size());
+    for (const CampaignSpec &spec : plan.specs())
+        report.outcomes.push_back({spec, false, false, {}, {}});
+
+    for (size_t idx = 0; idx < plan.size(); ++idx) {
+        if (exec::shutdownRequested()) {
+            report.interrupted = true;
+            break;
+        }
+        CampaignOutcome &o = report.outcomes[idx];
+        o.cacheHit =
+            stack.resultStore().get(keyFor(cfg, o.spec)).has_value();
+        switch (o.spec.layer) {
+          case CampaignLayer::Uarch:
+            o.uarch = stack.uarch(o.spec.core, o.spec.variant,
+                                  o.spec.structure);
+            break;
+          case CampaignLayer::Pvf:
+            o.counts = stack.pvf(o.spec.isa, o.spec.variant, o.spec.fpm);
+            break;
+          case CampaignLayer::Svf:
+            o.counts = stack.svf(o.spec.variant);
+            break;
+        }
+        if (exec::shutdownRequested()) {
+            // The campaign drained early; its aggregate is partial.
+            report.interrupted = true;
+            break;
+        }
+        o.complete = true;
+        if (o.cacheHit)
+            ++report.cacheHits;
+        if (opts.progress) {
+            SuiteProgress p;
+            p.campaignsDone = idx + 1;
+            p.campaignsTotal = plan.size();
+            p.storageFaults = stack.storageFaults();
+            p.goldenEvictions = stack.goldenEvictions();
+            opts.progress(p);
+        }
+    }
+    report.storageFaults = stack.storageFaults();
+    report.goldenEvictions = stack.goldenEvictions();
+    return report;
+}
+
+} // namespace
+
+SuiteReport
+runSuite(VulnerabilityStack &stack, const CampaignPlan &plan,
+         const SuiteOptions &opts)
+{
+    if (opts.serial)
+        return runSerialSuite(stack, plan, opts);
+
+    Sched S(stack, opts);
+
+    // Deduplicate the plan by store key (first occurrence wins) and
+    // short-circuit campaigns the store already has — cache hits never
+    // consume pool time.
+    std::map<std::string, Run *> byKey;
+    for (size_t idx = 0; idx < plan.size(); ++idx) {
+        const CampaignSpec &spec = plan.specs()[idx];
+        const std::string key = keyFor(S.cfg, spec);
+        auto it = byKey.find(key);
+        if (it != byKey.end()) {
+            S.bySpec.push_back(it->second);
+            continue;
+        }
+        auto run = std::make_unique<Run>();
+        run->spec = spec;
+        run->planIndex = idx;
+        run->key = key;
+        run->n = samplesFor(S.cfg, spec);
+        if (auto cached = stack.resultStore().get(key)) {
+            run->cacheHit = true;
+            run->st = Run::St::Done;
+            run->resultJson = std::move(*cached);
+            ++S.campaignsDone;
+        } else {
+            S.samplesTotal += run->n;
+        }
+        byKey.emplace(key, run.get());
+        S.bySpec.push_back(run.get());
+        S.runs.push_back(std::move(run));
+    }
+
+    const bool allCached = S.campaignsDone == S.runs.size();
+    if (!allCached) {
+        exec::runOnWorkers(exec::resolveJobs(S.cfg.jobs),
+                           [&S](unsigned id) { workerLoop(S, id); });
+    }
+
+    if (S.error)
+        std::rethrow_exception(S.error);
+
+    SuiteReport report;
+    report.outcomes.reserve(plan.size());
+    for (size_t idx = 0; idx < plan.size(); ++idx) {
+        Run *r = S.bySpec[idx];
+        CampaignOutcome o;
+        o.spec = plan.specs()[idx];
+        o.cacheHit = r->cacheHit;
+        if (r->st == Run::St::Done) {
+            o.complete = true;
+            decodeOutcome(o, r->resultJson);
+            if (o.cacheHit)
+                ++report.cacheHits;
+        } else {
+            report.interrupted = true;
+        }
+        report.outcomes.push_back(std::move(o));
+    }
+    if (exec::shutdownRequested())
+        report.interrupted = true;
+    report.storageFaults = stack.storageFaults();
+    report.goldenEvictions = stack.goldenEvictions();
+    return report;
+}
+
+} // namespace vstack

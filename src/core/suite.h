@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Suite-level campaign scheduler: many campaigns, one worker pool.
+ *
+ * A CampaignPlan names a set of memoised campaigns (layer, core/ISA,
+ * structure/FPM, workload variant); runSuite() executes every pending
+ * one over a single persistent pool of `jobs` workers instead of
+ * parallelising each campaign in turn.  Workers treat golden-run and
+ * trace acquisition as ordinary pool tasks and steal per-sample work
+ * across campaign boundaries, so the serial phases of one campaign
+ * (its golden run, its recording pass, its final fold) overlap with
+ * the sample backlog of the others — the pool never drains just
+ * because one campaign is between phases.
+ *
+ * Determinism is inherited, not re-proven: every campaign's fault
+ * list and per-sample RNG streams are pure functions of (seed, sample
+ * index), samples are folded in index order, and the store keys,
+ * codecs, and journal formats come from core/campaign_io.h — the same
+ * modules the serial entry points use.  A suite therefore produces
+ * byte-identical ResultStore entries to running the same campaigns
+ * serially, at any --jobs count, under --isolate, and across a kill +
+ * --resume (each campaign keeps its own CRC-framed journal, with
+ * per-record campaign-key tags so concurrent journals cannot
+ * cross-contaminate).
+ *
+ * Failure containment matches the serial path: a SimError quarantines
+ * its one sample (injectorErrors); a ReplayDivergence /
+ * CheckpointDivergence / GoldenRunError aborts the whole suite
+ * loudly, reported for the earliest affected plan entry.
+ */
+#ifndef VSTACK_CORE_SUITE_H
+#define VSTACK_CORE_SUITE_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/vstack.h"
+
+namespace vstack
+{
+
+/** Injection layer of one suite campaign. */
+enum class CampaignLayer : uint8_t { Uarch, Pvf, Svf };
+
+const char *campaignLayerName(CampaignLayer layer);
+
+/**
+ * One memoised campaign a suite should produce.  Sample counts and
+ * the seed are deliberately NOT per-spec: they resolve from the
+ * stack's EnvConfig exactly like the serial entry points, so a
+ * suite's store keys match a serial run's byte for byte.
+ */
+struct CampaignSpec
+{
+    CampaignLayer layer = CampaignLayer::Uarch;
+    Variant variant;
+    std::string core;                    ///< uarch only
+    Structure structure = Structure::RF; ///< uarch only
+    IsaId isa = IsaId::Av64;             ///< pvf only
+    Fpm fpm = Fpm::WD;                   ///< pvf only
+
+    /** Human label, e.g. "uarch/ax72/fft/RF" or "pvf/av64/fft/WD". */
+    std::string label() const;
+};
+
+/** An ordered set of campaigns (duplicates are deduplicated by the
+ *  scheduler, not the plan). */
+class CampaignPlan
+{
+  public:
+    void add(const CampaignSpec &spec) { specs_.push_back(spec); }
+    void addUarch(const std::string &core, const Variant &v, Structure s);
+    /** All five structures of one (core, variant), in allStructures
+     *  order. */
+    void addUarchAll(const std::string &core, const Variant &v);
+    void addPvf(IsaId isa, const Variant &v, Fpm fpm);
+    void addSvf(const Variant &v);
+
+    const std::vector<CampaignSpec> &specs() const { return specs_; }
+    bool empty() const { return specs_.empty(); }
+    size_t size() const { return specs_.size(); }
+
+  private:
+    std::vector<CampaignSpec> specs_;
+};
+
+/** Live progress of a running suite (counters are cumulative). */
+struct SuiteProgress
+{
+    size_t campaignsDone = 0;
+    size_t campaignsTotal = 0;
+    /** Samples finished across all pending campaigns, journal replays
+     *  included; cache-hit campaigns contribute nothing. */
+    size_t samplesDone = 0;
+    size_t samplesTotal = 0;
+    /** Live simulation throughput (replays and cache hits excluded). */
+    double samplesPerSec = 0.0;
+    uint64_t storageFaults = 0;
+    uint64_t goldenEvictions = 0;
+};
+
+struct SuiteOptions
+{
+    /** Run the plan through the serial per-campaign entry points in
+     *  plan order (the reference implementation the scheduler must
+     *  reproduce byte for byte). */
+    bool serial = false;
+    /** Called under the scheduler lock after every sample/campaign
+     *  completion — keep it cheap; never reentered concurrently. */
+    std::function<void(const SuiteProgress &)> progress;
+};
+
+/** Final result of one plan entry. */
+struct CampaignOutcome
+{
+    CampaignSpec spec;
+    bool cacheHit = false; ///< served from the result store
+    bool complete = false; ///< false only when the suite was interrupted
+    UarchCampaignResult uarch; ///< layer == Uarch
+    OutcomeCounts counts;      ///< layer == Pvf / Svf
+};
+
+struct SuiteReport
+{
+    /** Plan order, one entry per spec (duplicates share results). */
+    std::vector<CampaignOutcome> outcomes;
+    size_t cacheHits = 0;
+    bool interrupted = false;
+    /** Snapshot of the stack's cumulative storage-fault counter. */
+    uint64_t storageFaults = 0;
+    uint64_t goldenEvictions = 0;
+};
+
+/**
+ * Execute every campaign of `plan`, memoising through the stack's
+ * ResultStore (already-cached campaigns are short-circuited without
+ * consuming pool time).  Worker count, isolation, resume, and
+ * verification knobs come from the stack's EnvConfig, exactly like
+ * the serial entry points.
+ *
+ * @throws ReplayDivergence / CheckpointDivergence / SimError exactly
+ *         as the serial path would, for the earliest affected plan
+ *         entry.  If a shutdown is requested mid-suite the pool
+ *         drains gracefully, journals are kept for --resume, and the
+ *         report comes back with interrupted = true.
+ */
+SuiteReport runSuite(VulnerabilityStack &stack, const CampaignPlan &plan,
+                     const SuiteOptions &opts = {});
+
+} // namespace vstack
+
+#endif // VSTACK_CORE_SUITE_H

@@ -12,104 +12,7 @@
 namespace vstack
 {
 
-namespace
-{
-
-constexpr const char *SCHEMA = "v1";
-
-Json
-countsToJson(const OutcomeCounts &c)
-{
-    Json j = Json::object();
-    j.set("masked", c.masked);
-    j.set("sdc", c.sdc);
-    j.set("crash", c.crash);
-    j.set("detected", c.detected);
-    if (c.injectorErrors)
-        j.set("injectorErrors", c.injectorErrors);
-    return j;
-}
-
-OutcomeCounts
-countsFromJson(const Json &j)
-{
-    OutcomeCounts c;
-    c.masked = static_cast<uint64_t>(j.at("masked").asInt());
-    c.sdc = static_cast<uint64_t>(j.at("sdc").asInt());
-    c.crash = static_cast<uint64_t>(j.at("crash").asInt());
-    c.detected = static_cast<uint64_t>(j.at("detected").asInt());
-    if (j.has("injectorErrors"))
-        c.injectorErrors =
-            static_cast<uint64_t>(j.at("injectorErrors").asInt());
-    return c;
-}
-
-Json
-uarchToJson(const UarchCampaignResult &r)
-{
-    Json j = Json::object();
-    j.set("outcomes", countsToJson(r.outcomes));
-    Json f = Json::object();
-    f.set("wd", r.fpms.wd);
-    f.set("wi", r.fpms.wi);
-    f.set("woi", r.fpms.woi);
-    f.set("esc", r.fpms.esc);
-    j.set("fpms", f);
-    j.set("hwMasked", r.hwMasked);
-    j.set("samples", r.samples);
-    return j;
-}
-
-UarchCampaignResult
-uarchFromJson(const Json &j)
-{
-    UarchCampaignResult r;
-    r.outcomes = countsFromJson(j.at("outcomes"));
-    const Json &f = j.at("fpms");
-    r.fpms.wd = static_cast<uint64_t>(f.at("wd").asInt());
-    r.fpms.wi = static_cast<uint64_t>(f.at("wi").asInt());
-    r.fpms.woi = static_cast<uint64_t>(f.at("woi").asInt());
-    r.fpms.esc = static_cast<uint64_t>(f.at("esc").asInt());
-    r.hwMasked = static_cast<uint64_t>(j.at("hwMasked").asInt());
-    r.samples = static_cast<uint64_t>(j.at("samples").asInt());
-    return r;
-}
-
-Json
-goldenToJson(const UarchGolden &g)
-{
-    Json j = Json::object();
-    j.set("cycles", g.cycles);
-    j.set("insts", g.insts);
-    j.set("kernelInsts", g.kernelInsts);
-    j.set("kernelCycles", g.kernelCycles);
-    j.set("exitCode", g.exitCode);
-    return j; // DMA bytes not cached; only stats are consumed
-}
-
-/**
- * Execution policy for one memoised campaign: worker count from the
- * environment, plus a resume journal under the result-store directory
- * keyed like the cache entry.  The journal is removed once the final
- * result lands in the store.
- */
-exec::ExecConfig
-execPolicy(const EnvConfig &cfg, exec::Journal &journal,
-           const std::string &key, size_t n)
-{
-    exec::ExecConfig ec;
-    ec.jobs = cfg.jobs;
-    ec.isolate = cfg.isolate;
-    ec.verifyReplay = cfg.verifyReplay;
-    journal.setFsync(cfg.journalFsync);
-    if (!cfg.resultsDir.empty() &&
-        journal.open(exec::Journal::pathFor(cfg.resultsDir, key), key, n,
-                     cfg.seed, cfg.resume))
-        ec.journal = &journal;
-    return ec;
-}
-
-} // namespace
+using namespace campaign_io;
 
 VulnSplit
 toSplit(const OutcomeCounts &c)
@@ -123,17 +26,26 @@ toSplit(const OutcomeCounts &c)
 
 struct VulnerabilityStack::Cache
 {
+    std::mutex buildMu; ///< guards irs/images/kernels
     std::map<std::string, ir::Module> irs;
     std::map<std::string, Program> images;
     std::map<IsaId, Program> kernels;
-    // Size-1 LRU of the cycle-level campaign: the five structure
-    // campaigns against one (core, workload) reuse a single golden
-    // run and checkpoint trace.  Deliberately not an unbounded map —
-    // a recorded trace holds the checkpoints' COW pages, and keeping
-    // one per (core, workload) pair alive across a 16-cell report
-    // sweep would pin hundreds of MB.
-    std::string campaignKey;
-    std::shared_ptr<UarchCampaign> campaign;
+
+    /** One (core, workload) cycle-level campaign.  The slot outlives
+     *  its map entry (shared_ptr), so eviction never invalidates a
+     *  campaign another thread is still running against; the per-slot
+     *  build mutex makes distinct keys buildable concurrently while a
+     *  shared key builds exactly once. */
+    struct GoldenSlot
+    {
+        std::shared_ptr<UarchCampaign> campaign; ///< null until built
+        std::mutex buildMu;
+        uint64_t lastUse = 0;
+    };
+    std::mutex goldenMu; ///< guards the slot map + LRU bookkeeping
+    std::map<std::string, std::shared_ptr<GoldenSlot>> golden;
+    uint64_t useClock = 0;
+    uint64_t goldenEvictions = 0;
 };
 
 VulnerabilityStack::VulnerabilityStack(const EnvConfig &cfg)
@@ -145,6 +57,17 @@ VulnerabilityStack::~VulnerabilityStack() = default;
 
 const ir::Module &
 VulnerabilityStack::irFor(const Variant &v, int xlen)
+{
+    // One build mutex over all toolchain caches: suite prepare tasks
+    // compile concurrently for different variants, and std::map node
+    // stability keeps the returned references valid across later
+    // insertions.
+    std::lock_guard<std::mutex> lock(cache->buildMu);
+    return irForUnlocked(v, xlen);
+}
+
+const ir::Module &
+VulnerabilityStack::irForUnlocked(const Variant &v, int xlen)
 {
     const std::string key = v.tag() + "/" + std::to_string(xlen);
     auto it = cache->irs.find(key);
@@ -164,6 +87,13 @@ VulnerabilityStack::irFor(const Variant &v, int xlen)
 const Program &
 VulnerabilityStack::imageFor(const Variant &v, IsaId isa)
 {
+    std::lock_guard<std::mutex> lock(cache->buildMu);
+    return imageForUnlocked(v, isa);
+}
+
+const Program &
+VulnerabilityStack::imageForUnlocked(const Variant &v, IsaId isa)
+{
     const std::string key =
         v.tag() + "/" + isaName(isa);
     auto it = cache->images.find(key);
@@ -173,7 +103,7 @@ VulnerabilityStack::imageFor(const Variant &v, IsaId isa)
     if (!cache->kernels.count(isa))
         cache->kernels.emplace(isa, buildKernel(isa));
 
-    const ir::Module &m = irFor(v, IsaSpec::get(isa).xlen);
+    const ir::Module &m = irForUnlocked(v, IsaSpec::get(isa).xlen);
     mcl::BuildResult build = mcl::buildUserFromIr(m, isa);
     if (!build.ok)
         fatal("codegen %s: %s", v.tag().c_str(), build.error.c_str());
@@ -181,44 +111,99 @@ VulnerabilityStack::imageFor(const Variant &v, IsaId isa)
     return cache->images.emplace(key, std::move(sys)).first->second;
 }
 
-UarchCampaign &
+std::shared_ptr<UarchCampaign>
 VulnerabilityStack::campaignFor(const std::string &core, const Variant &v)
 {
     const std::string key = core + "/" + v.tag();
-    if (cache->campaignKey == key && cache->campaign)
-        return *cache->campaign;
+    std::shared_ptr<Cache::GoldenSlot> slot;
+    {
+        std::lock_guard<std::mutex> lock(cache->goldenMu);
+        auto it = cache->golden.find(key);
+        if (it == cache->golden.end())
+            it = cache->golden
+                     .emplace(key, std::make_shared<Cache::GoldenSlot>())
+                     .first;
+        slot = it->second;
+        slot->lastUse = ++cache->useClock;
+    }
+    {
+        std::lock_guard<std::mutex> build(slot->buildMu);
+        if (!slot->campaign) {
+            const CoreConfig &cc = coreByName(core);
+            auto campaign = std::make_shared<UarchCampaign>(
+                cc, imageFor(v, cc.isa));
+            campaign->setWatchdog(uarchWatchdog(cfg));
+            campaign->setCheckpointPolicy(checkpointPolicy(cfg));
+            slot->campaign = std::move(campaign);
+        }
+    }
+    std::shared_ptr<UarchCampaign> out = slot->campaign;
+    {
+        // Evict the oldest other slots down to the configured
+        // capacity.  An evicted campaign only leaves memory once its
+        // last in-flight user drops the shared_ptr.
+        std::lock_guard<std::mutex> lock(cache->goldenMu);
+        while (cache->golden.size() > std::max(1u, cfg.goldenCache)) {
+            auto victim = cache->golden.end();
+            for (auto it = cache->golden.begin();
+                 it != cache->golden.end(); ++it) {
+                if (it->first == key)
+                    continue;
+                if (victim == cache->golden.end() ||
+                    it->second->lastUse < victim->second->lastUse)
+                    victim = it;
+            }
+            if (victim == cache->golden.end())
+                break;
+            cache->golden.erase(victim);
+            ++cache->goldenEvictions;
+        }
+    }
+    return out;
+}
 
-    const CoreConfig &cc = coreByName(core);
+std::unique_ptr<PvfCampaign>
+VulnerabilityStack::makePvfCampaign(IsaId isa, const Variant &v)
+{
+    ArchConfig acfg;
+    acfg.isa = isa;
     auto campaign =
-        std::make_shared<UarchCampaign>(cc, imageFor(v, cc.isa));
-    campaign->setWatchdog({cfg.watchdogFactor, 50'000});
-    exec::CheckpointPolicy policy;
-    policy.enabled = cfg.checkpoint;
-    policy.checkpoints = cfg.checkpoints;
-    policy.earlyStop = cfg.checkpoint;
-    policy.verifyPercent = cfg.verifyCheckpoint;
-    campaign->setCheckpointPolicy(policy);
-    cache->campaignKey = key;
-    cache->campaign = std::move(campaign);
-    return *cache->campaign;
+        std::make_unique<PvfCampaign>(imageFor(v, isa), acfg);
+    campaign->setWatchdog(pvfWatchdog(cfg));
+    campaign->setCheckpointPolicy(checkpointPolicy(cfg));
+    return campaign;
+}
+
+std::unique_ptr<SvfCampaign>
+VulnerabilityStack::makeSvfCampaign(const Variant &v)
+{
+    auto campaign = std::make_unique<SvfCampaign>(irFor(v, 64));
+    campaign->setWatchdog(svfWatchdog(cfg));
+    campaign->setCheckpointPolicy(checkpointPolicy(cfg));
+    return campaign;
+}
+
+uint64_t
+VulnerabilityStack::goldenEvictions() const
+{
+    std::lock_guard<std::mutex> lock(cache->goldenMu);
+    return cache->goldenEvictions;
 }
 
 UarchCampaignResult
 VulnerabilityStack::uarch(const std::string &core, const Variant &v,
                           Structure s)
 {
-    const std::string key = strprintf(
-        "uarch/%s/%s/%s/%s/n%zu/seed%llu", SCHEMA, core.c_str(),
-        v.tag().c_str(), structureName(s), cfg.uarchFaults,
-        static_cast<unsigned long long>(cfg.seed));
+    const std::string key = uarchKey(cfg, core, v, s);
     if (auto cached = store.get(key))
         return uarchFromJson(*cached);
 
-    UarchCampaign &campaign = campaignFor(core, v);
+    std::shared_ptr<UarchCampaign> campaign = campaignFor(core, v);
     exec::Journal journal;
     exec::ExecConfig ec = execPolicy(cfg, journal, key, cfg.uarchFaults);
     journalFaults += journal.storageFaults();
-    UarchCampaignResult r = campaign.run(s, cfg.uarchFaults, cfg.seed, ec);
+    UarchCampaignResult r =
+        campaign->run(s, cfg.uarchFaults, cfg.seed, ec);
     if (exec::shutdownRequested())
         return r; // interrupted: keep the journal, never cache a partial
     store.put(key, uarchToJson(r));
@@ -229,21 +214,10 @@ VulnerabilityStack::uarch(const std::string &core, const Variant &v,
 UarchGolden
 VulnerabilityStack::uarchGolden(const std::string &core, const Variant &v)
 {
-    const std::string key = strprintf("golden/%s/%s/%s", SCHEMA,
-                                      core.c_str(), v.tag().c_str());
-    if (auto cached = store.get(key)) {
-        UarchGolden g;
-        g.cycles = static_cast<uint64_t>(cached->at("cycles").asInt());
-        g.insts = static_cast<uint64_t>(cached->at("insts").asInt());
-        g.kernelInsts =
-            static_cast<uint64_t>(cached->at("kernelInsts").asInt());
-        g.kernelCycles =
-            static_cast<uint64_t>(cached->at("kernelCycles").asInt());
-        g.exitCode =
-            static_cast<uint32_t>(cached->at("exitCode").asInt());
-        return g;
-    }
-    const UarchGolden &g = campaignFor(core, v).golden();
+    const std::string key = goldenKey(core, v);
+    if (auto cached = store.get(key))
+        return goldenFromJson(*cached);
+    const UarchGolden g = campaignFor(core, v)->golden();
     store.put(key, goldenToJson(g));
     return g;
 }
@@ -251,27 +225,15 @@ VulnerabilityStack::uarchGolden(const std::string &core, const Variant &v)
 OutcomeCounts
 VulnerabilityStack::pvf(IsaId isa, const Variant &v, Fpm fpm)
 {
-    const std::string key = strprintf(
-        "pvf/%s/%s/%s/%s/n%zu/seed%llu", SCHEMA, isaName(isa),
-        v.tag().c_str(), fpmName(fpm), cfg.archFaults,
-        static_cast<unsigned long long>(cfg.seed));
+    const std::string key = pvfKey(cfg, isa, v, fpm);
     if (auto cached = store.get(key))
         return countsFromJson(*cached);
 
-    ArchConfig acfg;
-    acfg.isa = isa;
-    PvfCampaign campaign(imageFor(v, isa), acfg);
-    campaign.setWatchdog({cfg.watchdogFactor, 10'000});
-    exec::CheckpointPolicy policy;
-    policy.enabled = cfg.checkpoint;
-    policy.checkpoints = cfg.checkpoints;
-    policy.earlyStop = cfg.checkpoint;
-    policy.verifyPercent = cfg.verifyCheckpoint;
-    campaign.setCheckpointPolicy(policy);
+    std::unique_ptr<PvfCampaign> campaign = makePvfCampaign(isa, v);
     exec::Journal journal;
     exec::ExecConfig ec = execPolicy(cfg, journal, key, cfg.archFaults);
     journalFaults += journal.storageFaults();
-    OutcomeCounts c = campaign.run(fpm, cfg.archFaults, cfg.seed, ec);
+    OutcomeCounts c = campaign->run(fpm, cfg.archFaults, cfg.seed, ec);
     if (exec::shutdownRequested())
         return c; // interrupted: keep the journal, never cache a partial
     store.put(key, countsToJson(c));
@@ -282,24 +244,15 @@ VulnerabilityStack::pvf(IsaId isa, const Variant &v, Fpm fpm)
 OutcomeCounts
 VulnerabilityStack::svf(const Variant &v)
 {
-    const std::string key = strprintf(
-        "svf/%s/%s/n%zu/seed%llu", SCHEMA, v.tag().c_str(), cfg.swFaults,
-        static_cast<unsigned long long>(cfg.seed));
+    const std::string key = svfKey(cfg, v);
     if (auto cached = store.get(key))
         return countsFromJson(*cached);
 
-    SvfCampaign campaign(irFor(v, 64));
-    campaign.setWatchdog({cfg.watchdogFactor, 100'000});
-    exec::CheckpointPolicy policy;
-    policy.enabled = cfg.checkpoint;
-    policy.checkpoints = cfg.checkpoints;
-    policy.earlyStop = cfg.checkpoint;
-    policy.verifyPercent = cfg.verifyCheckpoint;
-    campaign.setCheckpointPolicy(policy);
+    std::unique_ptr<SvfCampaign> campaign = makeSvfCampaign(v);
     exec::Journal journal;
     exec::ExecConfig ec = execPolicy(cfg, journal, key, cfg.swFaults);
     journalFaults += journal.storageFaults();
-    OutcomeCounts c = campaign.run(cfg.swFaults, cfg.seed, ec);
+    OutcomeCounts c = campaign->run(cfg.swFaults, cfg.seed, ec);
     if (exec::shutdownRequested())
         return c; // interrupted: keep the journal, never cache a partial
     store.put(key, countsToJson(c));

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "compiler/ir.h"
+#include "core/campaign_io.h"
 #include "core/resultstore.h"
 #include "gefin/campaign.h"
 #include "machine/fpm.h"
@@ -37,6 +38,9 @@
 
 namespace vstack
 {
+
+class PvfCampaign;
+class SvfCampaign;
 
 /** SDC/Crash/Detected rates of one measurement (any layer). */
 struct VulnSplit
@@ -65,18 +69,6 @@ struct FpmShares
     }
 };
 
-/** A workload variant: baseline or FT-hardened. */
-struct Variant
-{
-    std::string workload;
-    bool hardened = false;
-
-    std::string tag() const
-    {
-        return workload + (hardened ? "-ft" : "");
-    }
-};
-
 class VulnerabilityStack
 {
   public:
@@ -85,10 +77,30 @@ class VulnerabilityStack
 
     const EnvConfig &config() const { return cfg; }
 
-    /** @name Build artifacts (cached in-process) @{ */
+    /** @name Build artifacts (cached in-process; thread-safe) @{ */
     const ir::Module &irFor(const Variant &v, int xlen);
     /** Bootable kernel+user system image. */
     const Program &imageFor(const Variant &v, IsaId isa);
+    /** @} */
+
+    /** @name Campaign construction (the suite scheduler's hooks) @{ */
+    /**
+     * The cycle-level campaign (golden run + checkpoint trace) for one
+     * (core, workload), shared by its five structure campaigns.  Kept
+     * in a capacity-bounded LRU (VSTACK_GOLDEN_CACHE, >= 1): a
+     * recorded trace pins the checkpoints' COW pages, so an unbounded
+     * map across a report sweep would hold hundreds of MB.  Evicted
+     * entries stay alive while callers hold the returned pointer.
+     * Thread-safe; concurrent calls for the same key build once.
+     */
+    std::shared_ptr<UarchCampaign> campaignFor(const std::string &core,
+                                               const Variant &v);
+    /** Fresh PVF campaign (runs the golden on construction) with the
+     *  environment's watchdog/checkpoint policy applied. */
+    std::unique_ptr<PvfCampaign> makePvfCampaign(IsaId isa,
+                                                 const Variant &v);
+    /** Fresh SVF campaign, configured like makePvfCampaign(). */
+    std::unique_ptr<SvfCampaign> makeSvfCampaign(const Variant &v);
     /** @} */
 
     /** @name Campaigns (memoised on disk) @{ */
@@ -155,11 +167,20 @@ class VulnerabilityStack
         return store.storageFaults() + journalFaults;
     }
 
+    /** Journal faults found outside this instance's own campaign entry
+     *  points (the suite scheduler opens journals itself). */
+    void noteStorageFaults(uint64_t n) { journalFaults += n; }
+
+    /** The on-disk result cache (shared with the suite scheduler). */
+    ResultStore &resultStore() { return store; }
+
+    /** Golden-campaign LRU evictions so far (progress diagnostics;
+     *  each one means redoing a golden run + trace). */
+    uint64_t goldenEvictions() const;
+
   private:
-    /** The cycle-level campaign (golden run + checkpoint trace) for
-     *  one (core, workload); shared by the five structure campaigns
-     *  via a size-1 LRU so the golden work is done once per pair. */
-    UarchCampaign &campaignFor(const std::string &core, const Variant &v);
+    const ir::Module &irForUnlocked(const Variant &v, int xlen);
+    const Program &imageForUnlocked(const Variant &v, IsaId isa);
 
     EnvConfig cfg;
     ResultStore store;

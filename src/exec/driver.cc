@@ -1,0 +1,76 @@
+#include "driver.h"
+
+#include "support/failpoint.h"
+#include "support/logging.h"
+
+namespace vstack::exec
+{
+
+Json
+runDriverSample(const LayerDriver &d, LayerDriver::Ctx &ctx, size_t i)
+{
+    if (failpoint("driver.sample.simerr")) {
+        throw InjectionError(
+            strprintf("driver.sample.simerr failpoint fired on %s "
+                      "sample %zu",
+                      d.layerName(), i));
+    }
+    return d.runSample(ctx, i);
+}
+
+std::vector<std::optional<Json>>
+runDriverSamples(const LayerDriver &d, const ExecConfig &cfg)
+{
+    ExecConfig ec = cfg;
+    if (d.scheduled() && !ec.scheduleKey) {
+        // Dispatch in injection-point order so consecutive samples on
+        // a worker restore the same checkpoint (results still fold in
+        // index order — see ExecConfig::scheduleKey).
+        ec.scheduleKey = [&d](size_t i) { return d.scheduleKey(i); };
+    }
+    return runSamples<Json>(
+        d.samples(), ec, [&d] { return d.makeCtx(); },
+        [&d](LayerDriver::Ctx &ctx, size_t i) {
+            return runDriverSample(d, ctx, i);
+        },
+        [](const Json &j) { return j; },
+        [](const Json &j) { return j; });
+}
+
+void
+verifyDriverSamples(const LayerDriver &d,
+                    const std::vector<std::optional<Json>> &samples)
+{
+    const double percent = d.verifyPercent();
+    if (percent <= 0.0 || shutdownRequested())
+        return;
+    std::unique_ptr<LayerDriver::Ctx> cold;
+    for (size_t i = 0; i < samples.size(); ++i) {
+        if (!samples[i] || !verifyReplaySelected(i, percent))
+            continue;
+        if (!cold)
+            cold = d.makeCtx();
+        const Json ref = d.runSampleCold(*cold, i);
+        const std::string want = ref.dump();
+        const std::string got = samples[i]->dump();
+        if (got != want) {
+            throw CheckpointDivergence(strprintf(
+                "verify-checkpoint: %s diverged from its cold re-run "
+                "(cold %s, accelerated %s); the checkpoint path is "
+                "unsound",
+                d.describeSample(i).c_str(), d.payloadName(ref).c_str(),
+                d.payloadName(*samples[i]).c_str()));
+        }
+    }
+}
+
+std::vector<std::optional<Json>>
+runDriver(LayerDriver &d, const ExecConfig &cfg)
+{
+    d.prepare();
+    auto samples = runDriverSamples(d, cfg);
+    verifyDriverSamples(d, samples);
+    return samples;
+}
+
+} // namespace vstack::exec

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Layer-agnostic campaign driver interface.
+ *
+ * Each injection layer (microarchitectural, architectural, software)
+ * used to carry its own copy of the harness plumbing: golden-run and
+ * trace acquisition, checkpoint-ordered dispatch, journal payload
+ * encoding, the cold verification audit, and index-ordered folding.
+ * LayerDriver factors the per-layer surface down to what genuinely
+ * differs — how to build a worker context, how to run one sample hot
+ * or cold, and how to describe it — so the harness (runDriver, below)
+ * and the suite scheduler (src/core/suite.h) share one execution
+ * path for every layer.
+ *
+ * The payload contract: runSample() returns the *exact* bytes that go
+ * into the resume journal ("r" record) and that the fold functions
+ * consume, so journals, resumed runs, and the suite scheduler are
+ * byte-compatible with the historical per-layer paths.
+ */
+#ifndef VSTACK_EXEC_DRIVER_H
+#define VSTACK_EXEC_DRIVER_H
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/executor.h"
+#include "support/json.h"
+
+namespace vstack::exec
+{
+
+class LayerDriver
+{
+  public:
+    /** A worker's private simulation context (its own simulator). */
+    struct Ctx
+    {
+        virtual ~Ctx() = default;
+    };
+
+    virtual ~LayerDriver() = default;
+
+    /** Layer tag for keys/diagnostics: "uarch", "pvf", "svf". */
+    virtual const char *layerName() const = 0;
+
+    /** Campaign sample count. */
+    virtual size_t samples() const = 0;
+
+    /**
+     * Acquire the golden reference and (policy permitting) record the
+     * checkpoint/digest trace, then sample the fault list.  Idempotent
+     * and safe to call concurrently with prepare() of drivers sharing
+     * the same underlying campaign.  Must complete before any
+     * runSample()/scheduleKey() call.
+     * @throws GoldenRunError on a failed or non-reproducing golden run
+     */
+    virtual void prepare() = 0;
+
+    /** Build one worker's private simulation context. */
+    virtual std::unique_ptr<Ctx> makeCtx() const = 0;
+
+    /** Simulate sample i and return its journal payload (the exact
+     *  bytes journaled and folded).  May throw SimError. */
+    virtual Json runSample(Ctx &ctx, size_t i) const = 0;
+
+    /** Simulate sample i cold — from boot, no fast-forward, no early
+     *  termination (the checkpoint-audit reference path). */
+    virtual Json runSampleCold(Ctx &ctx, size_t i) const = 0;
+
+    /** True when samples should dispatch in scheduleKey() order
+     *  (checkpoint-restore locality).  Valid after prepare(). */
+    virtual bool scheduled() const = 0;
+
+    /** Dispatch-order key of sample i (injection cycle / instruction /
+     *  step).  Valid after prepare() when scheduled(). */
+    virtual uint64_t scheduleKey(size_t i) const = 0;
+
+    /** Percentage (0..100) of samples to re-run cold after the
+     *  campaign; 0 when acceleration is off or unverified. */
+    virtual double verifyPercent() const = 0;
+
+    /** Human descriptor of sample i for divergence messages, e.g.
+     *  "sample 12 (RF, cycle 3456, bit 17)". */
+    virtual std::string describeSample(size_t i) const = 0;
+
+    /** Render a journal payload for divergence messages (layers whose
+     *  payload is a bare Outcome integer print its name instead). */
+    virtual std::string payloadName(const Json &payload) const
+    {
+        return payload.dump();
+    }
+};
+
+/**
+ * Run one sample through a driver with the chaos hook: the
+ * `driver.sample.simerr` failpoint (support/failpoint.h) turns a hit
+ * into an InjectionError, letting tests place a deterministic
+ * injector failure in any campaign of a suite and prove it is
+ * quarantined to that one sample.
+ */
+Json runDriverSample(const LayerDriver &d, LayerDriver::Ctx &ctx, size_t i);
+
+/**
+ * Execute a prepared driver's samples through runSamples(): worker
+ * pool, SimError retry + quarantine, journaling, isolation, and
+ * checkpoint-ordered dispatch when the driver asks for it.  Returns
+ * per-sample payloads in index order (nullopt = quarantined).
+ */
+std::vector<std::optional<Json>>
+runDriverSamples(const LayerDriver &d, const ExecConfig &cfg);
+
+/**
+ * The VSTACK_VERIFY_CHECKPOINT audit: re-run the deterministic
+ * d.verifyPercent() subset of `samples` cold and require byte-identical
+ * payloads.  Serial, in the calling thread, after the campaign — the
+ * accelerated results it checks are already final.  No-op when the
+ * audit is off or a shutdown was requested.
+ * @throws CheckpointDivergence on the first mismatch
+ */
+void verifyDriverSamples(const LayerDriver &d,
+                         const std::vector<std::optional<Json>> &samples);
+
+/**
+ * The full single-campaign harness: prepare, run, verify.  The one
+ * body behind UarchCampaign::run / PvfCampaign::run / SvfCampaign::run;
+ * callers fold the returned payloads with their layer's fold function.
+ */
+std::vector<std::optional<Json>> runDriver(LayerDriver &d,
+                                           const ExecConfig &cfg);
+
+} // namespace vstack::exec
+
+#endif // VSTACK_EXEC_DRIVER_H

@@ -121,6 +121,9 @@ Journal::open(const std::string &path, const std::string &meta, uint64_t n,
 {
     close();
     path_ = path;
+    // Per-record campaign tag: short enough to pay per line, unique
+    // enough to catch a record belonging to any other campaign.
+    recTag_ = crc32cHex(crc32c(meta));
 
     std::error_code ec;
     const std::string parent =
@@ -198,6 +201,12 @@ Journal::open(const std::string &path, const std::string &meta, uint64_t n,
                 continue;
             }
             if (!j.has("i")) {
+                corruptLines.push_back(line);
+                continue;
+            }
+            if (j.has("k") && j.at("k").asString() != recTag_) {
+                // Intact frame, foreign campaign tag: the record was
+                // spliced or copied in from another campaign's journal.
                 corruptLines.push_back(line);
                 continue;
             }
@@ -330,6 +339,7 @@ Journal::append(size_t i, const Json &payload)
         return;
     Json j = Json::object();
     j.set("i", i);
+    j.set("k", recTag_);
     j.set("r", payload);
     std::lock_guard<std::mutex> lock(mu);
     writeLine(j);
@@ -342,6 +352,7 @@ Journal::appendError(size_t i, const std::string &msg)
         return;
     Json j = Json::object();
     j.set("i", i);
+    j.set("k", recTag_);
     j.set("err", msg);
     std::lock_guard<std::mutex> lock(mu);
     writeLine(j);
@@ -355,6 +366,7 @@ Journal::appendHostFault(size_t i, const std::string &msg,
         return;
     Json j = Json::object();
     j.set("i", i);
+    j.set("k", recTag_);
     j.set("err", msg);
     j.set("hf", triage);
     std::lock_guard<std::mutex> lock(mu);

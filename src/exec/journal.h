@@ -18,10 +18,18 @@
  * JSON objects are:
  *
  *   {"meta":{"campaign":"<key>","n":N,"seed":S,"fmt":2}}  <- header
- *   {"i":0,"r":{...}}                            <- completed sample
- *   {"i":3,"err":"<message>"}                    <- quarantined sample
- *   {"i":5,"err":"<message>","hf":{...}}         <- host-fault triage
+ *   {"i":0,"k":"<tag>","r":{...}}                <- completed sample
+ *   {"i":3,"k":"<tag>","err":"<message>"}        <- quarantined sample
+ *   {"i":5,"k":"<tag>","err":"...","hf":{...}}   <- host-fault triage
  *                                                   (see exec/sandbox.h)
+ *
+ * "k" is the campaign-key tag: the CRC32C of the header's campaign
+ * string, stamped into every record.  Under a suite many journals are
+ * live in one directory; the tag makes each record self-identifying,
+ * so a record that was spliced, hard-linked, or copied in from a
+ * *different* campaign's journal is quarantined on replay even though
+ * its frame checksum is intact.  Records without "k" (pre-suite
+ * journals) are accepted as legacy.
  *
  * Recovery is per record, not all-or-nothing.  On open() with resume,
  * every line is classified:
@@ -150,6 +158,7 @@ class Journal
                     uint64_t seed) const;
 
     std::string path_;
+    std::string recTag_; ///< campaign-key tag stamped into records ("k")
     std::map<size_t, Json> records;
     std::FILE *out = nullptr;
     bool fsyncOnAppend = false;

@@ -30,6 +30,10 @@ UarchCampaign::UarchCampaign(const CoreConfig &core, Program image)
 void
 UarchCampaign::ensureTrace()
 {
+    // Double-checked under the lock: concurrent structure drivers of a
+    // suite share one campaign, and the recording pass mutates the
+    // campaign's own simulator.
+    std::lock_guard<std::mutex> lock(traceMu);
     if (!policy_.enabled || trace_.recorded())
         return;
     sim.load(image);
@@ -54,19 +58,8 @@ UarchCampaign::ensureTrace()
 Outcome
 UarchCampaign::classify(const UarchRunResult &r) const
 {
-    switch (r.stop) {
-      case StopReason::DetectHit:
-        return Outcome::Detected;
-      case StopReason::Exception:
-      case StopReason::Watchdog:
-      case StopReason::Running:
-        return Outcome::Crash;
-      case StopReason::Exited:
-        break;
-    }
-    if (r.output.dma != golden_.dma || r.output.exitCode != golden_.exitCode)
-        return Outcome::Sdc;
-    return Outcome::Masked;
+    return classifyDeviceRun(r.stop, r.output, golden_.dma,
+                             golden_.exitCode);
 }
 
 Outcome
@@ -165,79 +158,112 @@ sampleFromJson(const Json &j)
     return s;
 }
 
+/** A worker's private cycle-level simulator. */
+struct UarchCtx final : exec::LayerDriver::Ctx
+{
+    explicit UarchCtx(const CoreConfig &core) : sim(core) {}
+    CycleSim sim;
+};
+
 } // namespace
+
+UarchDriver::UarchDriver(UarchCampaign &campaign, Structure structure,
+                         size_t n, uint64_t seed)
+    : campaign(campaign), structure(structure), n(n), seed(seed)
+{
+}
+
+void
+UarchDriver::prepare()
+{
+    // Trace first: ensureTrace() serializes concurrent drivers sharing
+    // this campaign, so by the time sampleSites() touches the shared
+    // simulator the recording pass is over.
+    campaign.ensureTrace();
+    if (sites.empty())
+        sites = campaign.sampleSites(structure, n, seed);
+}
+
+std::unique_ptr<exec::LayerDriver::Ctx>
+UarchDriver::makeCtx() const
+{
+    return std::make_unique<UarchCtx>(campaign.core());
+}
+
+Json
+UarchDriver::runSample(Ctx &ctx, size_t i) const
+{
+    UarchSample s;
+    s.out = campaign.runOneOn(static_cast<UarchCtx &>(ctx).sim, sites[i],
+                              s.vis);
+    return sampleToJson(s);
+}
+
+Json
+UarchDriver::runSampleCold(Ctx &ctx, size_t i) const
+{
+    UarchSample s;
+    s.out = campaign.runOneColdOn(static_cast<UarchCtx &>(ctx).sim,
+                                  sites[i], s.vis);
+    return sampleToJson(s);
+}
+
+bool
+UarchDriver::scheduled() const
+{
+    return campaign.checkpointPolicy().enabled &&
+           campaign.trace().recorded();
+}
+
+uint64_t
+UarchDriver::scheduleKey(size_t i) const
+{
+    return sites[i].cycle;
+}
+
+double
+UarchDriver::verifyPercent() const
+{
+    return scheduled() ? campaign.checkpointPolicy().verifyPercent : 0.0;
+}
+
+std::string
+UarchDriver::describeSample(size_t i) const
+{
+    return strprintf("sample %zu (%s, cycle %llu, bit %llu)", i,
+                     structureName(structure),
+                     static_cast<unsigned long long>(sites[i].cycle),
+                     static_cast<unsigned long long>(sites[i].bit));
+}
+
+UarchCampaignResult
+foldUarchSamples(const std::vector<std::optional<Json>> &samples)
+{
+    // Fold in index order: aggregation is deterministic by
+    // construction, independent of completion order.
+    UarchCampaignResult res;
+    for (const auto &p : samples) {
+        if (!p) {
+            ++res.outcomes.injectorErrors;
+            continue;
+        }
+        const UarchSample s = sampleFromJson(*p);
+        res.outcomes.add(s.out);
+        if (s.vis.visible)
+            res.fpms.add(s.vis.fpm);
+        else
+            ++res.hwMasked;
+    }
+    res.samples = samples.size() - res.outcomes.injectorErrors;
+    return res;
+}
 
 UarchCampaignResult
 UarchCampaign::run(Structure structure, size_t n, uint64_t seed,
                    const exec::ExecConfig &ec)
 {
-    std::vector<FaultSite> sites = sampleSites(structure, n, seed);
-    ensureTrace();
-
-    exec::ExecConfig cfg = ec;
-    if (policy_.enabled && trace_.recorded() && !cfg.scheduleKey) {
-        // Dispatch in injection-cycle order so consecutive samples on
-        // a worker restore the same checkpoint (results still fold in
-        // index order — see ExecConfig::scheduleKey).
-        cfg.scheduleKey = [&sites](size_t i) { return sites[i].cycle; };
-    }
-
-    auto samples = exec::runSamples<UarchSample>(
-        n, cfg,
-        [this] { return std::make_unique<CycleSim>(core_); },
-        [this, &sites](CycleSim &worker, size_t i) {
-            UarchSample s;
-            s.out = runOneOn(worker, sites[i], s.vis);
-            return s;
-        },
-        sampleToJson, sampleFromJson);
-
-    // VSTACK_VERIFY_CHECKPOINT audit: re-run a deterministic subset
-    // cold (from boot, no early termination) and require byte-identical
-    // sample records.  Serial, in the calling process, after the
-    // campaign — the accelerated results it checks are already final.
-    if (policy_.enabled && trace_.recorded() &&
-        policy_.verifyPercent > 0.0 && !exec::shutdownRequested()) {
-        std::unique_ptr<CycleSim> cold;
-        for (size_t i = 0; i < n; ++i) {
-            if (!samples[i] ||
-                !exec::verifyReplaySelected(i, policy_.verifyPercent))
-                continue;
-            if (!cold)
-                cold = std::make_unique<CycleSim>(core_);
-            UarchSample ref;
-            ref.out = runOneColdOn(*cold, sites[i], ref.vis);
-            const std::string want = sampleToJson(ref).dump();
-            const std::string got = sampleToJson(*samples[i]).dump();
-            if (got != want) {
-                throw CheckpointDivergence(strprintf(
-                    "verify-checkpoint: sample %zu (%s, cycle %llu, "
-                    "bit %llu) diverged from its cold re-run (cold %s, "
-                    "accelerated %s); the checkpoint path is unsound",
-                    i, structureName(structure),
-                    static_cast<unsigned long long>(sites[i].cycle),
-                    static_cast<unsigned long long>(sites[i].bit),
-                    want.c_str(), got.c_str()));
-            }
-        }
-    }
-
-    // Fold in index order: aggregation is deterministic by
-    // construction, independent of completion order.
-    UarchCampaignResult res;
-    for (const auto &s : samples) {
-        if (!s) {
-            ++res.outcomes.injectorErrors;
-            continue;
-        }
-        res.outcomes.add(s->out);
-        if (s->vis.visible)
-            res.fpms.add(s->vis.fpm);
-        else
-            ++res.hwMasked;
-    }
-    res.samples = n - res.outcomes.injectorErrors;
-    return res;
+    UarchDriver driver(*this, structure, n, seed);
+    return foldUarchSamples(exec::runDriver(driver, ec));
 }
 
 } // namespace vstack

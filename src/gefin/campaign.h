@@ -29,9 +29,11 @@
 #ifndef VSTACK_GEFIN_CAMPAIGN_H
 #define VSTACK_GEFIN_CAMPAIGN_H
 
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "exec/driver.h"
 #include "exec/executor.h"
 #include "machine/fpm.h"
 #include "machine/outcome.h"
@@ -112,6 +114,8 @@ class UarchCampaign
      * Record the golden checkpoint/digest trace (second golden pass)
      * if the policy enables acceleration and it is not recorded yet.
      * run() calls this lazily; the trace is shared across structures.
+     * Thread-safe: concurrent structure drivers sharing this campaign
+     * (the suite scheduler) record once and block until it is done.
      * @throws GoldenRunError if the recording pass does not reproduce
      *         the construction-time golden run
      */
@@ -151,7 +155,44 @@ class UarchCampaign
     exec::WatchdogBudget watchdog;
     exec::CheckpointPolicy policy_;
     UarchTrace trace_;
+    std::mutex traceMu; ///< serializes the recording pass
 };
+
+/**
+ * LayerDriver adapter: one structure campaign of a UarchCampaign.
+ * prepare() records the shared trace and samples the fault list; the
+ * journal payload is the {"o","v"[,"f","c"]} sample record the layer
+ * has always used, so journals and stores stay byte-compatible.
+ */
+class UarchDriver final : public exec::LayerDriver
+{
+  public:
+    UarchDriver(UarchCampaign &campaign, Structure structure, size_t n,
+                uint64_t seed);
+
+    const char *layerName() const override { return "uarch"; }
+    size_t samples() const override { return n; }
+    void prepare() override;
+    std::unique_ptr<Ctx> makeCtx() const override;
+    Json runSample(Ctx &ctx, size_t i) const override;
+    Json runSampleCold(Ctx &ctx, size_t i) const override;
+    bool scheduled() const override;
+    uint64_t scheduleKey(size_t i) const override;
+    double verifyPercent() const override;
+    std::string describeSample(size_t i) const override;
+
+  private:
+    UarchCampaign &campaign;
+    Structure structure;
+    size_t n;
+    uint64_t seed;
+    std::vector<FaultSite> sites; ///< sampled by prepare()
+};
+
+/** Fold per-sample driver payloads (index order) into the campaign
+ *  aggregate; nullopt samples count as quarantined injector errors. */
+UarchCampaignResult
+foldUarchSamples(const std::vector<std::optional<Json>> &samples);
 
 } // namespace vstack
 

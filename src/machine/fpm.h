@@ -36,6 +36,25 @@ fpmName(Fpm f)
     return "?";
 }
 
+constexpr Fpm allFpms[] = {Fpm::WD, Fpm::WI, Fpm::WOI, Fpm::ESC};
+
+/** Inverse of fpmName(); false when the name matches nothing. */
+inline bool
+fpmFromName(const char *name, Fpm &out)
+{
+    for (Fpm f : allFpms) {
+        const char *n = fpmName(f);
+        size_t i = 0;
+        while (n[i] && name[i] == n[i])
+            ++i;
+        if (!n[i] && !name[i]) {
+            out = f;
+            return true;
+        }
+    }
+    return false;
+}
+
 /** Per-FPM counters from an HVF campaign. */
 struct FpmCounts
 {

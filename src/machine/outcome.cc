@@ -1,0 +1,46 @@
+#include "outcome.h"
+
+#include "machine/devices.h"
+
+namespace vstack
+{
+
+Outcome
+classifyRun(StopReason stop, bool outputMatchesGolden)
+{
+    switch (stop) {
+      case StopReason::DetectHit:
+        return Outcome::Detected;
+      case StopReason::Exception:
+      case StopReason::Watchdog:
+      case StopReason::Running:
+        return Outcome::Crash;
+      case StopReason::Exited:
+        break;
+    }
+    return outputMatchesGolden ? Outcome::Masked : Outcome::Sdc;
+}
+
+Outcome
+classifyDeviceRun(StopReason stop, const DeviceOutput &out,
+                  const std::vector<uint8_t> &goldenDma,
+                  uint32_t goldenExitCode)
+{
+    return classifyRun(stop, out.dma == goldenDma &&
+                                 out.exitCode == goldenExitCode);
+}
+
+OutcomeCounts
+foldOutcomeSamples(const std::vector<std::optional<Json>> &samples)
+{
+    OutcomeCounts counts;
+    for (const auto &s : samples) {
+        if (s)
+            counts.add(static_cast<Outcome>(s->asInt()));
+        else
+            ++counts.injectorErrors;
+    }
+    return counts;
+}
+
+} // namespace vstack

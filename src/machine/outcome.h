@@ -12,9 +12,15 @@
 #define VSTACK_MACHINE_OUTCOME_H
 
 #include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "support/json.h"
 
 namespace vstack
 {
+
+struct DeviceOutput;
 
 /** Why a simulation run stopped (shared by both simulators). */
 enum class StopReason : uint8_t {
@@ -86,6 +92,31 @@ struct OutcomeCounts
     /** Vulnerability = SDC + Crash rate (detections excluded). */
     double vulnerability() const { return sdcRate() + crashRate(); }
 };
+
+/**
+ * Golden-reference classification shared by all three injection
+ * layers (paper Section III.A).  The stop-reason mapping is identical
+ * everywhere: a detect-syscall hit is Detected; an exception, a
+ * tripped watchdog, or a run that never stopped is a Crash.  Only a
+ * cleanly exited run consults the layer's output comparison — the
+ * `outputMatchesGolden` hook — to separate Masked from SDC.
+ */
+Outcome classifyRun(StopReason stop, bool outputMatchesGolden);
+
+/** classifyRun() with the machine layers' output hook: DMA stream and
+ *  exit code against the golden run (uarch + arch campaigns). */
+Outcome classifyDeviceRun(StopReason stop, const DeviceOutput &out,
+                          const std::vector<uint8_t> &goldenDma,
+                          uint32_t goldenExitCode);
+
+/**
+ * Fold per-sample outcome payloads (the journal encoding used by the
+ * PVF and SVF drivers: one integer Outcome per sample) into aggregate
+ * counts, in index order.  A missing sample is a quarantined injector
+ * error, excluded from every rate denominator (paper §VI.B).
+ */
+OutcomeCounts
+foldOutcomeSamples(const std::vector<std::optional<Json>> &samples);
 
 } // namespace vstack
 

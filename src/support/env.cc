@@ -113,6 +113,8 @@ EnvConfig::fromEnvironment()
               cfg.verifyCheckpoint);
     cfg.goldenBudget = static_cast<uint64_t>(
         envIntStrict("VSTACK_GOLDEN_BUDGET", 100'000'000, 1));
+    cfg.goldenCache =
+        static_cast<unsigned>(envIntStrict("VSTACK_GOLDEN_CACHE", 2, 1));
     return cfg;
 }
 

@@ -38,6 +38,12 @@
  *   VSTACK_GOLDEN_BUDGET=N  golden-run reference budget in cycles/
  *                       instructions/steps (>= 1); the actual cap is
  *                       the campaign watchdog applied to N
+ *   VSTACK_GOLDEN_CACHE=N   cycle-level campaigns (golden run +
+ *                       recorded checkpoint trace) kept in memory at
+ *                       once (>= 1, default 2); evicting one means the
+ *                       next structure campaign on that (core,
+ *                       workload) redoes the golden work, so suites
+ *                       trade memory for repeated golden runs here
  *
  * Values that shape execution (VSTACK_JOBS, VSTACK_ISOLATE,
  * VSTACK_WATCHDOG, VSTACK_JOURNAL_FSYNC, VSTACK_VERIFY_REPLAY,
@@ -108,6 +114,9 @@ struct EnvConfig
     /** Golden-run reference budget (cycles/insts/steps) the campaign
      *  watchdog is applied to; caps the fault-free reference run. */
     uint64_t goldenBudget = 100'000'000;
+    /** Cycle-level campaigns (golden run + recorded trace) kept in
+     *  memory at once; the oldest is evicted beyond this. */
+    unsigned goldenCache = 2;
 
     /** Resolve from the process environment. */
     static EnvConfig fromEnvironment();

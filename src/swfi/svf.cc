@@ -20,6 +20,10 @@ SvfCampaign::SvfCampaign(const ir::Module &mod) : m(mod), interp(mod)
 void
 SvfCampaign::ensureTrace()
 {
+    // Double-checked under the lock: suite prepare tasks may race a
+    // serial runOne(), and the recording pass mutates the campaign's
+    // own interpreter.
+    std::lock_guard<std::mutex> lock(traceMu);
     if (!policy_.enabled || trace_.recorded())
         return;
     // The recording budget must cover the known golden length even if
@@ -41,19 +45,8 @@ SvfCampaign::ensureTrace()
 Outcome
 SvfCampaign::classify(const InterpResult &r) const
 {
-    switch (r.stop) {
-      case StopReason::DetectHit:
-        return Outcome::Detected;
-      case StopReason::Exception:
-      case StopReason::Watchdog:
-      case StopReason::Running:
-        return Outcome::Crash;
-      case StopReason::Exited:
-        break;
-    }
-    if (r.output != golden_.output || r.exitCode != golden_.exitCode)
-        return Outcome::Sdc;
-    return Outcome::Masked;
+    return classifyRun(r.stop, r.output == golden_.output &&
+                                   r.exitCode == golden_.exitCode);
 }
 
 Outcome
@@ -87,78 +80,100 @@ SvfCampaign::runOneColdOn(IrInterp &worker, uint64_t targetValueStep,
     return classify(r);
 }
 
+namespace
+{
+
+/** A worker's private IR interpreter. */
+struct SvfCtx final : exec::LayerDriver::Ctx
+{
+    explicit SvfCtx(const ir::Module &m) : interp(m) {}
+    IrInterp interp;
+};
+
+} // namespace
+
+SvfDriver::SvfDriver(SvfCampaign &campaign, size_t n, uint64_t seed)
+    : campaign(campaign), n(n)
+{
+    // Pre-sample every fault from the i-th fork of the master stream
+    // (a pure function of (seed, i)) — see src/exec/executor.h.  The
+    // golden reference is immutable after campaign construction, so
+    // the fault list lives in the constructor.
+    Rng master(seed ^ 0x5f0d1e2c3b4a5968ull);
+    faults.resize(n);
+    for (SvfFault &f : faults) {
+        Rng rng = master.fork();
+        f.step = rng.uniform(campaign.golden().valueSteps);
+        f.bit = static_cast<int>(rng.uniform(campaign.m.xlen));
+    }
+}
+
+void
+SvfDriver::prepare()
+{
+    campaign.ensureTrace();
+}
+
+std::unique_ptr<exec::LayerDriver::Ctx>
+SvfDriver::makeCtx() const
+{
+    return std::make_unique<SvfCtx>(campaign.m);
+}
+
+Json
+SvfDriver::runSample(Ctx &ctx, size_t i) const
+{
+    return Json(static_cast<int>(
+        campaign.runOneOn(static_cast<SvfCtx &>(ctx).interp,
+                          faults[i].step, faults[i].bit)));
+}
+
+Json
+SvfDriver::runSampleCold(Ctx &ctx, size_t i) const
+{
+    return Json(static_cast<int>(
+        campaign.runOneColdOn(static_cast<SvfCtx &>(ctx).interp,
+                              faults[i].step, faults[i].bit)));
+}
+
+bool
+SvfDriver::scheduled() const
+{
+    return campaign.checkpointPolicy().enabled &&
+           campaign.trace().recorded();
+}
+
+uint64_t
+SvfDriver::scheduleKey(size_t i) const
+{
+    return faults[i].step;
+}
+
+double
+SvfDriver::verifyPercent() const
+{
+    return scheduled() ? campaign.checkpointPolicy().verifyPercent : 0.0;
+}
+
+std::string
+SvfDriver::describeSample(size_t i) const
+{
+    return strprintf("SVF sample %zu (value step %llu, bit %d)", i,
+                     static_cast<unsigned long long>(faults[i].step),
+                     faults[i].bit);
+}
+
+std::string
+SvfDriver::payloadName(const Json &payload) const
+{
+    return outcomeName(static_cast<Outcome>(payload.asInt()));
+}
+
 OutcomeCounts
 SvfCampaign::run(size_t n, uint64_t seed, const exec::ExecConfig &ec)
 {
-    Rng master(seed ^ 0x5f0d1e2c3b4a5968ull);
-
-    // Pre-sample every fault from the i-th fork of the master stream
-    // (a pure function of (seed, i)) — see src/exec/executor.h.
-    struct SvfFault
-    {
-        uint64_t step;
-        int bit;
-    };
-    std::vector<SvfFault> faults(n);
-    for (SvfFault &f : faults) {
-        Rng rng = master.fork();
-        f.step = rng.uniform(golden_.valueSteps);
-        f.bit = static_cast<int>(rng.uniform(m.xlen));
-    }
-
-    ensureTrace();
-
-    exec::ExecConfig cfg = ec;
-    if (policy_.enabled && trace_.recorded() && !cfg.scheduleKey) {
-        // Dispatch in fault-step order so consecutive samples on a
-        // worker restore the same checkpoint (results still fold in
-        // index order — see ExecConfig::scheduleKey).
-        cfg.scheduleKey = [&faults](size_t i) { return faults[i].step; };
-    }
-
-    auto samples = exec::runSamples<Outcome>(
-        n, cfg,
-        [this] { return std::make_unique<IrInterp>(m); },
-        [this, &faults](IrInterp &worker, size_t i) {
-            return runOneOn(worker, faults[i].step, faults[i].bit);
-        },
-        [](Outcome o) { return Json(static_cast<int>(o)); },
-        [](const Json &j) { return static_cast<Outcome>(j.asInt()); });
-
-    // VSTACK_VERIFY_CHECKPOINT audit: re-run a deterministic subset
-    // cold and require identical outcomes (see UarchCampaign::run).
-    if (policy_.enabled && trace_.recorded() &&
-        policy_.verifyPercent > 0.0 && !exec::shutdownRequested()) {
-        std::unique_ptr<IrInterp> cold;
-        for (size_t i = 0; i < n; ++i) {
-            if (!samples[i] ||
-                !exec::verifyReplaySelected(i, policy_.verifyPercent))
-                continue;
-            if (!cold)
-                cold = std::make_unique<IrInterp>(m);
-            const Outcome ref =
-                runOneColdOn(*cold, faults[i].step, faults[i].bit);
-            if (ref != *samples[i]) {
-                throw CheckpointDivergence(strprintf(
-                    "verify-checkpoint: SVF sample %zu (value step "
-                    "%llu, bit %d) diverged from its cold re-run "
-                    "(cold %s, accelerated %s); the checkpoint path "
-                    "is unsound",
-                    i, static_cast<unsigned long long>(faults[i].step),
-                    faults[i].bit, outcomeName(ref),
-                    outcomeName(*samples[i])));
-            }
-        }
-    }
-
-    OutcomeCounts counts;
-    for (const auto &s : samples) {
-        if (s)
-            counts.add(*s);
-        else
-            ++counts.injectorErrors;
-    }
-    return counts;
+    SvfDriver driver(*this, n, seed);
+    return foldOutcomeSamples(exec::runDriver(driver, ec));
 }
 
 } // namespace vstack

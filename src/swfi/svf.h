@@ -17,7 +17,10 @@
 #ifndef VSTACK_SWFI_SVF_H
 #define VSTACK_SWFI_SVF_H
 
+#include <mutex>
+
 #include "compiler/ir.h"
+#include "exec/driver.h"
 #include "exec/executor.h"
 #include "machine/outcome.h"
 #include "swfi/interp.h"
@@ -75,6 +78,8 @@ class SvfCampaign
                       const exec::ExecConfig &ec = {});
 
   private:
+    friend class SvfDriver;
+
     Outcome classify(const InterpResult &r) const;
 
     const ir::Module &m;
@@ -83,6 +88,41 @@ class SvfCampaign
     exec::WatchdogBudget watchdog{4.0, 100'000};
     exec::CheckpointPolicy policy_;
     SwfiTrace trace_;
+    std::mutex traceMu; ///< serializes the recording pass
+};
+
+/**
+ * LayerDriver adapter: one (sample count, seed) SVF campaign.  The
+ * journal payload is the bare Outcome integer the layer has always
+ * used, so journals and stores stay byte-compatible.
+ */
+class SvfDriver final : public exec::LayerDriver
+{
+  public:
+    SvfDriver(SvfCampaign &campaign, size_t n, uint64_t seed);
+
+    const char *layerName() const override { return "svf"; }
+    size_t samples() const override { return n; }
+    void prepare() override;
+    std::unique_ptr<Ctx> makeCtx() const override;
+    Json runSample(Ctx &ctx, size_t i) const override;
+    Json runSampleCold(Ctx &ctx, size_t i) const override;
+    bool scheduled() const override;
+    uint64_t scheduleKey(size_t i) const override;
+    double verifyPercent() const override;
+    std::string describeSample(size_t i) const override;
+    std::string payloadName(const Json &payload) const override;
+
+  private:
+    struct SvfFault
+    {
+        uint64_t step;
+        int bit;
+    };
+
+    SvfCampaign &campaign;
+    size_t n;
+    std::vector<SvfFault> faults; ///< pre-sampled fault list
 };
 
 } // namespace vstack

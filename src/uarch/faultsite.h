@@ -33,6 +33,19 @@ constexpr Structure allStructures[] = {Structure::RF, Structure::LSQ,
                                        Structure::L1I, Structure::L1D,
                                        Structure::L2};
 
+/** Inverse of structureName(); false when the name matches nothing. */
+inline bool
+structureFromName(const std::string &name, Structure &out)
+{
+    for (Structure s : allStructures) {
+        if (name == structureName(s)) {
+            out = s;
+            return true;
+        }
+    }
+    return false;
+}
+
 /** One sampled microarchitectural fault. */
 struct FaultSite
 {

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Suite-scheduler tests: the pooled multi-campaign executor
+ * (core/suite.h) must be observationally identical to running each
+ * campaign through the serial VulnerabilityStack entry points —
+ * byte-identical ResultStore contents at any jobs count, under
+ * --isolate, and across a mid-suite SIGKILL + resume — while
+ * containing per-sample injector failures to their own campaign.
+ *
+ * Kill/resume and isolation tests fork real children and are excluded
+ * from the TSan stage of tools/ci_sanitize.sh, like the sandbox and
+ * chaos tests.
+ */
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "core/suite.h"
+#include "support/failpoint.h"
+
+namespace vstack
+{
+namespace
+{
+
+EnvConfig
+suiteCfg(const std::string &dir)
+{
+    EnvConfig cfg;
+    cfg.uarchFaults = 8;
+    cfg.archFaults = 12;
+    cfg.swFaults = 12;
+    cfg.seed = 7;
+    cfg.resultsDir = dir;
+    cfg.jobs = 1;
+    return cfg;
+}
+
+/** A small plan crossing all three layers (two uarch structures on
+ *  one golden, so the shared-campaign path is exercised too). */
+CampaignPlan
+mixedPlan()
+{
+    CampaignPlan plan;
+    const Variant fft{"fft", false};
+    const Variant qs{"qsort", false};
+    plan.addUarch("ax9", fft, Structure::RF);
+    plan.addUarch("ax9", fft, Structure::LSQ);
+    plan.addPvf(IsaId::Av64, fft, Fpm::WD);
+    plan.addSvf(fft);
+    plan.addSvf(qs);
+    return plan;
+}
+
+/** Every regular file under `dir`, keyed by relative path — the
+ *  byte-identity comparisons diff whole store directories. */
+std::map<std::string, std::string>
+storeBytes(const std::string &dir)
+{
+    std::map<std::string, std::string> out;
+    if (!std::filesystem::exists(dir))
+        return out;
+    for (const auto &e :
+         std::filesystem::recursive_directory_iterator(dir)) {
+        if (!e.is_regular_file())
+            continue;
+        std::ifstream in(e.path(), std::ios::binary);
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        out[std::filesystem::relative(e.path(), dir).string()] =
+            ss.str();
+    }
+    return out;
+}
+
+class SuiteTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        clearFailpoints();
+        // Per-process dir: ctest runs cases concurrently.
+        base = "/tmp/vstack_suite_test." + std::to_string(getpid());
+        std::filesystem::remove_all(base);
+    }
+    void TearDown() override
+    {
+        clearFailpoints();
+        std::filesystem::remove_all(base);
+    }
+
+    /** The reference store: the plan through the serial path. */
+    std::map<std::string, std::string> serialReference(
+        const CampaignPlan &plan)
+    {
+        const std::string dir = base + "/serial";
+        VulnerabilityStack stack(suiteCfg(dir));
+        SuiteOptions opts;
+        opts.serial = true;
+        SuiteReport r = runSuite(stack, plan, opts);
+        EXPECT_FALSE(r.interrupted);
+        return storeBytes(dir);
+    }
+
+    std::string base;
+};
+
+TEST_F(SuiteTest, ScheduledStoreIsByteIdenticalToSerialAtAnyJobs)
+{
+    const CampaignPlan plan = mixedPlan();
+    const auto reference = serialReference(plan);
+    ASSERT_EQ(reference.size(), plan.size())
+        << "one store entry per unique campaign";
+
+    for (unsigned jobs : {1u, 4u}) {
+        const std::string dir =
+            base + "/jobs" + std::to_string(jobs);
+        EnvConfig cfg = suiteCfg(dir);
+        cfg.jobs = jobs;
+        VulnerabilityStack stack(cfg);
+        SuiteReport r = runSuite(stack, plan, {});
+        EXPECT_FALSE(r.interrupted);
+        EXPECT_EQ(r.outcomes.size(), plan.size());
+        for (const CampaignOutcome &o : r.outcomes)
+            EXPECT_TRUE(o.complete) << o.spec.label();
+        EXPECT_EQ(storeBytes(dir), reference) << "jobs=" << jobs;
+    }
+}
+
+TEST_F(SuiteTest, IsolatedSuiteMatchesSerial)
+{
+    const CampaignPlan plan = mixedPlan();
+    const auto reference = serialReference(plan);
+
+    const std::string dir = base + "/isolated";
+    EnvConfig cfg = suiteCfg(dir);
+    cfg.jobs = 2;
+    cfg.isolate = true;
+    VulnerabilityStack stack(cfg);
+    SuiteReport r = runSuite(stack, plan, {});
+    EXPECT_FALSE(r.interrupted);
+    EXPECT_EQ(storeBytes(dir), reference);
+}
+
+TEST_F(SuiteTest, KillMidSuiteThenResumeIsByteIdentical)
+{
+    const CampaignPlan plan = mixedPlan();
+    const auto reference = serialReference(plan);
+    const std::string dir = base + "/killed";
+
+    // A child suite dies by "SIGKILL" exactly mid-journal-append,
+    // partway into the pooled run.
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        armFailpoints("journal.append.kill=@6");
+        EnvConfig cfg = suiteCfg(dir);
+        cfg.jobs = 2;
+        try {
+            VulnerabilityStack stack(cfg);
+            runSuite(stack, plan, {});
+        } catch (...) {
+        }
+        _exit(0); // failpoint did not fire: fail the parent's check
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    ASSERT_EQ(WEXITSTATUS(status), 137) << "child must die mid-append";
+
+    // Resume: per-campaign journals replay what finished, the pool
+    // re-simulates only the remainder, and the final store is
+    // byte-identical to the never-killed serial run (journals gone).
+    EnvConfig cfg = suiteCfg(dir);
+    cfg.jobs = 2;
+    VulnerabilityStack stack(cfg);
+    SuiteReport r = runSuite(stack, plan, {});
+    EXPECT_FALSE(r.interrupted);
+    for (const CampaignOutcome &o : r.outcomes)
+        EXPECT_TRUE(o.complete) << o.spec.label();
+    EXPECT_EQ(storeBytes(dir), reference);
+}
+
+TEST_F(SuiteTest, SimErrorIsQuarantinedToItsOwnCampaign)
+{
+    // Two single-layer campaigns; the first executed sample of the
+    // first campaign fails with a SimError on both the attempt and
+    // the in-context retry, so exactly one sample is quarantined.
+    CampaignPlan plan;
+    plan.addSvf({"fft", false});
+    plan.addSvf({"qsort", false});
+
+    EnvConfig cfg = suiteCfg(base + "/simerr");
+    VulnerabilityStack stack(cfg);
+    armFailpoints("driver.sample.simerr=2");
+    SuiteReport r = runSuite(stack, plan, {});
+    clearFailpoints();
+
+    ASSERT_EQ(r.outcomes.size(), 2u);
+    EXPECT_FALSE(r.interrupted);
+    EXPECT_EQ(r.outcomes[0].counts.injectorErrors, 1u)
+        << "the failing sample is excluded, not fatal";
+    EXPECT_EQ(r.outcomes[0].counts.total(), cfg.swFaults - 1);
+    EXPECT_EQ(r.outcomes[1].counts.injectorErrors, 0u)
+        << "the quarantine must not leak into the next campaign";
+    EXPECT_EQ(r.outcomes[1].counts.total(), cfg.swFaults);
+}
+
+TEST_F(SuiteTest, SecondRunIsServedEntirelyFromTheStore)
+{
+    const CampaignPlan plan = mixedPlan();
+    const std::string dir = base + "/cached";
+    EnvConfig cfg = suiteCfg(dir);
+    cfg.jobs = 4;
+    {
+        VulnerabilityStack stack(cfg);
+        SuiteReport first = runSuite(stack, plan, {});
+        EXPECT_EQ(first.cacheHits, 0u);
+    }
+    const auto before = storeBytes(dir);
+
+    VulnerabilityStack stack(cfg);
+    SuiteReport again = runSuite(stack, plan, {});
+    EXPECT_EQ(again.cacheHits, plan.size());
+    for (const CampaignOutcome &o : again.outcomes) {
+        EXPECT_TRUE(o.complete);
+        EXPECT_TRUE(o.cacheHit) << o.spec.label();
+    }
+    EXPECT_EQ(storeBytes(dir), before) << "a cache-hit run writes nothing";
+}
+
+TEST_F(SuiteTest, DuplicateSpecsShareOneRun)
+{
+    CampaignPlan plan;
+    plan.addSvf({"fft", false});
+    plan.addSvf({"fft", false});
+
+    VulnerabilityStack stack(suiteCfg(base + "/dup"));
+    SuiteReport r = runSuite(stack, plan, {});
+    ASSERT_EQ(r.outcomes.size(), 2u);
+    EXPECT_TRUE(r.outcomes[0].complete);
+    EXPECT_TRUE(r.outcomes[1].complete);
+    EXPECT_EQ(r.outcomes[0].counts.masked, r.outcomes[1].counts.masked);
+    EXPECT_EQ(r.outcomes[0].counts.sdc, r.outcomes[1].counts.sdc);
+    EXPECT_EQ(r.outcomes[0].counts.crash, r.outcomes[1].counts.crash);
+    EXPECT_EQ(r.outcomes[0].counts.detected,
+              r.outcomes[1].counts.detected);
+    EXPECT_EQ(storeBytes(base + "/dup").size(), 1u)
+        << "one store entry for the deduplicated campaign";
+}
+
+TEST_F(SuiteTest, GoldenCacheEvictsBeyondCapacityAndCounts)
+{
+    EnvConfig cfg = suiteCfg("");
+    cfg.goldenCache = 1;
+    VulnerabilityStack stack(cfg);
+    auto fft = stack.campaignFor("ax9", {"fft", false});
+    EXPECT_EQ(stack.goldenEvictions(), 0u);
+    auto qs = stack.campaignFor("ax9", {"qsort", false});
+    EXPECT_EQ(stack.goldenEvictions(), 1u)
+        << "capacity 1: the older entry is evicted";
+    // Evicted entries stay alive while callers hold the pointer.
+    EXPECT_NE(fft, nullptr);
+    EXPECT_NE(fft, qs);
+    // Re-requesting the survivor evicts nothing further.
+    auto qs2 = stack.campaignFor("ax9", {"qsort", false});
+    EXPECT_EQ(qs2, qs) << "cached entry is shared, not rebuilt";
+    EXPECT_EQ(stack.goldenEvictions(), 1u);
+
+    EnvConfig roomy = suiteCfg("");
+    roomy.goldenCache = 2;
+    VulnerabilityStack stack2(roomy);
+    stack2.campaignFor("ax9", {"fft", false});
+    stack2.campaignFor("ax9", {"qsort", false});
+    EXPECT_EQ(stack2.goldenEvictions(), 0u);
+}
+
+} // namespace
+} // namespace vstack

@@ -5,7 +5,8 @@
 #   - address: sandbox-isolation smoke + failpoint chaos smoke (the
 #     storage recovery paths and one end-to-end CLI chaos schedule)
 #     + checkpoint smoke (the snapshot/restore fast-forward path and
-#     a verified CLI campaign)
+#     a verified CLI campaign) + suite smoke (the pooled multi-campaign
+#     scheduler vs the serial path, byte for byte)
 #   - thread: the campaign-executor tests (test_exec + the parallel
 #     campaign determinism tests), i.e. everything that exercises the
 #     worker pool in src/exec
@@ -67,17 +68,29 @@ ctest --test-dir "${prefix}-address" --output-on-failure -j "${jobs}" \
 VSTACK_RESULTS= "${prefix}-address/tools/vstack" campaign sha \
     --core ax9 -n 24 --seed 7 --verify-checkpoint=100 > /dev/null
 
+echo "=== suite smoke [address]"
+# The suite scheduler under ASan: one worker pool multiplexes
+# prepare/sample/finalize steps of many campaigns, with per-run
+# contexts, mid-flight resource release, and kill/resume children —
+# where lifetime bugs between a finalized campaign and a worker still
+# holding its context would surface.  The ctest stage runs the
+# scheduler determinism suite; the script runs a cross-layer manifest
+# through the real CLI both ways and diffs the stores byte for byte.
+ctest --test-dir "${prefix}-address" --output-on-failure -j "${jobs}" \
+      -R 'Suite'
+tools/suite_smoke.sh --smoke "${prefix}-address"
+
 dir="${prefix}-thread"
 build thread "${dir}"
 echo "=== executor tests [thread]"
 # The executor tests plus the campaign-level parallel determinism and
 # resume tests are the code that actually runs multithreaded.  The
-# filter deliberately excludes the Sandbox/Isolated fork tests and the
-# Chaos suite (which also forks failpoint-armed children): fork from a
-# multithreaded TSan process is unsupported (both are covered by the
-# ASan smoke stages above instead).
+# filter deliberately excludes the Sandbox/Isolated fork tests plus
+# the Chaos and Suite suites (both fork failpoint-armed children):
+# fork from a multithreaded TSan process is unsupported (all are
+# covered by the ASan smoke stages above instead).
 ctest --test-dir "${dir}" --output-on-failure -j "${jobs}" \
       -R 'Executor|Journal|Parallel|Resume|Jobs' \
-      -E 'Sandbox|Isolated|Chaos'
+      -E 'Sandbox|Isolated|Chaos|Suite'
 
 echo "=== all sanitizer runs passed"

@@ -1,0 +1,146 @@
+#!/usr/bin/env bash
+# Suite-scheduler smoke: run the fig04 campaign set (PVF + SVF + all
+# uarch structures, every paper workload) twice through `vstack suite`
+# — once --serial (each campaign through the stack entry points, one
+# after another) and once through the pooled scheduler — and require
+# the two runs to be byte-identical: same stdout report, same
+# ResultStore directory tree, bit for bit.
+#
+# Full mode also times both runs cold (fresh store per repetition,
+# best of 3) and emits BENCH_suite.json.  The >= MIN_SPEEDUP assertion
+# only applies on hosts with >= 2 usable CPUs: a parallel scheduler
+# cannot beat a serial run on one core, so single-CPU hosts record the
+# measured ratio and the CPU count instead of failing.
+#
+# Usage: tools/suite_smoke.sh [--smoke] [build-dir]
+#   --smoke  3-campaign manifest, one repetition, byte-identity only
+#            (CI-sized; no BENCH file, no speedup assertion)
+# Env: VSTACK_FAULTS (default 24), MIN_SPEEDUP (default 1.3)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+smoke=0
+if [ "${1:-}" = "--smoke" ]; then
+    smoke=1
+    shift
+fi
+build="${1:-build}"
+vstack="${build}/tools/vstack"
+if [ ! -x "${vstack}" ]; then
+    echo "error: ${vstack} not built (cmake --build ${build})" >&2
+    exit 1
+fi
+
+work="$(mktemp -d)"
+trap 'rm -rf "${work}"' EXIT
+
+faults="${VSTACK_FAULTS:-24}"
+min_speedup="${MIN_SPEEDUP:-1.3}"
+jobs=4
+reps=3
+if [ "${smoke}" = 1 ]; then
+    # A cross-layer slice small enough for a sanitizer build: one PVF,
+    # one SVF, and one full uarch structure sweep on a shared golden.
+    cat > "${work}/manifest.json" <<'EOF'
+{"campaigns": [
+  {"layer": "pvf", "workload": "fft", "isa": "av64", "fpm": "WD"},
+  {"layer": "svf", "workload": "fft"},
+  {"layer": "uarch", "workload": "fft", "core": "ax72", "structure": "*"}
+]}
+EOF
+    reps=1
+else
+    # The fig04 set: every paper workload at all three layers.
+    cat > "${work}/manifest.json" <<'EOF'
+{"campaigns": [
+  {"layer": "pvf", "workload": "*", "isa": "av64", "fpm": "WD"},
+  {"layer": "svf", "workload": "*"},
+  {"layer": "uarch", "workload": "*", "core": "ax72", "structure": "*"}
+]}
+EOF
+fi
+
+# run_mode <name> <extra-flags...>: cold suite run into a fresh store;
+# prints elapsed milliseconds.  Stdout report lands in ${work}/<name>.out,
+# the store in ${work}/<name>.store (overwritten each repetition — the
+# last one is what the byte-identity check compares).
+run_mode() {
+    local name="$1"
+    shift
+    rm -rf "${work}/${name}.store"
+    local t0 t1
+    t0=$(date +%s%N)
+    VSTACK_FAULTS="${faults}" VSTACK_RESULTS="${work}/${name}.store" \
+        "${vstack}" suite "${work}/manifest.json" --jobs "${jobs}" "$@" \
+        > "${work}/${name}.out" 2> "${work}/${name}.err"
+    t1=$(date +%s%N)
+    echo $(( (t1 - t0) / 1000000 ))
+}
+
+echo "=== suite smoke: faults=${faults} jobs=${jobs} reps=${reps}"
+
+serial_ms=""
+suite_ms=""
+for rep in $(seq "${reps}"); do
+    s=$(run_mode serial --serial)
+    p=$(run_mode suite)
+    echo "    rep ${rep}: serial=${s}ms suite=${p}ms"
+    if [ -z "${serial_ms}" ] || [ "${s}" -lt "${serial_ms}" ]; then
+        serial_ms="${s}"
+    fi
+    if [ -z "${suite_ms}" ] || [ "${p}" -lt "${suite_ms}" ]; then
+        suite_ms="${p}"
+    fi
+done
+
+cmp "${work}/serial.out" "${work}/suite.out" || {
+    echo "FAIL: scheduled suite report differs from the serial run" >&2
+    exit 1
+}
+diff -r "${work}/serial.store" "${work}/suite.store" > /dev/null || {
+    echo "FAIL: scheduled ResultStore differs from the serial store" >&2
+    exit 1
+}
+echo "    stdout and store byte-identical (serial vs scheduled)"
+
+if [ "${smoke}" = 1 ]; then
+    echo "=== suite smoke passed (byte-identity)"
+    exit 0
+fi
+
+cpus="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)"
+campaigns="$(awk '/^suite: [0-9]+ campaigns$/ { print $2 }' \
+                 "${work}/serial.out")"
+speedup="$(awk -v s="${serial_ms}" -v p="${suite_ms}" \
+               'BEGIN { printf "%.2f", s / p }')"
+echo "    best-of-${reps}: serial=${serial_ms}ms suite=${suite_ms}ms" \
+     "speedup=${speedup}x (${cpus} cpu(s))"
+
+if [ "${cpus}" -ge 2 ]; then
+    awk -v sp="${speedup}" -v min="${min_speedup}" \
+        'BEGIN { exit (sp >= min) ? 0 : 1 }' || {
+        echo "FAIL: speedup ${speedup}x < required ${min_speedup}x" >&2
+        exit 1
+    }
+else
+    echo "    NOTE: single-CPU host — a pooled scheduler cannot beat" \
+         "serial on one core; recording the ratio, skipping the" \
+         ">=${min_speedup}x assertion"
+fi
+
+cat > BENCH_suite.json <<EOF
+{
+  "bench": "suite_scheduler",
+  "manifest": "fig04",
+  "campaigns": ${campaigns},
+  "faults": ${faults},
+  "jobs": ${jobs},
+  "serial_ms": ${serial_ms},
+  "suite_ms": ${suite_ms},
+  "speedup": ${speedup},
+  "min_speedup": ${min_speedup},
+  "cpus": ${cpus},
+  "byte_identical": true
+}
+EOF
+echo "=== suite smoke passed (BENCH_suite.json written)"

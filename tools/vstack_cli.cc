@@ -21,6 +21,28 @@
  *   vstack svf <file.mcl|workload> [-n N] [--seed S] [--harden]
  *           [--jobs J] [--resume] [--isolate]
  *       Run a software-level (LLFI-analog) campaign.
+ *   vstack suite <manifest.json> [--jobs J] [--serial] [...]
+ *       Run every campaign named by a JSON manifest over one shared
+ *       worker pool (golden runs included), memoised through
+ *       $VSTACK_RESULTS.  The manifest is an object with a
+ *       "campaigns" array; each entry names a layer plus its axes,
+ *       with "*" expanding an axis over the paper's sweep:
+ *
+ *         {"campaigns": [
+ *           {"layer": "uarch", "workload": "*", "core": "ax72",
+ *            "structure": "*"},
+ *           {"layer": "pvf", "workload": "fft", "isa": "av64",
+ *            "fpm": "WD"},
+ *           {"layer": "svf", "workload": "fft", "harden": true}]}
+ *
+ *       "workload": "*" expands over the paper's ten benchmarks,
+ *       "structure": "*" over RF/LSQ/L1i/L1d/L2, and "fpm": "*" over
+ *       WD/WI/WOI (ESC is invisible to arch-level injection by
+ *       construction).  --serial runs the same plan through the
+ *       serial per-campaign path (the reference the scheduler must
+ *       match byte for byte); campaign reports on stdout are
+ *       byte-identical either way, at any --jobs, and progress /
+ *       cache diagnostics go to stderr.
  *
  * Sources may be a path to an .mcl file or the name of a bundled
  * workload.
@@ -54,6 +76,7 @@
 
 #include "arch/archsim.h"
 #include "compiler/compile.h"
+#include "core/suite.h"
 #include "exec/executor.h"
 #include "ft/harden.h"
 #include "gefin/campaign.h"
@@ -88,6 +111,14 @@ struct Args
     double verifyReplay = 0.0;
     bool checkpoint = true;
     double verifyCheckpoint = 0.0;
+    bool serial = false;
+    /** @name Explicit-flag markers, so `suite` can tell a CLI override
+     *  from an Args default and fall back to the environment @{ */
+    bool nGiven = false;
+    bool seedGiven = false;
+    bool jobsGiven = false;
+    bool watchdogGiven = false;
+    /** @} */
 };
 
 [[noreturn]] void
@@ -97,7 +128,7 @@ usage()
         stderr,
         "usage: vstack <command> [target] [options]\n"
         "commands: workloads | compile | asm | ir | run | campaign | "
-        "svf\n"
+        "svf | suite\n"
         "options: --isa av32|av64  --core ax9|ax15|ax57|ax72\n"
         "         --structure RF|LSQ|L1i|L1d|L2  -n N  --seed S\n"
         "         --harden  --functional  --xlen 32|64\n"
@@ -110,7 +141,9 @@ usage()
         "         --no-checkpoint (disable checkpoint fast-forward and\n"
         "                    golden-trace early termination)\n"
         "         --verify-checkpoint=P (re-run P%% of checkpointed\n"
-        "                    samples cold; abort on any divergence)\n");
+        "                    samples cold; abort on any divergence)\n"
+        "         --serial (suite only: run campaigns one at a time\n"
+        "                    through the serial reference path)\n");
     std::exit(2);
 }
 
@@ -198,16 +231,22 @@ parseArgs(int argc, char **argv)
             a.core = value();
         else if (flag == "--structure")
             a.structure = value();
-        else if (flag == "-n")
+        else if (flag == "-n") {
             a.n = static_cast<size_t>(numValue(flag, value()));
-        else if (flag == "--seed")
+            a.nGiven = true;
+        } else if (flag == "--seed") {
             a.seed = numValue(flag, value());
-        else if (flag == "--xlen")
+            a.seedGiven = true;
+        } else if (flag == "--xlen")
             a.xlen = static_cast<int>(numValue(flag, value()));
-        else if (flag == "--jobs")
+        else if (flag == "--jobs") {
             a.jobs = static_cast<unsigned>(numValue(flag, value()));
-        else if (flag == "--watchdog")
+            a.jobsGiven = true;
+        } else if (flag == "--watchdog") {
             a.watchdog = doubleValue(flag, value());
+            a.watchdogGiven = true;
+        } else if (flag == "--serial")
+            a.serial = true;
         else if (flag == "--isolate")
             a.isolate = true;
         else if (flag == "--no-checkpoint")
@@ -570,6 +609,242 @@ cmdSvf(const Args &a)
     return 0;
 }
 
+/** Expand a manifest entry's "workload" axis ("*" = the paper's ten
+ *  benchmarks, in paper order; names are validated eagerly). */
+std::vector<std::string>
+manifestWorkloads(const Json &e)
+{
+    if (!e.has("workload"))
+        fatal("suite manifest: every campaign needs a \"workload\"");
+    const std::string w = e.at("workload").asString();
+    std::vector<std::string> names;
+    if (w == "*") {
+        for (const Workload &wl : paperWorkloads())
+            names.push_back(wl.name);
+    } else {
+        findWorkload(w); // fatal if unknown
+        names.push_back(w);
+    }
+    return names;
+}
+
+/** Append one manifest campaign entry (wildcards expanded) to the
+ *  plan. */
+void
+addManifestEntry(CampaignPlan &plan, const Json &e, bool hardenAll)
+{
+    if (!e.isObject() || !e.has("layer"))
+        fatal("suite manifest: campaigns must be objects with a "
+              "\"layer\"");
+    const std::string layer = e.at("layer").asString();
+    const bool harden =
+        hardenAll || (e.has("harden") && e.at("harden").asBool());
+    for (const std::string &w : manifestWorkloads(e)) {
+        const Variant v{w, harden};
+        if (layer == "uarch") {
+            const std::string core =
+                e.has("core") ? e.at("core").asString() : "ax72";
+            coreByName(core); // fatal if unknown
+            const std::string s =
+                e.has("structure") ? e.at("structure").asString() : "*";
+            Structure st = Structure::RF;
+            if (s == "*")
+                plan.addUarchAll(core, v);
+            else if (structureFromName(s, st))
+                plan.addUarch(core, v, st);
+            else
+                fatal("suite manifest: unknown structure '%s'",
+                      s.c_str());
+        } else if (layer == "pvf") {
+            const IsaId isa = isaFromName(
+                e.has("isa") ? e.at("isa").asString() : "av64");
+            const std::string f =
+                e.has("fpm") ? e.at("fpm").asString() : "WD";
+            Fpm fpm = Fpm::WD;
+            if (f == "*") {
+                // ESC is excluded: escaped faults never re-enter the
+                // program flow, so arch-level injection cannot model
+                // them (paper Table I).
+                plan.addPvf(isa, v, Fpm::WD);
+                plan.addPvf(isa, v, Fpm::WI);
+                plan.addPvf(isa, v, Fpm::WOI);
+            } else if (fpmFromName(f.c_str(), fpm)) {
+                plan.addPvf(isa, v, fpm);
+            } else {
+                fatal("suite manifest: unknown fpm '%s'", f.c_str());
+            }
+        } else if (layer == "svf") {
+            plan.addSvf(v);
+        } else {
+            fatal("suite manifest: unknown layer '%s' (expected uarch, "
+                  "pvf, or svf)",
+                  layer.c_str());
+        }
+    }
+}
+
+/**
+ * The suite's campaign configuration: the environment's, with every
+ * explicitly given CLI flag overriding its variable.  Sample counts
+ * and the seed resolve exactly like the serial entry points, so suite
+ * store keys match serial store keys byte for byte.
+ */
+EnvConfig
+suiteConfig(const Args &a)
+{
+    EnvConfig cfg = EnvConfig::fromEnvironment();
+    if (a.jobsGiven)
+        cfg.jobs = a.jobs;
+    if (a.nGiven)
+        cfg.uarchFaults = cfg.archFaults = cfg.swFaults = a.n;
+    if (a.seedGiven)
+        cfg.seed = a.seed;
+    if (a.watchdogGiven)
+        cfg.watchdogFactor = a.watchdog;
+    if (a.isolate)
+        cfg.isolate = true;
+    if (a.resume)
+        cfg.resume = true;
+    if (!a.checkpoint)
+        cfg.checkpoint = false;
+    // parseArgs already folded the VSTACK_* fallbacks into these.
+    cfg.verifyReplay = a.verifyReplay;
+    cfg.verifyCheckpoint = a.verifyCheckpoint;
+    return cfg;
+}
+
+/** Aggregated multi-campaign progress/ETA line on stderr, cleared on
+ *  scope exit so campaign reports stay clean. */
+struct SuiteProgressLine
+{
+    void operator()(const SuiteProgress &p) const
+    {
+        std::fprintf(stderr, "\r%zu/%zu campaigns  %zu/%zu samples",
+                     p.campaignsDone, p.campaignsTotal, p.samplesDone,
+                     p.samplesTotal);
+        if (p.samplesPerSec > 0.0) {
+            std::fprintf(stderr, "  %.0f/s", p.samplesPerSec);
+            if (p.samplesDone < p.samplesTotal)
+                std::fprintf(stderr, "  eta %.0fs",
+                             static_cast<double>(p.samplesTotal -
+                                                 p.samplesDone) /
+                                 p.samplesPerSec);
+        }
+        std::fprintf(stderr, "\033[K");
+        std::fflush(stderr);
+    }
+    ~SuiteProgressLine()
+    {
+        std::fprintf(stderr, "\r\033[K");
+        std::fflush(stderr);
+    }
+};
+
+/** One campaign's report line (stdout; byte-identical between serial
+ *  and scheduled runs — the suite smoke test compares with cmp). */
+void
+printOutcome(const CampaignOutcome &o)
+{
+    const std::string label = o.spec.label();
+    if (o.spec.layer == CampaignLayer::Uarch) {
+        const UarchCampaignResult &r = o.uarch;
+        std::printf("%s: masked=%llu sdc=%llu crash=%llu detected=%llu "
+                    "AVF=%.2f%% HVF=%.2f%% FPM: WD=%llu WI=%llu "
+                    "WOI=%llu ESC=%llu\n",
+                    label.c_str(),
+                    static_cast<unsigned long long>(r.outcomes.masked),
+                    static_cast<unsigned long long>(r.outcomes.sdc),
+                    static_cast<unsigned long long>(r.outcomes.crash),
+                    static_cast<unsigned long long>(r.outcomes.detected),
+                    r.avf() * 100, r.hvf() * 100,
+                    static_cast<unsigned long long>(r.fpms.wd),
+                    static_cast<unsigned long long>(r.fpms.wi),
+                    static_cast<unsigned long long>(r.fpms.woi),
+                    static_cast<unsigned long long>(r.fpms.esc));
+        if (r.outcomes.injectorErrors)
+            std::printf("  injectorErrors=%llu (quarantined, excluded)\n",
+                        static_cast<unsigned long long>(
+                            r.outcomes.injectorErrors));
+    } else {
+        const OutcomeCounts &c = o.counts;
+        std::printf("%s: masked=%llu sdc=%llu crash=%llu detected=%llu "
+                    "-> %.2f%% vulnerable\n",
+                    label.c_str(),
+                    static_cast<unsigned long long>(c.masked),
+                    static_cast<unsigned long long>(c.sdc),
+                    static_cast<unsigned long long>(c.crash),
+                    static_cast<unsigned long long>(c.detected),
+                    c.vulnerability() * 100);
+        if (c.injectorErrors)
+            std::printf("  injectorErrors=%llu (quarantined, excluded)\n",
+                        static_cast<unsigned long long>(
+                            c.injectorErrors));
+    }
+}
+
+int
+cmdSuite(const Args &a)
+{
+    exec::installShutdownHandler();
+    std::string text;
+    if (!readFile(a.target, text))
+        fatal("cannot read suite manifest '%s'", a.target.c_str());
+    std::string err;
+    const Json m = Json::parse(text, &err);
+    if (!err.empty())
+        fatal("suite manifest %s: %s", a.target.c_str(), err.c_str());
+    if (!m.isObject() || !m.has("campaigns") ||
+        !m.at("campaigns").isArray())
+        fatal("suite manifest %s: expected {\"campaigns\": [...]}",
+              a.target.c_str());
+    CampaignPlan plan;
+    for (const Json &e : m.at("campaigns").items())
+        addManifestEntry(plan, e, a.harden);
+    if (plan.empty())
+        fatal("suite manifest %s names no campaigns", a.target.c_str());
+
+    VulnerabilityStack stack(suiteConfig(a));
+    SuiteReport report;
+    {
+        SuiteOptions opts;
+        opts.serial = a.serial;
+        SuiteProgressLine line;
+        opts.progress = std::cref(line);
+        report = runSuite(stack, plan, opts);
+    }
+
+    std::printf("suite: %zu campaigns\n", plan.size());
+    for (const CampaignOutcome &o : report.outcomes) {
+        if (o.complete)
+            printOutcome(o);
+    }
+
+    if (report.storageFaults) {
+        std::fprintf(stderr,
+                     "storageFaults=%llu corrupt storage record(s) "
+                     "quarantined to .corrupt sidecars; lost samples "
+                     "were re-simulated\n",
+                     static_cast<unsigned long long>(
+                         report.storageFaults));
+    }
+    if (report.cacheHits || report.goldenEvictions) {
+        std::fprintf(stderr,
+                     "suite: %zu cache hit(s), %llu golden "
+                     "eviction(s)\n",
+                     report.cacheHits,
+                     static_cast<unsigned long long>(
+                         report.goldenEvictions));
+    }
+    if (report.interrupted) {
+        std::fprintf(stderr,
+                     "interrupted: finished samples are journaled; "
+                     "re-run `vstack suite %s` to continue\n",
+                     a.target.c_str());
+        return 130;
+    }
+    return 0;
+}
+
 int
 dispatch(const Args &a)
 {
@@ -585,6 +860,8 @@ dispatch(const Args &a)
         return cmdCampaign(a);
     if (a.command == "svf")
         return cmdSvf(a);
+    if (a.command == "suite")
+        return cmdSuite(a);
     usage();
 }
 
