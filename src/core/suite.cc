@@ -11,6 +11,8 @@
 #include "exec/driver.h"
 #include "support/logging.h"
 #include "swfi/svf.h"
+#include "uarch/config.h"
+#include "workloads/workloads.h"
 
 namespace vstack
 {
@@ -83,11 +85,8 @@ CampaignPlan::addSvf(const Variant &v)
     specs_.push_back(std::move(spec));
 }
 
-namespace
-{
-
 std::string
-keyFor(const EnvConfig &cfg, const CampaignSpec &spec)
+campaignKey(const EnvConfig &cfg, const CampaignSpec &spec)
 {
     switch (spec.layer) {
       case CampaignLayer::Uarch:
@@ -99,6 +98,9 @@ keyFor(const EnvConfig &cfg, const CampaignSpec &spec)
     }
     return {};
 }
+
+namespace
+{
 
 size_t
 samplesFor(const EnvConfig &cfg, const CampaignSpec &spec)
@@ -141,6 +143,7 @@ struct Run
         FinalReady, ///< all samples done; fold/verify/store pending
         Finalizing,
         Done,
+        Failed, ///< contained failure (golden run); nothing stored
     };
 
     CampaignSpec spec; ///< first plan spec naming this campaign
@@ -149,6 +152,7 @@ struct Run
     size_t n = 0;
     St st = St::Pending;
     bool cacheHit = false;
+    std::string error; ///< set when st == Failed
 
     // Built by the prepare task.  The campaign objects must outlive
     // the driver that references them.
@@ -192,6 +196,14 @@ struct Sched
     Sched(VulnerabilityStack &stack, const SuiteOptions &opts)
         : stack(stack), opts(opts), cfg(stack.config())
     {
+    }
+
+    /** True when the suite should stop claiming work: a process-wide
+     *  shutdown signal or this suite's cancel token. */
+    bool drained() const
+    {
+        return exec::shutdownRequested() ||
+               exec::cancelRequested(opts.cancel);
     }
 
     /** Record a suite-fatal error for the earliest affected plan
@@ -257,10 +269,11 @@ prepareRun(Sched &S, Run &r)
                                              S.cfg.seed);
         break;
     }
-    driver->prepare();
+    exec::prepareDriver(*driver);
 
     auto journal = std::make_unique<exec::Journal>();
     exec::ExecConfig ec = execPolicy(S.cfg, *journal, r.key, r.n);
+    ec.cancel = S.opts.cancel;
     const uint64_t journalFaults = journal->storageFaults();
 
     // Replay journaled samples; collect the remainder as work items
@@ -341,9 +354,9 @@ finalizeRun(Sched &S, Run &r)
 {
     verifyDriverSamples(*r.driver, r.results);
     Json out = foldFor(r.spec, r.results);
-    if (!exec::shutdownRequested()) {
-        // Interrupted: keep the journal, never cache a partial (the
-        // serial entry points make the same call).
+    if (!S.drained()) {
+        // Interrupted or cancelled: keep the journal, never cache a
+        // partial (the serial entry points make the same call).
         S.stack.resultStore().put(r.key, out);
         if (r.journal)
             r.journal->removeFile();
@@ -461,10 +474,10 @@ runIsolatedSamples(Sched &S, Run &r, std::vector<size_t> pending)
                 });
                 break;
               case exec::IsolatedOutcome::Kind::Host:
-                if (!exec::shutdownRequested() &&
+                if (!exec::drainRequested(r.ec) &&
                     ++hostFailures[i] <= r.ec.retries) {
                     requeue.push_back(i);
-                } else if (!exec::shutdownRequested()) {
+                } else if (!exec::drainRequested(r.ec)) {
                     settle(i, std::nullopt, [&] {
                         r.ec.journal->appendHostFault(i, o.host.describe(),
                                                       o.host.toJson());
@@ -472,12 +485,12 @@ runIsolatedSamples(Sched &S, Run &r, std::vector<size_t> pending)
                 }
                 break;
               case exec::IsolatedOutcome::Kind::NotRun:
-                if (!exec::shutdownRequested())
+                if (!exec::drainRequested(r.ec))
                     requeue.push_back(i);
                 break;
             }
         }
-        if (exec::shutdownRequested())
+        if (exec::drainRequested(r.ec))
             break; // drop unfinished work; journal stays valid
         pending = std::move(requeue);
     }
@@ -507,14 +520,14 @@ workerLoop(Sched &S, unsigned)
 
     std::unique_lock<std::mutex> lock(S.mu);
     for (;;) {
-        if (S.abort || exec::shutdownRequested())
+        if (S.abort || S.drained())
             return;
 
         Run *fin = nullptr, *samp = nullptr, *prep = nullptr;
         bool allDone = true;
         for (auto &up : S.runs) {
             Run *r = up.get();
-            if (r->st != Run::St::Done)
+            if (r->st != Run::St::Done && r->st != Run::St::Failed)
                 allDone = false;
             if (!fin && r->st == Run::St::FinalReady)
                 fin = r;
@@ -582,6 +595,19 @@ workerLoop(Sched &S, unsigned)
             lock.unlock();
             try {
                 prepareRun(S, *prep);
+            } catch (const GoldenRunError &e) {
+                // Contained: a failed golden run poisons only this
+                // campaign's plan entries; everything else proceeds.
+                std::lock_guard<std::mutex> g(S.mu);
+                warn("suite: campaign %s failed: %s (continuing with "
+                     "the rest of the plan)",
+                     prep->spec.label().c_str(), e.what());
+                prep->st = Run::St::Failed;
+                prep->error = e.what();
+                S.samplesTotal -= prep->n;
+                ++S.campaignsDone;
+                S.reportProgress();
+                S.cv.notify_all();
             } catch (...) {
                 std::lock_guard<std::mutex> g(S.mu);
                 S.fail(prep->planIndex, std::current_exception());
@@ -601,32 +627,50 @@ runSerialSuite(VulnerabilityStack &stack, const CampaignPlan &plan,
                const SuiteOptions &opts)
 {
     const EnvConfig &cfg = stack.config();
+    stack.setCancel(opts.cancel);
     SuiteReport report;
     report.outcomes.reserve(plan.size());
-    for (const CampaignSpec &spec : plan.specs())
-        report.outcomes.push_back({spec, false, false, {}, {}});
+    for (const CampaignSpec &spec : plan.specs()) {
+        CampaignOutcome o;
+        o.spec = spec;
+        report.outcomes.push_back(std::move(o));
+    }
 
+    const auto drained = [&opts] {
+        return exec::shutdownRequested() ||
+               exec::cancelRequested(opts.cancel);
+    };
     for (size_t idx = 0; idx < plan.size(); ++idx) {
-        if (exec::shutdownRequested()) {
+        if (drained()) {
             report.interrupted = true;
             break;
         }
         CampaignOutcome &o = report.outcomes[idx];
         o.cacheHit =
-            stack.resultStore().get(keyFor(cfg, o.spec)).has_value();
-        switch (o.spec.layer) {
-          case CampaignLayer::Uarch:
-            o.uarch = stack.uarch(o.spec.core, o.spec.variant,
-                                  o.spec.structure);
-            break;
-          case CampaignLayer::Pvf:
-            o.counts = stack.pvf(o.spec.isa, o.spec.variant, o.spec.fpm);
-            break;
-          case CampaignLayer::Svf:
-            o.counts = stack.svf(o.spec.variant);
-            break;
+            stack.resultStore().get(campaignKey(cfg, o.spec)).has_value();
+        try {
+            switch (o.spec.layer) {
+              case CampaignLayer::Uarch:
+                o.uarch = stack.uarch(o.spec.core, o.spec.variant,
+                                      o.spec.structure);
+                break;
+              case CampaignLayer::Pvf:
+                o.counts =
+                    stack.pvf(o.spec.isa, o.spec.variant, o.spec.fpm);
+                break;
+              case CampaignLayer::Svf:
+                o.counts = stack.svf(o.spec.variant);
+                break;
+            }
+        } catch (const GoldenRunError &e) {
+            warn("suite: campaign %s failed: %s (continuing with the "
+                 "rest of the plan)",
+                 o.spec.label().c_str(), e.what());
+            o.error = e.what();
+            ++report.failures;
+            continue;
         }
-        if (exec::shutdownRequested()) {
+        if (drained()) {
             // The campaign drained early; its aggregate is partial.
             report.interrupted = true;
             break;
@@ -643,6 +687,7 @@ runSerialSuite(VulnerabilityStack &stack, const CampaignPlan &plan,
             opts.progress(p);
         }
     }
+    stack.setCancel(nullptr);
     report.storageFaults = stack.storageFaults();
     report.goldenEvictions = stack.goldenEvictions();
     return report;
@@ -665,7 +710,7 @@ runSuite(VulnerabilityStack &stack, const CampaignPlan &plan,
     std::map<std::string, Run *> byKey;
     for (size_t idx = 0; idx < plan.size(); ++idx) {
         const CampaignSpec &spec = plan.specs()[idx];
-        const std::string key = keyFor(S.cfg, spec);
+        const std::string key = campaignKey(S.cfg, spec);
         auto it = byKey.find(key);
         if (it != byKey.end()) {
             S.bySpec.push_back(it->second);
@@ -710,16 +755,148 @@ runSuite(VulnerabilityStack &stack, const CampaignPlan &plan,
             decodeOutcome(o, r->resultJson);
             if (o.cacheHit)
                 ++report.cacheHits;
+        } else if (r->st == Run::St::Failed) {
+            o.error = r->error;
+            ++report.failures;
         } else {
             report.interrupted = true;
         }
         report.outcomes.push_back(std::move(o));
     }
-    if (exec::shutdownRequested())
+    if (exec::shutdownRequested() || exec::cancelRequested(opts.cancel))
         report.interrupted = true;
     report.storageFaults = stack.storageFaults();
     report.goldenEvictions = stack.goldenEvictions();
     return report;
+}
+
+namespace
+{
+
+/** Expand a manifest entry's "workload" axis ("*" = the paper's ten
+ *  benchmarks, in paper order) without exiting on unknown names. */
+bool
+manifestWorkloads(const Json &e, std::vector<std::string> &names,
+                  std::string &err)
+{
+    if (!e.has("workload")) {
+        err = "suite manifest: every campaign needs a \"workload\"";
+        return false;
+    }
+    const std::string w = e.at("workload").asString();
+    if (w == "*") {
+        for (const Workload &wl : paperWorkloads())
+            names.push_back(wl.name);
+        return true;
+    }
+    for (const Workload &wl : allWorkloads()) {
+        if (wl.name == w) {
+            names.push_back(w);
+            return true;
+        }
+    }
+    err = "suite manifest: unknown workload '" + w + "'";
+    return false;
+}
+
+/** Append one manifest campaign entry (wildcards expanded) to the
+ *  plan; false + err on malformed entries or unknown names. */
+bool
+addManifestEntry(CampaignPlan &plan, const Json &e, bool hardenAll,
+                 std::string &err)
+{
+    if (!e.isObject() || !e.has("layer")) {
+        err = "suite manifest: campaigns must be objects with a "
+              "\"layer\"";
+        return false;
+    }
+    const std::string layer = e.at("layer").asString();
+    const bool harden =
+        hardenAll || (e.has("harden") && e.at("harden").asBool());
+    std::vector<std::string> workloads;
+    if (!manifestWorkloads(e, workloads, err))
+        return false;
+    for (const std::string &w : workloads) {
+        const Variant v{w, harden};
+        if (layer == "uarch") {
+            const std::string core =
+                e.has("core") ? e.at("core").asString() : "ax72";
+            bool known = false;
+            for (const CoreConfig &c : allCores())
+                known = known || c.name == core;
+            if (!known) {
+                err = "suite manifest: unknown core '" + core + "'";
+                return false;
+            }
+            const std::string s =
+                e.has("structure") ? e.at("structure").asString() : "*";
+            Structure st = Structure::RF;
+            if (s == "*") {
+                plan.addUarchAll(core, v);
+            } else if (structureFromName(s, st)) {
+                plan.addUarch(core, v, st);
+            } else {
+                err = "suite manifest: unknown structure '" + s + "'";
+                return false;
+            }
+        } else if (layer == "pvf") {
+            const std::string in =
+                e.has("isa") ? e.at("isa").asString() : "av64";
+            IsaId isa = IsaId::Av64;
+            if (in == isaName(IsaId::Av32)) {
+                isa = IsaId::Av32;
+            } else if (in != isaName(IsaId::Av64)) {
+                err = "suite manifest: unknown isa '" + in + "'";
+                return false;
+            }
+            const std::string f =
+                e.has("fpm") ? e.at("fpm").asString() : "WD";
+            Fpm fpm = Fpm::WD;
+            if (f == "*") {
+                // ESC is excluded: escaped faults never re-enter the
+                // program flow, so arch-level injection cannot model
+                // them (paper Table I).
+                plan.addPvf(isa, v, Fpm::WD);
+                plan.addPvf(isa, v, Fpm::WI);
+                plan.addPvf(isa, v, Fpm::WOI);
+            } else if (fpmFromName(f.c_str(), fpm)) {
+                plan.addPvf(isa, v, fpm);
+            } else {
+                err = "suite manifest: unknown fpm '" + f + "'";
+                return false;
+            }
+        } else if (layer == "svf") {
+            plan.addSvf(v);
+        } else {
+            err = "suite manifest: unknown layer '" + layer +
+                  "' (expected uarch, pvf, or svf)";
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+planFromManifest(const Json &manifest, bool hardenAll,
+                 CampaignPlan &plan, std::string &err)
+{
+    if (!manifest.isObject() || !manifest.has("campaigns") ||
+        !manifest.at("campaigns").isArray()) {
+        err = "suite manifest: top level must be an object with a "
+              "\"campaigns\" array";
+        return false;
+    }
+    for (const Json &e : manifest.at("campaigns").items()) {
+        if (!addManifestEntry(plan, e, hardenAll, err))
+            return false;
+    }
+    if (plan.size() == 0) {
+        err = "suite manifest: no campaigns";
+        return false;
+    }
+    return true;
 }
 
 } // namespace vstack

@@ -24,9 +24,19 @@
  * cross-contaminate).
  *
  * Failure containment matches the serial path: a SimError quarantines
- * its one sample (injectorErrors); a ReplayDivergence /
- * CheckpointDivergence / GoldenRunError aborts the whole suite
- * loudly, reported for the earliest affected plan entry.
+ * its one sample (injectorErrors); a GoldenRunError is contained to
+ * the plan entries naming the affected campaign (complete = false,
+ * CampaignOutcome::error set) so unrelated campaigns in the same
+ * submission still complete; a ReplayDivergence / CheckpointDivergence
+ * aborts the whole suite loudly, reported for the earliest affected
+ * plan entry.
+ *
+ * A suite can also be drained cooperatively through
+ * SuiteOptions::cancel (client cancel, per-request deadline, service
+ * watchdog): workers stop claiming work at the same safe points as a
+ * signal drain, journals stay valid for resume, and the report comes
+ * back with interrupted = true and the unfinished entries marked
+ * complete = false.
  */
 #ifndef VSTACK_CORE_SUITE_H
 #define VSTACK_CORE_SUITE_H
@@ -36,6 +46,7 @@
 #include <vector>
 
 #include "core/vstack.h"
+#include "exec/cancel.h"
 
 namespace vstack
 {
@@ -109,6 +120,11 @@ struct SuiteOptions
     /** Called under the scheduler lock after every sample/campaign
      *  completion — keep it cheap; never reentered concurrently. */
     std::function<void(const SuiteProgress &)> progress;
+    /** Optional cooperative cancel token (deadline, client cancel,
+     *  service watchdog).  A fired token drains the suite like a
+     *  shutdown signal: journals intact, partial campaigns never
+     *  cached, report.interrupted = true.  Must outlive runSuite(). */
+    const exec::CancelToken *cancel = nullptr;
 };
 
 /** Final result of one plan entry. */
@@ -116,7 +132,13 @@ struct CampaignOutcome
 {
     CampaignSpec spec;
     bool cacheHit = false; ///< served from the result store
-    bool complete = false; ///< false only when the suite was interrupted
+    /** False when the suite was interrupted before this campaign
+     *  finished, or when the campaign itself failed (error below). */
+    bool complete = false;
+    /** Non-empty when this campaign failed in a contained way (its
+     *  golden run threw GoldenRunError); the other plan entries still
+     *  ran.  Nothing was cached for a failed campaign. */
+    std::string error;
     UarchCampaignResult uarch; ///< layer == Uarch
     OutcomeCounts counts;      ///< layer == Pvf / Svf
 };
@@ -126,11 +148,31 @@ struct SuiteReport
     /** Plan order, one entry per spec (duplicates share results). */
     std::vector<CampaignOutcome> outcomes;
     size_t cacheHits = 0;
+    /** Entries whose campaign failed in a contained way (error set). */
+    size_t failures = 0;
     bool interrupted = false;
     /** Snapshot of the stack's cumulative storage-fault counter. */
     uint64_t storageFaults = 0;
     uint64_t goldenEvictions = 0;
 };
+
+/**
+ * The result-store key a spec resolves to under `cfg` — the identity
+ * the scheduler dedups by and the service layer uses to detect plans
+ * overlapping an in-flight submission.
+ */
+std::string campaignKey(const EnvConfig &cfg, const CampaignSpec &spec);
+
+/**
+ * Build a CampaignPlan from a suite-manifest JSON object
+ * ({"campaigns": [...]}; see `vstack suite` for the schema, including
+ * the "*" axis wildcards).  Returns false with a one-line message in
+ * `err` on a malformed manifest or an unknown workload / core /
+ * structure / isa / fpm name — never exits, so long-lived services
+ * can reject bad submissions gracefully.
+ */
+bool planFromManifest(const Json &manifest, bool hardenAll,
+                      CampaignPlan &plan, std::string &err);
 
 /**
  * Execute every campaign of `plan`, memoising through the stack's
@@ -141,9 +183,11 @@ struct SuiteReport
  *
  * @throws ReplayDivergence / CheckpointDivergence / SimError exactly
  *         as the serial path would, for the earliest affected plan
- *         entry.  If a shutdown is requested mid-suite the pool
- *         drains gracefully, journals are kept for --resume, and the
- *         report comes back with interrupted = true.
+ *         entry — except GoldenRunError, which is contained to the
+ *         affected plan entries (complete = false, error set).  If a
+ *         shutdown is requested (or opts.cancel fires) mid-suite the
+ *         pool drains gracefully, journals are kept for --resume, and
+ *         the report comes back with interrupted = true.
  */
 SuiteReport runSuite(VulnerabilityStack &stack, const CampaignPlan &plan,
                      const SuiteOptions &opts = {});

@@ -201,10 +201,11 @@ VulnerabilityStack::uarch(const std::string &core, const Variant &v,
     std::shared_ptr<UarchCampaign> campaign = campaignFor(core, v);
     exec::Journal journal;
     exec::ExecConfig ec = execPolicy(cfg, journal, key, cfg.uarchFaults);
+    ec.cancel = cancelToken;
     journalFaults += journal.storageFaults();
     UarchCampaignResult r =
         campaign->run(s, cfg.uarchFaults, cfg.seed, ec);
-    if (exec::shutdownRequested())
+    if (exec::drainRequested(ec))
         return r; // interrupted: keep the journal, never cache a partial
     store.put(key, uarchToJson(r));
     journal.removeFile();
@@ -232,9 +233,10 @@ VulnerabilityStack::pvf(IsaId isa, const Variant &v, Fpm fpm)
     std::unique_ptr<PvfCampaign> campaign = makePvfCampaign(isa, v);
     exec::Journal journal;
     exec::ExecConfig ec = execPolicy(cfg, journal, key, cfg.archFaults);
+    ec.cancel = cancelToken;
     journalFaults += journal.storageFaults();
     OutcomeCounts c = campaign->run(fpm, cfg.archFaults, cfg.seed, ec);
-    if (exec::shutdownRequested())
+    if (exec::drainRequested(ec))
         return c; // interrupted: keep the journal, never cache a partial
     store.put(key, countsToJson(c));
     journal.removeFile();
@@ -251,9 +253,10 @@ VulnerabilityStack::svf(const Variant &v)
     std::unique_ptr<SvfCampaign> campaign = makeSvfCampaign(v);
     exec::Journal journal;
     exec::ExecConfig ec = execPolicy(cfg, journal, key, cfg.swFaults);
+    ec.cancel = cancelToken;
     journalFaults += journal.storageFaults();
     OutcomeCounts c = campaign->run(cfg.swFaults, cfg.seed, ec);
-    if (exec::shutdownRequested())
+    if (exec::drainRequested(ec))
         return c; // interrupted: keep the journal, never cache a partial
     store.put(key, countsToJson(c));
     journal.removeFile();

@@ -29,6 +29,7 @@
 
 #include "compiler/ir.h"
 #include "core/campaign_io.h"
+#include "exec/cancel.h"
 #include "core/resultstore.h"
 #include "gefin/campaign.h"
 #include "machine/fpm.h"
@@ -174,6 +175,16 @@ class VulnerabilityStack
     /** The on-disk result cache (shared with the suite scheduler). */
     ResultStore &resultStore() { return store; }
 
+    /**
+     * Arm the serial entry points (uarch / pvf / svf) with a
+     * cooperative cancel token: a fired token drains the running
+     * campaign like a shutdown signal (journal kept, partial never
+     * cached).  Scoped to the caller's run — nullptr disarms.  Not for
+     * concurrent suites over one stack; the pooled scheduler threads
+     * its token per campaign instead (SuiteOptions::cancel).
+     */
+    void setCancel(const exec::CancelToken *t) { cancelToken = t; }
+
     /** Golden-campaign LRU evictions so far (progress diagnostics;
      *  each one means redoing a golden run + trace). */
     uint64_t goldenEvictions() const;
@@ -184,6 +195,7 @@ class VulnerabilityStack
 
     EnvConfig cfg;
     ResultStore store;
+    const exec::CancelToken *cancelToken = nullptr;
     uint64_t journalFaults = 0;
     struct Cache;
     std::unique_ptr<Cache> cache;

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Cooperative per-campaign cancellation.
+ *
+ * The global shutdown flag (sandbox.h) drains *every* campaign in the
+ * process — right for Ctrl-C on a CLI run, wrong for a long-lived
+ * service where one request's deadline or a client's cancel must stop
+ * exactly one suite while its neighbours keep simulating.  A
+ * CancelToken scopes the drain: the executor, the suite scheduler,
+ * and the serial entry points all poll the token at their existing
+ * shutdown checkpoints (before claiming a sample / batch / campaign),
+ * so a cancelled run stops at the same safe points as a signal drain
+ * — journals intact, partial results never cached, everything
+ * resumable.
+ *
+ * Cancellation is *cooperative* at sample granularity: a sample
+ * already in flight finishes (the per-injection watchdog budget bounds
+ * how long that can take), then the worker stops claiming.  A token
+ * may also carry a wall-clock deadline; expiry latches the token
+ * cancelled with reason "deadline", so `vstack suite --deadline=S` and
+ * the vstackd per-request deadline are the same mechanism.
+ */
+#ifndef VSTACK_EXEC_CANCEL_H
+#define VSTACK_EXEC_CANCEL_H
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <string>
+
+namespace vstack::exec
+{
+
+class CancelToken
+{
+  public:
+    CancelToken() = default;
+    CancelToken(const CancelToken &) = delete;
+    CancelToken &operator=(const CancelToken &) = delete;
+
+    /** Request cancellation with a human-readable reason (idempotent;
+     *  the first reason wins).  Thread-safe. */
+    void cancel(const std::string &why = "cancelled")
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (!flag_.load(std::memory_order_relaxed))
+                reason_ = why;
+        }
+        flag_.store(true, std::memory_order_release);
+    }
+
+    /** Arm a wall-clock deadline `seconds` from now; expiry latches
+     *  the token cancelled with reason "deadline".  <= 0 disarms. */
+    void setDeadlineAfter(double seconds)
+    {
+        if (seconds <= 0.0) {
+            hasDeadline_ = false;
+            return;
+        }
+        deadline_ = std::chrono::steady_clock::now() +
+                    std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(seconds));
+        hasDeadline_ = true;
+    }
+
+    /**
+     * True once cancelled (or the deadline passed).  The fast path is
+     * one relaxed atomic load; deadline expiry latches into the flag
+     * so the reason is stable afterwards.  Safe to call concurrently.
+     */
+    bool cancelled() const
+    {
+        if (flag_.load(std::memory_order_acquire))
+            return true;
+        if (hasDeadline_ &&
+            std::chrono::steady_clock::now() >= deadline_) {
+            const_cast<CancelToken *>(this)->cancel("deadline");
+            return true;
+        }
+        return false;
+    }
+
+    /** True when the cancellation was caused by deadline expiry. */
+    bool deadlineExpired() const
+    {
+        return cancelled() && reason() == "deadline";
+    }
+
+    /** The first cancel reason ("" while not cancelled). */
+    std::string reason() const
+    {
+        if (!flag_.load(std::memory_order_acquire))
+            return {};
+        std::lock_guard<std::mutex> lock(mu_);
+        return reason_;
+    }
+
+  private:
+    std::atomic<bool> flag_{false};
+    mutable std::mutex mu_;
+    std::string reason_;
+    bool hasDeadline_ = false;
+    std::chrono::steady_clock::time_point deadline_{};
+};
+
+/** Null-safe poll: no token means never cancelled. */
+inline bool
+cancelRequested(const CancelToken *token)
+{
+    return token && token->cancelled();
+}
+
+} // namespace vstack::exec
+
+#endif // VSTACK_EXEC_CANCEL_H

@@ -18,6 +18,18 @@ runDriverSample(const LayerDriver &d, LayerDriver::Ctx &ctx, size_t i)
     return d.runSample(ctx, i);
 }
 
+void
+prepareDriver(LayerDriver &d)
+{
+    if (failpoint("driver.prepare.goldenerr")) {
+        throw GoldenRunError(
+            strprintf("driver.prepare.goldenerr failpoint fired on the "
+                      "%s golden run",
+                      d.layerName()));
+    }
+    d.prepare();
+}
+
 std::vector<std::optional<Json>>
 runDriverSamples(const LayerDriver &d, const ExecConfig &cfg)
 {
@@ -67,7 +79,7 @@ verifyDriverSamples(const LayerDriver &d,
 std::vector<std::optional<Json>>
 runDriver(LayerDriver &d, const ExecConfig &cfg)
 {
-    d.prepare();
+    prepareDriver(d);
     auto samples = runDriverSamples(d, cfg);
     verifyDriverSamples(d, samples);
     return samples;

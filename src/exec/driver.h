@@ -103,6 +103,15 @@ class LayerDriver
 Json runDriverSample(const LayerDriver &d, LayerDriver::Ctx &ctx, size_t i);
 
 /**
+ * Prepare a driver with the chaos hook: the `driver.prepare.goldenerr`
+ * failpoint turns the golden-run acquisition into a GoldenRunError,
+ * letting tests place a deterministic golden failure in any campaign
+ * of a suite and prove it is contained to that campaign's plan
+ * entries instead of aborting the whole submission.
+ */
+void prepareDriver(LayerDriver &d);
+
+/**
  * Execute a prepared driver's samples through runSamples(): worker
  * pool, SimError retry + quarantine, journaling, isolation, and
  * checkpoint-ordered dispatch when the driver asks for it.  Returns

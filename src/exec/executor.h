@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/cancel.h"
 #include "exec/error.h"
 #include "exec/journal.h"
 #include "exec/sandbox.h"
@@ -94,6 +95,13 @@ struct ExecConfig
      *  check runs serially in the calling process, even under
      *  cfg.isolate (VSTACK_VERIFY_REPLAY / --verify-replay). */
     double verifyReplay = 0.0;
+    /** Optional cooperative cancel token.  Workers poll it wherever
+     *  they poll the global shutdown flag (before claiming a sample or
+     *  batch); a fired token drains this one campaign exactly like a
+     *  signal drain — journal intact, partial results never cached —
+     *  while unrelated campaigns in the process keep running.  The
+     *  token must outlive the run. */
+    const CancelToken *cancel = nullptr;
     /** Optional dispatch-order key: pending samples are handed to
      *  workers in ascending scheduleKey(i) order (ties in index
      *  order) instead of index order.  Campaigns sort by injection
@@ -171,6 +179,14 @@ verifyReplaySelected(size_t i, double percent)
 /** Resolve a `jobs` request (0 = hardware concurrency) to >= 1. */
 unsigned resolveJobs(unsigned requested);
 
+/** True when this run should stop claiming work: a process-wide
+ *  shutdown signal, or this campaign's own cancel token fired. */
+inline bool
+drainRequested(const ExecConfig &cfg)
+{
+    return shutdownRequested() || cancelRequested(cfg.cancel);
+}
+
 /**
  * Run `body(workerId)` on `jobs` workers.  jobs <= 1 runs in the
  * calling thread (no thread is ever spawned for serial campaigns).
@@ -234,7 +250,7 @@ runSamplesIsolated(std::vector<std::optional<R>> &results,
         };
 
         for (;;) {
-            if (shutdownRequested())
+            if (drainRequested(cfg))
                 break;
             const size_t t0 =
                 cursor.fetch_add(batch, std::memory_order_relaxed);
@@ -265,10 +281,10 @@ runSamplesIsolated(std::vector<std::optional<R>> &results,
                         });
                         break;
                       case IsolatedOutcome::Kind::Host:
-                        if (!shutdownRequested() &&
+                        if (!drainRequested(cfg) &&
                             ++hostFailures[i] <= cfg.retries) {
                             requeue.push_back(i);
-                        } else if (!shutdownRequested()) {
+                        } else if (!drainRequested(cfg)) {
                             report(i, [&] {
                                 cfg.journal->appendHostFault(
                                     i, o.host.describe(), o.host.toJson());
@@ -276,12 +292,12 @@ runSamplesIsolated(std::vector<std::optional<R>> &results,
                         }
                         break;
                       case IsolatedOutcome::Kind::NotRun:
-                        if (!shutdownRequested())
+                        if (!drainRequested(cfg))
                             requeue.push_back(i);
                         break;
                     }
                 }
-                if (shutdownRequested())
+                if (drainRequested(cfg))
                     break; // drop unfinished work; journal stays valid
                 pending = std::move(requeue);
             }
@@ -399,7 +415,7 @@ runSamples(size_t n, const ExecConfig &cfg, MakeCtx makeCtx, RunFn runFn,
     runOnWorkers(jobs, [&](unsigned) {
         auto ctx = makeCtx();
         for (;;) {
-            if (shutdownRequested())
+            if (drainRequested(cfg))
                 break; // graceful drain: stop claiming samples
             const size_t t = cursor.fetch_add(1, std::memory_order_relaxed);
             if (t >= todo.size())

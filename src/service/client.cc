@@ -1,0 +1,194 @@
+#include "client.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "service/frame.h"
+#include "support/logging.h"
+
+namespace vstack::service
+{
+
+namespace
+{
+
+int
+connectOnce(const std::string &path, std::string &err)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        err = "socket path too long: " + path;
+        return -1;
+    }
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        err = std::string("socket: ") + std::strerror(errno);
+        return -1;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        err = "connect " + path + ": " + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+} // namespace
+
+Client::Client(ClientOptions o) : opts(std::move(o)), rngState(opts.seed)
+{
+    if (rngState == 0)
+        rngState = 1;
+}
+
+double
+Client::backoffDelay(unsigned attempt)
+{
+    // xorshift64 jitter: deterministic per seed, +/- 50% around an
+    // exponentially growing base so colliding clients spread out.
+    rngState ^= rngState << 13;
+    rngState ^= rngState >> 7;
+    rngState ^= rngState << 17;
+    const double unit =
+        static_cast<double>(rngState % 1000) / 1000.0; // [0,1)
+    const double base =
+        opts.backoffBaseSec * static_cast<double>(1u << std::min(attempt, 10u));
+    return base * (0.5 + unit);
+}
+
+int
+Client::connectWithBackoff(std::string &err)
+{
+    for (unsigned attempt = 0;; ++attempt) {
+        const int fd = connectOnce(opts.socketPath, err);
+        if (fd >= 0)
+            return fd;
+        if (attempt + 1 >= opts.maxAttempts)
+            return -1;
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(backoffDelay(attempt)));
+    }
+}
+
+Json
+Client::submit(const Json &manifest, bool harden, double deadlineSec,
+               const std::function<void(const Json &)> &progress,
+               std::string &err)
+{
+    Json req = Json::object();
+    req.set("op", "submit");
+    req.set("client", opts.name);
+    req.set("manifest", manifest);
+    if (harden)
+        req.set("harden", true);
+    if (deadlineSec > 0)
+        req.set("deadline", deadlineSec);
+
+    std::string lastErr;
+    for (unsigned attempt = 0; attempt < opts.maxAttempts; ++attempt) {
+        if (attempt > 0) {
+            std::this_thread::sleep_for(std::chrono::duration<double>(
+                backoffDelay(attempt - 1)));
+        }
+        const int fd = connectOnce(opts.socketPath, lastErr);
+        if (fd < 0)
+            continue;
+        if (!writeFrame(fd, req, lastErr)) {
+            ::close(fd);
+            continue;
+        }
+        // Read frames until the final one.  Any disconnect or corrupt
+        // frame mid-stream falls back to the retry loop: the
+        // resubmission dedups against the store/journals, so nothing
+        // runs twice.
+        for (;;) {
+            Json ev;
+            const FrameResult fr = readFrame(fd, ev, lastErr);
+            if (fr != FrameResult::Ok) {
+                if (lastErr.empty())
+                    lastErr = "connection closed mid-stream";
+                break;
+            }
+            const std::string kind =
+                ev.isObject() && ev.has("ev") ? ev.at("ev").asString()
+                                              : "";
+            if (kind == "accepted") {
+                continue;
+            } else if (kind == "progress") {
+                if (progress)
+                    progress(ev);
+                continue;
+            } else if (kind == "rejected") {
+                // Shed (overloaded/draining): back off and retry.
+                lastErr = "rejected: " + ev.at("reason").asString();
+                // A rejected manifest (parse error) will never
+                // succeed; surface it instead of retrying.
+                const std::string &r = ev.at("reason").asString();
+                if (r != "overloaded" && r != "draining") {
+                    ::close(fd);
+                    return ev;
+                }
+                break;
+            } else if (kind == "error" && ev.has("deferred")) {
+                // Daemon drained under us; its restart resumes the
+                // job, so a retry is the right response.
+                lastErr = "daemon draining";
+                break;
+            } else {
+                ::close(fd);
+                return ev; // result (or terminal error) frame
+            }
+        }
+        ::close(fd);
+    }
+    err = "submit failed after " + std::to_string(opts.maxAttempts) +
+          " attempts: " + lastErr;
+    return Json();
+}
+
+Json
+Client::status(std::string &err)
+{
+    const int fd = connectWithBackoff(err);
+    if (fd < 0)
+        return Json();
+    Json req = Json::object();
+    req.set("op", "status");
+    Json out;
+    if (writeFrame(fd, req, err)) {
+        if (readFrame(fd, out, err) != FrameResult::Ok && err.empty())
+            err = "connection closed before the status reply";
+    }
+    ::close(fd);
+    return out;
+}
+
+Json
+Client::cancel(const std::string &jobId, std::string &err)
+{
+    const int fd = connectWithBackoff(err);
+    if (fd < 0)
+        return Json();
+    Json req = Json::object();
+    req.set("op", "cancel");
+    req.set("job", jobId);
+    Json out;
+    if (writeFrame(fd, req, err)) {
+        if (readFrame(fd, out, err) != FrameResult::Ok && err.empty())
+            err = "connection closed before the cancel reply";
+    }
+    ::close(fd);
+    return out;
+}
+
+} // namespace vstack::service

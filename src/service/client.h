@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The vstackd client: submit / status / cancel over the UNIX socket.
+ *
+ * The client owns the *retry* half of the service's robustness story.
+ * Every failure mode the daemon can hand it — connection refused while
+ * the daemon restarts, `rejected overloaded` shed responses, a
+ * connection dying mid-stream — is answered the same way: exponential
+ * backoff with jitter, then resubmit.  Resubmission is idempotent by
+ * construction: campaign identity is the ResultStore content key, so
+ * work that finished before the retry is a cache hit and work that was
+ * interrupted resumes from its journal.  The client never has to know
+ * which of the two happened.
+ */
+#ifndef VSTACK_SERVICE_CLIENT_H
+#define VSTACK_SERVICE_CLIENT_H
+
+#include <functional>
+#include <string>
+
+#include "support/json.h"
+
+namespace vstack::service
+{
+
+struct ClientOptions
+{
+    std::string socketPath;
+    /** Client name for the daemon's per-client fairness queues. */
+    std::string name = "client";
+    /** Attempts before giving up (connect failures, sheds, and
+     *  mid-stream disconnects all count). */
+    unsigned maxAttempts = 8;
+    /** First backoff delay; doubles per attempt, +/- 50% jitter. */
+    double backoffBaseSec = 0.05;
+    /** Jitter seed (deterministic tests). */
+    uint64_t seed = 1;
+};
+
+class Client
+{
+  public:
+    explicit Client(ClientOptions opts);
+
+    /**
+     * Submit a manifest and wait for its result frame, retrying with
+     * backoff through sheds and disconnects.  `deadlineSec` > 0 asks
+     * the daemon to cancel the job and return a partial report after
+     * that long.  Progress frames are handed to `progress` when set.
+     * Returns the final frame ({"ev":"result",...} on success,
+     * {"ev":"error"/"rejected",...} once attempts are exhausted);
+     * `err` is set when no final frame could be obtained at all.
+     */
+    Json submit(const Json &manifest, bool harden, double deadlineSec,
+                const std::function<void(const Json &)> &progress,
+                std::string &err);
+
+    /** One status round-trip (no retries beyond reconnect backoff). */
+    Json status(std::string &err);
+
+    /** Cancel a job by id. */
+    Json cancel(const std::string &jobId, std::string &err);
+
+  private:
+    int connectWithBackoff(std::string &err);
+    double backoffDelay(unsigned attempt);
+
+    ClientOptions opts;
+    uint64_t rngState;
+};
+
+} // namespace vstack::service
+
+#endif // VSTACK_SERVICE_CLIENT_H

@@ -1,0 +1,744 @@
+#include "daemon.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "core/campaign_io.h"
+#include "exec/sandbox.h"
+#include "service/frame.h"
+#include "support/crc32c.h"
+#include "support/failpoint.h"
+#include "support/logging.h"
+
+namespace vstack::service
+{
+
+namespace fs = std::filesystem;
+using namespace campaign_io;
+
+Json
+reportToJson(const SuiteReport &report)
+{
+    Json out = Json::object();
+    out.set("interrupted", report.interrupted);
+    out.set("cacheHits", static_cast<uint64_t>(report.cacheHits));
+    out.set("failures", static_cast<uint64_t>(report.failures));
+    out.set("storageFaults", report.storageFaults);
+    out.set("goldenEvictions", report.goldenEvictions);
+    Json outcomes = Json::array();
+    for (const CampaignOutcome &o : report.outcomes) {
+        Json e = Json::object();
+        e.set("label", o.spec.label());
+        e.set("cacheHit", o.cacheHit);
+        e.set("complete", o.complete);
+        if (!o.error.empty())
+            e.set("error", o.error);
+        if (o.complete) {
+            e.set("data", o.spec.layer == CampaignLayer::Uarch
+                              ? uarchToJson(o.uarch)
+                              : countsToJson(o.counts));
+        }
+        outcomes.push(std::move(e));
+    }
+    out.set("outcomes", std::move(outcomes));
+    return out;
+}
+
+namespace
+{
+
+Json
+progressToJson(const SuiteProgress &p)
+{
+    Json out = Json::object();
+    out.set("ev", "progress");
+    out.set("campaignsDone", static_cast<uint64_t>(p.campaignsDone));
+    out.set("campaignsTotal", static_cast<uint64_t>(p.campaignsTotal));
+    out.set("samplesDone", static_cast<uint64_t>(p.samplesDone));
+    out.set("samplesTotal", static_cast<uint64_t>(p.samplesTotal));
+    return out;
+}
+
+Json
+errorFrame(const std::string &reason)
+{
+    Json out = Json::object();
+    out.set("ev", "error");
+    out.set("reason", reason);
+    return out;
+}
+
+Json
+rejectedFrame(const std::string &reason)
+{
+    Json out = Json::object();
+    out.set("ev", "rejected");
+    out.set("reason", reason);
+    return out;
+}
+
+} // namespace
+
+struct Daemon::Impl
+{
+    struct Job
+    {
+        enum class St { Queued, Running, Done };
+
+        std::string id;
+        std::string client;
+        Json manifest;
+        bool harden = false;
+        double deadlineSec = 0.0;
+        std::string file; ///< persisted manifest ("" = not persisted)
+        CampaignPlan plan;
+        std::vector<std::string> keys; ///< store keys (overlap check)
+
+        exec::CancelToken token;
+        St st = St::Queued;
+        SuiteProgress progress;
+        uint64_t progressTick = 0; ///< bumps on every callback
+        bool deferred = false;     ///< drain began before it could run
+        std::string error;         ///< non-empty: job failed
+        Json result;               ///< report payload when it ran
+    };
+
+    VulnerabilityStack &stack;
+    DaemonOptions opts;
+    std::string jobsDir; ///< "" = persistence unavailable
+
+    std::mutex mu;
+    std::condition_variable cv; ///< executor + streamer wakeups
+    std::map<std::string, std::deque<std::shared_ptr<Job>>> queues;
+    std::vector<std::string> rrClients; ///< arrival order
+    size_t rrNext = 0;
+    size_t queuedCount = 0;
+    std::vector<std::shared_ptr<Job>> running;
+    std::set<std::string> inflightKeys;
+    size_t doneCount = 0;
+    size_t recovered = 0;
+    uint64_t seq = 0;
+    bool draining = false;
+
+    int listenFd = -1;
+    std::vector<std::thread> executors;
+    std::thread watchdog;
+    std::vector<std::thread> conns;
+
+    Impl(VulnerabilityStack &stack, DaemonOptions o)
+        : stack(stack), opts(std::move(o))
+    {
+    }
+
+    // ---- persistence ------------------------------------------------
+
+    /** Persist a job's manifest with a CRC stamp so a SIGKILL between
+     *  admission and completion can never lose or corrupt it. */
+    bool persistJob(Job &j)
+    {
+        if (jobsDir.empty())
+            return false;
+        Json body = Json::object();
+        body.set("id", j.id);
+        body.set("client", j.client);
+        body.set("harden", j.harden);
+        body.set("deadline", j.deadlineSec);
+        body.set("manifest", j.manifest);
+        const std::string text = body.dump();
+        Json env = Json::object();
+        env.set("crc", static_cast<uint64_t>(crc32c(text)));
+        env.set("job", std::move(body));
+        const std::string path = jobsDir + "/" + j.id + ".json";
+        if (!writeFile(path, env.dump())) {
+            warn("vstackd: cannot persist %s (recovery for this job "
+                 "disabled)",
+                 path.c_str());
+            return false;
+        }
+        fsyncDir(jobsDir);
+        j.file = path;
+        return true;
+    }
+
+    void retireJobFile(Job &j)
+    {
+        if (j.file.empty())
+            return;
+        std::error_code ec;
+        fs::remove(j.file, ec);
+        j.file.clear();
+    }
+
+    /** Re-queue every manifest an earlier incarnation left behind.
+     *  Corrupt files are quarantined to `.corrupt`, never trusted. */
+    void recoverJobs()
+    {
+        if (jobsDir.empty())
+            return;
+        std::vector<std::string> files;
+        std::error_code ec;
+        for (const auto &de : fs::directory_iterator(jobsDir, ec)) {
+            if (de.path().extension() == ".json")
+                files.push_back(de.path().string());
+        }
+        std::sort(files.begin(), files.end());
+        for (const std::string &path : files) {
+            std::string text, reason;
+            Json env;
+            if (!readFile(path, text)) {
+                reason = "unreadable";
+            } else {
+                env = Json::parse(text, &reason);
+            }
+            std::string err;
+            std::shared_ptr<Job> job;
+            if (reason.empty()) {
+                if (!env.isObject() || !env.has("crc") ||
+                    !env.has("job")) {
+                    reason = "missing crc/job fields";
+                } else if (crc32c(env.at("job").dump()) !=
+                           static_cast<uint32_t>(
+                               env.at("crc").asInt())) {
+                    reason = "CRC mismatch";
+                } else {
+                    const Json &body = env.at("job");
+                    job = std::make_shared<Job>();
+                    job->id = body.at("id").asString();
+                    job->client = body.at("client").asString();
+                    job->harden = body.at("harden").asBool();
+                    job->deadlineSec = body.at("deadline").asDouble();
+                    job->manifest = body.at("manifest");
+                    job->file = path;
+                    if (!planFromManifest(job->manifest, job->harden,
+                                          job->plan, err)) {
+                        reason = err;
+                        job.reset();
+                    }
+                }
+            }
+            if (!job) {
+                warn("vstackd: quarantining corrupt job file %s (%s)",
+                     path.c_str(), reason.c_str());
+                std::error_code mec;
+                fs::rename(path, path + ".corrupt", mec);
+                continue;
+            }
+            for (const CampaignSpec &spec : job->plan.specs())
+                job->keys.push_back(campaignKey(stack.config(), spec));
+            // Track the recovered id so fresh ids never collide.
+            if (job->id.size() > 4 && job->id.compare(0, 4, "job-") == 0)
+                seq = std::max<uint64_t>(
+                    seq, std::strtoull(job->id.c_str() + 4, nullptr, 10));
+            enqueueLocked(job);
+            ++recovered;
+        }
+        if (recovered)
+            warn("vstackd: recovered %zu interrupted job(s); resuming",
+                 recovered);
+    }
+
+    // ---- admission --------------------------------------------------
+
+    /** Call under mu. */
+    void enqueueLocked(const std::shared_ptr<Job> &job)
+    {
+        auto it = queues.find(job->client);
+        if (it == queues.end()) {
+            queues.emplace(job->client, std::deque<std::shared_ptr<Job>>{});
+            rrClients.push_back(job->client);
+        }
+        queues[job->client].push_back(job);
+        ++queuedCount;
+        cv.notify_all();
+    }
+
+    /** Round-robin claim of the next runnable job: one whose campaign
+     *  keys do not overlap any in-flight job's.  Call under mu. */
+    std::shared_ptr<Job> claimLocked()
+    {
+        if (rrClients.empty())
+            return nullptr;
+        for (size_t probe = 0; probe < rrClients.size(); ++probe) {
+            const size_t c = (rrNext + probe) % rrClients.size();
+            auto &q = queues[rrClients[c]];
+            for (auto it = q.begin(); it != q.end(); ++it) {
+                const auto &job = *it;
+                const bool overlap = std::any_of(
+                    job->keys.begin(), job->keys.end(),
+                    [this](const std::string &k) {
+                        return inflightKeys.count(k) != 0;
+                    });
+                if (overlap)
+                    continue; // held back; try this client's next job
+                std::shared_ptr<Job> claimed = job;
+                q.erase(it);
+                --queuedCount;
+                rrNext = (c + 1) % rrClients.size();
+                claimed->st = Job::St::Running;
+                for (const std::string &k : claimed->keys)
+                    inflightKeys.insert(k);
+                running.push_back(claimed);
+                return claimed;
+            }
+        }
+        return nullptr;
+    }
+
+    // ---- execution --------------------------------------------------
+
+    void executorLoop()
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        for (;;) {
+            std::shared_ptr<Job> job;
+            cv.wait(lock, [&] {
+                return draining || (job = claimLocked()) != nullptr;
+            });
+            if (!job) {
+                // Draining: queued jobs stay persisted for the next
+                // incarnation; mark them deferred so streamers let
+                // their clients go.
+                for (auto &kv : queues) {
+                    for (auto &j : kv.second) {
+                        j->deferred = true;
+                        j->st = Job::St::Done;
+                    }
+                }
+                cv.notify_all();
+                return;
+            }
+            lock.unlock();
+            runJob(*job);
+            lock.lock();
+            finishLocked(job);
+        }
+    }
+
+    void runJob(Job &job)
+    {
+        if (opts.testBeforeJob)
+            opts.testBeforeJob(job.id);
+        if (job.deadlineSec > 0)
+            job.token.setDeadlineAfter(job.deadlineSec);
+        SuiteOptions so;
+        so.cancel = &job.token;
+        so.progress = [this, &job](const SuiteProgress &p) {
+            std::lock_guard<std::mutex> g(mu);
+            job.progress = p;
+            ++job.progressTick;
+            cv.notify_all();
+        };
+        try {
+            const SuiteReport report = runSuite(stack, job.plan, so);
+            Json out = reportToJson(report);
+            out.set("ev", "result");
+            out.set("job", job.id);
+            if (report.interrupted && job.token.cancelled())
+                out.set("cancelReason", job.token.reason());
+            std::lock_guard<std::mutex> g(mu);
+            job.result = std::move(out);
+        } catch (const std::exception &e) {
+            // Suite-fatal (divergence audits): the job failed; the
+            // daemon and every other job keep going.
+            warn("vstackd: %s failed: %s", job.id.c_str(), e.what());
+            std::lock_guard<std::mutex> g(mu);
+            job.error = e.what();
+        }
+    }
+
+    /** Call under mu. */
+    void finishLocked(const std::shared_ptr<Job> &job)
+    {
+        running.erase(std::find(running.begin(), running.end(), job));
+        for (const std::string &k : job->keys)
+            inflightKeys.erase(k);
+        job->st = Job::St::Done;
+        ++doneCount;
+        // Keep the manifest only when the *process* is draining (the
+        // next incarnation resumes it).  A deadline/cancel/watchdog
+        // drain is a delivered (partial) result, not pending work.
+        if (!exec::shutdownRequested())
+            retireJobFile(*job);
+        cv.notify_all();
+    }
+
+    void watchdogLoop()
+    {
+        using clock = std::chrono::steady_clock;
+        std::map<std::string, std::pair<uint64_t, clock::time_point>> seen;
+        std::unique_lock<std::mutex> lock(mu);
+        for (;;) {
+            if (cv.wait_for(lock, std::chrono::milliseconds(100),
+                            [&] { return draining; }))
+                return;
+            if (opts.stallTimeoutSec <= 0)
+                continue;
+            const auto now = clock::now();
+            for (const auto &job : running) {
+                auto &s = seen[job->id];
+                if (s.second == clock::time_point{} ||
+                    s.first != job->progressTick) {
+                    s = {job->progressTick, now};
+                    continue;
+                }
+                const double idle =
+                    std::chrono::duration<double>(now - s.second)
+                        .count();
+                if (idle > opts.stallTimeoutSec &&
+                    !job->token.cancelled()) {
+                    warn("vstackd: %s stalled (%.1fs without progress); "
+                         "failing the job",
+                         job->id.c_str(), idle);
+                    job->token.cancel("stalled");
+                }
+            }
+        }
+    }
+
+    // ---- connections ------------------------------------------------
+
+    void handleConn(int fd)
+    {
+        Json req;
+        std::string err;
+        switch (readFrame(fd, req, err)) {
+          case FrameResult::Ok:
+            break;
+          case FrameResult::Eof:
+            ::close(fd);
+            return;
+          case FrameResult::Corrupt:
+            // A torn or corrupt frame burns its connection, nothing
+            // else: report why (best effort) and keep serving.
+            warn("vstackd: rejecting corrupt frame: %s", err.c_str());
+            writeFrame(fd, errorFrame("corrupt frame: " + err), err);
+            ::close(fd);
+            return;
+          case FrameResult::Error:
+            warn("vstackd: connection read failed: %s", err.c_str());
+            ::close(fd);
+            return;
+        }
+        const std::string op =
+            req.isObject() && req.has("op") ? req.at("op").asString() : "";
+        if (op == "submit")
+            handleSubmit(fd, req);
+        else if (op == "status")
+            handleStatus(fd);
+        else if (op == "cancel")
+            handleCancel(fd, req);
+        else
+            writeFrame(fd, errorFrame("unknown op '" + op + "'"), err);
+        ::close(fd);
+    }
+
+    void handleSubmit(int fd, const Json &req)
+    {
+        std::string err;
+        if (!req.has("manifest") || !req.has("client")) {
+            writeFrame(fd, errorFrame("submit needs client + manifest"),
+                       err);
+            return;
+        }
+        auto job = std::make_shared<Job>();
+        job->client = req.at("client").asString();
+        job->manifest = req.at("manifest");
+        job->harden = req.has("harden") && req.at("harden").asBool();
+        if (req.has("deadline"))
+            job->deadlineSec = req.at("deadline").asDouble();
+        std::string perr;
+        if (!planFromManifest(job->manifest, job->harden, job->plan,
+                              perr)) {
+            writeFrame(fd, rejectedFrame(perr), err);
+            return;
+        }
+        for (const CampaignSpec &spec : job->plan.specs())
+            job->keys.push_back(campaignKey(stack.config(), spec));
+
+        {
+            std::lock_guard<std::mutex> g(mu);
+            if (draining) {
+                writeFrame(fd, rejectedFrame("draining"), err);
+                return;
+            }
+            if (queuedCount >= opts.maxQueued) {
+                // The shed path: explicit, immediate, and cheap — the
+                // client backs off and retries; dedup makes the retry
+                // free for any campaign that finished meanwhile.
+                writeFrame(fd, rejectedFrame("overloaded"), err);
+                return;
+            }
+            job->id = strprintf("job-%06llu",
+                                static_cast<unsigned long long>(++seq));
+            persistJob(*job);
+            enqueueLocked(job);
+        }
+
+        Json accepted = Json::object();
+        accepted.set("ev", "accepted");
+        accepted.set("job", job->id);
+        if (!writeFrame(fd, accepted, err))
+            return; // client gone; the job still runs (results cached)
+
+        streamJob(fd, job);
+    }
+
+    /** Stream progress frames until the job finishes, then its result.
+     *  A vanished client stops the stream, never the job. */
+    void streamJob(int fd, const std::shared_ptr<Job> &job)
+    {
+        std::string err;
+        uint64_t lastTick = 0;
+        std::unique_lock<std::mutex> lock(mu);
+        for (;;) {
+            cv.wait_for(lock, std::chrono::milliseconds(100), [&] {
+                return job->st == Job::St::Done ||
+                       job->progressTick != lastTick;
+            });
+            if (job->st == Job::St::Done)
+                break;
+            if (job->progressTick != lastTick) {
+                lastTick = job->progressTick;
+                const Json p = progressToJson(job->progress);
+                lock.unlock();
+                const bool ok = writeFrame(fd, p, err);
+                lock.lock();
+                if (!ok)
+                    return;
+            }
+        }
+        Json final;
+        if (job->deferred) {
+            final = errorFrame(
+                "daemon draining; job persisted and will resume on the "
+                "next start");
+            final.set("deferred", true);
+        } else if (!job->error.empty()) {
+            final = errorFrame(job->error);
+        } else {
+            final = job->result;
+        }
+        lock.unlock();
+        writeFrame(fd, final, err);
+    }
+
+    void handleStatus(int fd)
+    {
+        Json out = Json::object();
+        out.set("ev", "status");
+        {
+            std::lock_guard<std::mutex> g(mu);
+            out.set("draining", draining);
+            out.set("queued", static_cast<uint64_t>(queuedCount));
+            Json run = Json::array();
+            for (const auto &job : running)
+                run.push(job->id);
+            out.set("running", std::move(run));
+            out.set("done", static_cast<uint64_t>(doneCount));
+            out.set("recovered", static_cast<uint64_t>(recovered));
+        }
+        std::string err;
+        writeFrame(fd, out, err);
+    }
+
+    void handleCancel(int fd, const Json &req)
+    {
+        std::string err;
+        if (!req.has("job")) {
+            writeFrame(fd, errorFrame("cancel needs a job id"), err);
+            return;
+        }
+        const std::string id = req.at("job").asString();
+        bool found = false;
+        {
+            std::lock_guard<std::mutex> g(mu);
+            for (const auto &job : running) {
+                if (job->id == id) {
+                    job->token.cancel("cancelled by client");
+                    found = true;
+                }
+            }
+            if (!found) {
+                for (auto &kv : queues) {
+                    auto &q = kv.second;
+                    for (auto it = q.begin(); it != q.end(); ++it) {
+                        if ((*it)->id != id)
+                            continue;
+                        (*it)->token.cancel("cancelled by client");
+                        (*it)->error = "cancelled before it ran";
+                        (*it)->st = Job::St::Done;
+                        retireJobFile(**it);
+                        q.erase(it);
+                        --queuedCount;
+                        found = true;
+                        break;
+                    }
+                    if (found)
+                        break;
+                }
+            }
+            cv.notify_all();
+        }
+        Json out = Json::object();
+        out.set("ev", "cancelled");
+        out.set("job", id);
+        out.set("found", found);
+        writeFrame(fd, out, err);
+    }
+};
+
+Daemon::Daemon(VulnerabilityStack &stack, DaemonOptions opts)
+    : impl(std::make_unique<Impl>(stack, std::move(opts)))
+{
+}
+
+Daemon::~Daemon()
+{
+    stop();
+    for (auto &t : impl->conns)
+        if (t.joinable())
+            t.join();
+    for (auto &t : impl->executors)
+        if (t.joinable())
+            t.join();
+    if (impl->watchdog.joinable())
+        impl->watchdog.join();
+    if (impl->listenFd >= 0)
+        ::close(impl->listenFd);
+    if (!impl->opts.socketPath.empty()) {
+        std::error_code ec;
+        fs::remove(impl->opts.socketPath, ec);
+    }
+}
+
+bool
+Daemon::start(std::string &err)
+{
+    Impl &I = *impl;
+    // A client dying mid-stream must cost one EPIPE, not the process.
+    ::signal(SIGPIPE, SIG_IGN);
+
+    const std::string &resultsDir = I.stack.config().resultsDir;
+    if (resultsDir.empty()) {
+        warn("vstackd: VSTACK_RESULTS is unset; admitted jobs will not "
+             "survive a crash");
+    } else {
+        I.jobsDir = resultsDir + "/vstackd/jobs";
+        std::error_code ec;
+        fs::create_directories(I.jobsDir, ec);
+        if (ec) {
+            err = "cannot create " + I.jobsDir + ": " + ec.message();
+            return false;
+        }
+    }
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (I.opts.socketPath.size() >= sizeof(addr.sun_path)) {
+        err = "socket path too long: " + I.opts.socketPath;
+        return false;
+    }
+    std::strncpy(addr.sun_path, I.opts.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    I.listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (I.listenFd < 0) {
+        err = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    // A dead daemon leaves a socket inode behind; rebinding over it is
+    // the restart path, so clear it first.
+    ::unlink(I.opts.socketPath.c_str());
+    if (::bind(I.listenFd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) < 0 ||
+        ::listen(I.listenFd, 64) < 0) {
+        err = "bind/listen " + I.opts.socketPath + ": " +
+              std::strerror(errno);
+        ::close(I.listenFd);
+        I.listenFd = -1;
+        return false;
+    }
+
+    {
+        std::lock_guard<std::mutex> g(I.mu);
+        I.recoverJobs();
+    }
+    const size_t nExec = std::max<size_t>(1, I.opts.maxInflight);
+    for (size_t i = 0; i < nExec; ++i)
+        I.executors.emplace_back([this] { impl->executorLoop(); });
+    I.watchdog = std::thread([this] { impl->watchdogLoop(); });
+    return true;
+}
+
+void
+Daemon::serve()
+{
+    Impl &I = *impl;
+    for (;;) {
+        if (exec::shutdownRequested()) {
+            stop();
+            break;
+        }
+        {
+            std::lock_guard<std::mutex> g(I.mu);
+            if (I.draining)
+                break;
+        }
+        pollfd pfd{I.listenFd, POLLIN, 0};
+        const int pr = ::poll(&pfd, 1, 200);
+        if (pr <= 0)
+            continue; // timeout or EINTR: re-check the drain flags
+        if (failpoint("service.accept.eintr"))
+            continue; // a signal landed between poll and accept
+        const int fd = ::accept(I.listenFd, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        I.conns.emplace_back([this, fd] { impl->handleConn(fd); });
+    }
+    // Drain: wait for the executors to park (in-flight work drains to
+    // its journals via the shutdown flag / its cancel tokens).
+    for (auto &t : I.executors)
+        if (t.joinable())
+            t.join();
+}
+
+void
+Daemon::stop()
+{
+    std::lock_guard<std::mutex> g(impl->mu);
+    impl->draining = true;
+    impl->cv.notify_all();
+}
+
+size_t
+Daemon::recoveredJobs() const
+{
+    std::lock_guard<std::mutex> g(impl->mu);
+    return impl->recovered;
+}
+
+size_t
+Daemon::pendingJobs() const
+{
+    std::lock_guard<std::mutex> g(impl->mu);
+    return impl->queuedCount + impl->running.size();
+}
+
+} // namespace vstack::service

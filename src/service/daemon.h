@@ -1,0 +1,114 @@
+/**
+ * @file
+ * vstackd: the persistent campaign service.
+ *
+ * One daemon owns one warm VulnerabilityStack (golden LRU, trace
+ * cache, result store) and serves campaign manifests submitted over a
+ * local UNIX socket by any number of clients.  The design goal is
+ * *robustness* around the byte-identical campaign machinery of
+ * core/suite: nothing a client, the kernel, or the daemon's own death
+ * can do may corrupt results — only delay them.
+ *
+ * Request lifecycle:
+ *
+ *   submit -> ADMIT (queue, manifest persisted with a CRC stamp)
+ *          -> RUN   (round-robin across clients, in-flight cap)
+ *          -> DONE  (result frame streamed back, manifest unlinked)
+ *
+ * with three exits that still leave the store consistent:
+ *
+ *   - shed:   the queue is full -> `rejected overloaded` frame; the
+ *             client backs off and retries (idempotently: a retried
+ *             manifest dedups against the result store / journals).
+ *   - cancel: a client cancel or the per-request deadline fires the
+ *             job's CancelToken; the suite drains at safe points and a
+ *             partial report (complete=false) is returned.
+ *   - crash:  SIGKILL at any instruction.  Admitted manifests are on
+ *             disk, sample journals are CRC-framed, and the next
+ *             start() re-queues every orphaned job, whose campaigns
+ *             resume exactly like `vstack suite --resume`.
+ *
+ * A watchdog fails any running job whose progress counters stop
+ * moving for longer than the stall budget — the daemon never hangs
+ * because one campaign did.  SIGTERM drains gracefully: stop
+ * admitting, let in-flight work drain to its journals, keep queued
+ * manifests for the next start, exit 0.
+ */
+#ifndef VSTACK_SERVICE_DAEMON_H
+#define VSTACK_SERVICE_DAEMON_H
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/suite.h"
+
+namespace vstack::service
+{
+
+struct DaemonOptions
+{
+    /** UNIX socket path to listen on (created; unlinked on stop). */
+    std::string socketPath;
+    /** Total queued (admitted, not yet running) jobs across all
+     *  clients before submissions shed with `rejected overloaded`. */
+    size_t maxQueued = 16;
+    /** Jobs running concurrently on the shared stack.  Jobs whose
+     *  campaign keys overlap an in-flight job are held back so no two
+     *  suites ever race on one journal/store entry. */
+    size_t maxInflight = 1;
+    /** Watchdog: fail a running job when its progress counters have
+     *  not moved for this long (a stuck pool kills the job, not the
+     *  daemon).  <= 0 disables. */
+    double stallTimeoutSec = 300.0;
+    /** Test hook: called (unlocked) right before a job's suite runs;
+     *  may block to hold the executor busy deterministically. */
+    std::function<void(const std::string &jobId)> testBeforeJob;
+};
+
+/** Serialize a SuiteReport as the daemon's result-frame payload
+ *  (labels, per-entry completeness/errors, and the layer data via the
+ *  store codecs). */
+Json reportToJson(const SuiteReport &report);
+
+class Daemon
+{
+  public:
+    /** The stack's config should have `resume = true`, or recovered
+     *  jobs will restart their campaigns from scratch (correct but
+     *  wasteful).  The stack must outlive the daemon. */
+    Daemon(VulnerabilityStack &stack, DaemonOptions opts);
+    ~Daemon();
+
+    /**
+     * Bind the socket, recover persisted jobs from an earlier
+     * incarnation, and start the executor + watchdog threads.
+     * False with `err` on failure (socket in use, bad paths).
+     */
+    bool start(std::string &err);
+
+    /**
+     * Accept-and-serve until a shutdown is requested
+     * (exec::installShutdownHandler's SIGTERM/SIGINT flag) or stop()
+     * is called from another thread.  Returns after the graceful
+     * drain completed.
+     */
+    void serve();
+
+    /** Initiate the drain from any thread (idempotent). */
+    void stop();
+
+    /** Jobs re-queued from disk by start() (crash recovery). */
+    size_t recoveredJobs() const;
+
+    /** Jobs currently admitted but not finished (tests). */
+    size_t pendingJobs() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl;
+};
+
+} // namespace vstack::service
+
+#endif // VSTACK_SERVICE_DAEMON_H

@@ -1,0 +1,151 @@
+#include "frame.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "support/crc32c.h"
+#include "support/failpoint.h"
+#include "support/logging.h"
+
+namespace vstack::service
+{
+
+namespace
+{
+
+/** Read exactly n bytes.  1 = ok, 0 = clean EOF before any byte,
+ *  -1 = torn (EOF mid-buffer), -2 = socket error. */
+int
+readFull(int fd, void *buf, size_t n)
+{
+    char *p = static_cast<char *>(buf);
+    size_t got = 0;
+    while (got < n) {
+        if (failpoint("service.read.eintr"))
+            continue; // a signal interrupted the syscall; retry
+        const ssize_t r = ::read(fd, p + got, n - got);
+        if (r > 0) {
+            got += static_cast<size_t>(r);
+        } else if (r == 0) {
+            return got == 0 ? 0 : -1;
+        } else if (errno != EINTR) {
+            return -2;
+        }
+    }
+    return 1;
+}
+
+bool
+writeFull(int fd, const void *buf, size_t n)
+{
+    const char *p = static_cast<const char *>(buf);
+    size_t put = 0;
+    while (put < n) {
+        const ssize_t r = ::write(fd, p + put, n - put);
+        if (r > 0)
+            put += static_cast<size_t>(r);
+        else if (r < 0 && errno != EINTR)
+            return false;
+    }
+    return true;
+}
+
+void
+putU32le(char *p, uint32_t v)
+{
+    p[0] = static_cast<char>(v & 0xff);
+    p[1] = static_cast<char>((v >> 8) & 0xff);
+    p[2] = static_cast<char>((v >> 16) & 0xff);
+    p[3] = static_cast<char>((v >> 24) & 0xff);
+}
+
+uint32_t
+getU32le(const char *p)
+{
+    const auto b = [&](int i) {
+        return static_cast<uint32_t>(static_cast<unsigned char>(p[i]));
+    };
+    return b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+}
+
+} // namespace
+
+FrameResult
+readFrame(int fd, Json &out, std::string &err)
+{
+    char hdr[8];
+    switch (readFull(fd, hdr, sizeof(hdr))) {
+      case 0: return FrameResult::Eof;
+      case -1:
+        err = "torn frame: EOF inside the header";
+        return FrameResult::Corrupt;
+      case -2:
+        err = std::string("read: ") + std::strerror(errno);
+        return FrameResult::Error;
+    }
+    const uint32_t len = getU32le(hdr);
+    const uint32_t crc = getU32le(hdr + 4);
+    if (len > kMaxFramePayload) {
+        err = strprintf("frame length %u exceeds the %zu-byte cap",
+                        len, kMaxFramePayload);
+        return FrameResult::Corrupt;
+    }
+    std::string payload(len, '\0');
+    switch (readFull(fd, payload.data(), len)) {
+      case 0:
+      case -1:
+        err = "torn frame: EOF inside the payload";
+        return FrameResult::Corrupt;
+      case -2:
+        err = std::string("read: ") + std::strerror(errno);
+        return FrameResult::Error;
+    }
+    const uint32_t got = crc32c(payload);
+    if (got != crc) {
+        err = strprintf("frame CRC mismatch (stamped %s, computed %s)",
+                        crc32cHex(crc).c_str(), crc32cHex(got).c_str());
+        return FrameResult::Corrupt;
+    }
+    std::string perr;
+    out = Json::parse(payload, &perr);
+    if (!perr.empty()) {
+        err = "frame payload is not JSON: " + perr;
+        return FrameResult::Corrupt;
+    }
+    return FrameResult::Ok;
+}
+
+bool
+writeFrame(int fd, const Json &payload, std::string &err)
+{
+    const std::string body = payload.dump();
+    if (body.size() > kMaxFramePayload) {
+        err = "frame payload too large";
+        return false;
+    }
+    std::string wire(8 + body.size(), '\0');
+    putU32le(wire.data(), static_cast<uint32_t>(body.size()));
+    putU32le(wire.data() + 4, crc32c(body));
+    std::memcpy(wire.data() + 8, body.data(), body.size());
+
+    size_t n = wire.size();
+    if (failpoint("service.write.short_write")) {
+        // Die mid-send from the peer's point of view: half the frame
+        // reaches the wire, then the connection is abandoned.
+        n = n / 2;
+        if (!writeFull(fd, wire.data(), n))
+            err = std::string("write: ") + std::strerror(errno);
+        else
+            err = "service.write.short_write failpoint tore the frame";
+        return false;
+    }
+    if (!writeFull(fd, wire.data(), n)) {
+        err = std::string("write: ") + std::strerror(errno);
+        return false;
+    }
+    return true;
+}
+
+} // namespace vstack::service

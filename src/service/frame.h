@@ -1,0 +1,58 @@
+/**
+ * @file
+ * CRC-framed JSON messages over a stream socket.
+ *
+ * The vstackd wire format mirrors the journal's corruption stance: a
+ * frame is `u32le payloadLen | u32le crc32c(payload) | payload`, where
+ * the payload is one serialized JSON value.  A torn frame (short read
+ * at EOF) or a CRC/parse mismatch is *detected*, never trusted — the
+ * daemon rejects the connection that sent it and keeps serving
+ * everyone else, exactly as a corrupt journal line quarantines one
+ * record instead of poisoning a campaign.
+ *
+ * Reads and writes retry EINTR and loop over short transfers.  The
+ * chaos failpoints `service.read.eintr` and `service.write.short_write`
+ * (support/failpoint.h) deterministically exercise both paths: the
+ * first injects spurious interruptions the loop must absorb, the
+ * second truncates a send mid-frame, leaving the torn bytes for the
+ * peer's CRC check to catch.
+ */
+#ifndef VSTACK_SERVICE_FRAME_H
+#define VSTACK_SERVICE_FRAME_H
+
+#include <string>
+
+#include "support/json.h"
+
+namespace vstack::service
+{
+
+/** Frames above this are rejected as corrupt (a real manifest or
+ *  report is kilobytes; a 100 MB length prefix is garbage or abuse). */
+constexpr size_t kMaxFramePayload = 16u << 20;
+
+enum class FrameResult {
+    Ok,      ///< a well-formed frame was read
+    Eof,     ///< clean EOF on a frame boundary (peer closed)
+    Corrupt, ///< torn frame, CRC mismatch, oversize, or bad JSON
+    Error,   ///< socket error (errno-level failure)
+};
+
+/**
+ * Read one frame.  Blocks until a full frame, EOF, or error.
+ * On Corrupt/Error, `err` carries a one-line diagnosis.
+ */
+FrameResult readFrame(int fd, Json &out, std::string &err);
+
+/**
+ * Write one frame (all-or-error; EINTR and short writes are retried).
+ * Returns false with `err` set on failure — including a fired
+ * `service.write.short_write` failpoint, which truncates the frame on
+ * the wire and then reports failure so the caller drops the
+ * connection like a real mid-send crash.
+ */
+bool writeFrame(int fd, const Json &payload, std::string &err);
+
+} // namespace vstack::service
+
+#endif // VSTACK_SERVICE_FRAME_H

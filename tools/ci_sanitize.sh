@@ -80,17 +80,29 @@ ctest --test-dir "${prefix}-address" --output-on-failure -j "${jobs}" \
       -R 'Suite'
 tools/suite_smoke.sh --smoke "${prefix}-address"
 
+echo "=== service smoke [address]"
+# The campaign service under ASan: socket frames, per-connection
+# threads, cancel tokens, and the persisted-job recovery path all
+# shuffle buffers between threads while clients disconnect mid-stream
+# — leaked fds and use-after-free on a vanished connection would
+# surface here.  The ctest stage runs the daemon/admission suites
+# in-process; the script drives two real clients against a real
+# vstackd, arms the socket failpoints, and SIGKILLs + restarts it.
+ctest --test-dir "${prefix}-address" --output-on-failure -j "${jobs}" \
+      -R 'Service'
+tools/vstackd_smoke.sh --smoke "${prefix}-address"
+
 dir="${prefix}-thread"
 build thread "${dir}"
 echo "=== executor tests [thread]"
 # The executor tests plus the campaign-level parallel determinism and
 # resume tests are the code that actually runs multithreaded.  The
 # filter deliberately excludes the Sandbox/Isolated fork tests plus
-# the Chaos and Suite suites (both fork failpoint-armed children):
-# fork from a multithreaded TSan process is unsupported (all are
-# covered by the ASan smoke stages above instead).
+# the Chaos, Suite, and Service suites (all fork failpoint-armed
+# children): fork from a multithreaded TSan process is unsupported
+# (all are covered by the ASan smoke stages above instead).
 ctest --test-dir "${dir}" --output-on-failure -j "${jobs}" \
       -R 'Executor|Journal|Parallel|Resume|Jobs' \
-      -E 'Sandbox|Isolated|Chaos|Suite'
+      -E 'Sandbox|Isolated|Chaos|Suite|Service'
 
 echo "=== all sanitizer runs passed"

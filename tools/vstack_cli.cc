@@ -21,7 +21,8 @@
  *   vstack svf <file.mcl|workload> [-n N] [--seed S] [--harden]
  *           [--jobs J] [--resume] [--isolate]
  *       Run a software-level (LLFI-analog) campaign.
- *   vstack suite <manifest.json> [--jobs J] [--serial] [...]
+ *   vstack suite <manifest.json> [--jobs J] [--serial]
+ *           [--deadline S] [...]
  *       Run every campaign named by a JSON manifest over one shared
  *       worker pool (golden runs included), memoised through
  *       $VSTACK_RESULTS.  The manifest is an object with a
@@ -60,6 +61,17 @@
  * reaped, the journal keeps every finished sample, and the campaign
  * is resumable with --resume.
  *
+ *   vstack submit <manifest.json> [--socket P] [--client NAME]
+ *           [--deadline S] [--harden]
+ *   vstack status [--socket P]
+ *   vstack cancel <job-id> [--socket P]
+ *       Talk to a running `vstackd` campaign service (see
+ *       src/service/daemon.h): submit streams progress and prints the
+ *       result exactly like `vstack suite`; the client retries
+ *       connect failures, overload sheds, and mid-stream disconnects
+ *       with exponential backoff + jitter, and resubmission is
+ *       idempotent (campaign identity is the result-store key).
+ *
  * `--verify-replay=P` (or VSTACK_VERIFY_REPLAY=P) re-simulates a
  * deterministic P% of the samples replayed from the journal on a
  * --resume and exits with status 3 if any re-run disagrees with its
@@ -69,6 +81,8 @@
  */
 #include <cstdio>
 #include <cstring>
+
+#include <unistd.h>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -81,6 +95,7 @@
 #include "ft/harden.h"
 #include "gefin/campaign.h"
 #include "kernel/kernel.h"
+#include "service/client.h"
 #include "support/env.h"
 #include "support/failpoint.h"
 #include "support/logging.h"
@@ -91,6 +106,7 @@ namespace
 {
 
 using namespace vstack;
+using namespace vstack::campaign_io;
 
 struct Args
 {
@@ -112,6 +128,9 @@ struct Args
     bool checkpoint = true;
     double verifyCheckpoint = 0.0;
     bool serial = false;
+    double deadline = 0.0; ///< seconds; 0 = none (suite/submit)
+    std::string socket;    ///< vstackd socket ("" = default)
+    std::string client;    ///< client name for fairness queues
     /** @name Explicit-flag markers, so `suite` can tell a CLI override
      *  from an Args default and fall back to the environment @{ */
     bool nGiven = false;
@@ -128,7 +147,7 @@ usage()
         stderr,
         "usage: vstack <command> [target] [options]\n"
         "commands: workloads | compile | asm | ir | run | campaign | "
-        "svf | suite\n"
+        "svf | suite | submit | status | cancel\n"
         "options: --isa av32|av64  --core ax9|ax15|ax57|ax72\n"
         "         --structure RF|LSQ|L1i|L1d|L2  -n N  --seed S\n"
         "         --harden  --functional  --xlen 32|64\n"
@@ -143,7 +162,11 @@ usage()
         "         --verify-checkpoint=P (re-run P%% of checkpointed\n"
         "                    samples cold; abort on any divergence)\n"
         "         --serial (suite only: run campaigns one at a time\n"
-        "                    through the serial reference path)\n");
+        "                    through the serial reference path)\n"
+        "         --deadline S (suite/submit: cancel after S seconds\n"
+        "                    and report the partial results; suite\n"
+        "                    exits 4 on expiry)\n"
+        "         --socket P  --client NAME (vstackd client options)\n");
     std::exit(2);
 }
 
@@ -225,6 +248,17 @@ parseArgs(int argc, char **argv)
             verifyCheckpointGiven = true;
             continue;
         }
+        if (flag.rfind("--deadline", 0) == 0) {
+            std::string v;
+            if (flag.size() > 10 && flag[10] == '=')
+                v = flag.substr(11);
+            else if (flag.size() == 10)
+                v = value();
+            else
+                usage();
+            a.deadline = doubleValue("--deadline", v);
+            continue;
+        }
         if (flag == "--isa")
             a.isa = value();
         else if (flag == "--core")
@@ -253,6 +287,10 @@ parseArgs(int argc, char **argv)
             a.checkpoint = false;
         else if (flag == "--resume")
             a.resume = true;
+        else if (flag == "--socket")
+            a.socket = value();
+        else if (flag == "--client")
+            a.client = value();
         else if (flag == "--harden")
             a.harden = true;
         else if (flag == "--functional")
@@ -609,80 +647,6 @@ cmdSvf(const Args &a)
     return 0;
 }
 
-/** Expand a manifest entry's "workload" axis ("*" = the paper's ten
- *  benchmarks, in paper order; names are validated eagerly). */
-std::vector<std::string>
-manifestWorkloads(const Json &e)
-{
-    if (!e.has("workload"))
-        fatal("suite manifest: every campaign needs a \"workload\"");
-    const std::string w = e.at("workload").asString();
-    std::vector<std::string> names;
-    if (w == "*") {
-        for (const Workload &wl : paperWorkloads())
-            names.push_back(wl.name);
-    } else {
-        findWorkload(w); // fatal if unknown
-        names.push_back(w);
-    }
-    return names;
-}
-
-/** Append one manifest campaign entry (wildcards expanded) to the
- *  plan. */
-void
-addManifestEntry(CampaignPlan &plan, const Json &e, bool hardenAll)
-{
-    if (!e.isObject() || !e.has("layer"))
-        fatal("suite manifest: campaigns must be objects with a "
-              "\"layer\"");
-    const std::string layer = e.at("layer").asString();
-    const bool harden =
-        hardenAll || (e.has("harden") && e.at("harden").asBool());
-    for (const std::string &w : manifestWorkloads(e)) {
-        const Variant v{w, harden};
-        if (layer == "uarch") {
-            const std::string core =
-                e.has("core") ? e.at("core").asString() : "ax72";
-            coreByName(core); // fatal if unknown
-            const std::string s =
-                e.has("structure") ? e.at("structure").asString() : "*";
-            Structure st = Structure::RF;
-            if (s == "*")
-                plan.addUarchAll(core, v);
-            else if (structureFromName(s, st))
-                plan.addUarch(core, v, st);
-            else
-                fatal("suite manifest: unknown structure '%s'",
-                      s.c_str());
-        } else if (layer == "pvf") {
-            const IsaId isa = isaFromName(
-                e.has("isa") ? e.at("isa").asString() : "av64");
-            const std::string f =
-                e.has("fpm") ? e.at("fpm").asString() : "WD";
-            Fpm fpm = Fpm::WD;
-            if (f == "*") {
-                // ESC is excluded: escaped faults never re-enter the
-                // program flow, so arch-level injection cannot model
-                // them (paper Table I).
-                plan.addPvf(isa, v, Fpm::WD);
-                plan.addPvf(isa, v, Fpm::WI);
-                plan.addPvf(isa, v, Fpm::WOI);
-            } else if (fpmFromName(f.c_str(), fpm)) {
-                plan.addPvf(isa, v, fpm);
-            } else {
-                fatal("suite manifest: unknown fpm '%s'", f.c_str());
-            }
-        } else if (layer == "svf") {
-            plan.addSvf(v);
-        } else {
-            fatal("suite manifest: unknown layer '%s' (expected uarch, "
-                  "pvf, or svf)",
-                  layer.c_str());
-        }
-    }
-}
-
 /**
  * The suite's campaign configuration: the environment's, with every
  * explicitly given CLI flag overriding its variable.  Sample counts
@@ -741,11 +705,11 @@ struct SuiteProgressLine
 };
 
 /** One campaign's report line (stdout; byte-identical between serial
- *  and scheduled runs — the suite smoke test compares with cmp). */
+ *  and scheduled runs — the suite smoke test compares with cmp, and
+ *  the vstackd client prints the same bytes from the result frame). */
 void
-printOutcome(const CampaignOutcome &o)
+printOutcomeLine(const std::string &label, const CampaignOutcome &o)
 {
-    const std::string label = o.spec.label();
     if (o.spec.layer == CampaignLayer::Uarch) {
         const UarchCampaignResult &r = o.uarch;
         std::printf("%s: masked=%llu sdc=%llu crash=%llu detected=%llu "
@@ -782,6 +746,12 @@ printOutcome(const CampaignOutcome &o)
     }
 }
 
+void
+printOutcome(const CampaignOutcome &o)
+{
+    printOutcomeLine(o.spec.label(), o);
+}
+
 int
 cmdSuite(const Args &a)
 {
@@ -793,21 +763,20 @@ cmdSuite(const Args &a)
     const Json m = Json::parse(text, &err);
     if (!err.empty())
         fatal("suite manifest %s: %s", a.target.c_str(), err.c_str());
-    if (!m.isObject() || !m.has("campaigns") ||
-        !m.at("campaigns").isArray())
-        fatal("suite manifest %s: expected {\"campaigns\": [...]}",
-              a.target.c_str());
     CampaignPlan plan;
-    for (const Json &e : m.at("campaigns").items())
-        addManifestEntry(plan, e, a.harden);
-    if (plan.empty())
-        fatal("suite manifest %s names no campaigns", a.target.c_str());
+    if (!planFromManifest(m, a.harden, plan, err))
+        fatal("%s: %s", a.target.c_str(), err.c_str());
 
     VulnerabilityStack stack(suiteConfig(a));
+    exec::CancelToken deadline;
+    if (a.deadline > 0)
+        deadline.setDeadlineAfter(a.deadline);
     SuiteReport report;
     {
         SuiteOptions opts;
         opts.serial = a.serial;
+        if (a.deadline > 0)
+            opts.cancel = &deadline;
         SuiteProgressLine line;
         opts.progress = std::cref(line);
         report = runSuite(stack, plan, opts);
@@ -817,6 +786,15 @@ cmdSuite(const Args &a)
     for (const CampaignOutcome &o : report.outcomes) {
         if (o.complete)
             printOutcome(o);
+        else if (!o.error.empty())
+            std::printf("%s: FAILED: %s\n", o.spec.label().c_str(),
+                        o.error.c_str());
+    }
+    if (report.failures) {
+        std::fprintf(stderr,
+                     "suite: %zu campaign(s) failed and were skipped; "
+                     "the rest completed\n",
+                     report.failures);
     }
 
     if (report.storageFaults) {
@@ -836,12 +814,155 @@ cmdSuite(const Args &a)
                          report.goldenEvictions));
     }
     if (report.interrupted) {
+        if (deadline.deadlineExpired()) {
+            std::fprintf(stderr,
+                         "deadline: %gs budget expired; the partial "
+                         "report above is journaled — re-run with "
+                         "--resume (or a larger --deadline) to "
+                         "continue\n",
+                         a.deadline);
+            return 4;
+        }
         std::fprintf(stderr,
                      "interrupted: finished samples are journaled; "
                      "re-run `vstack suite %s` to continue\n",
                      a.target.c_str());
         return 130;
     }
+    return 0;
+}
+
+/** The default vstackd socket: beside the results (shared cache), or
+ *  a per-user /tmp path when VSTACK_RESULTS is unset. */
+std::string
+defaultSocket()
+{
+    const EnvConfig cfg = EnvConfig::fromEnvironment();
+    if (!cfg.resultsDir.empty())
+        return cfg.resultsDir + "/vstackd.sock";
+    return strprintf("/tmp/vstackd-%d.sock",
+                     static_cast<int>(getuid()));
+}
+
+service::ClientOptions
+clientOptions(const Args &a)
+{
+    service::ClientOptions o;
+    o.socketPath = a.socket.empty() ? defaultSocket() : a.socket;
+    o.name = a.client.empty()
+                 ? strprintf("cli-%d", static_cast<int>(getpid()))
+                 : a.client;
+    o.seed = static_cast<uint64_t>(getpid());
+    return o;
+}
+
+/** Print a daemon result frame exactly like `vstack suite` prints its
+ *  report (the formats share one codec, so outputs stay cmp-able). */
+int
+printResultFrame(const Json &res)
+{
+    const Json &outcomes = res.at("outcomes");
+    std::printf("suite: %zu campaigns\n", outcomes.size());
+    for (const Json &e : outcomes.items()) {
+        const std::string label = e.at("label").asString();
+        if (e.at("complete").asBool()) {
+            CampaignOutcome o;
+            // Reconstruct just enough of the outcome for the shared
+            // printer: the label encodes the layer.
+            if (label.rfind("uarch/", 0) == 0) {
+                o.spec.layer = CampaignLayer::Uarch;
+                o.uarch = uarchFromJson(e.at("data"));
+            } else {
+                o.spec.layer = label.rfind("pvf/", 0) == 0
+                                   ? CampaignLayer::Pvf
+                                   : CampaignLayer::Svf;
+                o.counts = countsFromJson(e.at("data"));
+            }
+            printOutcomeLine(label, o);
+        } else if (e.has("error")) {
+            std::printf("%s: FAILED: %s\n", label.c_str(),
+                        e.at("error").asString().c_str());
+        }
+    }
+    if (res.at("interrupted").asBool()) {
+        std::fprintf(stderr, "interrupted: %s\n",
+                     res.has("cancelReason")
+                         ? res.at("cancelReason").asString().c_str()
+                         : "partial report");
+        return res.has("cancelReason") &&
+                       res.at("cancelReason").asString() == "deadline"
+                   ? 4
+                   : 130;
+    }
+    return 0;
+}
+
+int
+cmdSubmit(const Args &a)
+{
+    std::string text;
+    if (!readFile(a.target, text))
+        fatal("cannot read suite manifest '%s'", a.target.c_str());
+    std::string err;
+    const Json m = Json::parse(text, &err);
+    if (!err.empty())
+        fatal("suite manifest %s: %s", a.target.c_str(), err.c_str());
+
+    service::Client client(clientOptions(a));
+    SuiteProgressLine line;
+    const Json res = client.submit(
+        m, a.harden, a.deadline,
+        [&line](const Json &p) {
+            SuiteProgress sp;
+            sp.campaignsDone =
+                static_cast<size_t>(p.at("campaignsDone").asInt());
+            sp.campaignsTotal =
+                static_cast<size_t>(p.at("campaignsTotal").asInt());
+            sp.samplesDone =
+                static_cast<size_t>(p.at("samplesDone").asInt());
+            sp.samplesTotal =
+                static_cast<size_t>(p.at("samplesTotal").asInt());
+            line(sp);
+        },
+        err);
+    if (!err.empty())
+        fatal("%s", err.c_str());
+    const std::string ev =
+        res.isObject() && res.has("ev") ? res.at("ev").asString() : "";
+    if (ev != "result") {
+        fatal("vstackd %s: %s", ev.c_str(),
+              res.has("reason") ? res.at("reason").asString().c_str()
+                                : "unexpected reply");
+    }
+    return printResultFrame(res);
+}
+
+int
+cmdStatus(const Args &a)
+{
+    service::Client client(clientOptions(a));
+    std::string err;
+    const Json st = client.status(err);
+    if (!err.empty())
+        fatal("%s", err.c_str());
+    std::printf("%s\n", st.dump(2).c_str());
+    return 0;
+}
+
+int
+cmdCancel(const Args &a)
+{
+    service::Client client(clientOptions(a));
+    std::string err;
+    const Json res = client.cancel(a.target, err);
+    if (!err.empty())
+        fatal("%s", err.c_str());
+    if (!res.at("found").asBool()) {
+        std::fprintf(stderr, "no queued or running job '%s'\n",
+                     a.target.c_str());
+        return 1;
+    }
+    std::printf("cancelled %s\n", a.target.c_str());
     return 0;
 }
 
@@ -862,6 +983,12 @@ dispatch(const Args &a)
         return cmdSvf(a);
     if (a.command == "suite")
         return cmdSuite(a);
+    if (a.command == "submit")
+        return cmdSubmit(a);
+    if (a.command == "status")
+        return cmdStatus(a);
+    if (a.command == "cancel")
+        return cmdCancel(a);
     usage();
 }
 
@@ -879,7 +1006,7 @@ main(int argc, char **argv)
                      failpointSummary().c_str());
     if (a.command == "workloads")
         return cmdWorkloads();
-    if (a.target.empty())
+    if (a.target.empty() && a.command != "status")
         usage();
     try {
         return dispatch(a);

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * `vstackd` — the persistent campaign service (src/service/daemon.h).
+ *
+ *   vstackd [--socket P] [--queue N] [--inflight N] [--stall S]
+ *           [--jobs J] [-n N] [--seed S]
+ *
+ * One daemon owns one warm VulnerabilityStack and serves `vstack
+ * submit/status/cancel` clients over a local UNIX socket.  Campaign
+ * configuration comes from the VSTACK_* environment exactly like the
+ * one-shot CLI, with resume forced on so recovered jobs continue from
+ * their journals.  SIGTERM/SIGINT drain gracefully (admitted jobs are
+ * persisted for the next start); exit 0 means the drain was clean.
+ */
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <unistd.h>
+
+#include "exec/sandbox.h"
+#include "service/daemon.h"
+#include "support/env.h"
+#include "support/failpoint.h"
+#include "support/logging.h"
+
+namespace
+{
+
+using namespace vstack;
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: vstackd [options]\n"
+        "  --socket P    listen path (default $VSTACK_RESULTS/"
+        "vstackd.sock)\n"
+        "  --queue N     admitted-job queue cap before `rejected "
+        "overloaded` (default 16)\n"
+        "  --inflight N  jobs running concurrently (default 1)\n"
+        "  --stall S     watchdog: fail a job after S seconds without "
+        "progress (default 300)\n"
+        "  --jobs J      worker threads per suite (0 = all hw "
+        "threads)\n"
+        "  -n N          samples per campaign (default: environment)\n"
+        "  --seed S      campaign seed (default: environment)\n");
+    std::exit(2);
+}
+
+uint64_t
+numValue(const char *flag, const std::string &v)
+{
+    size_t pos = 0;
+    uint64_t n = 0;
+    try {
+        n = std::stoull(v, &pos);
+    } catch (const std::exception &) {
+        pos = 0;
+    }
+    if (v.empty() || v[0] == '-' || pos != v.size())
+        fatal("%s expects a non-negative integer, got '%s'", flag,
+              v.c_str());
+    return n;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    EnvConfig cfg = EnvConfig::fromEnvironment();
+    // The daemon's whole point is resumability: journals from a killed
+    // incarnation (or an interrupted one-shot run) always replay.
+    cfg.resume = true;
+
+    service::DaemonOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (flag == "--socket")
+            opts.socketPath = value();
+        else if (flag == "--queue")
+            opts.maxQueued = static_cast<size_t>(numValue("--queue",
+                                                          value()));
+        else if (flag == "--inflight")
+            opts.maxInflight =
+                static_cast<size_t>(numValue("--inflight", value()));
+        else if (flag == "--stall")
+            opts.stallTimeoutSec =
+                static_cast<double>(numValue("--stall", value()));
+        else if (flag == "--jobs")
+            cfg.jobs = static_cast<unsigned>(numValue("--jobs", value()));
+        else if (flag == "-n")
+            cfg.uarchFaults = cfg.archFaults = cfg.swFaults =
+                static_cast<size_t>(numValue("-n", value()));
+        else if (flag == "--seed")
+            cfg.seed = numValue("--seed", value());
+        else
+            usage();
+    }
+    if (opts.socketPath.empty()) {
+        opts.socketPath =
+            cfg.resultsDir.empty()
+                ? strprintf("/tmp/vstackd-%d.sock",
+                            static_cast<int>(getuid()))
+                : cfg.resultsDir + "/vstackd.sock";
+    }
+
+    if (failpointsArmed())
+        std::fprintf(stderr, "failpoints armed: %s\n",
+                     failpointSummary().c_str());
+
+    exec::installShutdownHandler();
+    VulnerabilityStack stack(cfg);
+    service::Daemon daemon(stack, opts);
+    std::string err;
+    if (!daemon.start(err))
+        fatal("vstackd: %s", err.c_str());
+    std::fprintf(stderr, "vstackd: listening on %s\n",
+                 opts.socketPath.c_str());
+    daemon.serve();
+    std::fprintf(stderr, "vstackd: drained cleanly\n");
+    return 0;
+}

@@ -1,0 +1,208 @@
+#!/usr/bin/env bash
+# vstackd smoke: the campaign service end to end, through the real
+# binaries.  Three phases, each against a fresh store:
+#
+#   1. two concurrent clients submit disjoint manifests to one daemon;
+#      each client's stdout must be byte-identical to a serial
+#      `vstack suite --serial` run of its manifest, the daemon's store
+#      byte-identical to a serial run of the union, and a SIGTERM must
+#      drain the daemon to exit 0.
+#   2. socket chaos: the daemon runs with the three socket failpoints
+#      armed (accept EINTR, read EINTR storm, torn frame write); the
+#      client must still finish with the same bytes — a torn stream
+#      costs a reconnect and an idempotent resubmission, never data.
+#   3. SIGKILL mid-campaign (journal.append.kill inside the daemon),
+#      restart, and recovery: the restarted daemon re-queues the
+#      persisted job, the retrying client completes, and the final
+#      store is byte-identical to the serial reference.
+#
+# Usage: tools/vstackd_smoke.sh [--smoke] [build-dir]
+#   --smoke  same coverage, smaller fault counts (CI-sized)
+# Env: VSTACK_FAULTS (default 24)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+smoke=0
+if [ "${1:-}" = "--smoke" ]; then
+    smoke=1
+    shift
+fi
+build="${1:-build}"
+vstack="${build}/tools/vstack"
+vstackd="${build}/tools/vstackd"
+for bin in "${vstack}" "${vstackd}"; do
+    if [ ! -x "${bin}" ]; then
+        echo "error: ${bin} not built (cmake --build ${build})" >&2
+        exit 1
+    fi
+done
+
+work="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+    if [ -n "${daemon_pid}" ] && kill -0 "${daemon_pid}" 2>/dev/null; then
+        kill -9 "${daemon_pid}" 2>/dev/null || true
+    fi
+    rm -rf "${work}"
+}
+trap cleanup EXIT
+
+faults="${VSTACK_FAULTS:-24}"
+if [ "${smoke}" = 1 ]; then
+    faults=16
+fi
+sock="${work}/vstackd.sock"
+
+cat > "${work}/mA.json" <<'EOF'
+{"campaigns": [
+  {"layer": "pvf", "workload": "fft", "isa": "av64", "fpm": "WD"},
+  {"layer": "svf", "workload": "fft"}
+]}
+EOF
+cat > "${work}/mB.json" <<'EOF'
+{"campaigns": [
+  {"layer": "svf", "workload": "qsort"},
+  {"layer": "uarch", "workload": "fft", "core": "ax72", "structure": "RF"}
+]}
+EOF
+cat > "${work}/mAB.json" <<'EOF'
+{"campaigns": [
+  {"layer": "pvf", "workload": "fft", "isa": "av64", "fpm": "WD"},
+  {"layer": "svf", "workload": "fft"},
+  {"layer": "svf", "workload": "qsort"},
+  {"layer": "uarch", "workload": "fft", "core": "ax72", "structure": "RF"}
+]}
+EOF
+
+echo "=== vstackd smoke: faults=${faults}"
+
+echo "=== serial references"
+VSTACK_FAULTS="${faults}" VSTACK_RESULTS="${work}/refA.store" \
+    "${vstack}" suite "${work}/mA.json" --serial \
+    > "${work}/refA.out" 2>/dev/null
+VSTACK_FAULTS="${faults}" VSTACK_RESULTS="${work}/refB.store" \
+    "${vstack}" suite "${work}/mB.json" --serial \
+    > "${work}/refB.out" 2>/dev/null
+VSTACK_FAULTS="${faults}" VSTACK_RESULTS="${work}/refAB.store" \
+    "${vstack}" suite "${work}/mAB.json" --serial \
+    > /dev/null 2>&1
+
+# start_daemon <store-dir> [env VAR=VAL...]: launch vstackd on ${sock}
+# and wait until a status round-trip succeeds.
+start_daemon() {
+    local store="$1"
+    shift
+    env VSTACK_FAULTS="${faults}" VSTACK_RESULTS="${store}" "$@" \
+        "${vstackd}" --socket "${sock}" > /dev/null \
+        2> "${store}.daemon.err" &
+    daemon_pid=$!
+    for _ in $(seq 100); do
+        if VSTACK_FAILPOINTS= "${vstack}" status --socket "${sock}" \
+               > /dev/null 2>&1; then
+            return 0
+        fi
+        if ! kill -0 "${daemon_pid}" 2>/dev/null; then
+            return 0 # died already (expected in the chaos phase)
+        fi
+        sleep 0.1
+    done
+    echo "FAIL: vstackd did not come up on ${sock}" >&2
+    exit 1
+}
+
+stop_daemon() { # graceful: SIGTERM must drain to exit 0
+    kill -TERM "${daemon_pid}"
+    local rc=0
+    wait "${daemon_pid}" || rc=$?
+    daemon_pid=""
+    if [ "${rc}" != 0 ]; then
+        echo "FAIL: vstackd SIGTERM drain exited ${rc}, want 0" >&2
+        exit 1
+    fi
+}
+
+echo "=== phase 1: two concurrent clients vs one daemon"
+start_daemon "${work}/d1.store"
+"${vstack}" submit "${work}/mA.json" --socket "${sock}" --client alice \
+    > "${work}/outA" 2> /dev/null &
+clientA=$!
+"${vstack}" submit "${work}/mB.json" --socket "${sock}" --client bob \
+    > "${work}/outB" 2> /dev/null &
+clientB=$!
+wait "${clientA}" || { echo "FAIL: client A exited non-zero" >&2; exit 1; }
+wait "${clientB}" || { echo "FAIL: client B exited non-zero" >&2; exit 1; }
+cmp "${work}/refA.out" "${work}/outA" || {
+    echo "FAIL: client A stdout differs from the serial run" >&2
+    exit 1
+}
+cmp "${work}/refB.out" "${work}/outB" || {
+    echo "FAIL: client B stdout differs from the serial run" >&2
+    exit 1
+}
+stop_daemon
+diff -r -x vstackd "${work}/refAB.store" "${work}/d1.store" \
+    > /dev/null || {
+    echo "FAIL: daemon store differs from the serial union store" >&2
+    exit 1
+}
+echo "    client stdout + store byte-identical; drain exited 0"
+
+echo "=== phase 2: socket failpoint chaos"
+# EINTR on 1-in-3 accepts, 1-in-2 reads, and a torn write on the
+# daemon's 3rd frame: the client must reconnect + resubmit (dedup
+# makes the retry cheap) and still produce the reference bytes.
+start_daemon "${work}/d2.store" VSTACK_FAILPOINTS="service.accept.eintr=1/3,service.read.eintr=1/2,service.write.short_write=@3"
+VSTACK_FAILPOINTS= "${vstack}" submit "${work}/mA.json" \
+    --socket "${sock}" --client chaos \
+    > "${work}/outC" 2> /dev/null || {
+    echo "FAIL: submit under socket chaos exited non-zero" >&2
+    exit 1
+}
+cmp "${work}/refA.out" "${work}/outC" || {
+    echo "FAIL: socket-chaos stdout differs from the serial run" >&2
+    exit 1
+}
+stop_daemon
+echo "    torn frames and EINTR storms survived; bytes identical"
+
+echo "=== phase 3: SIGKILL mid-campaign, restart, resume"
+# The daemon dies by _exit(137) exactly mid-journal-append; the
+# admitted manifest and the partial journals stay on disk.
+start_daemon "${work}/d3.store" VSTACK_FAILPOINTS="journal.append.kill=@$((faults + 5))"
+VSTACK_FAILPOINTS= "${vstack}" submit "${work}/mA.json" \
+    --socket "${sock}" --client phoenix \
+    > "${work}/outK" 2> /dev/null &
+clientK=$!
+rc=0
+wait "${daemon_pid}" || rc=$?
+daemon_pid=""
+if [ "${rc}" != 137 ]; then
+    echo "FAIL: expected the daemon to die with 137, got ${rc}" >&2
+    exit 1
+fi
+echo "    daemon died mid-append as scheduled (exit 137)"
+# Restart clean: recovery re-queues the persisted job and the client's
+# backoff retry resubmits idempotently on top of it.
+start_daemon "${work}/d3.store"
+wait "${clientK}" || {
+    echo "FAIL: retrying client exited non-zero after the restart" >&2
+    exit 1
+}
+cmp "${work}/refA.out" "${work}/outK" || {
+    echo "FAIL: post-restart stdout differs from the serial run" >&2
+    exit 1
+}
+if ! grep -q "recovered 1 interrupted job" "${work}/d3.store.daemon.err"
+then
+    echo "FAIL: restarted daemon did not report the recovered job" >&2
+    exit 1
+fi
+stop_daemon
+diff -r -x vstackd "${work}/refA.store" "${work}/d3.store" \
+    > /dev/null || {
+    echo "FAIL: recovered store differs from the serial reference" >&2
+    exit 1
+}
+echo "    restart recovered the job; store byte-identical"
+
+echo "=== vstackd smoke passed"
