@@ -99,11 +99,8 @@ campaignKey(const EnvConfig &cfg, const CampaignSpec &spec)
     return {};
 }
 
-namespace
-{
-
 size_t
-samplesFor(const EnvConfig &cfg, const CampaignSpec &spec)
+campaignSamples(const EnvConfig &cfg, const CampaignSpec &spec)
 {
     switch (spec.layer) {
       case CampaignLayer::Uarch: return cfg.uarchFaults;
@@ -113,11 +110,9 @@ samplesFor(const EnvConfig &cfg, const CampaignSpec &spec)
     return 0;
 }
 
-/** Fold a campaign's final per-sample payloads into its store entry —
- *  the same codecs the serial entry points write, byte for byte. */
 Json
-foldFor(const CampaignSpec &spec,
-        const std::vector<std::optional<Json>> &samples)
+foldCampaignSamples(const CampaignSpec &spec,
+                    const std::vector<std::optional<Json>> &samples)
 {
     if (spec.layer == CampaignLayer::Uarch)
         return uarchToJson(foldUarchSamples(samples));
@@ -125,13 +120,132 @@ foldFor(const CampaignSpec &spec,
 }
 
 void
-decodeOutcome(CampaignOutcome &o, const Json &result)
+decodeCampaignOutcome(CampaignOutcome &o, const Json &result)
 {
     if (o.spec.layer == CampaignLayer::Uarch)
         o.uarch = uarchFromJson(result);
     else
         o.counts = countsFromJson(result);
 }
+
+Json
+specToJson(const CampaignSpec &spec)
+{
+    Json j = Json::object();
+    j.set("layer", campaignLayerName(spec.layer));
+    j.set("workload", spec.variant.workload);
+    j.set("harden", spec.variant.hardened);
+    switch (spec.layer) {
+      case CampaignLayer::Uarch:
+        j.set("core", spec.core);
+        j.set("structure", structureName(spec.structure));
+        break;
+      case CampaignLayer::Pvf:
+        j.set("isa", isaName(spec.isa));
+        j.set("fpm", fpmName(spec.fpm));
+        break;
+      case CampaignLayer::Svf:
+        break;
+    }
+    return j;
+}
+
+bool
+specFromJson(const Json &j, CampaignSpec &spec, std::string &err)
+{
+    if (!j.isObject() || !j.has("layer") || !j.has("workload")) {
+        err = "campaign spec: expected an object with \"layer\" and "
+              "\"workload\"";
+        return false;
+    }
+    const std::string layer = j.at("layer").asString();
+    spec.variant.workload = j.at("workload").asString();
+    spec.variant.hardened = j.has("harden") && j.at("harden").asBool();
+    if (layer == "uarch") {
+        spec.layer = CampaignLayer::Uarch;
+        if (!j.has("core") || !j.has("structure")) {
+            err = "campaign spec: uarch needs \"core\" and "
+                  "\"structure\"";
+            return false;
+        }
+        spec.core = j.at("core").asString();
+        if (!structureFromName(j.at("structure").asString(),
+                               spec.structure)) {
+            err = "campaign spec: unknown structure '" +
+                  j.at("structure").asString() + "'";
+            return false;
+        }
+    } else if (layer == "pvf") {
+        spec.layer = CampaignLayer::Pvf;
+        if (!j.has("isa") || !j.has("fpm")) {
+            err = "campaign spec: pvf needs \"isa\" and \"fpm\"";
+            return false;
+        }
+        const std::string in = j.at("isa").asString();
+        if (in == isaName(IsaId::Av32)) {
+            spec.isa = IsaId::Av32;
+        } else if (in == isaName(IsaId::Av64)) {
+            spec.isa = IsaId::Av64;
+        } else {
+            err = "campaign spec: unknown isa '" + in + "'";
+            return false;
+        }
+        if (!fpmFromName(j.at("fpm").asString().c_str(), spec.fpm)) {
+            err = "campaign spec: unknown fpm '" +
+                  j.at("fpm").asString() + "'";
+            return false;
+        }
+    } else if (layer == "svf") {
+        spec.layer = CampaignLayer::Svf;
+    } else {
+        err = "campaign spec: unknown layer '" + layer + "'";
+        return false;
+    }
+    return true;
+}
+
+CampaignExec::CampaignExec() = default;
+CampaignExec::CampaignExec(CampaignExec &&) noexcept = default;
+CampaignExec &CampaignExec::operator=(CampaignExec &&) noexcept = default;
+CampaignExec::~CampaignExec() = default;
+
+void
+CampaignExec::reset()
+{
+    driver.reset();
+    uarchCampaign.reset();
+    pvfCampaign.reset();
+    svfCampaign.reset();
+}
+
+CampaignExec
+makeCampaignExec(VulnerabilityStack &stack, const CampaignSpec &spec,
+                 size_t n)
+{
+    const uint64_t seed = stack.config().seed;
+    CampaignExec ce;
+    switch (spec.layer) {
+      case CampaignLayer::Uarch:
+        ce.uarchCampaign = stack.campaignFor(spec.core, spec.variant);
+        ce.driver = std::make_unique<UarchDriver>(
+            *ce.uarchCampaign, spec.structure, n, seed);
+        break;
+      case CampaignLayer::Pvf:
+        ce.pvfCampaign = stack.makePvfCampaign(spec.isa, spec.variant);
+        ce.driver = std::make_unique<PvfDriver>(*ce.pvfCampaign,
+                                                spec.fpm, n, seed);
+        break;
+      case CampaignLayer::Svf:
+        ce.svfCampaign = stack.makeSvfCampaign(spec.variant);
+        ce.driver =
+            std::make_unique<SvfDriver>(*ce.svfCampaign, n, seed);
+        break;
+    }
+    return ce;
+}
+
+namespace
+{
 
 /** One unique campaign of the suite (duplicate specs share a Run). */
 struct Run
@@ -155,11 +269,8 @@ struct Run
     std::string error; ///< set when st == Failed
 
     // Built by the prepare task.  The campaign objects must outlive
-    // the driver that references them.
-    std::shared_ptr<UarchCampaign> uarchCampaign;
-    std::unique_ptr<PvfCampaign> pvfCampaign;
-    std::unique_ptr<SvfCampaign> svfCampaign;
-    std::unique_ptr<exec::LayerDriver> driver;
+    // the driver that references them (CampaignExec guarantees it).
+    CampaignExec ce;
     std::unique_ptr<exec::Journal> journal;
     exec::ExecConfig ec;
 
@@ -250,25 +361,8 @@ struct Sched
 void
 prepareRun(Sched &S, Run &r)
 {
-    std::unique_ptr<exec::LayerDriver> driver;
-    switch (r.spec.layer) {
-      case CampaignLayer::Uarch:
-        r.uarchCampaign = S.stack.campaignFor(r.spec.core, r.spec.variant);
-        driver = std::make_unique<UarchDriver>(
-            *r.uarchCampaign, r.spec.structure, r.n, S.cfg.seed);
-        break;
-      case CampaignLayer::Pvf:
-        r.pvfCampaign =
-            S.stack.makePvfCampaign(r.spec.isa, r.spec.variant);
-        driver = std::make_unique<PvfDriver>(*r.pvfCampaign, r.spec.fpm,
-                                             r.n, S.cfg.seed);
-        break;
-      case CampaignLayer::Svf:
-        r.svfCampaign = S.stack.makeSvfCampaign(r.spec.variant);
-        driver = std::make_unique<SvfDriver>(*r.svfCampaign, r.n,
-                                             S.cfg.seed);
-        break;
-    }
+    CampaignExec ce = makeCampaignExec(S.stack, r.spec, r.n);
+    exec::LayerDriver *driver = ce.driver.get();
     exec::prepareDriver(*driver);
 
     auto journal = std::make_unique<exec::Journal>();
@@ -332,7 +426,7 @@ prepareRun(Sched &S, Run &r)
     }
 
     std::lock_guard<std::mutex> lock(S.mu);
-    r.driver = std::move(driver);
+    r.ce = std::move(ce);
     r.journal = std::move(journal);
     r.ec = ec;
     r.results = std::move(results);
@@ -352,8 +446,8 @@ prepareRun(Sched &S, Run &r)
 void
 finalizeRun(Sched &S, Run &r)
 {
-    verifyDriverSamples(*r.driver, r.results);
-    Json out = foldFor(r.spec, r.results);
+    verifyDriverSamples(*r.ce.driver, r.results);
+    Json out = foldCampaignSamples(r.spec, r.results);
     if (!S.drained()) {
         // Interrupted or cancelled: keep the journal, never cache a
         // partial (the serial entry points make the same call).
@@ -369,12 +463,9 @@ finalizeRun(Sched &S, Run &r)
     // checkpoint chain, and sample buffer in memory at once.  (Stale
     // worker-local Ctx objects reference only stack-owned state, so
     // dropping the campaign here is safe.)
-    r.driver.reset();
+    r.ce.reset();
     r.journal.reset();
     r.ec.journal = nullptr;
-    r.uarchCampaign.reset();
-    r.pvfCampaign.reset();
-    r.svfCampaign.reset();
     r.results = {};
     r.todo = {};
     r.st = Run::St::Done;
@@ -392,7 +483,7 @@ runOneSample(Sched &S, Run &r, size_t i, exec::LayerDriver::Ctx &ctx)
     std::string quarantine;
     for (unsigned attempt = 0;; ++attempt) {
         try {
-            payload = exec::runDriverSample(*r.driver, ctx, i);
+            payload = exec::runDriverSample(*r.ce.driver, ctx, i);
             break;
         } catch (const SimError &e) {
             if (attempt >= r.ec.retries) {
@@ -430,8 +521,8 @@ runIsolatedSamples(Sched &S, Run &r, std::vector<size_t> pending)
         for (unsigned attempt = 0;; ++attempt) {
             try {
                 if (!childCtx)
-                    childCtx = r.driver->makeCtx();
-                return exec::runDriverSample(*r.driver, *childCtx, i);
+                    childCtx = r.ce.driver->makeCtx();
+                return exec::runDriverSample(*r.ce.driver, *childCtx, i);
             } catch (const SimError &) {
                 if (attempt >= r.ec.retries)
                     throw;
@@ -573,7 +664,7 @@ workerLoop(Sched &S, unsigned)
                 lock.unlock();
                 try {
                     if (!ctx)
-                        ctx = samp->driver->makeCtx();
+                        ctx = samp->ce.driver->makeCtx();
                     runOneSample(S, *samp, i, *ctx);
                 } catch (...) {
                     // A non-SimError escaping an injection is an
@@ -720,7 +811,7 @@ runSuite(VulnerabilityStack &stack, const CampaignPlan &plan,
         run->spec = spec;
         run->planIndex = idx;
         run->key = key;
-        run->n = samplesFor(S.cfg, spec);
+        run->n = campaignSamples(S.cfg, spec);
         if (auto cached = stack.resultStore().get(key)) {
             run->cacheHit = true;
             run->st = Run::St::Done;
@@ -752,7 +843,7 @@ runSuite(VulnerabilityStack &stack, const CampaignPlan &plan,
         o.cacheHit = r->cacheHit;
         if (r->st == Run::St::Done) {
             o.complete = true;
-            decodeOutcome(o, r->resultJson);
+            decodeCampaignOutcome(o, r->resultJson);
             if (o.cacheHit)
                 ++report.cacheHits;
         } else if (r->st == Run::St::Failed) {

@@ -42,6 +42,8 @@
 #define VSTACK_CORE_SUITE_H
 
 #include <functional>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -50,6 +52,11 @@
 
 namespace vstack
 {
+
+namespace exec
+{
+class LayerDriver;
+}
 
 /** Injection layer of one suite campaign. */
 enum class CampaignLayer : uint8_t { Uarch, Pvf, Svf };
@@ -162,6 +169,52 @@ struct SuiteReport
  * overlapping an in-flight submission.
  */
 std::string campaignKey(const EnvConfig &cfg, const CampaignSpec &spec);
+
+/** The sample count a spec resolves to under `cfg` (the layer's -n
+ *  knob), shared by the scheduler, the fleet, and the serial paths. */
+size_t campaignSamples(const EnvConfig &cfg, const CampaignSpec &spec);
+
+/** Fold a campaign's final per-sample payloads into its store entry —
+ *  the same codecs the serial entry points write, byte for byte. */
+Json foldCampaignSamples(const CampaignSpec &spec,
+                         const std::vector<std::optional<Json>> &samples);
+
+/** Decode a store entry back into the outcome's layer field. */
+void decodeCampaignOutcome(CampaignOutcome &o, const Json &result);
+
+/** @name CampaignSpec wire codec (fleet supervisor <-> worker) @{ */
+Json specToJson(const CampaignSpec &spec);
+/** False + err on malformed objects or unknown layer / structure /
+ *  isa / fpm names — never exits (worker processes must survive a
+ *  corrupt lease frame gracefully). */
+bool specFromJson(const Json &j, CampaignSpec &spec, std::string &err);
+/** @} */
+
+/**
+ * One spec's campaign objects + layer driver, bundled so the driver's
+ * referents (the campaign that owns the golden run / trace) live
+ * exactly as long as the driver itself.  The driver is returned
+ * *unprepared*: call exec::prepareDriver before running samples.
+ */
+struct CampaignExec
+{
+    CampaignExec();
+    CampaignExec(CampaignExec &&) noexcept;
+    CampaignExec &operator=(CampaignExec &&) noexcept;
+    ~CampaignExec();
+
+    std::shared_ptr<UarchCampaign> uarchCampaign;
+    std::unique_ptr<PvfCampaign> pvfCampaign;
+    std::unique_ptr<SvfCampaign> svfCampaign;
+    std::unique_ptr<exec::LayerDriver> driver;
+
+    void reset();
+};
+
+/** Build the campaign + driver bundle for one spec (not yet
+ *  prepared); `n` is the sample count (campaignSamples). */
+CampaignExec makeCampaignExec(VulnerabilityStack &stack,
+                              const CampaignSpec &spec, size_t n);
 
 /**
  * Build a CampaignPlan from a suite-manifest JSON object

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 
@@ -44,6 +45,23 @@ connectOnce(const std::string &path, std::string &err)
 }
 
 } // namespace
+
+uint64_t
+clientJitterSeed(uint64_t salt, uint64_t fallback)
+{
+    uint64_t seed = fallback;
+    if (const char *env = std::getenv("VSTACK_SEED"); env && *env) {
+        char *end = nullptr;
+        const unsigned long long v = std::strtoull(env, &end, 10);
+        if (end && *end == '\0')
+            seed = static_cast<uint64_t>(v);
+    }
+    // splitmix64: decorrelate clients sharing one VSTACK_SEED.
+    uint64_t h = seed + 0x9E3779B97F4A7C15ull * (salt + 1);
+    h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
+    h = (h ^ (h >> 27)) * 0x94D049BB133111EBull;
+    return h ^ (h >> 31);
+}
 
 Client::Client(ClientOptions o) : opts(std::move(o)), rngState(opts.seed)
 {

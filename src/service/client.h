@@ -37,6 +37,15 @@ struct ClientOptions
     uint64_t seed = 1;
 };
 
+/**
+ * The jitter seed a client should use: derived from VSTACK_SEED when
+ * set (mixed with `salt`, e.g. a client index, via splitmix64 so
+ * concurrent clients do not march in lockstep), else from `fallback`
+ * (typically the pid).  Makes reconnect-storm tests deterministic
+ * while keeping production jitter de-correlated.
+ */
+uint64_t clientJitterSeed(uint64_t salt, uint64_t fallback);
+
 class Client
 {
   public:
@@ -61,9 +70,12 @@ class Client
     /** Cancel a job by id. */
     Json cancel(const std::string &jobId, std::string &err);
 
+    /** Next backoff delay in seconds (advances the jitter stream);
+     *  public so tests can pin the whole reconnect schedule. */
+    double backoffDelay(unsigned attempt);
+
   private:
     int connectWithBackoff(std::string &err);
-    double backoffDelay(unsigned attempt);
 
     ClientOptions opts;
     uint64_t rngState;

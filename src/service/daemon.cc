@@ -1,5 +1,7 @@
 #include "daemon.h"
 
+#include "fleet.h"
+
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
@@ -167,7 +169,9 @@ struct Daemon::Impl
         env.set("crc", static_cast<uint64_t>(crc32c(text)));
         env.set("job", std::move(body));
         const std::string path = jobsDir + "/" + j.id + ".json";
-        if (!writeFile(path, env.dump())) {
+        // Durable content + directory entry: a power loss right after
+        // admission must not vanish (or tear) an acked job.
+        if (!writeFileDurable(path, env.dump())) {
             warn("vstackd: cannot persist %s (recovery for this job "
                  "disabled)",
                  path.c_str());
@@ -184,6 +188,9 @@ struct Daemon::Impl
             return;
         std::error_code ec;
         fs::remove(j.file, ec);
+        // Make the unlink durable too, or a crash could resurrect a
+        // completed job (correct but wasted work on recovery).
+        fsyncDir(jobsDir);
         j.file.clear();
     }
 
@@ -347,10 +354,26 @@ struct Daemon::Impl
             cv.notify_all();
         };
         try {
-            const SuiteReport report = runSuite(stack, job.plan, so);
+            SuiteReport report;
+            FleetStats fstats;
+            if (opts.fleetWorkers > 0) {
+                FleetOptions fo;
+                fo.workers = opts.fleetWorkers;
+                fo.workerPath = opts.fleetWorkerPath;
+                report =
+                    runFleetSuite(stack, job.plan, so, fo, &fstats);
+                if (fstats.degraded)
+                    warn("vstackd: %s ran degraded (fleet fell back "
+                         "to one in-process executor)",
+                         job.id.c_str());
+            } else {
+                report = runSuite(stack, job.plan, so);
+            }
             Json out = reportToJson(report);
             out.set("ev", "result");
             out.set("job", job.id);
+            if (opts.fleetWorkers > 0 && fstats.degraded)
+                out.set("fleetDegraded", true);
             if (report.interrupted && job.token.cancelled())
                 out.set("cancelReason", job.token.reason());
             std::lock_guard<std::mutex> g(mu);

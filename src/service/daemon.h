@@ -61,6 +61,14 @@ struct DaemonOptions
      *  not moved for this long (a stuck pool kills the job, not the
      *  daemon).  <= 0 disables. */
     double stallTimeoutSec = 300.0;
+    /** Run each job's suite through a supervised worker fleet of this
+     *  many processes (service/fleet.h) instead of the in-process
+     *  scheduler; 0 keeps the in-process path.  Results are
+     *  byte-identical either way. */
+    unsigned fleetWorkers = 0;
+    /** Worker binary for the fleet ("" resolves like
+     *  fleet.h:defaultWorkerPath). */
+    std::string fleetWorkerPath;
     /** Test hook: called (unlocked) right before a job's suite runs;
      *  may block to hold the executor busy deterministically. */
     std::function<void(const std::string &jobId)> testBeforeJob;

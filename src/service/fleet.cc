@@ -1,0 +1,1244 @@
+#include "fleet.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "core/campaign_io.h"
+#include "exec/driver.h"
+#include "exec/error.h"
+#include "exec/journal.h"
+#include "exec/sandbox.h"
+#include "service/frame.h"
+#include "support/env.h"
+#include "support/failpoint.h"
+#include "support/logging.h"
+
+namespace vstack::service
+{
+
+namespace
+{
+
+using steady = std::chrono::steady_clock;
+
+double
+secondsSince(steady::time_point t)
+{
+    return std::chrono::duration<double>(steady::now() - t).count();
+}
+
+/** The EnvConfig slice that shapes simulation results, shipped to
+ *  workers in the init frame so exec'd workers reproduce the
+ *  supervisor's resolved configuration (CLI flags included), not just
+ *  the inherited environment. */
+Json
+cfgToJson(const EnvConfig &c)
+{
+    Json j = Json::object();
+    j.set("seed", c.seed);
+    j.set("uarch", static_cast<int64_t>(c.uarchFaults));
+    j.set("arch", static_cast<int64_t>(c.archFaults));
+    j.set("sw", static_cast<int64_t>(c.swFaults));
+    j.set("watchdog", c.watchdogFactor);
+    j.set("checkpoint", c.checkpoint);
+    j.set("checkpoints", static_cast<int64_t>(c.checkpoints));
+    j.set("goldenBudget", static_cast<int64_t>(c.goldenBudget));
+    j.set("goldenCache", static_cast<int64_t>(c.goldenCache));
+    return j;
+}
+
+void
+cfgApply(const Json &j, EnvConfig &c)
+{
+    if (!j.isObject())
+        return;
+    if (j.has("seed"))
+        c.seed = static_cast<uint64_t>(j.at("seed").asInt());
+    if (j.has("uarch"))
+        c.uarchFaults = static_cast<size_t>(j.at("uarch").asInt());
+    if (j.has("arch"))
+        c.archFaults = static_cast<size_t>(j.at("arch").asInt());
+    if (j.has("sw"))
+        c.swFaults = static_cast<size_t>(j.at("sw").asInt());
+    if (j.has("watchdog"))
+        c.watchdogFactor = j.at("watchdog").asDouble();
+    if (j.has("checkpoint"))
+        c.checkpoint = j.at("checkpoint").asBool();
+    if (j.has("checkpoints"))
+        c.checkpoints = static_cast<unsigned>(j.at("checkpoints").asInt());
+    if (j.has("goldenBudget"))
+        c.goldenBudget =
+            static_cast<uint64_t>(j.at("goldenBudget").asInt());
+    if (j.has("goldenCache"))
+        c.goldenCache = static_cast<unsigned>(j.at("goldenCache").asInt());
+}
+
+// ---------------------------------------------------------------------
+// Supervisor
+// ---------------------------------------------------------------------
+
+/** One unique campaign of the fleet run (duplicate specs share it). */
+struct FRun
+{
+    enum class St {
+        Pending, ///< not yet set up (journal replay pending)
+        Running, ///< shards leasable / samples settling
+        Done,
+        Failed, ///< contained failure (golden run); nothing stored
+    };
+
+    CampaignSpec spec;
+    size_t planIndex = 0;
+    std::string key;
+    size_t n = 0;
+    St st = St::Pending;
+    bool cacheHit = false;
+    std::string error;
+
+    std::unique_ptr<exec::Journal> journal;
+    exec::ExecConfig ec;
+    std::vector<std::optional<Json>> results; ///< index order
+    std::vector<bool> settled;
+    size_t settledCount = 0;
+    /** Worker deaths attributed to a sample; beyond ec.retries the
+     *  sample is quarantined (the sandbox path's contract). */
+    std::map<size_t, unsigned> hostFailures;
+    /** Shards awaiting a lease (vectors of unsettled indices). */
+    std::deque<std::vector<size_t>> shards;
+
+    /** Local driver, built lazily: verify-replay / verify-checkpoint
+     *  audits and the degraded in-process fallback. */
+    CampaignExec local;
+    bool localPrepared = false;
+
+    Json resultJson; ///< final store payload (set when Done)
+};
+
+struct Lease
+{
+    uint64_t id = 0;
+    FRun *run = nullptr;
+    std::vector<size_t> idx;   ///< granted sample indices
+    std::vector<size_t> order; ///< worker-announced run order
+    bool started = false;      ///< "start" frame received
+    bool speculative = false;  ///< duplicate of a straggling lease
+    bool duplicated = false;   ///< a speculative copy exists
+    steady::time_point granted;
+};
+
+struct Slot
+{
+    pid_t pid = -1;
+    int fd = -1;
+    bool alive = false;
+    bool retired = false;
+    unsigned strikes = 0; ///< consecutive failures, reset per ack
+    std::unique_ptr<Lease> lease;
+    steady::time_point lastFrame;
+};
+
+struct Fleet
+{
+    VulnerabilityStack &stack;
+    const SuiteOptions &opts;
+    const FleetOptions &fopts;
+    EnvConfig cfg;
+    std::string workerPath;
+    FleetStats stats;
+
+    std::vector<std::unique_ptr<FRun>> runs;
+    std::vector<FRun *> bySpec; ///< plan index -> run
+    std::vector<Slot> slots;
+    uint64_t nextLease = 1;
+
+    size_t campaignsDone = 0;
+    size_t samplesDone = 0;  ///< settled incl. journal replays
+    size_t samplesTotal = 0; ///< across all non-cached campaigns
+    size_t liveSamples = 0;  ///< settled by live simulation
+    steady::time_point t0 = steady::now();
+
+    Fleet(VulnerabilityStack &stack, const SuiteOptions &opts,
+          const FleetOptions &fopts)
+        : stack(stack), opts(opts), fopts(fopts), cfg(stack.config())
+    {
+    }
+
+    bool drained() const
+    {
+        return exec::shutdownRequested() ||
+               exec::cancelRequested(opts.cancel);
+    }
+
+    void reportProgress()
+    {
+        if (!opts.progress)
+            return;
+        SuiteProgress p;
+        p.campaignsDone = campaignsDone;
+        p.campaignsTotal = runs.size();
+        p.samplesDone = samplesDone;
+        p.samplesTotal = samplesTotal;
+        const double sec = secondsSince(t0);
+        p.samplesPerSec =
+            sec > 0 ? static_cast<double>(liveSamples) / sec : 0.0;
+        p.storageFaults = stack.storageFaults();
+        p.goldenEvictions = stack.goldenEvictions();
+        opts.progress(p);
+    }
+};
+
+/** Build + prepare the supervisor-local driver (audits, degraded
+ *  fallback).  May throw GoldenRunError. */
+void
+ensureLocal(Fleet &F, FRun &r)
+{
+    if (r.localPrepared)
+        return;
+    r.local = makeCampaignExec(F.stack, r.spec, r.n);
+    exec::prepareDriver(*r.local.driver);
+    r.localPrepared = true;
+}
+
+/** Settle one sample: journal it and record the payload.  Duplicate
+ *  arrivals (speculative leases, replays) are dropped — whichever
+ *  result folds first wins, and fold order is index order either way. */
+void
+settleSample(Fleet &F, FRun &r, size_t i, const Json *payload,
+             const std::string &errMsg, const Json *triage)
+{
+    if (r.st != FRun::St::Running || i >= r.n || r.settled[i])
+        return;
+    if (r.ec.journal) {
+        if (payload)
+            r.ec.journal->append(i, *payload);
+        else if (triage)
+            r.ec.journal->appendHostFault(i, errMsg, *triage);
+        else
+            r.ec.journal->appendError(i, errMsg);
+    }
+    if (payload)
+        r.results[i] = *payload;
+    r.settled[i] = true;
+    ++r.settledCount;
+    ++F.samplesDone;
+    ++F.liveSamples;
+    F.reportProgress();
+}
+
+/** Contained campaign failure (golden run): the plan's other entries
+ *  keep running, nothing is stored for this one. */
+void
+failRun(Fleet &F, FRun &r, const std::string &msg)
+{
+    warn("suite: campaign %s failed: %s (continuing with the rest of "
+         "the plan)",
+         r.spec.label().c_str(), msg.c_str());
+    r.st = FRun::St::Failed;
+    r.error = msg;
+    r.shards.clear();
+    F.samplesTotal -= std::min(F.samplesTotal, r.n);
+    ++F.campaignsDone;
+    F.reportProgress();
+}
+
+/** Open + replay the campaign's journal (the same policy and replay
+ *  semantics as the pooled scheduler, including the verify-replay
+ *  audit) and cut the remainder into shards.
+ *  @throws ReplayDivergence, GoldenRunError (audit driver) */
+void
+setupRun(Fleet &F, FRun &r)
+{
+    r.journal = std::make_unique<exec::Journal>();
+    r.ec = campaign_io::execPolicy(F.cfg, *r.journal, r.key, r.n);
+    r.ec.cancel = F.opts.cancel;
+    if (const uint64_t faults = r.journal->storageFaults())
+        F.stack.noteStorageFaults(faults);
+
+    r.results.assign(r.n, std::nullopt);
+    r.settled.assign(r.n, false);
+    std::vector<size_t> todo, verify;
+    for (size_t i = 0; i < r.n; ++i) {
+        const Json *rec = r.ec.journal ? r.ec.journal->find(i) : nullptr;
+        if (rec) {
+            if (rec->has("r")) {
+                r.results[i] = rec->at("r");
+                if (exec::verifyReplaySelected(i, r.ec.verifyReplay))
+                    verify.push_back(i);
+            }
+            r.settled[i] = true; // an "err" record replays as quarantine
+            ++r.settledCount;
+            ++F.samplesDone;
+        } else {
+            todo.push_back(i);
+        }
+    }
+
+    if (!verify.empty()) {
+        ensureLocal(F, r);
+        auto ctx = r.local.driver->makeCtx();
+        for (size_t i : verify) {
+            const std::string want = r.ec.journal->find(i)->at("r").dump();
+            std::string got;
+            try {
+                got = exec::runDriverSample(*r.local.driver, *ctx, i)
+                          .dump();
+            } catch (const SimError &e) {
+                throw ReplayDivergence(
+                    "verify-replay: sample " + std::to_string(i) +
+                    " replayed from the journal but failed to "
+                    "re-simulate: " + e.what());
+            }
+            if (got != want) {
+                throw ReplayDivergence(
+                    "verify-replay: sample " + std::to_string(i) +
+                    " diverged from its journaled record (journal " +
+                    want + ", re-run " + got +
+                    "); the journal does not describe this campaign");
+            }
+        }
+    }
+
+    size_t shard = F.fopts.shardSamples;
+    if (shard == 0) {
+        // Aim for a few leases per worker so kills forfeit little work
+        // and stragglers can be speculated, without collapsing into
+        // one-sample leases that spend more frames than simulation.
+        const size_t target = std::max<size_t>(1, F.fopts.workers) * 4;
+        shard = std::max<size_t>(
+            1, std::min<size_t>(64, (todo.size() + target - 1) / target));
+    }
+    for (size_t p = 0; p < todo.size(); p += shard)
+        r.shards.emplace_back(
+            todo.begin() + p,
+            todo.begin() + std::min(todo.size(), p + shard));
+    r.st = FRun::St::Running;
+    F.reportProgress();
+}
+
+/** Fold + audit + store one fully settled campaign.
+ *  @throws CheckpointDivergence, GoldenRunError (audit driver) */
+void
+finalizeRun(Fleet &F, FRun &r)
+{
+    if (F.cfg.verifyCheckpoint > 0.0) {
+        ensureLocal(F, r);
+        exec::verifyDriverSamples(*r.local.driver, r.results);
+    }
+    Json out = foldCampaignSamples(r.spec, r.results);
+    if (!F.drained()) {
+        // Interrupted or cancelled: keep the journal, never cache a
+        // partial (the serial entry points make the same call).
+        F.stack.resultStore().put(r.key, out);
+        if (r.journal)
+            r.journal->removeFile();
+    }
+    r.resultJson = std::move(out);
+    r.local.reset();
+    r.localPrepared = false;
+    r.journal.reset();
+    r.ec.journal = nullptr;
+    r.results = {};
+    r.settled = {};
+    r.st = FRun::St::Done;
+    ++F.campaignsDone;
+    F.reportProgress();
+}
+
+void
+strike(Fleet &F, Slot &s)
+{
+    ++s.strikes;
+    if (s.strikes > F.fopts.respawnBudget && !s.retired) {
+        s.retired = true;
+        ++F.stats.retired;
+        warn("fleet: worker slot retired after %u consecutive failures",
+             s.strikes);
+    }
+}
+
+/**
+ * Reap a dead worker and recover its lease.  The culprit — the first
+ * sample of the worker's announced run order that never acked — is
+ * charged one host-failure strike and quarantined into injectorErrors
+ * once the retry budget is exhausted, exactly like a sandbox child
+ * death; the rest of the shard is re-leased.  Speculative leases are
+ * recovered by their primary, so their deaths only strike the slot.
+ */
+void
+handleDeath(Fleet &F, Slot &s, exec::HostFault hf)
+{
+    int status = 0;
+    if (s.pid > 0)
+        waitpid(s.pid, &status, 0);
+    if (WIFSIGNALED(status))
+        hf.signal = WTERMSIG(status);
+    else if (WIFEXITED(status))
+        hf.exitCode = WEXITSTATUS(status);
+    if (s.fd >= 0)
+        close(s.fd);
+    s.fd = -1;
+    s.pid = -1;
+    s.alive = false;
+    ++F.stats.deaths;
+
+    if (s.lease) {
+        Lease &L = *s.lease;
+        FRun &r = *L.run;
+        hf.phase = L.started ? "run" : "setup";
+        if (r.st == FRun::St::Running && !L.speculative) {
+            std::vector<size_t> leftover;
+            for (size_t i : L.idx)
+                if (!r.settled[i])
+                    leftover.push_back(i);
+            if (L.started && !leftover.empty()) {
+                size_t culprit = leftover.front();
+                for (size_t i : L.order) {
+                    if (i < r.n && !r.settled[i]) {
+                        culprit = i;
+                        break;
+                    }
+                }
+                if (++r.hostFailures[culprit] > r.ec.retries) {
+                    warn("fleet: quarantining sample %zu of %s after "
+                         "repeated worker deaths: %s",
+                         culprit, r.spec.label().c_str(),
+                         hf.describe().c_str());
+                    const Json triage = hf.toJson();
+                    settleSample(F, r, culprit, nullptr, hf.describe(),
+                                 &triage);
+                    ++F.stats.hostFaultQuarantines;
+                    leftover.erase(std::remove(leftover.begin(),
+                                               leftover.end(), culprit),
+                                   leftover.end());
+                }
+            }
+            if (!leftover.empty())
+                r.shards.push_back(std::move(leftover));
+        }
+        s.lease.reset();
+    }
+    strike(F, s);
+}
+
+void
+killWorker(Slot &s)
+{
+    if (s.alive && s.pid > 0)
+        kill(s.pid, SIGKILL);
+}
+
+bool
+spawnWorker(Fleet &F, Slot &s)
+{
+    if (failpoint("fleet.worker.spawn")) {
+        // Chaos: the spawn attempt itself fails (fork/exec denied).
+        strike(F, s);
+        return false;
+    }
+    int sv[2];
+    // CLOEXEC on both ends: a worker exec'd later must not inherit the
+    // supervisor side of an *earlier* worker's socketpair, or that
+    // worker would never see EOF when the supervisor is SIGKILLed and
+    // would orphan-hang (the kill+resume acceptance case).
+    if (socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, sv) != 0) {
+        strike(F, s);
+        return false;
+    }
+    const pid_t pid = fork();
+    if (pid < 0) {
+        close(sv[0]);
+        close(sv[1]);
+        strike(F, s);
+        return false;
+    }
+    if (pid == 0) {
+        // Child: the worker's socket is fd 3 by convention (dup2
+        // clears CLOEXEC on the duplicate, so exactly this one
+        // descriptor survives the exec).
+        close(sv[0]);
+        if (sv[1] != 3) {
+            dup2(sv[1], 3);
+            close(sv[1]);
+        } else {
+            fcntl(3, F_SETFD, 0);
+        }
+        execl(F.workerPath.c_str(), "vstack-worker", "--fd", "3",
+              static_cast<char *>(nullptr));
+        _exit(127); // exec failed; the supervisor triages the death
+    }
+    close(sv[1]);
+    s.pid = pid;
+    s.fd = sv[0];
+    s.alive = true;
+    s.lastFrame = steady::now();
+    ++F.stats.spawns;
+
+    Json init = Json::object();
+    init.set("op", "init");
+    init.set("cfg", cfgToJson(F.cfg));
+    init.set("hb", F.fopts.heartbeatSec);
+    std::string err;
+    if (!writeFrame(s.fd, init, err)) {
+        killWorker(s);
+        handleDeath(F, s, exec::HostFault{});
+        return false;
+    }
+    return true;
+}
+
+void
+grantLease(Fleet &F, Slot &s, FRun &r, std::vector<size_t> idx,
+           bool speculative)
+{
+    auto L = std::make_unique<Lease>();
+    L->id = F.nextLease++;
+    L->run = &r;
+    L->idx = std::move(idx);
+    L->speculative = speculative;
+    L->granted = steady::now();
+    ++F.stats.leases;
+    if (speculative)
+        ++F.stats.speculativeLeases;
+
+    Json msg = Json::object();
+    msg.set("op", "lease");
+    msg.set("id", L->id);
+    msg.set("spec", specToJson(r.spec));
+    msg.set("n", static_cast<int64_t>(r.n));
+    Json arr = Json::array();
+    for (size_t i : L->idx)
+        arr.push(static_cast<int64_t>(i));
+    msg.set("idx", std::move(arr));
+
+    s.lease = std::move(L);
+    if (failpoint("fleet.lease.grant")) {
+        // Chaos: tear the lease frame on the wire.  The length prefix
+        // exceeds kMaxFramePayload, so the worker's next readFrame
+        // reports Corrupt immediately and the worker exits; the death
+        // triage below re-leases the shard.
+        static const char junk[] = "\xff\xff\xff\x7f torn lease";
+        (void)!write(s.fd, junk, sizeof junk - 1);
+        return;
+    }
+    std::string err;
+    if (!writeFrame(s.fd, msg, err)) {
+        killWorker(s);
+        handleDeath(F, s, exec::HostFault{});
+    }
+}
+
+void
+assignLeases(Fleet &F)
+{
+    for (Slot &s : F.slots) {
+        if (!s.alive || s.lease)
+            continue;
+        FRun *pick = nullptr;
+        for (auto &up : F.runs) {
+            if (up->st == FRun::St::Running && !up->shards.empty()) {
+                pick = up.get();
+                break;
+            }
+        }
+        if (pick) {
+            std::vector<size_t> idx = std::move(pick->shards.front());
+            pick->shards.pop_front();
+            grantLease(F, s, *pick, std::move(idx), false);
+            continue;
+        }
+        // Straggler handling: the plan is nearly drained (no pending
+        // shards), so duplicate the oldest outstanding primary lease
+        // to this idle worker; whichever copy of a sample settles
+        // first wins (settled[] dedups).
+        Slot *worst = nullptr;
+        for (Slot &o : F.slots) {
+            if (&o == &s || !o.alive || !o.lease)
+                continue;
+            Lease &oL = *o.lease;
+            if (oL.speculative || oL.duplicated ||
+                oL.run->st != FRun::St::Running)
+                continue;
+            bool anyUnsettled = false;
+            for (size_t i : oL.idx)
+                anyUnsettled = anyUnsettled || !oL.run->settled[i];
+            if (!anyUnsettled)
+                continue;
+            if (!worst || oL.granted < worst->lease->granted)
+                worst = &o;
+        }
+        if (worst) {
+            std::vector<size_t> idx;
+            for (size_t i : worst->lease->idx)
+                if (!worst->lease->run->settled[i])
+                    idx.push_back(i);
+            worst->lease->duplicated = true;
+            grantLease(F, s, *worst->lease->run, std::move(idx), true);
+        }
+    }
+}
+
+void
+ensureWorkers(Fleet &F)
+{
+    bool work = false;
+    for (auto &up : F.runs)
+        work = work ||
+               (up->st == FRun::St::Running && !up->shards.empty());
+    bool outstanding = false;
+    for (Slot &s : F.slots)
+        outstanding = outstanding || (s.alive && s.lease != nullptr);
+    if (!work && !outstanding)
+        return;
+    for (Slot &s : F.slots) {
+        if (s.alive || s.retired)
+            continue;
+        spawnWorker(F, s); // one attempt per slot per iteration
+    }
+}
+
+void
+dispatchFrame(Fleet &F, Slot &s, const Json &msg)
+{
+    if (!msg.isObject() || !msg.has("ev"))
+        return;
+    const std::string ev = msg.at("ev").asString();
+    if (ev == "hello" || ev == "hb")
+        return;
+    Lease *L = s.lease.get();
+    if (!L || !msg.has("lease") ||
+        static_cast<uint64_t>(msg.at("lease").asInt()) != L->id)
+        return; // stale frame for a lease this slot no longer holds
+    FRun &r = *L->run;
+
+    if (ev == "start") {
+        L->started = true;
+        L->order.clear();
+        if (msg.has("order") && msg.at("order").isArray()) {
+            for (const Json &v : msg.at("order").items()) {
+                const int64_t i = v.asInt();
+                if (i >= 0 && static_cast<size_t>(i) < r.n)
+                    L->order.push_back(static_cast<size_t>(i));
+            }
+        }
+    } else if (ev == "sample") {
+        s.strikes = 0; // progress: the slot is healthy again
+        if (!msg.has("i"))
+            return;
+        const int64_t i = msg.at("i").asInt();
+        if (i < 0 || static_cast<size_t>(i) >= r.n)
+            return;
+        if (msg.has("r")) {
+            const Json payload = msg.at("r");
+            settleSample(F, r, static_cast<size_t>(i), &payload, "",
+                         nullptr);
+        } else {
+            settleSample(F, r, static_cast<size_t>(i), nullptr,
+                         msg.has("err") ? msg.at("err").asString()
+                                        : "worker error",
+                         nullptr);
+        }
+    } else if (ev == "done") {
+        if (r.st == FRun::St::Running && !L->speculative) {
+            // Anything unsettled at "done" is a lost ack (e.g. the
+            // fleet.frame.write chaos site): re-lease it.
+            std::vector<size_t> leftover;
+            for (size_t i : L->idx)
+                if (!r.settled[i])
+                    leftover.push_back(i);
+            if (!leftover.empty())
+                r.shards.push_back(std::move(leftover));
+        }
+        s.lease.reset();
+    } else if (ev == "fail") {
+        if (r.st == FRun::St::Running)
+            failRun(F, r,
+                    msg.has("err") ? msg.at("err").asString()
+                                   : "worker prepare failed");
+        s.lease.reset();
+    }
+}
+
+void
+handleReadable(Fleet &F, Slot &s)
+{
+    Json msg;
+    std::string err;
+    const FrameResult fr = readFrame(s.fd, msg, err);
+    if (fr == FrameResult::Ok) {
+        s.lastFrame = steady::now();
+        dispatchFrame(F, s, msg);
+        return;
+    }
+    exec::HostFault hf;
+    if (fr == FrameResult::Corrupt) {
+        // A torn frame is never trusted: kill the sender and triage
+        // its lease like any other death.
+        hf.tornFrame = true;
+        ++F.stats.tornFrames;
+        killWorker(s);
+    }
+    handleDeath(F, s, hf);
+}
+
+void
+pollWorkers(Fleet &F)
+{
+    std::vector<pollfd> fds;
+    std::vector<Slot *> who;
+    for (Slot &s : F.slots) {
+        if (!s.alive)
+            continue;
+        fds.push_back({s.fd, POLLIN, 0});
+        who.push_back(&s);
+    }
+    if (fds.empty()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        return;
+    }
+    const int rc = poll(fds.data(), static_cast<nfds_t>(fds.size()), 50);
+    if (rc <= 0)
+        return;
+    for (size_t k = 0; k < fds.size(); ++k) {
+        if (!(fds[k].revents & (POLLIN | POLLHUP | POLLERR)))
+            continue;
+        if (who[k]->alive)
+            handleReadable(F, *who[k]);
+    }
+}
+
+void
+checkTimeouts(Fleet &F)
+{
+    for (Slot &s : F.slots) {
+        if (!s.alive)
+            continue;
+        const bool hung = secondsSince(s.lastFrame) > F.fopts.heartbeatSec;
+        const bool expired =
+            s.lease && secondsSince(s.lease->granted) > F.fopts.leaseSec;
+        if (!hung && !expired)
+            continue;
+        warn("fleet: killing worker pid %d (%s)",
+             static_cast<int>(s.pid),
+             hung ? "missed heartbeats" : "lease deadline expired");
+        ++F.stats.hangKills;
+        exec::HostFault hf;
+        hf.timedOut = true;
+        killWorker(s);
+        handleDeath(F, s, hf);
+    }
+}
+
+/** The floor of the degradation policy: every slot retired, so finish
+ *  the remaining samples with one in-process executor rather than
+ *  failing the suite. */
+void
+runDegraded(Fleet &F)
+{
+    if (!F.stats.degraded)
+        warn("fleet: all %zu worker slots retired; degrading to one "
+             "in-process executor",
+             F.slots.size());
+    F.stats.degraded = true;
+    for (auto &up : F.runs) {
+        FRun &r = *up;
+        if (r.st != FRun::St::Running)
+            continue;
+        if (F.drained())
+            return;
+        try {
+            ensureLocal(F, r);
+        } catch (const GoldenRunError &e) {
+            failRun(F, r, e.what());
+            continue;
+        }
+        r.shards.clear(); // everything unsettled runs locally now
+        std::vector<size_t> todo;
+        for (size_t i = 0; i < r.n; ++i)
+            if (!r.settled[i])
+                todo.push_back(i);
+        const exec::LayerDriver &d = *r.local.driver;
+        if (d.scheduled()) {
+            std::stable_sort(todo.begin(), todo.end(),
+                             [&d](size_t a, size_t b) {
+                                 return d.scheduleKey(a) <
+                                        d.scheduleKey(b);
+                             });
+        }
+        auto ctx = d.makeCtx();
+        for (size_t i : todo) {
+            if (F.drained())
+                return;
+            std::optional<Json> payload;
+            std::string quarantine;
+            for (unsigned attempt = 0;; ++attempt) {
+                try {
+                    payload = exec::runDriverSample(d, *ctx, i);
+                    break;
+                } catch (const SimError &e) {
+                    if (attempt >= r.ec.retries) {
+                        quarantine = e.what();
+                        break;
+                    }
+                }
+            }
+            if (payload)
+                settleSample(F, r, i, &*payload, "", nullptr);
+            else
+                settleSample(F, r, i, nullptr, quarantine, nullptr);
+        }
+    }
+}
+
+void
+teardown(Fleet &F)
+{
+    // Deliberate shutdown of whatever is still running (stragglers
+    // whose results already settled via speculation, a drain, or a
+    // fatal divergence): no triage, no strikes.
+    for (Slot &s : F.slots) {
+        if (s.alive && s.pid > 0) {
+            kill(s.pid, SIGKILL);
+            int status = 0;
+            waitpid(s.pid, &status, 0);
+        }
+        if (s.fd >= 0)
+            close(s.fd);
+        s.fd = -1;
+        s.pid = -1;
+        s.alive = false;
+        s.lease.reset();
+    }
+}
+
+} // namespace
+
+std::string
+defaultWorkerPath()
+{
+    if (const char *env = std::getenv("VSTACK_WORKER"); env && *env)
+        return env;
+    char buf[4096];
+    const ssize_t len = readlink("/proc/self/exe", buf, sizeof buf - 1);
+    if (len > 0) {
+        buf[len] = '\0';
+        const std::string p(buf);
+        const auto slash = p.rfind('/');
+        if (slash != std::string::npos)
+            return p.substr(0, slash + 1) + "vstack-worker";
+    }
+    return "vstack-worker";
+}
+
+SuiteReport
+runFleetSuite(VulnerabilityStack &stack, const CampaignPlan &plan,
+              const SuiteOptions &opts, const FleetOptions &fopts,
+              FleetStats *statsOut)
+{
+    signal(SIGPIPE, SIG_IGN); // dead workers surface as write errors
+    Fleet F(stack, opts, fopts);
+    F.workerPath =
+        fopts.workerPath.empty() ? defaultWorkerPath() : fopts.workerPath;
+
+    // Deduplicate the plan by store key and short-circuit cache hits,
+    // exactly like runSuite().
+    std::map<std::string, FRun *> byKey;
+    for (size_t idx = 0; idx < plan.size(); ++idx) {
+        const CampaignSpec &spec = plan.specs()[idx];
+        const std::string key = campaignKey(F.cfg, spec);
+        auto it = byKey.find(key);
+        if (it != byKey.end()) {
+            F.bySpec.push_back(it->second);
+            continue;
+        }
+        auto run = std::make_unique<FRun>();
+        run->spec = spec;
+        run->planIndex = idx;
+        run->key = key;
+        run->n = campaignSamples(F.cfg, spec);
+        if (auto cached = stack.resultStore().get(key)) {
+            run->cacheHit = true;
+            run->st = FRun::St::Done;
+            run->resultJson = std::move(*cached);
+            ++F.campaignsDone;
+        } else {
+            F.samplesTotal += run->n;
+        }
+        byKey.emplace(key, run.get());
+        F.bySpec.push_back(run.get());
+        F.runs.push_back(std::move(run));
+    }
+
+    try {
+        for (auto &up : F.runs) {
+            FRun &r = *up;
+            if (r.st != FRun::St::Pending)
+                continue;
+            try {
+                setupRun(F, r);
+            } catch (const ReplayDivergence &) {
+                throw; // suite-fatal, like the pooled scheduler
+            } catch (const GoldenRunError &e) {
+                failRun(F, r, e.what()); // contained (audit driver)
+            }
+        }
+
+        F.slots.resize(std::max(1u, fopts.workers));
+        for (;;) {
+            if (F.drained())
+                break;
+            for (auto &up : F.runs) {
+                FRun &r = *up;
+                if (r.st == FRun::St::Running && r.settledCount == r.n)
+                    finalizeRun(F, r);
+            }
+            bool anyActive = false;
+            for (auto &up : F.runs)
+                anyActive = anyActive || up->st == FRun::St::Running;
+            if (!anyActive)
+                break;
+            bool allRetired = true;
+            for (Slot &s : F.slots)
+                allRetired = allRetired && s.retired;
+            if (allRetired) {
+                runDegraded(F);
+                continue; // re-run the finalize/exit checks above
+            }
+            ensureWorkers(F);
+            assignLeases(F);
+            pollWorkers(F);
+            checkTimeouts(F);
+        }
+    } catch (...) {
+        teardown(F);
+        if (statsOut)
+            *statsOut = F.stats;
+        throw;
+    }
+    teardown(F);
+
+    SuiteReport report;
+    report.outcomes.reserve(plan.size());
+    for (size_t idx = 0; idx < plan.size(); ++idx) {
+        FRun *r = F.bySpec[idx];
+        CampaignOutcome o;
+        o.spec = plan.specs()[idx];
+        o.cacheHit = r->cacheHit;
+        if (r->st == FRun::St::Done) {
+            o.complete = true;
+            decodeCampaignOutcome(o, r->resultJson);
+            if (o.cacheHit)
+                ++report.cacheHits;
+        } else if (r->st == FRun::St::Failed) {
+            o.error = r->error;
+            ++report.failures;
+        } else {
+            report.interrupted = true;
+        }
+        report.outcomes.push_back(std::move(o));
+    }
+    if (F.drained())
+        report.interrupted = true;
+    report.storageFaults = stack.storageFaults();
+    report.goldenEvictions = stack.goldenEvictions();
+    if (statsOut)
+        *statsOut = F.stats;
+    return report;
+}
+
+// ---------------------------------------------------------------------
+// Worker
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Frame writer shared by the worker's main loop and its heartbeat
+ *  thread; the mutex keeps frames whole on the wire. */
+struct WireWriter
+{
+    int fd = -1;
+    std::mutex mu;
+    bool ok = true;
+
+    bool send(const Json &msg)
+    {
+        std::lock_guard<std::mutex> g(mu);
+        if (!ok)
+            return false;
+        std::string err;
+        if (!writeFrame(fd, msg, err))
+            ok = false;
+        return ok;
+    }
+};
+
+/** Deterministic worker-death hook for the fleet tests: crash or hang
+ *  when sample <i> is reached.  "<i>" acts every time (persistent
+ *  failure -> quarantine); "<i>:<path>" acts only while <path> exists
+ *  and consumes it (fail once, succeed on the re-lease). */
+struct TestHook
+{
+    bool armed = false;
+    size_t sample = 0;
+    std::string onceFile;
+
+    static TestHook parse(const char *env)
+    {
+        TestHook h;
+        const char *v = std::getenv(env);
+        if (!v || !*v)
+            return h;
+        const std::string s(v);
+        const auto colon = s.find(':');
+        try {
+            h.sample = std::stoull(
+                colon == std::string::npos ? s : s.substr(0, colon));
+        } catch (const std::exception &) {
+            return h;
+        }
+        if (colon != std::string::npos)
+            h.onceFile = s.substr(colon + 1);
+        h.armed = true;
+        return h;
+    }
+
+    bool fires(size_t i)
+    {
+        if (!armed || i != sample)
+            return false;
+        if (!onceFile.empty())
+            return unlink(onceFile.c_str()) == 0;
+        return true;
+    }
+};
+
+struct PreparedCampaign
+{
+    std::string tag;
+    size_t n = 0;
+    CampaignExec ce;
+};
+
+} // namespace
+
+int
+runFleetWorker(int fd)
+{
+    signal(SIGPIPE, SIG_IGN); // a dead supervisor is a write error
+    std::string err;
+    Json init;
+    if (readFrame(fd, init, err) != FrameResult::Ok || !init.isObject() ||
+        !init.has("op") || init.at("op").asString() != "init")
+        return 2;
+    EnvConfig cfg = EnvConfig::fromEnvironment();
+    if (init.has("cfg"))
+        cfgApply(init.at("cfg"), cfg);
+    // Workers own no persistent state: no store, no journal, no
+    // sandbox, no audits — the supervisor does all of that once.
+    cfg.resultsDir.clear();
+    cfg.jobs = 1;
+    cfg.resume = false;
+    cfg.isolate = false;
+    cfg.verifyReplay = 0.0;
+    cfg.verifyCheckpoint = 0.0;
+    const double hb = init.has("hb") ? init.at("hb").asDouble() : 10.0;
+
+    TestHook crashAt = TestHook::parse("VSTACK_FLEET_TEST_CRASH");
+    TestHook hangAt = TestHook::parse("VSTACK_FLEET_TEST_HANG");
+
+    VulnerabilityStack stack(cfg);
+    WireWriter w;
+    w.fd = fd;
+    {
+        Json hello = Json::object();
+        hello.set("ev", "hello");
+        hello.set("pid", static_cast<int64_t>(getpid()));
+        if (!w.send(hello))
+            return 0;
+    }
+
+    // Heartbeat thread: keeps the supervisor's liveness clock moving
+    // through long prepares (golden runs) and long samples.
+    std::atomic<bool> stop{false};
+    std::thread hbThread([&] {
+        const double period = std::max(0.05, hb / 4.0);
+        double slept = 0.0;
+        while (!stop.load(std::memory_order_relaxed)) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+            slept += 0.05;
+            if (slept < period)
+                continue;
+            slept = 0.0;
+            Json m = Json::object();
+            m.set("ev", "hb");
+            if (!w.send(m))
+                break;
+        }
+    });
+
+    int rc = 0;
+    const unsigned retries = exec::ExecConfig{}.retries;
+    std::deque<PreparedCampaign> cache; // tiny LRU of prepared drivers
+    for (;;) {
+        Json msg;
+        const FrameResult fr = readFrame(fd, msg, err);
+        if (fr == FrameResult::Eof)
+            break; // supervisor gone (or done with us)
+        if (fr != FrameResult::Ok) {
+            rc = 2; // corrupt stream: never act on an untrusted frame
+            break;
+        }
+        if (!msg.isObject() || !msg.has("op")) {
+            rc = 2;
+            break;
+        }
+        const std::string op = msg.at("op").asString();
+        if (op == "exit")
+            break;
+        if (op != "lease")
+            continue;
+
+        const uint64_t leaseId =
+            msg.has("id") ? static_cast<uint64_t>(msg.at("id").asInt())
+                          : 0;
+        auto sendFail = [&](const std::string &what) {
+            Json f = Json::object();
+            f.set("ev", "fail");
+            f.set("lease", leaseId);
+            f.set("err", what);
+            w.send(f);
+        };
+
+        CampaignSpec spec;
+        std::string perr;
+        if (!msg.has("spec") || !msg.has("n") || !msg.has("idx") ||
+            !msg.at("idx").isArray() ||
+            !specFromJson(msg.at("spec"), spec, perr)) {
+            sendFail(perr.empty() ? "malformed lease frame" : perr);
+            continue;
+        }
+        const size_t n = static_cast<size_t>(msg.at("n").asInt());
+        std::vector<size_t> idx;
+        for (const Json &v : msg.at("idx").items()) {
+            const int64_t i = v.asInt();
+            if (i >= 0 && static_cast<size_t>(i) < n)
+                idx.push_back(static_cast<size_t>(i));
+        }
+
+        const std::string tag = specToJson(spec).dump();
+        CampaignExec *ce = nullptr;
+        for (auto &p : cache)
+            if (p.tag == tag && p.n == n)
+                ce = &p.ce;
+        if (!ce) {
+            PreparedCampaign p;
+            p.tag = tag;
+            p.n = n;
+            try {
+                p.ce = makeCampaignExec(stack, spec, n);
+                exec::prepareDriver(*p.ce.driver);
+            } catch (const GoldenRunError &e) {
+                sendFail(e.what());
+                continue;
+            }
+            if (cache.size() >= 2)
+                cache.pop_front();
+            cache.push_back(std::move(p));
+            ce = &cache.back().ce;
+        }
+        const exec::LayerDriver &d = *ce->driver;
+
+        // Announce the run order (scheduleKey dispatch, like the
+        // pooled scheduler) so the supervisor can attribute a death
+        // to the exact first unacked sample.
+        std::vector<size_t> order = idx;
+        if (d.scheduled()) {
+            std::stable_sort(order.begin(), order.end(),
+                             [&d](size_t a, size_t b) {
+                                 return d.scheduleKey(a) <
+                                        d.scheduleKey(b);
+                             });
+        }
+        {
+            Json st = Json::object();
+            st.set("ev", "start");
+            st.set("lease", leaseId);
+            Json arr = Json::array();
+            for (size_t i : order)
+                arr.push(static_cast<int64_t>(i));
+            st.set("order", std::move(arr));
+            if (!w.send(st))
+                break;
+        }
+
+        bool lostSupervisor = false;
+        auto ctx = d.makeCtx();
+        for (size_t i : order) {
+            if (crashAt.fires(i))
+                raise(SIGKILL);
+            if (hangAt.fires(i)) {
+                // A genuinely wedged process sends nothing at all, so
+                // silence the heartbeat thread too; the supervisor
+                // must detect this via missed heartbeats (or, with a
+                // huge heartbeat budget, route around it by
+                // speculating the lease to another worker).
+                stop.store(true, std::memory_order_relaxed);
+                for (;;)
+                    sleep(1000);
+            }
+            std::optional<Json> payload;
+            std::string quarantine;
+            for (unsigned attempt = 0;; ++attempt) {
+                try {
+                    payload = exec::runDriverSample(d, *ctx, i);
+                    break;
+                } catch (const SimError &e) {
+                    if (attempt >= retries) {
+                        quarantine = e.what();
+                        break;
+                    }
+                }
+            }
+            if (failpoint("fleet.frame.write"))
+                continue; // chaos: swallow this ack (lost on the wire)
+            Json sm = Json::object();
+            sm.set("ev", "sample");
+            sm.set("lease", leaseId);
+            sm.set("i", static_cast<int64_t>(i));
+            if (payload)
+                sm.set("r", std::move(*payload));
+            else
+                sm.set("err", quarantine);
+            if (!w.send(sm)) {
+                lostSupervisor = true;
+                break;
+            }
+        }
+        if (lostSupervisor)
+            break;
+        Json dn = Json::object();
+        dn.set("ev", "done");
+        dn.set("lease", leaseId);
+        if (!w.send(dn))
+            break;
+    }
+    stop.store(true, std::memory_order_relaxed);
+    hbThread.join();
+    return rc;
+}
+
+} // namespace vstack::service

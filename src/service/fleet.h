@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Fault-tolerant worker fleet: shard a suite across supervised worker
+ * processes with leases, heartbeats, and crash recovery.
+ *
+ * ZOFI gets its throughput by treating every injection as a disposable
+ * process; the fleet applies the same stance to whole sample shards.
+ * A supervisor (embedded in `vstack suite --fleet=N` and in vstackd)
+ * spawns N worker processes, each a thin loop speaking the existing
+ * CRC-framed protocol (service/frame.h) over a socketpair and running
+ * sample batches through the exec::LayerDriver machinery.  The
+ * supervisor hands out shard *leases* (campaign spec + explicit sample
+ * indices + a lease deadline), treats every frame a worker sends as a
+ * heartbeat, and owns all persistent state itself: journals, the
+ * result store, and the fold all stay supervisor-side, so a worker can
+ * die at any instruction without touching a byte of campaign state.
+ *
+ * Failure handling, in one place:
+ *
+ *   - death (SIGSEGV/SIGKILL/OOM), a missed heartbeat, or a torn
+ *     frame: the worker is killed/reaped and triaged into a HostFault
+ *     record; the first sample of its announced run order that never
+ *     acked is the culprit and charges one host-failure strike, and
+ *     beyond the per-sample retry budget it is quarantined into
+ *     `injectorErrors` via the journal — exactly the sandbox path's
+ *     contract.  The rest of the shard is re-leased.
+ *   - stragglers: when no shards are pending, the oldest outstanding
+ *     lease is speculatively duplicated to an idle worker; whichever
+ *     copy of a sample arrives first settles it (fold order stays
+ *     index-ordered, so the ResultStore is byte-identical to the
+ *     serial path at any fleet size, across worker kills, and across
+ *     a supervisor SIGKILL + --resume).
+ *   - persistent failure: a worker slot that keeps dying without
+ *     making progress retires after `respawnBudget` consecutive
+ *     strikes; when every slot is retired the fleet degrades to one
+ *     in-process executor instead of failing the suite, and the stats
+ *     record the degradation.
+ *
+ * Chaos vocabulary (support/failpoint.h): `fleet.worker.spawn` makes
+ * a spawn attempt fail (degradation path), `fleet.lease.grant` tears
+ * the lease frame on the wire (the worker exits on the corrupt frame
+ * and the shard is recovered), `fleet.frame.write` makes a worker
+ * swallow one sample ack (lost-ack recovery at lease completion).
+ */
+#ifndef VSTACK_SERVICE_FLEET_H
+#define VSTACK_SERVICE_FLEET_H
+
+#include <string>
+
+#include "core/suite.h"
+
+namespace vstack::service
+{
+
+struct FleetOptions
+{
+    /** Worker processes to supervise (>= 1). */
+    unsigned workers = 2;
+    /** Worker binary; empty resolves $VSTACK_WORKER, then
+     *  `vstack-worker` next to the running executable. */
+    std::string workerPath;
+    /** A worker whose last frame is older than this is declared hung
+     *  and killed (workers heartbeat at a quarter of this period). */
+    double heartbeatSec = 10.0;
+    /** A lease outstanding longer than this is revoked (the worker is
+     *  killed and the shard re-leased). */
+    double leaseSec = 300.0;
+    /** Consecutive failures (no sample acked between them) before a
+     *  worker slot retires instead of respawning. */
+    unsigned respawnBudget = 3;
+    /** Samples per shard lease; 0 sizes shards automatically from the
+     *  campaign size and fleet width. */
+    size_t shardSamples = 0;
+};
+
+/** Supervision counters of one fleet run (reported on stderr so the
+ *  campaign report itself stays byte-comparable). */
+struct FleetStats
+{
+    unsigned spawns = 0;         ///< worker processes started
+    unsigned deaths = 0;         ///< workers that died or were killed
+    unsigned hangKills = 0;      ///< killed for missed heartbeats or
+                                 ///< an expired lease deadline
+    unsigned tornFrames = 0;     ///< corrupt frames triaged
+    unsigned retired = 0;        ///< slots retired (respawn budget)
+    unsigned leases = 0;         ///< leases granted (speculative incl.)
+    unsigned speculativeLeases = 0;
+    size_t hostFaultQuarantines = 0; ///< samples quarantined by triage
+    bool degraded = false;       ///< fleet fell back to in-process
+};
+
+/**
+ * Run `plan` through a supervised worker fleet.  Semantics mirror
+ * runSuite(): the same dedup, cache short-circuit, journal resume,
+ * contained GoldenRunError, fatal Replay/CheckpointDivergence, and
+ * drain behavior (SuiteOptions::cancel / shutdown signal), with a
+ * ResultStore byte-identical to the serial path.  `opts.serial` is
+ * ignored.  Stats land in `*statsOut` when non-null.
+ */
+SuiteReport runFleetSuite(VulnerabilityStack &stack,
+                          const CampaignPlan &plan,
+                          const SuiteOptions &opts,
+                          const FleetOptions &fopts,
+                          FleetStats *statsOut = nullptr);
+
+/**
+ * The worker side: a blocking loop on `fd` (init frame, then lease
+ * frames; every sample result is acked as its own frame).  Returns
+ * the process exit code (0 on a clean EOF/exit frame, 2 on a corrupt
+ * stream).  Used by tools/vstack_worker_main.cc.
+ */
+int runFleetWorker(int fd);
+
+/** `vstack-worker` next to the running executable ($VSTACK_WORKER
+ *  overrides; tests point it at the build tree). */
+std::string defaultWorkerPath();
+
+} // namespace vstack::service
+
+#endif // VSTACK_SERVICE_FLEET_H

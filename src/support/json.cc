@@ -528,6 +528,52 @@ writeFile(const std::string &path, const std::string &content)
 }
 
 bool
+writeFileDurable(const std::string &path, const std::string &content)
+{
+    static std::atomic<unsigned> counter{0};
+    const std::string tmp =
+        path + ".tmp." +
+        std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+    int fd;
+    do {
+        fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0)
+        return false;
+    size_t off = 0;
+    while (off < content.size()) {
+        const ssize_t n =
+            ::write(fd, content.data() + off, content.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            ::close(fd);
+            std::remove(tmp.c_str());
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    // fsync the *content* before the rename publishes the name: a
+    // rename alone can survive a crash while the bytes behind it do
+    // not, which is exactly the torn state the CRC stamp would then
+    // have to quarantine.
+    int rc;
+    do {
+        rc = ::fsync(fd);
+    } while (rc != 0 && errno == EINTR);
+    ::close(fd);
+    if (rc != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
 fsyncDir(const std::string &dir)
 {
     int fd;

@@ -106,6 +106,14 @@ bool readFile(const std::string &path, std::string &out);
 bool writeFile(const std::string &path, const std::string &content);
 
 /**
+ * writeFile plus an fsync of the temp file before the rename, so the
+ * *content* is durable once the new name is visible.  Callers that
+ * need the name itself to survive power loss must still fsyncDir()
+ * the containing directory afterwards.
+ */
+bool writeFileDurable(const std::string &path, const std::string &content);
+
+/**
  * fsync a directory so a just-created/renamed entry inside it survives
  * power loss (the rename itself is atomic either way; without the
  * directory sync the *existence* of the new name is not durable).

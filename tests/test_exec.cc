@@ -23,9 +23,11 @@
 
 #include <unistd.h>
 
+#include "exec/cancel.h"
 #include "exec/error.h"
 #include "exec/executor.h"
 #include "exec/journal.h"
+#include "support/failpoint.h"
 #include "support/logging.h"
 
 namespace vstack
@@ -243,6 +245,178 @@ TEST(ExecutorTest, ShutdownRequestStopsClaimingNewSamples)
     EXPECT_EQ(simulated.load(), 0u) << "drain must not claim samples";
     for (const auto &r : results)
         EXPECT_FALSE(r.has_value());
+}
+
+// ---- cancel token -----------------------------------------------------------
+
+TEST(CancelTest, DeadlineAtNowLatchesWithReasonDeadline)
+{
+    exec::CancelToken t;
+    t.setDeadlineAfter(1e-12);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_TRUE(t.cancelled());
+    EXPECT_EQ(t.reason(), "deadline");
+    EXPECT_TRUE(t.deadlineExpired());
+    // Latched: still "deadline" after a later explicit cancel.
+    t.cancel("too late");
+    EXPECT_EQ(t.reason(), "deadline");
+}
+
+TEST(CancelTest, NonPositiveDeadlineDisarms)
+{
+    exec::CancelToken zero;
+    zero.setDeadlineAfter(0.0);
+    EXPECT_FALSE(zero.cancelled());
+
+    exec::CancelToken rearmed;
+    rearmed.setDeadlineAfter(1e-12);
+    rearmed.setDeadlineAfter(-1.0); // disarm before anyone polls
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_FALSE(rearmed.cancelled());
+    EXPECT_EQ(rearmed.reason(), "");
+    EXPECT_FALSE(rearmed.deadlineExpired());
+}
+
+TEST(CancelTest, ExplicitCancelBeforeDeadlineKeepsFirstReason)
+{
+    exec::CancelToken t;
+    t.cancel("client cancel");
+    t.setDeadlineAfter(1e-12);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_TRUE(t.cancelled());
+    EXPECT_EQ(t.reason(), "client cancel");
+    EXPECT_FALSE(t.deadlineExpired());
+}
+
+TEST(CancelTest, PreCancelledTokenDrainsBeforeFirstClaim)
+{
+    // The in-process worker loop must observe the token at the same
+    // drain point as the global shutdown flag: before claiming.  The
+    // armed journal failpoint proves no append ever ran either — a
+    // drained run performs zero sample work, even with faults armed.
+    const std::string dir =
+        "/tmp/vstack_cancel_test." + std::to_string(getpid());
+    std::filesystem::remove_all(dir);
+    exec::Journal j;
+    ASSERT_TRUE(j.open(dir + "/j.jsonl", "camp", 20, 42, false));
+    // Arm after open: the journal header itself goes through append.
+    armFailpoints("journal.append.short_write=1000000");
+
+    exec::CancelToken t;
+    t.cancel("pre-cancelled");
+    std::atomic<size_t> simulated{0};
+    exec::ExecConfig ec;
+    ec.jobs = 2;
+    ec.cancel = &t;
+    ec.journal = &j;
+    auto results = exec::runSamples<uint64_t>(
+        20, ec, [] { return std::make_unique<CountingCtx>(); },
+        [&](CountingCtx &, size_t i) {
+            ++simulated;
+            return mix(i);
+        },
+        encodeU64, decodeU64);
+    EXPECT_EQ(simulated.load(), 0u);
+    for (const auto &r : results)
+        EXPECT_FALSE(r.has_value());
+    EXPECT_EQ(failpointHits("journal.append.short_write"), 0u)
+        << "a drained run must never reach the journal append";
+    clearFailpoints();
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CancelTest, PreCancelledTokenDrainsIsolatedBatchLoop)
+{
+    // Same drain point, isolated path: no batch may be claimed, so no
+    // sandbox child is ever forked (the armed pipe failpoint would
+    // have fired on the first result frame).
+    armFailpoints("sandbox.pipe.short_write=1000000");
+    exec::CancelToken t;
+    t.cancel("pre-cancelled");
+    exec::ExecConfig ec;
+    ec.jobs = 2;
+    ec.isolate = true;
+    ec.cancel = &t;
+    auto results = exec::runSamples<uint64_t>(
+        20, ec, [] { return std::make_unique<CountingCtx>(); },
+        [](CountingCtx &, size_t i) { return mix(i); }, encodeU64,
+        decodeU64);
+    for (const auto &r : results)
+        EXPECT_FALSE(r.has_value());
+    EXPECT_EQ(failpointHits("sandbox.pipe.short_write"), 0u)
+        << "a drained isolated run must never fork a sandbox child";
+    clearFailpoints();
+}
+
+TEST(CancelTest, MidRunCancelStopsFurtherClaimsButKeepsFinishedWork)
+{
+    // Cancellation is cooperative at sample granularity: in-flight
+    // samples finish (and stay valid), nothing new is claimed.
+    exec::CancelToken t;
+    std::atomic<size_t> simulated{0};
+    exec::ExecConfig ec;
+    ec.jobs = 2;
+    ec.cancel = &t;
+    const size_t n = 200, cancelAt = 8;
+    auto results = exec::runSamples<uint64_t>(
+        n, ec, [] { return std::make_unique<CountingCtx>(); },
+        [&](CountingCtx &, size_t i) {
+            if (++simulated == cancelAt)
+                t.cancel("mid-run");
+            return mix(i);
+        },
+        encodeU64, decodeU64);
+    EXPECT_EQ(t.reason(), "mid-run");
+    size_t finished = 0;
+    for (size_t i = 0; i < n; ++i)
+        if (results[i]) {
+            ++finished;
+            EXPECT_EQ(*results[i], mix(i)) << "sample " << i;
+        }
+    EXPECT_GE(finished, cancelAt - 1);
+    EXPECT_LT(finished, n) << "cancel must stop further claims";
+    EXPECT_EQ(finished, simulated.load());
+}
+
+TEST(CancelTest, ReplayedSamplesSurviveAPreCancelledResume)
+{
+    // Journal replay happens before the drain check, so a cancelled
+    // resume still restores completed work without re-simulating it.
+    const std::string dir =
+        "/tmp/vstack_cancel_test." + std::to_string(getpid());
+    std::filesystem::remove_all(dir);
+    {
+        exec::Journal j;
+        ASSERT_TRUE(j.open(dir + "/j.jsonl", "camp", 10, 42, false));
+        j.append(0, encodeU64(mix(0)));
+        j.append(3, encodeU64(mix(3)));
+    }
+    exec::Journal j;
+    ASSERT_TRUE(j.open(dir + "/j.jsonl", "camp", 10, 42, true));
+    ASSERT_EQ(j.replayed(), 2u);
+
+    exec::CancelToken t;
+    t.cancel("pre-cancelled");
+    std::atomic<size_t> simulated{0};
+    exec::ExecConfig ec;
+    ec.jobs = 1;
+    ec.cancel = &t;
+    ec.journal = &j;
+    auto results = exec::runSamples<uint64_t>(
+        10, ec, [] { return std::make_unique<CountingCtx>(); },
+        [&](CountingCtx &, size_t i) {
+            ++simulated;
+            return mix(i);
+        },
+        encodeU64, decodeU64);
+    EXPECT_EQ(simulated.load(), 0u);
+    ASSERT_TRUE(results[0].has_value());
+    EXPECT_EQ(*results[0], mix(0));
+    ASSERT_TRUE(results[3].has_value());
+    EXPECT_EQ(*results[3], mix(3));
+    for (size_t i : {1u, 2u, 4u, 5u, 6u, 7u, 8u, 9u})
+        EXPECT_FALSE(results[i].has_value()) << "sample " << i;
+    std::filesystem::remove_all(dir);
 }
 
 // ---- journal ----------------------------------------------------------------

@@ -1,0 +1,391 @@
+/**
+ * @file
+ * Worker-fleet tests (service/fleet.h): the supervised multi-process
+ * executor must produce a ResultStore byte-identical to the serial
+ * path at any fleet width — including across worker SIGKILLs, hung
+ * workers, torn lease frames, lost sample acks, a supervisor SIGKILL
+ * followed by --resume, and full degradation to the in-process
+ * fallback — while quarantining persistently-failing samples exactly
+ * like the sandbox path.
+ *
+ * Worker-death placement uses the VSTACK_FLEET_TEST_CRASH/HANG hooks
+ * compiled into vstack-worker ("<i>" fires every time a worker reaches
+ * sample i; "<i>:<path>" fires once, consuming <path>).  Supervisor
+ * failpoints arm in-process; worker failpoints travel via the
+ * environment (workers are exec'd and re-read VSTACK_FAILPOINTS).
+ *
+ * These tests fork and SIGKILL real processes; they are excluded from
+ * the TSan stage of tools/ci_sanitize.sh like the sandbox and chaos
+ * tests.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "service/fleet.h"
+#include "support/failpoint.h"
+
+namespace vstack
+{
+namespace
+{
+
+EnvConfig
+fleetCfg(const std::string &dir)
+{
+    EnvConfig cfg;
+    cfg.uarchFaults = 8;
+    cfg.archFaults = 12;
+    cfg.swFaults = 12;
+    cfg.seed = 7;
+    cfg.resultsDir = dir;
+    cfg.jobs = 1;
+    return cfg;
+}
+
+/** A small plan crossing all three layers. */
+CampaignPlan
+mixedPlan()
+{
+    CampaignPlan plan;
+    const Variant fft{"fft", false};
+    plan.addUarch("ax9", fft, Structure::RF);
+    plan.addPvf(IsaId::Av64, fft, Fpm::WD);
+    plan.addSvf(fft);
+    return plan;
+}
+
+/** A single cheap campaign for the death/quarantine placements. */
+CampaignPlan
+svfPlan()
+{
+    CampaignPlan plan;
+    plan.addSvf({"fft", false});
+    return plan;
+}
+
+std::map<std::string, std::string>
+storeBytes(const std::string &dir)
+{
+    std::map<std::string, std::string> out;
+    if (!std::filesystem::exists(dir))
+        return out;
+    for (const auto &e :
+         std::filesystem::recursive_directory_iterator(dir)) {
+        if (!e.is_regular_file())
+            continue;
+        std::ifstream in(e.path(), std::ios::binary);
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        out[std::filesystem::relative(e.path(), dir).string()] =
+            ss.str();
+    }
+    return out;
+}
+
+class FleetTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        clearFailpoints();
+        ::unsetenv("VSTACK_FLEET_TEST_CRASH");
+        ::unsetenv("VSTACK_FLEET_TEST_HANG");
+        ::unsetenv("VSTACK_FAILPOINTS");
+        base = "/tmp/vstack_fleet_test." + std::to_string(getpid());
+        std::filesystem::remove_all(base);
+    }
+    void TearDown() override
+    {
+        clearFailpoints();
+        ::unsetenv("VSTACK_FLEET_TEST_CRASH");
+        ::unsetenv("VSTACK_FLEET_TEST_HANG");
+        ::unsetenv("VSTACK_FAILPOINTS");
+        std::filesystem::remove_all(base);
+    }
+
+    static service::FleetOptions fleetOpts(unsigned workers)
+    {
+        service::FleetOptions fo;
+        fo.workers = workers;
+        fo.workerPath = VSTACK_WORKER_BIN;
+        return fo;
+    }
+
+    /** The reference store: the plan through the serial path. */
+    std::map<std::string, std::string> serialReference(
+        const CampaignPlan &plan)
+    {
+        const std::string dir = base + "/serial";
+        VulnerabilityStack stack(fleetCfg(dir));
+        SuiteOptions opts;
+        opts.serial = true;
+        SuiteReport r = runSuite(stack, plan, opts);
+        EXPECT_FALSE(r.interrupted);
+        return storeBytes(dir);
+    }
+
+    SuiteReport runFleet(const CampaignPlan &plan,
+                         const std::string &dir,
+                         const service::FleetOptions &fo,
+                         service::FleetStats *stats = nullptr)
+    {
+        VulnerabilityStack stack(fleetCfg(dir));
+        return service::runFleetSuite(stack, plan, {}, fo, stats);
+    }
+
+    std::string base;
+};
+
+TEST_F(FleetTest, StoreIsByteIdenticalToSerialAtAnyFleetWidth)
+{
+    const CampaignPlan plan = mixedPlan();
+    const auto reference = serialReference(plan);
+    ASSERT_EQ(reference.size(), plan.size());
+
+    for (unsigned workers : {1u, 3u}) {
+        const std::string dir =
+            base + "/fleet" + std::to_string(workers);
+        service::FleetStats stats;
+        SuiteReport r =
+            runFleet(plan, dir, fleetOpts(workers), &stats);
+        EXPECT_FALSE(r.interrupted);
+        for (const CampaignOutcome &o : r.outcomes)
+            EXPECT_TRUE(o.complete) << o.spec.label();
+        EXPECT_FALSE(stats.degraded);
+        EXPECT_GE(stats.spawns, 1u);
+        EXPECT_EQ(storeBytes(dir), reference)
+            << "workers=" << workers;
+    }
+}
+
+TEST_F(FleetTest, WorkerSigkillMidRunIsRecoveredByteIdentically)
+{
+    const CampaignPlan plan = mixedPlan();
+    const auto reference = serialReference(plan);
+
+    // One worker raises SIGKILL the first time any worker reaches
+    // sample 5 of its lease order; the flag file makes it fire once,
+    // so the re-leased shard then completes.
+    const std::string flag = base + "/crash.once";
+    std::filesystem::create_directories(base);
+    std::ofstream(flag).put('\n');
+    ::setenv("VSTACK_FLEET_TEST_CRASH", ("5:" + flag).c_str(), 1);
+
+    const std::string dir = base + "/killed";
+    service::FleetStats stats;
+    SuiteReport r = runFleet(plan, dir, fleetOpts(3), &stats);
+    EXPECT_FALSE(r.interrupted);
+    EXPECT_GE(stats.deaths, 1u);
+    EXPECT_EQ(stats.hostFaultQuarantines, 0u)
+        << "a one-off death must re-lease, not quarantine";
+    for (const CampaignOutcome &o : r.outcomes)
+        EXPECT_TRUE(o.complete) << o.spec.label();
+    EXPECT_EQ(storeBytes(dir), reference);
+}
+
+TEST_F(FleetTest, PersistentCrashQuarantinesExactlyTheCulpritSample)
+{
+    // Every worker that reaches sample 5 dies, every time.  The
+    // supervisor's per-sample host-failure budget (retries = 1) must
+    // quarantine exactly that sample into injectorErrors and finish
+    // the rest — the sandbox path's contract.
+    ::setenv("VSTACK_FLEET_TEST_CRASH", "5", 1);
+
+    const std::string dir = base + "/quarantine";
+    service::FleetStats stats;
+    SuiteReport r = runFleet(svfPlan(), dir, fleetOpts(2), &stats);
+    EXPECT_FALSE(r.interrupted);
+    ASSERT_EQ(r.outcomes.size(), 1u);
+    EXPECT_TRUE(r.outcomes[0].complete);
+    EXPECT_EQ(r.outcomes[0].counts.injectorErrors, 1u);
+    EXPECT_EQ(r.outcomes[0].counts.total(),
+              fleetCfg("").swFaults - 1);
+    EXPECT_EQ(stats.hostFaultQuarantines, 1u);
+    EXPECT_GE(stats.deaths, 2u) << "one death per retry attempt";
+}
+
+TEST_F(FleetTest, SupervisorSigkillThenResumeIsByteIdentical)
+{
+    const CampaignPlan plan = mixedPlan();
+    const auto reference = serialReference(plan);
+    const std::string dir = base + "/souperkilled";
+
+    // A child supervisor dies mid-journal-append partway into the
+    // fleet run (the failpoint arms in this process only — journal
+    // appends are supervisor-side, workers never see it).
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        armFailpoints("journal.append.kill=@6");
+        try {
+            VulnerabilityStack stack(fleetCfg(dir));
+            service::runFleetSuite(stack, plan, {}, fleetOpts(3));
+        } catch (...) {
+        }
+        _exit(0); // failpoint did not fire: fail the parent's check
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    ASSERT_EQ(WEXITSTATUS(status), 137) << "child must die mid-append";
+
+    // Resume on a fresh fleet: journals replay the settled prefix,
+    // workers simulate only the remainder, and the store is
+    // byte-identical to the never-killed serial run.
+    service::FleetStats stats;
+    SuiteReport r = runFleet(plan, dir, fleetOpts(3), &stats);
+    EXPECT_FALSE(r.interrupted);
+    for (const CampaignOutcome &o : r.outcomes)
+        EXPECT_TRUE(o.complete) << o.spec.label();
+    EXPECT_EQ(storeBytes(dir), reference);
+}
+
+TEST_F(FleetTest, HungWorkerIsKilledOnMissedHeartbeatsAndRecovered)
+{
+    const CampaignPlan plan = svfPlan();
+    const auto reference = serialReference(plan);
+
+    // The single worker wedges completely (heartbeats included) at
+    // sample 3, once.  fleet=1 means no other worker can mask the
+    // hang: the supervisor must detect the silence, SIGKILL, respawn,
+    // and re-lease.
+    const std::string flag = base + "/hang.once";
+    std::filesystem::create_directories(base);
+    std::ofstream(flag).put('\n');
+    ::setenv("VSTACK_FLEET_TEST_HANG", ("3:" + flag).c_str(), 1);
+
+    service::FleetOptions fo = fleetOpts(1);
+    fo.heartbeatSec = 0.5;
+    const std::string dir = base + "/hung";
+    service::FleetStats stats;
+    SuiteReport r = runFleet(plan, dir, fo, &stats);
+    EXPECT_FALSE(r.interrupted);
+    EXPECT_GE(stats.hangKills, 1u);
+    for (const CampaignOutcome &o : r.outcomes)
+        EXPECT_TRUE(o.complete) << o.spec.label();
+    EXPECT_EQ(storeBytes(dir), reference);
+}
+
+TEST_F(FleetTest, StragglerLeaseIsSpeculatedToAnIdleWorker)
+{
+    const CampaignPlan plan = svfPlan();
+    const auto reference = serialReference(plan);
+
+    // One of two workers wedges on sample 3 with a heartbeat budget
+    // far beyond the test: the hang-kill path cannot save this run.
+    // The idle worker must get a speculative duplicate of the wedged
+    // lease and settle its samples first.
+    const std::string flag = base + "/straggler.once";
+    std::filesystem::create_directories(base);
+    std::ofstream(flag).put('\n');
+    ::setenv("VSTACK_FLEET_TEST_HANG", ("3:" + flag).c_str(), 1);
+
+    service::FleetOptions fo = fleetOpts(2);
+    fo.heartbeatSec = 60.0;
+    const std::string dir = base + "/speculated";
+    service::FleetStats stats;
+    SuiteReport r = runFleet(plan, dir, fo, &stats);
+    EXPECT_FALSE(r.interrupted);
+    EXPECT_GE(stats.speculativeLeases, 1u);
+    EXPECT_EQ(stats.hangKills, 0u)
+        << "speculation, not the hang-kill, must resolve this";
+    for (const CampaignOutcome &o : r.outcomes)
+        EXPECT_TRUE(o.complete) << o.spec.label();
+    EXPECT_EQ(storeBytes(dir), reference);
+}
+
+TEST_F(FleetTest, SpawnFailureDegradesToInProcessExecution)
+{
+    const CampaignPlan plan = mixedPlan();
+    const auto reference = serialReference(plan);
+
+    // Every spawn attempt fails (supervisor-side failpoint): all
+    // slots retire and the fleet must finish the whole plan through
+    // the in-process floor, still byte-identically.
+    armFailpoints("fleet.worker.spawn=1000000");
+    const std::string dir = base + "/degraded";
+    service::FleetStats stats;
+    SuiteReport r = runFleet(plan, dir, fleetOpts(2), &stats);
+    clearFailpoints();
+    EXPECT_FALSE(r.interrupted);
+    EXPECT_TRUE(stats.degraded);
+    EXPECT_EQ(stats.spawns, 0u);
+    EXPECT_EQ(stats.retired, 2u);
+    for (const CampaignOutcome &o : r.outcomes)
+        EXPECT_TRUE(o.complete) << o.spec.label();
+    EXPECT_EQ(storeBytes(dir), reference);
+}
+
+TEST_F(FleetTest, TornLeaseFrameKillsOnlyThatWorker)
+{
+    const CampaignPlan plan = svfPlan();
+    const auto reference = serialReference(plan);
+
+    // The first two lease grants go out torn (an impossible length
+    // prefix).  The workers must refuse the frame and exit; the
+    // supervisor must triage the deaths and re-lease the shards.
+    armFailpoints("fleet.lease.grant=2");
+    const std::string dir = base + "/torn";
+    service::FleetStats stats;
+    SuiteReport r = runFleet(plan, dir, fleetOpts(2), &stats);
+    clearFailpoints();
+    EXPECT_FALSE(r.interrupted);
+    EXPECT_GE(stats.deaths, 2u);
+    EXPECT_EQ(stats.hostFaultQuarantines, 0u)
+        << "a torn grant is the supervisor's fault, never the sample's";
+    for (const CampaignOutcome &o : r.outcomes)
+        EXPECT_TRUE(o.complete) << o.spec.label();
+    EXPECT_EQ(storeBytes(dir), reference);
+}
+
+TEST_F(FleetTest, LostSampleAckIsRecoveredAtLeaseCompletion)
+{
+    const CampaignPlan plan = svfPlan();
+    const auto reference = serialReference(plan);
+
+    // Each worker swallows its first sample ack (failpoint travels to
+    // the exec'd workers via the environment).  The supervisor sees a
+    // completed lease with unsettled samples and must re-lease them.
+    ::setenv("VSTACK_FAILPOINTS", "fleet.frame.write=1", 1);
+    const std::string dir = base + "/lostack";
+    service::FleetStats stats;
+    SuiteReport r = runFleet(plan, dir, fleetOpts(2), &stats);
+    EXPECT_FALSE(r.interrupted);
+    EXPECT_EQ(stats.deaths, 0u) << "a lost ack is not a death";
+    for (const CampaignOutcome &o : r.outcomes)
+        EXPECT_TRUE(o.complete) << o.spec.label();
+    EXPECT_EQ(storeBytes(dir), reference);
+}
+
+TEST_F(FleetTest, SecondFleetRunIsServedFromTheStore)
+{
+    const CampaignPlan plan = mixedPlan();
+    const std::string dir = base + "/cached";
+    {
+        SuiteReport first = runFleet(plan, dir, fleetOpts(2));
+        EXPECT_EQ(first.cacheHits, 0u);
+    }
+    const auto before = storeBytes(dir);
+    service::FleetStats stats;
+    SuiteReport again = runFleet(plan, dir, fleetOpts(2), &stats);
+    EXPECT_EQ(again.cacheHits, plan.size());
+    EXPECT_EQ(stats.spawns, 0u)
+        << "an all-cache-hit plan must not spawn a single worker";
+    for (const CampaignOutcome &o : again.outcomes) {
+        EXPECT_TRUE(o.complete);
+        EXPECT_TRUE(o.cacheHit) << o.spec.label();
+    }
+    EXPECT_EQ(storeBytes(dir), before);
+}
+
+} // namespace
+} // namespace vstack

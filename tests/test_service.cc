@@ -154,6 +154,52 @@ class ServiceTest : public ::testing::Test
     std::string sock;
 };
 
+TEST(ClientJitterTest, BackoffScheduleIsDeterministicPerSeed)
+{
+    service::ClientOptions o;
+    o.backoffBaseSec = 0.05;
+    o.seed = 42;
+    service::Client a(o), b(o);
+    o.seed = 43;
+    service::Client c(o);
+    bool seedsDiverge = false;
+    for (unsigned attempt = 0; attempt < 8; ++attempt) {
+        const double da = a.backoffDelay(attempt);
+        EXPECT_DOUBLE_EQ(da, b.backoffDelay(attempt))
+            << "same seed must pin the whole schedule";
+        if (da != c.backoffDelay(attempt))
+            seedsDiverge = true;
+        // +/- 50% jitter around base * 2^attempt.
+        const double base = 0.05 * static_cast<double>(1u << attempt);
+        EXPECT_GE(da, 0.5 * base);
+        EXPECT_LE(da, 1.5 * base);
+    }
+    EXPECT_TRUE(seedsDiverge)
+        << "different seeds should not march in lockstep";
+}
+
+TEST(ClientJitterTest, JitterSeedFollowsEnvSeedAndSalt)
+{
+    // Pinned VSTACK_SEED: the fallback (pid in production) is ignored,
+    // so reconnect storms replay identically across runs...
+    ::setenv("VSTACK_SEED", "7", 1);
+    EXPECT_EQ(service::clientJitterSeed(0, 123),
+              service::clientJitterSeed(0, 456));
+    // ...but distinct salts (client indices) still decorrelate.
+    EXPECT_NE(service::clientJitterSeed(0, 123),
+              service::clientJitterSeed(1, 123));
+    // Garbage in the env falls back cleanly.
+    ::setenv("VSTACK_SEED", "not-a-number", 1);
+    EXPECT_EQ(service::clientJitterSeed(0, 123),
+              service::clientJitterSeed(0, 123));
+    EXPECT_NE(service::clientJitterSeed(0, 123),
+              service::clientJitterSeed(0, 456));
+    // No env: the fallback seeds the stream.
+    ::unsetenv("VSTACK_SEED");
+    EXPECT_NE(service::clientJitterSeed(0, 123),
+              service::clientJitterSeed(0, 456));
+}
+
 TEST_F(ServiceTest, FrameRoundTripAndEintrStorm)
 {
     int sv[2];

@@ -6,7 +6,9 @@
 #     storage recovery paths and one end-to-end CLI chaos schedule)
 #     + checkpoint smoke (the snapshot/restore fast-forward path and
 #     a verified CLI campaign) + suite smoke (the pooled multi-campaign
-#     scheduler vs the serial path, byte for byte)
+#     scheduler vs the serial path, byte for byte) + service smoke
+#     (vstackd) + fleet smoke (supervised worker processes, kill and
+#     resume experiments)
 #   - thread: the campaign-executor tests (test_exec + the parallel
 #     campaign determinism tests), i.e. everything that exercises the
 #     worker pool in src/exec
@@ -92,17 +94,31 @@ ctest --test-dir "${prefix}-address" --output-on-failure -j "${jobs}" \
       -R 'Service'
 tools/vstackd_smoke.sh --smoke "${prefix}-address"
 
+echo "=== fleet smoke [address]"
+# The worker fleet under ASan: the supervisor forks real vstack-worker
+# processes, SIGKILLs them mid-lease, triages torn frames, and folds
+# results from a poll loop — leaked socketpair fds, use-after-free on
+# a revoked lease, and double-closes in the respawn path would all
+# surface here.  The ctest stage runs the supervision suite (worker
+# kill, hang, speculation, degradation, supervisor kill + resume); the
+# script repeats the kill experiments against the real CLI and diffs
+# the stores byte for byte.
+ctest --test-dir "${prefix}-address" --output-on-failure -j "${jobs}" \
+      -R 'Fleet'
+tools/fleet_smoke.sh --smoke "${prefix}-address"
+
 dir="${prefix}-thread"
 build thread "${dir}"
 echo "=== executor tests [thread]"
 # The executor tests plus the campaign-level parallel determinism and
 # resume tests are the code that actually runs multithreaded.  The
 # filter deliberately excludes the Sandbox/Isolated fork tests plus
-# the Chaos, Suite, and Service suites (all fork failpoint-armed
-# children): fork from a multithreaded TSan process is unsupported
-# (all are covered by the ASan smoke stages above instead).
+# the Chaos, Suite, Service, and Fleet suites (all fork failpoint-
+# armed children): fork from a multithreaded TSan process is
+# unsupported (all are covered by the ASan smoke stages above
+# instead).
 ctest --test-dir "${dir}" --output-on-failure -j "${jobs}" \
       -R 'Executor|Journal|Parallel|Resume|Jobs' \
-      -E 'Sandbox|Isolated|Chaos|Suite|Service'
+      -E 'Sandbox|Isolated|Chaos|Suite|Service|Fleet'
 
 echo "=== all sanitizer runs passed"

@@ -1,0 +1,198 @@
+#!/usr/bin/env bash
+# Fleet smoke: run a cross-layer suite through `vstack suite --fleet=N`
+# (supervised worker processes with leases and crash recovery) and
+# require the result to be byte-identical to the --serial reference —
+# same stdout report, same ResultStore tree, bit for bit — under three
+# regimes:
+#
+#   1. a clean fleet run;
+#   2. a fleet run where a random vstack-worker is SIGKILLed mid-suite
+#      (found via pgrep on the supervisor's children);
+#   3. a fleet run whose *supervisor* is SIGKILLed mid-journal-append
+#      (journal.append.kill failpoint), then finished with --resume.
+#
+# Full mode also times serial vs fleet cold (best of N) and emits
+# BENCH_fleet.json.  No speedup is asserted — fleet pays per-process
+# warm-up that only amortises on paper-scale campaigns; the contract
+# here is identity, the ratio is recorded for trend lines.
+#
+# Usage: tools/fleet_smoke.sh [--smoke] [build-dir]
+#   --smoke  3-campaign manifest, identity-only (CI-sized; no BENCH)
+# Env: VSTACK_FAULTS (default 24), FLEET (default 3)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+smoke=0
+if [ "${1:-}" = "--smoke" ]; then
+    smoke=1
+    shift
+fi
+build="${1:-build}"
+vstack="${build}/tools/vstack"
+worker="${build}/tools/vstack-worker"
+for bin in "${vstack}" "${worker}"; do
+    if [ ! -x "${bin}" ]; then
+        echo "error: ${bin} not built (cmake --build ${build})" >&2
+        exit 1
+    fi
+done
+
+work="$(mktemp -d)"
+trap 'rm -rf "${work}"' EXIT
+
+faults="${VSTACK_FAULTS:-24}"
+fleet="${FLEET:-3}"
+reps=3
+if [ "${smoke}" = 1 ]; then
+    reps=1
+fi
+# One campaign per layer, sharing the fft golden (same slice the suite
+# smoke uses — small enough for a sanitizer build).
+cat > "${work}/manifest.json" <<'EOF'
+{"campaigns": [
+  {"layer": "pvf", "workload": "fft", "isa": "av64", "fpm": "WD"},
+  {"layer": "svf", "workload": "fft"},
+  {"layer": "uarch", "workload": "fft", "core": "ax72", "structure": "*"}
+]}
+EOF
+
+# run_mode <name> <extra-flags...>: cold suite run into a fresh store;
+# prints elapsed milliseconds.
+run_mode() {
+    local name="$1"
+    shift
+    rm -rf "${work}/${name}.store"
+    local t0 t1
+    t0=$(date +%s%N)
+    VSTACK_FAULTS="${faults}" VSTACK_RESULTS="${work}/${name}.store" \
+        "${vstack}" suite "${work}/manifest.json" "$@" \
+        > "${work}/${name}.out" 2> "${work}/${name}.err"
+    t1=$(date +%s%N)
+    echo $(( (t1 - t0) / 1000000 ))
+}
+
+# assert_identical <name>: stdout + store must match the serial run.
+assert_identical() {
+    local name="$1"
+    cmp "${work}/serial.out" "${work}/${name}.out" || {
+        echo "FAIL: ${name} report differs from the serial run" >&2
+        sed 's/^/    stderr: /' "${work}/${name}.err" >&2
+        exit 1
+    }
+    diff -r "${work}/serial.store" "${work}/${name}.store" \
+        > /dev/null || {
+        echo "FAIL: ${name} ResultStore differs from serial" >&2
+        exit 1
+    }
+}
+
+echo "=== fleet smoke: faults=${faults} fleet=${fleet} reps=${reps}"
+
+# --- reference + clean fleet run (timed in full mode) ----------------
+serial_ms=""
+fleet_ms=""
+for rep in $(seq "${reps}"); do
+    s=$(run_mode serial --serial --jobs 1)
+    f=$(run_mode fleet --fleet="${fleet}")
+    echo "    rep ${rep}: serial=${s}ms fleet=${f}ms"
+    if [ -z "${serial_ms}" ] || [ "${s}" -lt "${serial_ms}" ]; then
+        serial_ms="${s}"
+    fi
+    if [ -z "${fleet_ms}" ] || [ "${f}" -lt "${fleet_ms}" ]; then
+        fleet_ms="${f}"
+    fi
+done
+assert_identical fleet
+echo "    clean fleet run byte-identical to serial"
+
+# --- scenario: SIGKILL a random worker mid-suite ---------------------
+rm -rf "${work}/wkill.store"
+VSTACK_FAULTS="${faults}" VSTACK_RESULTS="${work}/wkill.store" \
+    "${vstack}" suite "${work}/manifest.json" --fleet="${fleet}" \
+    > "${work}/wkill.out" 2> "${work}/wkill.err" &
+sup=$!
+killed=0
+for _ in $(seq 400); do
+    victim="$(pgrep -P "${sup}" -f vstack-worker | head -n 1 || true)"
+    if [ -n "${victim}" ]; then
+        kill -9 "${victim}" 2>/dev/null && killed=1 && break
+    fi
+    if ! kill -0 "${sup}" 2>/dev/null; then
+        break
+    fi
+    sleep 0.02
+done
+wait "${sup}" || {
+    echo "FAIL: supervisor died after a worker kill (rc=$?)" >&2
+    sed 's/^/    stderr: /' "${work}/wkill.err" >&2
+    exit 1
+}
+assert_identical wkill
+if [ "${killed}" = 1 ]; then
+    echo "    worker SIGKILL mid-suite recovered byte-identically"
+else
+    echo "    NOTE: suite finished before a worker could be killed" \
+         "(host too fast for faults=${faults}); identity still held"
+fi
+
+# --- scenario: SIGKILL the supervisor, then --resume -----------------
+rm -rf "${work}/skill.store"
+rc=0
+VSTACK_FAULTS="${faults}" VSTACK_RESULTS="${work}/skill.store" \
+    VSTACK_FAILPOINTS="journal.append.kill=@9" \
+    "${vstack}" suite "${work}/manifest.json" --fleet="${fleet}" \
+    > "${work}/skill.out" 2> "${work}/skill.err" || rc=$?
+if [ "${rc}" -ne 137 ]; then
+    echo "FAIL: expected the supervisor to die on SIGKILL (137)," \
+         "got rc=${rc}" >&2
+    exit 1
+fi
+VSTACK_FAULTS="${faults}" VSTACK_RESULTS="${work}/skill.store" \
+    "${vstack}" suite "${work}/manifest.json" --fleet="${fleet}" \
+    --resume > "${work}/skill.out" 2> "${work}/skill.err"
+assert_identical skill
+# Nothing may outlive the dead supervisor: CLOEXEC socketpairs give
+# every orphan EOF once its in-flight sample finishes, so the worker
+# table must drain to empty (bounded by one sample, generous here for
+# sanitizer builds).
+orphans=1
+for _ in $(seq 50); do
+    if ! pgrep -f "vstack-worker --fd" > /dev/null 2>&1; then
+        orphans=0
+        break
+    fi
+    sleep 0.2
+done
+if [ "${orphans}" = 1 ]; then
+    echo "FAIL: orphaned vstack-worker processes after supervisor" \
+         "SIGKILL" >&2
+    exit 1
+fi
+echo "    supervisor SIGKILL + --resume byte-identical, no orphans"
+
+if [ "${smoke}" = 1 ]; then
+    echo "=== fleet smoke passed (byte-identity)"
+    exit 0
+fi
+
+cpus="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)"
+ratio="$(awk -v s="${serial_ms}" -v f="${fleet_ms}" \
+             'BEGIN { printf "%.2f", s / f }')"
+echo "    best-of-${reps}: serial=${serial_ms}ms fleet=${fleet_ms}ms" \
+     "ratio=${ratio}x (${cpus} cpu(s))"
+cat > BENCH_fleet.json <<EOF
+{
+  "bench": "fleet_supervisor",
+  "campaigns": 3,
+  "faults": ${faults},
+  "fleet": ${fleet},
+  "serial_ms": ${serial_ms},
+  "fleet_ms": ${fleet_ms},
+  "ratio": ${ratio},
+  "cpus": ${cpus},
+  "byte_identical": true,
+  "worker_kill_recovered": true,
+  "supervisor_kill_resumed": true
+}
+EOF
+echo "=== fleet smoke passed (BENCH_fleet.json written)"

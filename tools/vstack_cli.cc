@@ -96,6 +96,7 @@
 #include "gefin/campaign.h"
 #include "kernel/kernel.h"
 #include "service/client.h"
+#include "service/fleet.h"
 #include "support/env.h"
 #include "support/failpoint.h"
 #include "support/logging.h"
@@ -128,6 +129,7 @@ struct Args
     bool checkpoint = true;
     double verifyCheckpoint = 0.0;
     bool serial = false;
+    unsigned fleet = 0;    ///< worker processes; 0 = in-process suite
     double deadline = 0.0; ///< seconds; 0 = none (suite/submit)
     std::string socket;    ///< vstackd socket ("" = default)
     std::string client;    ///< client name for fairness queues
@@ -163,6 +165,9 @@ usage()
         "                    samples cold; abort on any divergence)\n"
         "         --serial (suite only: run campaigns one at a time\n"
         "                    through the serial reference path)\n"
+        "         --fleet N (suite only: shard samples across N\n"
+        "                    supervised worker processes with crash\n"
+        "                    recovery; results stay byte-identical)\n"
         "         --deadline S (suite/submit: cancel after S seconds\n"
         "                    and report the partial results; suite\n"
         "                    exits 4 on expiry)\n"
@@ -246,6 +251,19 @@ parseArgs(int argc, char **argv)
                 usage();
             a.verifyCheckpoint = doubleValue("--verify-checkpoint", v);
             verifyCheckpointGiven = true;
+            continue;
+        }
+        if (flag.rfind("--fleet", 0) == 0) {
+            std::string v;
+            if (flag.size() > 7 && flag[7] == '=')
+                v = flag.substr(8);
+            else if (flag.size() == 7)
+                v = value();
+            else
+                usage();
+            a.fleet = static_cast<unsigned>(numValue("--fleet", v));
+            if (a.fleet == 0)
+                fatal("--fleet expects a worker count >= 1");
             continue;
         }
         if (flag.rfind("--deadline", 0) == 0) {
@@ -772,6 +790,7 @@ cmdSuite(const Args &a)
     if (a.deadline > 0)
         deadline.setDeadlineAfter(a.deadline);
     SuiteReport report;
+    service::FleetStats fleetStats;
     {
         SuiteOptions opts;
         opts.serial = a.serial;
@@ -779,7 +798,14 @@ cmdSuite(const Args &a)
             opts.cancel = &deadline;
         SuiteProgressLine line;
         opts.progress = std::cref(line);
-        report = runSuite(stack, plan, opts);
+        if (a.fleet > 0) {
+            service::FleetOptions fopts;
+            fopts.workers = a.fleet;
+            report = service::runFleetSuite(stack, plan, opts, fopts,
+                                            &fleetStats);
+        } else {
+            report = runSuite(stack, plan, opts);
+        }
     }
 
     std::printf("suite: %zu campaigns\n", plan.size());
@@ -804,6 +830,21 @@ cmdSuite(const Args &a)
                      "were re-simulated\n",
                      static_cast<unsigned long long>(
                          report.storageFaults));
+    }
+    if (a.fleet > 0) {
+        // stderr only: stdout stays byte-comparable with the serial
+        // and scheduled paths (the fleet smoke test uses cmp).
+        std::fprintf(stderr,
+                     "fleet: %u worker(s), %u spawn(s), %u death(s), "
+                     "%u hang kill(s), %u torn frame(s), %u lease(s) "
+                     "(%u speculative), %zu quarantine(s)%s\n",
+                     a.fleet, fleetStats.spawns, fleetStats.deaths,
+                     fleetStats.hangKills, fleetStats.tornFrames,
+                     fleetStats.leases, fleetStats.speculativeLeases,
+                     fleetStats.hostFaultQuarantines,
+                     fleetStats.degraded
+                         ? "; DEGRADED to one in-process executor"
+                         : "");
     }
     if (report.cacheHits || report.goldenEvictions) {
         std::fprintf(stderr,
@@ -852,7 +893,10 @@ clientOptions(const Args &a)
     o.name = a.client.empty()
                  ? strprintf("cli-%d", static_cast<int>(getpid()))
                  : a.client;
-    o.seed = static_cast<uint64_t>(getpid());
+    // VSTACK_SEED pins the backoff jitter for deterministic
+    // reconnect-storm tests; without it each process jitters freely.
+    o.seed = service::clientJitterSeed(
+        0, static_cast<uint64_t>(getpid()));
     return o;
 }
 

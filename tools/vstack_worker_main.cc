@@ -1,0 +1,36 @@
+/**
+ * @file
+ * vstack-worker: one fleet worker process.
+ *
+ * Spawned by the fleet supervisor (service/fleet.h) with its
+ * CRC-framed control socket on an inherited descriptor; not meant to
+ * be run by hand.  Exits 0 on a clean EOF from the supervisor, 2 on a
+ * corrupt stream, 64 on usage errors.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "service/fleet.h"
+
+int
+main(int argc, char **argv)
+{
+    int fd = 3;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--fd") == 0 && i + 1 < argc) {
+            char *end = nullptr;
+            fd = static_cast<int>(std::strtol(argv[++i], &end, 10));
+            if (!end || *end != '\0' || fd < 0) {
+                std::fprintf(stderr, "vstack-worker: bad --fd value\n");
+                return 64;
+            }
+        } else {
+            std::fprintf(stderr,
+                         "usage: vstack-worker [--fd N]  (spawned by the "
+                         "fleet supervisor; see vstack suite --fleet)\n");
+            return 64;
+        }
+    }
+    return vstack::service::runFleetWorker(fd);
+}

@@ -45,7 +45,10 @@ usage()
         "  --jobs J      worker threads per suite (0 = all hw "
         "threads)\n"
         "  -n N          samples per campaign (default: environment)\n"
-        "  --seed S      campaign seed (default: environment)\n");
+        "  --seed S      campaign seed (default: environment)\n"
+        "  --fleet N     run each job through N supervised worker\n"
+        "                processes with crash recovery (default: "
+        "in-process)\n");
     std::exit(2);
 }
 
@@ -101,6 +104,9 @@ main(int argc, char **argv)
                 static_cast<size_t>(numValue("-n", value()));
         else if (flag == "--seed")
             cfg.seed = numValue("--seed", value());
+        else if (flag == "--fleet")
+            opts.fleetWorkers =
+                static_cast<unsigned>(numValue("--fleet", value()));
         else
             usage();
     }
