@@ -12,6 +12,7 @@
 #include "compiler/compile.h"
 #include "gefin/campaign.h"
 #include "kernel/kernel.h"
+#include "support/crc32c.h"
 #include "swfi/interp.h"
 #include "uarch/core.h"
 #include "workloads/workloads.h"
@@ -80,6 +81,94 @@ BM_IrInterpSha(benchmark::State &state)
     }
     state.counters["IRinsts/s"] = benchmark::Counter(
         static_cast<double>(steps), benchmark::Counter::kIsRate);
+}
+
+/** Predecoded dispatch vs BM_ArchSimSha's per-step decode: the same
+ *  golden run through the threaded-code fast path.  Predecode cost is
+ *  hoisted out of the loop, as campaigns amortize it over samples. */
+void
+BM_ArchSimShaFast(benchmark::State &state)
+{
+    ArchConfig cfg;
+    ArchSim sim(cfg);
+    auto pd = predecodeImage(shaImage(IsaId::Av64), cfg.isa);
+    sim.setFastPath(pd);
+    uint64_t insts = 0;
+    for (auto _ : state) {
+        sim.load(shaImage(IsaId::Av64));
+        ArchRunResult r = sim.run();
+        insts += r.instCount;
+    }
+    state.counters["insts/s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+
+/** IR threaded-code dispatch vs BM_IrInterpSha's block-walking loop. */
+void
+BM_IrInterpShaFast(benchmark::State &state)
+{
+    mcl::FrontendResult fr =
+        mcl::compileToIr(findWorkload("sha").source, 64);
+    auto pd = predecodeIr(fr.module);
+    uint64_t steps = 0;
+    for (auto _ : state) {
+        IrInterp interp(fr.module);
+        interp.setFastPath(pd);
+        InterpResult r = interp.run();
+        steps += r.steps;
+    }
+    state.counters["IRinsts/s"] = benchmark::Counter(
+        static_cast<double>(steps), benchmark::Counter::kIsRate);
+}
+
+/** One-time predecode cost (the fast path's fixed investment). */
+void
+BM_ArchPredecodeSha(benchmark::State &state)
+{
+    const Program &image = shaImage(IsaId::Av64);
+    for (auto _ : state) {
+        auto pd = predecodeImage(image, IsaId::Av64);
+        benchmark::DoNotOptimize(pd->slots());
+    }
+}
+
+/** CRC-32C engines over a digest-sized buffer: bytes/s of the bitwise
+ *  reference, the slicing-by-8 table walk, and (when the CPU has
+ *  SSE4.2) the hardware instruction.  The spread documents what the
+ *  batched digest grid gains per probe. */
+void
+BM_Crc32c(benchmark::State &state, uint32_t (*fn)(const void *, size_t))
+{
+    if (fn == &crc32cHardware && !crc32cHardwareAvailable()) {
+        state.SkipWithError("SSE4.2 crc32 not available on this CPU");
+        return;
+    }
+    std::vector<uint8_t> buf(64 * 1024);
+    for (size_t i = 0; i < buf.size(); ++i)
+        buf[i] = static_cast<uint8_t>(i * 131 + 17);
+    uint64_t bytes = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(fn(buf.data(), buf.size()));
+        bytes += buf.size();
+    }
+    state.counters["bytes/s"] = benchmark::Counter(
+        static_cast<double>(bytes), benchmark::Counter::kIsRate);
+}
+
+/** Steady-state digest probe cost on the functional emulator: a short
+ *  burst of execution (dirtying a few pages) followed by the
+ *  incremental stateDigest the reconvergence grid pays. */
+void
+BM_ArchDigest(benchmark::State &state)
+{
+    ArchConfig cfg;
+    ArchSim sim(cfg);
+    sim.load(shaImage(IsaId::Av64));
+    for (auto _ : state) {
+        for (int i = 0; i < 100 && sim.step(); ++i)
+            ;
+        benchmark::DoNotOptimize(sim.stateDigest());
+    }
 }
 
 /**
@@ -206,7 +295,14 @@ BM_CompileSha(benchmark::State &state)
 BENCHMARK_CAPTURE(BM_CycleSimSha, ax9, std::string("ax9"));
 BENCHMARK_CAPTURE(BM_CycleSimSha, ax72, std::string("ax72"));
 BENCHMARK(BM_ArchSimSha);
+BENCHMARK(BM_ArchSimShaFast);
 BENCHMARK(BM_IrInterpSha);
+BENCHMARK(BM_IrInterpShaFast);
+BENCHMARK(BM_ArchPredecodeSha);
+BENCHMARK(BM_ArchDigest);
+BENCHMARK_CAPTURE(BM_Crc32c, reference, &vstack::crc32cReference);
+BENCHMARK_CAPTURE(BM_Crc32c, sliced, &vstack::crc32cSliced);
+BENCHMARK_CAPTURE(BM_Crc32c, hardware, &vstack::crc32cHardware);
 BENCHMARK(BM_CompileSha);
 BENCHMARK_CAPTURE(BM_UarchSnapshot, ax9, std::string("ax9"));
 BENCHMARK_CAPTURE(BM_UarchSnapshot, ax72, std::string("ax72"));

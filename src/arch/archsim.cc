@@ -3,6 +3,8 @@
 #include <cassert>
 
 #include "support/crc32c.h"
+#include "support/failpoint.h"
+#include "support/fastpath.h"
 #include "support/logging.h"
 
 namespace vstack
@@ -49,6 +51,42 @@ ArchSim::load(const Program &image)
     pageCrcValid = false;
     ckptDirty.markAll();
     lastRestored.reset();
+    if (fastPathEnabled())
+        seedPageCrc(image);
+}
+
+/**
+ * Seed the per-page CRC table right after load() instead of letting
+ * the first stateDigest() walk all of RAM: freshly cleared pages all
+ * share one precomputed zero-page CRC, so only pages the image
+ * actually initialises need hashing.  Values are identical to a full
+ * walk (the CRC of an untouched page IS the zero-page CRC) — this
+ * only moves the work off the first digest and shrinks it to the
+ * image's footprint.
+ */
+void
+ArchSim::seedPageCrc(const Program &image)
+{
+    static const uint32_t zeroCrc = [] {
+        const std::vector<uint8_t> z(snap::PAGE_SIZE, 0);
+        return crc32c(z.data(), z.size());
+    }();
+    const size_t nPages = mem_.numPages();
+    pageCrc.assign(nPages, zeroCrc);
+    std::vector<bool> touched(nPages, false);
+    for (const Segment &s : image.segments) {
+        const size_t p0 = s.addr >> snap::PAGE_SHIFT;
+        const size_t p1 = (s.addr + s.bytes.size() + snap::PAGE_SIZE - 1) >>
+                          snap::PAGE_SHIFT;
+        for (size_t p = p0; p < p1 && p < nPages; ++p)
+            touched[p] = true;
+    }
+    for (size_t p = 0; p < nPages; ++p)
+        if (touched[p])
+            pageCrc[p] = crc32c(mem_.data() + p * snap::PAGE_SIZE,
+                                snap::PAGE_SIZE);
+    mem_.digestDirty().clearAll();
+    pageCrcValid = true;
 }
 
 void
@@ -95,10 +133,21 @@ uint32_t
 ArchSim::stateDigest()
 {
     harvestPageCrc();
-    snap::ByteSink s;
-    serializeState(s, /*digest=*/true);
-    s.bytes(pageCrc.data(), pageCrc.size() * sizeof(uint32_t));
-    return crc32c(s.data().data(), s.size());
+    if (!fastPathEnabled()) {
+        // Escape hatch: a fresh sink per digest, like the original
+        // pipeline (same value, original allocation cost).
+        snap::ByteSink s;
+        serializeState(s, /*digest=*/true);
+        s.bytes(pageCrc.data(), pageCrc.size() * sizeof(uint32_t));
+        return crc32c(s.data().data(), s.size());
+    }
+    // Fast path: harvest into the persistent staging buffer (capacity
+    // survives clear(), so steady-state digests allocate nothing) and
+    // CRC it in one pass.
+    digestSink.clear();
+    serializeState(digestSink, /*digest=*/true);
+    digestSink.bytes(pageCrc.data(), pageCrc.size() * sizeof(uint32_t));
+    return crc32c(digestSink.data().data(), digestSink.size());
 }
 
 std::shared_ptr<const ArchSnapshot>
@@ -222,6 +271,12 @@ ArchSim::peek(DecodedInst &out) const
 bool
 ArchSim::step()
 {
+    return stepWith(nullptr);
+}
+
+bool
+ArchSim::stepWith(const DecodedInst *pre)
+{
     if (stop != StopReason::Running)
         return false;
     if (icount >= cfg.maxInsts) {
@@ -229,7 +284,9 @@ ArchSim::step()
         return false;
     }
 
-    // Fetch.
+    // Fetch.  A predecode hint (`pre`) skips only the RAM read and
+    // the field decode — the caller has already proven the live word
+    // matches the predecoded one — never the permission ladder.
     if (pc_ % 4 != 0) {
         raise("misaligned pc");
         return false;
@@ -242,13 +299,18 @@ ArchSim::step()
         raise("user fetch from kernel memory");
         return false;
     }
-    const uint32_t word =
-        static_cast<uint32_t>(mem_.read(static_cast<uint32_t>(pc_), 4));
-    const DecodedInst d = decode(cfg.isa, word);
-    if (!d.valid) {
-        raise(strprintf("undefined instruction 0x%08x", word));
-        return false;
+    DecodedInst slow;
+    if (!pre) {
+        const uint32_t word =
+            static_cast<uint32_t>(mem_.read(static_cast<uint32_t>(pc_), 4));
+        slow = decode(cfg.isa, word);
+        if (!slow.valid) {
+            raise(strprintf("undefined instruction 0x%08x", word));
+            return false;
+        }
+        pre = &slow;
     }
+    const DecodedInst &d = *pre;
     const OpInfo &info = d.info();
     if (info.privileged && !kernel) {
         raise(strprintf("privileged instruction '%s' in user mode",
@@ -481,11 +543,35 @@ ArchSim::step()
     return true;
 }
 
+bool
+ArchSim::stepFastTo(uint64_t stopAt)
+{
+    const ArchPredecode *pd = fastPd.get();
+    if (pd && failpoint("fastpath.dispatch"))
+        pd = nullptr; // forced fallback: decode-per-step for this call
+    while (stop == StopReason::Running && icount < stopAt) {
+        const DecodedInst *hint = nullptr;
+        if (pd) {
+            if (const ArchPredecode::Entry *e = pd->at(pc_)) {
+                // The hint is only a hint: trust it when the live
+                // word still matches (a mismatch means WI/WOI-flipped
+                // or self-modified text — decode the real word).
+                const uint32_t live = static_cast<uint32_t>(
+                    mem_.read(static_cast<uint32_t>(pc_), 4));
+                if (e->word == live)
+                    hint = &e->d;
+            }
+        }
+        if (!stepWith(hint))
+            return false;
+    }
+    return stop == StopReason::Running;
+}
+
 ArchRunResult
 ArchSim::run()
 {
-    while (step()) {
-    }
+    stepFastTo(UINT64_MAX);
     return result();
 }
 

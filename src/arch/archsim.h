@@ -22,6 +22,7 @@
 #include <string>
 
 #include "isa/isa.h"
+#include "isa/predecode.h"
 #include "isa/program.h"
 #include "machine/devices.h"
 #include "machine/memmap.h"
@@ -82,6 +83,41 @@ class ArchSim
      */
     bool step();
 
+    /** @name Predecoded fast path @{ */
+    /**
+     * Attach a predecoded image (isa/predecode.h) built from the same
+     * program this simulator runs.  Shared and immutable — one
+     * predecode serves every worker of a campaign.  nullptr detaches.
+     * Purely a speed hint: execution is bit-identical with or without
+     * it (every predecoded entry is verified against live memory
+     * before use).
+     */
+    void setFastPath(std::shared_ptr<const ArchPredecode> pd)
+    {
+        fastPd = std::move(pd);
+    }
+    const std::shared_ptr<const ArchPredecode> &fastPath() const
+    {
+        return fastPd;
+    }
+
+    /**
+     * Run until instCount() reaches `stopAt` exactly, or the machine
+     * stops, whichever is first; returns true while still running.
+     * Uses predecoded dispatch for every instruction whose live text
+     * word matches the attached predecode (decode hoisted out of the
+     * loop) and falls back to the one-word decoder otherwise, so it is
+     * safe on self-modified or fault-corrupted text — but campaign
+     * code only calls it on fault-free windows (golden runs, the
+     * pre-injection fast-forward, the post-reconvergence tail, cold
+     * audits) per the fastpath doctrine (DESIGN.md §12).  The
+     * `fastpath.dispatch` failpoint forces the fallback decoder for
+     * the whole call.  Without an attached predecode this is exactly
+     * `while (icount < stopAt && step())`.
+     */
+    bool stepFastTo(uint64_t stopAt);
+    /** @} */
+
     /** @name Architectural state access (for fault injection) @{ */
     uint64_t readReg(int reg) const { return regs[reg]; }
     void writeReg(int reg, uint64_t v);
@@ -133,7 +169,11 @@ class ArchSim
     void raise(const std::string &msg);
     bool memAccess(uint64_t addr, unsigned bytes, bool isStore,
                    uint64_t &val);
+    /** step() with an optional verified predecode hint (skips fetch
+     *  read + decode; all other checks and semantics identical). */
+    bool stepWith(const DecodedInst *pre);
     void harvestPageCrc();
+    void seedPageCrc(const Program &image);
     void serializeState(snap::ByteSink &s, bool digest) const;
 
     ArchConfig cfg;
@@ -155,6 +195,10 @@ class ArchSim
     bool pageCrcValid = false;
     snap::DirtyMap ckptDirty{memmap::RAM_SIZE >> snap::PAGE_SHIFT};
     std::shared_ptr<const ArchSnapshot> lastRestored;
+
+    std::shared_ptr<const ArchPredecode> fastPd;
+    /** Staging buffer reused across stateDigest() calls (fast path). */
+    snap::ByteSink digestSink;
 };
 
 } // namespace vstack

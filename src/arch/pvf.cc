@@ -4,6 +4,7 @@
 #include <cassert>
 #include <memory>
 
+#include "support/fastpath.h"
 #include "support/logging.h"
 
 namespace vstack
@@ -32,9 +33,13 @@ classifyRun(StopReason stop, const DeviceOutput &out, const GoldenRef &golden)
     return classifyDeviceRun(stop, out, golden.dma, golden.exitCode);
 }
 
-PvfCampaign::PvfCampaign(Program image, ArchConfig cfg)
-    : image(std::move(image)), cfg(cfg), sim(cfg)
+PvfCampaign::PvfCampaign(Program image, ArchConfig cfg,
+                         std::shared_ptr<const ArchPredecode> fast)
+    : image(std::move(image)), cfg(cfg), fastPd_(std::move(fast)), sim(cfg)
 {
+    if (!fastPd_ && fastPathEnabled())
+        fastPd_ = predecodeImage(this->image, cfg.isa);
+    sim.setFastPath(fastPd_);
     sim.load(this->image);
     ArchRunResult r = sim.run();
     if (r.stop != StopReason::Exited) {
@@ -88,10 +93,15 @@ PvfCampaign::ensureTrace()
     sim.setMaxInsts(cfg.maxInsts);
     sim.load(image);
     trace_.checkpoints.push_back({0, sim.snapshot()});
-    while (sim.step()) {
+    // The recording run is fault-free, so it executes in predecoded
+    // chunks from grid point to grid point (identical to stepping —
+    // stepFastTo stops at exactly the requested instruction count).
+    for (;;) {
+        const uint64_t nextGrid =
+            (sim.instCount() / trace_.interval + 1) * trace_.interval;
+        if (!sim.stepFastTo(nextGrid))
+            break;
         const uint64_t ic = sim.instCount();
-        if (ic % trace_.interval != 0)
-            continue;
         trace_.digests.push_back(sim.stateDigest());
         trace_.dmaLens.push_back(sim.devices().output().dma.size());
         if (trace_.digests.size() % ckptEvery == 0)
@@ -169,8 +179,17 @@ PvfCampaign::finish(ArchSim &sim, bool accel) const
         const DeviceOutput &o = sim.devices().output();
         const uint64_t suffix = golden_.dma.size() - trace_.dmaLens[k];
         if (o.truncated ||
-            o.dma.size() + suffix > DeviceHub::captureCap)
-            continue; // the spliced output would truncate; run it out
+            o.dma.size() + suffix > DeviceHub::captureCap) {
+            // The spliced output would truncate, so the tail must
+            // actually execute — but the digest match just proved the
+            // state has rejoined the golden trajectory, so every
+            // remaining instruction is fault-free by construction and
+            // may run on the predecoded fast path.  (Once declined,
+            // a splice stays declined: the emitted-plus-suffix total
+            // is invariant from here on.)
+            sim.stepFastTo(UINT64_MAX);
+            break;
+        }
         const bool clean =
             o.dma.size() == trace_.dmaLens[k] &&
             std::equal(o.dma.begin(), o.dma.end(), golden_.dma.begin());
@@ -199,12 +218,12 @@ PvfCampaign::runInjection(ArchSim &sim, Fpm fpm, Rng &rng, bool accel) const
         sim.load(image);
     const IsaSpec &spec = sim.spec();
 
-    // Advance to the injection point.
-    while (sim.instCount() < targetInst) {
-        if (!sim.step())
-            return classifyRun(sim.stopReason(), sim.devices().output(),
-                               golden_);
-    }
+    // Advance to the injection point — a fault-free golden prefix, so
+    // it runs on the predecoded fast path (this is also what makes
+    // cold audits cheap: they replay the whole prefix from zero).
+    if (!sim.stepFastTo(targetInst))
+        return classifyRun(sim.stopReason(), sim.devices().output(),
+                           golden_);
 
     bool injected = false;
     if (fpm == Fpm::WD) {
@@ -324,7 +343,9 @@ PvfDriver::prepare()
 std::unique_ptr<exec::LayerDriver::Ctx>
 PvfDriver::makeCtx() const
 {
-    return std::make_unique<PvfCtx>(campaign.cfg);
+    auto ctx = std::make_unique<PvfCtx>(campaign.cfg);
+    ctx->sim.setFastPath(campaign.fastPath());
+    return ctx;
 }
 
 Json

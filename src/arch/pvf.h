@@ -90,12 +90,26 @@ class PvfCampaign
     /**
      * @param image  merged kernel+user image
      * @param cfg    emulator config (watchdog is derived per run)
+     * @param fast   shared predecode of `image` (the golden cache
+     *               hands this in so repeat campaigns predecode once);
+     *               when null and the fast path is enabled, the
+     *               campaign builds its own.  The golden run on
+     *               construction then uses predecoded dispatch
+     *               (results are bit-identical either way).
      * @throws GoldenRunError if the golden run does not exit cleanly
      */
-    PvfCampaign(Program image, ArchConfig cfg);
+    PvfCampaign(Program image, ArchConfig cfg,
+                std::shared_ptr<const ArchPredecode> fast = nullptr);
 
     /** Golden reference (computed on construction). */
     const GoldenRef &golden() const { return golden_; }
+
+    /** The predecode every emulator of this campaign dispatches
+     *  through (null when the fast path is disabled). */
+    const std::shared_ptr<const ArchPredecode> &fastPath() const
+    {
+        return fastPd_;
+    }
 
     /** Per-injection watchdog budget, in instructions relative to the
      *  golden run (default: 4x golden + 10k). */
@@ -135,6 +149,7 @@ class PvfCampaign
 
     Program image;
     ArchConfig cfg;
+    std::shared_ptr<const ArchPredecode> fastPd_;
     ArchSim sim; ///< reused across serial injections (16 MiB arena)
     GoldenRef golden_;
     exec::WatchdogBudget watchdog{4.0, 10'000};

@@ -1,5 +1,6 @@
 #include "campaign_io.h"
 
+#include "support/fastpath.h"
 #include "support/logging.h"
 
 namespace vstack::campaign_io
@@ -129,6 +130,7 @@ checkpointPolicy(const EnvConfig &cfg)
     policy.checkpoints = cfg.checkpoints;
     policy.earlyStop = cfg.checkpoint;
     policy.verifyPercent = cfg.verifyCheckpoint;
+    policy.densify(fastPathEnabled());
     return policy;
 }
 

@@ -4,6 +4,7 @@
 #include "compiler/compile.h"
 #include "ft/harden.h"
 #include "kernel/kernel.h"
+#include "support/fastpath.h"
 #include "support/logging.h"
 #include "support/stats.h"
 #include "swfi/svf.h"
@@ -46,6 +47,76 @@ struct VulnerabilityStack::Cache
     std::map<std::string, std::shared_ptr<GoldenSlot>> golden;
     uint64_t useClock = 0;
     uint64_t goldenEvictions = 0;
+
+    /**
+     * Predecoded fast-path programs, pooled SEPARATELY from the golden
+     * campaigns.  A campaign slot retains a golden trace (checkpoints
+     * plus K digests — megabytes); a predecode is two orders of
+     * magnitude smaller and far cheaper to rebuild, but losing one
+     * forces a full decode pass on the next campaign over that
+     * artefact.  Giving predecodes their own pool with its own
+     * capacity means eviction never crosses kinds: a burst of big
+     * traces can fill the campaign pool without flushing a single
+     * predecode.  Capacity is 8x the campaign pool — predecodes are
+     * keyed per (workload, isa) rather than per (core, workload), so
+     * one entry serves every core that shares the ISA.
+     */
+    template <class T> struct PdSlot
+    {
+        std::shared_ptr<const T> pd; ///< null until built
+        std::mutex buildMu;
+        uint64_t lastUse = 0;
+    };
+    template <class T> using PdPool =
+        std::map<std::string, std::shared_ptr<PdSlot<T>>>;
+    PdPool<ArchPredecode> archPd;
+    PdPool<IrPredecode> irPd;
+    uint64_t predecodeEvictions = 0;
+
+    /** Shared slot-map lookup + build-once + same-kind LRU eviction.
+     *  `build` runs outside goldenMu (predecoding a 16 MiB image is
+     *  not cheap) but under the slot's own build mutex, so distinct
+     *  keys build concurrently and a shared key builds exactly once. */
+    template <class T, class Build>
+    std::shared_ptr<const T> predecodeFor(PdPool<T> &pool,
+                                          const std::string &key,
+                                          size_t capacity, Build &&build)
+    {
+        std::shared_ptr<PdSlot<T>> slot;
+        {
+            std::lock_guard<std::mutex> lock(goldenMu);
+            auto it = pool.find(key);
+            if (it == pool.end())
+                it = pool.emplace(key, std::make_shared<PdSlot<T>>())
+                         .first;
+            slot = it->second;
+            slot->lastUse = ++useClock;
+        }
+        {
+            std::lock_guard<std::mutex> buildLock(slot->buildMu);
+            if (!slot->pd)
+                slot->pd = build();
+        }
+        std::shared_ptr<const T> out = slot->pd;
+        {
+            std::lock_guard<std::mutex> lock(goldenMu);
+            while (pool.size() > capacity) {
+                auto victim = pool.end();
+                for (auto it = pool.begin(); it != pool.end(); ++it) {
+                    if (it->first == key)
+                        continue;
+                    if (victim == pool.end() ||
+                        it->second->lastUse < victim->second->lastUse)
+                        victim = it;
+                }
+                if (victim == pool.end())
+                    break;
+                pool.erase(victim);
+                ++predecodeEvictions;
+            }
+        }
+        return out;
+    }
 };
 
 VulnerabilityStack::VulnerabilityStack(const EnvConfig &cfg)
@@ -167,8 +238,16 @@ VulnerabilityStack::makePvfCampaign(IsaId isa, const Variant &v)
 {
     ArchConfig acfg;
     acfg.isa = isa;
+    const Program &image = imageFor(v, isa);
+    std::shared_ptr<const ArchPredecode> fast;
+    if (cfg.fastpath && fastPathEnabled()) {
+        fast = cache->predecodeFor(
+            cache->archPd, v.tag() + "/" + isaName(isa),
+            8 * std::max<size_t>(1, cfg.goldenCache),
+            [&] { return predecodeImage(image, isa); });
+    }
     auto campaign =
-        std::make_unique<PvfCampaign>(imageFor(v, isa), acfg);
+        std::make_unique<PvfCampaign>(image, acfg, std::move(fast));
     campaign->setWatchdog(pvfWatchdog(cfg));
     campaign->setCheckpointPolicy(checkpointPolicy(cfg));
     return campaign;
@@ -177,7 +256,19 @@ VulnerabilityStack::makePvfCampaign(IsaId isa, const Variant &v)
 std::unique_ptr<SvfCampaign>
 VulnerabilityStack::makeSvfCampaign(const Variant &v)
 {
-    auto campaign = std::make_unique<SvfCampaign>(irFor(v, 64));
+    const ir::Module &m = irFor(v, 64);
+    std::shared_ptr<const IrPredecode> fast;
+    if (cfg.fastpath && fastPathEnabled()) {
+        // The predecode holds pointers into the module, which lives in
+        // the toolchain cache — never evicted, so the pool entry can't
+        // outlive it.
+        fast = cache->predecodeFor(
+            cache->irPd, v.tag() + "/64",
+            8 * std::max<size_t>(1, cfg.goldenCache),
+            [&] { return predecodeIr(m); });
+    }
+    auto campaign =
+        std::make_unique<SvfCampaign>(m, std::move(fast));
     campaign->setWatchdog(svfWatchdog(cfg));
     campaign->setCheckpointPolicy(checkpointPolicy(cfg));
     return campaign;
@@ -188,6 +279,13 @@ VulnerabilityStack::goldenEvictions() const
 {
     std::lock_guard<std::mutex> lock(cache->goldenMu);
     return cache->goldenEvictions;
+}
+
+uint64_t
+VulnerabilityStack::predecodeEvictions() const
+{
+    std::lock_guard<std::mutex> lock(cache->goldenMu);
+    return cache->predecodeEvictions;
 }
 
 UarchCampaignResult

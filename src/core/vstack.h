@@ -189,6 +189,12 @@ class VulnerabilityStack
      *  each one means redoing a golden run + trace). */
     uint64_t goldenEvictions() const;
 
+    /** Predecode-pool LRU evictions so far.  Predecoded fast-path
+     *  programs live in their own pool with its own (larger) capacity,
+     *  so a handful of big golden traces can never evict every
+     *  predecode — see DESIGN.md §12. */
+    uint64_t predecodeEvictions() const;
+
   private:
     const ir::Module &irForUnlocked(const Variant &v, int xlen);
     const Program &imageForUnlocked(const Variant &v, IsaId isa);

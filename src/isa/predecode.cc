@@ -1,0 +1,44 @@
+#include "predecode.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace vstack
+{
+
+ArchPredecode::ArchPredecode(const Program &image, IsaId isa) : isa_(isa)
+{
+    if (image.segments.empty())
+        return;
+    uint64_t lo = UINT64_MAX, hi = 0;
+    for (const Segment &s : image.segments) {
+        lo = std::min<uint64_t>(lo, s.addr);
+        hi = std::max<uint64_t>(hi, s.addr + s.bytes.size());
+    }
+    base_ = lo & ~3ull;
+    spanBytes_ = ((hi + 3) & ~3ull) - base_;
+    entries_.assign(spanBytes_ / 4, Entry{});
+
+    // Reconstruct each aligned word from segment bytes (segments need
+    // not be word-aligned or contiguous), then decode it.  Words the
+    // image only partially initialises still get predecoded with the
+    // uninitialised bytes as zero — exactly the value a freshly loaded
+    // RAM holds there, so the consumer's live-word compare works out.
+    for (const Segment &s : image.segments) {
+        for (size_t i = 0; i < s.bytes.size(); ++i) {
+            uint64_t addr = s.addr + i;
+            Entry &e = entries_[(addr - base_) >> 2];
+            e.word |= static_cast<uint32_t>(s.bytes[i]) << (8 * (addr & 3));
+        }
+    }
+    for (Entry &e : entries_)
+        e.d = decode(isa, e.word);
+}
+
+std::shared_ptr<const ArchPredecode>
+predecodeImage(const Program &image, IsaId isa)
+{
+    return std::make_shared<const ArchPredecode>(image, isa);
+}
+
+} // namespace vstack

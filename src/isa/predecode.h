@@ -1,0 +1,90 @@
+/**
+ * @file
+ * One-time predecode of a guest program image.
+ *
+ * ArchSim's hot loop pays a full fetch + field-extract + table decode
+ * per instruction even though the text of a workload never changes
+ * between the millions of samples of a campaign.  ArchPredecode hoists
+ * that work out of the loop: one pass over the image's initialised
+ * words produces a dense table of (encoded word, decoded instruction)
+ * covering the image span, built once per (workload, isa) and shared
+ * read-only by every simulator in the process (the VSTACK_GOLDEN_CACHE
+ * LRU keeps it alongside the golden trace).
+ *
+ * Correctness against self-modifying or fault-corrupted text does not
+ * need invalidation bookkeeping: the consumer compares the *live* RAM
+ * word at the PC against the predecoded word and falls back to the
+ * interpreter's decoder on any mismatch (see ArchSim::stepFastTo).
+ * An entry therefore is a pure hint — using it requires proving, with
+ * one 32-bit compare, that it still describes the bytes about to
+ * execute.
+ */
+#ifndef VSTACK_ISA_PREDECODE_H
+#define VSTACK_ISA_PREDECODE_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "isa/isa.h"
+#include "isa/program.h"
+
+namespace vstack
+{
+
+/** Predecoded image text for one (program, isa). Immutable once built;
+ *  safe to share across threads. */
+class ArchPredecode
+{
+  public:
+    /** One predecoded word.  `d.valid` is false both for undefined
+     *  encodings and for addresses the image never initialised (the
+     *  consumer treats either as "no hint"). */
+    struct Entry
+    {
+        uint32_t word = 0;
+        DecodedInst d;
+    };
+
+    /** Predecode every aligned word of the image's segments. */
+    ArchPredecode(const Program &image, IsaId isa);
+
+    IsaId isa() const { return isa_; }
+
+    /**
+     * Hint for the instruction at `pc`, or nullptr when out of span /
+     * unaligned / not predecoded.  The caller must still verify
+     * entry->word against live memory before trusting entry->d.
+     */
+    const Entry *at(uint64_t pc) const
+    {
+        uint64_t off = pc - base_;
+        if (off >= spanBytes_ || (pc & 3))
+            return nullptr;
+        const Entry &e = entries_[off >> 2];
+        return e.d.valid ? &e : nullptr;
+    }
+
+    /** Predecoded instruction-slot count (diagnostics/benchmarks). */
+    size_t slots() const { return entries_.size(); }
+
+    /** Approximate retained bytes (LRU cost accounting). */
+    size_t retainedBytes() const
+    {
+        return entries_.size() * sizeof(Entry) + sizeof(*this);
+    }
+
+  private:
+    IsaId isa_;
+    uint64_t base_ = 0;      ///< lowest predecoded address (aligned)
+    uint64_t spanBytes_ = 0; ///< bytes covered from base_
+    std::vector<Entry> entries_;
+};
+
+/** Build a shared predecode (the form every consumer passes around). */
+std::shared_ptr<const ArchPredecode> predecodeImage(const Program &image,
+                                                    IsaId isa);
+
+} // namespace vstack
+
+#endif // VSTACK_ISA_PREDECODE_H

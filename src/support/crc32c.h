@@ -5,10 +5,30 @@
  * Used to stamp every campaign storage record — journal lines and
  * result-cache entries — so that silent on-disk corruption is
  * *detected and classified* instead of skewing AVF/SVF aggregates the
- * way the SDCs under study would.  CRC-32C is the iSCSI/ext4/Btrfs
- * polynomial (0x1EDC6F41); the implementation is a portable
- * table-driven one (no ISA extensions), fast enough that a checksum
- * per journal line is noise next to the simulation it records.
+ * way the SDCs under study would — and, since the checkpoint
+ * accelerator landed, to digest simulator state at every grid point,
+ * which makes it a hot-loop cost rather than I/O noise.
+ *
+ * Three engines compute the same function (iSCSI/ext4/Btrfs
+ * polynomial 0x1EDC6F41, reflected 0x82f63b78):
+ *
+ *  - crc32cReference(): the original byte-at-a-time table walk.  The
+ *    semantic ground truth; every other engine is checked against it.
+ *  - crc32cSliced(): slicing-by-8 (eight 256-entry tables, one 8-byte
+ *    load per iteration) — portable, ~5-8x the reference.
+ *  - crc32cHardware(): the SSE4.2 `crc32` instruction on x86-64,
+ *    compiled behind a target attribute and only dispatched to after a
+ *    runtime CPUID check — ~10x the sliced engine.
+ *
+ * crc32c() dispatches to the fastest engine available.  The choice is
+ * made once, on first use, and the chosen fast engine is self-checked
+ * against the reference on fixed vectors at selection time: a mismatch
+ * is a broken build (or broken silicon) and aborts rather than letting
+ * every digest, journal stamp, and result-cache checksum silently
+ * disagree with other processes.  When the fast path is disabled
+ * (VSTACK_FASTPATH=0, --no-fastpath; see support/fastpath.h) the
+ * dispatcher pins the reference engine so the escape hatch reproduces
+ * pre-fastpath behavior exactly, cost included.
  */
 #ifndef VSTACK_SUPPORT_CRC32C_H
 #define VSTACK_SUPPORT_CRC32C_H
@@ -20,7 +40,8 @@
 namespace vstack
 {
 
-/** CRC-32C of a byte range (init/xorout per the standard). */
+/** CRC-32C of a byte range (init/xorout per the standard); dispatches
+ *  to the fastest self-checked engine, see file comment. */
 uint32_t crc32c(const void *data, size_t len);
 
 /** CRC-32C of a string's bytes. */
@@ -30,8 +51,39 @@ crc32c(const std::string &s)
     return crc32c(s.data(), s.size());
 }
 
+/** @name Individual engines (benchmarks and equivalence tests) @{ */
+/** Byte-at-a-time table walk — the reference implementation. */
+uint32_t crc32cReference(const void *data, size_t len);
+/** Slicing-by-8 software engine. */
+uint32_t crc32cSliced(const void *data, size_t len);
+/**
+ * SSE4.2 hardware engine.  Only callable when
+ * crc32cHardwareAvailable(); calling it elsewhere is undefined
+ * (SIGILL on a CPU without SSE4.2, abort on non-x86 builds).
+ */
+uint32_t crc32cHardware(const void *data, size_t len);
+/** Whether this build + CPU can run crc32cHardware(). */
+bool crc32cHardwareAvailable();
+/** @} */
+
+/**
+ * The startup self-check, exposed for tests: runs every available
+ * engine over fixed vectors (lengths chosen to cover the alignment
+ * head, the unrolled body, and the tail) and compares against the
+ * reference.  Returns the name of the first disagreeing engine, or
+ * nullptr when all agree.  crc32c() runs this implicitly before the
+ * first fast dispatch and aborts on a mismatch.
+ */
+const char *crc32cSelfCheck();
+
 /** Fixed-width lowercase hex rendering, e.g. "e3069283". */
 std::string crc32cHex(uint32_t crc);
+
+namespace detail
+{
+/** Re-evaluate the engine choice (called by setFastPathEnabled()). */
+void crc32cReselectEngine();
+} // namespace detail
 
 } // namespace vstack
 

@@ -103,6 +103,7 @@ EnvConfig::fromEnvironment()
               "got %g",
               cfg.verifyReplay);
     cfg.checkpoint = envFlagStrict("VSTACK_CHECKPOINT", true);
+    cfg.fastpath = envFlagStrict("VSTACK_FASTPATH", true);
     cfg.checkpoints =
         static_cast<unsigned>(envIntStrict("VSTACK_CHECKPOINTS", 16, 1));
     cfg.verifyCheckpoint =

@@ -106,6 +106,10 @@ struct EnvConfig
     /** Checkpoint/restore fast-forward + early termination (default
      *  on; results are bit-identical either way). */
     bool checkpoint = true;
+    /** Predecoded fast execution path + fast digest pipeline (default
+     *  on; results are bit-identical either way — VSTACK_FASTPATH=0
+     *  is the debugging escape hatch, see support/fastpath.h). */
+    bool fastpath = true;
     /** Checkpoints captured across each golden run. */
     unsigned checkpoints = 16;
     /** Percentage (0..100) of checkpointed samples to re-run cold and

@@ -1,0 +1,42 @@
+#include "fastpath.h"
+
+#include <atomic>
+
+#include "crc32c.h"
+#include "env.h"
+
+namespace vstack
+{
+
+namespace
+{
+
+// -1 = not yet initialised, 0 = off, 1 = on.
+std::atomic<int> state{-1};
+
+} // namespace
+
+bool
+fastPathEnabled()
+{
+    int s = state.load(std::memory_order_relaxed);
+    if (s < 0) {
+        s = envFlagStrict("VSTACK_FASTPATH", true) ? 1 : 0;
+        // First-writer-wins so a concurrent setFastPathEnabled() (or
+        // another lazy init — same value) is not clobbered.
+        int expected = -1;
+        if (!state.compare_exchange_strong(expected, s,
+                                           std::memory_order_relaxed))
+            s = expected;
+    }
+    return s != 0;
+}
+
+void
+setFastPathEnabled(bool on)
+{
+    state.store(on ? 1 : 0, std::memory_order_relaxed);
+    detail::crc32cReselectEngine();
+}
+
+} // namespace vstack

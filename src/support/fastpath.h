@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The process-wide fast-path gate.
+ *
+ * The fast execution path — predecoded threaded-code dispatch in
+ * ArchSim/IrInterp, the staged digest buffers, the sliced/hardware
+ * CRC-32C engines, and the clean-page digest seeding — is bit-exact
+ * by construction and verified by lockstep tests, but debugging a
+ * suspected discrepancy needs a way to hold everything on the
+ * original interpreters.  `VSTACK_FASTPATH=0` (or `--no-fastpath`,
+ * which mirrors `--no-checkpoint`) is that escape hatch: it pins the
+ * reference CRC engine and makes every predecode/staging site fall
+ * back to the pre-fastpath code, so a run under the hatch reproduces
+ * the old engine byte for byte *and* cost for cost.
+ *
+ * Results are byte-identical either way; only wall-clock changes.
+ * The env var is parsed strictly (support/env.h contract): garbage
+ * values are fatal, never a silent fallback.
+ */
+#ifndef VSTACK_SUPPORT_FASTPATH_H
+#define VSTACK_SUPPORT_FASTPATH_H
+
+namespace vstack
+{
+
+/**
+ * Whether the fast path is enabled.  Lazily initialised from
+ * VSTACK_FASTPATH (default on) on first call; cheap afterwards
+ * (one relaxed atomic load).
+ */
+bool fastPathEnabled();
+
+/**
+ * Override the gate (CLI --no-fastpath, tests).  Takes effect for
+ * every *subsequent* predecode/digest decision and atomically swaps
+ * the CRC-32C engine; simulators that already latched a predecoded
+ * program keep it (it is bit-exact, so this only matters for
+ * benchmarking, where engines are constructed after the override).
+ */
+void setFastPathEnabled(bool on);
+
+} // namespace vstack
+
+#endif // VSTACK_SUPPORT_FASTPATH_H

@@ -73,13 +73,17 @@ class ByteSink
   private:
     void putLe(const void *p, size_t n)
     {
-        // Serialize integers byte-by-byte, low byte first, so the
-        // encoding (and hence every digest) is host-endian-independent.
-        const uint8_t *src = static_cast<const uint8_t *>(p);
+        // Serialize integers low byte first, so the encoding (and
+        // hence every digest) is host-endian-independent.  One resize
+        // + direct stores instead of per-byte push_back: digesting
+        // runs this for every register of every grid point, so the
+        // amortized-growth branch per byte was a measurable cost.
         uint64_t v = 0;
-        std::memcpy(&v, src, n);
+        std::memcpy(&v, p, n);
+        const size_t at = buf.size();
+        buf.resize(at + n);
         for (size_t i = 0; i < n; ++i)
-            buf.push_back(static_cast<uint8_t>(v >> (8 * i)));
+            buf[at + i] = static_cast<uint8_t>(v >> (8 * i));
     }
 
     std::vector<uint8_t> buf;

@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "support/crc32c.h"
+#include "support/failpoint.h"
+#include "support/fastpath.h"
 #include "support/logging.h"
 
 namespace vstack
@@ -115,10 +117,44 @@ IrInterp::beginRun()
     ckptDirty.markAll();
     restoreDirty.markAll();
     lastRestored.reset();
+    if (fastPathEnabled())
+        seedPageCrc();
 
     sp = memmap::USER_STACK_TOP;
     stack.clear();
     res = InterpResult{};
+}
+
+/**
+ * Seed the per-page CRC table right after beginRun()'s memset instead
+ * of letting the first stateDigest() walk all of memory: cleared
+ * pages all share one precomputed zero-page CRC, so only the pages
+ * holding global initializers need hashing.  Values are identical to
+ * a full walk — this only moves the work off the first digest and
+ * shrinks it to the initialised footprint.
+ */
+void
+IrInterp::seedPageCrc()
+{
+    static const uint32_t zeroCrc = [] {
+        const std::vector<uint8_t> z(snap::PAGE_SIZE, 0);
+        return crc32c(z.data(), z.size());
+    }();
+    const size_t nPages = mem.size() >> snap::PAGE_SHIFT;
+    pageCrc.assign(nPages, zeroCrc);
+    for (size_t g = 0; g < m.globals.size(); ++g) {
+        if (m.globals[g].init.empty())
+            continue;
+        const size_t p0 = globalAddr[g] >> snap::PAGE_SHIFT;
+        const size_t p1 = (globalAddr[g] + m.globals[g].init.size() +
+                           snap::PAGE_SIZE - 1) >>
+                          snap::PAGE_SHIFT;
+        for (size_t p = p0; p < p1 && p < nPages; ++p)
+            pageCrc[p] = crc32c(mem.data() + p * snap::PAGE_SIZE,
+                                snap::PAGE_SIZE);
+    }
+    digestDirty.clearAll();
+    pageCrcValid = true;
 }
 
 void
@@ -187,10 +223,21 @@ uint32_t
 IrInterp::stateDigest()
 {
     harvestPageCrc();
-    snap::ByteSink s;
-    serializeState(s, /*digest=*/true);
-    s.bytes(pageCrc.data(), pageCrc.size() * sizeof(uint32_t));
-    return crc32c(s.data().data(), s.size());
+    if (!fastPathEnabled()) {
+        // Escape hatch: a fresh sink per digest, like the original
+        // pipeline (same value, original allocation cost).
+        snap::ByteSink s;
+        serializeState(s, /*digest=*/true);
+        s.bytes(pageCrc.data(), pageCrc.size() * sizeof(uint32_t));
+        return crc32c(s.data().data(), s.size());
+    }
+    // Fast path: harvest into the persistent staging buffer (capacity
+    // survives clear(), so steady-state digests allocate nothing) and
+    // CRC it in one pass.
+    digestSink.clear();
+    serializeState(digestSink, /*digest=*/true);
+    digestSink.bytes(pageCrc.data(), pageCrc.size() * sizeof(uint32_t));
+    return crc32c(digestSink.data().data(), digestSink.size());
 }
 
 std::shared_ptr<const InterpSnapshot>
@@ -253,6 +300,39 @@ IrInterp::restore(std::shared_ptr<const InterpSnapshot> snapPtr)
     lastRestored = std::move(snapPtr);
 }
 
+bool
+IrInterp::pushFrame(int funcIdx, int retDst,
+                    const std::vector<uint64_t> &args)
+{
+    auto fail = [&](const std::string &msg) {
+        res.stop = StopReason::Exception;
+        res.error = msg;
+    };
+    const ir::Func &f = m.funcs[funcIdx];
+    Frame fr;
+    fr.funcIdx = funcIdx;
+    fr.retDst = retDst;
+    fr.savedSp = sp;
+    fr.vregs.assign(static_cast<size_t>(f.numVregs), 0);
+    for (size_t i = 0; i < args.size() && i < fr.vregs.size(); ++i)
+        fr.vregs[i] = args[i];
+    for (const ir::LocalArray &arr : f.localArrays) {
+        sp -= static_cast<uint32_t>(arr.bytes);
+        sp &= ~7u;
+        fr.arrayAddr.push_back(sp);
+    }
+    if (sp < memmap::USER_DATA) {
+        fail("stack overflow");
+        return false;
+    }
+    if (stack.size() > 2000) {
+        fail("call depth exceeded");
+        return false;
+    }
+    stack.push_back(std::move(fr));
+    return true;
+}
+
 InterpResult
 IrInterp::exec(const SwFault *fault, uint64_t maxSteps, SwfiTrace *record,
                uint64_t interval, unsigned ckptEvery,
@@ -264,33 +344,6 @@ IrInterp::exec(const SwFault *fault, uint64_t maxSteps, SwfiTrace *record,
     auto fail = [&](const std::string &msg) {
         res.stop = StopReason::Exception;
         res.error = msg;
-    };
-
-    auto pushFrame = [&](int funcIdx, int retDst,
-                         const std::vector<uint64_t> &args) -> bool {
-        const ir::Func &f = m.funcs[funcIdx];
-        Frame fr;
-        fr.funcIdx = funcIdx;
-        fr.retDst = retDst;
-        fr.savedSp = sp;
-        fr.vregs.assign(static_cast<size_t>(f.numVregs), 0);
-        for (size_t i = 0; i < args.size() && i < fr.vregs.size(); ++i)
-            fr.vregs[i] = args[i];
-        for (const ir::LocalArray &arr : f.localArrays) {
-            sp -= static_cast<uint32_t>(arr.bytes);
-            sp &= ~7u;
-            fr.arrayAddr.push_back(sp);
-        }
-        if (sp < memmap::USER_DATA) {
-            fail("stack overflow");
-            return false;
-        }
-        if (stack.size() > 2000) {
-            fail("call depth exceeded");
-            return false;
-        }
-        stack.push_back(std::move(fr));
-        return true;
     };
 
     if (!resume) {
@@ -321,10 +374,48 @@ IrInterp::exec(const SwFault *fault, uint64_t maxSteps, SwfiTrace *record,
                addr + bytes <= memmap::RAM_SIZE && addr % bytes == 0;
     };
 
+    auto recordHook = [&]() {
+        record->digests.push_back(stateDigest());
+        record->outLens.push_back(res.output.size());
+        if (record->digests.size() % ckptEvery == 0)
+            record->checkpoints.push_back(
+                {res.steps, res.valueSteps,
+                 snapshot(record->checkpoints.back().state.get())});
+    };
+
+    // Threaded-code chunks cover the fault-free window: everything
+    // when there is no fault, the pre-injection prefix otherwise.
+    // Execution at or past the injection point stays on the exact
+    // interpreter loop below (DESIGN.md §12).  The chunk pauses at
+    // record-grid boundaries so the recording hooks fire exactly as
+    // they would step-by-step, and a `fastpath.dispatch` failpoint
+    // inhibits chunks for the rest of this run.
+    const uint64_t fence = fault ? fault->targetValueStep : UINT64_MAX;
+    bool fastInhibit = false;
+
     while (res.stop == StopReason::Running) {
         if (res.steps >= maxSteps) {
             res.stop = StopReason::Watchdog;
             break;
+        }
+        if (fastPd && !fastInhibit && res.valueSteps < fence) {
+            if (failpoint("fastpath.dispatch")) {
+                fastInhibit = true;
+            } else {
+                uint64_t stopAt = maxSteps;
+                if (record)
+                    stopAt = std::min(
+                        stopAt,
+                        res.steps + interval - res.steps % interval);
+                execFast(stopAt, fence);
+                if (res.stop != StopReason::Running)
+                    break;
+                if (record && res.steps % interval == 0)
+                    recordHook();
+                // A chunk always makes progress (the entry guards
+                // hold), so looping back cannot spin.
+                continue;
+            }
         }
         Frame &fr = stack.back();
         const ir::Func &f = m.funcs[fr.funcIdx];
@@ -511,14 +602,8 @@ IrInterp::exec(const SwFault *fault, uint64_t maxSteps, SwfiTrace *record,
         if (advance)
             ++stack.back().ip;
 
-        if (record && res.steps % interval == 0) {
-            record->digests.push_back(stateDigest());
-            record->outLens.push_back(res.output.size());
-            if (record->digests.size() % ckptEvery == 0)
-                record->checkpoints.push_back(
-                    {res.steps, res.valueSteps,
-                     snapshot(record->checkpoints.back().state.get())});
-        }
+        if (record && res.steps % interval == 0)
+            recordHook();
 
         if (stopEligible && res.steps % check->interval == 0 &&
             res.valueSteps > fault->targetValueStep &&
@@ -553,6 +638,240 @@ IrInterp::exec(const SwFault *fault, uint64_t maxSteps, SwfiTrace *record,
     if (record)
         record->final = res;
     return res;
+}
+
+/**
+ * The threaded-code chunk.  Dispatches over the flat predecoded
+ * arrays (swfi/predecode.h): one indexed load per step instead of the
+ * func -> block -> inst chain, branch targets as flat indices, and no
+ * advance/terminator bookkeeping.  Semantics are replicated from the
+ * exec() loop op for op — identical masking, identical error strings,
+ * identical dirty-page marking, identical step/valueStep counting —
+ * and the lockstep fuzz in test_interp_unit.cc holds the two loops
+ * equal on random programs.
+ *
+ * The chunk never executes an op once res.valueSteps reaches `fence`
+ * (the injection target), so a fault can never fire inside it; exec()
+ * re-checks the guards and runs the slow loop from the paused
+ * position.
+ */
+void
+IrInterp::execFast(uint64_t stopAtSteps, uint64_t fence)
+{
+    const uint64_t mask = m.xlen == 64 ? ~0ull : 0xffffffffull;
+    const IrPredecode &pd = *fastPd;
+
+    Frame *fr = &stack.back();
+    const IrFastFunc *fc = &pd.func(fr->funcIdx);
+    size_t fi = fc->blockStart[static_cast<size_t>(fr->block)] + fr->ip;
+
+    auto fail = [&](const std::string &msg) {
+        res.stop = StopReason::Exception;
+        res.error = msg;
+    };
+    auto sv = [&](uint64_t v) -> int64_t {
+        return m.xlen == 64
+                   ? static_cast<int64_t>(v)
+                   : static_cast<int64_t>(static_cast<int32_t>(v));
+    };
+    auto memOk = [&](uint64_t addr, unsigned bytes) {
+        return addr >= memmap::USER_BASE &&
+               addr + bytes <= memmap::RAM_SIZE && addr % bytes == 0;
+    };
+
+    while (res.steps < stopAtSteps && res.valueSteps < fence) {
+        const IrFastOp &op = fc->code[fi];
+        ++res.steps;
+
+        auto val = [&](const Value &v) -> uint64_t {
+            return v.isConst ? (static_cast<uint64_t>(v.konst) & mask)
+                             : fr->vregs[static_cast<size_t>(v.vreg)];
+        };
+        auto setDst = [&](uint64_t v) {
+            // No fault check: the fence guarantees the injection
+            // target is never reached inside a chunk.
+            ++res.valueSteps;
+            fr->vregs[static_cast<size_t>(op.dst)] = v & mask;
+        };
+
+        const uint64_t a = op.hasA ? val(op.a) : 0;
+        const uint64_t b = op.hasB ? val(op.b) : 0;
+
+        switch (op.op) {
+          case IrOp::Add: setDst(a + b); ++fi; break;
+          case IrOp::Sub: setDst(a - b); ++fi; break;
+          case IrOp::Mul: setDst(a * b); ++fi; break;
+          case IrOp::UDiv: setDst(b == 0 ? 0 : a / b); ++fi; break;
+          case IrOp::SDiv: {
+            int64_t x = sv(a), y = sv(b);
+            setDst(y == 0 ? 0
+                          : (x == INT64_MIN && y == -1
+                                 ? static_cast<uint64_t>(x)
+                                 : static_cast<uint64_t>(x / y)));
+            ++fi;
+            break;
+          }
+          case IrOp::URem: setDst(b == 0 ? a : a % b); ++fi; break;
+          case IrOp::SRem: {
+            int64_t x = sv(a), y = sv(b);
+            setDst(y == 0 ? static_cast<uint64_t>(x)
+                          : (x == INT64_MIN && y == -1
+                                 ? 0
+                                 : static_cast<uint64_t>(x % y)));
+            ++fi;
+            break;
+          }
+          case IrOp::And: setDst(a & b); ++fi; break;
+          case IrOp::Or: setDst(a | b); ++fi; break;
+          case IrOp::Xor: setDst(a ^ b); ++fi; break;
+          case IrOp::Shl: setDst(a << (b & (m.xlen - 1))); ++fi; break;
+          case IrOp::LShr: setDst(a >> (b & (m.xlen - 1))); ++fi; break;
+          case IrOp::AShr:
+            setDst(static_cast<uint64_t>(sv(a) >> (b & (m.xlen - 1))));
+            ++fi;
+            break;
+          case IrOp::CmpEq: setDst(a == b); ++fi; break;
+          case IrOp::CmpNe: setDst(a != b); ++fi; break;
+          case IrOp::CmpSLt: setDst(sv(a) < sv(b)); ++fi; break;
+          case IrOp::CmpSLe: setDst(sv(a) <= sv(b)); ++fi; break;
+          case IrOp::CmpSGt: setDst(sv(a) > sv(b)); ++fi; break;
+          case IrOp::CmpSGe: setDst(sv(a) >= sv(b)); ++fi; break;
+          case IrOp::CmpULt: setDst(a < b); ++fi; break;
+          case IrOp::CmpUGe: setDst(a >= b); ++fi; break;
+          case IrOp::Mov: setDst(a); ++fi; break;
+          case IrOp::Load: {
+            const uint64_t addr =
+                (a + static_cast<uint64_t>(op.imm)) & mask;
+            if (!memOk(addr, static_cast<unsigned>(op.size))) {
+                fail(strprintf("bad load at 0x%llx",
+                               static_cast<unsigned long long>(addr)));
+                break;
+            }
+            uint64_t v = 0;
+            std::memcpy(&v, mem.data() + addr,
+                        static_cast<size_t>(op.size));
+            setDst(v);
+            ++fi;
+            break;
+          }
+          case IrOp::Store: {
+            const uint64_t addr =
+                (a + static_cast<uint64_t>(op.imm)) & mask;
+            if (!memOk(addr, static_cast<unsigned>(op.size))) {
+                fail(strprintf("bad store at 0x%llx",
+                               static_cast<unsigned long long>(addr)));
+                break;
+            }
+            uint64_t v = b;
+            std::memcpy(mem.data() + addr, &v,
+                        static_cast<size_t>(op.size));
+            const size_t page = addr >> snap::PAGE_SHIFT;
+            digestDirty.mark(page);
+            ckptDirty.mark(page);
+            restoreDirty.mark(page);
+            ++fi;
+            break;
+          }
+          case IrOp::AddrGlobal:
+            setDst(globalAddr[static_cast<size_t>(op.globalId)] +
+                   static_cast<uint64_t>(op.imm));
+            ++fi;
+            break;
+          case IrOp::AddrLocal:
+            setDst(fr->arrayAddr[static_cast<size_t>(op.localId)] +
+                   static_cast<uint64_t>(op.imm));
+            ++fi;
+            break;
+          case IrOp::Call: {
+            std::vector<uint64_t> args;
+            for (const Value &arg : op.src->args)
+                args.push_back(val(arg));
+            // Suspend the caller past the call (what ++fr.ip does in
+            // the slow loop) before the stack may reallocate.
+            fr->block = op.block;
+            fr->ip = op.ip + 1;
+            if (!pushFrame(op.callee, op.dst, args))
+                break;
+            fr = &stack.back();
+            fc = &pd.func(fr->funcIdx);
+            fi = 0; // entry block 0, ip 0
+            break;
+          }
+          case IrOp::Syscall: {
+            const uint64_t s0 =
+                !op.src->args.empty() ? val(op.src->args[0]) : 0;
+            const uint64_t s1 =
+                op.src->args.size() > 1 ? val(op.src->args[1]) : 0;
+            uint64_t ret = 0;
+            switch (static_cast<Syscall>(op.sysNr)) {
+              case Syscall::Write: {
+                if (s0 < memmap::USER_BASE ||
+                    s0 + s1 > memmap::RAM_SIZE || s1 > 65536) {
+                    ret = static_cast<uint64_t>(-1);
+                    break;
+                }
+                res.output.insert(res.output.end(), mem.data() + s0,
+                                  mem.data() + s0 + s1);
+                ret = s1;
+                break;
+              }
+              case Syscall::Exit:
+                res.exitCode = static_cast<uint32_t>(s0);
+                res.stop = StopReason::Exited;
+                break;
+              case Syscall::Detect:
+                res.detectCode = static_cast<uint32_t>(s0);
+                res.stop = StopReason::DetectHit;
+                break;
+              default:
+                ret = static_cast<uint64_t>(-38);
+                break;
+            }
+            if (op.dst >= 0)
+                setDst(ret);
+            if (res.stop == StopReason::Running)
+                ++fi;
+            break;
+          }
+          case IrOp::CacheClean:
+            ++fi;
+            break;
+          case IrOp::Br:
+            fi = op.target0;
+            break;
+          case IrOp::CondBr:
+            fi = a != 0 ? op.target0 : op.target1;
+            break;
+          case IrOp::Ret: {
+            const uint64_t rv = op.hasA ? a : 0;
+            const int retDst = fr->retDst;
+            sp = fr->savedSp;
+            stack.pop_back();
+            if (stack.empty()) {
+                res.exitCode = static_cast<uint32_t>(rv);
+                res.stop = StopReason::Exited;
+                break;
+            }
+            if (retDst >= 0)
+                stack.back().vregs[static_cast<size_t>(retDst)] =
+                    rv & mask;
+            fr = &stack.back();
+            fc = &pd.func(fr->funcIdx);
+            fi = fc->blockStart[static_cast<size_t>(fr->block)] + fr->ip;
+            break;
+          }
+        }
+
+        if (res.stop != StopReason::Running)
+            return; // stopped mid-chunk; frame positions unobservable
+    }
+
+    // Paused (grid boundary / fence) while still running: make the
+    // live frame's resume position visible to the slow loop and the
+    // state serializers.
+    const IrFastOp &cur = fc->code[fi];
+    fr->block = cur.block;
+    fr->ip = cur.ip;
 }
 
 } // namespace vstack

@@ -28,6 +28,7 @@
 #include "machine/memmap.h"
 #include "machine/outcome.h"
 #include "support/snapshot.h"
+#include "swfi/predecode.h"
 
 namespace vstack
 {
@@ -125,6 +126,28 @@ class IrInterp
     InterpResult runWithTrace(const SwFault &fault, uint64_t maxSteps,
                               const SwfiTrace &trace, bool earlyStop);
 
+    /** @name Predecoded fast path @{ */
+    /**
+     * Attach a predecode of this interpreter's module (shared,
+     * immutable; nullptr detaches).  Purely a speed hint: execution is
+     * bit-identical with or without it.  The fault-free window of
+     * every run — all of run()/runRecording(), and the pre-fault
+     * prefix of runWithFault()/runWithTrace() — then executes in
+     * flat threaded-code chunks (execFast); everything at or past the
+     * injection point stays on the exact interpreter loop (DESIGN.md
+     * §12).  The `fastpath.dispatch` failpoint forces the slow loop
+     * for the rest of the current run.
+     */
+    void setFastPath(std::shared_ptr<const IrPredecode> pd)
+    {
+        fastPd = std::move(pd);
+    }
+    const std::shared_ptr<const IrPredecode> &fastPath() const
+    {
+        return fastPd;
+    }
+    /** @} */
+
   private:
     struct Frame
     {
@@ -143,11 +166,18 @@ class IrInterp
     void restore(std::shared_ptr<const InterpSnapshot> snap);
     uint32_t stateDigest();
     void harvestPageCrc();
+    void seedPageCrc();
     void serializeState(snap::ByteSink &s, bool digest) const;
+    bool pushFrame(int funcIdx, int retDst,
+                   const std::vector<uint64_t> &args);
     InterpResult exec(const SwFault *fault, uint64_t maxSteps,
                       SwfiTrace *record, uint64_t interval,
                       unsigned ckptEvery, const SwfiTrace *check,
                       bool earlyStop, bool resume);
+    /** Threaded-code chunk: execute until res.steps reaches
+     *  stopAtSteps, res.valueSteps reaches fence, or the run stops.
+     *  @pre fastPd attached, stack nonempty, res running. */
+    void execFast(uint64_t stopAtSteps, uint64_t fence);
 
     const ir::Module &m;
     std::vector<uint32_t> globalAddr; ///< assigned global addresses
@@ -168,6 +198,10 @@ class IrInterp
     snap::DirtyMap ckptDirty{memmap::RAM_SIZE >> snap::PAGE_SHIFT};
     snap::DirtyMap restoreDirty{memmap::RAM_SIZE >> snap::PAGE_SHIFT};
     std::shared_ptr<const InterpSnapshot> lastRestored;
+
+    std::shared_ptr<const IrPredecode> fastPd;
+    /** Staging buffer reused across stateDigest() calls (fast path). */
+    snap::ByteSink digestSink;
 };
 
 } // namespace vstack

@@ -1,0 +1,78 @@
+#include "predecode.h"
+
+namespace vstack
+{
+
+IrPredecode::IrPredecode(const ir::Module &m)
+{
+    funcs_.resize(m.funcs.size());
+    for (size_t fn = 0; fn < m.funcs.size(); ++fn) {
+        const ir::Func &f = m.funcs[fn];
+        IrFastFunc &out = funcs_[fn];
+        out.blockStart.resize(f.blocks.size());
+        uint32_t at = 0;
+        for (size_t b = 0; b < f.blocks.size(); ++b) {
+            out.blockStart[b] = at;
+            at += static_cast<uint32_t>(f.blocks[b].insts.size());
+        }
+        out.code.reserve(at);
+        for (size_t b = 0; b < f.blocks.size(); ++b) {
+            const auto &insts = f.blocks[b].insts;
+            for (size_t i = 0; i < insts.size(); ++i) {
+                const ir::Inst &inst = insts[i];
+                IrFastOp op;
+                op.op = inst.op;
+                op.dst = inst.dst;
+                op.hasA = inst.hasA;
+                op.hasB = inst.hasB;
+                op.a = inst.a;
+                op.b = inst.b;
+                op.imm = inst.imm;
+                op.size = inst.size;
+                if (inst.op == ir::IrOp::Br ||
+                    inst.op == ir::IrOp::CondBr) {
+                    op.target0 = out.blockStart[static_cast<size_t>(
+                        inst.target0)];
+                    if (inst.op == ir::IrOp::CondBr)
+                        op.target1 = out.blockStart[static_cast<size_t>(
+                            inst.target1)];
+                }
+                op.callee = inst.callee;
+                op.sysNr = inst.sysNr;
+                op.globalId = inst.globalId;
+                op.localId = inst.localId;
+                op.src = &inst;
+                op.block = static_cast<int>(b);
+                op.ip = static_cast<uint32_t>(i);
+                out.code.push_back(op);
+            }
+        }
+    }
+}
+
+size_t
+IrPredecode::totalOps() const
+{
+    size_t n = 0;
+    for (const IrFastFunc &f : funcs_)
+        n += f.code.size();
+    return n;
+}
+
+size_t
+IrPredecode::retainedBytes() const
+{
+    size_t n = sizeof(*this);
+    for (const IrFastFunc &f : funcs_)
+        n += f.code.size() * sizeof(IrFastOp) +
+             f.blockStart.size() * sizeof(uint32_t);
+    return n;
+}
+
+std::shared_ptr<const IrPredecode>
+predecodeIr(const ir::Module &m)
+{
+    return std::make_shared<const IrPredecode>(m);
+}
+
+} // namespace vstack

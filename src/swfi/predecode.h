@@ -1,0 +1,94 @@
+/**
+ * @file
+ * One-time predecode of an IR module into threaded-code superblocks.
+ *
+ * IrInterp's hot loop walks func -> block -> inst vectors on every
+ * step and re-branches on block/ip bookkeeping that never changes
+ * between the thousands of samples of a campaign.  IrPredecode lowers
+ * each function once into a flat array of IrFastOp records — the
+ * blocks of a function laid end to end (each block a "superblock" run
+ * ending at its terminator), branch targets pre-resolved to flat
+ * indices, and every operand/field of the source instruction copied
+ * into one cache-friendly record.  The interpreter's fast chunk
+ * (IrInterp::execFast) then dispatches on a single indexed load per
+ * step.
+ *
+ * The predecode is pure derived data: it references the source
+ * Module (IrFastOp::src points into it for call/syscall argument
+ * lists) and must not outlive it.  Built once per workload and shared
+ * read-only by every interpreter in the process; the
+ * VSTACK_GOLDEN_CACHE LRU keeps it alongside the golden trace.
+ */
+#ifndef VSTACK_SWFI_PREDECODE_H
+#define VSTACK_SWFI_PREDECODE_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "compiler/ir.h"
+
+namespace vstack
+{
+
+/** One predecoded IR instruction (see file comment). */
+struct IrFastOp
+{
+    ir::IrOp op;
+    int dst = -1;
+    bool hasA = false;
+    bool hasB = false;
+    ir::Value a{};
+    ir::Value b{};
+    int64_t imm = 0;
+    int size = 0;
+    uint32_t target0 = 0; ///< flat index of branch target 0
+    uint32_t target1 = 0; ///< flat index of branch target 1
+    int callee = -1;
+    uint32_t sysNr = 0;
+    int globalId = 0;
+    int localId = 0;
+    /** Source instruction (argument lists for Call/Syscall). */
+    const ir::Inst *src = nullptr;
+    /** Source coordinates, for writing a paused position back into
+     *  the interpreter's Frame (block, ip). */
+    int block = 0;
+    uint32_t ip = 0;
+};
+
+/** One function's flattened code. */
+struct IrFastFunc
+{
+    std::vector<IrFastOp> code;
+    /** blockStart[b] = flat index of block b's first instruction. */
+    std::vector<uint32_t> blockStart;
+};
+
+/** Immutable once built; safe to share across threads. */
+class IrPredecode
+{
+  public:
+    explicit IrPredecode(const ir::Module &m);
+
+    const IrFastFunc &func(int idx) const
+    {
+        return funcs_[static_cast<size_t>(idx)];
+    }
+
+    /** Total predecoded ops (diagnostics/benchmarks). */
+    size_t totalOps() const;
+
+    /** Approximate retained bytes (LRU cost accounting). */
+    size_t retainedBytes() const;
+
+  private:
+    std::vector<IrFastFunc> funcs_;
+};
+
+/** Build a shared predecode (the form every consumer passes around).
+ *  @pre `m` outlives the returned predecode. */
+std::shared_ptr<const IrPredecode> predecodeIr(const ir::Module &m);
+
+} // namespace vstack
+
+#endif // VSTACK_SWFI_PREDECODE_H

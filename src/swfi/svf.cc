@@ -3,14 +3,20 @@
 #include <algorithm>
 #include <memory>
 
+#include "support/fastpath.h"
 #include "support/logging.h"
 #include "support/rng.h"
 
 namespace vstack
 {
 
-SvfCampaign::SvfCampaign(const ir::Module &mod) : m(mod), interp(mod)
+SvfCampaign::SvfCampaign(const ir::Module &mod,
+                         std::shared_ptr<const IrPredecode> fast)
+    : m(mod), fastPd_(std::move(fast)), interp(mod)
 {
+    if (!fastPd_ && fastPathEnabled())
+        fastPd_ = predecodeIr(m);
+    interp.setFastPath(fastPd_);
     golden_ = interp.run();
     if (golden_.stop != StopReason::Exited)
         throw GoldenRunError(
@@ -117,7 +123,9 @@ SvfDriver::prepare()
 std::unique_ptr<exec::LayerDriver::Ctx>
 SvfDriver::makeCtx() const
 {
-    return std::make_unique<SvfCtx>(campaign.m);
+    auto ctx = std::make_unique<SvfCtx>(campaign.m);
+    ctx->interp.setFastPath(campaign.fastPath());
+    return ctx;
 }
 
 Json

@@ -32,9 +32,24 @@ namespace vstack
 class SvfCampaign
 {
   public:
-    /** Runs the golden execution on construction.
-     *  @throws GoldenRunError if it does not exit cleanly */
-    explicit SvfCampaign(const ir::Module &m);
+    /**
+     * Runs the golden execution on construction — on the predecoded
+     * fast path when enabled (results are bit-identical either way).
+     * @param fast  shared predecode of `m` (the golden cache hands
+     *              this in so repeat campaigns predecode once); when
+     *              null and the fast path is enabled, the campaign
+     *              builds its own
+     * @throws GoldenRunError if it does not exit cleanly
+     */
+    explicit SvfCampaign(const ir::Module &m,
+                         std::shared_ptr<const IrPredecode> fast = nullptr);
+
+    /** The predecode every interpreter of this campaign dispatches
+     *  through (null when the fast path is disabled). */
+    const std::shared_ptr<const IrPredecode> &fastPath() const
+    {
+        return fastPd_;
+    }
 
     const InterpResult &golden() const { return golden_; }
 
@@ -83,6 +98,7 @@ class SvfCampaign
     Outcome classify(const InterpResult &r) const;
 
     const ir::Module &m;
+    std::shared_ptr<const IrPredecode> fastPd_;
     IrInterp interp; ///< reused across serial injections
     InterpResult golden_;
     exec::WatchdogBudget watchdog{4.0, 100'000};

@@ -7,6 +7,7 @@
 
 #include "exec/error.h"
 #include "support/crc32c.h"
+#include "support/fastpath.h"
 #include "support/logging.h"
 #include "support/snapshot.h"
 
@@ -269,6 +270,8 @@ struct CycleSim::Impl
         pageCrcValid = false;
         ckptDirty.markAll();
         lastRestored.reset();
+        if (fastPathEnabled())
+            seedPageCrc(image);
     }
 
     void fail(Exc e, const Uop &u)
@@ -285,11 +288,47 @@ struct CycleSim::Impl
      *  PhysMem's digest dirty map. */
     std::vector<uint32_t> pageCrc;
     bool pageCrcValid = false;
+    /** Persistent staging buffer for stateDigest(): reused across
+     *  digests so the K×4 grid never reallocates.  Only used on the
+     *  fast path — the escape hatch keeps the historical fresh-sink
+     *  cost model. */
+    snap::ByteSink digestSink;
     /** Pages modified since the last takeSnapshot (checkpoint COW). */
     snap::DirtyMap ckptDirty{memmap::RAM_SIZE >> snap::PAGE_SHIFT};
     /** Snapshot most recently restored into this simulator; lets the
      *  next restore copy only pages that actually changed. */
     std::shared_ptr<const UarchSnapshot> lastRestored;
+
+    /** Seed the per-page CRC table right after mem.load() instead of
+     *  letting the first stateDigest() walk all of RAM: freshly
+     *  cleared pages all share one precomputed zero-page CRC, so only
+     *  pages the image actually initialises need hashing.  Values are
+     *  identical to a full walk.  reset() has already marked ckptDirty
+     *  wholesale, so checkpoint capture is unaffected. */
+    void seedPageCrc(const Program &image)
+    {
+        static const uint32_t zeroCrc = [] {
+            const std::vector<uint8_t> z(snap::PAGE_SIZE, 0);
+            return crc32c(z.data(), z.size());
+        }();
+        const size_t nPages = mem.numPages();
+        pageCrc.assign(nPages, zeroCrc);
+        std::vector<bool> touched(nPages, false);
+        for (const Segment &s : image.segments) {
+            const size_t p0 = s.addr >> snap::PAGE_SHIFT;
+            const size_t p1 =
+                (s.addr + s.bytes.size() + snap::PAGE_SIZE - 1) >>
+                snap::PAGE_SHIFT;
+            for (size_t p = p0; p < p1 && p < nPages; ++p)
+                touched[p] = true;
+        }
+        for (size_t p = 0; p < nPages; ++p)
+            if (touched[p])
+                pageCrc[p] = crc32c(mem.data() + p * snap::PAGE_SIZE,
+                                    snap::PAGE_SIZE);
+        mem.digestDirty().clearAll();
+        pageCrcValid = true;
+    }
 
     void harvestPageCrc()
     {
@@ -717,10 +756,20 @@ struct CycleSim::Impl
     uint32_t stateDigest()
     {
         harvestPageCrc();
-        snap::ByteSink s;
-        serializeState(s, /*digest=*/true);
-        s.bytes(pageCrc.data(), pageCrc.size() * sizeof(uint32_t));
-        return crc32c(s.data().data(), s.size());
+        if (!fastPathEnabled()) {
+            // Escape hatch: the historical cost model — a fresh sink
+            // per digest.  Bytes (and therefore digests) are identical
+            // to the staged path.
+            snap::ByteSink s;
+            serializeState(s, /*digest=*/true);
+            s.bytes(pageCrc.data(), pageCrc.size() * sizeof(uint32_t));
+            return crc32c(s.data().data(), s.size());
+        }
+        digestSink.clear();
+        serializeState(digestSink, /*digest=*/true);
+        digestSink.bytes(pageCrc.data(),
+                         pageCrc.size() * sizeof(uint32_t));
+        return crc32c(digestSink.data().data(), digestSink.size());
     }
 
     std::shared_ptr<const UarchSnapshot> takeSnapshot(

@@ -6,9 +6,13 @@
  */
 #include <gtest/gtest.h>
 
+#include <random>
+#include <sstream>
+
 #include "arch/archsim.h"
 #include "arch/pvf.h"
 #include "isa/assembler.h"
+#include "support/failpoint.h"
 #include "support/logging.h"
 
 namespace vstack
@@ -191,6 +195,203 @@ TEST(ArchUnit, DivByZeroDoesNotFault)
 )", memmap::MMIO_EXIT_CODE));
     ASSERT_EQ(r.stop, StopReason::Exited) << r.exceptionMsg;
     EXPECT_EQ(r.output.exitCode, 10u); // x % 0 == x
+}
+
+/**
+ * Random but always-terminating assembler program: straight-line ALU
+ * work over x1..x6, loads/stores into a scratch window at 0x2000, and
+ * forward-only branches to interleaved labels, closed with halt.
+ * Divides are included deliberately (x/0 == 0, x%0 == x are defined),
+ * so any decoded instruction the generator emits is legal.
+ */
+std::string
+randomProgram(std::mt19937 &rng, int lines)
+{
+    auto pick = [&](auto &arr) { return arr[rng() % std::size(arr)]; };
+    static const char *rrr[] = {"add",  "sub",  "mul",  "and",
+                                "orr",  "eor",  "sltu", "slt",
+                                "udiv", "sdiv", "urem", "srem",
+                                "lslv", "lsrv", "asrv"};
+    static const char *rri[] = {"addi", "andi", "orri", "eori", "slti"};
+    static const char *sft[] = {"lsli", "lsri", "asri"};
+    std::ostringstream os;
+    os << "        li x7, #0x2000\n";
+    for (int r = 1; r <= 6; ++r)
+        os << strprintf("        li x%d, #0x%x\n", r,
+                        static_cast<unsigned>(rng() & 0x7fffffff));
+    // Labels L0..: `emitted` are already placed, `needed` is one past
+    // the highest referenced.  Branches always reference L<emitted>,
+    // which by construction is still ahead of the cursor, so every
+    // branch is strictly forward and the program must reach halt.
+    int emitted = 0, needed = 0;
+    for (int i = 0; i < lines; ++i) {
+        if (i % 7 == 6 && emitted < needed)
+            os << strprintf("L%d:\n", emitted++);
+        int rd = 1 + static_cast<int>(rng() % 6);
+        int ra = 1 + static_cast<int>(rng() % 6);
+        int rb = 1 + static_cast<int>(rng() % 6);
+        switch (rng() % 8) {
+          case 0:
+          case 1:
+          case 2:
+            os << strprintf("        %s x%d, x%d, x%d\n", pick(rrr),
+                            rd, ra, rb);
+            break;
+          case 3:
+            os << strprintf("        %s x%d, x%d, #%d\n", pick(rri),
+                            rd, ra, static_cast<int>(rng() % 1001) - 500);
+            break;
+          case 4:
+            os << strprintf("        %s x%d, x%d, #%u\n", pick(sft),
+                            rd, ra, static_cast<unsigned>(rng() % 64));
+            break;
+          case 5:
+            os << strprintf("        stx x%d, [x7, #%u]\n", rd,
+                            static_cast<unsigned>(rng() % 32) * 8);
+            break;
+          case 6:
+            os << strprintf("        ldx x%d, [x7, #%u]\n", rd,
+                            static_cast<unsigned>(rng() % 32) * 8);
+            break;
+          case 7: {
+            static const char *br[] = {"beq", "bne", "blt", "bgeu"};
+            os << strprintf("        %s x%d, x%d, L%d\n", pick(br),
+                            ra, rb, emitted);
+            needed = std::max(needed, emitted + 1);
+            break;
+          }
+        }
+    }
+    while (emitted < needed)
+        os << strprintf("L%d:\n", emitted++);
+    os << "        halt\n";
+    return os.str();
+}
+
+Program
+assembleBare(const std::string &body)
+{
+    const std::string src = strprintf(R"(
+        .isa av64
+        .org 0x%x
+_start:
+%s
+)", memmap::BOOT_VECTOR, body.c_str());
+    AsmResult as = assemble(src, IsaId::Av64, memmap::BOOT_VECTOR);
+    EXPECT_TRUE(as.ok) << as.error << "\n" << src;
+    as.program.entry = memmap::BOOT_VECTOR;
+    return as.program;
+}
+
+/**
+ * Lockstep fuzz of the predecoded fast path: the same random program
+ * on two emulators, one stepping the plain interpreter and one driven
+ * through stepFastTo() in random-size chunks.  At every sync point the
+ * entire architectural state must agree — registers, pc, instruction
+ * counts, and the full state digest — and the final stop reason and
+ * exception text must match.
+ */
+TEST(ArchFastPath, LockstepFuzzAgainstInterpreter)
+{
+    std::mt19937 rng(0xf157f00du);
+    for (int iter = 0; iter < 25; ++iter) {
+        Program prog =
+            assembleBare(randomProgram(rng, 40 + iter * 2));
+        ArchConfig cfg;
+        cfg.maxInsts = 100'000;
+        ArchSim slow(cfg), fast(cfg);
+        slow.load(prog);
+        fast.load(prog);
+        fast.setFastPath(predecodeImage(prog, IsaId::Av64));
+        bool running = true;
+        while (running) {
+            running = fast.stepFastTo(fast.instCount() + 1 +
+                                      rng() % 37);
+            while (slow.instCount() < fast.instCount() && slow.step())
+                ;
+            ASSERT_EQ(slow.instCount(), fast.instCount()) << iter;
+            ASSERT_EQ(slow.pc(), fast.pc()) << iter;
+            for (int r = 0; r < 32; ++r)
+                ASSERT_EQ(slow.readReg(r), fast.readReg(r))
+                    << "x" << r << " iter " << iter;
+            ASSERT_EQ(slow.stateDigest(), fast.stateDigest()) << iter;
+        }
+        EXPECT_EQ(slow.stopReason(), fast.stopReason()) << iter;
+        EXPECT_EQ(slow.exceptionMsg(), fast.exceptionMsg()) << iter;
+        EXPECT_NE(fast.stopReason(), StopReason::Watchdog)
+            << "generator must terminate, iter " << iter;
+    }
+}
+
+/**
+ * Self-modifying text invalidates a predecoded hint: the program
+ * overwrites an upcoming instruction (addi #1 -> addi #42), so the
+ * fast path's live-word compare must reject the stale entry and
+ * decode the new word.  Lockstep against the plain interpreter.
+ */
+TEST(ArchFastPath, SelfModifiedTextRejectsStaleHint)
+{
+    const std::string body = R"(
+        la  x7, patch
+        la  x8, slot
+        ldw x1, [x7, #0]
+        stw x1, [x8, #0]
+slot:
+        addi x5, x0, #1
+        b done
+patch:
+        addi x5, x0, #42
+done:
+        halt
+)";
+    Program prog = assembleBare(body);
+    ArchConfig cfg;
+    ArchSim slow(cfg), fast(cfg);
+    slow.load(prog);
+    fast.load(prog);
+    fast.setFastPath(predecodeImage(prog, IsaId::Av64));
+    ArchRunResult rs = slow.run();
+    while (fast.stepFastTo(fast.instCount() + 3))
+        ;
+    ASSERT_EQ(rs.stop, StopReason::Exited);
+    EXPECT_EQ(slow.readReg(5), 42u) << "patched instruction executed";
+    EXPECT_EQ(fast.readReg(5), slow.readReg(5));
+    EXPECT_EQ(fast.instCount(), rs.instCount);
+    EXPECT_EQ(fast.stateDigest(), slow.stateDigest());
+}
+
+/**
+ * The fastpath.dispatch failpoint pins a run to the fallback decoder;
+ * the result must be byte-identical to the predecoded run's (the
+ * fast path is a pure speed hint).
+ */
+TEST(ArchFastPath, DispatchFailpointIsByteIdentical)
+{
+    std::mt19937 rng(0xdeadbeefu);
+    Program prog = assembleBare(randomProgram(rng, 60));
+    auto pd = predecodeImage(prog, IsaId::Av64);
+    ArchConfig cfg;
+
+    ArchSim fast(cfg);
+    fast.load(prog);
+    fast.setFastPath(pd);
+    while (fast.stepFastTo(fast.instCount() + 64))
+        ;
+
+    armFailpoints("fastpath.dispatch=1000000");
+    ArchSim pinned(cfg);
+    pinned.load(prog);
+    pinned.setFastPath(pd);
+    while (pinned.stepFastTo(pinned.instCount() + 64))
+        ;
+    uint64_t fires = failpointFires("fastpath.dispatch");
+    clearFailpoints();
+
+    EXPECT_GT(fires, 0u) << "failpoint must have forced the fallback";
+    EXPECT_EQ(pinned.instCount(), fast.instCount());
+    EXPECT_EQ(pinned.pc(), fast.pc());
+    EXPECT_EQ(pinned.stopReason(), fast.stopReason());
+    EXPECT_EQ(pinned.stateDigest(), fast.stateDigest());
 }
 
 } // namespace

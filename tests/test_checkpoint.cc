@@ -15,6 +15,7 @@
 #include "compiler/compile.h"
 #include "gefin/campaign.h"
 #include "kernel/kernel.h"
+#include "support/fastpath.h"
 #include "support/logging.h"
 #include "swfi/svf.h"
 #include "workloads/workloads.h"
@@ -354,6 +355,57 @@ TEST(CheckpointSvfTest, VerifyCheckpointDetectsForcedDivergence)
     campaign.ensureTrace();
     const_cast<InterpResult &>(campaign.trace().final).exitCode ^= 0x40;
     EXPECT_THROW(campaign.run(40, 13), CheckpointDivergence);
+}
+
+// ---- fast-path escape hatch --------------------------------------------
+
+/** Densifying the restore grid must not move the digest grid: early
+ *  termination decisions depend only on checkpoints x
+ *  digestsPerCheckpoint, which densify() keeps invariant. */
+TEST(FastPathEscapeHatch, DensifyKeepsDigestGridInvariant)
+{
+    exec::CheckpointPolicy sparse, dense;
+    dense.densify(true);
+    EXPECT_EQ(dense.checkpoints,
+              sparse.checkpoints * sparse.digestsPerCheckpoint);
+    EXPECT_EQ(dense.digestsPerCheckpoint, 1u);
+    for (uint64_t units : {1ull, 997ull, 50'000ull, 2'000'000ull})
+        EXPECT_EQ(dense.digestInterval(units),
+                  sparse.digestInterval(units))
+            << units;
+
+    exec::CheckpointPolicy hatch;
+    hatch.densify(false);
+    EXPECT_EQ(hatch.checkpoints, sparse.checkpoints);
+    EXPECT_EQ(hatch.digestsPerCheckpoint, sparse.digestsPerCheckpoint);
+}
+
+/**
+ * The whole escape hatch at campaign granularity: a campaign built
+ * and run with the fast path on (hardware CRC, staged digests, dense
+ * restore grid) must produce results identical to one built and run
+ * under VSTACK_FASTPATH=0 semantics (reference CRC, pre-fastpath
+ * digesting, sparse grid).  This is the test behind the doctrine that
+ * the hatch changes cost, never results.
+ */
+TEST(FastPathEscapeHatch, UarchCampaignIdenticalHatchOpenOrClosed)
+{
+    const Program image = systemImage("sha", IsaId::Av64);
+    const bool was = fastPathEnabled();
+
+    setFastPathEnabled(true);
+    UarchCampaign fast(coreByName("ax72"), image);
+    exec::CheckpointPolicy dense;
+    dense.densify(true);
+    fast.setCheckpointPolicy(dense);
+    const auto fr = fast.run(Structure::RF, 32, 11);
+
+    setFastPathEnabled(false);
+    UarchCampaign slow(coreByName("ax72"), image);
+    const auto sr = slow.run(Structure::RF, 32, 11);
+
+    setFastPathEnabled(was);
+    EXPECT_TRUE(fr == sr);
 }
 
 } // namespace

@@ -6,8 +6,13 @@
  */
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "compiler/compile.h"
+#include "support/failpoint.h"
+#include "support/logging.h"
 #include "swfi/interp.h"
+#include "workloads/workloads.h"
 
 namespace vstack
 {
@@ -151,6 +156,105 @@ TEST(Interp, OutputMatchesWriteCalls)
     IrInterp interp(m);
     InterpResult r = interp.run();
     EXPECT_EQ(std::string(r.output.begin(), r.output.end()), "foobar");
+}
+
+void
+expectSameResult(const InterpResult &a, const InterpResult &b,
+                 const std::string &what)
+{
+    EXPECT_EQ(a.stop, b.stop) << what;
+    EXPECT_EQ(a.error, b.error) << what;
+    EXPECT_EQ(a.steps, b.steps) << what;
+    EXPECT_EQ(a.valueSteps, b.valueSteps) << what;
+    EXPECT_EQ(a.output, b.output) << what;
+    EXPECT_EQ(a.exitCode, b.exitCode) << what;
+    EXPECT_EQ(a.detectCode, b.detectCode) << what;
+}
+
+/**
+ * Threaded-code dispatch vs the plain interpreter loop on real
+ * workloads: fault-free runs and the recorded golden traces (digest
+ * grid, output marks, checkpoint placement) must be identical in
+ * every observable field.
+ */
+TEST(InterpFastPath, GoldenRunsAndTracesMatchSlow)
+{
+    for (const char *name : {"fft", "qsort", "sha"}) {
+        mcl::FrontendResult fr =
+            mcl::compileToIr(findWorkload(name).source, 64);
+        ASSERT_TRUE(fr.ok) << fr.error;
+        IrInterp slow(fr.module), fast(fr.module);
+        fast.setFastPath(predecodeIr(fr.module));
+        expectSameResult(slow.run(), fast.run(), name);
+
+        SwfiTrace ts, tf;
+        InterpResult rs = slow.runRecording(80'000'000, ts, 500, 4);
+        InterpResult rf = fast.runRecording(80'000'000, tf, 500, 4);
+        expectSameResult(rs, rf, std::string(name) + " recording");
+        EXPECT_EQ(ts.digests, tf.digests) << name;
+        EXPECT_EQ(ts.outLens, tf.outLens) << name;
+        ASSERT_EQ(ts.checkpoints.size(), tf.checkpoints.size()) << name;
+        for (size_t i = 0; i < ts.checkpoints.size(); ++i)
+            EXPECT_EQ(ts.checkpoints[i].steps, tf.checkpoints[i].steps)
+                << name << " ckpt " << i;
+    }
+}
+
+/**
+ * Lockstep fuzz of injected runs: faults across the value-step range
+ * and bit positions, executed cold (runWithFault) and fast-forwarded
+ * with early stop (runWithTrace), fast path vs slow loop.  The fast
+ * prefix ends at the injection point, so any drift in where the
+ * threaded code hands back to the exact interpreter shows up here.
+ */
+TEST(InterpFastPath, FaultRunsMatchSlowAcrossValueSteps)
+{
+    mcl::FrontendResult fr =
+        mcl::compileToIr(findWorkload("qsort").source, 64);
+    ASSERT_TRUE(fr.ok) << fr.error;
+    IrInterp slow(fr.module), fast(fr.module);
+    fast.setFastPath(predecodeIr(fr.module));
+
+    SwfiTrace trace;
+    InterpResult golden = slow.runRecording(80'000'000, trace, 500, 4);
+    ASSERT_EQ(golden.stop, StopReason::Exited);
+    const uint64_t vs = golden.valueSteps;
+
+    std::mt19937 rng(0x5eedu);
+    for (int i = 0; i < 24; ++i) {
+        SwFault f;
+        f.targetValueStep = i == 0 ? 0 : rng() % (vs + vs / 8 + 1);
+        f.bit = static_cast<int>(rng() % 64);
+        const std::string what = strprintf(
+            "fault @%llu bit %d",
+            static_cast<unsigned long long>(f.targetValueStep), f.bit);
+        expectSameResult(slow.runWithFault(f, 80'000'000),
+                         fast.runWithFault(f, 80'000'000), what);
+        expectSameResult(
+            slow.runWithTrace(f, 80'000'000, trace, true),
+            fast.runWithTrace(f, 80'000'000, trace, true),
+            what + " traced");
+    }
+}
+
+/** The fastpath.dispatch failpoint pins runs to the slow loop; with a
+ *  predecode attached the results must not change. */
+TEST(InterpFastPath, DispatchFailpointIsByteIdentical)
+{
+    mcl::FrontendResult fr =
+        mcl::compileToIr(findWorkload("fft").source, 64);
+    ASSERT_TRUE(fr.ok) << fr.error;
+    IrInterp fast(fr.module);
+    fast.setFastPath(predecodeIr(fr.module));
+    InterpResult r = fast.run();
+
+    armFailpoints("fastpath.dispatch=1000000");
+    InterpResult pinned = fast.run();
+    uint64_t fires = failpointFires("fastpath.dispatch");
+    clearFailpoints();
+
+    EXPECT_GT(fires, 0u) << "failpoint must have forced the slow loop";
+    expectSameResult(r, pinned, "failpoint-pinned");
 }
 
 } // namespace

@@ -24,6 +24,7 @@
 
 #include "core/suite.h"
 #include "support/failpoint.h"
+#include "swfi/svf.h"
 
 namespace vstack
 {
@@ -280,6 +281,42 @@ TEST_F(SuiteTest, GoldenCacheEvictsBeyondCapacityAndCounts)
     stack2.campaignFor("ax9", {"fft", false});
     stack2.campaignFor("ax9", {"qsort", false});
     EXPECT_EQ(stack2.goldenEvictions(), 0u);
+}
+
+/**
+ * Predecoded fast-path programs live in their own LRU pool with its
+ * own (8x) capacity: a handful of golden traces — each orders of
+ * magnitude heavier than a predecode — must never be able to flush
+ * the predecodes, and vice versa.  Regression test for the shared-LRU
+ * weighting bug where one big trace evicted every predecode.
+ */
+TEST_F(SuiteTest, PredecodePoolIsWeightedSeparatelyFromGoldenTraces)
+{
+    EnvConfig cfg = suiteCfg("");
+    cfg.goldenCache = 1; // trace LRU capacity 1 -> predecode pool 8
+    VulnerabilityStack stack(cfg);
+
+    stack.makeSvfCampaign({"fft", false});
+    stack.makeSvfCampaign({"qsort", false});
+    stack.makeSvfCampaign({"sha", false});
+    EXPECT_EQ(stack.predecodeEvictions(), 0u);
+
+    // Churn the trace LRU: with capacity 1 every new campaign evicts
+    // a trace, but the predecode pool must be untouched.
+    stack.campaignFor("ax9", {"fft", false});
+    stack.campaignFor("ax9", {"qsort", false});
+    stack.campaignFor("ax9", {"fft", false});
+    EXPECT_GE(stack.goldenEvictions(), 2u);
+    EXPECT_EQ(stack.predecodeEvictions(), 0u);
+
+    // Overflowing the predecode pool itself (9 distinct IR predecodes
+    // into 8 slots) evicts and counts — without touching traces.
+    const uint64_t traceEvictions = stack.goldenEvictions();
+    for (const char *w : {"rijndael", "dijkstra", "search", "corner",
+                          "smooth", "crc32"})
+        stack.makeSvfCampaign({w, false});
+    EXPECT_GE(stack.predecodeEvictions(), 1u);
+    EXPECT_EQ(stack.goldenEvictions(), traceEvictions);
 }
 
 } // namespace

@@ -8,10 +8,13 @@
 
 #include <cstdlib>
 #include <map>
+#include <random>
+#include <vector>
 
 #include "support/crc32c.h"
 #include "support/env.h"
 #include "support/failpoint.h"
+#include "support/fastpath.h"
 #include "support/json.h"
 #include "support/rng.h"
 #include "support/stats.h"
@@ -415,6 +418,54 @@ TEST(Crc32c, HexIsFixedWidthLowercase)
     EXPECT_EQ(crc32cHex(0xE3069283u), "e3069283");
     EXPECT_EQ(crc32cHex(0x1u), "00000001");
     EXPECT_EQ(crc32cHex(0u), "00000000");
+}
+
+TEST(Crc32c, EnginesAgreeOnRandomBuffers)
+{
+    std::mt19937 rng(0xc5c5c5c5u);
+    std::vector<uint8_t> buf(16 * 1024);
+    for (auto &b : buf)
+        b = static_cast<uint8_t>(rng());
+    // Random (offset, length) slices: misaligned heads, sub-word
+    // tails, and empty ranges all hit the engines' edge paths.
+    for (int i = 0; i < 200; ++i) {
+        size_t off = rng() % buf.size();
+        size_t len = rng() % (buf.size() - off + 1);
+        if (i < 8) // pin the shortest lengths explicitly
+            len = static_cast<size_t>(i);
+        const uint8_t *p = buf.data() + off;
+        const uint32_t ref = crc32cReference(p, len);
+        EXPECT_EQ(crc32cSliced(p, len), ref)
+            << "sliced off=" << off << " len=" << len;
+        if (crc32cHardwareAvailable())
+            EXPECT_EQ(crc32cHardware(p, len), ref)
+                << "hardware off=" << off << " len=" << len;
+        EXPECT_EQ(crc32c(p, len), ref)
+            << "dispatch off=" << off << " len=" << len;
+    }
+}
+
+TEST(Crc32c, SelfCheckPasses)
+{
+    EXPECT_EQ(crc32cSelfCheck(), nullptr);
+}
+
+// ---- fast-path gate ----------------------------------------------------
+
+TEST(FastPathGate, TogglePinsReferenceEngineAndRestores)
+{
+    const bool was = fastPathEnabled();
+    // With the hatch closed, crc32c() must still compute the same
+    // function (the reference engine is pinned — observable only as
+    // cost — so value equality is the whole contract).
+    setFastPathEnabled(false);
+    EXPECT_FALSE(fastPathEnabled());
+    EXPECT_EQ(crc32c("123456789"), 0xE3069283u);
+    EXPECT_EQ(crc32cSelfCheck(), nullptr);
+    setFastPathEnabled(true);
+    EXPECT_TRUE(fastPathEnabled());
+    EXPECT_EQ(crc32c("123456789"), 0xE3069283u);
+    setFastPathEnabled(was);
 }
 
 // ---- failpoints --------------------------------------------------------

@@ -70,6 +70,20 @@ ctest --test-dir "${prefix}-address" --output-on-failure -j "${jobs}" \
 VSTACK_RESULTS= "${prefix}-address/tools/vstack" campaign sha \
     --core ax9 -n 24 --seed 7 --verify-checkpoint=100 > /dev/null
 
+echo "=== fastpath smoke [address]"
+# The fast path under ASan: predecoded dispatch reads a shared
+# immutable table while the live RAM word is re-verified per step, and
+# batched digesting reuses one staging buffer across probes — stale
+# hints and buffer reuse are exactly where out-of-bounds reads would
+# hide.  The ctest stage runs the lockstep fuzz + escape-hatch suites;
+# perf_smoke.sh then proves byte-identity of the full campaign with
+# the fast path on vs pinned off (ASSERT=0: instrumented timings
+# don't model production ratios, identity still gates).
+ctest --test-dir "${prefix}-address" --output-on-failure -j "${jobs}" \
+      -R 'FastPath|Fastpath|Crc32c|Predecode'
+ASSERT=0 REPS=1 FAULTS=48 BENCH_OUT="${prefix}-address" \
+    tools/perf_smoke.sh "${prefix}-address"
+
 echo "=== suite smoke [address]"
 # The suite scheduler under ASan: one worker pool multiplexes
 # prepare/sample/finalize steps of many campaigns, with per-run

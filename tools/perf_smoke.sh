@@ -1,16 +1,38 @@
 #!/usr/bin/env bash
-# Checkpoint-accelerator performance smoke: assert that the
-# accelerated campaign path is (a) byte-identical to the cold path and
-# (b) at least MIN_SPEEDUP times faster end-to-end, then emit the
-# measurements as BENCH_checkpoint.json for trend tracking.
+# Checkpoint-accelerator + fast-path performance smoke: assert that the
+# accelerated campaign paths are (a) byte-identical to the cold path
+# and (b) faster end-to-end by the asserted ratios, then emit the
+# measurements as BENCH_checkpoint.json and BENCH_fastpath.json for
+# trend tracking.
+#
+# Three configurations of the same campaign are timed:
+#
+#   cold        VSTACK_FASTPATH=0 --no-checkpoint  (pure re-execution)
+#   checkpoint  VSTACK_FASTPATH=0                  (checkpoint accelerator)
+#   fastpath    default                            (checkpoint + fast path:
+#               densified restore grid, batched digest staging, hardware
+#               CRC-32C, predecoded dispatch)
+#
+# The end-to-end fastpath-vs-checkpoint ratio is bounded by the
+# never-reconverging tail samples, which re-simulate to completion in
+# every mode (see DESIGN.md §12); the digest-CRC component itself is
+# asserted separately at >= MIN_CRC_SPEEDUP via the microbenchmark
+# binary when it has been built.
 #
 # Usage: tools/perf_smoke.sh [build-dir]
 #
-#   build-dir     defaults to ./build (must already contain tools/vstack)
-#   MIN_SPEEDUP   env override of the asserted ratio (default 5.0)
-#   FAULTS        env override of the campaign size (default 256)
+#   build-dir            defaults to ./build (must contain tools/vstack)
+#   MIN_SPEEDUP          checkpoint-vs-cold assert (default 5.0)
+#   MIN_FASTPATH_SPEEDUP fastpath-vs-checkpoint assert (default 1.25)
+#   MIN_COMBINED_SPEEDUP fastpath-vs-cold assert (default 5.0)
+#   MIN_CRC_SPEEDUP      fast-CRC-vs-reference assert (default 3.0)
+#   FAULTS               campaign size (default 256)
+#   ASSERT               0 = byte-identity only, speedups advisory
+#                        (sanitizer builds)
+#   BENCH_OUT            directory for the BENCH_*.json files
+#                        (default: repo root)
 #
-# Exits non-zero if the reports differ or the speedup falls short.
+# Exits non-zero if any report differs or any speedup falls short.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,7 +44,11 @@ vstack="${build}/tools/vstack"
 }
 
 min_speedup="${MIN_SPEEDUP:-5.0}"
+min_fastpath="${MIN_FASTPATH_SPEEDUP:-1.25}"
+min_combined="${MIN_COMBINED_SPEEDUP:-5.0}"
+min_crc="${MIN_CRC_SPEEDUP:-3.0}"
 faults="${FAULTS:-256}"
+bench_out="${BENCH_OUT:-.}"
 out="$(mktemp -d /tmp/vstack_perf_smoke.XXXXXX)"
 trap 'rm -rf "${out}"' EXIT
 
@@ -74,7 +100,7 @@ speedup="$(awk -v c="${cold_ms}" -v a="${accel_ms}" \
     'BEGIN { printf "%.2f", (a + 0 > 0) ? c / a : 0 }')"
 echo "== speedup: ${speedup}x (required >= ${min_speedup}x)"
 
-cat > BENCH_checkpoint.json <<EOF
+cat > "${bench_out}/BENCH_checkpoint.json" <<EOF
 {
   "bench": "checkpoint_accelerator",
   "workload": "sha",
@@ -88,11 +114,105 @@ cat > BENCH_checkpoint.json <<EOF
   "byte_identical": true
 }
 EOF
-echo "== wrote BENCH_checkpoint.json"
+echo "== wrote ${bench_out}/BENCH_checkpoint.json"
 
-awk -v s="${speedup}" -v m="${min_speedup}" \
-    'BEGIN { exit !(s + 0 >= m + 0) }' || {
-    echo "error: speedup ${speedup}x below required ${min_speedup}x" >&2
+# --- fast path: the same campaign with the fast path pinned off, so
+# the delta isolates what predecode + batched/hardware CRC digesting +
+# the densified restore grid buy on top of the checkpoint accelerator.
+echo "== fastpath: checkpoint-only (VSTACK_FASTPATH=0) vs default"
+ckpt_ms="$(export VSTACK_FASTPATH=0 && run ckpt)"
+fast_ms="${accel_ms}"
+echo "   cold ${cold_ms} ms, checkpoint ${ckpt_ms} ms, fastpath ${fast_ms} ms"
+
+echo "== byte-identity: fastpath vs checkpoint-only campaign report"
+cmp "${out}/uarch.ckpt" "${out}/uarch.accel" || {
+    echo "error: fastpath report differs from checkpoint-only report" >&2
     exit 1
 }
+
+fast_speedup="$(awk -v c="${ckpt_ms}" -v f="${fast_ms}" \
+    'BEGIN { printf "%.2f", (f + 0 > 0) ? c / f : 0 }')"
+combined_speedup="$(awk -v c="${cold_ms}" -v f="${fast_ms}" \
+    'BEGIN { printf "%.2f", (f + 0 > 0) ? c / f : 0 }')"
+echo "== fastpath speedup: ${fast_speedup}x vs checkpoint-only" \
+    "(required >= ${min_fastpath}x), ${combined_speedup}x vs cold" \
+    "(required >= ${min_combined}x)"
+
+# Digest-CRC component ratio from the microbenchmark binary (skipped
+# when bench/ wasn't built): reference engine time over the best fast
+# engine's time on the same buffer.  This is the prong where the >=3x
+# claim lives; the end-to-end ratio above is tail-bounded.
+crc_speedup=0
+bench_bin="${build}/bench/bench_sim_throughput"
+if [ -x "${bench_bin}" ]; then
+    "${bench_bin}" --benchmark_filter='BM_Crc32c' \
+        --benchmark_format=json --benchmark_min_time=0.1 \
+        > "${out}/crc.json" 2> /dev/null || true
+    crc_speedup="$(awk -F'[:,]' '
+        /"run_name"/       { gsub(/[" ]/, "", $2); name = $2 }
+        /"error_occurred"/ { err[name] = 1 }
+        /"real_time"/      { t[name] = $2 + 0 }
+        END {
+            ref = t["BM_Crc32c/reference"]; best = 0
+            for (n in t)
+                if (n != "BM_Crc32c/reference" && !(n in err) && t[n] > 0) {
+                    s = ref / t[n]
+                    if (s > best) best = s
+                }
+            printf "%.2f", best
+        }' "${out}/crc.json")"
+    echo "== digest CRC engine: ${crc_speedup}x vs reference" \
+        "(required >= ${min_crc}x)"
+else
+    echo "== digest CRC engine: bench_sim_throughput not built, skipped"
+fi
+
+cat > "${bench_out}/BENCH_fastpath.json" <<EOF
+{
+  "bench": "fastpath",
+  "workload": "sha",
+  "core": "ax72",
+  "structure": "RF",
+  "faults": ${faults},
+  "cold_ms": ${cold_ms},
+  "checkpoint_ms": ${ckpt_ms},
+  "fastpath_ms": ${fast_ms},
+  "speedup_vs_checkpoint": ${fast_speedup},
+  "speedup_vs_cold": ${combined_speedup},
+  "crc_fast_vs_reference": ${crc_speedup},
+  "min_speedup_vs_checkpoint": ${min_fastpath},
+  "min_speedup_vs_cold": ${min_combined},
+  "min_crc_speedup": ${min_crc},
+  "byte_identical": true
+}
+EOF
+echo "== wrote ${bench_out}/BENCH_fastpath.json"
+
+# Speedup assertions are advisory under ASSERT=0 (sanitizer builds:
+# byte-identity above still gates, but instrumented timing ratios
+# don't model the production build).
+if [ "${ASSERT:-1}" = "1" ]; then
+    awk -v s="${speedup}" -v m="${min_speedup}" \
+        'BEGIN { exit !(s + 0 >= m + 0) }' || {
+        echo "error: speedup ${speedup}x below required ${min_speedup}x" >&2
+        exit 1
+    }
+    awk -v s="${fast_speedup}" -v m="${min_fastpath}" \
+        'BEGIN { exit !(s + 0 >= m + 0) }' || {
+        echo "error: fastpath speedup ${fast_speedup}x below required ${min_fastpath}x" >&2
+        exit 1
+    }
+    awk -v s="${combined_speedup}" -v m="${min_combined}" \
+        'BEGIN { exit !(s + 0 >= m + 0) }' || {
+        echo "error: combined speedup ${combined_speedup}x below required ${min_combined}x" >&2
+        exit 1
+    }
+    if [ -x "${bench_bin}" ]; then
+        awk -v s="${crc_speedup}" -v m="${min_crc}" \
+            'BEGIN { exit !(s + 0 >= m + 0) }' || {
+            echo "error: CRC engine speedup ${crc_speedup}x below required ${min_crc}x" >&2
+            exit 1
+        }
+    fi
+fi
 echo "== perf smoke passed"

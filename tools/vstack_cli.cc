@@ -97,8 +97,10 @@
 #include "kernel/kernel.h"
 #include "service/client.h"
 #include "service/fleet.h"
+#include "support/crc32c.h"
 #include "support/env.h"
 #include "support/failpoint.h"
+#include "support/fastpath.h"
 #include "support/logging.h"
 #include "swfi/svf.h"
 #include "workloads/workloads.h"
@@ -127,6 +129,7 @@ struct Args
     bool isolate = false;
     double verifyReplay = 0.0;
     bool checkpoint = true;
+    bool fastpath = true;
     double verifyCheckpoint = 0.0;
     bool serial = false;
     unsigned fleet = 0;    ///< worker processes; 0 = in-process suite
@@ -161,6 +164,9 @@ usage()
         "                    samples; abort on any divergence)\n"
         "         --no-checkpoint (disable checkpoint fast-forward and\n"
         "                    golden-trace early termination)\n"
+        "         --no-fastpath (disable predecoded dispatch, batched\n"
+        "                    digest staging, and the hardware CRC32\n"
+        "                    engine; results are byte-identical)\n"
         "         --verify-checkpoint=P (re-run P%% of checkpointed\n"
         "                    samples cold; abort on any divergence)\n"
         "         --serial (suite only: run campaigns one at a time\n"
@@ -303,6 +309,8 @@ parseArgs(int argc, char **argv)
             a.isolate = true;
         else if (flag == "--no-checkpoint")
             a.checkpoint = false;
+        else if (flag == "--no-fastpath")
+            a.fastpath = false;
         else if (flag == "--resume")
             a.resume = true;
         else if (flag == "--socket")
@@ -334,6 +342,12 @@ parseArgs(int argc, char **argv)
     // when both are given (it can only disable).
     if (!envFlagStrict("VSTACK_CHECKPOINT", true))
         a.checkpoint = false;
+    // VSTACK_FASTPATH=0 likewise complements --no-fastpath.  Pin the
+    // process-global switch here, before any simulator exists, so the
+    // CRC engine and every predecode decision see one answer.
+    if (!envFlagStrict("VSTACK_FASTPATH", true))
+        a.fastpath = false;
+    setFastPathEnabled(a.fastpath);
     if (!verifyCheckpointGiven)
         a.verifyCheckpoint =
             envDoubleStrict("VSTACK_VERIFY_CHECKPOINT", 0.0, 0.0);
@@ -510,6 +524,7 @@ cliCheckpointPolicy(const Args &a)
         envIntStrict("VSTACK_CHECKPOINTS", 16, 1));
     p.earlyStop = a.checkpoint;
     p.verifyPercent = a.verifyCheckpoint;
+    p.densify(a.fastpath);
     return p;
 }
 
@@ -689,6 +704,8 @@ suiteConfig(const Args &a)
         cfg.resume = true;
     if (!a.checkpoint)
         cfg.checkpoint = false;
+    if (!a.fastpath)
+        cfg.fastpath = false;
     // parseArgs already folded the VSTACK_* fallbacks into these.
     cfg.verifyReplay = a.verifyReplay;
     cfg.verifyCheckpoint = a.verifyCheckpoint;
@@ -1042,6 +1059,15 @@ int
 main(int argc, char **argv)
 {
     Args a = parseArgs(argc, argv);
+    // Startup self-check: every compiled-in CRC-32C engine (hardware
+    // included, when the CPU has it) must agree with the bitwise
+    // reference on a fixed vector set before any digest is trusted.
+    // A disagreeing engine would silently corrupt every golden-trace
+    // compare, so this is fatal, not a fallback.
+    if (const char *bad = crc32cSelfCheck())
+        fatal("CRC-32C engine self-check failed: '%s' disagrees with "
+              "the reference implementation",
+              bad);
     // Make a chaos run unmistakable in logs: nobody should puzzle over
     // "why did this campaign see storage faults" when the faults were
     // injected on purpose.
