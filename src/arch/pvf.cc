@@ -4,6 +4,7 @@
 #include <cassert>
 #include <memory>
 
+#include "fault/condition.h"
 #include "support/fastpath.h"
 #include "support/logging.h"
 
@@ -130,15 +131,19 @@ PvfCampaign::runOne(Fpm fpm, Rng &rng)
 }
 
 Outcome
-PvfCampaign::runOneOn(ArchSim &worker, Fpm fpm, Rng &rng) const
+PvfCampaign::runOneOn(ArchSim &worker, Fpm fpm, Rng &rng,
+                      const fault::PvfShape *shape) const
 {
-    return runInjection(worker, fpm, rng, true);
+    return runInjection(worker, fpm, rng, true,
+                        shape ? *shape : fault::PvfShape{});
 }
 
 Outcome
-PvfCampaign::runOneColdOn(ArchSim &worker, Fpm fpm, Rng &rng) const
+PvfCampaign::runOneColdOn(ArchSim &worker, Fpm fpm, Rng &rng,
+                          const fault::PvfShape *shape) const
 {
-    return runInjection(worker, fpm, rng, false);
+    return runInjection(worker, fpm, rng, false,
+                        shape ? *shape : fault::PvfShape{});
 }
 
 Outcome
@@ -199,7 +204,8 @@ PvfCampaign::finish(ArchSim &sim, bool accel) const
 }
 
 Outcome
-PvfCampaign::runInjection(ArchSim &sim, Fpm fpm, Rng &rng, bool accel) const
+PvfCampaign::runInjection(ArchSim &sim, Fpm fpm, Rng &rng, bool accel,
+                          const fault::PvfShape &shape) const
 {
     assert(fpm != Fpm::ESC && "ESC is unobservable at the PVF layer");
 
@@ -211,6 +217,30 @@ PvfCampaign::runInjection(ArchSim &sim, Fpm fpm, Rng &rng, bool accel) const
     // PC corruption uses the machine's 32-bit address space; other
     // flips pick a bit position lazily at the injection site.
     const bool wiUsesPc = fpm == Fpm::WI && rng.chance(0.5);
+    // Conditioned shapes draw their per-sample salt here too; the
+    // default shape draws nothing, keeping the legacy stream intact.
+    const uint64_t condSalt = shape.conditioned ? rng.next64() : 0;
+    uint64_t condIdx = 0; ///< running flip index across the sample
+
+    // Apply the shape's flips to a value `width` bits wide, starting
+    // at baseBit: `burst` flips `stride` bits apart, wrapped into the
+    // width, each optionally conditioned on the stored bit.  The
+    // default shape is the legacy single `v ^= 1 << baseBit`.
+    auto flipValue = [&](uint64_t v, unsigned width, int baseBit) {
+        for (uint32_t k = 0; k < shape.burst; ++k) {
+            const int b = static_cast<int>(
+                (static_cast<uint64_t>(baseBit) + k * shape.stride) %
+                width);
+            const uint64_t idx = condIdx++;
+            if (shape.conditioned &&
+                !fault::flipSelected(condSalt, idx,
+                                     static_cast<int>((v >> b) & 1),
+                                     shape.pFlip1, shape.pFlip0))
+                continue;
+            v ^= 1ull << b;
+        }
+        return v;
+    };
 
     if (accel && policy_.enabled && trace_.recorded())
         sim.restore(trace_.nearestAtOrBelow(targetInst).state);
@@ -241,7 +271,10 @@ PvfCampaign::runInjection(ArchSim &sim, Fpm fpm, Rng &rng, bool accel) const
                     break;
                 const int bit =
                     static_cast<int>(rng.uniform(spec.xlen));
-                sim.writeReg(d.rd, sim.readReg(d.rd) ^ (1ull << bit));
+                sim.writeReg(d.rd,
+                             flipValue(sim.readReg(d.rd),
+                                       static_cast<unsigned>(spec.xlen),
+                                       bit));
                 injected = true;
             } else if (info.isStore) {
                 const uint64_t addr = spec.maskVal(
@@ -256,7 +289,7 @@ PvfCampaign::runInjection(ArchSim &sim, Fpm fpm, Rng &rng, bool accel) const
                         static_cast<int>(rng.uniform(bytes * 8));
                     uint64_t v = sim.mem().read(
                         static_cast<uint32_t>(addr), bytes);
-                    v ^= 1ull << bit;
+                    v = flipValue(v, bytes * 8, bit);
                     sim.mem().write(static_cast<uint32_t>(addr), v, bytes);
                     injected = true;
                 }
@@ -269,7 +302,7 @@ PvfCampaign::runInjection(ArchSim &sim, Fpm fpm, Rng &rng, bool accel) const
         // Transient PC corruption: flip one of the 24 address bits of
         // the 16 MiB physical space plus the two alignment bits.
         const int bit = static_cast<int>(rng.uniform(24));
-        sim.setPc(sim.pc() ^ (1ull << bit));
+        sim.setPc(flipValue(sim.pc(), 24, bit));
         injected = true;
     } else {
         // Encoding corruption (WI: opcode/control; WOI: operands):
@@ -284,16 +317,60 @@ PvfCampaign::runInjection(ArchSim &sim, Fpm fpm, Rng &rng, bool accel) const
             std::vector<int> bits =
                 bitsForFpm(spec.id, word, fpm);
             if (!bits.empty()) {
-                const int bit =
-                    bits[rng.uniform(bits.size())];
-                sim.mem().write(static_cast<uint32_t>(pc),
-                                word ^ (1u << bit), 4);
+                // Burst flips walk the FPM-eligible bit list (not raw
+                // adjacency) so every flipped bit keeps the requested
+                // manifestation class.
+                const size_t baseIdx =
+                    static_cast<size_t>(rng.uniform(bits.size()));
+                uint32_t w = word;
+                for (uint32_t k = 0; k < shape.burst; ++k) {
+                    const int b = bits[(baseIdx +
+                                        static_cast<size_t>(k) *
+                                            shape.stride) %
+                                       bits.size()];
+                    const uint64_t idx = condIdx++;
+                    if (shape.conditioned &&
+                        !fault::flipSelected(
+                            condSalt, idx,
+                            static_cast<int>((w >> b) & 1),
+                            shape.pFlip1, shape.pFlip0))
+                        continue;
+                    w ^= 1u << b;
+                }
+                sim.mem().write(static_cast<uint32_t>(pc), w, 4);
                 injected = true;
             } else {
                 if (!sim.step())
                     break;
                 ++walked;
             }
+        }
+    }
+
+    // Temporally clustered follow-on events (em-burst): walk the
+    // corrupted run forward a short random distance and flip a bit of
+    // a random architectural register, once per extra event.  Slow
+    // steps only — post-injection state must never ride the fast
+    // path — and the same code runs cold and accelerated, so the
+    // streams stay identical.
+    if (injected && shape.events > 1) {
+        const uint64_t window = shape.window ? shape.window : 1;
+        for (uint32_t e = 1; e < shape.events; ++e) {
+            const uint64_t delta = 1 + rng.uniform(window);
+            bool alive = true;
+            for (uint64_t s = 0; s < delta && alive; ++s)
+                alive = sim.step();
+            if (!alive)
+                break;
+            int reg = static_cast<int>(
+                rng.uniform(static_cast<uint64_t>(spec.numRegs)));
+            if (reg == spec.zeroReg)
+                reg = (reg + 1) % spec.numRegs;
+            const int bit = static_cast<int>(rng.uniform(spec.xlen));
+            sim.writeReg(reg,
+                         flipValue(sim.readReg(reg),
+                                   static_cast<unsigned>(spec.xlen),
+                                   bit));
         }
     }
 
@@ -315,16 +392,25 @@ struct PvfCtx final : exec::LayerDriver::Ctx
 } // namespace
 
 PvfDriver::PvfDriver(PvfCampaign &campaign, Fpm fpm, size_t n,
-                     uint64_t seed)
+                     uint64_t seed,
+                     std::shared_ptr<const fault::FaultModel> model)
     : campaign(campaign), fpm(fpm), n(n)
 {
     // PVF injections draw from their RNG during the run, so instead
     // of a fault list we pre-derive each sample's fork seed (the i-th
     // master draw, a pure function of (seed, i)) — identical streams
-    // at any thread count.  The dispatch key is each fork's first
-    // draw (the target instruction), precomputable without running
-    // anything; the golden reference is immutable after campaign
-    // construction, so both live in the constructor.
+    // at any thread count.  The fault model contributes a
+    // campaign-constant shape rather than per-sample sites; the
+    // default shape leaves every stream bit-identical to the legacy
+    // driver.  The dispatch key is each fork's first draw (the target
+    // instruction), precomputable without running anything; the
+    // golden reference is immutable after campaign construction, so
+    // both live in the constructor.
+    fault::PvfSpace space;
+    space.insts = campaign.golden().insts;
+    space.xlen = IsaSpec::get(campaign.cfg.isa).xlen;
+    shape = (model ? model.get() : fault::singleBitModel().get())
+                ->pvfShape(space);
     Rng master(seed);
     forkSeeds.resize(n);
     for (uint64_t &s : forkSeeds)
@@ -352,16 +438,16 @@ Json
 PvfDriver::runSample(Ctx &ctx, size_t i) const
 {
     Rng r(forkSeeds[i]);
-    return Json(static_cast<int>(
-        campaign.runOneOn(static_cast<PvfCtx &>(ctx).sim, fpm, r)));
+    return Json(static_cast<int>(campaign.runOneOn(
+        static_cast<PvfCtx &>(ctx).sim, fpm, r, &shape)));
 }
 
 Json
 PvfDriver::runSampleCold(Ctx &ctx, size_t i) const
 {
     Rng r(forkSeeds[i]);
-    return Json(static_cast<int>(
-        campaign.runOneColdOn(static_cast<PvfCtx &>(ctx).sim, fpm, r)));
+    return Json(static_cast<int>(campaign.runOneColdOn(
+        static_cast<PvfCtx &>(ctx).sim, fpm, r, &shape)));
 }
 
 bool
@@ -397,9 +483,14 @@ PvfDriver::payloadName(const Json &payload) const
 
 OutcomeCounts
 PvfCampaign::run(Fpm fpm, size_t n, uint64_t seed,
-                 const exec::ExecConfig &ec)
+                 const exec::ExecConfig &ec,
+                 const fault::FaultModel *model)
 {
-    PvfDriver driver(*this, fpm, n, seed);
+    // Non-owning alias: the caller's model outlives this synchronous
+    // run.
+    PvfDriver driver(*this, fpm, n, seed,
+                     std::shared_ptr<const fault::FaultModel>(
+                         std::shared_ptr<const void>(), model));
     return foldOutcomeSamples(exec::runDriver(driver, ec));
 }
 

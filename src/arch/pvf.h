@@ -28,6 +28,7 @@
 #include "arch/archsim.h"
 #include "exec/driver.h"
 #include "exec/executor.h"
+#include "fault/model.h"
 #include "machine/fpm.h"
 #include "machine/outcome.h"
 #include "support/rng.h"
@@ -128,23 +129,29 @@ class PvfCampaign
     Outcome runOne(Fpm fpm, Rng &rng);
 
     /** Run one injection on a caller-provided emulator (workers);
-     *  uses checkpoint fast-forward + early stop when available. */
-    Outcome runOneOn(ArchSim &worker, Fpm fpm, Rng &rng) const;
+     *  uses checkpoint fast-forward + early stop when available.
+     *  `shape` widens the injection per the campaign's fault model
+     *  (null = the legacy single-bit shape, bit for bit). */
+    Outcome runOneOn(ArchSim &worker, Fpm fpm, Rng &rng,
+                     const fault::PvfShape *shape = nullptr) const;
 
     /** Same, but always cold (full golden-prefix re-execution, run to
      *  a stop condition).  Used by the checkpoint-verification audit. */
-    Outcome runOneColdOn(ArchSim &worker, Fpm fpm, Rng &rng) const;
+    Outcome runOneColdOn(ArchSim &worker, Fpm fpm, Rng &rng,
+                         const fault::PvfShape *shape = nullptr) const;
 
-    /** Run a campaign of n injections.  Deterministic for a given
-     *  seed at any job count. */
+    /** Run a campaign of n injections shaped by `model` (null = the
+     *  single-bit default).  Deterministic for a given seed at any
+     *  job count. */
     OutcomeCounts run(Fpm fpm, size_t n, uint64_t seed,
-                      const exec::ExecConfig &ec = {});
+                      const exec::ExecConfig &ec = {},
+                      const fault::FaultModel *model = nullptr);
 
   private:
     friend class PvfDriver;
 
-    Outcome runInjection(ArchSim &sim, Fpm fpm, Rng &rng,
-                         bool accel) const;
+    Outcome runInjection(ArchSim &sim, Fpm fpm, Rng &rng, bool accel,
+                         const fault::PvfShape &shape) const;
     Outcome finish(ArchSim &sim, bool accel) const;
 
     Program image;
@@ -166,7 +173,11 @@ class PvfCampaign
 class PvfDriver final : public exec::LayerDriver
 {
   public:
-    PvfDriver(PvfCampaign &campaign, Fpm fpm, size_t n, uint64_t seed);
+    /** @param model  fault model shaping the injections (null =
+     *                single-bit default, byte-identical to the legacy
+     *                driver) */
+    PvfDriver(PvfCampaign &campaign, Fpm fpm, size_t n, uint64_t seed,
+              std::shared_ptr<const fault::FaultModel> model = nullptr);
 
     const char *layerName() const override { return "pvf"; }
     size_t samples() const override { return n; }
@@ -184,6 +195,7 @@ class PvfDriver final : public exec::LayerDriver
     PvfCampaign &campaign;
     Fpm fpm;
     size_t n;
+    fault::PvfShape shape;           ///< campaign-constant model shape
     std::vector<uint64_t> forkSeeds; ///< the i-th master draw
     std::vector<uint64_t> keys;      ///< injection instruction per sample
 };

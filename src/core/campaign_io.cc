@@ -89,30 +89,55 @@ goldenFromJson(const Json &j)
 }
 
 std::string
-uarchKey(const EnvConfig &cfg, const std::string &core, const Variant &v,
-         Structure s)
+faultModelTag(const EnvConfig &cfg, const std::string &fm)
 {
-    return strprintf("uarch/%s/%s/%s/%s/n%zu/seed%llu", SCHEMA,
+    const std::string &tag = fm.empty() ? cfg.faultModel : fm;
+    return tag == "single-bit" ? std::string() : tag;
+}
+
+namespace
+{
+
+/** Key suffix of a campaign's fault model; empty for the single-bit
+ *  default so historical key bytes are untouched. */
+std::string
+fmSuffix(const EnvConfig &cfg, const std::string &fm)
+{
+    const std::string tag = faultModelTag(cfg, fm);
+    return tag.empty() ? tag : "/fm:" + tag;
+}
+
+} // namespace
+
+std::string
+uarchKey(const EnvConfig &cfg, const std::string &core, const Variant &v,
+         Structure s, const std::string &fm)
+{
+    return strprintf("uarch/%s/%s/%s/%s/n%zu/seed%llu%s", SCHEMA,
                      core.c_str(), v.tag().c_str(), structureName(s),
                      cfg.uarchFaults,
-                     static_cast<unsigned long long>(cfg.seed));
+                     static_cast<unsigned long long>(cfg.seed),
+                     fmSuffix(cfg, fm).c_str());
 }
 
 std::string
-pvfKey(const EnvConfig &cfg, IsaId isa, const Variant &v, Fpm fpm)
+pvfKey(const EnvConfig &cfg, IsaId isa, const Variant &v, Fpm fpm,
+       const std::string &fm)
 {
-    return strprintf("pvf/%s/%s/%s/%s/n%zu/seed%llu", SCHEMA,
+    return strprintf("pvf/%s/%s/%s/%s/n%zu/seed%llu%s", SCHEMA,
                      isaName(isa), v.tag().c_str(), fpmName(fpm),
                      cfg.archFaults,
-                     static_cast<unsigned long long>(cfg.seed));
+                     static_cast<unsigned long long>(cfg.seed),
+                     fmSuffix(cfg, fm).c_str());
 }
 
 std::string
-svfKey(const EnvConfig &cfg, const Variant &v)
+svfKey(const EnvConfig &cfg, const Variant &v, const std::string &fm)
 {
-    return strprintf("svf/%s/%s/n%zu/seed%llu", SCHEMA, v.tag().c_str(),
+    return strprintf("svf/%s/%s/n%zu/seed%llu%s", SCHEMA, v.tag().c_str(),
                      cfg.swFaults,
-                     static_cast<unsigned long long>(cfg.seed));
+                     static_cast<unsigned long long>(cfg.seed),
+                     fmSuffix(cfg, fm).c_str());
 }
 
 std::string
@@ -154,7 +179,7 @@ svfWatchdog(const EnvConfig &cfg)
 
 exec::ExecConfig
 execPolicy(const EnvConfig &cfg, exec::Journal &journal,
-           const std::string &key, size_t n)
+           const std::string &key, size_t n, const std::string &fm)
 {
     exec::ExecConfig ec;
     ec.jobs = cfg.jobs;
@@ -163,7 +188,7 @@ execPolicy(const EnvConfig &cfg, exec::Journal &journal,
     journal.setFsync(cfg.journalFsync);
     if (!cfg.resultsDir.empty() &&
         journal.open(exec::Journal::pathFor(cfg.resultsDir, key), key, n,
-                     cfg.seed, cfg.resume))
+                     cfg.seed, cfg.resume, faultModelTag(cfg, fm)))
         ec.journal = &journal;
     return ec;
 }

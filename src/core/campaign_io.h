@@ -54,13 +54,29 @@ Json goldenToJson(const UarchGolden &g);
 UarchGolden goldenFromJson(const Json &j);
 /** @} */
 
+/**
+ * The effective canonical fault-model tag of one campaign: the
+ * per-spec override `fm` when non-empty, else the environment's
+ * default — normalized to "" for the single-bit default, so default
+ * campaigns keep their historical key/journal bytes no matter how the
+ * default was spelled.
+ */
+std::string faultModelTag(const EnvConfig &cfg,
+                          const std::string &fm = {});
+
 /** @name Result-store keys (byte-stable; changing one orphans every
- *  cached campaign under the old bytes) @{ */
+ *  cached campaign under the old bytes).  `fm` is a per-campaign
+ *  fault-model override ("" = the environment's model); a non-default
+ *  model appends "/fm:<tag>", so campaigns differing only in fault
+ *  model can never share a store entry.  goldenKey stays model-free:
+ *  the golden run is fault-free by definition. @{ */
 std::string uarchKey(const EnvConfig &cfg, const std::string &core,
-                     const Variant &v, Structure s);
+                     const Variant &v, Structure s,
+                     const std::string &fm = {});
 std::string pvfKey(const EnvConfig &cfg, IsaId isa, const Variant &v,
-                   Fpm fpm);
-std::string svfKey(const EnvConfig &cfg, const Variant &v);
+                   Fpm fpm, const std::string &fm = {});
+std::string svfKey(const EnvConfig &cfg, const Variant &v,
+                   const std::string &fm = {});
 std::string goldenKey(const std::string &core, const Variant &v);
 /** @} */
 
@@ -80,7 +96,8 @@ exec::WatchdogBudget svfWatchdog(const EnvConfig &cfg);
  * once the final result lands in the store.
  */
 exec::ExecConfig execPolicy(const EnvConfig &cfg, exec::Journal &journal,
-                            const std::string &key, size_t n);
+                            const std::string &key, size_t n,
+                            const std::string &fm = {});
 
 } // namespace campaign_io
 

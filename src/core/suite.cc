@@ -66,6 +66,13 @@ CampaignPlan::addUarchAll(const std::string &core, const Variant &v)
 }
 
 void
+CampaignPlan::applyFaultModel(size_t from, const std::string &fm)
+{
+    for (size_t i = from; i < specs_.size(); ++i)
+        specs_[i].faultModel = fm;
+}
+
+void
 CampaignPlan::addPvf(IsaId isa, const Variant &v, Fpm fpm)
 {
     CampaignSpec spec;
@@ -90,11 +97,13 @@ campaignKey(const EnvConfig &cfg, const CampaignSpec &spec)
 {
     switch (spec.layer) {
       case CampaignLayer::Uarch:
-        return uarchKey(cfg, spec.core, spec.variant, spec.structure);
+        return uarchKey(cfg, spec.core, spec.variant, spec.structure,
+                        spec.faultModel);
       case CampaignLayer::Pvf:
-        return pvfKey(cfg, spec.isa, spec.variant, spec.fpm);
+        return pvfKey(cfg, spec.isa, spec.variant, spec.fpm,
+                      spec.faultModel);
       case CampaignLayer::Svf:
-        return svfKey(cfg, spec.variant);
+        return svfKey(cfg, spec.variant, spec.faultModel);
     }
     return {};
 }
@@ -147,6 +156,8 @@ specToJson(const CampaignSpec &spec)
       case CampaignLayer::Svf:
         break;
     }
+    if (!spec.faultModel.empty())
+        j.set("faultModel", spec.faultModel);
     return j;
 }
 
@@ -201,6 +212,18 @@ specFromJson(const Json &j, CampaignSpec &spec, std::string &err)
         err = "campaign spec: unknown layer '" + layer + "'";
         return false;
     }
+    if (j.has("faultModel")) {
+        std::string ferr;
+        auto m = fault::parseFaultModel(j.at("faultModel").asString(),
+                                        ferr);
+        if (!m) {
+            err = "campaign spec: " + ferr;
+            return false;
+        }
+        spec.faultModel = m->tag();
+    } else {
+        spec.faultModel.clear();
+    }
     return true;
 }
 
@@ -213,6 +236,7 @@ void
 CampaignExec::reset()
 {
     driver.reset();
+    model.reset();
     uarchCampaign.reset();
     pvfCampaign.reset();
     svfCampaign.reset();
@@ -224,21 +248,38 @@ makeCampaignExec(VulnerabilityStack &stack, const CampaignSpec &spec,
 {
     const uint64_t seed = stack.config().seed;
     CampaignExec ce;
+    // Resolve the spec's fault model: a per-spec tag overrides the
+    // stack's environment default, and the single-bit default stays a
+    // null pointer (the drivers' byte-identical fast path).  Spec tags
+    // were validated at manifest/wire parse time, so a failure here is
+    // a programming error, not an input error.
+    if (spec.faultModel.empty()) {
+        ce.model = stack.faultModel();
+    } else {
+        std::string err;
+        auto m = fault::parseFaultModel(spec.faultModel, err);
+        if (!m)
+            fatal("campaign %s: fault model: %s", spec.label().c_str(),
+                  err.c_str());
+        if (!m->isDefault())
+            ce.model = std::move(m);
+    }
     switch (spec.layer) {
       case CampaignLayer::Uarch:
         ce.uarchCampaign = stack.campaignFor(spec.core, spec.variant);
         ce.driver = std::make_unique<UarchDriver>(
-            *ce.uarchCampaign, spec.structure, n, seed);
+            *ce.uarchCampaign, spec.structure, n, seed, ce.model);
         break;
       case CampaignLayer::Pvf:
         ce.pvfCampaign = stack.makePvfCampaign(spec.isa, spec.variant);
         ce.driver = std::make_unique<PvfDriver>(*ce.pvfCampaign,
-                                                spec.fpm, n, seed);
+                                                spec.fpm, n, seed,
+                                                ce.model);
         break;
       case CampaignLayer::Svf:
         ce.svfCampaign = stack.makeSvfCampaign(spec.variant);
-        ce.driver =
-            std::make_unique<SvfDriver>(*ce.svfCampaign, n, seed);
+        ce.driver = std::make_unique<SvfDriver>(*ce.svfCampaign, n,
+                                                seed, ce.model);
         break;
     }
     return ce;
@@ -366,7 +407,8 @@ prepareRun(Sched &S, Run &r)
     exec::prepareDriver(*driver);
 
     auto journal = std::make_unique<exec::Journal>();
-    exec::ExecConfig ec = execPolicy(S.cfg, *journal, r.key, r.n);
+    exec::ExecConfig ec =
+        execPolicy(S.cfg, *journal, r.key, r.n, r.spec.faultModel);
     ec.cancel = S.opts.cancel;
     const uint64_t journalFaults = journal->storageFaults();
 
@@ -904,6 +946,21 @@ addManifestEntry(CampaignPlan &plan, const Json &e, bool hardenAll,
     const std::string layer = e.at("layer").asString();
     const bool harden =
         hardenAll || (e.has("harden") && e.at("harden").asBool());
+    // Validate the entry's fault model up front so a daemon admitting
+    // this manifest rejects it before anything is enqueued; the
+    // canonical tag is stamped onto every spec the entry fans out to.
+    std::string faultModel;
+    if (e.has("faultModel")) {
+        std::string ferr;
+        auto m =
+            fault::parseFaultModel(e.at("faultModel").asString(), ferr);
+        if (!m) {
+            err = "suite manifest: " + ferr;
+            return false;
+        }
+        faultModel = m->tag();
+    }
+    const size_t firstSpec = plan.size();
     std::vector<std::string> workloads;
     if (!manifestWorkloads(e, workloads, err))
         return false;
@@ -964,6 +1021,8 @@ addManifestEntry(CampaignPlan &plan, const Json &e, bool hardenAll,
             return false;
         }
     }
+    if (!faultModel.empty())
+        plan.applyFaultModel(firstSpec, faultModel);
     return true;
 }
 

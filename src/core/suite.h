@@ -77,6 +77,11 @@ struct CampaignSpec
     Structure structure = Structure::RF; ///< uarch only
     IsaId isa = IsaId::Av64;             ///< pvf only
     Fpm fpm = Fpm::WD;                   ///< pvf only
+    /** Canonical fault-model tag; "" inherits the stack's environment
+     *  default.  An explicit "single-bit" is preserved (not collapsed
+     *  to "") so a per-entry override beats a non-default environment
+     *  model while still resolving to the default key bytes. */
+    std::string faultModel;
 
     /** Human label, e.g. "uarch/ax72/fft/RF" or "pvf/av64/fft/WD". */
     std::string label() const;
@@ -98,6 +103,11 @@ class CampaignPlan
     const std::vector<CampaignSpec> &specs() const { return specs_; }
     bool empty() const { return specs_.empty(); }
     size_t size() const { return specs_.size(); }
+
+    /** Stamp a fault-model tag onto specs [from, size) — the manifest
+     *  expander fans one entry out into several specs and then applies
+     *  the entry's model to exactly that slice. */
+    void applyFaultModel(size_t from, const std::string &fm);
 
   private:
     std::vector<CampaignSpec> specs_;
@@ -206,6 +216,10 @@ struct CampaignExec
     std::shared_ptr<UarchCampaign> uarchCampaign;
     std::unique_ptr<PvfCampaign> pvfCampaign;
     std::unique_ptr<SvfCampaign> svfCampaign;
+    /** The spec's resolved fault model (null = single-bit); the driver
+     *  holds a copy of this shared_ptr, so destruction order in
+     *  reset() is not load-bearing. */
+    std::shared_ptr<const fault::FaultModel> model;
     std::unique_ptr<exec::LayerDriver> driver;
 
     void reset();

@@ -122,6 +122,20 @@ struct VulnerabilityStack::Cache
 VulnerabilityStack::VulnerabilityStack(const EnvConfig &cfg)
     : cfg(cfg), store(cfg.resultsDir), cache(std::make_unique<Cache>())
 {
+    // Resolve the environment's fault model once, strictly: a garbage
+    // VSTACK_FAULT_MODEL must fail here, not silently run a default
+    // campaign.  The spec is rewritten to its canonical tag so store
+    // keys and journal headers are spelling-independent; an explicit
+    // single-bit model resolves to null (the default fast path).
+    if (!this->cfg.faultModel.empty()) {
+        std::string err;
+        auto m = fault::parseFaultModel(this->cfg.faultModel, err);
+        if (!m)
+            fatal("VSTACK_FAULT_MODEL: %s", err.c_str());
+        this->cfg.faultModel = m->tag();
+        if (!m->isDefault())
+            model_ = std::move(m);
+    }
 }
 
 VulnerabilityStack::~VulnerabilityStack() = default;
@@ -302,7 +316,7 @@ VulnerabilityStack::uarch(const std::string &core, const Variant &v,
     ec.cancel = cancelToken;
     journalFaults += journal.storageFaults();
     UarchCampaignResult r =
-        campaign->run(s, cfg.uarchFaults, cfg.seed, ec);
+        campaign->run(s, cfg.uarchFaults, cfg.seed, ec, model_.get());
     if (exec::drainRequested(ec))
         return r; // interrupted: keep the journal, never cache a partial
     store.put(key, uarchToJson(r));
@@ -333,7 +347,8 @@ VulnerabilityStack::pvf(IsaId isa, const Variant &v, Fpm fpm)
     exec::ExecConfig ec = execPolicy(cfg, journal, key, cfg.archFaults);
     ec.cancel = cancelToken;
     journalFaults += journal.storageFaults();
-    OutcomeCounts c = campaign->run(fpm, cfg.archFaults, cfg.seed, ec);
+    OutcomeCounts c =
+        campaign->run(fpm, cfg.archFaults, cfg.seed, ec, model_.get());
     if (exec::drainRequested(ec))
         return c; // interrupted: keep the journal, never cache a partial
     store.put(key, countsToJson(c));
@@ -353,7 +368,8 @@ VulnerabilityStack::svf(const Variant &v)
     exec::ExecConfig ec = execPolicy(cfg, journal, key, cfg.swFaults);
     ec.cancel = cancelToken;
     journalFaults += journal.storageFaults();
-    OutcomeCounts c = campaign->run(cfg.swFaults, cfg.seed, ec);
+    OutcomeCounts c =
+        campaign->run(cfg.swFaults, cfg.seed, ec, model_.get());
     if (exec::drainRequested(ec))
         return c; // interrupted: keep the journal, never cache a partial
     store.put(key, countsToJson(c));

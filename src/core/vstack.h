@@ -31,6 +31,7 @@
 #include "core/campaign_io.h"
 #include "exec/cancel.h"
 #include "core/resultstore.h"
+#include "fault/model.h"
 #include "gefin/campaign.h"
 #include "machine/fpm.h"
 #include "machine/outcome.h"
@@ -73,10 +74,22 @@ struct FpmShares
 class VulnerabilityStack
 {
   public:
+    /** @throws nothing, but a garbage cfg.faultModel (VSTACK_FAULT_MODEL)
+     *  is a one-line fatal error here — the stack is the first layer
+     *  that can link the fault library, so this is where the env
+     *  contract's strict validation lands. */
     explicit VulnerabilityStack(const EnvConfig &cfg);
     ~VulnerabilityStack();
 
     const EnvConfig &config() const { return cfg; }
+
+    /** The environment's default fault model (null = the single-bit
+     *  default); per-spec suite overrides are resolved in
+     *  makeCampaignExec instead. */
+    const std::shared_ptr<const fault::FaultModel> &faultModel() const
+    {
+        return model_;
+    }
 
     /** @name Build artifacts (cached in-process; thread-safe) @{ */
     const ir::Module &irFor(const Variant &v, int xlen);
@@ -200,6 +213,7 @@ class VulnerabilityStack
     const Program &imageForUnlocked(const Variant &v, IsaId isa);
 
     EnvConfig cfg;
+    std::shared_ptr<const fault::FaultModel> model_; ///< null = single-bit
     ResultStore store;
     const exec::CancelToken *cancelToken = nullptr;
     uint64_t journalFaults = 0;

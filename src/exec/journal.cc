@@ -102,8 +102,8 @@ Journal::close()
 }
 
 Json
-Journal::headerJson(const std::string &meta, uint64_t n,
-                    uint64_t seed) const
+Journal::headerJson(const std::string &meta, uint64_t n, uint64_t seed,
+                    const std::string &fm) const
 {
     Json header = Json::object();
     Json m = Json::object();
@@ -111,13 +111,17 @@ Journal::headerJson(const std::string &meta, uint64_t n,
     m.set("n", n);
     m.set("seed", seed);
     m.set("fmt", FORMAT);
+    // Absent for the single-bit default, so pre-fault-model journals
+    // replay unchanged and default headers stay byte-identical.
+    if (!fm.empty())
+        m.set("fm", fm);
     header.set("meta", m);
     return header;
 }
 
 bool
 Journal::open(const std::string &path, const std::string &meta, uint64_t n,
-              uint64_t seed, bool resume)
+              uint64_t seed, bool resume, const std::string &fm)
 {
     close();
     path_ = path;
@@ -181,7 +185,9 @@ Journal::open(const std::string &path, const std::string &meta, uint64_t n,
                 if (!m.has("campaign") ||
                     m.at("campaign").asString() != meta ||
                     static_cast<uint64_t>(m.at("n").asInt()) != n ||
-                    static_cast<uint64_t>(m.at("seed").asInt()) != seed) {
+                    static_cast<uint64_t>(m.at("seed").asInt()) != seed ||
+                    (m.has("fm") ? m.at("fm").asString()
+                                 : std::string()) != fm) {
                     warn("journal '%s' belongs to a different campaign; "
                          "restarting it",
                          path.c_str());
@@ -260,7 +266,8 @@ Journal::open(const std::string &path, const std::string &meta, uint64_t n,
         // the on-disk file is clean before any new append lands.  The
         // rewrite is crash-safe (tmp + rename); if it fails we restart
         // rather than keep appending after corruption.
-        std::string healed = frameLine(headerJson(meta, n, seed).dump());
+        std::string healed =
+            frameLine(headerJson(meta, n, seed, fm).dump());
         healed += '\n';
         for (const auto &[i, rec] : records) {
             (void)i;
@@ -284,7 +291,7 @@ Journal::open(const std::string &path, const std::string &meta, uint64_t n,
         return false;
     }
     if (!valid) {
-        writeLine(headerJson(meta, n, seed));
+        writeLine(headerJson(meta, n, seed, fm));
         // Make the file's existence durable, not just its content: a
         // crash right after creation must not lose the entry itself
         // (cost: one directory barrier per campaign, not per sample).

@@ -18,6 +18,10 @@
  * JSON objects are:
  *
  *   {"meta":{"campaign":"<key>","n":N,"seed":S,"fmt":2}}  <- header
+ *
+ * A campaign run under a non-default fault model adds "fm":"<tag>" to
+ * the header (absent = single-bit); a header whose model disagrees
+ * with the caller's identifies a different campaign.
  *   {"i":0,"k":"<tag>","r":{...}}                <- completed sample
  *   {"i":3,"k":"<tag>","err":"<message>"}        <- quarantined sample
  *   {"i":5,"k":"<tag>","err":"...","hf":{...}}   <- host-fault triage
@@ -92,11 +96,16 @@ class Journal
      * @param seed    campaign seed (part of the identity)
      * @param resume  replay existing records when true; start fresh
      *                (truncate) when false
+     * @param fm      canonical fault-model tag, part of the identity
+     *                ("" = the single-bit default; absent in the
+     *                on-disk header, so pre-fault-model journals stay
+     *                valid for default campaigns and a model mismatch
+     *                discards the file like any identity mismatch)
      * @return false if the file could not be opened (journal stays
      *         disabled; the campaign still runs, just unjournaled)
      */
     bool open(const std::string &path, const std::string &meta, uint64_t n,
-              uint64_t seed, bool resume);
+              uint64_t seed, bool resume, const std::string &fm = {});
 
     bool enabled() const { return out != nullptr; }
 
@@ -154,8 +163,8 @@ class Journal
   private:
     void close();
     void writeLine(const Json &line);
-    Json headerJson(const std::string &meta, uint64_t n,
-                    uint64_t seed) const;
+    Json headerJson(const std::string &meta, uint64_t n, uint64_t seed,
+                    const std::string &fm) const;
 
     std::string path_;
     std::string recTag_; ///< campaign-key tag stamped into records ("k")

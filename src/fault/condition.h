@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Per-flip conditioning: the deterministic keep/suppress decision for
+ * fault models whose flip probability depends on the stored bit value
+ * (e.g. the sram-undervolt model, where a low-margin cell holding a 1
+ * is far more likely to flip than one holding a 0).
+ *
+ * The decision must be evaluable at the injection site — only there is
+ * the stored value known — yet reproducible across cold and
+ * checkpoint-accelerated runs, at any thread or fleet width.  It is
+ * therefore a pure function of a per-sample salt (drawn from the
+ * sample's own RNG stream when the fault list is sampled), the flip
+ * index within the sample, and the stored bit: no generator state is
+ * carried into the simulators.
+ *
+ * Header-only on purpose: uarch/core.cc, arch/pvf.cc, and
+ * swfi/interp.cc all evaluate it inline without linking src/fault.
+ */
+#ifndef VSTACK_FAULT_CONDITION_H
+#define VSTACK_FAULT_CONDITION_H
+
+#include <cstdint>
+
+namespace vstack::fault
+{
+
+/** Flip probabilities in 2^32-1 fixed point (UINT32_MAX = certain). */
+constexpr uint32_t
+probFixed(double p)
+{
+    return p <= 0.0 ? 0u
+           : p >= 1.0
+               ? 0xffffffffu
+               : static_cast<uint32_t>(p * 4294967295.0);
+}
+
+/**
+ * Decide whether flip `k` of a conditioned sample happens, given the
+ * bit value currently stored at the target cell.  SplitMix64 finalizer
+ * over (salt, k): portable, stateless, identical on every host.
+ */
+inline bool
+flipSelected(uint64_t salt, uint64_t k, int storedBit, uint32_t pFlip1,
+             uint32_t pFlip0)
+{
+    uint64_t z = salt + (k + 1) * 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    const uint32_t p = storedBit ? pFlip1 : pFlip0;
+    return p != 0 && static_cast<uint32_t>(z >> 32) <= p;
+}
+
+} // namespace vstack::fault
+
+#endif // VSTACK_FAULT_CONDITION_H

@@ -1,0 +1,541 @@
+#include "model.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+#include "fault/condition.h"
+#include "support/logging.h"
+
+namespace vstack::fault
+{
+
+namespace
+{
+
+/** Legacy injection-cycle draw: 1 + uniform(cycles) spans [1, cycles];
+ *  clamp into the live range without changing the draw count (see
+ *  UarchCampaign::sampleSites, whose sequence this must reproduce). */
+uint64_t
+drawCycle(Rng &rng, uint64_t cycles)
+{
+    return std::min<uint64_t>(1 + rng.uniform(cycles),
+                              cycles > 1 ? cycles - 1 : 1);
+}
+
+uint64_t
+liveCeiling(uint64_t cycles)
+{
+    return cycles > 1 ? cycles - 1 : 1;
+}
+
+/* ------------------------------------------------------------------ */
+/* single-bit                                                          */
+/* ------------------------------------------------------------------ */
+
+class SingleBitModel final : public FaultModel
+{
+  public:
+    const char *name() const override { return "single-bit"; }
+    std::string tag() const override { return "single-bit"; }
+    std::string describe() const override
+    {
+        return "one bit, uniform over (time, bit space) — the paper's "
+               "baseline transient model";
+    }
+    bool isDefault() const override { return true; }
+
+    std::vector<UarchFault> sampleUarch(Rng &master,
+                                        const UarchSpace &space,
+                                        size_t n) const override
+    {
+        // Byte-compatibility contract: this loop consumes the master
+        // stream exactly as the pre-plugin UarchCampaign::sampleSites
+        // did — one fork per sample, cycle draw then bit draw.
+        std::vector<UarchFault> faults(n);
+        for (UarchFault &f : faults) {
+            Rng rng = master.fork();
+            FaultSite site;
+            site.structure = space.structure;
+            site.cycle = drawCycle(rng, space.cycles);
+            site.bit = rng.uniform(space.bits);
+            f.sites.push_back(site);
+        }
+        return faults;
+    }
+
+    std::vector<SwFault> sampleSvf(Rng &master, const SvfSpace &space,
+                                   size_t n) const override
+    {
+        // Same contract vs the pre-plugin SvfDriver constructor: one
+        // fork per sample, step draw then bit draw.
+        std::vector<SwFault> faults(n);
+        for (SwFault &f : faults) {
+            Rng rng = master.fork();
+            f.targetValueStep = rng.uniform(space.valueSteps);
+            f.bit = static_cast<int>(
+                rng.uniform(static_cast<uint64_t>(space.xlen)));
+        }
+        return faults;
+    }
+
+    PvfShape pvfShape(const PvfSpace &) const override
+    {
+        return PvfShape{};
+    }
+};
+
+/* ------------------------------------------------------------------ */
+/* spatial-multibit                                                    */
+/* ------------------------------------------------------------------ */
+
+class SpatialMultibitModel final : public FaultModel
+{
+  public:
+    SpatialMultibitModel(uint32_t cluster, uint32_t stride)
+        : cluster(cluster), stride(stride)
+    {
+    }
+
+    const char *name() const override { return "spatial-multibit"; }
+    std::string tag() const override
+    {
+        return strprintf("spatial-multibit:cluster=%u,stride=%u", cluster,
+                         stride);
+    }
+    std::string describe() const override
+    {
+        return strprintf("%u-bit spatial upset, stride %u, wrapping at "
+                         "the bit-space edge",
+                         cluster, stride);
+    }
+
+    std::vector<UarchFault> sampleUarch(Rng &master,
+                                        const UarchSpace &space,
+                                        size_t n) const override
+    {
+        std::vector<UarchFault> faults(n);
+        for (UarchFault &f : faults) {
+            Rng rng = master.fork();
+            FaultSite site;
+            site.structure = space.structure;
+            site.cycle = drawCycle(rng, space.cycles);
+            site.bit = rng.uniform(space.bits);
+            if (stride == 1) {
+                // Adjacent clusters ride the structures' native burst
+                // path (one site, burst flips at the injection cycle).
+                site.burst = cluster;
+                f.sites.push_back(site);
+            } else {
+                // Strided geometry: one single-bit site per cell,
+                // wrapped into the bit space, all at the same cycle.
+                for (uint32_t j = 0; j < cluster; ++j) {
+                    FaultSite s = site;
+                    s.bit = (site.bit +
+                             static_cast<uint64_t>(j) * stride) %
+                            space.bits;
+                    f.sites.push_back(s);
+                }
+            }
+        }
+        return faults;
+    }
+
+    std::vector<SwFault> sampleSvf(Rng &master, const SvfSpace &space,
+                                   size_t n) const override
+    {
+        std::vector<SwFault> faults(n);
+        for (SwFault &f : faults) {
+            Rng rng = master.fork();
+            f.targetValueStep = rng.uniform(space.valueSteps);
+            f.bit = static_cast<int>(
+                rng.uniform(static_cast<uint64_t>(space.xlen)));
+            f.burst = cluster;
+            f.stride = stride;
+        }
+        return faults;
+    }
+
+    PvfShape pvfShape(const PvfSpace &) const override
+    {
+        PvfShape shape;
+        shape.burst = cluster;
+        shape.stride = stride;
+        return shape;
+    }
+
+  private:
+    uint32_t cluster;
+    uint32_t stride;
+};
+
+/* ------------------------------------------------------------------ */
+/* sram-undervolt                                                      */
+/* ------------------------------------------------------------------ */
+
+class SramUndervoltModel final : public FaultModel
+{
+  public:
+    SramUndervoltModel(double vdd, uint32_t banks, double droop,
+                       double asym)
+        : vdd(vdd), banks(banks), droop(droop), asym(asym)
+    {
+    }
+
+    const char *name() const override { return "sram-undervolt"; }
+    std::string tag() const override
+    {
+        return strprintf("sram-undervolt:vdd=%g,banks=%u,droop=%g,asym=%g",
+                         vdd, banks, droop, asym);
+    }
+    std::string describe() const override
+    {
+        return strprintf("value-conditioned flips at %.2f V across %u "
+                         "banks (droop %g V/bank, 0-cell asymmetry %g)",
+                         vdd, banks, droop, asym);
+    }
+
+    std::vector<UarchFault> sampleUarch(Rng &master,
+                                        const UarchSpace &space,
+                                        size_t n) const override
+    {
+        std::vector<UarchFault> faults(n);
+        for (UarchFault &f : faults) {
+            Rng rng = master.fork();
+            FaultSite site;
+            site.structure = space.structure;
+            site.cycle = drawCycle(rng, space.cycles);
+            site.bit = rng.uniform(space.bits);
+            site.condSalt = rng.next64();
+            site.conditioned = true;
+            const uint32_t bank = static_cast<uint32_t>(
+                space.bits ? site.bit * banks / space.bits : 0);
+            site.pFlip1 = probFixed(pFlip1(bank));
+            site.pFlip0 = probFixed(asym * pFlip1(bank));
+            f.sites.push_back(site);
+        }
+        return faults;
+    }
+
+    std::vector<SwFault> sampleSvf(Rng &master, const SvfSpace &space,
+                                   size_t n) const override
+    {
+        std::vector<SwFault> faults(n);
+        for (SwFault &f : faults) {
+            Rng rng = master.fork();
+            f.targetValueStep = rng.uniform(space.valueSteps);
+            f.bit = static_cast<int>(
+                rng.uniform(static_cast<uint64_t>(space.xlen)));
+            f.condSalt = rng.next64();
+            f.conditioned = true;
+            const uint32_t bank = static_cast<uint32_t>(
+                static_cast<uint64_t>(f.bit) * banks / space.xlen);
+            f.pFlip1 = probFixed(pFlip1(bank));
+            f.pFlip0 = probFixed(asym * pFlip1(bank));
+        }
+        return faults;
+    }
+
+    PvfShape pvfShape(const PvfSpace &) const override
+    {
+        // Architectural locations have no bank geometry: they see the
+        // nominal rail (bank 0, no droop).
+        PvfShape shape;
+        shape.conditioned = true;
+        shape.pFlip1 = probFixed(pFlip1(0));
+        shape.pFlip0 = probFixed(asym * pFlip1(0));
+        return shape;
+    }
+
+  private:
+    /** Flip probability of a 1-cell in `bank`: linear loss of noise
+     *  margin below the ~1.0 V full-margin rail, floor at 0.7 V. */
+    double pFlip1(uint32_t bank) const
+    {
+        const double rail = vdd - bank * droop;
+        const double margin =
+            std::min(1.0, std::max(0.0, (rail - 0.7) / 0.3));
+        return 1.0 - margin;
+    }
+
+    double vdd;
+    uint32_t banks;
+    double droop;
+    double asym;
+};
+
+/* ------------------------------------------------------------------ */
+/* em-burst                                                            */
+/* ------------------------------------------------------------------ */
+
+class EmBurstModel final : public FaultModel
+{
+  public:
+    EmBurstModel(uint64_t window, uint32_t flips, uint32_t cross)
+        : window(window), flips(flips), cross(cross)
+    {
+    }
+
+    const char *name() const override { return "em-burst"; }
+    std::string tag() const override
+    {
+        return strprintf("em-burst:window=%llu,flips=%u,cross=%u",
+                         static_cast<unsigned long long>(window), flips,
+                         cross);
+    }
+    std::string describe() const override
+    {
+        return strprintf("%u temporally clustered flips within a "
+                         "%llu-cycle window%s",
+                         flips,
+                         static_cast<unsigned long long>(window),
+                         cross ? ", across structures" : "");
+    }
+
+    std::vector<UarchFault> sampleUarch(Rng &master,
+                                        const UarchSpace &space,
+                                        size_t n) const override
+    {
+        std::vector<UarchFault> faults(n);
+        for (UarchFault &f : faults) {
+            Rng rng = master.fork();
+            FaultSite site;
+            site.structure = space.structure;
+            site.cycle = drawCycle(rng, space.cycles);
+            site.bit = rng.uniform(space.bits);
+            f.sites.push_back(site);
+            uint64_t prev = site.cycle;
+            for (uint32_t j = 1; j < flips; ++j) {
+                FaultSite s;
+                s.cycle = std::min(prev + 1 + rng.uniform(window),
+                                   liveCeiling(space.cycles));
+                prev = s.cycle;
+                s.structure = space.structure;
+                uint64_t bits = space.bits;
+                if (cross) {
+                    const size_t idx =
+                        static_cast<size_t>(rng.uniform(5));
+                    if (space.allBits[idx]) {
+                        s.structure = allStructures[idx];
+                        bits = space.allBits[idx];
+                    }
+                }
+                s.bit = rng.uniform(bits);
+                f.sites.push_back(s);
+            }
+            // Cumulative deltas keep the sites ascending by
+            // construction; the sort documents the invariant the
+            // executors rely on (restore below sites.front()).
+            std::stable_sort(f.sites.begin(), f.sites.end(),
+                             [](const FaultSite &a, const FaultSite &b) {
+                                 return a.cycle < b.cycle;
+                             });
+        }
+        return faults;
+    }
+
+    std::vector<SwFault> sampleSvf(Rng &master, const SvfSpace &space,
+                                   size_t n) const override
+    {
+        const uint64_t top =
+            space.valueSteps ? space.valueSteps - 1 : 0;
+        std::vector<SwFault> faults(n);
+        for (SwFault &f : faults) {
+            Rng rng = master.fork();
+            f.targetValueStep = rng.uniform(space.valueSteps);
+            f.bit = static_cast<int>(
+                rng.uniform(static_cast<uint64_t>(space.xlen)));
+            uint64_t prev = f.targetValueStep;
+            for (uint32_t j = 1; j < flips; ++j) {
+                SwFaultEvent e;
+                e.targetValueStep =
+                    std::min(prev + 1 + rng.uniform(window), top);
+                prev = e.targetValueStep;
+                e.bit = static_cast<int>(
+                    rng.uniform(static_cast<uint64_t>(space.xlen)));
+                f.extra.push_back(e);
+            }
+        }
+        return faults;
+    }
+
+    PvfShape pvfShape(const PvfSpace &) const override
+    {
+        PvfShape shape;
+        shape.events = flips;
+        shape.window = window;
+        return shape;
+    }
+
+  private:
+    uint64_t window;
+    uint32_t flips;
+    uint32_t cross;
+};
+
+/* ------------------------------------------------------------------ */
+/* spec parsing                                                        */
+/* ------------------------------------------------------------------ */
+
+/** Parsed `k=v` knob list with consumption tracking. */
+class Knobs
+{
+  public:
+    bool parse(const std::string &modelName, const std::string &list,
+               std::string &err)
+    {
+        size_t pos = 0;
+        while (pos < list.size()) {
+            size_t comma = list.find(',', pos);
+            if (comma == std::string::npos)
+                comma = list.size();
+            const std::string item = list.substr(pos, comma - pos);
+            const size_t eq = item.find('=');
+            if (item.empty() || eq == std::string::npos || eq == 0 ||
+                eq + 1 >= item.size()) {
+                err = strprintf("fault model %s: malformed knob '%s' "
+                                "(expected name=value)",
+                                modelName.c_str(), item.c_str());
+                return false;
+            }
+            vals[item.substr(0, eq)] = item.substr(eq + 1);
+            pos = comma + 1;
+        }
+        return true;
+    }
+
+    bool getU(const std::string &modelName, const char *knob,
+              uint64_t lo, uint64_t hi, uint64_t &out, std::string &err)
+    {
+        auto it = vals.find(knob);
+        if (it == vals.end())
+            return true;
+        char *end = nullptr;
+        const unsigned long long v = strtoull(it->second.c_str(), &end, 10);
+        if (end == it->second.c_str() || *end != '\0' || v < lo ||
+            v > hi) {
+            err = strprintf("fault model %s: knob %s='%s' out of range "
+                            "[%llu, %llu]",
+                            modelName.c_str(), knob, it->second.c_str(),
+                            static_cast<unsigned long long>(lo),
+                            static_cast<unsigned long long>(hi));
+            return false;
+        }
+        out = v;
+        vals.erase(it);
+        return true;
+    }
+
+    bool getF(const std::string &modelName, const char *knob, double lo,
+              double hi, double &out, std::string &err)
+    {
+        auto it = vals.find(knob);
+        if (it == vals.end())
+            return true;
+        char *end = nullptr;
+        const double v = strtod(it->second.c_str(), &end);
+        if (end == it->second.c_str() || *end != '\0' || v < lo ||
+            v > hi) {
+            err = strprintf("fault model %s: knob %s='%s' out of range "
+                            "[%g, %g]",
+                            modelName.c_str(), knob, it->second.c_str(),
+                            lo, hi);
+            return false;
+        }
+        out = v;
+        vals.erase(it);
+        return true;
+    }
+
+    bool finish(const std::string &modelName, std::string &err) const
+    {
+        if (vals.empty())
+            return true;
+        err = strprintf("fault model %s: unknown knob '%s'",
+                        modelName.c_str(), vals.begin()->first.c_str());
+        return false;
+    }
+
+  private:
+    std::map<std::string, std::string> vals;
+};
+
+} // namespace
+
+std::shared_ptr<const FaultModel>
+singleBitModel()
+{
+    static const std::shared_ptr<const FaultModel> model =
+        std::make_shared<SingleBitModel>();
+    return model;
+}
+
+const std::vector<std::string> &
+faultModelNames()
+{
+    static const std::vector<std::string> names = {
+        "single-bit", "spatial-multibit", "sram-undervolt", "em-burst"};
+    return names;
+}
+
+std::shared_ptr<const FaultModel>
+parseFaultModel(const std::string &spec, std::string &err)
+{
+    if (spec.empty())
+        return singleBitModel();
+
+    const size_t colon = spec.find(':');
+    const std::string name = spec.substr(0, colon);
+    Knobs knobs;
+    if (colon != std::string::npos &&
+        !knobs.parse(name, spec.substr(colon + 1), err))
+        return nullptr;
+
+    if (name == "single-bit") {
+        if (!knobs.finish(name, err))
+            return nullptr;
+        return singleBitModel();
+    }
+    if (name == "spatial-multibit") {
+        uint64_t cluster = 2, stride = 1;
+        if (!knobs.getU(name, "cluster", 1, 64, cluster, err) ||
+            !knobs.getU(name, "stride", 1, 1u << 20, stride, err) ||
+            !knobs.finish(name, err))
+            return nullptr;
+        return std::make_shared<SpatialMultibitModel>(
+            static_cast<uint32_t>(cluster),
+            static_cast<uint32_t>(stride));
+    }
+    if (name == "sram-undervolt") {
+        double vdd = 0.85, droop = 0.01, asym = 0.25;
+        uint64_t banks = 4;
+        if (!knobs.getF(name, "vdd", 0.5, 1.5, vdd, err) ||
+            !knobs.getU(name, "banks", 1, 64, banks, err) ||
+            !knobs.getF(name, "droop", 0.0, 0.5, droop, err) ||
+            !knobs.getF(name, "asym", 0.0, 1.0, asym, err) ||
+            !knobs.finish(name, err))
+            return nullptr;
+        return std::make_shared<SramUndervoltModel>(
+            vdd, static_cast<uint32_t>(banks), droop, asym);
+    }
+    if (name == "em-burst") {
+        uint64_t window = 8, flips = 3, cross = 0;
+        if (!knobs.getU(name, "window", 1, 1u << 30, window, err) ||
+            !knobs.getU(name, "flips", 1, 64, flips, err) ||
+            !knobs.getU(name, "cross", 0, 1, cross, err) ||
+            !knobs.finish(name, err))
+            return nullptr;
+        return std::make_shared<EmBurstModel>(
+            window, static_cast<uint32_t>(flips),
+            static_cast<uint32_t>(cross));
+    }
+
+    std::string known;
+    for (const std::string &m : faultModelNames())
+        known += (known.empty() ? "" : ", ") + m;
+    err = strprintf("unknown fault model '%s' (known: %s)", name.c_str(),
+                    known.c_str());
+    return nullptr;
+}
+
+} // namespace vstack::fault

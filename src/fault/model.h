@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Pluggable fault models: the one place that decides *what* a
+ * transient fault looks like, for every layer of the stack.
+ *
+ * The paper's baseline model — one bit, sampled uniformly over
+ * (time, bit-space) — used to be welded into each layer's sampling
+ * code.  A FaultModel lifts that decision out: the layer drivers hand
+ * the model their campaign's sampling space (golden run length plus
+ * bit-space geometry) and a master RNG seeded exactly as the legacy
+ * code seeded it, and the model returns the pre-sampled fault list.
+ * Execution stays in the layers; only sampling and the per-flip
+ * conditioning parameters move here.
+ *
+ * Contract highlights (DESIGN.md §13):
+ *  - the `single-bit` model is the default and reproduces the legacy
+ *    per-sample RNG draw sequence bit for bit, so its ResultStores,
+ *    journals, and caches are byte-identical to pre-plugin builds;
+ *  - every sample consumes exactly one fork of the master stream, so
+ *    fault lists are pure functions of (seed, sample index) and
+ *    campaigns stay deterministic at any --jobs / fleet width;
+ *  - tag() is the canonical serialization of the model and its knobs;
+ *    it feeds ResultStore keys (suffix `/fm:<tag>`) and journal
+ *    headers for every non-default model.  Two specs that parse to
+ *    the same knob values share one tag, hence one store entry.
+ */
+#ifndef VSTACK_FAULT_MODEL_H
+#define VSTACK_FAULT_MODEL_H
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/rng.h"
+#include "swfi/interp.h"
+#include "uarch/faultsite.h"
+
+namespace vstack::fault
+{
+
+/** Sampling space of one microarchitectural structure campaign. */
+struct UarchSpace
+{
+    Structure structure = Structure::RF;
+    uint64_t cycles = 0; ///< golden run length (live cycles)
+    uint64_t bits = 0;   ///< bit count of the target structure
+    /** Bit counts of all five structures, indexed like allStructures
+     *  (cross-structure models only; zeros when unknown). */
+    std::array<uint64_t, 5> allBits{};
+};
+
+/** One sampled microarchitectural fault: one or more sites applied to
+ *  the same run.  Sites are ascending by cycle; the checkpoint
+ *  restore point is chosen below the first site's cycle. */
+struct UarchFault
+{
+    std::vector<FaultSite> sites;
+};
+
+/** Sampling space of one SVF campaign. */
+struct SvfSpace
+{
+    uint64_t valueSteps = 0; ///< golden value-producing IR steps
+    int xlen = 64;           ///< destination value width
+};
+
+/** Sampling space of one PVF campaign. */
+struct PvfSpace
+{
+    uint64_t insts = 0; ///< golden dynamic instruction count
+    int xlen = 64;
+};
+
+/**
+ * Shape of a PVF injection.  PVF draws its randomness during the run
+ * (the fault location depends on the dynamic instruction reached), so
+ * the model contributes campaign-constant shape parameters instead of
+ * a fault list; the default-constructed shape is the legacy
+ * single-bit injection, bit for bit.
+ */
+struct PvfShape
+{
+    uint32_t burst = 1;       ///< bits flipped per event
+    uint32_t stride = 1;      ///< bit distance between burst flips
+    bool conditioned = false; ///< evaluate flipSelected() per flip
+    uint32_t pFlip1 = 0;      ///< flip probability, stored bit = 1
+    uint32_t pFlip0 = 0;      ///< flip probability, stored bit = 0
+    uint32_t events = 1;      ///< temporally clustered flip events
+    uint64_t window = 0;      ///< max instruction gap between events
+
+    bool isDefault() const
+    {
+        return burst == 1 && !conditioned && events <= 1;
+    }
+};
+
+/** Interface every fault model implements. */
+class FaultModel
+{
+  public:
+    virtual ~FaultModel() = default;
+
+    /** Bare model name ("single-bit", "em-burst", ...). */
+    virtual const char *name() const = 0;
+
+    /** Canonical serialization: name plus every knob in fixed order.
+     *  Feeds ResultStore keys and journal headers. */
+    virtual std::string tag() const = 0;
+
+    /** One-line human description for logs and --help. */
+    virtual std::string describe() const = 0;
+
+    /** True only for the single-bit default (keys stay untagged). */
+    virtual bool isDefault() const { return false; }
+
+    /** Sample n microarchitectural faults.  `master` is seeded by the
+     *  caller exactly as the legacy sampler seeded it. */
+    virtual std::vector<UarchFault> sampleUarch(Rng &master,
+                                                const UarchSpace &space,
+                                                size_t n) const = 0;
+
+    /** Sample n software-level faults. */
+    virtual std::vector<SwFault> sampleSvf(Rng &master,
+                                           const SvfSpace &space,
+                                           size_t n) const = 0;
+
+    /** Campaign-constant injection shape for the PVF layer. */
+    virtual PvfShape pvfShape(const PvfSpace &space) const = 0;
+};
+
+/** The default model (shared singleton, never null). */
+std::shared_ptr<const FaultModel> singleBitModel();
+
+/**
+ * Parse a model spec — `name` or `name:knob=value,knob=value` — into
+ * a model instance.  Unknown names, unknown knobs, malformed or
+ * out-of-range values yield null plus a one-line reason in `err`;
+ * parsing never exits.  The empty spec is the single-bit default.
+ */
+std::shared_ptr<const FaultModel> parseFaultModel(const std::string &spec,
+                                                  std::string &err);
+
+/** Every parseable model name, for error messages and --help. */
+const std::vector<std::string> &faultModelNames();
+
+} // namespace vstack::fault
+
+#endif // VSTACK_FAULT_MODEL_H

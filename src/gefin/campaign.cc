@@ -95,30 +95,73 @@ UarchCampaign::runOneColdOn(CycleSim &worker, const FaultSite &site,
     return classify(r);
 }
 
+Outcome
+UarchCampaign::runFaultOn(CycleSim &worker,
+                          const fault::UarchFault &fault,
+                          Visibility &vis) const
+{
+    if (!policy_.enabled || !trace_.recorded())
+        return runFaultColdOn(worker, fault, vis);
+
+    // Sites are ascending by cycle, so restoring below the first is
+    // an exact prefix for every site; the run loop applies each site
+    // as its cycle arrives, and early termination stays sound because
+    // it requires the pending-injection list to be empty.
+    worker.restore(trace_.nearestBelow(fault.sites.front().cycle).state);
+    for (const FaultSite &site : fault.sites)
+        worker.scheduleInjection(site);
+    UarchRunResult r = worker.runWithTrace(
+        watchdog.limitFor(golden_.cycles), trace_, policy_.earlyStop);
+    vis = r.visibility;
+    return classify(r);
+}
+
+Outcome
+UarchCampaign::runFaultColdOn(CycleSim &worker,
+                              const fault::UarchFault &fault,
+                              Visibility &vis) const
+{
+    worker.load(image);
+    for (const FaultSite &site : fault.sites)
+        worker.scheduleInjection(site);
+    UarchRunResult r = worker.run(watchdog.limitFor(golden_.cycles));
+    vis = r.visibility;
+    return classify(r);
+}
+
+std::vector<fault::UarchFault>
+UarchCampaign::sampleFaults(const fault::FaultModel *model,
+                            Structure structure, size_t n,
+                            uint64_t seed) const
+{
+    fault::UarchSpace space;
+    space.structure = structure;
+    space.cycles = golden_.cycles;
+    space.bits = sim.structureBits(structure);
+    for (size_t i = 0; i < 5; ++i)
+        space.allBits[i] = sim.structureBits(allStructures[i]);
+
+    // The master stream keeps the legacy per-structure seeding; each
+    // sample is the i-th fork, a pure function of (seed, i), so the
+    // list — and hence the campaign — is identical at every thread
+    // count for every model.
+    Rng master(seed ^ (static_cast<uint64_t>(structure) << 56));
+    return (model ? model : fault::singleBitModel().get())
+        ->sampleUarch(master, space, n);
+}
+
 std::vector<FaultSite>
 UarchCampaign::sampleSites(Structure structure, size_t n,
                            uint64_t seed) const
 {
-    const uint64_t bits = sim.structureBits(structure);
-    Rng master(seed ^ (static_cast<uint64_t>(structure) << 56));
-
-    // Sample the fault list up front; each sample's stream is the i-th
-    // fork of the master, a pure function of (seed, i), so the list —
-    // and hence the campaign — is identical at every thread count.
-    std::vector<FaultSite> sites(n);
-    for (FaultSite &site : sites) {
-        Rng rng = master.fork();
-        site.structure = structure;
-        // 1 + uniform(cycles) spans [1, cycles]; the top draw would
-        // inject during the exit cycle itself, after the last point
-        // at which the flip could do anything.  Clamp into the live
-        // range without changing the draw count, so every other
-        // sample's stream is untouched.
-        site.cycle = std::min<uint64_t>(
-            1 + rng.uniform(golden_.cycles),
-            golden_.cycles > 1 ? golden_.cycles - 1 : 1);
-        site.bit = rng.uniform(bits);
-    }
+    // The single-bit model reproduces the historical draw sequence;
+    // flatten its one-site faults back into the legacy site list.
+    std::vector<fault::UarchFault> faults =
+        sampleFaults(nullptr, structure, n, seed);
+    std::vector<FaultSite> sites;
+    sites.reserve(faults.size());
+    for (const fault::UarchFault &f : faults)
+        sites.push_back(f.sites.front());
     return sites;
 }
 
@@ -168,8 +211,10 @@ struct UarchCtx final : exec::LayerDriver::Ctx
 } // namespace
 
 UarchDriver::UarchDriver(UarchCampaign &campaign, Structure structure,
-                         size_t n, uint64_t seed)
-    : campaign(campaign), structure(structure), n(n), seed(seed)
+                         size_t n, uint64_t seed,
+                         std::shared_ptr<const fault::FaultModel> model)
+    : campaign(campaign), structure(structure), n(n), seed(seed),
+      model(std::move(model))
 {
 }
 
@@ -177,11 +222,11 @@ void
 UarchDriver::prepare()
 {
     // Trace first: ensureTrace() serializes concurrent drivers sharing
-    // this campaign, so by the time sampleSites() touches the shared
+    // this campaign, so by the time sampleFaults() touches the shared
     // simulator the recording pass is over.
     campaign.ensureTrace();
-    if (sites.empty())
-        sites = campaign.sampleSites(structure, n, seed);
+    if (faults.empty())
+        faults = campaign.sampleFaults(model.get(), structure, n, seed);
 }
 
 std::unique_ptr<exec::LayerDriver::Ctx>
@@ -194,8 +239,8 @@ Json
 UarchDriver::runSample(Ctx &ctx, size_t i) const
 {
     UarchSample s;
-    s.out = campaign.runOneOn(static_cast<UarchCtx &>(ctx).sim, sites[i],
-                              s.vis);
+    s.out = campaign.runFaultOn(static_cast<UarchCtx &>(ctx).sim,
+                                faults[i], s.vis);
     return sampleToJson(s);
 }
 
@@ -203,8 +248,8 @@ Json
 UarchDriver::runSampleCold(Ctx &ctx, size_t i) const
 {
     UarchSample s;
-    s.out = campaign.runOneColdOn(static_cast<UarchCtx &>(ctx).sim,
-                                  sites[i], s.vis);
+    s.out = campaign.runFaultColdOn(static_cast<UarchCtx &>(ctx).sim,
+                                    faults[i], s.vis);
     return sampleToJson(s);
 }
 
@@ -218,7 +263,7 @@ UarchDriver::scheduled() const
 uint64_t
 UarchDriver::scheduleKey(size_t i) const
 {
-    return sites[i].cycle;
+    return faults[i].sites.front().cycle;
 }
 
 double
@@ -230,10 +275,15 @@ UarchDriver::verifyPercent() const
 std::string
 UarchDriver::describeSample(size_t i) const
 {
-    return strprintf("sample %zu (%s, cycle %llu, bit %llu)", i,
-                     structureName(structure),
-                     static_cast<unsigned long long>(sites[i].cycle),
-                     static_cast<unsigned long long>(sites[i].bit));
+    const FaultSite &first = faults[i].sites.front();
+    std::string desc = strprintf(
+        "sample %zu (%s, cycle %llu, bit %llu", i,
+        structureName(structure),
+        static_cast<unsigned long long>(first.cycle),
+        static_cast<unsigned long long>(first.bit));
+    if (faults[i].sites.size() > 1)
+        desc += strprintf(", %zu sites", faults[i].sites.size());
+    return desc + ")";
 }
 
 UarchCampaignResult
@@ -260,9 +310,14 @@ foldUarchSamples(const std::vector<std::optional<Json>> &samples)
 
 UarchCampaignResult
 UarchCampaign::run(Structure structure, size_t n, uint64_t seed,
-                   const exec::ExecConfig &ec)
+                   const exec::ExecConfig &ec,
+                   const fault::FaultModel *model)
 {
-    UarchDriver driver(*this, structure, n, seed);
+    // Non-owning alias: the caller's model outlives this synchronous
+    // run.
+    UarchDriver driver(*this, structure, n, seed,
+                       std::shared_ptr<const fault::FaultModel>(
+                           std::shared_ptr<const void>(), model));
     return foldUarchSamples(exec::runDriver(driver, ec));
 }
 

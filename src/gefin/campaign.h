@@ -35,6 +35,7 @@
 
 #include "exec/driver.h"
 #include "exec/executor.h"
+#include "fault/model.h"
 #include "machine/fpm.h"
 #include "machine/outcome.h"
 #include "uarch/core.h"
@@ -105,10 +106,21 @@ class UarchCampaign
      * Sample the campaign fault list for one structure: per-sample
      * forked RNG streams, injection cycles uniform over the golden
      * run's live cycles.  The list run() uses; public so tests can
-     * pin the site distribution.
+     * pin the site distribution.  Equivalent to sampleFaults() with
+     * the single-bit model, flattened (kept for byte-compat tests).
      */
     std::vector<FaultSite> sampleSites(Structure structure, size_t n,
                                        uint64_t seed) const;
+
+    /**
+     * Sample the fault list through a fault model (null = the
+     * single-bit default).  The master stream is seeded exactly as
+     * the legacy sampler seeded it, so the default model reproduces
+     * sampleSites() draw for draw.
+     */
+    std::vector<fault::UarchFault>
+    sampleFaults(const fault::FaultModel *model, Structure structure,
+                 size_t n, uint64_t seed) const;
 
     /**
      * Record the golden checkpoint/digest trace (second golden pass)
@@ -138,12 +150,25 @@ class UarchCampaign
     Outcome runOneColdOn(CycleSim &worker, const FaultSite &site,
                          Visibility &vis) const;
 
+    /** Run one (possibly multi-site) fault: restore below the first
+     *  site's cycle, schedule every site, run.  Single-site faults are
+     *  exactly runOneOn(). */
+    Outcome runFaultOn(CycleSim &worker, const fault::UarchFault &fault,
+                       Visibility &vis) const;
+
+    /** Cold counterpart of runFaultOn(). */
+    Outcome runFaultColdOn(CycleSim &worker,
+                           const fault::UarchFault &fault,
+                           Visibility &vis) const;
+
     /**
-     * Run a full campaign: n uniformly sampled (cycle, bit) faults in
-     * `structure`.  Deterministic for a given seed at any job count.
+     * Run a full campaign: n faults in `structure`, sampled by
+     * `model` (null = the paper's uniform single-bit model).
+     * Deterministic for a given seed at any job count.
      */
     UarchCampaignResult run(Structure structure, size_t n, uint64_t seed,
-                            const exec::ExecConfig &ec = {});
+                            const exec::ExecConfig &ec = {},
+                            const fault::FaultModel *model = nullptr);
 
   private:
     Outcome classify(const UarchRunResult &r) const;
@@ -167,8 +192,11 @@ class UarchCampaign
 class UarchDriver final : public exec::LayerDriver
 {
   public:
+    /** @param model  fault model sampling the list (null = single-bit
+     *                default, byte-identical to the legacy driver) */
     UarchDriver(UarchCampaign &campaign, Structure structure, size_t n,
-                uint64_t seed);
+                uint64_t seed,
+                std::shared_ptr<const fault::FaultModel> model = nullptr);
 
     const char *layerName() const override { return "uarch"; }
     size_t samples() const override { return n; }
@@ -186,7 +214,8 @@ class UarchDriver final : public exec::LayerDriver
     Structure structure;
     size_t n;
     uint64_t seed;
-    std::vector<FaultSite> sites; ///< sampled by prepare()
+    std::shared_ptr<const fault::FaultModel> model;
+    std::vector<fault::UarchFault> faults; ///< sampled by prepare()
 };
 
 /** Fold per-sample driver payloads (index order) into the campaign

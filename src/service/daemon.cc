@@ -97,6 +97,18 @@ rejectedFrame(const std::string &reason)
     return out;
 }
 
+/** Structured rejection for an inadmissible manifest (parse error,
+ *  unknown axis value, unknown fault model): the machine-matchable
+ *  reason is the fixed string "bad-manifest", the human-readable
+ *  cause rides in "detail".  Never fatal, never enqueued. */
+Json
+badManifestFrame(const std::string &detail)
+{
+    Json out = rejectedFrame("bad-manifest");
+    out.set("detail", detail);
+    return out;
+}
+
 } // namespace
 
 struct Daemon::Impl
@@ -490,7 +502,7 @@ struct Daemon::Impl
         std::string perr;
         if (!planFromManifest(job->manifest, job->harden, job->plan,
                               perr)) {
-            writeFrame(fd, rejectedFrame(perr), err);
+            writeFrame(fd, badManifestFrame(perr), err);
             return;
         }
         for (const CampaignSpec &spec : job->plan.specs())

@@ -58,6 +58,8 @@ cfgToJson(const EnvConfig &c)
     j.set("checkpoints", static_cast<int64_t>(c.checkpoints));
     j.set("goldenBudget", static_cast<int64_t>(c.goldenBudget));
     j.set("goldenCache", static_cast<int64_t>(c.goldenCache));
+    if (!c.faultModel.empty())
+        j.set("faultModel", c.faultModel);
     return j;
 }
 
@@ -85,6 +87,10 @@ cfgApply(const Json &j, EnvConfig &c)
             static_cast<uint64_t>(j.at("goldenBudget").asInt());
     if (j.has("goldenCache"))
         c.goldenCache = static_cast<unsigned>(j.at("goldenCache").asInt());
+    // The supervisor ships the canonical tag (its stack resolved the
+    // raw spec at construction), so workers apply it verbatim.
+    if (j.has("faultModel"))
+        c.faultModel = j.at("faultModel").asString();
 }
 
 // ---------------------------------------------------------------------
@@ -263,7 +269,8 @@ void
 setupRun(Fleet &F, FRun &r)
 {
     r.journal = std::make_unique<exec::Journal>();
-    r.ec = campaign_io::execPolicy(F.cfg, *r.journal, r.key, r.n);
+    r.ec = campaign_io::execPolicy(F.cfg, *r.journal, r.key, r.n,
+                                   r.spec.faultModel);
     r.ec.cancel = F.opts.cancel;
     if (const uint64_t faults = r.journal->storageFaults())
         F.stack.noteStorageFaults(faults);

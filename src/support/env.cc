@@ -116,6 +116,9 @@ EnvConfig::fromEnvironment()
         envIntStrict("VSTACK_GOLDEN_BUDGET", 100'000'000, 1));
     cfg.goldenCache =
         static_cast<unsigned>(envIntStrict("VSTACK_GOLDEN_CACHE", 2, 1));
+    // Raw spec string; canonicalized (and strictly validated) by the
+    // first consumer that can link the fault library.
+    cfg.faultModel = envString("VSTACK_FAULT_MODEL", "");
     return cfg;
 }
 

@@ -38,6 +38,14 @@
  *   VSTACK_GOLDEN_BUDGET=N  golden-run reference budget in cycles/
  *                       instructions/steps (>= 1); the actual cap is
  *                       the campaign watchdog applied to N
+ *   VSTACK_FAULT_MODEL=...  fault model for every campaign (default
+ *                       "single-bit"; see src/fault/model.h for the
+ *                       spec grammar, e.g.
+ *                       "spatial-multibit:cluster=4,stride=1").
+ *                       Validated where it is first consumed (the
+ *                       fault library sits above this one): a garbage
+ *                       value is a one-line fatal error at
+ *                       VulnerabilityStack construction
  *   VSTACK_GOLDEN_CACHE=N   cycle-level campaigns (golden run +
  *                       recorded checkpoint trace) kept in memory at
  *                       once (>= 1, default 2); evicting one means the
@@ -121,6 +129,12 @@ struct EnvConfig
     /** Cycle-level campaigns (golden run + recorded trace) kept in
      *  memory at once; the oldest is evicted beyond this. */
     unsigned goldenCache = 2;
+    /** Fault-model spec applied to every campaign ("" = the single-bit
+     *  default).  Holds the raw VSTACK_FAULT_MODEL string until the
+     *  first consumer (VulnerabilityStack, the CLI) parses it into a
+     *  fault::FaultModel and rewrites it to the canonical tag; store
+     *  keys and journal headers only ever see canonical tags. */
+    std::string faultModel;
 
     /** Resolve from the process environment. */
     static EnvConfig fromEnvironment();

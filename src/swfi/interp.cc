@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "fault/condition.h"
 #include "support/crc32c.h"
 #include "support/failpoint.h"
 #include "support/fastpath.h"
@@ -20,6 +21,30 @@ namespace
 /** Stop probing for reconvergence after this many failed digest
  *  compares (mirrors the cycle-level interpreter's policy). */
 constexpr unsigned DIGEST_GIVE_UP = 12;
+
+/**
+ * Apply one fault event's flips to a destination value: `burst` flips
+ * `stride` bits apart, wrapping at the value width, each optionally
+ * value-conditioned.  With the default single-bit shape this is the
+ * legacy `v ^= 1 << bit`, bit for bit.
+ */
+uint64_t
+applySwFlips(const SwFault &f, uint64_t eventIdx, int baseBit, int xlen,
+             uint64_t v)
+{
+    for (uint32_t k = 0; k < f.burst; ++k) {
+        const int b = static_cast<int>(
+            (static_cast<uint64_t>(baseBit) + k * f.stride) %
+            static_cast<uint64_t>(xlen));
+        if (f.conditioned &&
+            !fault::flipSelected(f.condSalt, eventIdx * f.burst + k,
+                                 static_cast<int>((v >> b) & 1),
+                                 f.pFlip1, f.pFlip0))
+            continue;
+        v ^= 1ull << b;
+    }
+    return v;
+}
 
 } // namespace
 
@@ -429,10 +454,18 @@ IrInterp::exec(const SwFault *fault, uint64_t maxSteps, SwfiTrace *record,
         auto setDst = [&](uint64_t v) {
             v &= mask;
             // LLFI-style injection: corrupt the destination of the
-            // Nth dynamic value-producing instruction.
+            // Nth dynamic value-producing instruction (plus any later
+            // events of a multi-event fault — em-burst and friends).
             ++res.valueSteps;
-            if (fault && res.valueSteps == fault->targetValueStep + 1)
-                v ^= 1ull << fault->bit;
+            if (fault) {
+                if (res.valueSteps == fault->targetValueStep + 1)
+                    v = applySwFlips(*fault, 0, fault->bit, m.xlen, v);
+                for (size_t e = 0; e < fault->extra.size(); ++e)
+                    if (res.valueSteps ==
+                        fault->extra[e].targetValueStep + 1)
+                        v = applySwFlips(*fault, e + 1,
+                                         fault->extra[e].bit, m.xlen, v);
+            }
             fr.vregs[inst.dst] = v & mask;
         };
         auto sv = [&](uint64_t v) -> int64_t {
@@ -606,7 +639,7 @@ IrInterp::exec(const SwFault *fault, uint64_t maxSteps, SwfiTrace *record,
             recordHook();
 
         if (stopEligible && res.steps % check->interval == 0 &&
-            res.valueSteps > fault->targetValueStep &&
+            res.valueSteps > fault->lastStep() &&
             digestFails < DIGEST_GIVE_UP) {
             const uint64_t k = res.steps / check->interval - 1;
             if (k < check->digests.size()) {

@@ -45,12 +45,39 @@ struct InterpResult
     uint32_t detectCode = 0;
 };
 
+/** A later flip event of a multi-event software-level fault. */
+struct SwFaultEvent
+{
+    uint64_t targetValueStep = 0;
+    int bit = 0;
+};
+
 /** A software-level fault: flip `bit` of the destination value of the
- *  Nth dynamic value-producing IR instruction (LLFI's default model). */
+ *  Nth dynamic value-producing IR instruction (LLFI's default model).
+ *  Fault models widen the default single-bit shape along three axes:
+ *  a spatial burst (`burst` flips `stride` bits apart, wrapping at the
+ *  value width), value-conditioned flips (fault::flipSelected over
+ *  (condSalt, flip index, stored bit)), and extra temporally
+ *  clustered events (`extra`, ascending by step).  The defaults are
+ *  byte-identical to the legacy single-bit behaviour. */
 struct SwFault
 {
     uint64_t targetValueStep = 0;
     int bit = 0;
+    uint32_t burst = 1;  ///< bits flipped per event
+    uint32_t stride = 1; ///< bit distance between burst flips
+    bool conditioned = false;
+    uint64_t condSalt = 0;
+    uint32_t pFlip1 = 0; ///< flip probability, stored bit = 1 (fixed pt)
+    uint32_t pFlip0 = 0; ///< flip probability, stored bit = 0
+    std::vector<SwFaultEvent> extra; ///< later events, ascending
+
+    /** Target step of the last event (early-stop ceiling). */
+    uint64_t lastStep() const
+    {
+        return extra.empty() ? targetValueStep
+                             : extra.back().targetValueStep;
+    }
 };
 
 /** Opaque full-state snapshot of an IrInterp (defined in interp.cc). */

@@ -66,10 +66,18 @@ Outcome
 SvfCampaign::runOneOn(IrInterp &worker, uint64_t targetValueStep,
                       int bit) const
 {
-    if (!policy_.enabled || !trace_.recorded())
-        return runOneColdOn(worker, targetValueStep, bit);
+    SwFault fault;
+    fault.targetValueStep = targetValueStep;
+    fault.bit = bit;
+    return runOneOn(worker, fault);
+}
 
-    SwFault fault{targetValueStep, bit};
+Outcome
+SvfCampaign::runOneOn(IrInterp &worker, const SwFault &fault) const
+{
+    if (!policy_.enabled || !trace_.recorded())
+        return runOneColdOn(worker, fault);
+
     InterpResult r = worker.runWithTrace(
         fault, watchdog.limitFor(golden_.steps), trace_,
         policy_.earlyStop);
@@ -80,7 +88,15 @@ Outcome
 SvfCampaign::runOneColdOn(IrInterp &worker, uint64_t targetValueStep,
                           int bit) const
 {
-    SwFault fault{targetValueStep, bit};
+    SwFault fault;
+    fault.targetValueStep = targetValueStep;
+    fault.bit = bit;
+    return runOneColdOn(worker, fault);
+}
+
+Outcome
+SvfCampaign::runOneColdOn(IrInterp &worker, const SwFault &fault) const
+{
     InterpResult r =
         worker.runWithFault(fault, watchdog.limitFor(golden_.steps));
     return classify(r);
@@ -98,20 +114,22 @@ struct SvfCtx final : exec::LayerDriver::Ctx
 
 } // namespace
 
-SvfDriver::SvfDriver(SvfCampaign &campaign, size_t n, uint64_t seed)
+SvfDriver::SvfDriver(SvfCampaign &campaign, size_t n, uint64_t seed,
+                     std::shared_ptr<const fault::FaultModel> model)
     : campaign(campaign), n(n)
 {
     // Pre-sample every fault from the i-th fork of the master stream
     // (a pure function of (seed, i)) — see src/exec/executor.h.  The
     // golden reference is immutable after campaign construction, so
-    // the fault list lives in the constructor.
+    // the fault list lives in the constructor.  The master keeps the
+    // legacy seeding; the single-bit default reproduces the
+    // historical draw sequence bit for bit.
     Rng master(seed ^ 0x5f0d1e2c3b4a5968ull);
-    faults.resize(n);
-    for (SvfFault &f : faults) {
-        Rng rng = master.fork();
-        f.step = rng.uniform(campaign.golden().valueSteps);
-        f.bit = static_cast<int>(rng.uniform(campaign.m.xlen));
-    }
+    fault::SvfSpace space;
+    space.valueSteps = campaign.golden().valueSteps;
+    space.xlen = campaign.m.xlen;
+    faults = (model ? model.get() : fault::singleBitModel().get())
+                 ->sampleSvf(master, space, n);
 }
 
 void
@@ -131,17 +149,15 @@ SvfDriver::makeCtx() const
 Json
 SvfDriver::runSample(Ctx &ctx, size_t i) const
 {
-    return Json(static_cast<int>(
-        campaign.runOneOn(static_cast<SvfCtx &>(ctx).interp,
-                          faults[i].step, faults[i].bit)));
+    return Json(static_cast<int>(campaign.runOneOn(
+        static_cast<SvfCtx &>(ctx).interp, faults[i])));
 }
 
 Json
 SvfDriver::runSampleCold(Ctx &ctx, size_t i) const
 {
-    return Json(static_cast<int>(
-        campaign.runOneColdOn(static_cast<SvfCtx &>(ctx).interp,
-                              faults[i].step, faults[i].bit)));
+    return Json(static_cast<int>(campaign.runOneColdOn(
+        static_cast<SvfCtx &>(ctx).interp, faults[i])));
 }
 
 bool
@@ -154,7 +170,7 @@ SvfDriver::scheduled() const
 uint64_t
 SvfDriver::scheduleKey(size_t i) const
 {
-    return faults[i].step;
+    return faults[i].targetValueStep;
 }
 
 double
@@ -166,9 +182,10 @@ SvfDriver::verifyPercent() const
 std::string
 SvfDriver::describeSample(size_t i) const
 {
-    return strprintf("SVF sample %zu (value step %llu, bit %d)", i,
-                     static_cast<unsigned long long>(faults[i].step),
-                     faults[i].bit);
+    return strprintf(
+        "SVF sample %zu (value step %llu, bit %d)", i,
+        static_cast<unsigned long long>(faults[i].targetValueStep),
+        faults[i].bit);
 }
 
 std::string
@@ -178,9 +195,14 @@ SvfDriver::payloadName(const Json &payload) const
 }
 
 OutcomeCounts
-SvfCampaign::run(size_t n, uint64_t seed, const exec::ExecConfig &ec)
+SvfCampaign::run(size_t n, uint64_t seed, const exec::ExecConfig &ec,
+                 const fault::FaultModel *model)
 {
-    SvfDriver driver(*this, n, seed);
+    // Non-owning alias: the caller's model outlives this synchronous
+    // run.
+    SvfDriver driver(*this, n, seed,
+                     std::shared_ptr<const fault::FaultModel>(
+                         std::shared_ptr<const void>(), model));
     return foldOutcomeSamples(exec::runDriver(driver, ec));
 }
 

@@ -22,6 +22,7 @@
 #include "compiler/ir.h"
 #include "exec/driver.h"
 #include "exec/executor.h"
+#include "fault/model.h"
 #include "machine/outcome.h"
 #include "swfi/interp.h"
 
@@ -81,16 +82,23 @@ class SvfCampaign
     Outcome runOneOn(IrInterp &worker, uint64_t targetValueStep,
                      int bit) const;
 
+    /** Same, for a fully described (possibly multi-event) fault. */
+    Outcome runOneOn(IrInterp &worker, const SwFault &fault) const;
+
     /** Run one injection cold (from the entry point, no early
      *  termination) — the reference path for checkpoint audits. */
     Outcome runOneColdOn(IrInterp &worker, uint64_t targetValueStep,
                          int bit) const;
 
-    /** Run a campaign of n injections with uniform sampling.
-     *  Deterministic for a given seed at any job count, with or
-     *  without the accelerator. */
+    /** Cold counterpart of the SwFault overload. */
+    Outcome runOneColdOn(IrInterp &worker, const SwFault &fault) const;
+
+    /** Run a campaign of n injections sampled by `model` (null = the
+     *  uniform single-bit default).  Deterministic for a given seed
+     *  at any job count, with or without the accelerator. */
     OutcomeCounts run(size_t n, uint64_t seed,
-                      const exec::ExecConfig &ec = {});
+                      const exec::ExecConfig &ec = {},
+                      const fault::FaultModel *model = nullptr);
 
   private:
     friend class SvfDriver;
@@ -115,7 +123,10 @@ class SvfCampaign
 class SvfDriver final : public exec::LayerDriver
 {
   public:
-    SvfDriver(SvfCampaign &campaign, size_t n, uint64_t seed);
+    /** @param model  fault model sampling the list (null = single-bit
+     *                default, byte-identical to the legacy driver) */
+    SvfDriver(SvfCampaign &campaign, size_t n, uint64_t seed,
+              std::shared_ptr<const fault::FaultModel> model = nullptr);
 
     const char *layerName() const override { return "svf"; }
     size_t samples() const override { return n; }
@@ -130,15 +141,9 @@ class SvfDriver final : public exec::LayerDriver
     std::string payloadName(const Json &payload) const override;
 
   private:
-    struct SvfFault
-    {
-        uint64_t step;
-        int bit;
-    };
-
     SvfCampaign &campaign;
     size_t n;
-    std::vector<SvfFault> faults; ///< pre-sampled fault list
+    std::vector<SwFault> faults; ///< pre-sampled fault list
 };
 
 } // namespace vstack

@@ -139,6 +139,24 @@ Cache::flipBit(uint64_t bit, TaintTracker &tracker)
     }
 }
 
+int
+Cache::bitValue(uint64_t bit) const
+{
+    const uint64_t bitsPerLine = lineSize * 8 + tagBitCount + 2;
+    const uint64_t lineIdx = bit / bitsPerLine;
+    const uint64_t offset = bit % bitsPerLine;
+    assert(lineIdx < lines.size());
+    const Line &l = lines[lineIdx];
+    if (offset < lineSize * 8)
+        return (l.data[offset / 8] >> (offset % 8)) & 1;
+    const uint64_t meta = offset - lineSize * 8;
+    if (meta < static_cast<uint64_t>(tagBitCount))
+        return (l.tag >> meta) & 1;
+    if (meta == static_cast<uint64_t>(tagBitCount))
+        return l.valid ? 1 : 0;
+    return l.dirty ? 1 : 0;
+}
+
 // ---- MemHierarchy ------------------------------------------------------
 
 MemHierarchy::MemHierarchy(const CoreConfig &cfg, PhysMem &mem,

@@ -80,6 +80,11 @@ class Cache
      */
     void flipBit(uint64_t bit, TaintTracker &tracker);
 
+    /** Current value (0/1) of one bit of the structure's bit space,
+     *  same layout as flipBit().  Value-conditioned fault models read
+     *  this before deciding whether the flip happens. */
+    int bitValue(uint64_t bit) const;
+
     /**
      * Serialize array state.  liveOnly (digest mode) covers valid
      * lines only — invalid lines' stale tag/data bits are unreachable

@@ -6,6 +6,7 @@
 #include <deque>
 
 #include "exec/error.h"
+#include "fault/condition.h"
 #include "support/crc32c.h"
 #include "support/fastpath.h"
 #include "support/logging.h"
@@ -646,6 +647,10 @@ struct CycleSim::Impl
                 s.u64(f.cycle);
                 s.u64(f.bit);
                 s.u32(f.burst);
+                s.u8(f.conditioned ? 1 : 0);
+                s.u64(f.condSalt);
+                s.u32(f.pFlip1);
+                s.u32(f.pFlip0);
             }
             s.u64(stats.branches);
             s.u64(stats.mispredicts);
@@ -741,6 +746,10 @@ struct CycleSim::Impl
             f.cycle = s.u64();
             f.bit = s.u64();
             f.burst = s.u32();
+            f.conditioned = s.u8() != 0;
+            f.condSalt = s.u64();
+            f.pFlip1 = s.u32();
+            f.pFlip0 = s.u32();
         }
         stats.branches = s.u64();
         stats.mispredicts = s.u64();
@@ -809,8 +818,20 @@ struct CycleSim::Impl
     }
 
     // ---- fault injection -------------------------------------------------
+    /** Apply one site: `burst` flips starting at site.bit, each wrapped
+     *  into the structure's bit space (`% total`) so a burst sampled at
+     *  the edge folds back to bit 0 instead of indexing past the last
+     *  valid bit.  Conditioned sites (value-dependent fault models)
+     *  read the stored bit first and let fault::flipSelected decide
+     *  whether each flip happens — a pure function of the site, so
+     *  cold and checkpoint-accelerated runs agree. */
     void applyInjection(const FaultSite &site)
     {
+        const auto selected = [&site](uint64_t k, int storedBit) {
+            return !site.conditioned ||
+                   fault::flipSelected(site.condSalt, k, storedBit,
+                                       site.pFlip1, site.pFlip0);
+        };
         switch (site.structure) {
           case Structure::RF: {
             const int xlen = spec.xlen;
@@ -819,7 +840,10 @@ struct CycleSim::Impl
                     (site.bit + k) % (static_cast<uint64_t>(xlen) *
                                       cfg.numPhysRegs);
                 const int preg = static_cast<int>(bit / xlen);
-                prf[preg] ^= 1ull << (bit % xlen);
+                const int off = static_cast<int>(bit % xlen);
+                if (!selected(k, (prf[preg] >> off) & 1))
+                    continue;
+                prf[preg] ^= 1ull << off;
                 taintedPreg = preg; // last flipped (bursts stay local)
             }
             return;
@@ -836,9 +860,13 @@ struct CycleSim::Impl
                                   ? lq[idx]
                                   : sq[idx - cfg.lqSize];
                 if (off < 32) {
+                    if (!selected(k, (e.addr >> off) & 1))
+                        continue;
                     e.addr ^= 1u << off;
                     e.taintAddr = true;
                 } else {
+                    if (!selected(k, (e.data >> (off - 32)) & 1))
+                        continue;
                     e.data ^= 1ull << (off - 32);
                     e.taintData = true;
                 }
@@ -853,8 +881,12 @@ struct CycleSim::Impl
                            : site.structure == Structure::L1D
                                  ? hier.l1dCache()
                                  : hier.l2Cache();
-            for (uint64_t k = 0; k < site.burst; ++k)
-                c.flipBit((site.bit + k) % c.totalBits(), tracker);
+            for (uint64_t k = 0; k < site.burst; ++k) {
+                const uint64_t bit = (site.bit + k) % c.totalBits();
+                if (!selected(k, c.bitValue(bit)))
+                    continue;
+                c.flipBit(bit, tracker);
+            }
             return;
           }
         }

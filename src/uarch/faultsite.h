@@ -53,8 +53,19 @@ struct FaultSite
     uint64_t cycle = 0; ///< injection cycle
     uint64_t bit = 0;   ///< bit index within the structure's bit space
     /** Burst length: number of adjacent bits flipped (1 = the paper's
-     *  single-bit transient model; >1 models multi-bit upsets). */
+     *  single-bit transient model; >1 models multi-bit upsets).
+     *  Burst flips wrap at the structure's bit-space edge. */
     uint32_t burst = 1;
+
+    /** @name Value-conditioned flips (fault::flipSelected)
+     *  When `conditioned`, each burst flip k happens only if the
+     *  stored bit selects it under (condSalt, k, pFlip1/pFlip0);
+     *  sampled by conditioned fault models (e.g. sram-undervolt). @{ */
+    bool conditioned = false;
+    uint64_t condSalt = 0;
+    uint32_t pFlip1 = 0; ///< flip probability, stored bit = 1 (fixed pt)
+    uint32_t pFlip0 = 0; ///< flip probability, stored bit = 0
+    /** @} */
 };
 
 /**

@@ -1,0 +1,583 @@
+/**
+ * @file
+ * Fault-model plugin tests (src/fault): spec parsing and canonical
+ * tags, byte-identity of the single-bit default with the legacy
+ * per-sample draw sequence, per-model sampling determinism, store-key
+ * separation between models, journal identity, the manifest / wire
+ * codecs, and the burst wrap at the bit-space edge.
+ *
+ * Every fixture name contains "FaultModel": the suite-running cases
+ * here are excluded from the TSan stage of tools/ci_sanitize.sh by
+ * that name, like the suite and service tests.
+ */
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "compiler/compile.h"
+#include "core/suite.h"
+#include "core/vstack.h"
+#include "exec/journal.h"
+#include "fault/condition.h"
+#include "fault/model.h"
+#include "gefin/campaign.h"
+#include "kernel/kernel.h"
+#include "swfi/svf.h"
+#include "workloads/workloads.h"
+
+namespace vstack
+{
+namespace
+{
+
+Program
+systemImage(const std::string &wl, IsaId isa)
+{
+    mcl::BuildResult b =
+        mcl::buildUserProgram(findWorkload(wl).source, isa);
+    EXPECT_TRUE(b.ok) << b.error;
+    return buildSystemImage(buildKernel(isa), b.program);
+}
+
+std::shared_ptr<const fault::FaultModel>
+mustParse(const std::string &spec)
+{
+    std::string err;
+    auto m = fault::parseFaultModel(spec, err);
+    EXPECT_TRUE(m) << spec << ": " << err;
+    return m;
+}
+
+bool
+countsEq(const OutcomeCounts &a, const OutcomeCounts &b)
+{
+    return a.masked == b.masked && a.sdc == b.sdc &&
+           a.crash == b.crash && a.detected == b.detected;
+}
+
+bool
+faultEq(const fault::UarchFault &a, const fault::UarchFault &b)
+{
+    if (a.sites.size() != b.sites.size())
+        return false;
+    for (size_t i = 0; i < a.sites.size(); ++i) {
+        const FaultSite &x = a.sites[i], &y = b.sites[i];
+        if (x.structure != y.structure || x.cycle != y.cycle ||
+            x.bit != y.bit || x.burst != y.burst ||
+            x.conditioned != y.conditioned || x.condSalt != y.condSalt ||
+            x.pFlip1 != y.pFlip1 || x.pFlip0 != y.pFlip0)
+            return false;
+    }
+    return true;
+}
+
+bool
+swFaultEq(const SwFault &a, const SwFault &b)
+{
+    if (a.targetValueStep != b.targetValueStep || a.bit != b.bit ||
+        a.burst != b.burst || a.stride != b.stride ||
+        a.conditioned != b.conditioned || a.condSalt != b.condSalt ||
+        a.pFlip1 != b.pFlip1 || a.pFlip0 != b.pFlip0 ||
+        a.extra.size() != b.extra.size())
+        return false;
+    for (size_t i = 0; i < a.extra.size(); ++i)
+        if (a.extra[i].targetValueStep != b.extra[i].targetValueStep ||
+            a.extra[i].bit != b.extra[i].bit)
+            return false;
+    return true;
+}
+
+/** The four parseable specs, one per model, with non-default knobs
+ *  for the three non-default models. */
+const char *const kModelSpecs[] = {
+    "single-bit",
+    "spatial-multibit:cluster=4,stride=3",
+    "sram-undervolt:vdd=0.8,banks=8,droop=0.02,asym=0.25",
+    "em-burst:window=64,flips=3",
+};
+
+// ---- parsing and canonical tags --------------------------------------------
+
+TEST(FaultModelParseTest, EmptySpecIsTheSingleBitDefault)
+{
+    std::string err;
+    auto m = fault::parseFaultModel("", err);
+    ASSERT_TRUE(m) << err;
+    EXPECT_TRUE(m->isDefault());
+    EXPECT_EQ(m->tag(), "single-bit");
+    auto named = fault::parseFaultModel("single-bit", err);
+    ASSERT_TRUE(named) << err;
+    EXPECT_TRUE(named->isDefault());
+    EXPECT_EQ(named->tag(), fault::singleBitModel()->tag());
+}
+
+TEST(FaultModelParseTest, KnobOrderCanonicalizes)
+{
+    auto a = mustParse("spatial-multibit:cluster=4,stride=8");
+    auto b = mustParse("spatial-multibit:stride=8,cluster=4");
+    ASSERT_TRUE(a && b);
+    EXPECT_EQ(a->tag(), b->tag());
+    EXPECT_FALSE(a->isDefault());
+
+    auto c = mustParse("em-burst:flips=2,window=128");
+    auto d = mustParse("em-burst:window=128,flips=2");
+    ASSERT_TRUE(c && d);
+    EXPECT_EQ(c->tag(), d->tag());
+}
+
+TEST(FaultModelParseTest, UnspecifiedKnobsTakeDefaults)
+{
+    // A bare name parses; its tag still spells out every knob, so two
+    // specs that resolve to the same knob values share one tag.
+    auto bare = mustParse("spatial-multibit");
+    ASSERT_TRUE(bare);
+    EXPECT_NE(bare->tag().find("cluster="), std::string::npos);
+    EXPECT_NE(bare->tag().find("stride="), std::string::npos);
+}
+
+TEST(FaultModelParseTest, BadSpecsAreRejectedWithoutExiting)
+{
+    const char *bad[] = {
+        "rowhammer",                    // unknown model
+        "em-burst:zap=3",               // unknown knob
+        "spatial-multibit:cluster=0",   // below range
+        "spatial-multibit:cluster=65",  // above range
+        "sram-undervolt:vdd=2.0",       // above range
+        "em-burst:flips=0",             // below range
+        "em-burst:flips=abc",           // malformed value
+        "spatial-multibit:cluster",     // missing value
+    };
+    for (const char *spec : bad) {
+        std::string err;
+        auto m = fault::parseFaultModel(spec, err);
+        EXPECT_FALSE(m) << spec << " parsed to " << m->tag();
+        EXPECT_FALSE(err.empty()) << spec;
+    }
+}
+
+TEST(FaultModelParseTest, AllFourModelsAreListed)
+{
+    const auto &names = fault::faultModelNames();
+    for (const char *want :
+         {"single-bit", "spatial-multibit", "sram-undervolt", "em-burst"}) {
+        bool found = false;
+        for (const std::string &n : names)
+            found = found || n == want;
+        EXPECT_TRUE(found) << want;
+    }
+}
+
+// ---- single-bit byte-identity with the legacy draw sequence ----------------
+
+TEST(FaultModelSingleBitTest, UarchSamplingMatchesLegacyDraws)
+{
+    fault::UarchSpace space;
+    space.structure = Structure::L1D;
+    space.cycles = 5000;
+    space.bits = 1u << 18;
+
+    Rng master(42);
+    Rng legacy(42);
+    auto faults =
+        fault::singleBitModel()->sampleUarch(master, space, 32);
+    ASSERT_EQ(faults.size(), 32u);
+    for (const fault::UarchFault &f : faults) {
+        // The historical sampler: one fork per sample, the cycle draw
+        // (1 + uniform(cycles), clamped into the live range) then the
+        // bit draw.  The default model must reproduce it draw for
+        // draw — that is what keeps its stores byte-identical.
+        Rng rng = legacy.fork();
+        const uint64_t cycle =
+            std::min<uint64_t>(1 + rng.uniform(space.cycles),
+                               space.cycles > 1 ? space.cycles - 1 : 1);
+        const uint64_t bit = rng.uniform(space.bits);
+        ASSERT_EQ(f.sites.size(), 1u);
+        const FaultSite &s = f.sites.front();
+        EXPECT_EQ(s.structure, Structure::L1D);
+        EXPECT_EQ(s.cycle, cycle);
+        EXPECT_EQ(s.bit, bit);
+        EXPECT_EQ(s.burst, 1u);
+        EXPECT_FALSE(s.conditioned);
+    }
+}
+
+TEST(FaultModelSingleBitTest, SvfSamplingMatchesLegacyDraws)
+{
+    fault::SvfSpace space;
+    space.valueSteps = 7777;
+    space.xlen = 64;
+
+    Rng master(13 ^ 0x5f0d1e2c3b4a5968ull);
+    Rng legacy(13 ^ 0x5f0d1e2c3b4a5968ull);
+    auto faults = fault::singleBitModel()->sampleSvf(master, space, 32);
+    ASSERT_EQ(faults.size(), 32u);
+    for (const SwFault &f : faults) {
+        Rng rng = legacy.fork();
+        const uint64_t step = rng.uniform(space.valueSteps);
+        const int bit = static_cast<int>(
+            rng.uniform(static_cast<uint64_t>(space.xlen)));
+        EXPECT_EQ(f.targetValueStep, step);
+        EXPECT_EQ(f.bit, bit);
+        EXPECT_EQ(f.burst, 1u);
+        EXPECT_FALSE(f.conditioned);
+        EXPECT_TRUE(f.extra.empty());
+        EXPECT_EQ(f.lastStep(), step);
+    }
+}
+
+TEST(FaultModelSingleBitTest, PvfShapeIsTheLegacyDefault)
+{
+    fault::PvfSpace space;
+    space.insts = 100000;
+    space.xlen = 64;
+    fault::PvfShape shape = fault::singleBitModel()->pvfShape(space);
+    EXPECT_TRUE(shape.isDefault());
+    EXPECT_EQ(shape.burst, 1u);
+    EXPECT_EQ(shape.events, 1u);
+    EXPECT_FALSE(shape.conditioned);
+}
+
+// ---- per-model sampling determinism ----------------------------------------
+
+TEST(FaultModelDeterminismTest, SamplingIsAPureFunctionOfSeed)
+{
+    fault::UarchSpace us;
+    us.structure = Structure::RF;
+    us.cycles = 4096;
+    us.bits = 2048;
+    for (size_t i = 0; i < 5; ++i)
+        us.allBits[i] = 1024u << i;
+    fault::SvfSpace ss;
+    ss.valueSteps = 9999;
+    ss.xlen = 64;
+
+    for (const char *spec : kModelSpecs) {
+        auto m = mustParse(spec);
+        ASSERT_TRUE(m);
+        Rng ma(77), mb(77);
+        auto ua = m->sampleUarch(ma, us, 24);
+        auto ub = m->sampleUarch(mb, us, 24);
+        ASSERT_EQ(ua.size(), ub.size()) << spec;
+        for (size_t i = 0; i < ua.size(); ++i)
+            EXPECT_TRUE(faultEq(ua[i], ub[i])) << spec << " #" << i;
+
+        Rng sa(77), sb(77);
+        auto va = m->sampleSvf(sa, ss, 24);
+        auto vb = m->sampleSvf(sb, ss, 24);
+        ASSERT_EQ(va.size(), vb.size()) << spec;
+        for (size_t i = 0; i < va.size(); ++i)
+            EXPECT_TRUE(swFaultEq(va[i], vb[i])) << spec << " #" << i;
+
+        // A different seed must sample a different list (astronomically
+        // unlikely to collide over 24 x (cycle, bit) draws).
+        Rng mc(78);
+        auto uc = m->sampleUarch(mc, us, 24);
+        bool allEqual = uc.size() == ua.size();
+        for (size_t i = 0; allEqual && i < uc.size(); ++i)
+            allEqual = faultEq(ua[i], uc[i]);
+        EXPECT_FALSE(allEqual) << spec;
+    }
+}
+
+TEST(FaultModelDeterminismTest, SvfCampaignIsJobsInvariantPerModel)
+{
+    mcl::FrontendResult fr =
+        mcl::compileToIr(findWorkload("sha").source, 64);
+    ASSERT_TRUE(fr.ok);
+    SvfCampaign campaign(fr.module);
+    for (const char *spec :
+         {"spatial-multibit:cluster=4,stride=3", "em-burst:window=32,flips=2"}) {
+        auto m = mustParse(spec);
+        ASSERT_TRUE(m);
+        OutcomeCounts serial = campaign.run(40, 13, {}, m.get());
+        exec::ExecConfig three;
+        three.jobs = 3;
+        OutcomeCounts parallel = campaign.run(40, 13, three, m.get());
+        EXPECT_TRUE(countsEq(serial, parallel)) << spec;
+    }
+}
+
+TEST(FaultModelDeterminismTest, UarchCampaignIsJobsInvariantPerModel)
+{
+    UarchCampaign campaign(coreByName("ax9"),
+                           systemImage("qsort", IsaId::Av32));
+    auto m = mustParse("sram-undervolt:vdd=0.8,banks=8");
+    ASSERT_TRUE(m);
+    auto serial = campaign.run(Structure::RF, 16, 7, {}, m.get());
+    exec::ExecConfig three;
+    three.jobs = 3;
+    auto parallel = campaign.run(Structure::RF, 16, 7, three, m.get());
+    EXPECT_EQ(serial.outcomes.masked, parallel.outcomes.masked);
+    EXPECT_EQ(serial.outcomes.sdc, parallel.outcomes.sdc);
+    EXPECT_EQ(serial.outcomes.crash, parallel.outcomes.crash);
+    EXPECT_EQ(serial.fpms.wd, parallel.fpms.wd);
+    EXPECT_EQ(serial.hwMasked, parallel.hwMasked);
+}
+
+// ---- store-key separation --------------------------------------------------
+
+EnvConfig
+keyCfg()
+{
+    EnvConfig cfg;
+    cfg.uarchFaults = 8;
+    cfg.archFaults = 8;
+    cfg.swFaults = 8;
+    cfg.seed = 7;
+    cfg.jobs = 1;
+    return cfg;
+}
+
+TEST(FaultModelStoreKeyTest, NonDefaultModelsGetTaggedKeys)
+{
+    CampaignSpec spec;
+    spec.layer = CampaignLayer::Svf;
+    spec.variant = Variant{"fft", false};
+
+    EnvConfig cfg = keyCfg();
+    const std::string plain = campaignKey(cfg, spec);
+    EXPECT_EQ(plain.find("/fm:"), std::string::npos);
+
+    // Environment-level model: every key of the campaign gains the
+    // canonical-tag suffix, so it can never share a store entry (or a
+    // cache hit) with a default-model campaign.
+    auto m = mustParse("em-burst:window=64,flips=2");
+    ASSERT_TRUE(m);
+    EnvConfig tagged = keyCfg();
+    tagged.faultModel = m->tag();
+    EXPECT_EQ(campaignKey(tagged, spec), plain + "/fm:" + m->tag());
+
+    // Per-spec model beats the environment default.
+    CampaignSpec overridden = spec;
+    overridden.faultModel = mustParse("spatial-multibit")->tag();
+    EXPECT_EQ(campaignKey(tagged, overridden),
+              plain + "/fm:" + overridden.faultModel);
+}
+
+TEST(FaultModelStoreKeyTest, ExplicitSingleBitOverrideRestoresDefaultKey)
+{
+    CampaignSpec spec;
+    spec.layer = CampaignLayer::Uarch;
+    spec.variant = Variant{"fft", false};
+    spec.core = "ax9";
+    spec.structure = Structure::RF;
+
+    EnvConfig tagged = keyCfg();
+    tagged.faultModel = "em-burst:window=64,flips=2,cross=0";
+    CampaignSpec single = spec;
+    single.faultModel = "single-bit";
+    // The explicit per-entry "single-bit" resolves to the *default*
+    // key bytes: stores written before the plugin refactor stay warm.
+    EXPECT_EQ(campaignKey(tagged, single), campaignKey(keyCfg(), spec));
+}
+
+TEST(FaultModelStoreKeyTest, DifferentModelsNeverShareStoreEntries)
+{
+    const std::string base =
+        "/tmp/vstack_faultmodel_test." + std::to_string(getpid());
+    std::filesystem::remove_all(base);
+
+    CampaignPlan plan;
+    plan.addSvf(Variant{"fft", false});
+
+    EnvConfig cfg = keyCfg();
+    cfg.resultsDir = base;
+    {
+        VulnerabilityStack stack(cfg);
+        SuiteReport r = runSuite(stack, plan);
+        EXPECT_EQ(r.cacheHits, 0u);
+    }
+    {
+        // Same dir, same campaign: warm.
+        VulnerabilityStack stack(cfg);
+        SuiteReport r = runSuite(stack, plan);
+        EXPECT_EQ(r.cacheHits, 1u);
+    }
+    {
+        // Same dir, different model: the tagged key must miss.
+        EnvConfig other = cfg;
+        other.faultModel = "spatial-multibit:cluster=2,stride=1";
+        VulnerabilityStack stack(other);
+        SuiteReport r = runSuite(stack, plan);
+        EXPECT_EQ(r.cacheHits, 0u);
+    }
+    {
+        // And the default entry is still warm afterwards.
+        VulnerabilityStack stack(cfg);
+        SuiteReport r = runSuite(stack, plan);
+        EXPECT_EQ(r.cacheHits, 1u);
+    }
+    std::filesystem::remove_all(base);
+}
+
+// ---- burst wrap at the bit-space edge --------------------------------------
+
+TEST(FaultModelBurstEdgeTest, BurstWrapsAtBitSpaceEdge)
+{
+    UarchCampaign campaign(coreByName("ax9"),
+                           systemImage("qsort", IsaId::Av32));
+    campaign.ensureTrace();
+    CycleSim accel(coreByName("ax9"));
+    CycleSim cold(coreByName("ax9"));
+    for (Structure s : allStructures) {
+        const uint64_t bits = accel.structureBits(s);
+        FaultSite site = campaign.sampleSites(s, 1, 21).front();
+        // A burst anchored on the last bit of the structure: flips
+        // past the edge wrap to bits 0..2 (documented in
+        // CycleSim::applyInjection) instead of indexing out of range.
+        site.bit = bits - 1;
+        site.burst = 4;
+        fault::UarchFault f;
+        f.sites.push_back(site);
+        Visibility va, vc;
+        const Outcome oa = campaign.runFaultOn(accel, f, va);
+        const Outcome oc = campaign.runFaultColdOn(cold, f, vc);
+        EXPECT_EQ(oa, oc) << structureName(s);
+        EXPECT_EQ(va.visible, vc.visible) << structureName(s);
+    }
+}
+
+TEST(FaultModelBurstEdgeTest, EmBurstMultiSiteWarmMatchesCold)
+{
+    UarchCampaign campaign(coreByName("ax9"),
+                           systemImage("qsort", IsaId::Av32));
+    campaign.ensureTrace();
+    auto m = mustParse("em-burst:window=256,flips=3");
+    ASSERT_TRUE(m);
+    auto faults = campaign.sampleFaults(m.get(), Structure::RF, 8, 11);
+    ASSERT_EQ(faults.size(), 8u);
+    bool sawMultiSite = false;
+    CycleSim accel(coreByName("ax9"));
+    CycleSim cold(coreByName("ax9"));
+    for (const fault::UarchFault &f : faults) {
+        sawMultiSite = sawMultiSite || f.sites.size() > 1;
+        for (size_t i = 1; i < f.sites.size(); ++i)
+            EXPECT_LE(f.sites[i - 1].cycle, f.sites[i].cycle);
+        Visibility va, vc;
+        EXPECT_EQ(campaign.runFaultOn(accel, f, va),
+                  campaign.runFaultColdOn(cold, f, vc));
+    }
+    EXPECT_TRUE(sawMultiSite);
+}
+
+// ---- journal identity ------------------------------------------------------
+
+TEST(FaultModelJournalTest, ModelTagIsPartOfJournalIdentity)
+{
+    const std::string dir =
+        "/tmp/vstack_faultmodel_journal." + std::to_string(getpid());
+    std::filesystem::remove_all(dir);
+    const std::string path = dir + "/j.jsonl";
+    const std::string fm = "em-burst:window=64,flips=2,cross=0";
+    {
+        exec::Journal j;
+        ASSERT_TRUE(j.open(path, "camp", 10, 42, false, fm));
+        j.append(0, Json::parse("{\"ok\":true}"));
+    }
+    {
+        // Same model tag: the record replays.
+        exec::Journal j;
+        ASSERT_TRUE(j.open(path, "camp", 10, 42, true, fm));
+        EXPECT_EQ(j.replayed(), 1u);
+    }
+    {
+        // Default model: a different campaign — the journal restarts.
+        exec::Journal j;
+        ASSERT_TRUE(j.open(path, "camp", 10, 42, true));
+        EXPECT_EQ(j.replayed(), 0u);
+        j.append(0, Json::parse("{\"ok\":true}"));
+    }
+    {
+        // Pre-fault-model journals (no "fm" header field) keep
+        // replaying for default campaigns; a tagged open restarts.
+        exec::Journal j;
+        ASSERT_TRUE(j.open(path, "camp", 10, 42, true));
+        EXPECT_EQ(j.replayed(), 1u);
+    }
+    {
+        exec::Journal j;
+        ASSERT_TRUE(j.open(path, "camp", 10, 42, true, fm));
+        EXPECT_EQ(j.replayed(), 0u);
+    }
+    std::filesystem::remove_all(dir);
+}
+
+// ---- wire / manifest codecs ------------------------------------------------
+
+TEST(FaultModelSpecCodecTest, SpecRoundTripsFaultModel)
+{
+    CampaignSpec spec;
+    spec.layer = CampaignLayer::Pvf;
+    spec.variant = Variant{"fft", false};
+    spec.isa = IsaId::Av64;
+    spec.fpm = Fpm::WI;
+    spec.faultModel = mustParse("sram-undervolt:vdd=0.8")->tag();
+
+    Json j = specToJson(spec);
+    ASSERT_TRUE(j.has("faultModel"));
+    CampaignSpec back;
+    std::string err;
+    ASSERT_TRUE(specFromJson(j, back, err)) << err;
+    EXPECT_EQ(back.faultModel, spec.faultModel);
+
+    spec.faultModel.clear();
+    Json plain = specToJson(spec);
+    EXPECT_FALSE(plain.has("faultModel"));
+    ASSERT_TRUE(specFromJson(plain, back, err)) << err;
+    EXPECT_TRUE(back.faultModel.empty());
+}
+
+TEST(FaultModelSpecCodecTest, MalformedFaultModelIsRejectedGracefully)
+{
+    CampaignSpec spec;
+    spec.layer = CampaignLayer::Svf;
+    spec.variant = Variant{"fft", false};
+    Json j = specToJson(spec);
+    j.set("faultModel", Json("bogus"));
+    CampaignSpec back;
+    std::string err;
+    EXPECT_FALSE(specFromJson(j, back, err));
+    EXPECT_NE(err.find("campaign spec"), std::string::npos) << err;
+}
+
+TEST(FaultModelManifestTest, UnknownModelIsRejectedBeforePlanning)
+{
+    std::string perr;
+    Json manifest = Json::parse(
+        "{\"campaigns\": [{\"layer\": \"svf\", \"workload\": \"fft\","
+        " \"faultModel\": \"bogus\"}]}",
+        &perr);
+    ASSERT_TRUE(perr.empty()) << perr;
+    CampaignPlan plan;
+    std::string err;
+    EXPECT_FALSE(planFromManifest(manifest, false, plan, err));
+    EXPECT_NE(err.find("suite manifest"), std::string::npos) << err;
+}
+
+TEST(FaultModelManifestTest, ModelAppliesToEveryFannedOutSpec)
+{
+    std::string perr;
+    Json manifest = Json::parse(
+        "{\"campaigns\": ["
+        "{\"layer\": \"uarch\", \"workload\": \"fft\", \"core\": \"ax9\","
+        " \"structure\": \"*\", \"faultModel\": \"em-burst:flips=2\"},"
+        "{\"layer\": \"svf\", \"workload\": \"fft\"}]}",
+        &perr);
+    ASSERT_TRUE(perr.empty()) << perr;
+    CampaignPlan plan;
+    std::string err;
+    ASSERT_TRUE(planFromManifest(manifest, false, plan, err)) << err;
+    ASSERT_EQ(plan.size(), 6u); // five structures + one svf entry
+    const std::string tag = mustParse("em-burst:flips=2")->tag();
+    for (size_t i = 0; i < 5; ++i)
+        EXPECT_EQ(plan.specs()[i].faultModel, tag) << i;
+    // The entry without a model inherits the environment default.
+    EXPECT_TRUE(plan.specs()[5].faultModel.empty());
+}
+
+} // namespace
+} // namespace vstack

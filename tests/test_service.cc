@@ -554,6 +554,68 @@ TEST_F(ServiceTest, CorruptSocketFrameIsRejectedWithoutKillingDaemon)
     server.join();
 }
 
+TEST_F(ServiceTest, UnknownFaultModelManifestIsRejectedStructurally)
+{
+    const std::string dir = base + "/daemon";
+    VulnerabilityStack stack(serviceCfg(dir));
+    service::DaemonOptions dopts;
+    dopts.socketPath = sock;
+    service::Daemon daemon(stack, dopts);
+    std::string err;
+    ASSERT_TRUE(daemon.start(err)) << err;
+    std::thread server([&daemon] { daemon.serve(); });
+
+    // A manifest naming a fault model nobody implements: admission
+    // control answers with a structured `rejected bad-manifest` frame
+    // — the daemon neither dies nor enqueues the job.
+    {
+        const Json bad = parseManifest(
+            R"({"campaigns": [
+                 {"layer": "svf", "workload": "fft",
+                  "faultModel": "rowhammer"}]})");
+        service::Client c(clientOpts("mallory"));
+        std::string cerr;
+        const Json r = c.submit(bad, false, 0.0, nullptr, cerr);
+        ASSERT_TRUE(r.isObject() && r.has("ev")) << cerr;
+        EXPECT_EQ(r.at("ev").asString(), "rejected");
+        EXPECT_EQ(r.at("reason").asString(), "bad-manifest");
+        ASSERT_TRUE(r.has("detail"));
+        EXPECT_NE(r.at("detail").asString().find("suite manifest"),
+                  std::string::npos)
+            << r.at("detail").asString();
+        EXPECT_EQ(daemon.pendingJobs(), 0u);
+    }
+    // A bad knob value on a known model is rejected the same way.
+    {
+        const Json bad = parseManifest(
+            R"({"campaigns": [
+                 {"layer": "svf", "workload": "fft",
+                  "faultModel": "em-burst:flips=0"}]})");
+        service::Client c(clientOpts("mallory"));
+        std::string cerr;
+        const Json r = c.submit(bad, false, 0.0, nullptr, cerr);
+        ASSERT_TRUE(r.isObject() && r.has("ev")) << cerr;
+        EXPECT_EQ(r.at("ev").asString(), "rejected");
+        EXPECT_EQ(r.at("reason").asString(), "bad-manifest");
+        EXPECT_EQ(daemon.pendingJobs(), 0u);
+    }
+    // The daemon survived: a well-formed submission still completes.
+    {
+        const Json good = parseManifest(
+            R"({"campaigns": [
+                 {"layer": "svf", "workload": "fft",
+                  "faultModel": "em-burst:flips=2"}]})");
+        service::Client c(clientOpts("alice"));
+        std::string cerr;
+        const Json r = c.submit(good, false, 0.0, nullptr, cerr);
+        EXPECT_TRUE(cerr.empty()) << cerr;
+        ASSERT_TRUE(r.isObject() && r.has("ev"));
+        EXPECT_EQ(r.at("ev").asString(), "result");
+    }
+    daemon.stop();
+    server.join();
+}
+
 TEST_F(ServiceTest, RoundRobinFairnessAcrossClients)
 {
     // Alice floods three jobs, Bob submits one: round-robin must run

@@ -7,8 +7,9 @@
 #     + checkpoint smoke (the snapshot/restore fast-forward path and
 #     a verified CLI campaign) + suite smoke (the pooled multi-campaign
 #     scheduler vs the serial path, byte for byte) + service smoke
-#     (vstackd) + fleet smoke (supervised worker processes, kill and
-#     resume experiments)
+#     (vstackd) + fault-model smoke (the pluggable sampler: single-bit
+#     byte-identity, per-model determinism, kill + resume) + fleet
+#     smoke (supervised worker processes, kill and resume experiments)
 #   - thread: the campaign-executor tests (test_exec + the parallel
 #     campaign determinism tests), i.e. everything that exercises the
 #     worker pool in src/exec
@@ -108,6 +109,17 @@ ctest --test-dir "${prefix}-address" --output-on-failure -j "${jobs}" \
       -R 'Service'
 tools/vstackd_smoke.sh --smoke "${prefix}-address"
 
+echo "=== fault-model smoke [address]"
+# The pluggable fault-model path under ASan: the plugin tests first
+# (sampling, store-key separation, journal identity), then the script
+# proves the single-bit default is still byte-identical to the
+# committed pre-refactor store, that every non-default model is
+# deterministic across --jobs widths on two layers, and that an
+# em-burst campaign survives SIGKILL + --resume byte-identically.
+ctest --test-dir "${prefix}-address" --output-on-failure -j "${jobs}" \
+      -R 'FaultModel'
+tools/faultmodel_smoke.sh --smoke "${prefix}-address"
+
 echo "=== fleet smoke [address]"
 # The worker fleet under ASan: the supervisor forks real vstack-worker
 # processes, SIGKILLs them mid-lease, triages torn frames, and folds
@@ -133,6 +145,6 @@ echo "=== executor tests [thread]"
 # instead).
 ctest --test-dir "${dir}" --output-on-failure -j "${jobs}" \
       -R 'Executor|Journal|Parallel|Resume|Jobs' \
-      -E 'Sandbox|Isolated|Chaos|Suite|Service|Fleet'
+      -E 'Sandbox|Isolated|Chaos|Suite|Service|Fleet|FaultModel'
 
 echo "=== all sanitizer runs passed"

@@ -1,0 +1,124 @@
+#!/usr/bin/env bash
+# Fault-model plugin smoke: prove the pluggable sampler (src/fault)
+# kept every determinism contract the layers had before it existed.
+#
+#   1. single-bit byte-identity: the reference manifest (all three
+#      layers) against the pre-refactor ResultStore committed under
+#      tests/data/faultmodel_reference — cmp per file, bit for bit;
+#   2. one campaign per non-default model (spatial-multibit,
+#      sram-undervolt, em-burst) at two --jobs widths, on both the
+#      uarch and SVF layers: reports and stores must match;
+#   3. kill + resume identity: SIGKILL a live em-burst campaign
+#      mid-run, `--resume` the remainder, and require the final
+#      report to match an uninterrupted run byte for byte.
+#
+# Usage: tools/faultmodel_smoke.sh [--smoke] [build-dir]
+#   --smoke  CI/sanitizer-sized: smaller campaigns, one kill
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+smoke=0
+if [ "${1:-}" = "--smoke" ]; then
+    smoke=1
+    shift
+fi
+build="${1:-build}"
+vstack="${build}/tools/vstack"
+if [ ! -x "${vstack}" ]; then
+    echo "error: ${vstack} not built (cmake --build ${build})" >&2
+    exit 1
+fi
+
+work="$(mktemp -d)"
+trap 'rm -rf "${work}"' EXIT
+
+ref="tests/data/faultmodel_reference"
+if [ "${smoke}" = 1 ]; then
+    model_n=12
+    resume_n=150
+    kills=1
+    kill_delay=0.3
+else
+    model_n=32
+    resume_n=200
+    kills=3
+    kill_delay=0.6
+fi
+
+echo "=== 1. single-bit byte-identity vs the pre-refactor store"
+# The committed reference was produced before sampling moved into
+# src/fault, with exactly these knobs; the default model must
+# reproduce it bit for bit (same keys, same payload bytes).
+VSTACK_FAULTS=10 VSTACK_SEED=42 VSTACK_JOBS=2 \
+    VSTACK_RESULTS="${work}/default" \
+    "${vstack}" suite "${ref}/manifest.json" > "${work}/default.out" \
+    2> "${work}/default.err"
+for f in "${ref}"/*.json; do
+    b="$(basename "${f}")"
+    [ "${b}" = "manifest.json" ] && continue
+    cmp "${f}" "${work}/default/${b}" || {
+        echo "FAIL: ${b} differs from the pre-refactor reference" >&2
+        exit 1
+    }
+done
+echo "    $(ls "${ref}"/*.json | grep -cv manifest) store files identical"
+
+echo "=== 2. per-model determinism across --jobs widths"
+models=(
+    "spatial-multibit:cluster=4,stride=3"
+    "sram-undervolt:vdd=0.8,banks=8,droop=0.02,asym=0.25"
+    "em-burst:window=64,flips=3"
+)
+for m in "${models[@]}"; do
+    name="${m%%:*}"
+    for layer in uarch svf; do
+        if [ "${layer}" = uarch ]; then
+            cmd=(campaign sha --core ax72 --structure RF)
+        else
+            cmd=(svf fft)
+        fi
+        rm -rf "${work}/a.store" "${work}/b.store"
+        VSTACK_RESULTS="${work}/a.store" "${vstack}" "${cmd[@]}" \
+            -n "${model_n}" --seed 7 --jobs 1 --fault-model "${m}" \
+            > "${work}/a.out" 2>/dev/null
+        VSTACK_RESULTS="${work}/b.store" "${vstack}" "${cmd[@]}" \
+            -n "${model_n}" --seed 7 --jobs 3 --fault-model "${m}" \
+            > "${work}/b.out" 2>/dev/null
+        cmp "${work}/a.out" "${work}/b.out" || {
+            echo "FAIL: ${name}/${layer} report differs at jobs=3" >&2
+            exit 1
+        }
+        diff -r "${work}/a.store" "${work}/b.store" > /dev/null || {
+            echo "FAIL: ${name}/${layer} store differs at jobs=3" >&2
+            exit 1
+        }
+        echo "    ${name}/${layer}: jobs=1 == jobs=3"
+    done
+done
+
+echo "=== 3. kill + resume identity under em-burst"
+cmd=(campaign sha --core ax72 --structure RF -n "${resume_n}" --seed 7
+     --jobs 2 --fault-model "em-burst:window=64,flips=3")
+VSTACK_RESULTS="${work}/rref" "${vstack}" "${cmd[@]}" \
+    > "${work}/rref.out" 2>/dev/null
+for k in $(seq 1 "${kills}"); do
+    VSTACK_RESULTS="${work}/hot" "${vstack}" "${cmd[@]}" --resume \
+        > /dev/null 2>&1 &
+    pid=$!
+    sleep "${kill_delay}"
+    if kill -KILL "${pid}" 2>/dev/null; then
+        echo "    kill ${k}: landed"
+    else
+        echo "    kill ${k}: campaign already finished"
+    fi
+    wait "${pid}" 2>/dev/null || true
+done
+VSTACK_RESULTS="${work}/hot" "${vstack}" "${cmd[@]}" --resume \
+    > "${work}/final.out" 2>/dev/null
+cmp "${work}/rref.out" "${work}/final.out" || {
+    echo "FAIL: resumed em-burst report differs from uninterrupted" >&2
+    exit 1
+}
+echo "    resumed report byte-identical"
+
+echo "=== fault-model smoke passed"

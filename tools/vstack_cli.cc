@@ -97,6 +97,7 @@
 #include "kernel/kernel.h"
 #include "service/client.h"
 #include "service/fleet.h"
+#include "fault/model.h"
 #include "support/crc32c.h"
 #include "support/env.h"
 #include "support/failpoint.h"
@@ -132,6 +133,9 @@ struct Args
     bool fastpath = true;
     double verifyCheckpoint = 0.0;
     bool serial = false;
+    /** Canonical fault-model tag ("" = single-bit default); resolved
+     *  from --fault-model / VSTACK_FAULT_MODEL at parse time. */
+    std::string faultModel;
     unsigned fleet = 0;    ///< worker processes; 0 = in-process suite
     double deadline = 0.0; ///< seconds; 0 = none (suite/submit)
     std::string socket;    ///< vstackd socket ("" = default)
@@ -169,6 +173,11 @@ usage()
         "                    engine; results are byte-identical)\n"
         "         --verify-checkpoint=P (re-run P%% of checkpointed\n"
         "                    samples cold; abort on any divergence)\n"
+        "         --fault-model M (campaign/svf/suite: single-bit |\n"
+        "                    spatial-multibit:cluster=C,stride=S |\n"
+        "                    sram-undervolt:vdd=V,banks=B,droop=D,asym=A |\n"
+        "                    em-burst:window=W,flips=F,cross=0|1;\n"
+        "                    default from VSTACK_FAULT_MODEL)\n"
         "         --serial (suite only: run campaigns one at a time\n"
         "                    through the serial reference path)\n"
         "         --fleet N (suite only: shard samples across N\n"
@@ -313,6 +322,8 @@ parseArgs(int argc, char **argv)
             a.fastpath = false;
         else if (flag == "--resume")
             a.resume = true;
+        else if (flag == "--fault-model")
+            a.faultModel = value();
         else if (flag == "--socket")
             a.socket = value();
         else if (flag == "--client")
@@ -328,6 +339,18 @@ parseArgs(int argc, char **argv)
     // classify even the golden runtime as a hang.
     if (a.watchdog < 1.0)
         fatal("--watchdog factor must be >= 1.0, got %g", a.watchdog);
+    // --fault-model falls back to VSTACK_FAULT_MODEL; either spelling
+    // is validated here and canonicalized, so every store key and
+    // journal header downstream sees the canonical tag.
+    if (a.faultModel.empty())
+        a.faultModel = envString("VSTACK_FAULT_MODEL", "");
+    if (!a.faultModel.empty()) {
+        std::string err;
+        auto m = fault::parseFaultModel(a.faultModel, err);
+        if (!m)
+            fatal("--fault-model: %s", err.c_str());
+        a.faultModel = m->tag();
+    }
     // VSTACK_ISOLATE complements --isolate (strictly validated: a
     // garbage value is a fatal error, not a silent non-sandbox run).
     if (envFlagStrict("VSTACK_ISOLATE"))
@@ -528,6 +551,30 @@ cliCheckpointPolicy(const Args &a)
     return p;
 }
 
+/** The parsed --fault-model (null = single-bit default) plus the key
+ *  tag it contributes: "/fm:<tag>" for non-default models only, so
+ *  default CLI campaign keys and journals keep their historical
+ *  bytes. */
+std::shared_ptr<const fault::FaultModel>
+cliFaultModel(const Args &a)
+{
+    if (a.faultModel.empty() || a.faultModel == "single-bit")
+        return nullptr;
+    std::string err;
+    auto m = fault::parseFaultModel(a.faultModel, err);
+    if (!m) // parseArgs already validated; only a programming error
+        fatal("--fault-model: %s", err.c_str());
+    return m;
+}
+
+std::string
+cliFmKeySuffix(const Args &a)
+{
+    return (a.faultModel.empty() || a.faultModel == "single-bit")
+               ? std::string()
+               : "/fm:" + a.faultModel;
+}
+
 /**
  * Execution policy for a CLI campaign: worker threads from --jobs, a
  * live progress line, and a resume journal under $VSTACK_RESULTS
@@ -544,9 +591,11 @@ cliExecPolicy(const Args &a, const std::string &key, exec::Journal &journal,
     ec.progress = std::cref(progress);
     journal.setFsync(envFlagStrict("VSTACK_JOURNAL_FSYNC"));
     const std::string dir = envString("VSTACK_RESULTS", "results");
+    const std::string fm =
+        a.faultModel == "single-bit" ? std::string() : a.faultModel;
     if (!dir.empty() &&
         journal.open(exec::Journal::pathFor(dir, key), key, a.n, a.seed,
-                     a.resume))
+                     a.resume, fm))
         ec.journal = &journal;
     else if (a.resume)
         warn("no journal available; --resume starts from scratch");
@@ -607,12 +656,15 @@ cmdCampaign(const Args &a)
     exec::Journal journal;
     {
         const std::string key = strprintf(
-            "cli-campaign/%s/%s/%s%s/n%zu/seed%llu", a.target.c_str(),
+            "cli-campaign/%s/%s/%s%s/n%zu/seed%llu%s", a.target.c_str(),
             a.core.c_str(), structureName(s), a.harden ? "/ft" : "", a.n,
-            static_cast<unsigned long long>(a.seed));
+            static_cast<unsigned long long>(a.seed),
+            cliFmKeySuffix(a).c_str());
         ProgressLine progress;
+        auto model = cliFaultModel(a);
         r = campaign.run(s, a.n, a.seed,
-                         cliExecPolicy(a, key, journal, progress));
+                         cliExecPolicy(a, key, journal, progress),
+                         model.get());
     }
     reportStorageFaults(journal);
     if (interrupted("campaign"))
@@ -655,12 +707,15 @@ cmdSvf(const Args &a)
     exec::Journal journal;
     {
         const std::string key = strprintf(
-            "cli-svf/%s%s/n%zu/seed%llu", a.target.c_str(),
+            "cli-svf/%s%s/n%zu/seed%llu%s", a.target.c_str(),
             a.harden ? "/ft" : "", a.n,
-            static_cast<unsigned long long>(a.seed));
+            static_cast<unsigned long long>(a.seed),
+            cliFmKeySuffix(a).c_str());
         ProgressLine progress;
+        auto model = cliFaultModel(a);
         c = campaign.run(a.n, a.seed,
-                         cliExecPolicy(a, key, journal, progress));
+                         cliExecPolicy(a, key, journal, progress),
+                         model.get());
     }
     reportStorageFaults(journal);
     if (interrupted("svf"))
@@ -709,6 +764,8 @@ suiteConfig(const Args &a)
     // parseArgs already folded the VSTACK_* fallbacks into these.
     cfg.verifyReplay = a.verifyReplay;
     cfg.verifyCheckpoint = a.verifyCheckpoint;
+    // Already canonical (parseArgs validated either spelling).
+    cfg.faultModel = a.faultModel;
     return cfg;
 }
 
@@ -991,9 +1048,13 @@ cmdSubmit(const Args &a)
     const std::string ev =
         res.isObject() && res.has("ev") ? res.at("ev").asString() : "";
     if (ev != "result") {
-        fatal("vstackd %s: %s", ev.c_str(),
-              res.has("reason") ? res.at("reason").asString().c_str()
-                                : "unexpected reply");
+        // Structured rejections carry the human-readable cause in
+        // "detail" (e.g. rejected bad-manifest).
+        const std::string why =
+            res.has("detail")   ? res.at("detail").asString()
+            : res.has("reason") ? res.at("reason").asString()
+                                : "unexpected reply";
+        fatal("vstackd %s: %s", ev.c_str(), why.c_str());
     }
     return printResultFrame(res);
 }
